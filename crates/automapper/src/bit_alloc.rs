@@ -1,0 +1,187 @@
+//! Per-layer bit-width allocation for deployment.
+//!
+//! An SP-Net can execute every layer at any candidate bit-width, so a
+//! deployment stack may assign *different* bit-widths to different layers
+//! (mixed-precision execution), subject to a mean-bit-width budget that
+//! proxies the accuracy constraint. This module searches that assignment
+//! greedily: starting from the highest precision everywhere, it repeatedly
+//! demotes the layer with the best EDP-saving-per-bit until the budget is
+//! met — a deployment-side counterpart to HAQ-style mixed-precision search
+//! (the paper's ref. \[11\]).
+
+use crate::{evolve_layer, MapperConfig};
+use instantnet_dataflow::Mapping;
+use instantnet_hwmodel::{Device, Workload};
+
+/// One layer's chosen bit-width and searched mapping.
+#[derive(Debug, Clone)]
+pub struct LayerAssignment {
+    /// Chosen bit-width for this layer.
+    pub bits: u8,
+    /// Mapping searched at that bit-width.
+    pub mapping: Mapping,
+    /// Layer EDP (pJ·s) including group multiplicity.
+    pub edp: f64,
+}
+
+/// Result of a mixed-precision allocation.
+#[derive(Debug, Clone)]
+pub struct BitAllocation {
+    /// Per-layer assignments, in workload order.
+    pub layers: Vec<LayerAssignment>,
+    /// MAC-weighted mean bit-width of the assignment.
+    pub mean_bits: f64,
+    /// Total EDP over all layers (pJ·s).
+    pub total_edp: f64,
+}
+
+/// Greedy mixed-precision allocation: demote layers (highest precision →
+/// next lower) by best EDP saving per bit until the MAC-weighted mean
+/// bit-width is at most `mean_bits_budget`.
+///
+/// `bit_choices` must be sorted ascending (e.g. `[4, 5, 6, 8]`). Layer
+/// mappings are re-searched at each candidate bit-width (cached across the
+/// greedy loop).
+///
+/// # Panics
+///
+/// Panics if `workloads` or `bit_choices` is empty, or `bit_choices` is not
+/// strictly ascending.
+pub fn allocate_bits(
+    workloads: &[Workload],
+    device: &Device,
+    bit_choices: &[u8],
+    mean_bits_budget: f64,
+    cfg: &MapperConfig,
+) -> BitAllocation {
+    assert!(!workloads.is_empty(), "need at least one layer");
+    assert!(!bit_choices.is_empty(), "need at least one bit choice");
+    assert!(
+        bit_choices.windows(2).all(|w| w[0] < w[1]),
+        "bit choices must be strictly ascending"
+    );
+    let n = workloads.len();
+    let top = bit_choices.len() - 1;
+    // Pre-search a mapping per (layer, bit) lazily.
+    let mut cache: Vec<Vec<Option<(Mapping, f64)>>> = vec![vec![None; bit_choices.len()]; n];
+    let get = |li: usize, bi: usize, cache: &mut Vec<Vec<Option<(Mapping, f64)>>>| {
+        if cache[li][bi].is_none() {
+            let layer_cfg = MapperConfig {
+                pipelined: Some(false),
+                seed: cfg.seed.wrapping_add((li * 31 + bi) as u64),
+                ..*cfg
+            };
+            let found = evolve_layer(&workloads[li].dims, device, bit_choices[bi], &layer_cfg);
+            let edp = found.cost.edp() * workloads[li].multiplicity as f64;
+            cache[li][bi] = Some((found.mapping, edp));
+        }
+        cache[li][bi].clone().expect("just filled")
+    };
+    let macs: Vec<f64> = workloads.iter().map(|w| w.macs() as f64).collect();
+    let total_macs: f64 = macs.iter().sum();
+    let mut levels = vec![top; n];
+    let mean = |levels: &[usize]| -> f64 {
+        levels
+            .iter()
+            .zip(&macs)
+            .map(|(&l, &m)| f64::from(bit_choices[l]) * m)
+            .sum::<f64>()
+            / total_macs
+    };
+    while mean(&levels) > mean_bits_budget {
+        // Find the demotion with the best EDP saving per (weighted) bit.
+        let mut best: Option<(usize, f64)> = None;
+        for li in 0..n {
+            if levels[li] == 0 {
+                continue;
+            }
+            let (_, edp_now) = get(li, levels[li], &mut cache);
+            let (_, edp_down) = get(li, levels[li] - 1, &mut cache);
+            let bit_drop = f64::from(bit_choices[levels[li]] - bit_choices[levels[li] - 1])
+                * macs[li]
+                / total_macs;
+            let gain = (edp_now - edp_down) / bit_drop.max(1e-12);
+            if best.map_or(true, |(_, g)| gain > g) {
+                best = Some((li, gain));
+            }
+        }
+        let Some((li, _)) = best else {
+            break; // everything already at the lowest precision
+        };
+        levels[li] -= 1;
+    }
+    let layers: Vec<LayerAssignment> = (0..n)
+        .map(|li| {
+            let (mapping, edp) = get(li, levels[li], &mut cache);
+            LayerAssignment {
+                bits: bit_choices[levels[li]],
+                mapping,
+                edp,
+            }
+        })
+        .collect();
+    BitAllocation {
+        mean_bits: mean(&levels),
+        total_edp: layers.iter().map(|l| l.edp).sum(),
+        layers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instantnet_dataflow::ConvDims;
+
+    fn workloads() -> Vec<Workload> {
+        vec![
+            Workload {
+                dims: ConvDims::new(1, 32, 16, 14, 14, 3, 3, 1),
+                multiplicity: 1,
+            },
+            Workload {
+                dims: ConvDims::new(1, 64, 32, 7, 7, 3, 3, 1),
+                multiplicity: 1,
+            },
+        ]
+    }
+
+    fn cfg() -> MapperConfig {
+        MapperConfig {
+            max_evals: 120,
+            ..MapperConfig::default()
+        }
+    }
+
+    #[test]
+    fn unconstrained_budget_keeps_highest_bits() {
+        let alloc = allocate_bits(&workloads(), &Device::eyeriss_like(), &[4, 8, 16], 16.0, &cfg());
+        assert!(alloc.layers.iter().all(|l| l.bits == 16));
+        assert!((alloc.mean_bits - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_forces_demotion_and_reduces_edp() {
+        let dev = Device::eyeriss_like();
+        let full = allocate_bits(&workloads(), &dev, &[4, 8, 16], 16.0, &cfg());
+        let tight = allocate_bits(&workloads(), &dev, &[4, 8, 16], 6.0, &cfg());
+        assert!(tight.mean_bits <= 6.0 + 1e-9);
+        assert!(tight.total_edp < full.total_edp);
+        assert!(tight.layers.iter().any(|l| l.bits < 16));
+    }
+
+    #[test]
+    fn impossible_budget_saturates_at_lowest() {
+        let alloc = allocate_bits(&workloads(), &Device::eyeriss_like(), &[4, 8], 1.0, &cfg());
+        assert!(alloc.layers.iter().all(|l| l.bits == 4));
+        assert!((alloc.mean_bits - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_bits_is_mac_weighted() {
+        // Demoting only the small layer moves the mean less than demoting
+        // the big one; with a budget just under the top, the big layer
+        // (better EDP saving) goes first.
+        let alloc = allocate_bits(&workloads(), &Device::eyeriss_like(), &[8, 16], 12.0, &cfg());
+        assert!(alloc.mean_bits <= 12.0 + 1e-9);
+    }
+}

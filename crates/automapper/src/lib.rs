@@ -1,0 +1,506 @@
+//! InstantNet's AutoMapper: evolutionary search over the generic dataflow
+//! space (Alg. 1 of the paper).
+//!
+//! The algorithm keeps a pool of candidate mappings ranked by hardware
+//! efficiency. While the pool is at or below its nominal size `n`, it grows
+//! by picking random members and perturbing `k` of their design features
+//! (`m` new candidates per iteration); once the pool overflows, the `m`
+//! worst candidates are culled. Per-layer searches compose into per-network
+//! mappings, searched independently per bit-width — the key deployment
+//! property of switchable-precision networks.
+//!
+//! # Example
+//!
+//! ```
+//! use instantnet_automapper::{evolve_layer, MapperConfig};
+//! use instantnet_dataflow::ConvDims;
+//! use instantnet_hwmodel::Device;
+//!
+//! let dims = ConvDims::new(1, 32, 16, 14, 14, 3, 3, 1);
+//! let device = Device::eyeriss_like();
+//! let cfg = MapperConfig { max_evals: 300, ..MapperConfig::default() };
+//! let found = evolve_layer(&dims, &device, 16, &cfg);
+//! assert!(found.cost.edp() > 0.0);
+//! ```
+
+pub mod bit_alloc;
+
+pub use bit_alloc::{allocate_bits, BitAllocation, LayerAssignment};
+
+use instantnet_dataflow::{ConvDims, Mapping};
+use instantnet_hwmodel::{
+    baselines, evaluate_layer, evaluate_network, Device, LayerCost, NetworkCost, Workload,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Search hyper-parameters for Alg. 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MapperConfig {
+    /// Nominal pool size `n`.
+    pub pool_size: usize,
+    /// Candidates added / culled per iteration `m`.
+    pub batch: usize,
+    /// Features perturbed per mutation `k`.
+    pub perturb_features: usize,
+    /// Total evaluation budget.
+    pub max_evals: usize,
+    /// Optional EDP goal — search stops early once met (the paper's
+    /// "Efficiency Goal").
+    pub edp_goal: Option<f64>,
+    /// Force pipeline (`Some(true)`), multi-cycle (`Some(false)`), or let
+    /// the search decide (`None`).
+    pub pipelined: Option<bool>,
+    /// Probability of producing a child by two-parent crossover instead of
+    /// perturbation (0.0 = the paper's pure-mutation Alg. 1).
+    pub crossover_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MapperConfig {
+    fn default() -> Self {
+        MapperConfig {
+            pool_size: 24,
+            batch: 8,
+            perturb_features: 2,
+            max_evals: 600,
+            edp_goal: None,
+            pipelined: None,
+            crossover_prob: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of a per-layer search.
+#[derive(Debug, Clone)]
+pub struct FoundMapping {
+    /// The best mapping found.
+    pub mapping: Mapping,
+    /// Its evaluated cost.
+    pub cost: LayerCost,
+    /// Number of cost-model evaluations spent.
+    pub evals: usize,
+    /// Best-so-far EDP after each evaluation (convergence curve).
+    pub history: Vec<f64>,
+}
+
+struct Pool {
+    // (edp, mapping, cost) sorted ascending by EDP on demand.
+    members: Vec<(f64, Mapping, LayerCost)>,
+}
+
+impl Pool {
+    fn best(&self) -> &(f64, Mapping, LayerCost) {
+        self.members
+            .iter()
+            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite EDP"))
+            .expect("pool non-empty")
+    }
+
+    fn cull_worst(&mut self, m: usize) {
+        self.members
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite EDP"));
+        let keep = self.members.len().saturating_sub(m).max(1);
+        self.members.truncate(keep);
+    }
+}
+
+fn try_eval(
+    dims: &ConvDims,
+    mut mapping: Mapping,
+    device: &Device,
+    bits: u8,
+    forced_pipeline: Option<bool>,
+) -> Option<(f64, Mapping, LayerCost)> {
+    if let Some(p) = forced_pipeline {
+        mapping.pipelined = p;
+    }
+    let cost = evaluate_layer(dims, &mapping, device, bits).ok()?;
+    Some((cost.edp(), mapping, cost))
+}
+
+/// Evolutionary AutoMapper for one layer (Alg. 1).
+///
+/// Illegal mappings (capacity/PE violations) are rejected and do not enter
+/// the pool but do consume evaluation budget, mirroring a real cost-model
+/// query. The pool is seeded with random samples plus the always-legal
+/// outermost mapping so a result is guaranteed.
+pub fn evolve_layer(
+    dims: &ConvDims,
+    device: &Device,
+    bits: u8,
+    cfg: &MapperConfig,
+) -> FoundMapping {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut evals = 0usize;
+    let mut history = Vec::new();
+    let mut pool = Pool {
+        members: Vec::new(),
+    };
+    // Guaranteed-legal seed.
+    let fallback = baselines::outermost_mapping(dims, cfg.pipelined.unwrap_or(false));
+    if let Some(entry) = try_eval(dims, fallback, device, bits, cfg.pipelined) {
+        pool.members.push(entry);
+    }
+    evals += 1;
+    // Initial random pool.
+    while pool.members.len() < cfg.pool_size && evals < cfg.max_evals {
+        let m = Mapping::random(dims, &mut rng);
+        if let Some(entry) = try_eval(dims, m, device, bits, cfg.pipelined) {
+            pool.members.push(entry);
+        }
+        evals += 1;
+        history.push(pool.best().0);
+    }
+    // Main loop.
+    while evals < cfg.max_evals {
+        if let Some(goal) = cfg.edp_goal {
+            if pool.best().0 <= goal {
+                break;
+            }
+        }
+        if pool.members.len() <= cfg.pool_size {
+            for _ in 0..cfg.batch {
+                if evals >= cfg.max_evals {
+                    break;
+                }
+                let pick = rng.gen_range(0..pool.members.len());
+                let parent = pool.members[pick].1.clone();
+                let child = if cfg.crossover_prob > 0.0
+                    && pool.members.len() > 1
+                    && rng.gen_bool(cfg.crossover_prob)
+                {
+                    let other = rng.gen_range(0..pool.members.len());
+                    parent.crossover(&pool.members[other].1, &mut rng)
+                } else {
+                    parent.perturb(dims, &mut rng, cfg.perturb_features)
+                };
+                if let Some(entry) = try_eval(dims, child, device, bits, cfg.pipelined) {
+                    pool.members.push(entry);
+                }
+                evals += 1;
+                history.push(pool.best().0);
+            }
+        } else {
+            pool.cull_worst(cfg.batch);
+        }
+    }
+    let (_, mapping, cost) = pool.best().clone();
+    FoundMapping {
+        mapping,
+        cost,
+        evals,
+        history,
+    }
+}
+
+/// Pure random search with the same budget — the baseline the paper argues
+/// evolutionary search beats on this highly discrete space.
+pub fn random_search_layer(
+    dims: &ConvDims,
+    device: &Device,
+    bits: u8,
+    cfg: &MapperConfig,
+) -> FoundMapping {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut best: Option<(f64, Mapping, LayerCost)> = None;
+    let mut history = Vec::new();
+    let fallback = baselines::outermost_mapping(dims, cfg.pipelined.unwrap_or(false));
+    if let Some(entry) = try_eval(dims, fallback, device, bits, cfg.pipelined) {
+        best = Some(entry);
+    }
+    let mut evals = 1usize;
+    while evals < cfg.max_evals {
+        let m = Mapping::random(dims, &mut rng);
+        if let Some(entry) = try_eval(dims, m, device, bits, cfg.pipelined) {
+            if best.as_ref().map_or(true, |(b, _, _)| entry.0 < *b) {
+                best = Some(entry);
+            }
+        }
+        evals += 1;
+        if let Some((b, _, _)) = &best {
+            history.push(*b);
+        }
+    }
+    let (_, mapping, cost) = best.expect("fallback mapping is legal");
+    FoundMapping {
+        mapping,
+        cost,
+        evals,
+        history,
+    }
+}
+
+/// Per-network mapping search: one evolutionary search per layer, trying
+/// both pipeline and multi-cycle execution and keeping the better EDP.
+///
+/// Returns the per-layer mappings and the network cost.
+pub fn map_network(
+    workloads: &[Workload],
+    device: &Device,
+    bits: u8,
+    cfg: &MapperConfig,
+) -> (Vec<Mapping>, NetworkCost) {
+    assert!(!workloads.is_empty(), "network must have at least one layer");
+    let total_macs: f64 = workloads.iter().map(|w| w.macs() as f64).sum();
+    let mut best: Option<(Vec<Mapping>, NetworkCost)> = None;
+    for pipelined in [false, true] {
+        let mut mappings = Vec::with_capacity(workloads.len());
+        for (li, w) in workloads.iter().enumerate() {
+            // In pipeline mode each stage owns a slice of the fabric, so
+            // search against the partitioned device.
+            let dev = if pipelined {
+                instantnet_hwmodel::cost::pipeline_stage_device(
+                    device,
+                    w.macs() as f64 / total_macs,
+                )
+            } else {
+                device.clone()
+            };
+            let layer_cfg = MapperConfig {
+                pipelined: Some(pipelined),
+                seed: cfg.seed.wrapping_add(li as u64 * 7919),
+                ..*cfg
+            };
+            mappings.push(evolve_layer(&w.dims, &dev, bits, &layer_cfg).mapping);
+        }
+        if let Ok(cost) = evaluate_network(workloads, &mappings, device, bits) {
+            if best
+                .as_ref()
+                .map_or(true, |(_, b)| cost.edp() < b.edp())
+            {
+                best = Some((mappings, cost));
+            }
+        }
+    }
+    best.expect("multi-cycle fallback mappings are always legal")
+}
+
+/// Per-bit-width deployment of a switchable-precision network: one
+/// independent mapping search per bit-width.
+///
+/// This is the deployment-side core of the paper's argument: "the best
+/// dataflow for SP-Nets under *different bit-widths* can be different"
+/// (§I), so reusing one bit-width's mapping at another leaves efficiency
+/// on the table. [`switch_penalty`] quantifies exactly that gap.
+pub fn map_per_bitwidth(
+    workloads: &[Workload],
+    device: &Device,
+    bit_widths: &[u8],
+    cfg: &MapperConfig,
+) -> Vec<(u8, Vec<Mapping>, NetworkCost)> {
+    bit_widths
+        .iter()
+        .map(|&bits| {
+            let (mappings, cost) = map_network(workloads, device, bits, cfg);
+            (bits, mappings, cost)
+        })
+        .collect()
+}
+
+/// EDP penalty of running the network at `bits` with a mapping searched
+/// for `donor_bits`, relative to the mapping searched for `bits` itself.
+///
+/// Returns `(reused_edp, native_edp, penalty_ratio)` where
+/// `penalty_ratio = reused_edp / native_edp` (≥ ~1 when the native search
+/// is at least as good). Reused mappings that become illegal at the new
+/// word width are legalized first, as a deployment stack would.
+pub fn switch_penalty(
+    workloads: &[Workload],
+    device: &Device,
+    bits: u8,
+    donor_bits: u8,
+    cfg: &MapperConfig,
+) -> (f64, f64, f64) {
+    let (donor_mappings, _) = map_network(workloads, device, donor_bits, cfg);
+    let legalized: Vec<Mapping> = workloads
+        .iter()
+        .zip(&donor_mappings)
+        .map(|(w, m)| baselines::legalize(m.clone(), &w.dims, device, bits))
+        .collect();
+    let reused = evaluate_network(workloads, &legalized, device, bits)
+        .expect("legalized mappings evaluate");
+    let (_, native) = map_network(workloads, device, bits, cfg);
+    (reused.edp(), native.edp(), reused.edp() / native.edp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims() -> ConvDims {
+        ConvDims::new(1, 32, 16, 14, 14, 3, 3, 1)
+    }
+
+    fn quick_cfg() -> MapperConfig {
+        MapperConfig {
+            max_evals: 300,
+            ..MapperConfig::default()
+        }
+    }
+
+    #[test]
+    fn evolution_improves_over_initial_pool() {
+        let found = evolve_layer(&dims(), &Device::eyeriss_like(), 16, &quick_cfg());
+        assert!(found.history.len() > 10);
+        let first = found.history[0];
+        let last = *found.history.last().unwrap();
+        assert!(last <= first, "EDP must not regress: {first} -> {last}");
+        assert!(last < first, "search should find something better");
+    }
+
+    #[test]
+    fn history_is_monotone_nonincreasing() {
+        let found = evolve_layer(&dims(), &Device::eyeriss_like(), 8, &quick_cfg());
+        for w in found.history.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = evolve_layer(&dims(), &Device::eyeriss_like(), 16, &quick_cfg());
+        let b = evolve_layer(&dims(), &Device::eyeriss_like(), 16, &quick_cfg());
+        assert_eq!(a.cost.edp(), b.cost.edp());
+        assert_eq!(a.mapping, b.mapping);
+    }
+
+    #[test]
+    fn evolution_beats_random_search_at_equal_budget() {
+        // Average over seeds to keep the comparison robust.
+        let d = dims();
+        let dev = Device::eyeriss_like();
+        let mut evo = 0.0;
+        let mut rnd = 0.0;
+        for seed in 0..5 {
+            let cfg = MapperConfig {
+                max_evals: 400,
+                seed,
+                ..MapperConfig::default()
+            };
+            evo += evolve_layer(&d, &dev, 16, &cfg).cost.edp();
+            rnd += random_search_layer(&d, &dev, 16, &cfg).cost.edp();
+        }
+        assert!(
+            evo < rnd,
+            "evolutionary {evo} should beat random {rnd} on average"
+        );
+    }
+
+    #[test]
+    fn crossover_variant_still_converges() {
+        let cfg = MapperConfig {
+            crossover_prob: 0.5,
+            max_evals: 300,
+            ..MapperConfig::default()
+        };
+        let found = evolve_layer(&dims(), &Device::eyeriss_like(), 16, &cfg);
+        let fallback = instantnet_hwmodel::baselines::outermost_mapping(&dims(), false);
+        let fb = instantnet_hwmodel::evaluate_layer(
+            &dims(),
+            &fallback,
+            &Device::eyeriss_like(),
+            16,
+        )
+        .unwrap()
+        .edp();
+        assert!(found.cost.edp() < fb, "crossover search must still improve");
+    }
+
+    #[test]
+    fn edp_goal_stops_search_early() {
+        let cfg = MapperConfig {
+            edp_goal: Some(f64::INFINITY),
+            max_evals: 10_000,
+            ..MapperConfig::default()
+        };
+        let found = evolve_layer(&dims(), &Device::eyeriss_like(), 16, &cfg);
+        assert!(found.evals < 10_000, "goal met at once, evals {}", found.evals);
+    }
+
+    #[test]
+    fn forced_pipeline_flag_respected() {
+        let cfg = MapperConfig {
+            pipelined: Some(true),
+            ..quick_cfg()
+        };
+        let found = evolve_layer(&dims(), &Device::zc706_like(), 16, &cfg);
+        assert!(found.mapping.pipelined);
+    }
+
+    #[test]
+    fn map_network_returns_one_mapping_per_layer() {
+        let ws = vec![
+            Workload {
+                dims: dims(),
+                multiplicity: 1,
+            },
+            Workload {
+                dims: ConvDims::new(1, 64, 32, 7, 7, 3, 3, 1),
+                multiplicity: 1,
+            },
+        ];
+        let cfg = MapperConfig {
+            max_evals: 150,
+            ..MapperConfig::default()
+        };
+        let (mappings, cost) = map_network(&ws, &Device::eyeriss_like(), 8, &cfg);
+        assert_eq!(mappings.len(), 2);
+        assert!(cost.fps > 0.0);
+        assert!(cost.edp() > 0.0);
+    }
+
+    #[test]
+    fn per_bitwidth_mappings_cover_all_bits() {
+        let ws = vec![Workload {
+            dims: dims(),
+            multiplicity: 1,
+        }];
+        let cfg = MapperConfig {
+            max_evals: 120,
+            ..MapperConfig::default()
+        };
+        let results = map_per_bitwidth(&ws, &Device::eyeriss_like(), &[4, 8, 16], &cfg);
+        assert_eq!(results.len(), 3);
+        let edps: Vec<f64> = results.iter().map(|(_, _, c)| c.edp()).collect();
+        assert!(edps[0] < edps[2], "4-bit EDP should beat 16-bit");
+    }
+
+    #[test]
+    fn native_search_at_least_matches_reused_mapping() {
+        // The paper's per-bit-width deployment claim: a mapping searched at
+        // 16-bit, reused at 4-bit, should not beat the native 4-bit search.
+        let ws = vec![Workload {
+            dims: dims(),
+            multiplicity: 1,
+        }];
+        let cfg = MapperConfig {
+            max_evals: 300,
+            ..MapperConfig::default()
+        };
+        let (reused, native, ratio) =
+            switch_penalty(&ws, &Device::eyeriss_like(), 4, 16, &cfg);
+        assert!(native > 0.0 && reused > 0.0);
+        assert!(
+            ratio >= 0.99,
+            "native search regressed vs reused mapping: ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn lower_bits_map_to_lower_edp() {
+        let ws = vec![Workload {
+            dims: dims(),
+            multiplicity: 1,
+        }];
+        let cfg = MapperConfig {
+            max_evals: 200,
+            ..MapperConfig::default()
+        };
+        let (_, c4) = map_network(&ws, &Device::eyeriss_like(), 4, &cfg);
+        let (_, c16) = map_network(&ws, &Device::eyeriss_like(), 16, &cfg);
+        assert!(c4.edp() < c16.edp());
+    }
+}

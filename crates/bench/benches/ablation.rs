@@ -1,0 +1,69 @@
+//! Criterion benchmarks of the design choices DESIGN.md calls out: the
+//! per-batch cost of each training strategy (the distillation cascade's
+//! overhead over plain joint training), the stop-gradient's backward-pass
+//! saving, and the supernet's Gumbel-softmax machinery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use instantnet_data::{Dataset, DatasetSpec};
+use instantnet_nas::supernet::gumbel_softmax;
+use instantnet_nas::{SearchSpace, Supernet};
+use instantnet_nn::{models, ForwardCtx, Module};
+use instantnet_quant::{BitWidthSet, Quantizer};
+use instantnet_tensor::{Tensor, Var};
+use instantnet_train::{strategy::batch_loss, PrecisionLadder, Strategy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_strategy_step(c: &mut Criterion) {
+    let ds = Dataset::generate(&DatasetSpec::tiny());
+    let bits = BitWidthSet::new(vec![4, 8, 32]).unwrap();
+    let ladder = PrecisionLadder::uniform(&bits);
+    let net = models::small_cnn(6, ds.num_classes(), (ds.hw(), ds.hw()), bits.len(), 0);
+    let (x, labels) = ds.batch(&[0, 1, 2, 3, 4, 5, 6, 7]);
+    let xv = Var::constant(x);
+    for strategy in [
+        Strategy::cdt(),
+        Strategy::CdtNoStopGrad { beta: 0.2 },
+        Strategy::sp_net(),
+        Strategy::AdaBits,
+    ] {
+        c.bench_function(&format!("train_step_{}", strategy.label()), |b| {
+            b.iter(|| {
+                let loss = batch_loss(&net, &xv, &labels, &ladder, Quantizer::Sbm, strategy);
+                loss.backward();
+                for p in net.params() {
+                    p.var().zero_grad();
+                }
+                std::hint::black_box(loss.item())
+            })
+        });
+    }
+}
+
+fn bench_supernet_forward(c: &mut Criterion) {
+    let bits = BitWidthSet::new(vec![4, 32]).unwrap();
+    let sn = Supernet::new(&SearchSpace::cifar_tiny(3), 10, bits.len(), 0);
+    let x = Var::constant(Tensor::zeros(&[4, 3, 8, 8]));
+    c.bench_function("supernet_forward_3_slots", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut ctx = ForwardCtx::train(&bits, 0, Quantizer::Sbm);
+            std::hint::black_box(sn.forward(&x, &mut ctx, 3.0, &mut rng).logits.value())
+        })
+    });
+}
+
+fn bench_gumbel(c: &mut Criterion) {
+    let theta = Var::leaf(Tensor::zeros(&[7]), true);
+    let mut rng = StdRng::seed_from_u64(2);
+    c.bench_function("gumbel_softmax_7", |b| {
+        b.iter(|| std::hint::black_box(gumbel_softmax(&theta, 3.0, &mut rng).value()))
+    });
+}
+
+criterion_group! {
+    name = ablation;
+    config = Criterion::default().sample_size(10);
+    targets = bench_strategy_step, bench_supernet_forward, bench_gumbel
+}
+criterion_main!(ablation);

@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks of the numerical substrate: convolution
+//! forward/backward, quantizers, batch norm, matmul.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use instantnet_quant::{BitWidth, Quantizer};
+use instantnet_tensor::{init, ops, Tensor, Var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let a = init::uniform(&mut rng, &[64, 64], -1.0, 1.0);
+    let b = init::uniform(&mut rng, &[64, 64], -1.0, 1.0);
+    c.bench_function("matmul_64x64", |bench| {
+        bench.iter(|| std::hint::black_box(a.matmul(&b)))
+    });
+}
+
+fn bench_conv_forward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = Var::constant(init::uniform(&mut rng, &[4, 16, 16, 16], -1.0, 1.0));
+    let w = Var::constant(init::kaiming_uniform(&mut rng, &[32, 16, 3, 3]));
+    c.bench_function("conv2d_forward_4x16x16x16", |bench| {
+        bench.iter(|| std::hint::black_box(ops::conv2d(&x, &w, 1, 1, 1).value()))
+    });
+}
+
+fn bench_conv_backward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let x = Var::constant(init::uniform(&mut rng, &[2, 8, 12, 12], -1.0, 1.0));
+    c.bench_function("conv2d_train_step_2x8x12x12", |bench| {
+        bench.iter(|| {
+            let w = Var::leaf(init::kaiming_uniform(&mut rng, &[16, 8, 3, 3]), true);
+            let y = ops::conv2d(&x, &w, 1, 1, 1);
+            y.sum().backward();
+            std::hint::black_box(w.grad())
+        })
+    });
+}
+
+fn bench_depthwise_conv(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let x = Var::constant(init::uniform(&mut rng, &[4, 32, 16, 16], -1.0, 1.0));
+    let w = Var::constant(init::kaiming_uniform(&mut rng, &[32, 1, 3, 3]));
+    c.bench_function("depthwise_conv2d_4x32x16x16", |bench| {
+        bench.iter(|| std::hint::black_box(ops::conv2d(&x, &w, 1, 1, 32).value()))
+    });
+}
+
+fn bench_quantizers(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let w = init::uniform(&mut rng, &[64, 256], -1.0, 1.0);
+    let b4 = BitWidth::new(4);
+    c.bench_function("sbm_quantize_16k_weights", |bench| {
+        bench.iter(|| std::hint::black_box(Quantizer::Sbm.quantize_weights_tensor(&w, b4)))
+    });
+    c.bench_function("dorefa_quantize_16k_weights", |bench| {
+        bench.iter(|| std::hint::black_box(Quantizer::Dorefa.quantize_weights_tensor(&w, b4)))
+    });
+}
+
+fn bench_batch_norm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let x = Var::constant(init::uniform(&mut rng, &[8, 32, 8, 8], -1.0, 1.0));
+    let gamma = Var::constant(Tensor::ones(&[32]));
+    let beta = Var::constant(Tensor::zeros(&[32]));
+    c.bench_function("batch_norm2d_8x32x8x8", |bench| {
+        bench.iter(|| {
+            std::hint::black_box(ops::batch_norm2d(&x, &gamma, &beta, 1e-5, None).out.value())
+        })
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_conv_forward, bench_conv_backward,
+              bench_depthwise_conv, bench_quantizers, bench_batch_norm
+}
+criterion_main!(kernels);

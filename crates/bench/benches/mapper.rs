@@ -1,0 +1,63 @@
+//! Criterion benchmarks of the dataflow cost model and the AutoMapper
+//! search loops: evaluation throughput and time-to-solution of
+//! evolutionary vs random search at equal budgets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use instantnet_automapper::{evolve_layer, random_search_layer, MapperConfig};
+use instantnet_dataflow::{ConvDims, Mapping};
+use instantnet_hwmodel::{baselines, evaluate_layer, Device};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn alexnet_conv2() -> ConvDims {
+    ConvDims::new(1, 256, 96, 27, 27, 5, 5, 1)
+}
+
+fn bench_cost_model(c: &mut Criterion) {
+    let dims = alexnet_conv2();
+    let device = Device::eyeriss_like();
+    let mapping = baselines::eyeriss_row_stationary(&dims, &device, 16);
+    c.bench_function("cost_model_single_eval", |b| {
+        b.iter(|| std::hint::black_box(evaluate_layer(&dims, &mapping, &device, 16)))
+    });
+}
+
+fn bench_random_sampling(c: &mut Criterion) {
+    let dims = alexnet_conv2();
+    let mut rng = StdRng::seed_from_u64(0);
+    c.bench_function("mapping_random_sample", |b| {
+        b.iter(|| std::hint::black_box(Mapping::random(&dims, &mut rng)))
+    });
+}
+
+fn bench_evolutionary_search(c: &mut Criterion) {
+    let dims = alexnet_conv2();
+    let device = Device::eyeriss_like();
+    let cfg = MapperConfig {
+        max_evals: 200,
+        ..MapperConfig::default()
+    };
+    c.bench_function("automapper_evolve_200_evals", |b| {
+        b.iter(|| std::hint::black_box(evolve_layer(&dims, &device, 16, &cfg).cost.edp()))
+    });
+}
+
+fn bench_random_search(c: &mut Criterion) {
+    let dims = alexnet_conv2();
+    let device = Device::eyeriss_like();
+    let cfg = MapperConfig {
+        max_evals: 200,
+        ..MapperConfig::default()
+    };
+    c.bench_function("random_search_200_evals", |b| {
+        b.iter(|| std::hint::black_box(random_search_layer(&dims, &device, 16, &cfg).cost.edp()))
+    });
+}
+
+criterion_group! {
+    name = mapper;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cost_model, bench_random_sampling,
+              bench_evolutionary_search, bench_random_search
+}
+criterion_main!(mapper);

@@ -1,0 +1,79 @@
+//! Fig. 6: InstantNet-generated systems vs SOTA IoT systems on
+//! CIFAR-10/100 under two bit-width sets — accuracy-vs-EDP trade-off on
+//! the ASIC target.
+//!
+//! The baseline system is a manually designed SP-Net (fixed
+//! MobileNetV2-style stack, SP vanilla-distillation training) deployed
+//! with the Eyeriss expert dataflow; InstantNet is SP-NAS + CDT +
+//! AutoMapper. Claims checked: InstantNet reduces EDP at every bit-width
+//! with higher or comparable accuracy, and always wins at the bottleneck
+//! (lowest) bit-width.
+
+use instantnet::{baseline_system, Pipeline, PipelineConfig};
+use instantnet_bench::{pct, print_table, write_csv};
+use instantnet_data::{Dataset, DatasetSpec};
+use instantnet_hwmodel::Device;
+use instantnet_quant::BitWidthSet;
+
+fn main() {
+    let mut csv_rows = Vec::new();
+    for spec in [DatasetSpec::cifar10_like(), DatasetSpec::cifar100_like()] {
+        let ds = Dataset::generate(&spec);
+        for (set_name, bits) in [
+            ("{4,8,12,16,32}", BitWidthSet::large_range()),
+            ("{4,5,6,8}", BitWidthSet::narrow_range()),
+        ] {
+            println!("{} / {set_name}: running InstantNet pipeline...", spec.name);
+            let mut cfg = PipelineConfig::experiment(bits.clone(), Device::eyeriss_like());
+            cfg.train.epochs = 5;
+            cfg.nas.epochs = 2;
+            cfg.mapper.max_evals = 250;
+            let ours = Pipeline::new(cfg.clone()).run(&ds);
+            println!("{} / {set_name}: running manual SP-Net baseline...", spec.name);
+            let base = baseline_system(&ds, &cfg);
+            let mut rows = Vec::new();
+            for (o, b) in ours.points().iter().zip(base.points()) {
+                let edp_red = 100.0 * (1.0 - o.edp / b.edp);
+                rows.push(vec![
+                    o.bits.to_string(),
+                    format!("{} / {:.2e}", pct(b.accuracy), b.edp),
+                    format!("{} / {:.2e}", pct(o.accuracy), o.edp),
+                    format!("{edp_red:.1}%"),
+                    format!("{:+.2}", 100.0 * (o.accuracy - b.accuracy)),
+                ]);
+                csv_rows.push(vec![
+                    spec.name.to_string(),
+                    set_name.to_string(),
+                    o.bits.get().to_string(),
+                    b.accuracy.to_string(),
+                    b.edp.to_string(),
+                    o.accuracy.to_string(),
+                    o.edp.to_string(),
+                ]);
+            }
+            print_table(
+                &format!(
+                    "Fig. 6 (reproduction) — {} bit set {set_name} (arch {})",
+                    spec.name,
+                    ours.arch()
+                ),
+                &["bits", "baseline acc/EDP", "InstantNet acc/EDP", "EDP red.", "acc gain"],
+                &rows,
+            );
+        }
+    }
+    println!("\npaper reference: up to 84.67% EDP reduction with +1.44% accuracy (CIFAR-100, {{4,8,12,16,32}}); 62.5~73.68% EDP reduction at the lowest bit-width.");
+    write_csv(
+        "fig6",
+        &[
+            "dataset",
+            "bit_set",
+            "bits",
+            "baseline_acc",
+            "baseline_edp",
+            "instantnet_acc",
+            "instantnet_edp",
+        ],
+        &csv_rows,
+    );
+}

@@ -1,0 +1,24 @@
+//! Table II: CDT vs independently trained SBM on ResNet-38, CIFAR-10/100,
+//! bit sets {4,8,12,16,32} and {4,5,6,8}.
+//!
+//! Reproduction scale: ResNet-38 topology (6·6+2 layers) at width 0.25 on
+//! the cifar-like synthetic datasets. The claim checked: CDT matches or
+//! beats independent per-bit training everywhere, with the biggest gain at
+//! the lowest bit-width.
+
+use instantnet_bench::cdt_vs_sbm;
+use instantnet_nn::models;
+
+fn main() {
+    cdt_vs_sbm::run(
+        "Table II (reproduction) — ResNet-38-scaled",
+        "table2",
+        "ResNet-38/CIFAR-10 4-bit: SBM 90.91 vs CDT 91.45 (+0.54); CIFAR-100 4-bit: 63.82 vs 64.18 (+0.36)",
+        12,
+        1,
+        0,
+        |ds, n_bits, seed| {
+            models::resnet38(0.25, ds.num_classes(), (ds.hw(), ds.hw()), n_bits, seed)
+        },
+    );
+}

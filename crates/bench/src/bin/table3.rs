@@ -1,0 +1,23 @@
+//! Table III: CDT vs independently trained SBM on ResNet-74, CIFAR-10/100,
+//! bit sets {4,8,12,16,32} and {4,5,6,8}.
+//!
+//! Reproduction scale: ResNet-74 topology (6·12+2 layers) at width 0.25.
+//! Claim checked: CDT ≥ SBM with the largest gain at 4-bit, and the deeper
+//! network keeps the trend of Table II.
+
+use instantnet_bench::cdt_vs_sbm;
+use instantnet_nn::models;
+
+fn main() {
+    cdt_vs_sbm::run(
+        "Table III (reproduction) — ResNet-74-scaled",
+        "table3",
+        "ResNet-74/CIFAR-10 4-bit: SBM 91.82 vs CDT 92.34 (+0.52); CIFAR-100 4-bit: 66.31 vs 67.35 (+1.04)",
+        12,
+        1,
+        4,
+        |ds, n_bits, seed| {
+            models::resnet74(0.25, ds.num_classes(), (ds.hw(), ds.hw()), n_bits, seed)
+        },
+    );
+}

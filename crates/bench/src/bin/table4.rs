@@ -1,0 +1,73 @@
+//! Table IV: CDT vs SP at extreme 2-bit precision on ResNet-18 /
+//! TinyImageNet, for mixed weight/activation settings (W,A) ∈
+//! {(2,2), (2,32), (32,2)}.
+//!
+//! Reproduction scale: ResNet-18 topology at width 0.1 on the
+//! tinyimagenet-like synthetic dataset. Each (W,A) row trains a 4-rung
+//! switchable ladder climbing from the mixed 2-bit setting through 4- and
+//! 8-bit intermediates to full precision. The intermediates are what
+//! differentiates CDT (cascade of all higher rungs) from SP (full-precision
+//! teacher only) — with a 2-rung ladder the two objectives coincide.
+//! Claim checked: CDT gains over SP at the 2-bit rung, largest at W2A2.
+
+use instantnet_bench::{pct, print_table, write_csv};
+use instantnet_data::{Dataset, DatasetSpec};
+use instantnet_nn::models;
+use instantnet_quant::{BitWidth, Precision};
+use instantnet_train::{PrecisionLadder, Strategy, TrainConfig, Trainer};
+
+fn main() {
+    let ds = Dataset::generate(&DatasetSpec::tiny_imagenet_like());
+    let cfg = TrainConfig {
+        epochs: 8,
+        ..TrainConfig::default()
+    };
+    // (label, weight-bit ramp, activation-bit ramp): each ladder climbs the
+    // quantized operand(s) through 2 -> 4 -> 8 -> 32 while the full-precision
+    // operand stays at 32 bits.
+    let settings: [(&str, [u8; 4], [u8; 4]); 3] = [
+        ("W2A2", [2, 4, 8, 32], [2, 4, 8, 32]),
+        ("W2A32", [2, 4, 8, 32], [32, 32, 32, 32]),
+        ("W32A2", [32, 32, 32, 32], [2, 4, 8, 32]),
+    ];
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for (name, wbits, abits) in settings {
+        let ladder = PrecisionLadder::new(
+            wbits
+                .iter()
+                .zip(&abits)
+                .map(|(&w, &a)| Precision::new(BitWidth::new(w), BitWidth::new(a)))
+                .collect(),
+        );
+        let mut accs = Vec::new();
+        // At 2-bit the raw-logit MSE terms are large; a smaller beta keeps
+        // the cascade from overwhelming the cross-entropy signal.
+        for strategy in [
+            Strategy::SpNet { beta: 0.05 },
+            Strategy::Cdt { beta: 0.05 },
+        ] {
+            println!("{name}: training {}...", strategy.label());
+            let net = models::resnet18(0.1, ds.num_classes(), (ds.hw(), ds.hw()), ladder.len(), 3);
+            let report = Trainer::new(cfg).train(&net, &ds, &ladder, strategy);
+            accs.push(report.accuracy_per_rung[0]);
+        }
+        rows.push(vec![
+            name.to_string(),
+            pct(accs[0]),
+            format!("{} ({:+.1})", pct(accs[1]), 100.0 * (accs[1] - accs[0])),
+        ]);
+        csv_rows.push(vec![
+            name.to_string(),
+            accs[0].to_string(),
+            accs[1].to_string(),
+        ]);
+    }
+    print_table(
+        "Table IV (reproduction) — ResNet-18-scaled, tinyimagenet-like",
+        &["(W,A)", "SP", "CDT (gain)"],
+        &rows,
+    );
+    println!("paper reference: W2A2 SP 47.8 vs CDT 52.3 (+4.5); W2A32 50.5 vs 51.3 (+0.8); W32A2 51.8 vs 53.4 (+1.6)");
+    write_csv("table4", &["setting", "sp", "cdt"], &csv_rows);
+}

@@ -1,0 +1,30 @@
+//! Dev tool: calibrates reproduction-scale training hyper-parameters
+//! (not part of the paper's experiments). Currently probes whether
+//! progressive-precision warm-up rescues deep-ResNet CDT training
+//! (the Table III cifar10-like failure mode).
+
+use instantnet_data::{Dataset, DatasetSpec};
+use instantnet_nn::models;
+use instantnet_quant::BitWidthSet;
+use instantnet_train::{PrecisionLadder, Strategy, TrainConfig, Trainer};
+
+fn main() {
+    let ds = Dataset::generate(&DatasetSpec::cifar10_like());
+    let bits = BitWidthSet::large_range();
+    let ladder = PrecisionLadder::uniform(&bits);
+    for warmup in [0usize, 4] {
+        let net = models::resnet74(0.25, ds.num_classes(), (ds.hw(), ds.hw()), bits.len(), 7);
+        let r = Trainer::new(TrainConfig {
+            epochs: 12,
+            warmup_epochs: warmup,
+            ..TrainConfig::default()
+        })
+        .train(&net, &ds, &ladder, Strategy::cdt());
+        println!(
+            "resnet74 warmup {warmup}: 4b {:.1}% 8b {:.1}% 32b {:.1}%",
+            100.0 * r.accuracy_per_rung[0],
+            100.0 * r.accuracy_per_rung[1],
+            100.0 * r.accuracy_per_rung[4],
+        );
+    }
+}

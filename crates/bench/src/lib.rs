@@ -1,0 +1,188 @@
+//! Shared reporting helpers for the experiment binaries.
+//!
+//! Every binary regenerates one table or figure of the paper: it prints a
+//! human-readable table with the paper's reference numbers alongside the
+//! measured reproduction-scale numbers, and writes a machine-readable CSV
+//! under `target/experiments/`.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Directory experiment CSVs are written to (`target/experiments`).
+pub fn out_dir() -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    fs::create_dir_all(&dir).expect("create experiments dir");
+    dir
+}
+
+/// Writes a CSV with a header row.
+///
+/// # Panics
+///
+/// Panics on I/O errors — experiment binaries should fail loudly.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
+    let path = out_dir().join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{}", header.join(",")).expect("write header");
+    for row in rows {
+        writeln!(f, "{}", row.join(",")).expect("write row");
+    }
+    println!("\n[wrote {}]", path.display());
+}
+
+/// Prints a fixed-width table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let widths: Vec<usize> = header
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r.get(i).map_or(0, String::len))
+                .chain(std::iter::once(h.len()))
+                .max()
+                .unwrap_or(0)
+                + 2
+        })
+        .collect();
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>w$}", c, w = widths[i]));
+        }
+        s
+    };
+    println!(
+        "{}",
+        line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    println!("{}", "-".repeat(widths.iter().sum()));
+    for r in rows {
+        println!("{}", line(r));
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f32) -> String {
+    format!("{:.1}", 100.0 * x)
+}
+
+/// Formats an accuracy delta in the paper's bracket style.
+pub fn delta(baseline: f32, ours: f32) -> String {
+    format!("({:+.2})", 100.0 * (baseline - ours))
+}
+
+/// Shared driver for Tables II and III: CDT vs independently trained SBM
+/// on a ResNet, over CIFAR-10/100-like datasets and both bit-width sets.
+pub mod cdt_vs_sbm {
+    use super::{pct, print_table, write_csv};
+    use instantnet_data::{Dataset, DatasetSpec};
+    use instantnet_nn::models::Network;
+    use instantnet_quant::BitWidthSet;
+    use instantnet_train::{train_independent, PrecisionLadder, Strategy, TrainConfig, Trainer};
+
+    /// Runs the comparison and writes `<csv_name>.csv`.
+    ///
+    /// `build(n_bits, seed)` constructs the model under test.
+    pub fn run(
+        table_name: &str,
+        csv_name: &str,
+        paper_ref: &str,
+        epochs: usize,
+        seeds: u64,
+        warmup_epochs: usize,
+        build: impl Fn(&Dataset, usize, u64) -> Network,
+    ) {
+        let cfg = TrainConfig {
+            epochs,
+            warmup_epochs,
+            ..TrainConfig::default()
+        };
+        let mut csv_rows = Vec::new();
+        for spec in [DatasetSpec::cifar10_like(), DatasetSpec::cifar100_like()] {
+            let ds = Dataset::generate(&spec);
+            for (set_name, bits) in [
+                ("{4,8,12,16,32}", BitWidthSet::large_range()),
+                ("{4,5,6,8}", BitWidthSet::narrow_range()),
+            ] {
+                let ladder = PrecisionLadder::uniform(&bits);
+                let avg = |runs: Vec<Vec<f32>>| -> Vec<f32> {
+                    let n = runs.len() as f32;
+                    (0..runs[0].len())
+                        .map(|i| runs.iter().map(|r| r[i]).sum::<f32>() / n)
+                        .collect()
+                };
+                println!("{}/{set_name}: SBM-independent ({seeds} seeds)...", spec.name);
+                let sbm = avg((0..seeds)
+                    .map(|s| {
+                        train_independent(
+                            |i| build(&ds, 1, 500 + s * 100 + i as u64),
+                            &ds,
+                            &ladder,
+                            TrainConfig { seed: s, ..cfg },
+                        )
+                    })
+                    .collect());
+                println!("{}/{set_name}: CDT ({seeds} seeds)...", spec.name);
+                let cdt = avg((0..seeds)
+                    .map(|s| {
+                        let net = build(&ds, bits.len(), 7 + s);
+                        Trainer::new(TrainConfig { seed: s, ..cfg })
+                            .train(&net, &ds, &ladder, Strategy::cdt())
+                            .accuracy_per_rung
+                    })
+                    .collect());
+                let mut rows = Vec::new();
+                for (i, b) in bits.widths().iter().enumerate() {
+                    rows.push(vec![
+                        b.to_string(),
+                        pct(sbm[i]),
+                        format!("{} ({:+.2})", pct(cdt[i]), 100.0 * (cdt[i] - sbm[i])),
+                    ]);
+                    csv_rows.push(vec![
+                        spec.name.to_string(),
+                        set_name.to_string(),
+                        b.get().to_string(),
+                        sbm[i].to_string(),
+                        cdt[i].to_string(),
+                    ]);
+                }
+                print_table(
+                    &format!("{table_name} — {}, bit set {set_name}", spec.name),
+                    &["bits", "SBM", "CDT (gain)"],
+                    &rows,
+                );
+            }
+        }
+        println!("\npaper reference: {paper_ref}");
+        write_csv(
+            csv_name,
+            &["dataset", "bit_set", "bits", "sbm", "cdt"],
+            &csv_rows,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_and_delta_format() {
+        assert_eq!(pct(0.7115), "71.2");
+        assert_eq!(delta(0.7055, 0.7115), "(-0.60)");
+        assert_eq!(delta(0.7523, 0.7498), "(+0.25)");
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        write_csv(
+            "unit-test",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()]],
+        );
+        let content = std::fs::read_to_string(out_dir().join("unit-test.csv")).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+    }
+}

@@ -1,0 +1,478 @@
+//! End-to-end InstantNet: automated generation **and** deployment of
+//! instantaneously switchable-precision networks.
+//!
+//! Given a dataset, a bit-width set and a target device, the
+//! [`Pipeline`] runs the three enablers of the paper in order:
+//!
+//! 1. **SP-NAS** ([`instantnet_nas`]) searches for an architecture that
+//!    natively tolerates every candidate bit-width (Eq. 2);
+//! 2. **CDT** ([`instantnet_train`]) trains the derived network once, with
+//!    cascade distillation across the whole bit-width set (Eq. 1);
+//! 3. **AutoMapper** ([`instantnet_automapper`]) searches an optimal
+//!    dataflow *per bit-width* on the target device (Alg. 1).
+//!
+//! The result is a [`DeploymentReport`]: one accuracy/energy/latency/EDP
+//! operating point per bit-width, which an IoT runtime can switch between
+//! instantaneously ([`DeploymentReport::select`]).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use instantnet::{Pipeline, PipelineConfig};
+//! use instantnet_data::{Dataset, DatasetSpec};
+//!
+//! let ds = Dataset::generate(&DatasetSpec::tiny());
+//! let report = Pipeline::new(PipelineConfig::quick()).run(&ds);
+//! for p in report.points() {
+//!     println!("{}: acc {:.1}% edp {:.3e}", p.bits, 100.0 * p.accuracy, p.edp);
+//! }
+//! ```
+
+pub mod runtime;
+
+use instantnet_automapper::{map_network, MapperConfig};
+use instantnet_data::Dataset;
+use instantnet_hwmodel::{workloads_from_specs, Device};
+use instantnet_nas::{search, NasConfig, SearchMode, SearchSpace};
+use instantnet_nn::models::Network;
+use instantnet_quant::{BitWidth, BitWidthSet, Quantizer};
+use instantnet_train::{evaluate, PrecisionLadder, Strategy, TrainConfig, Trainer};
+
+pub use instantnet_automapper as automapper;
+pub use instantnet_data as data;
+pub use instantnet_dataflow as dataflow;
+pub use instantnet_hwmodel as hwmodel;
+pub use instantnet_nas as nas;
+pub use instantnet_nn as nn;
+pub use instantnet_quant as quant;
+pub use instantnet_tensor as tensor;
+pub use instantnet_train as train;
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Candidate bit-widths the deployed network switches between.
+    pub bits: BitWidthSet,
+    /// Quantization rule (the paper uses SBM).
+    pub quantizer: Quantizer,
+    /// Searchable slots in the NAS macro-architecture.
+    pub nas_slots: usize,
+    /// NAS hyper-parameters.
+    pub nas: NasConfig,
+    /// Search strategy (SP-NAS by default; FP/LP-NAS for ablations).
+    pub search_mode: SearchMode,
+    /// Training-from-scratch hyper-parameters for the derived network.
+    pub train: TrainConfig,
+    /// AutoMapper hyper-parameters.
+    pub mapper: MapperConfig,
+    /// Deployment target.
+    pub device: Device,
+    /// Inference batch size used for hardware evaluation.
+    pub hw_batch: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl PipelineConfig {
+    /// A configuration sized for seconds-scale end-to-end runs (tests,
+    /// quickstart example).
+    pub fn quick() -> Self {
+        PipelineConfig {
+            bits: BitWidthSet::new(vec![4, 32]).expect("static set"),
+            quantizer: Quantizer::Sbm,
+            nas_slots: 3,
+            nas: NasConfig {
+                epochs: 2,
+                ..NasConfig::default()
+            },
+            search_mode: SearchMode::SpNas,
+            train: TrainConfig {
+                epochs: 4,
+                ..TrainConfig::default()
+            },
+            mapper: MapperConfig {
+                max_evals: 200,
+                ..MapperConfig::default()
+            },
+            device: Device::eyeriss_like(),
+            hw_batch: 1,
+            seed: 0,
+        }
+    }
+
+    /// The experiment-scale configuration used by the benchmark binaries.
+    pub fn experiment(bits: BitWidthSet, device: Device) -> Self {
+        PipelineConfig {
+            bits,
+            quantizer: Quantizer::Sbm,
+            nas_slots: 4,
+            nas: NasConfig {
+                epochs: 5,
+                ..NasConfig::default()
+            },
+            search_mode: SearchMode::SpNas,
+            train: TrainConfig {
+                epochs: 12,
+                ..TrainConfig::default()
+            },
+            mapper: MapperConfig {
+                max_evals: 500,
+                ..MapperConfig::default()
+            },
+            device,
+            hw_batch: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// One deployable accuracy-efficiency operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Bit-width of this point.
+    pub bits: BitWidth,
+    /// Test accuracy in `[0, 1]`.
+    pub accuracy: f32,
+    /// Inference energy (pJ).
+    pub energy_pj: f64,
+    /// Inference latency (s).
+    pub latency_s: f64,
+    /// Energy-delay product (pJ·s).
+    pub edp: f64,
+    /// Throughput (frames per second).
+    pub fps: f64,
+}
+
+/// The pipeline's final artifact: a trained switchable-precision network's
+/// per-bit-width operating points on the target device.
+#[derive(Debug, Clone)]
+pub struct DeploymentReport {
+    arch: String,
+    flops: u64,
+    points: Vec<OperatingPoint>,
+}
+
+impl DeploymentReport {
+    /// Creates a report (used by the pipeline and by baseline builders).
+    pub fn new(arch: impl Into<String>, flops: u64, points: Vec<OperatingPoint>) -> Self {
+        DeploymentReport {
+            arch: arch.into(),
+            flops,
+            points,
+        }
+    }
+
+    /// Architecture description string.
+    pub fn arch(&self) -> &str {
+        &self.arch
+    }
+
+    /// Single-sample FLOPs of the deployed network.
+    pub fn flops(&self) -> u64 {
+        self.flops
+    }
+
+    /// Operating points, lowest bit-width first.
+    pub fn points(&self) -> &[OperatingPoint] {
+        &self.points
+    }
+
+    /// Runtime bit-width selection: the most accurate operating point whose
+    /// energy fits `energy_budget_pj`, if any — the instantaneous
+    /// accuracy-efficiency trade-off SP-Nets exist for.
+    pub fn select(&self, energy_budget_pj: f64) -> Option<&OperatingPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.energy_pj <= energy_budget_pj)
+            .max_by(|a, b| {
+                a.accuracy
+                    .partial_cmp(&b.accuracy)
+                    .expect("finite accuracies")
+            })
+    }
+
+    /// The accuracy-vs-EDP Pareto frontier (Fig. 6's axes): operating
+    /// points not dominated by any other point (higher-or-equal accuracy at
+    /// lower-or-equal EDP, strictly better in one).
+    pub fn pareto_frontier(&self) -> Vec<&OperatingPoint> {
+        self.points
+            .iter()
+            .filter(|p| {
+                !self.points.iter().any(|q| {
+                    q.accuracy >= p.accuracy
+                        && q.edp <= p.edp
+                        && (q.accuracy > p.accuracy || q.edp < p.edp)
+                })
+            })
+            .collect()
+    }
+
+    /// Whether this report dominates `other` at every shared bit-width
+    /// (accuracy ≥ and EDP ≤, strictly better in at least one metric
+    /// somewhere) — the Fig. 6 comparison criterion.
+    pub fn dominates(&self, other: &DeploymentReport) -> bool {
+        let mut strictly_better = false;
+        for p in &self.points {
+            let Some(q) = other.points.iter().find(|q| q.bits == p.bits) else {
+                continue;
+            };
+            if p.accuracy < q.accuracy || p.edp > q.edp {
+                return false;
+            }
+            if p.accuracy > q.accuracy || p.edp < q.edp {
+                strictly_better = true;
+            }
+        }
+        strictly_better
+    }
+
+    /// Renders the report as CSV (`bits,accuracy,energy_pj,latency_s,edp,fps`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("bits,accuracy,energy_pj,latency_s,edp,fps\n");
+        for p in &self.points {
+            out.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                p.bits.get(),
+                p.accuracy,
+                p.energy_pj,
+                p.latency_s,
+                p.edp,
+                p.fps
+            ));
+        }
+        out
+    }
+}
+
+/// The end-to-end InstantNet pipeline.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    cfg: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Creates a pipeline.
+    pub fn new(cfg: PipelineConfig) -> Self {
+        Pipeline { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// Runs generation (SP-NAS), training (CDT) and deployment
+    /// (AutoMapper) and returns the deployment report.
+    pub fn run(&self, ds: &Dataset) -> DeploymentReport {
+        let (net, arch_desc) = self.generate_and_train(ds);
+        self.deploy(ds, &net, &arch_desc)
+    }
+
+    /// Stage 1+2: search an architecture and CDT-train it from scratch.
+    pub fn generate_and_train(&self, ds: &Dataset) -> (Network, String) {
+        let cfg = &self.cfg;
+        let space = SearchSpace::cifar_tiny(cfg.nas_slots);
+        let outcome = search(&space, ds, &cfg.bits, cfg.search_mode, cfg.nas);
+        let net = outcome
+            .arch
+            .build_network(ds.num_classes(), cfg.bits.len(), cfg.seed);
+        let ladder = PrecisionLadder::uniform(&cfg.bits);
+        Trainer::new(cfg.train).train(&net, ds, &ladder, Strategy::cdt());
+        (net, outcome.arch.describe())
+    }
+
+    /// Stage 3: per-bit-width accuracy evaluation and dataflow search.
+    pub fn deploy(&self, ds: &Dataset, net: &Network, arch_desc: &str) -> DeploymentReport {
+        let cfg = &self.cfg;
+        let ladder = PrecisionLadder::uniform(&cfg.bits);
+        let workloads = workloads_from_specs(&net.specs(), cfg.hw_batch);
+        let points = cfg
+            .bits
+            .widths()
+            .iter()
+            .enumerate()
+            .map(|(i, &bits)| {
+                let accuracy = evaluate(
+                    net,
+                    ds.test(),
+                    &ladder,
+                    i,
+                    cfg.quantizer,
+                    cfg.train.batch_size,
+                );
+                let hw_bits = bits.get().min(16); // full precision deploys as 16-bit fixed point
+                let (_, cost) = map_network(&workloads, &cfg.device, hw_bits, &cfg.mapper);
+                OperatingPoint {
+                    bits,
+                    accuracy,
+                    energy_pj: cost.energy_pj,
+                    latency_s: cost.latency_s,
+                    edp: cost.edp(),
+                    fps: cost.fps,
+                }
+            })
+            .collect();
+        DeploymentReport::new(arch_desc, net.flops(), points)
+    }
+}
+
+/// Builds the Fig. 6 "SOTA IoT system" baseline: a manually designed
+/// SP-Net (a fixed MobileNetV2-style stack, i.e. no architecture search)
+/// trained with SP's vanilla distillation, deployed with the expert
+/// dataflow for the device (Eyeriss row-stationary on ASIC, CHaiDNN on
+/// FPGA).
+pub fn baseline_system(ds: &Dataset, cfg: &PipelineConfig) -> DeploymentReport {
+    use instantnet_hwmodel::{baselines, evaluate_network, Platform, Workload};
+    let net = instantnet_nn::models::mobilenet_v2(
+        0.15,
+        3,
+        ds.num_classes(),
+        (ds.hw(), ds.hw()),
+        cfg.bits.len(),
+        cfg.seed,
+    );
+    let ladder = PrecisionLadder::uniform(&cfg.bits);
+    Trainer::new(cfg.train).train(&net, ds, &ladder, Strategy::sp_net());
+    let workloads = workloads_from_specs(&net.specs(), cfg.hw_batch);
+    let points = cfg
+        .bits
+        .widths()
+        .iter()
+        .enumerate()
+        .map(|(i, &bits)| {
+            let accuracy = evaluate(
+                &net,
+                ds.test(),
+                &ladder,
+                i,
+                cfg.quantizer,
+                cfg.train.batch_size,
+            );
+            let hw_bits = bits.get().min(16);
+            let mappings: Vec<_> = workloads
+                .iter()
+                .map(|w: &Workload| match cfg.device.platform {
+                    Platform::Asic => {
+                        baselines::eyeriss_row_stationary(&w.dims, &cfg.device, hw_bits)
+                    }
+                    Platform::Fpga => baselines::chaidnn_mapping(&w.dims, &cfg.device, hw_bits),
+                })
+                .collect();
+            let cost = evaluate_network(&workloads, &mappings, &cfg.device, hw_bits)
+                .expect("expert baselines are legalized");
+            OperatingPoint {
+                bits,
+                accuracy,
+                energy_pj: cost.energy_pj,
+                latency_s: cost.latency_s,
+                edp: cost.edp(),
+                fps: cost.fps,
+            }
+        })
+        .collect();
+    DeploymentReport::new("manual-mobilenetv2", net.flops(), points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instantnet_data::DatasetSpec;
+
+    #[test]
+    fn quick_pipeline_produces_one_point_per_bitwidth() {
+        let ds = Dataset::generate(&DatasetSpec::tiny());
+        let report = Pipeline::new(PipelineConfig::quick()).run(&ds);
+        assert_eq!(report.points().len(), 2);
+        assert!(!report.arch().is_empty());
+        assert!(report.flops() > 0);
+        for p in report.points() {
+            assert!(p.accuracy >= 0.0 && p.accuracy <= 1.0);
+            assert!(p.energy_pj > 0.0);
+            assert!(p.edp > 0.0);
+            assert!(p.fps > 0.0);
+        }
+    }
+
+    #[test]
+    fn lower_bits_have_lower_energy() {
+        let ds = Dataset::generate(&DatasetSpec::tiny());
+        let report = Pipeline::new(PipelineConfig::quick()).run(&ds);
+        let p = report.points();
+        assert!(p[0].bits < p[1].bits);
+        assert!(
+            p[0].energy_pj < p[1].energy_pj,
+            "4-bit energy {} vs 32-bit {}",
+            p[0].energy_pj,
+            p[1].energy_pj
+        );
+    }
+
+    fn mk(bits: u8, acc: f32, e: f64) -> OperatingPoint {
+        OperatingPoint {
+            bits: BitWidth::new(bits),
+            accuracy: acc,
+            energy_pj: e,
+            latency_s: 1e-3,
+            edp: e * 1e-3,
+            fps: 1000.0,
+        }
+    }
+
+    #[test]
+    fn pareto_frontier_drops_dominated_points() {
+        // 8-bit here is dominated by 4-bit (lower accuracy, higher EDP).
+        let report = DeploymentReport::new(
+            "x",
+            1,
+            vec![mk(4, 0.7, 10.0), mk(8, 0.65, 40.0), mk(32, 0.8, 100.0)],
+        );
+        let frontier = report.pareto_frontier();
+        let bits: Vec<u8> = frontier.iter().map(|p| p.bits.get()).collect();
+        assert_eq!(bits, vec![4, 32]);
+    }
+
+    #[test]
+    fn dominates_requires_weak_better_everywhere() {
+        let ours = DeploymentReport::new("a", 1, vec![mk(4, 0.7, 10.0), mk(8, 0.8, 20.0)]);
+        let worse = DeploymentReport::new("b", 1, vec![mk(4, 0.65, 12.0), mk(8, 0.8, 20.0)]);
+        let mixed = DeploymentReport::new("c", 1, vec![mk(4, 0.75, 5.0), mk(8, 0.7, 30.0)]);
+        assert!(ours.dominates(&worse));
+        assert!(!ours.dominates(&mixed));
+        assert!(!ours.dominates(&ours), "no strict improvement over itself");
+    }
+
+    #[test]
+    fn csv_export_has_header_and_rows() {
+        let report = DeploymentReport::new("x", 1, vec![mk(4, 0.7, 10.0)]);
+        let csv = report.to_csv();
+        assert!(csv.starts_with("bits,accuracy"));
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.contains("4,0.7,10"));
+    }
+
+    #[test]
+    fn select_respects_energy_budget() {
+        let points = vec![
+            OperatingPoint {
+                bits: BitWidth::new(4),
+                accuracy: 0.6,
+                energy_pj: 10.0,
+                latency_s: 1e-3,
+                edp: 0.01,
+                fps: 1000.0,
+            },
+            OperatingPoint {
+                bits: BitWidth::new(8),
+                accuracy: 0.8,
+                energy_pj: 40.0,
+                latency_s: 2e-3,
+                edp: 0.08,
+                fps: 500.0,
+            },
+        ];
+        let report = DeploymentReport::new("x", 1, points);
+        assert_eq!(report.select(50.0).unwrap().bits.get(), 8);
+        assert_eq!(report.select(15.0).unwrap().bits.get(), 4);
+        assert!(report.select(1.0).is_none());
+    }
+}

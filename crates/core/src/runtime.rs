@@ -1,0 +1,245 @@
+//! IoT runtime simulation: switching a deployed SP-Net's bit-width under a
+//! time-varying energy budget.
+//!
+//! The paper's motivation is that "IoT applications often have dynamic
+//! time/energy constraints over time"; an SP-Net lets the runtime allocate
+//! bit-widths on the fly. This module provides synthetic harvested-energy
+//! traces and switching policies over a [`crate::DeploymentReport`], so the
+//! end-to-end benefit of instantaneous switching can be quantified.
+
+use crate::{DeploymentReport, OperatingPoint};
+
+/// A per-timestep energy budget trace (pJ available per inference).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyTrace {
+    budgets: Vec<f64>,
+}
+
+impl EnergyTrace {
+    /// Wraps an explicit budget sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budgets` is empty or contains a non-finite value.
+    pub fn new(budgets: Vec<f64>) -> Self {
+        assert!(!budgets.is_empty(), "trace must not be empty");
+        assert!(
+            budgets.iter().all(|b| b.is_finite() && *b >= 0.0),
+            "budgets must be finite and non-negative"
+        );
+        EnergyTrace { budgets }
+    }
+
+    /// A sinusoidal harvest profile oscillating between `lo` and `hi`
+    /// over `steps` steps with `cycles` full periods — a day/night solar
+    /// pattern.
+    pub fn sinusoidal(lo: f64, hi: f64, steps: usize, cycles: f64) -> Self {
+        assert!(steps > 0 && hi >= lo, "invalid trace parameters");
+        let budgets = (0..steps)
+            .map(|t| {
+                let phase = cycles * std::f64::consts::TAU * t as f64 / steps as f64;
+                lo + (hi - lo) * 0.5 * (1.0 - phase.cos())
+            })
+            .collect();
+        EnergyTrace { budgets }
+    }
+
+    /// The budget sequence.
+    pub fn budgets(&self) -> &[f64] {
+        &self.budgets
+    }
+
+    /// Number of timesteps.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.budgets.len()
+    }
+}
+
+/// Bit-width switching policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Policy {
+    /// Always pick the most accurate point that fits the instantaneous
+    /// budget.
+    Greedy,
+    /// Like greedy, but only switch when the current point violates the
+    /// budget or a point better by at least `margin` (accuracy fraction)
+    /// becomes affordable — trades accuracy for reconfiguration stability.
+    Hysteresis {
+        /// Minimum accuracy improvement to justify an upward switch.
+        margin: f32,
+    },
+}
+
+/// Outcome of a runtime simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeStats {
+    /// Mean accuracy over served timesteps.
+    pub mean_accuracy: f32,
+    /// Number of bit-width reconfigurations performed.
+    pub switches: usize,
+    /// Timesteps where no operating point fit the budget (inference
+    /// skipped).
+    pub dropped: usize,
+    /// Total energy consumed (pJ).
+    pub energy_pj: f64,
+    /// Chosen bit-width per timestep (`None` = dropped).
+    pub schedule: Vec<Option<u8>>,
+}
+
+/// Simulates running `report`'s operating points over `trace` with the
+/// given policy.
+pub fn simulate(report: &DeploymentReport, trace: &EnergyTrace, policy: Policy) -> RuntimeStats {
+    let mut current: Option<&OperatingPoint> = None;
+    let mut switches = 0usize;
+    let mut dropped = 0usize;
+    let mut acc_sum = 0.0f32;
+    let mut served = 0usize;
+    let mut energy = 0.0f64;
+    let mut schedule = Vec::with_capacity(trace.len());
+    for &budget in trace.budgets() {
+        let best = report.select(budget);
+        let next = match (policy, current, best) {
+            (_, _, None) => None,
+            (Policy::Greedy, _, Some(b)) => Some(b),
+            (Policy::Hysteresis { .. }, None, Some(b)) => Some(b),
+            (Policy::Hysteresis { margin }, Some(cur), Some(b)) => {
+                if cur.energy_pj > budget {
+                    Some(b) // forced downward switch
+                } else if b.accuracy > cur.accuracy + margin {
+                    Some(b) // worthwhile upward switch
+                } else {
+                    Some(cur)
+                }
+            }
+        };
+        match next {
+            Some(p) => {
+                if current.map(|c| c.bits) != Some(p.bits) {
+                    switches += 1;
+                }
+                current = Some(p);
+                acc_sum += p.accuracy;
+                served += 1;
+                energy += p.energy_pj;
+                schedule.push(Some(p.bits.get()));
+            }
+            None => {
+                dropped += 1;
+                current = None;
+                schedule.push(None);
+            }
+        }
+    }
+    RuntimeStats {
+        mean_accuracy: if served > 0 {
+            acc_sum / served as f32
+        } else {
+            0.0
+        },
+        switches,
+        dropped,
+        energy_pj: energy,
+        schedule,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeploymentReport;
+    use instantnet_quant::BitWidth;
+
+    fn demo_report() -> DeploymentReport {
+        let mk = |bits: u8, acc: f32, e: f64| OperatingPoint {
+            bits: BitWidth::new(bits),
+            accuracy: acc,
+            energy_pj: e,
+            latency_s: 1e-3,
+            edp: e * 1e-3,
+            fps: 1000.0,
+        };
+        DeploymentReport::new(
+            "demo",
+            1,
+            vec![mk(4, 0.60, 10.0), mk(8, 0.70, 30.0), mk(32, 0.75, 100.0)],
+        )
+    }
+
+    #[test]
+    fn sinusoidal_trace_spans_range() {
+        let t = EnergyTrace::sinusoidal(10.0, 100.0, 48, 2.0);
+        let min = t.budgets().iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = t.budgets().iter().cloned().fold(0.0, f64::max);
+        assert!(min < 12.0);
+        assert!(max > 98.0);
+        assert_eq!(t.len(), 48);
+    }
+
+    #[test]
+    fn greedy_tracks_the_budget() {
+        let report = demo_report();
+        let trace = EnergyTrace::new(vec![5.0, 15.0, 50.0, 200.0]);
+        let stats = simulate(&report, &trace, Policy::Greedy);
+        assert_eq!(
+            stats.schedule,
+            vec![None, Some(4), Some(8), Some(32)],
+            "one step per affordability tier"
+        );
+        assert_eq!(stats.dropped, 1);
+    }
+
+    #[test]
+    fn hysteresis_switches_less_than_greedy() {
+        let report = demo_report();
+        // Budget oscillates across the 8/32 boundary every step.
+        let trace = EnergyTrace::new(
+            (0..40)
+                .map(|t| if t % 2 == 0 { 35.0 } else { 120.0 })
+                .collect(),
+        );
+        let greedy = simulate(&report, &trace, Policy::Greedy);
+        let lazy = simulate(&report, &trace, Policy::Hysteresis { margin: 0.2 });
+        assert!(
+            lazy.switches < greedy.switches,
+            "hysteresis {} vs greedy {}",
+            lazy.switches,
+            greedy.switches
+        );
+        assert!(lazy.mean_accuracy <= greedy.mean_accuracy + 1e-6);
+    }
+
+    #[test]
+    fn hysteresis_still_respects_budget() {
+        let report = demo_report();
+        let trace = EnergyTrace::new(vec![120.0, 120.0, 12.0, 12.0]);
+        let stats = simulate(&report, &trace, Policy::Hysteresis { margin: 0.5 });
+        // Forced downward switch when 32-bit stops fitting.
+        assert_eq!(stats.schedule[2], Some(4));
+        for (b, s) in trace.budgets().iter().zip(&stats.schedule) {
+            if let Some(bits) = s {
+                let p = report
+                    .points()
+                    .iter()
+                    .find(|p| p.bits.get() == *bits)
+                    .unwrap();
+                assert!(p.energy_pj <= *b);
+            }
+        }
+    }
+
+    #[test]
+    fn energy_accounting_sums_served_points() {
+        let report = demo_report();
+        let trace = EnergyTrace::new(vec![15.0, 15.0]);
+        let stats = simulate(&report, &trace, Policy::Greedy);
+        assert_eq!(stats.energy_pj, 20.0);
+        assert_eq!(stats.switches, 1, "initial selection counts once");
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_trace_rejected() {
+        let _ = EnergyTrace::new(vec![]);
+    }
+}

@@ -1,0 +1,177 @@
+//! Emission of mappings as human-readable nested-loop listings — the
+//! "commonly used nested for-loop descriptions" the paper builds its
+//! design space on (Fig. 3).
+
+use crate::{ConvDims, Dim, LoopOrder, Mapping, Tiling};
+use std::fmt::Write as _;
+
+/// Emits one memory level's loops, outermost first, skipping unit factors.
+fn emit_level(
+    out: &mut String,
+    label: &str,
+    tiling: &Tiling,
+    order: &LoopOrder,
+    indent: &mut usize,
+) {
+    let mut wrote_header = false;
+    for &d in order.dims() {
+        let f = tiling.factor(d);
+        if f == 1 {
+            continue;
+        }
+        if !wrote_header {
+            let _ = writeln!(out, "{}// --- {label} ---", "  ".repeat(*indent));
+            wrote_header = true;
+        }
+        let _ = writeln!(
+            out,
+            "{}for {}{} in 0..{} {{",
+            "  ".repeat(*indent),
+            d.to_string().to_lowercase(),
+            indent,
+            f
+        );
+        *indent += 1;
+    }
+}
+
+/// Renders a [`Mapping`] as a nested `for`-loop pseudocode listing with one
+/// section per memory level plus the spatial (`parallel_for`) unrolling,
+/// ending in the MAC statement.
+///
+/// # Example
+///
+/// ```
+/// use instantnet_dataflow::{emit_loop_nest, ConvDims, Mapping};
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let dims = ConvDims::new(1, 8, 4, 4, 4, 3, 3, 1);
+/// let mapping = Mapping::random(&dims, &mut StdRng::seed_from_u64(0));
+/// let listing = emit_loop_nest(&dims, &mapping);
+/// assert!(listing.contains("MAC"));
+/// ```
+pub fn emit_loop_nest(dims: &ConvDims, mapping: &Mapping) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "// layer {dims}  ({} mode)",
+        if mapping.pipelined { "pipeline" } else { "multi-cycle" }
+    );
+    let mut indent = 0usize;
+    emit_level(&mut out, "DRAM", &mapping.dram, &mapping.order_dram, &mut indent);
+    emit_level(
+        &mut out,
+        "global buffer",
+        &mapping.gbuf,
+        &mapping.order_gbuf,
+        &mut indent,
+    );
+    // Spatial level: parallel_for over the PE array.
+    let mut wrote = false;
+    for d in Dim::ALL {
+        let f = mapping.spatial.factor(d);
+        if f == 1 {
+            continue;
+        }
+        if !wrote {
+            let _ = writeln!(out, "{}// --- PE array (spatial) ---", "  ".repeat(indent));
+            wrote = true;
+        }
+        let _ = writeln!(
+            out,
+            "{}parallel_for {}_pe in 0..{} {{",
+            "  ".repeat(indent),
+            d.to_string().to_lowercase(),
+            f
+        );
+        indent += 1;
+    }
+    // RF level in canonical order (order has no cost effect at this level).
+    emit_level(
+        &mut out,
+        "register file",
+        &mapping.rf,
+        &LoopOrder::canonical(),
+        &mut indent,
+    );
+    let _ = writeln!(
+        out,
+        "{}O[n][k][y][x] += W[k][c][r][s] * I[n][c][y*{}+r][x*{}+s]; // MAC",
+        "  ".repeat(indent),
+        dims.stride,
+        dims.stride
+    );
+    for i in (0..indent).rev() {
+        let _ = writeln!(out, "{}}}", "  ".repeat(i));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> (ConvDims, Mapping) {
+        let dims = ConvDims::new(1, 8, 4, 6, 6, 3, 3, 1);
+        let mapping = Mapping::random(&dims, &mut StdRng::seed_from_u64(1));
+        (dims, mapping)
+    }
+
+    #[test]
+    fn listing_is_balanced() {
+        let (dims, mapping) = sample();
+        let s = emit_loop_nest(&dims, &mapping);
+        let opens = s.matches('{').count();
+        let closes = s.matches('}').count();
+        assert_eq!(opens, closes, "unbalanced braces in:\n{s}");
+    }
+
+    #[test]
+    fn listing_contains_mac_and_mode() {
+        let (dims, mut mapping) = sample();
+        mapping.pipelined = true;
+        let s = emit_loop_nest(&dims, &mapping);
+        assert!(s.contains("MAC"));
+        assert!(s.contains("pipeline"));
+    }
+
+    #[test]
+    fn unit_factors_are_skipped() {
+        let dims = ConvDims::new(1, 1, 1, 1, 1, 1, 1, 1);
+        let mapping = crate::Mapping {
+            dram: Tiling::unit(),
+            gbuf: Tiling::unit(),
+            spatial: Tiling::unit(),
+            rf: Tiling::unit(),
+            order_dram: LoopOrder::canonical(),
+            order_gbuf: LoopOrder::canonical(),
+            pipelined: false,
+        };
+        let s = emit_loop_nest(&dims, &mapping);
+        assert!(!s.contains("for "), "no loops expected:\n{s}");
+        assert!(s.contains("MAC"));
+    }
+
+    #[test]
+    fn loop_count_matches_nonunit_factors() {
+        let (dims, mapping) = sample();
+        let s = emit_loop_nest(&dims, &mapping);
+        let expected = Dim::ALL
+            .iter()
+            .map(|&d| {
+                [
+                    mapping.dram.factor(d),
+                    mapping.gbuf.factor(d),
+                    mapping.spatial.factor(d),
+                    mapping.rf.factor(d),
+                ]
+                .iter()
+                .filter(|&&f| f > 1)
+                .count()
+            })
+            .sum::<usize>();
+        let actual = s.matches("for ").count(); // includes parallel_for
+        assert_eq!(actual, expected);
+    }
+}

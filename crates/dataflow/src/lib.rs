@@ -1,0 +1,259 @@
+//! The generic dataflow design space of InstantNet's AutoMapper (§III-D).
+//!
+//! A convolution is a 7-deep loop nest over
+//! `(N, K, C, Y, X, R, S)`. Executing it on a tiled accelerator
+//! (DRAM → global buffer → PE-array register files → MACs) requires choosing,
+//! per memory level:
+//!
+//! * **loop-size** — the tiling factor of each dimension at that level
+//!   ([`Tiling`]);
+//! * **loop-order** — the processing order of the dimensions
+//!   ([`LoopOrder`]), which determines temporal reuse (an irrelevant loop
+//!   nested *inside* all of a tensor's relevant loops lets its tile stay
+//!   resident);
+//! * **spatial unrolling** — which dimensions are spread across the PE
+//!   array;
+//! * **pipeline vs multi-cycle** — whether layers share the fabric in a
+//!   pipeline or execute sequentially ([`Mapping::pipelined`]).
+//!
+//! The space is deliberately free of device parameters; costing lives in
+//! `instantnet-hwmodel`.
+//!
+//! # Example
+//!
+//! ```
+//! use instantnet_dataflow::{ConvDims, Mapping};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let dims = ConvDims::new(1, 64, 32, 16, 16, 3, 3, 1);
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let m = Mapping::random(&dims, &mut rng);
+//! assert!(m.covers(&dims));
+//! ```
+
+pub mod emit;
+pub mod mapping;
+pub mod serialize;
+pub mod space;
+
+pub use emit::emit_loop_nest;
+pub use serialize::{mapping_from_text, mapping_to_text, ParseMappingError};
+pub use mapping::{LoopOrder, Mapping, Tiling};
+pub use space::{log10_space_size, PerturbKind};
+
+use std::fmt;
+
+/// The seven dimensions of a convolutional loop nest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dim {
+    /// Batch.
+    N,
+    /// Output channels (filters).
+    K,
+    /// Input channels.
+    C,
+    /// Output rows.
+    Y,
+    /// Output columns.
+    X,
+    /// Kernel rows.
+    R,
+    /// Kernel columns.
+    S,
+}
+
+impl Dim {
+    /// All seven dimensions in canonical order.
+    pub const ALL: [Dim; 7] = [Dim::N, Dim::K, Dim::C, Dim::Y, Dim::X, Dim::R, Dim::S];
+
+    /// Canonical index (position in [`Dim::ALL`]).
+    pub fn index(&self) -> usize {
+        Dim::ALL.iter().position(|d| d == self).expect("member")
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Dim::N => "N",
+            Dim::K => "K",
+            Dim::C => "C",
+            Dim::Y => "Y",
+            Dim::X => "X",
+            Dim::R => "R",
+            Dim::S => "S",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The three operand tensors of a convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TensorKind {
+    /// Filter weights, indexed by `(K, C, R, S)`.
+    Weight,
+    /// Input activations, indexed by `(N, C, Y±R, X±S)`.
+    Input,
+    /// Output activations / partial sums, indexed by `(N, K, Y, X)`.
+    Output,
+}
+
+impl TensorKind {
+    /// All three operands.
+    pub const ALL: [TensorKind; 3] = [TensorKind::Weight, TensorKind::Input, TensorKind::Output];
+
+    /// Whether iterating `dim` changes which elements of this tensor are
+    /// touched.
+    pub fn relevant(&self, dim: Dim) -> bool {
+        match self {
+            TensorKind::Weight => matches!(dim, Dim::K | Dim::C | Dim::R | Dim::S),
+            TensorKind::Input => !matches!(dim, Dim::K),
+            TensorKind::Output => matches!(dim, Dim::N | Dim::K | Dim::Y | Dim::X),
+        }
+    }
+}
+
+/// The loop bounds of one convolution layer.
+///
+/// `y`/`x` are *output* spatial extents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvDims {
+    /// Batch size.
+    pub n: usize,
+    /// Output channels.
+    pub k: usize,
+    /// Input channels (per group; grouped convs pass `c / groups`).
+    pub c: usize,
+    /// Output rows.
+    pub y: usize,
+    /// Output columns.
+    pub x: usize,
+    /// Kernel rows.
+    pub r: usize,
+    /// Kernel columns.
+    pub s: usize,
+    /// Spatial stride.
+    pub stride: usize,
+}
+
+impl ConvDims {
+    /// Creates loop bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bound or the stride is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        n: usize,
+        k: usize,
+        c: usize,
+        y: usize,
+        x: usize,
+        r: usize,
+        s: usize,
+        stride: usize,
+    ) -> Self {
+        assert!(
+            [n, k, c, y, x, r, s, stride].iter().all(|&v| v > 0),
+            "all conv dims must be positive"
+        );
+        ConvDims {
+            n,
+            k,
+            c,
+            y,
+            x,
+            r,
+            s,
+            stride,
+        }
+    }
+
+    /// Loop bound of a dimension.
+    pub fn bound(&self, dim: Dim) -> usize {
+        match dim {
+            Dim::N => self.n,
+            Dim::K => self.k,
+            Dim::C => self.c,
+            Dim::Y => self.y,
+            Dim::X => self.x,
+            Dim::R => self.r,
+            Dim::S => self.s,
+        }
+    }
+
+    /// Total multiply-accumulates.
+    pub fn macs(&self) -> u64 {
+        (self.n * self.k * self.c * self.y * self.x * self.r * self.s) as u64
+    }
+
+    /// Full-tensor element counts `(weights, inputs, outputs)`.
+    pub fn tensor_sizes(&self) -> (u64, u64, u64) {
+        let w = (self.k * self.c * self.r * self.s) as u64;
+        let ih = (self.y - 1) * self.stride + self.r;
+        let iw = (self.x - 1) * self.stride + self.s;
+        let i = (self.n * self.c * ih * iw) as u64;
+        let o = (self.n * self.k * self.y * self.x) as u64;
+        (w, i, o)
+    }
+}
+
+impl fmt::Display for ConvDims {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "N{} K{} C{} Y{} X{} R{} S{} /{}",
+            self.n, self.k, self.c, self.y, self.x, self.r, self.s, self.stride
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relevance_table_matches_conv_semantics() {
+        use Dim::*;
+        assert!(TensorKind::Weight.relevant(K));
+        assert!(!TensorKind::Weight.relevant(N));
+        assert!(!TensorKind::Weight.relevant(Y));
+        assert!(TensorKind::Input.relevant(C));
+        assert!(TensorKind::Input.relevant(R));
+        assert!(!TensorKind::Input.relevant(K));
+        assert!(TensorKind::Output.relevant(K));
+        assert!(!TensorKind::Output.relevant(C));
+        assert!(!TensorKind::Output.relevant(R));
+    }
+
+    #[test]
+    fn macs_and_sizes() {
+        let d = ConvDims::new(1, 4, 3, 8, 8, 3, 3, 1);
+        assert_eq!(d.macs(), 4 * 3 * 64 * 9);
+        let (w, i, o) = d.tensor_sizes();
+        assert_eq!(w, 4 * 3 * 9);
+        assert_eq!(i, 3 * 10 * 10);
+        assert_eq!(o, 4 * 64);
+    }
+
+    #[test]
+    fn strided_input_halo() {
+        let d = ConvDims::new(1, 1, 1, 4, 4, 3, 3, 2);
+        let (_, i, _) = d.tensor_sizes();
+        // (4-1)*2+3 = 9 per side.
+        assert_eq!(i, 81);
+    }
+
+    #[test]
+    fn dim_index_roundtrip() {
+        for (i, d) in Dim::ALL.iter().enumerate() {
+            assert_eq!(d.index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_rejected() {
+        let _ = ConvDims::new(0, 1, 1, 1, 1, 1, 1, 1);
+    }
+}

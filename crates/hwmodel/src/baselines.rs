@@ -1,0 +1,299 @@
+//! The paper's comparison dataflows, re-implemented as policies over the
+//! generic mapping space so Fig. 5 compares like with like.
+
+use crate::cost::{evaluate_layer, MapError};
+use crate::device::Device;
+use instantnet_dataflow::{ConvDims, Dim, LoopOrder, Mapping, Tiling};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Builds a mapping where every loop runs at the DRAM level — legal on any
+/// device that can hold one element per tensor; the universal fallback.
+pub fn outermost_mapping(dims: &ConvDims, pipelined: bool) -> Mapping {
+    let mut dram = Tiling::unit();
+    for d in Dim::ALL {
+        dram.set(d, dims.bound(d));
+    }
+    Mapping {
+        dram,
+        gbuf: Tiling::unit(),
+        spatial: Tiling::unit(),
+        rf: Tiling::unit(),
+        order_dram: LoopOrder::canonical(),
+        order_gbuf: LoopOrder::canonical(),
+        pipelined,
+    }
+}
+
+/// Shrinks a mapping's inner tiles until it fits `device`, by migrating
+/// factors outward (RF → buffer → DRAM, spatial → buffer). Returns the
+/// legalized mapping (falls back to [`outermost_mapping`] after too many
+/// repairs).
+pub fn legalize(mut m: Mapping, dims: &ConvDims, device: &Device, bits: u8) -> Mapping {
+    for _ in 0..256 {
+        match evaluate_layer(dims, &m, device, bits) {
+            Ok(_) => return m,
+            Err(MapError::SpatialOverflow { .. }) => {
+                if !shrink_level(&mut m, Shrink::Spatial) {
+                    break;
+                }
+            }
+            Err(MapError::RfOverflow { .. }) => {
+                if !shrink_level(&mut m, Shrink::Rf) {
+                    break;
+                }
+            }
+            Err(MapError::GbufOverflow { .. }) => {
+                if !shrink_level(&mut m, Shrink::Gbuf) {
+                    break;
+                }
+            }
+        }
+    }
+    outermost_mapping(dims, m.pipelined)
+}
+
+enum Shrink {
+    Spatial,
+    Rf,
+    Gbuf,
+}
+
+/// Halves the largest factor at the offending level, pushing it one level
+/// out. Returns `false` when nothing is left to shrink.
+fn shrink_level(m: &mut Mapping, which: Shrink) -> bool {
+    let (tiling, dest_is_gbuf): (&mut Tiling, bool) = match which {
+        Shrink::Spatial => (&mut m.spatial, true),
+        Shrink::Rf => (&mut m.rf, true),
+        Shrink::Gbuf => (&mut m.gbuf, false),
+    };
+    let mut best: Option<(Dim, usize)> = None;
+    for d in Dim::ALL {
+        let f = tiling.factor(d);
+        if f > 1 && best.map_or(true, |(_, bf)| f > bf) {
+            best = Some((d, f));
+        }
+    }
+    let Some((d, f)) = best else {
+        return false;
+    };
+    let keep = f / 2;
+    let moved = f.div_ceil(keep.max(1));
+    tiling.set(d, keep.max(1));
+    if dest_is_gbuf {
+        let g = m.gbuf.factor(d);
+        m.gbuf.set(d, g * moved);
+    } else {
+        let g = m.dram.factor(d);
+        m.dram.set(d, g * moved);
+    }
+    true
+}
+
+/// Eyeriss-style row-stationary dataflow (Chen et al., ISCA'16): kernel
+/// rows `R` and output rows `Y` are unrolled across the PE array, a row of
+/// weights and the matching input row live in each PE's register file, and
+/// the buffer-level order keeps input reuse high.
+pub fn eyeriss_row_stationary(dims: &ConvDims, device: &Device, bits: u8) -> Mapping {
+    let mut spatial = Tiling::unit();
+    // PE rows hold R, PE columns hold a stripe of Y (Eyeriss maps logical
+    // R x Y onto the physical array). Our spatial menu exposes Y directly.
+    let y_cols = (device.pe_count as usize / dims.r).clamp(1, dims.y);
+    spatial.set(Dim::Y, y_cols);
+    let mut rf = Tiling::unit();
+    rf.set(Dim::R, dims.r); // a full kernel row per PE (row-stationary)
+    rf.set(Dim::S, dims.s);
+    rf.set(Dim::X, dims.x.min(8)); // sliding window along the row
+    let mut gbuf = Tiling::unit();
+    gbuf.set(Dim::C, dims.c.min(8));
+    gbuf.set(Dim::K, dims.k.min(16));
+    gbuf.set(Dim::Y, dims.y.div_ceil(y_cols));
+    gbuf.set(Dim::X, dims.x.div_ceil(dims.x.min(8)));
+    let mut dram = Tiling::unit();
+    dram.set(Dim::N, dims.n);
+    dram.set(Dim::C, dims.c.div_ceil(dims.c.min(8)));
+    dram.set(Dim::K, dims.k.div_ceil(dims.k.min(16)));
+    let m = Mapping {
+        dram,
+        gbuf,
+        spatial,
+        rf,
+        // Outer loops iterate channels/filters; inner spatial reuse.
+        order_dram: LoopOrder::new([Dim::N, Dim::K, Dim::C, Dim::Y, Dim::X, Dim::R, Dim::S]),
+        order_gbuf: LoopOrder::new([Dim::K, Dim::C, Dim::Y, Dim::X, Dim::N, Dim::R, Dim::S]),
+        pipelined: false,
+    };
+    legalize(m, dims, device, bits)
+}
+
+/// The MAGNet-style template set (Venkatesan et al., ICCAD'19): a small,
+/// fixed menu of loop orders. The paper argues this pre-defined menu limits
+/// generality vs AutoMapper's free orders.
+pub fn magnet_templates() -> Vec<(LoopOrder, LoopOrder)> {
+    let ws = LoopOrder::new([Dim::N, Dim::Y, Dim::X, Dim::K, Dim::C, Dim::R, Dim::S]);
+    let os = LoopOrder::new([Dim::C, Dim::R, Dim::S, Dim::N, Dim::K, Dim::Y, Dim::X]);
+    let is_ = LoopOrder::new([Dim::K, Dim::R, Dim::S, Dim::N, Dim::C, Dim::Y, Dim::X]);
+    let rs = LoopOrder::new([Dim::N, Dim::K, Dim::C, Dim::X, Dim::Y, Dim::R, Dim::S]);
+    vec![(ws, ws), (os, os), (is_, is_), (rs, rs)]
+}
+
+/// MAGNet-style search: random tilings constrained to the fixed template
+/// loop orders, best-of-`iters` by EDP.
+pub fn magnet_search(
+    dims: &ConvDims,
+    device: &Device,
+    bits: u8,
+    iters: usize,
+    rng: &mut StdRng,
+) -> Mapping {
+    let templates = magnet_templates();
+    let mut best: Option<(f64, Mapping)> = None;
+    for _ in 0..iters {
+        let mut m = Mapping::random(dims, rng);
+        let (od, og) = templates[rng.gen_range(0..templates.len())];
+        m.order_dram = od;
+        m.order_gbuf = og;
+        m.pipelined = false; // MAGNet's tiled architecture is multi-cycle
+        if let Ok(c) = evaluate_layer(dims, &m, device, bits) {
+            let edp = c.edp();
+            if best.as_ref().map_or(true, |(b, _)| edp < *b) {
+                best = Some((edp, m));
+            }
+        }
+    }
+    best.map(|(_, m)| m)
+        .unwrap_or_else(|| legalize(outermost_mapping(dims, false), dims, device, bits))
+}
+
+/// DNNBuilder-style FPGA dataflow (Zhang et al., ICCAD'18): fully
+/// pipelined layer stages, output-channel-parallel MACs, line-buffered
+/// inputs.
+pub fn dnnbuilder_mapping(dims: &ConvDims, device: &Device, bits: u8) -> Mapping {
+    let mut spatial = Tiling::unit();
+    spatial.set(Dim::K, dims.k.min(32).max(1));
+    let mut rf = Tiling::unit();
+    rf.set(Dim::R, dims.r);
+    rf.set(Dim::S, dims.s);
+    let mut gbuf = Tiling::unit();
+    gbuf.set(Dim::X, dims.x); // line buffer holds full rows
+    gbuf.set(Dim::C, dims.c.min(8));
+    let mut dram = Tiling::unit();
+    dram.set(Dim::N, dims.n);
+    dram.set(Dim::Y, dims.y);
+    dram.set(Dim::C, dims.c.div_ceil(dims.c.min(8)));
+    dram.set(Dim::K, dims.k.div_ceil(dims.k.min(32).max(1)));
+    let m = Mapping {
+        dram,
+        gbuf,
+        spatial,
+        rf,
+        order_dram: LoopOrder::new([Dim::N, Dim::Y, Dim::K, Dim::C, Dim::X, Dim::R, Dim::S]),
+        order_gbuf: LoopOrder::new([Dim::C, Dim::X, Dim::N, Dim::K, Dim::Y, Dim::R, Dim::S]),
+        pipelined: true,
+    };
+    legalize(m, dims, device, bits)
+}
+
+/// CHaiDNN-style FPGA dataflow (Xilinx): multi-cycle generic convolution
+/// engine with fixed modest tiling — robust but reuse-poor.
+pub fn chaidnn_mapping(dims: &ConvDims, device: &Device, bits: u8) -> Mapping {
+    let mut spatial = Tiling::unit();
+    spatial.set(Dim::K, dims.k.min(16));
+    let mut rf = Tiling::unit();
+    rf.set(Dim::S, dims.s);
+    let mut gbuf = Tiling::unit();
+    gbuf.set(Dim::X, dims.x.min(16));
+    gbuf.set(Dim::C, dims.c.min(4));
+    gbuf.set(Dim::R, dims.r);
+    let mut dram = Tiling::unit();
+    dram.set(Dim::N, dims.n);
+    dram.set(Dim::Y, dims.y);
+    dram.set(Dim::X, dims.x.div_ceil(dims.x.min(16)));
+    dram.set(Dim::C, dims.c.div_ceil(dims.c.min(4)));
+    dram.set(Dim::K, dims.k.div_ceil(dims.k.min(16)));
+    let m = Mapping {
+        dram,
+        gbuf,
+        spatial,
+        rf,
+        order_dram: LoopOrder::new([Dim::N, Dim::Y, Dim::X, Dim::C, Dim::K, Dim::R, Dim::S]),
+        order_gbuf: LoopOrder::new([Dim::X, Dim::C, Dim::K, Dim::N, Dim::Y, Dim::R, Dim::S]),
+        pipelined: false,
+    };
+    legalize(m, dims, device, bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn alexnet_conv2() -> ConvDims {
+        ConvDims::new(1, 256, 96, 27, 27, 5, 5, 1)
+    }
+
+    #[test]
+    fn all_baselines_produce_legal_mappings() {
+        let d = alexnet_conv2();
+        let asic = Device::eyeriss_like();
+        let fpga = Device::zc706_like();
+        for (m, dev) in [
+            (eyeriss_row_stationary(&d, &asic, 16), &asic),
+            (dnnbuilder_mapping(&d, &fpga, 16), &fpga),
+            (chaidnn_mapping(&d, &fpga, 16), &fpga),
+        ] {
+            assert!(m.covers(&d));
+            evaluate_layer(&d, &m, dev, 16).expect("baseline must be legal");
+        }
+    }
+
+    #[test]
+    fn legalize_repairs_oversized_mapping() {
+        let d = alexnet_conv2();
+        let dev = Device::tiny_test();
+        let mut m = outermost_mapping(&d, false);
+        // Deliberately break it.
+        for dim in Dim::ALL {
+            m.dram.set(dim, 1);
+            m.rf.set(dim, d.bound(dim));
+        }
+        let fixed = legalize(m, &d, &dev, 16);
+        assert!(fixed.covers(&d));
+        evaluate_layer(&d, &fixed, &dev, 16).expect("legalized mapping must fit");
+    }
+
+    #[test]
+    fn magnet_search_improves_over_fallback() {
+        let d = alexnet_conv2();
+        let dev = Device::eyeriss_like();
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = magnet_search(&d, &dev, 16, 200, &mut rng);
+        let edp_m = evaluate_layer(&d, &m, &dev, 16).unwrap().edp();
+        let fallback = outermost_mapping(&d, false);
+        let edp_f = evaluate_layer(&d, &fallback, &dev, 16).unwrap().edp();
+        assert!(edp_m < edp_f, "magnet {edp_m} vs fallback {edp_f}");
+    }
+
+    #[test]
+    fn eyeriss_mapping_exploits_the_array() {
+        let d = alexnet_conv2();
+        let dev = Device::eyeriss_like();
+        let m = eyeriss_row_stationary(&d, &dev, 16);
+        let c = evaluate_layer(&d, &m, &dev, 16).unwrap();
+        assert!(c.pes_used > 1, "row-stationary should use multiple PEs");
+    }
+
+    #[test]
+    fn dnnbuilder_is_pipelined_chaidnn_is_not() {
+        let d = alexnet_conv2();
+        let fpga = Device::zc706_like();
+        assert!(dnnbuilder_mapping(&d, &fpga, 16).pipelined);
+        assert!(!chaidnn_mapping(&d, &fpga, 16).pipelined);
+    }
+
+    #[test]
+    fn templates_are_valid_permutations() {
+        // Construction through LoopOrder::new already validates; just count.
+        assert_eq!(magnet_templates().len(), 4);
+    }
+}

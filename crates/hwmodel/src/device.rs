@@ -1,0 +1,136 @@
+//! Target device descriptions.
+
+use std::fmt;
+
+/// Hardware platform family — affects dataflow flexibility and defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// Application-specific integrated circuit (fully flexible dataflow).
+    Asic,
+    /// FPGA fabric (DSP-slice MACs, block-RAM buffers).
+    Fpga,
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Platform::Asic => write!(f, "ASIC"),
+            Platform::Fpga => write!(f, "FPGA"),
+        }
+    }
+}
+
+/// An accelerator target: compute array, memory hierarchy capacities,
+/// bandwidths and per-access energies (at 16-bit words, in pJ).
+///
+/// The two presets correspond to the paper's evaluation platforms:
+/// [`Device::eyeriss_like`] (65nm spatial ASIC) and [`Device::zc706_like`]
+/// (Xilinx Zynq ZC706, the paper's quoted 900-MAC FPGA board).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Device {
+    /// Device name for reports.
+    pub name: &'static str,
+    /// Platform family.
+    pub platform: Platform,
+    /// Number of processing elements (parallel MACs at 16-bit).
+    pub pe_count: u64,
+    /// Clock frequency in MHz.
+    pub freq_mhz: f64,
+    /// Global buffer capacity in bytes.
+    pub gbuf_bytes: u64,
+    /// Per-PE register file capacity in bytes.
+    pub rf_bytes_per_pe: u64,
+    /// DRAM bandwidth in bits per cycle.
+    pub dram_bw_bits: f64,
+    /// Global-buffer bandwidth in bits per cycle.
+    pub gbuf_bw_bits: f64,
+    /// DRAM access energy per 16-bit word (pJ).
+    pub e_dram_16: f64,
+    /// Global-buffer access energy per 16-bit word (pJ).
+    pub e_gbuf_16: f64,
+    /// Register-file access energy per 16-bit word (pJ).
+    pub e_rf_16: f64,
+    /// 16-bit MAC energy (pJ).
+    pub e_mac_16: f64,
+}
+
+impl Device {
+    /// Eyeriss-like 65nm spatial ASIC: 168 PEs, 108 KiB global buffer,
+    /// 0.5 KiB RF per PE, 200 MHz. Energy ratios follow the Eyeriss
+    /// ISCA'16 hierarchy study (DRAM ≫ buffer ≫ RF ≈ MAC).
+    pub fn eyeriss_like() -> Self {
+        Device {
+            name: "eyeriss-like-asic",
+            platform: Platform::Asic,
+            pe_count: 168,
+            freq_mhz: 200.0,
+            gbuf_bytes: 108 * 1024,
+            rf_bytes_per_pe: 512,
+            dram_bw_bits: 64.0,
+            gbuf_bw_bits: 512.0,
+            e_dram_16: 200.0,
+            e_gbuf_16: 6.0,
+            e_rf_16: 1.0,
+            e_mac_16: 1.0,
+        }
+    }
+
+    /// ZC706-like FPGA: 900 DSP MACs, ~2.4 MB of BRAM, 150 MHz. Per-access
+    /// energies are higher than the ASIC (configurable-fabric overhead).
+    pub fn zc706_like() -> Self {
+        Device {
+            name: "zc706-like-fpga",
+            platform: Platform::Fpga,
+            pe_count: 900,
+            freq_mhz: 150.0,
+            gbuf_bytes: 2_400 * 1024,
+            rf_bytes_per_pe: 256,
+            dram_bw_bits: 128.0,
+            gbuf_bw_bits: 1024.0,
+            e_dram_16: 200.0,
+            e_gbuf_16: 10.0,
+            e_rf_16: 2.0,
+            e_mac_16: 2.5,
+        }
+    }
+
+    /// A deliberately tiny device for tests (forces capacity pressure).
+    pub fn tiny_test() -> Self {
+        Device {
+            name: "tiny-test",
+            platform: Platform::Asic,
+            pe_count: 16,
+            freq_mhz: 100.0,
+            gbuf_bytes: 4 * 1024,
+            rf_bytes_per_pe: 64,
+            dram_bw_bits: 32.0,
+            gbuf_bw_bits: 128.0,
+            e_dram_16: 200.0,
+            e_gbuf_16: 6.0,
+            e_rf_16: 1.0,
+            e_mac_16: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_sane_hierarchy() {
+        for d in [Device::eyeriss_like(), Device::zc706_like(), Device::tiny_test()] {
+            assert!(d.e_dram_16 > d.e_gbuf_16, "{}", d.name);
+            assert!(d.e_gbuf_16 > d.e_rf_16 * 0.99, "{}", d.name);
+            assert!(d.pe_count > 0);
+            assert!(d.gbuf_bytes > d.rf_bytes_per_pe);
+        }
+    }
+
+    #[test]
+    fn fpga_has_more_macs_than_eyeriss() {
+        assert!(Device::zc706_like().pe_count > Device::eyeriss_like().pe_count);
+        assert_eq!(Device::zc706_like().platform, Platform::Fpga);
+        assert_eq!(format!("{}", Platform::Fpga), "FPGA");
+    }
+}

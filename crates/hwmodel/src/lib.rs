@@ -1,0 +1,128 @@
+//! Analytical hardware cost model for DNN accelerators.
+//!
+//! The paper's AutoMapper drives its evolutionary search with an analytical
+//! performance predictor (their ref. \[23\], DNN-Chip Predictor); hardware
+//! synthesis only validates the final designs. This crate reproduces that
+//! predictor: given a layer's [`instantnet_dataflow::ConvDims`], a
+//! [`instantnet_dataflow::Mapping`] and a [`Device`], it derives per-level
+//! access counts from the mapping's reuse structure and converts them to
+//! energy, latency and EDP with bit-width-dependent scaling
+//! (memory traffic scales linearly with word width, MAC energy roughly
+//! quadratically).
+//!
+//! It also implements the paper's comparison dataflows as *policies* over
+//! the same space — Eyeriss row-stationary and MAGNet templates for ASIC,
+//! DNNBuilder and CHaiDNN for FPGA — so Fig. 5's comparisons run under one
+//! cost model.
+//!
+//! # Example
+//!
+//! ```
+//! use instantnet_dataflow::{ConvDims, Mapping};
+//! use instantnet_hwmodel::{baselines, evaluate_layer, Device};
+//!
+//! let device = Device::eyeriss_like();
+//! let dims = ConvDims::new(1, 32, 16, 14, 14, 3, 3, 1);
+//! let mapping = baselines::eyeriss_row_stationary(&dims, &device, 16);
+//! let cost = evaluate_layer(&dims, &mapping, &device, 16)?;
+//! assert!(cost.energy_pj > 0.0 && cost.latency_s > 0.0);
+//! # Ok::<(), instantnet_hwmodel::MapError>(())
+//! ```
+
+pub mod baselines;
+pub mod cost;
+pub mod device;
+pub mod report;
+pub mod sweep;
+
+pub use cost::{
+    evaluate_layer, evaluate_network, pipeline_stage_device, LayerCost, MapError, NetworkCost,
+};
+pub use device::{Device, Platform};
+pub use report::{area_mm2, energy_breakdown, format_breakdown};
+pub use sweep::{sweep_device, SweepAxis, SweepPoint};
+
+use instantnet_dataflow::ConvDims;
+use instantnet_nn::ConvSpec;
+
+/// A hardware workload: one conv layer's loop bounds plus how many
+/// identical copies run (grouped/depthwise convolutions are modeled as
+/// `groups` independent single-group layers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Workload {
+    /// Per-group loop bounds.
+    pub dims: ConvDims,
+    /// Number of identical groups.
+    pub multiplicity: usize,
+}
+
+impl Workload {
+    /// Converts a network layer spec into a hardware workload with the
+    /// given batch size.
+    pub fn from_spec(spec: &ConvSpec, batch: usize) -> Self {
+        let (oh, ow) = spec.out_hw();
+        Workload {
+            dims: ConvDims::new(
+                batch,
+                spec.out_c / spec.groups,
+                spec.in_c / spec.groups,
+                oh,
+                ow,
+                spec.kernel,
+                spec.kernel,
+                spec.stride,
+            ),
+            multiplicity: spec.groups,
+        }
+    }
+
+    /// Total MACs including all groups.
+    pub fn macs(&self) -> u64 {
+        self.dims.macs() * self.multiplicity as u64
+    }
+}
+
+/// Converts a whole network's specs to workloads.
+pub fn workloads_from_specs(specs: &[ConvSpec], batch: usize) -> Vec<Workload> {
+    specs.iter().map(|s| Workload::from_spec(s, batch)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_from_depthwise_spec() {
+        let spec = ConvSpec {
+            in_c: 16,
+            out_c: 16,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            groups: 16,
+            in_h: 8,
+            in_w: 8,
+        };
+        let w = Workload::from_spec(&spec, 1);
+        assert_eq!(w.dims.k, 1);
+        assert_eq!(w.dims.c, 1);
+        assert_eq!(w.multiplicity, 16);
+        assert_eq!(w.macs(), spec.macs());
+    }
+
+    #[test]
+    fn workload_from_dense_spec_matches_macs() {
+        let spec = ConvSpec {
+            in_c: 8,
+            out_c: 32,
+            kernel: 3,
+            stride: 2,
+            pad: 1,
+            groups: 1,
+            in_h: 16,
+            in_w: 16,
+        };
+        let w = Workload::from_spec(&spec, 4);
+        assert_eq!(w.macs(), 4 * spec.macs());
+    }
+}

@@ -1,0 +1,113 @@
+//! Area estimation and cost-breakdown reporting.
+//!
+//! The paper's ASIC flow reports post-place-and-route area; this module
+//! provides the analytical counterpart (MAC array + SRAM macros scaling
+//! with bit-width) plus pretty-printed energy breakdowns used by the
+//! experiment binaries.
+
+use crate::cost::LayerCost;
+use crate::device::Device;
+
+/// 65nm-class area constants (mm² per unit at 16-bit).
+mod area_constants {
+    /// One 16-bit MAC with pipeline registers.
+    pub const MAC_MM2: f64 = 0.0008;
+    /// One byte of SRAM (global buffer, incl. periphery amortized).
+    pub const SRAM_BYTE_MM2: f64 = 0.000012;
+    /// One byte of register file (flop-based, denser ports → larger).
+    pub const RF_BYTE_MM2: f64 = 0.00004;
+    /// Fixed NoC / control overhead fraction.
+    pub const OVERHEAD: f64 = 0.15;
+}
+
+/// Analytical silicon area of `device` when its MACs are provisioned for
+/// `bits`-wide operands (multiplier area scales roughly quadratically in
+/// operand width; memories scale linearly in stored bits).
+///
+/// Only meaningful for ASIC targets — an FPGA's area is fixed; the value
+/// then represents the equivalent consumed fabric.
+pub fn area_mm2(device: &Device, bits: u8) -> f64 {
+    use area_constants::*;
+    let ws = f64::from(bits) / 16.0;
+    let mac = device.pe_count as f64 * MAC_MM2 * ws * ws;
+    let gbuf = device.gbuf_bytes as f64 * SRAM_BYTE_MM2 * ws;
+    let rf = (device.pe_count * device.rf_bytes_per_pe) as f64 * RF_BYTE_MM2 * ws;
+    (mac + gbuf + rf) * (1.0 + OVERHEAD)
+}
+
+/// One row per energy component of a [`LayerCost`], as
+/// `(label, energy_pj, share_of_total)`.
+pub fn energy_breakdown(cost: &LayerCost) -> Vec<(&'static str, f64, f64)> {
+    let total = cost.energy_pj.max(f64::MIN_POSITIVE);
+    vec![
+        ("DRAM", cost.e_dram, cost.e_dram / total),
+        ("global buffer", cost.e_gbuf, cost.e_gbuf / total),
+        ("register file", cost.e_rf, cost.e_rf / total),
+        ("MAC", cost.e_mac, cost.e_mac / total),
+    ]
+}
+
+/// Renders the breakdown as an aligned text block.
+pub fn format_breakdown(cost: &LayerCost) -> String {
+    let mut s = String::new();
+    for (label, pj, share) in energy_breakdown(cost) {
+        s.push_str(&format!(
+            "{label:>14}: {pj:>12.3e} pJ ({:>5.1}%)\n",
+            100.0 * share
+        ));
+    }
+    s.push_str(&format!(
+        "{:>14}: {:>12.3e} pJ\n",
+        "total", cost.energy_pj
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines;
+    use crate::cost::evaluate_layer;
+    use instantnet_dataflow::ConvDims;
+
+    fn sample_cost() -> LayerCost {
+        let dims = ConvDims::new(1, 32, 16, 14, 14, 3, 3, 1);
+        let device = Device::eyeriss_like();
+        let m = baselines::eyeriss_row_stationary(&dims, &device, 16);
+        evaluate_layer(&dims, &m, &device, 16).expect("legal baseline")
+    }
+
+    #[test]
+    fn area_scales_with_bits() {
+        let d = Device::eyeriss_like();
+        let a4 = area_mm2(&d, 4);
+        let a8 = area_mm2(&d, 8);
+        let a16 = area_mm2(&d, 16);
+        assert!(a4 < a8 && a8 < a16);
+        // MAC quadratic scaling: 16b MAC array alone is 4x the 8b one.
+        assert!(a16 / a8 > 1.5);
+    }
+
+    #[test]
+    fn eyeriss_like_area_in_plausible_range() {
+        // Eyeriss was 12.25 mm² in 65nm; the analytical estimate should be
+        // the same order of magnitude.
+        let a = area_mm2(&Device::eyeriss_like(), 16);
+        assert!(a > 0.5 && a < 50.0, "area {a} mm2");
+    }
+
+    #[test]
+    fn breakdown_shares_sum_to_one() {
+        let cost = sample_cost();
+        let total_share: f64 = energy_breakdown(&cost).iter().map(|(_, _, s)| s).sum();
+        assert!((total_share - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn format_breakdown_mentions_all_levels() {
+        let s = format_breakdown(&sample_cost());
+        for label in ["DRAM", "global buffer", "register file", "MAC", "total"] {
+            assert!(s.contains(label), "missing {label} in:\n{s}");
+        }
+    }
+}

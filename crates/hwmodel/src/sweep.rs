@@ -1,0 +1,158 @@
+//! Device design-space sweeps: how EDP responds to PE count, buffer
+//! capacity and DRAM bandwidth — the accelerator-sizing questions that
+//! accompany dataflow search in an EDA flow.
+
+use crate::baselines;
+use crate::cost::evaluate_layer;
+use crate::device::Device;
+use instantnet_dataflow::ConvDims;
+
+/// Which device parameter a sweep varies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SweepAxis {
+    /// Number of processing elements.
+    PeCount,
+    /// Global buffer capacity (bytes).
+    GbufBytes,
+    /// DRAM bandwidth (bits/cycle).
+    DramBandwidth,
+}
+
+/// One sweep sample: the axis value and the resulting layer EDP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// The swept parameter's value.
+    pub value: f64,
+    /// Achieved EDP (pJ·s) under the Eyeriss expert dataflow, re-derived
+    /// for each device variant.
+    pub edp: f64,
+    /// Achieved energy (pJ).
+    pub energy_pj: f64,
+    /// Achieved latency (s).
+    pub latency_s: f64,
+}
+
+fn with_axis(device: &Device, axis: SweepAxis, scale: f64) -> Device {
+    let mut d = device.clone();
+    match axis {
+        SweepAxis::PeCount => {
+            d.pe_count = ((device.pe_count as f64 * scale).round() as u64).max(1);
+        }
+        SweepAxis::GbufBytes => {
+            d.gbuf_bytes = ((device.gbuf_bytes as f64 * scale).round() as u64).max(1024);
+        }
+        SweepAxis::DramBandwidth => {
+            d.dram_bw_bits = (device.dram_bw_bits * scale).max(1.0);
+        }
+    }
+    d
+}
+
+fn axis_value(device: &Device, axis: SweepAxis) -> f64 {
+    match axis {
+        SweepAxis::PeCount => device.pe_count as f64,
+        SweepAxis::GbufBytes => device.gbuf_bytes as f64,
+        SweepAxis::DramBandwidth => device.dram_bw_bits,
+    }
+}
+
+/// Sweeps `axis` over multiplicative `scales` of the base device and
+/// evaluates `dims` under the re-derived Eyeriss dataflow at each point.
+///
+/// # Panics
+///
+/// Panics if `scales` is empty.
+pub fn sweep_device(
+    dims: &ConvDims,
+    device: &Device,
+    bits: u8,
+    axis: SweepAxis,
+    scales: &[f64],
+) -> Vec<SweepPoint> {
+    assert!(!scales.is_empty(), "sweep needs at least one scale");
+    scales
+        .iter()
+        .map(|&s| {
+            let d = with_axis(device, axis, s);
+            let mapping = baselines::eyeriss_row_stationary(dims, &d, bits);
+            let cost = evaluate_layer(dims, &mapping, &d, bits)
+                .expect("expert baseline is legalized per device");
+            SweepPoint {
+                value: axis_value(&d, axis),
+                edp: cost.edp(),
+                energy_pj: cost.energy_pj,
+                latency_s: cost.latency_s,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims() -> ConvDims {
+        ConvDims::new(1, 64, 32, 14, 14, 3, 3, 1)
+    }
+
+    #[test]
+    fn more_pes_never_hurt_latency() {
+        let pts = sweep_device(
+            &dims(),
+            &Device::eyeriss_like(),
+            16,
+            SweepAxis::PeCount,
+            &[0.25, 0.5, 1.0, 2.0],
+        );
+        assert_eq!(pts.len(), 4);
+        for w in pts.windows(2) {
+            assert!(
+                w[1].latency_s <= w[0].latency_s * 1.05,
+                "latency should not grow with PEs: {} -> {}",
+                w[0].latency_s,
+                w[1].latency_s
+            );
+        }
+    }
+
+    #[test]
+    fn bigger_buffer_never_increases_dram_energy_side() {
+        let pts = sweep_device(
+            &dims(),
+            &Device::eyeriss_like(),
+            16,
+            SweepAxis::GbufBytes,
+            &[0.25, 1.0, 4.0],
+        );
+        // Larger buffers enable at-least-as-good tilings for the expert
+        // policy; energy should be non-increasing (small slack for the
+        // heuristic constructor).
+        assert!(pts[2].energy_pj <= pts[0].energy_pj * 1.1);
+    }
+
+    #[test]
+    fn bandwidth_relieves_memory_bound_layers() {
+        let pts = sweep_device(
+            &dims(),
+            &Device::eyeriss_like(),
+            16,
+            SweepAxis::DramBandwidth,
+            &[0.1, 1.0, 10.0],
+        );
+        assert!(pts[0].latency_s >= pts[2].latency_s);
+        // Energy is bandwidth-independent in this model.
+        assert!((pts[0].energy_pj - pts[2].energy_pj).abs() < 1e-6 * pts[0].energy_pj);
+    }
+
+    #[test]
+    fn axis_values_reflect_scaling() {
+        let pts = sweep_device(
+            &dims(),
+            &Device::eyeriss_like(),
+            8,
+            SweepAxis::PeCount,
+            &[1.0, 2.0],
+        );
+        assert!((pts[1].value / pts[0].value - 2.0).abs() < 0.05);
+    }
+}

@@ -1,0 +1,150 @@
+//! Hardware-aware efficiency costs for the NAS objective.
+//!
+//! Eq. 2's efficiency loss is "`L_eff` (e.g., energy cost)". The default
+//! supernet uses per-candidate FLOPs; this module derives *device energy*
+//! tables instead, by costing every candidate operator of every slot under
+//! an expert dataflow on the target device — making the search
+//! hardware-aware in the same sense as the paper's end-to-end pipeline.
+
+use crate::{CandidateKind, SearchSpace};
+use instantnet_dataflow::ConvDims;
+use instantnet_hwmodel::{baselines, evaluate_layer, Device};
+
+/// Which quantity the supernet's efficiency loss penalizes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EfficiencyCost {
+    /// Per-candidate FLOPs (device-independent; the default).
+    Flops,
+    /// Pre-computed per-slot, per-candidate costs (e.g. device energy from
+    /// [`energy_table`]). Outer index = slot, inner = candidate.
+    Table(Vec<Vec<f32>>),
+}
+
+impl EfficiencyCost {
+    /// Validates a table against a search space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table's shape does not match the space.
+    pub fn validate(&self, space: &SearchSpace) {
+        if let EfficiencyCost::Table(t) = self {
+            assert_eq!(t.len(), space.layers().len(), "one row per slot");
+            for (slot, row) in t.iter().enumerate() {
+                assert_eq!(
+                    row.len(),
+                    space.layers()[slot].candidates.len(),
+                    "one cost per candidate in slot {slot}"
+                );
+            }
+        }
+    }
+}
+
+/// The conv layers a candidate expands to, as hardware loop nests.
+fn candidate_dims(space: &SearchSpace, slot: usize, cand: CandidateKind, in_hw: usize) -> Vec<(ConvDims, usize)> {
+    let lc = &space.layers()[slot];
+    match cand {
+        CandidateKind::Skip => vec![],
+        CandidateKind::MbConv { expand, kernel } => {
+            let hidden = lc.in_c * expand;
+            let mut out = Vec::new();
+            let mut hw = in_hw;
+            if expand > 1 {
+                out.push((ConvDims::new(1, hidden, lc.in_c, hw, hw, 1, 1, 1), 1));
+            }
+            let oh = (hw + 2 * (kernel / 2) - kernel) / lc.stride + 1;
+            // Depthwise: one 1-channel group per hidden channel.
+            out.push((ConvDims::new(1, 1, 1, oh, oh, kernel, kernel, lc.stride), hidden));
+            hw = oh;
+            out.push((ConvDims::new(1, lc.out_c, hidden, hw, hw, 1, 1, 1), 1));
+            out
+        }
+    }
+}
+
+/// Energy (pJ) of every candidate of every slot when executed on `device`
+/// at `bits`, under the Eyeriss row-stationary expert dataflow — a cheap,
+/// deterministic cost oracle for the search loop.
+pub fn energy_table(space: &SearchSpace, device: &Device, bits: u8) -> Vec<Vec<f32>> {
+    let slot_hw = space.slot_input_hw();
+    space
+        .layers()
+        .iter()
+        .enumerate()
+        .map(|(slot, lc)| {
+            lc.candidates
+                .iter()
+                .map(|&cand| {
+                    candidate_dims(space, slot, cand, slot_hw[slot])
+                        .into_iter()
+                        .map(|(dims, mult)| {
+                            let m = baselines::eyeriss_row_stationary(&dims, device, bits);
+                            let cost = evaluate_layer(&dims, &m, device, bits)
+                                .expect("expert baseline is legalized");
+                            cost.energy_pj as f32 * mult as f32
+                        })
+                        .sum::<f32>()
+                        .max(0.0) // normalize -0.0 from empty (skip) sums
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_table_shape_matches_space() {
+        let space = SearchSpace::cifar_tiny(3);
+        let t = energy_table(&space, &Device::eyeriss_like(), 8);
+        EfficiencyCost::Table(t.clone()).validate(&space);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn skip_costs_nothing_and_big_blocks_cost_more() {
+        let space = SearchSpace::cifar_tiny(3);
+        let t = energy_table(&space, &Device::eyeriss_like(), 8);
+        let lc = &space.layers()[0];
+        let skip = lc
+            .candidates
+            .iter()
+            .position(|c| *c == CandidateKind::Skip)
+            .expect("slot 0 has skip");
+        let small = lc
+            .candidates
+            .iter()
+            .position(|c| *c == CandidateKind::MbConv { expand: 1, kernel: 3 })
+            .expect("e1k3 present");
+        let big = lc
+            .candidates
+            .iter()
+            .position(|c| *c == CandidateKind::MbConv { expand: 6, kernel: 5 })
+            .expect("e6k5 present");
+        assert_eq!(t[0][skip], 0.0);
+        assert!(t[0][small] > 0.0);
+        assert!(t[0][big] > t[0][small]);
+    }
+
+    #[test]
+    fn lower_bits_give_lower_energy_table() {
+        let space = SearchSpace::cifar_tiny(2);
+        let t4 = energy_table(&space, &Device::eyeriss_like(), 4);
+        let t16 = energy_table(&space, &Device::eyeriss_like(), 16);
+        for (r4, r16) in t4.iter().zip(&t16) {
+            for (a, b) in r4.iter().zip(r16) {
+                assert!(a <= b, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one cost per candidate")]
+    fn validate_rejects_ragged_table() {
+        let space = SearchSpace::cifar_tiny(2);
+        let bad = vec![vec![1.0; 3], vec![1.0; 3]];
+        EfficiencyCost::Table(bad).validate(&space);
+    }
+}

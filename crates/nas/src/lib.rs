@@ -1,0 +1,530 @@
+//! Switchable-Precision Neural Architecture Search (SP-NAS).
+//!
+//! SP-NAS (§III-C of the paper) searches for architectures that *natively*
+//! tolerate every bit-width in a candidate set. It is differentiable NAS in
+//! the FBNet mold — a weight-sharing supernet whose per-layer candidate
+//! operators are mixed by Gumbel-softmax architecture weights — with the
+//! paper's heterogeneous bi-level update (Eq. 2):
+//!
+//! * supernet **weights** are updated with the cascade-distillation (CDT)
+//!   loss summed over all bit-widths, on one half of the training set;
+//! * **architecture parameters** are updated only at the *lowest*
+//!   bit-width (plus an efficiency loss), on the other half — forcing the
+//!   search to solve the SP-Net bottleneck.
+//!
+//! [`SearchMode::FpNas`] and [`SearchMode::LpNas`] are the Fig. 4 baselines
+//! that search at a single fixed precision instead.
+//!
+//! # Example
+//!
+//! ```
+//! use instantnet_nas::{SearchSpace, CandidateKind};
+//! let space = SearchSpace::cifar_tiny(4);
+//! assert_eq!(space.layers().len(), 4);
+//! assert!(space.layers()[0].candidates.contains(&CandidateKind::Skip)
+//!     || space.layers()[0].candidates.iter().any(|c| matches!(c, CandidateKind::MbConv { .. })));
+//! ```
+
+pub mod efficiency;
+pub mod search;
+pub mod supernet;
+
+pub use efficiency::{energy_table, EfficiencyCost};
+pub use search::{search, search_with_cost, NasConfig, SearchMode, SearchOutcome};
+pub use supernet::Supernet;
+
+use instantnet_nn::blocks::{ConvBnAct, InvertedResidual};
+use instantnet_nn::layers::{Activation, GlobalAvgPool, QuantLinear};
+use instantnet_nn::{models::Network, ConvSpec, Sequential};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One candidate operator in a searchable layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CandidateKind {
+    /// MobileNetV2 inverted residual with the given expansion ratio and
+    /// depthwise kernel size.
+    MbConv {
+        /// Expansion ratio (hidden = in_c * expand).
+        expand: usize,
+        /// Depthwise kernel size.
+        kernel: usize,
+    },
+    /// Identity — the layer is removed from the derived network. Only
+    /// valid when the layer preserves shape.
+    Skip,
+}
+
+impl CandidateKind {
+    /// Short label used in logs (`e3k5`, `skip`).
+    pub fn label(&self) -> String {
+        match self {
+            CandidateKind::MbConv { expand, kernel } => format!("e{expand}k{kernel}"),
+            CandidateKind::Skip => "skip".to_string(),
+        }
+    }
+}
+
+/// A searchable layer slot: fixed input/output geometry, choice of
+/// operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerChoice {
+    /// Input channels.
+    pub in_c: usize,
+    /// Output channels.
+    pub out_c: usize,
+    /// Stride of this slot.
+    pub stride: usize,
+    /// Candidate operators.
+    pub candidates: Vec<CandidateKind>,
+}
+
+impl LayerChoice {
+    /// The FBNet-style candidate menu for this slot's geometry: six MBConv
+    /// variants plus skip when the slot preserves shape.
+    pub fn fbnet_menu(in_c: usize, out_c: usize, stride: usize) -> Self {
+        let mut candidates = vec![
+            CandidateKind::MbConv { expand: 1, kernel: 3 },
+            CandidateKind::MbConv { expand: 3, kernel: 3 },
+            CandidateKind::MbConv { expand: 6, kernel: 3 },
+            CandidateKind::MbConv { expand: 1, kernel: 5 },
+            CandidateKind::MbConv { expand: 3, kernel: 5 },
+            CandidateKind::MbConv { expand: 6, kernel: 5 },
+        ];
+        if stride == 1 && in_c == out_c {
+            candidates.push(CandidateKind::Skip);
+        }
+        LayerChoice {
+            in_c,
+            out_c,
+            stride,
+            candidates,
+        }
+    }
+}
+
+/// The macro-architecture being searched: stem/head geometry plus a list of
+/// searchable layer slots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchSpace {
+    stem_c: usize,
+    layers: Vec<LayerChoice>,
+    head_c: usize,
+    in_hw: (usize, usize),
+}
+
+impl SearchSpace {
+    /// Builds a space from explicit slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or channel chaining is inconsistent.
+    pub fn new(
+        stem_c: usize,
+        layers: Vec<LayerChoice>,
+        head_c: usize,
+        in_hw: (usize, usize),
+    ) -> Self {
+        assert!(!layers.is_empty(), "search space needs at least one slot");
+        assert_eq!(layers[0].in_c, stem_c, "first slot must consume the stem");
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].out_c, pair[1].in_c,
+                "slot channel chain must be consistent"
+            );
+        }
+        SearchSpace {
+            stem_c,
+            layers,
+            head_c,
+            in_hw,
+        }
+    }
+
+    /// A reproduction-scale CIFAR space: `n_slots` FBNet-menu slots with a
+    /// gentle channel ramp and one stride-2 stage in the middle.
+    pub fn cifar_tiny(n_slots: usize) -> Self {
+        assert!(n_slots >= 2, "need at least 2 slots");
+        let stem_c = 8;
+        let mut layers = Vec::new();
+        let mut in_c = stem_c;
+        for i in 0..n_slots {
+            let (out_c, stride) = if i == n_slots / 2 {
+                (in_c * 2, 2)
+            } else {
+                (in_c, 1)
+            };
+            layers.push(LayerChoice::fbnet_menu(in_c, out_c, stride));
+            in_c = out_c;
+        }
+        SearchSpace::new(stem_c, layers, in_c * 2, (8, 8))
+    }
+
+    /// The searchable slots.
+    pub fn layers(&self) -> &[LayerChoice] {
+        &self.layers
+    }
+
+    /// Stem output channels.
+    pub fn stem_channels(&self) -> usize {
+        self.stem_c
+    }
+
+    /// Head (final 1x1 conv) channels.
+    pub fn head_channels(&self) -> usize {
+        self.head_c
+    }
+
+    /// Expected input resolution.
+    pub fn in_hw(&self) -> (usize, usize) {
+        self.in_hw
+    }
+
+    /// Single-sample FLOPs of candidate `cand` placed in slot `slot`,
+    /// given the slot's input spatial size.
+    pub fn candidate_flops(&self, slot: usize, cand: CandidateKind, in_hw: usize) -> u64 {
+        let lc = &self.layers[slot];
+        match cand {
+            CandidateKind::Skip => 0,
+            CandidateKind::MbConv { expand, kernel } => {
+                let hidden = lc.in_c * expand;
+                let mut total = 0u64;
+                let mut hw = in_hw;
+                if expand > 1 {
+                    total += ConvSpec {
+                        in_c: lc.in_c,
+                        out_c: hidden,
+                        kernel: 1,
+                        stride: 1,
+                        pad: 0,
+                        groups: 1,
+                        in_h: hw,
+                        in_w: hw,
+                    }
+                    .flops();
+                }
+                total += ConvSpec {
+                    in_c: hidden,
+                    out_c: hidden,
+                    kernel,
+                    stride: lc.stride,
+                    pad: kernel / 2,
+                    groups: hidden,
+                    in_h: hw,
+                    in_w: hw,
+                }
+                .flops();
+                hw = (hw + 2 * (kernel / 2) - kernel) / lc.stride + 1;
+                total += ConvSpec {
+                    in_c: hidden,
+                    out_c: lc.out_c,
+                    kernel: 1,
+                    stride: 1,
+                    pad: 0,
+                    groups: 1,
+                    in_h: hw,
+                    in_w: hw,
+                }
+                .flops();
+                total
+            }
+        }
+    }
+
+    /// Spatial size at the input of each slot (stem is stride 1).
+    pub fn slot_input_hw(&self) -> Vec<usize> {
+        let mut hw = self.in_hw.0;
+        let mut out = Vec::with_capacity(self.layers.len());
+        for lc in &self.layers {
+            out.push(hw);
+            if lc.stride > 1 {
+                // Same-padded depthwise conv: output size is independent of
+                // the kernel choice, so the k=3 formula covers all menus.
+                hw = (hw + 2 - 3) / lc.stride + 1;
+            }
+        }
+        out
+    }
+}
+
+/// Error parsing a textual architecture description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseArchError {
+    /// The description has the wrong number of slots.
+    SlotCount {
+        /// Slots in the search space.
+        expected: usize,
+        /// Slots in the description.
+        got: usize,
+    },
+    /// A label does not name any candidate of its slot.
+    UnknownCandidate {
+        /// Slot index.
+        slot: usize,
+        /// Offending label.
+        label: String,
+    },
+}
+
+impl std::fmt::Display for ParseArchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseArchError::SlotCount { expected, got } => {
+                write!(f, "expected {expected} slots, got {got}")
+            }
+            ParseArchError::UnknownCandidate { slot, label } => {
+                write!(f, "slot {slot} has no candidate labeled '{label}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseArchError {}
+
+/// A concrete architecture derived from a search: one candidate index per
+/// slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DerivedArch {
+    space: SearchSpace,
+    choices: Vec<usize>,
+}
+
+impl DerivedArch {
+    /// Creates a derived architecture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choices` length differs from the slot count or any index
+    /// is out of range.
+    pub fn new(space: SearchSpace, choices: Vec<usize>) -> Self {
+        assert_eq!(
+            choices.len(),
+            space.layers.len(),
+            "one choice per slot required"
+        );
+        for (slot, &c) in choices.iter().enumerate() {
+            assert!(
+                c < space.layers[slot].candidates.len(),
+                "choice {c} out of range for slot {slot}"
+            );
+        }
+        DerivedArch { space, choices }
+    }
+
+    /// Per-slot chosen candidates.
+    pub fn choices(&self) -> Vec<CandidateKind> {
+        self.choices
+            .iter()
+            .enumerate()
+            .map(|(slot, &c)| self.space.layers[slot].candidates[c])
+            .collect()
+    }
+
+    /// The underlying search space.
+    pub fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    /// Human-readable architecture string, e.g. `e3k3|skip|e6k5`.
+    pub fn describe(&self) -> String {
+        self.choices()
+            .iter()
+            .map(CandidateKind::label)
+            .collect::<Vec<_>>()
+            .join("|")
+    }
+
+    /// Parses a [`DerivedArch::describe`] string back into an architecture
+    /// for `space` — lets experiment scripts persist and reload search
+    /// results as plain text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArchError`] if the slot count differs or a label does
+    /// not name a candidate of its slot.
+    pub fn parse(space: SearchSpace, text: &str) -> Result<Self, ParseArchError> {
+        let labels: Vec<&str> = text.split('|').collect();
+        if labels.len() != space.layers.len() {
+            return Err(ParseArchError::SlotCount {
+                expected: space.layers.len(),
+                got: labels.len(),
+            });
+        }
+        let mut choices = Vec::with_capacity(labels.len());
+        for (slot, label) in labels.iter().enumerate() {
+            let idx = space.layers[slot]
+                .candidates
+                .iter()
+                .position(|c| c.label() == *label)
+                .ok_or_else(|| ParseArchError::UnknownCandidate {
+                    slot,
+                    label: label.to_string(),
+                })?;
+            choices.push(idx);
+        }
+        Ok(DerivedArch { space, choices })
+    }
+
+    /// Builds the derived network (skip slots are omitted entirely).
+    pub fn build_network(&self, num_classes: usize, n_bits: usize, seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut body = Sequential::new();
+        body.push(Box::new(ConvBnAct::new(
+            &mut rng,
+            "stem",
+            3,
+            self.space.stem_c,
+            3,
+            1,
+            1,
+            n_bits,
+            Activation::Relu6,
+            false,
+        )));
+        for (slot, cand) in self.choices().into_iter().enumerate() {
+            let lc = &self.space.layers[slot];
+            match cand {
+                CandidateKind::Skip => {}
+                CandidateKind::MbConv { expand, kernel } => {
+                    body.push(Box::new(InvertedResidual::new(
+                        &mut rng,
+                        &format!("slot{slot}"),
+                        lc.in_c,
+                        lc.out_c,
+                        expand,
+                        kernel,
+                        lc.stride,
+                        n_bits,
+                    )));
+                }
+            }
+        }
+        let last_c = self.space.layers.last().expect("non-empty").out_c;
+        body.push(Box::new(ConvBnAct::new(
+            &mut rng,
+            "head",
+            last_c,
+            self.space.head_c,
+            1,
+            1,
+            1,
+            n_bits,
+            Activation::Relu6,
+            true,
+        )));
+        body.push(Box::new(GlobalAvgPool));
+        body.push(Box::new(QuantLinear::new(
+            &mut rng,
+            "classifier",
+            self.space.head_c,
+            num_classes,
+        )));
+        Network::new(
+            format!("derived[{}]", self.describe()),
+            body,
+            (3, self.space.in_hw.0, self.space.in_hw.1),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instantnet_nn::Module;
+    use instantnet_quant::{BitWidthSet, Quantizer};
+    use instantnet_tensor::{Tensor, Var};
+
+    #[test]
+    fn fbnet_menu_includes_skip_only_when_shape_preserved() {
+        let same = LayerChoice::fbnet_menu(8, 8, 1);
+        assert!(same.candidates.contains(&CandidateKind::Skip));
+        assert_eq!(same.candidates.len(), 7);
+        let strided = LayerChoice::fbnet_menu(8, 16, 2);
+        assert!(!strided.candidates.contains(&CandidateKind::Skip));
+        assert_eq!(strided.candidates.len(), 6);
+    }
+
+    #[test]
+    fn cifar_tiny_space_chains_channels() {
+        let space = SearchSpace::cifar_tiny(4);
+        let l = space.layers();
+        for pair in l.windows(2) {
+            assert_eq!(pair[0].out_c, pair[1].in_c);
+        }
+        assert_eq!(l.iter().filter(|lc| lc.stride == 2).count(), 1);
+    }
+
+    #[test]
+    fn candidate_flops_ordering() {
+        let space = SearchSpace::cifar_tiny(4);
+        let f_skip = space.candidate_flops(0, CandidateKind::Skip, 8);
+        let f_small = space.candidate_flops(0, CandidateKind::MbConv { expand: 1, kernel: 3 }, 8);
+        let f_big = space.candidate_flops(0, CandidateKind::MbConv { expand: 6, kernel: 5 }, 8);
+        assert_eq!(f_skip, 0);
+        assert!(f_small > 0);
+        assert!(f_big > f_small);
+    }
+
+    #[test]
+    fn derived_arch_builds_runnable_network() {
+        let space = SearchSpace::cifar_tiny(3);
+        // Pick the first candidate everywhere.
+        let arch = DerivedArch::new(space, vec![0, 0, 0]);
+        let bits = BitWidthSet::new(vec![4, 32]).unwrap();
+        let net = arch.build_network(10, bits.len(), 0);
+        let x = Var::constant(Tensor::zeros(&[1, 3, 8, 8]));
+        let mut ctx = instantnet_nn::ForwardCtx::train(&bits, 0, Quantizer::Sbm);
+        let y = net.forward(&x, &mut ctx);
+        assert_eq!(y.dims(), vec![1, 10]);
+        assert!(net.flops() > 0);
+    }
+
+    #[test]
+    fn skip_choice_reduces_flops() {
+        let space = SearchSpace::cifar_tiny(3);
+        let skip_idx = space.layers()[0]
+            .candidates
+            .iter()
+            .position(|c| *c == CandidateKind::Skip)
+            .expect("slot 0 preserves shape");
+        let with_skip = DerivedArch::new(space.clone(), vec![skip_idx, 0, 0]);
+        let without = DerivedArch::new(space, vec![0, 0, 0]);
+        let f_skip = with_skip.build_network(10, 1, 0).flops();
+        let f_full = without.build_network(10, 1, 0).flops();
+        assert!(f_skip < f_full);
+        assert!(with_skip.describe().starts_with("skip"));
+    }
+
+    #[test]
+    fn describe_parse_roundtrip() {
+        let space = SearchSpace::cifar_tiny(3);
+        let arch = DerivedArch::new(space.clone(), vec![2, 0, 5]);
+        let text = arch.describe();
+        let parsed = DerivedArch::parse(space, &text).unwrap();
+        assert_eq!(parsed, arch);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_slot_count() {
+        let space = SearchSpace::cifar_tiny(3);
+        let err = DerivedArch::parse(space, "e1k3|e1k3").unwrap_err();
+        assert!(matches!(err, ParseArchError::SlotCount { expected: 3, got: 2 }));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_label() {
+        let space = SearchSpace::cifar_tiny(3);
+        let err = DerivedArch::parse(space, "e1k3|bogus|e1k3").unwrap_err();
+        assert!(
+            matches!(err, ParseArchError::UnknownCandidate { slot: 1, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "choice")]
+    fn derived_arch_validates_choice_range() {
+        let space = SearchSpace::cifar_tiny(3);
+        let _ = DerivedArch::new(space, vec![0, 0, 99]);
+    }
+}

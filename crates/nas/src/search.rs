@@ -1,0 +1,373 @@
+//! The bi-level search loop (Eq. 2) and its Fig. 4 baselines.
+
+use crate::supernet::Supernet;
+use crate::{DerivedArch, SearchSpace};
+use instantnet_data::{BatchIter, Dataset};
+use instantnet_quant::{BitWidthSet, Quantizer};
+use instantnet_tensor::{ops, Var};
+use instantnet_train::{Adam, CosineLr, Optimizer, PrecisionLadder, Sgd};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which precision(s) drive the search — the Fig. 4 ablation axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchMode {
+    /// InstantNet's SP-NAS: supernet weights trained with CDT over *all*
+    /// bit-widths; architecture parameters updated at the *lowest*
+    /// bit-width.
+    SpNas,
+    /// Full-Precision NAS baseline: both updates at the highest bit-width.
+    FpNas,
+    /// Low-Precision NAS baseline: both updates at the lowest bit-width
+    /// only (no cascade supervision).
+    LpNas,
+}
+
+impl SearchMode {
+    /// Short label for experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SearchMode::SpNas => "SP-NAS",
+            SearchMode::FpNas => "FP-NAS",
+            SearchMode::LpNas => "LP-NAS",
+        }
+    }
+}
+
+/// Search hyper-parameters. Defaults follow the paper's CIFAR settings at
+/// reproduction scale (SGD 0.025 cosine for weights, Adam 3e-4 for
+/// architecture, Gumbel temperature 3.0 decayed 0.94/epoch).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NasConfig {
+    /// Search epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Weight learning rate (cosine-decayed).
+    pub w_lr: f32,
+    /// Weight momentum.
+    pub w_momentum: f32,
+    /// Weight decay.
+    pub w_decay: f32,
+    /// Architecture (Adam) learning rate.
+    pub arch_lr: f32,
+    /// Efficiency-loss coefficient λ: larger → smaller architectures.
+    pub lambda: f32,
+    /// Initial Gumbel-softmax temperature.
+    pub tau0: f32,
+    /// Per-epoch temperature decay factor.
+    pub tau_decay: f32,
+    /// CDT distillation weight β.
+    pub beta: f32,
+    /// Quantizer.
+    pub quantizer: Quantizer,
+    /// Epochs during which only weights train (no architecture updates) —
+    /// standard supernet warm-up so early, noisy weights do not mislead the
+    /// architecture distribution.
+    pub warmup_epochs: usize,
+    /// RNG seed (initialization, shuffling, Gumbel noise).
+    pub seed: u64,
+}
+
+impl Default for NasConfig {
+    fn default() -> Self {
+        NasConfig {
+            epochs: 6,
+            batch_size: 16,
+            w_lr: 0.025,
+            w_momentum: 0.9,
+            w_decay: 1e-4,
+            arch_lr: 3e-4,
+            lambda: 0.3,
+            tau0: 3.0,
+            tau_decay: 0.94,
+            beta: 0.2,
+            quantizer: Quantizer::Sbm,
+            warmup_epochs: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of a search run.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The argmax-derived architecture.
+    pub arch: DerivedArch,
+    /// Single-sample FLOPs of the derived network (classification body).
+    pub derived_flops: u64,
+    /// Final per-slot architecture distributions (diagnostics).
+    pub distributions: Vec<Vec<f32>>,
+}
+
+/// Runs differentiable architecture search over `space` and derives the
+/// final architecture.
+///
+/// The training split is divided in half: supernet weights train on one
+/// half, architecture parameters on the other, alternating every batch —
+/// the standard first-order bi-level approximation of Eq. 2.
+pub fn search(
+    space: &SearchSpace,
+    ds: &Dataset,
+    bits: &BitWidthSet,
+    mode: SearchMode,
+    cfg: NasConfig,
+) -> SearchOutcome {
+    search_with_cost(space, ds, bits, mode, cfg, crate::EfficiencyCost::Flops)
+}
+
+/// Like [`search`], but with an explicit efficiency cost for Eq. 2's
+/// `L_eff` — pass a device-energy table from
+/// [`crate::efficiency::energy_table`] for hardware-aware search.
+pub fn search_with_cost(
+    space: &SearchSpace,
+    ds: &Dataset,
+    bits: &BitWidthSet,
+    mode: SearchMode,
+    cfg: NasConfig,
+    cost: crate::EfficiencyCost,
+) -> SearchOutcome {
+    let supernet =
+        Supernet::with_efficiency_cost(space, ds.num_classes(), bits.len(), cfg.seed, cost);
+    let ladder = PrecisionLadder::uniform(bits);
+    let (half_w, half_a) = ds.half_split(cfg.seed);
+    let w_params = supernet.weight_params();
+    let a_params = supernet.arch_params();
+    let mut w_opt = Sgd::new(cfg.w_lr, cfg.w_momentum, cfg.w_decay);
+    let mut a_opt = Adam::new(cfg.arch_lr);
+    let schedule = CosineLr::new(cfg.w_lr, cfg.epochs.max(1));
+    let mut tau = cfg.tau0;
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(17));
+    let arch_rung = match mode {
+        SearchMode::SpNas | SearchMode::LpNas => 0,
+        SearchMode::FpNas => ladder.len() - 1,
+    };
+    for epoch in 0..cfg.epochs {
+        w_opt.set_lr(schedule.at(epoch));
+        let w_batches: Vec<Vec<usize>> =
+            BatchIter::new(half_w.clone(), cfg.batch_size, cfg.seed + 2 * epoch as u64).collect();
+        let a_batches: Vec<Vec<usize>> =
+            BatchIter::new(half_a.clone(), cfg.batch_size, cfg.seed + 2 * epoch as u64 + 1)
+                .collect();
+        for (wb, ab) in w_batches.iter().zip(a_batches.iter()) {
+            // --- weight step ---
+            let (x, labels) = ds.train().batch(wb);
+            let xv = Var::constant(x);
+            let w_loss = match mode {
+                SearchMode::SpNas => {
+                    supernet_cdt_loss(&supernet, &xv, &labels, &ladder, cfg, tau, &mut rng)
+                }
+                SearchMode::FpNas => supernet_ce_loss(
+                    &supernet,
+                    &xv,
+                    &labels,
+                    &ladder,
+                    ladder.len() - 1,
+                    cfg,
+                    tau,
+                    &mut rng,
+                ),
+                SearchMode::LpNas => {
+                    supernet_ce_loss(&supernet, &xv, &labels, &ladder, 0, cfg, tau, &mut rng)
+                }
+            };
+            w_loss.backward();
+            // Only weights move in this phase.
+            for t in &a_params {
+                t.var().zero_grad();
+            }
+            w_opt.step(&w_params);
+            // --- architecture step (skipped during warm-up) ---
+            if epoch < cfg.warmup_epochs {
+                continue;
+            }
+            let (x, labels) = ds.train().batch(ab);
+            let xv = Var::constant(x);
+            let mut ctx = ladder.train_ctx(arch_rung, cfg.quantizer);
+            let out = supernet.forward(&xv, &mut ctx, tau, &mut rng);
+            let loss = ops::softmax_cross_entropy(&out.logits, &labels)
+                .add(&out.expected_cost.scale(cfg.lambda));
+            loss.backward();
+            for w in &w_params {
+                w.var().zero_grad();
+            }
+            a_opt.step(&a_params);
+        }
+        tau *= cfg.tau_decay;
+    }
+    let arch = supernet.derive();
+    let derived_flops = arch.build_network(ds.num_classes(), 1, cfg.seed).flops();
+    SearchOutcome {
+        distributions: supernet.arch_distributions(),
+        derived_flops,
+        arch,
+    }
+}
+
+/// CDT loss (Eq. 1) over the supernet: one Gumbel-sampled forward per rung,
+/// cross-entropy plus cascade distillation with stop-gradient teachers.
+fn supernet_cdt_loss(
+    supernet: &Supernet,
+    x: &Var,
+    labels: &[usize],
+    ladder: &PrecisionLadder,
+    cfg: NasConfig,
+    tau: f32,
+    rng: &mut StdRng,
+) -> Var {
+    let n = ladder.len();
+    let logits: Vec<Var> = (0..n)
+        .map(|i| {
+            let mut ctx = ladder.train_ctx(i, cfg.quantizer);
+            supernet.forward(x, &mut ctx, tau, rng).logits
+        })
+        .collect();
+    let teachers: Vec<Var> = logits.iter().map(Var::detach).collect();
+    let mut total: Option<Var> = None;
+    for i in 0..n {
+        let mut li = ops::softmax_cross_entropy(&logits[i], labels);
+        for teacher in teachers.iter().take(n).skip(i + 1) {
+            li = li.add(&ops::mse_loss(&logits[i], teacher).scale(cfg.beta));
+        }
+        total = Some(match total {
+            Some(t) => t.add(&li),
+            None => li,
+        });
+    }
+    total.expect("ladder non-empty").scale(1.0 / n as f32)
+}
+
+/// Plain cross-entropy at one rung (FP-NAS / LP-NAS weight updates).
+#[allow(clippy::too_many_arguments)]
+fn supernet_ce_loss(
+    supernet: &Supernet,
+    x: &Var,
+    labels: &[usize],
+    ladder: &PrecisionLadder,
+    rung: usize,
+    cfg: NasConfig,
+    tau: f32,
+    rng: &mut StdRng,
+) -> Var {
+    let mut ctx = ladder.train_ctx(rung, cfg.quantizer);
+    let out = supernet.forward(x, &mut ctx, tau, rng);
+    ops::softmax_cross_entropy(&out.logits, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instantnet_data::DatasetSpec;
+
+    fn quick_cfg() -> NasConfig {
+        NasConfig {
+            epochs: 2,
+            batch_size: 12,
+            ..NasConfig::default()
+        }
+    }
+
+    #[test]
+    fn search_produces_valid_architecture() {
+        let ds = Dataset::generate(&DatasetSpec::tiny());
+        let space = SearchSpace::cifar_tiny(3);
+        let bits = BitWidthSet::new(vec![4, 32]).unwrap();
+        let out = search(&space, &ds, &bits, SearchMode::SpNas, quick_cfg());
+        assert_eq!(out.arch.choices().len(), 3);
+        assert!(out.derived_flops > 0);
+        assert_eq!(out.distributions.len(), 3);
+        for d in &out.distributions {
+            let s: f32 = d.iter().sum();
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn search_is_deterministic_under_seed() {
+        let ds = Dataset::generate(&DatasetSpec::tiny());
+        let space = SearchSpace::cifar_tiny(3);
+        let bits = BitWidthSet::new(vec![4, 32]).unwrap();
+        let a = search(&space, &ds, &bits, SearchMode::SpNas, quick_cfg());
+        let b = search(&space, &ds, &bits, SearchMode::SpNas, quick_cfg());
+        assert_eq!(a.arch.describe(), b.arch.describe());
+    }
+
+    #[test]
+    fn higher_lambda_yields_smaller_architectures() {
+        let ds = Dataset::generate(&DatasetSpec::tiny());
+        let space = SearchSpace::cifar_tiny(4);
+        let bits = BitWidthSet::new(vec![4, 32]).unwrap();
+        let small = search(
+            &space,
+            &ds,
+            &bits,
+            SearchMode::SpNas,
+            NasConfig {
+                lambda: 20.0,
+                epochs: 3,
+                ..quick_cfg()
+            },
+        );
+        let large = search(
+            &space,
+            &ds,
+            &bits,
+            SearchMode::SpNas,
+            NasConfig {
+                lambda: 0.0,
+                epochs: 3,
+                ..quick_cfg()
+            },
+        );
+        assert!(
+            small.derived_flops <= large.derived_flops,
+            "lambda=20 flops {} vs lambda=0 flops {}",
+            small.derived_flops,
+            large.derived_flops
+        );
+    }
+
+    #[test]
+    fn energy_aware_search_runs_and_differs_in_cost_basis() {
+        let ds = Dataset::generate(&DatasetSpec::tiny());
+        let space = SearchSpace::cifar_tiny(2);
+        let bits = BitWidthSet::new(vec![4, 32]).unwrap();
+        let table = crate::efficiency::energy_table(
+            &space,
+            &instantnet_hwmodel::Device::eyeriss_like(),
+            4,
+        );
+        let out = crate::search_with_cost(
+            &space,
+            &ds,
+            &bits,
+            SearchMode::SpNas,
+            NasConfig {
+                epochs: 1,
+                ..quick_cfg()
+            },
+            crate::EfficiencyCost::Table(table),
+        );
+        assert_eq!(out.arch.choices().len(), 2);
+    }
+
+    #[test]
+    fn all_modes_run() {
+        let ds = Dataset::generate(&DatasetSpec::tiny());
+        let space = SearchSpace::cifar_tiny(2);
+        let bits = BitWidthSet::new(vec![4, 32]).unwrap();
+        for mode in [SearchMode::SpNas, SearchMode::FpNas, SearchMode::LpNas] {
+            let out = search(
+                &space,
+                &ds,
+                &bits,
+                mode,
+                NasConfig {
+                    epochs: 1,
+                    ..quick_cfg()
+                },
+            );
+            assert_eq!(out.arch.choices().len(), 2, "{}", mode.label());
+        }
+    }
+}

@@ -1,0 +1,399 @@
+//! The weight-sharing supernet with Gumbel-softmax architecture mixing.
+
+use crate::efficiency::EfficiencyCost;
+use crate::{CandidateKind, DerivedArch, SearchSpace};
+use instantnet_nn::blocks::{ConvBnAct, InvertedResidual};
+use instantnet_nn::layers::{Activation, QuantLinear};
+use instantnet_nn::{ForwardCtx, Module};
+use instantnet_tensor::{ops, Param, Tensor, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One searchable slot inside the supernet: every candidate operator is
+/// instantiated with its own weights, and a `theta` logit vector mixes
+/// their outputs.
+struct MixedLayer {
+    candidates: Vec<CandidateKind>,
+    ops: Vec<Option<InvertedResidual>>, // `None` encodes skip
+    theta: Param,
+    /// Per-candidate efficiency cost (FLOPs by default, or device energy
+    /// via [`crate::efficiency::energy_table`]).
+    costs: Vec<f32>,
+}
+
+impl MixedLayer {
+    /// Mixes candidate outputs with the given architecture weights `y`
+    /// (a `[n_candidates]` probability vector from Gumbel-softmax).
+    fn forward(&self, x: &Var, ctx: &mut ForwardCtx, y: &Var) -> Var {
+        let mut acc: Option<Var> = None;
+        for (i, op) in self.ops.iter().enumerate() {
+            let out = match op {
+                Some(block) => block.forward(x, ctx),
+                None => x.clone(), // skip
+            };
+            let scaled = ops::scale_by_element(&out, y, i);
+            acc = Some(match acc {
+                Some(a) => a.add(&scaled),
+                None => scaled,
+            });
+        }
+        acc.expect("at least one candidate")
+    }
+
+    fn weight_params(&self) -> Vec<Param> {
+        self.ops
+            .iter()
+            .flatten()
+            .flat_map(|b| b.params())
+            .collect()
+    }
+}
+
+/// Output of one supernet forward pass.
+pub struct SupernetOutput {
+    /// Class logits `[N, classes]`.
+    pub logits: Var,
+    /// Differentiable expected efficiency cost of the sampled architecture
+    /// (FLOPs or device energy, per construction), normalized by the most
+    /// expensive possible architecture (`[1]`).
+    pub expected_cost: Var,
+}
+
+/// The differentiable supernet: stem + mixed slots + head, with
+/// architecture logits per slot.
+pub struct Supernet {
+    space: SearchSpace,
+    stem: ConvBnAct,
+    layers: Vec<MixedLayer>,
+    head: ConvBnAct,
+    classifier: QuantLinear,
+    max_cost: f32,
+    num_classes: usize,
+}
+
+impl Supernet {
+    /// Instantiates the supernet for `space` with `n_bits` BN branches per
+    /// operator, using per-candidate FLOPs as the efficiency cost.
+    pub fn new(space: &SearchSpace, num_classes: usize, n_bits: usize, seed: u64) -> Self {
+        Supernet::with_efficiency_cost(space, num_classes, n_bits, seed, EfficiencyCost::Flops)
+    }
+
+    /// Instantiates the supernet with an explicit efficiency cost — pass
+    /// [`EfficiencyCost::Table`] (e.g. from
+    /// [`crate::efficiency::energy_table`]) to make the Eq. 2 efficiency
+    /// loss hardware-aware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cost table's shape does not match the space.
+    pub fn with_efficiency_cost(
+        space: &SearchSpace,
+        num_classes: usize,
+        n_bits: usize,
+        seed: u64,
+        cost: EfficiencyCost,
+    ) -> Self {
+        cost.validate(space);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stem = ConvBnAct::new(
+            &mut rng,
+            "stem",
+            3,
+            space.stem_channels(),
+            3,
+            1,
+            1,
+            n_bits,
+            Activation::Relu6,
+            false,
+        );
+        let slot_hw = space.slot_input_hw();
+        let mut layers = Vec::new();
+        for (slot, lc) in space.layers().iter().enumerate() {
+            let mut ops_vec = Vec::new();
+            let mut costs = Vec::new();
+            for (ci, &cand) in lc.candidates.iter().enumerate() {
+                costs.push(match &cost {
+                    EfficiencyCost::Flops => {
+                        space.candidate_flops(slot, cand, slot_hw[slot]) as f32
+                    }
+                    EfficiencyCost::Table(t) => t[slot][ci],
+                });
+                match cand {
+                    CandidateKind::Skip => ops_vec.push(None),
+                    CandidateKind::MbConv { expand, kernel } => {
+                        ops_vec.push(Some(InvertedResidual::new(
+                            &mut rng,
+                            &format!("slot{slot}.cand{ci}"),
+                            lc.in_c,
+                            lc.out_c,
+                            expand,
+                            kernel,
+                            lc.stride,
+                            n_bits,
+                        )))
+                    }
+                }
+            }
+            let theta = Param::new(
+                format!("slot{slot}.theta"),
+                Tensor::zeros(&[lc.candidates.len()]),
+            );
+            layers.push(MixedLayer {
+                candidates: lc.candidates.clone(),
+                ops: ops_vec,
+                theta,
+                costs,
+            });
+        }
+        let last_c = space.layers().last().expect("non-empty").out_c;
+        let head = ConvBnAct::new(
+            &mut rng,
+            "head",
+            last_c,
+            space.head_channels(),
+            1,
+            1,
+            1,
+            n_bits,
+            Activation::Relu6,
+            true,
+        );
+        let classifier = QuantLinear::new(
+            &mut rng,
+            "classifier",
+            space.head_channels(),
+            num_classes,
+        );
+        let max_cost: f32 = layers
+            .iter()
+            .map(|l| l.costs.iter().fold(0.0f32, |m, &f| m.max(f)))
+            .sum::<f32>()
+            .max(1.0);
+        Supernet {
+            space: space.clone(),
+            stem,
+            layers,
+            head,
+            classifier,
+            max_cost,
+            num_classes,
+        }
+    }
+
+    /// The space this supernet was built for.
+    pub fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Runs the supernet with Gumbel-softmax sampled architecture weights
+    /// at temperature `tau`.
+    pub fn forward(
+        &self,
+        x: &Var,
+        ctx: &mut ForwardCtx,
+        tau: f32,
+        rng: &mut StdRng,
+    ) -> SupernetOutput {
+        let mut cur = self.stem.forward(x, ctx);
+        let mut cost_acc: Option<Var> = None;
+        for layer in &self.layers {
+            let y = gumbel_softmax(layer.theta.var(), tau, rng);
+            cur = layer.forward(&cur, ctx, &y);
+            let norm: Vec<f32> = layer.costs.iter().map(|f| f / self.max_cost).collect();
+            let lf = ops::dot_const(&y, &norm);
+            cost_acc = Some(match cost_acc {
+                Some(a) => a.add(&lf),
+                None => lf,
+            });
+        }
+        cur = self.head.forward(&cur, ctx);
+        let pooled = ops::global_avg_pool(&cur);
+        let logits = self.classifier.forward(&pooled, ctx);
+        SupernetOutput {
+            logits,
+            expected_cost: cost_acc.expect("at least one slot"),
+        }
+    }
+
+    /// All operator weights (excludes architecture logits).
+    pub fn weight_params(&self) -> Vec<Param> {
+        let mut p = self.stem.params();
+        for l in &self.layers {
+            p.extend(l.weight_params());
+        }
+        p.extend(self.head.params());
+        p.extend(self.classifier.params());
+        p
+    }
+
+    /// The architecture logits, one vector per slot.
+    pub fn arch_params(&self) -> Vec<Param> {
+        self.layers.iter().map(|l| l.theta.clone()).collect()
+    }
+
+    /// Argmax-derives the discrete architecture from the current logits.
+    pub fn derive(&self) -> DerivedArch {
+        let choices = self
+            .layers
+            .iter()
+            .map(|l| {
+                let v = l.theta.var().value();
+                v.data()
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                    .map(|(i, _)| i)
+                    .expect("non-empty candidates")
+            })
+            .collect();
+        DerivedArch::new(self.space.clone(), choices)
+    }
+
+    /// Current softmax architecture distribution per slot (diagnostics).
+    pub fn arch_distributions(&self) -> Vec<Vec<f32>> {
+        self.layers
+            .iter()
+            .map(|l| {
+                let v = l.theta.var().value();
+                v.reshape(&[1, v.len()]).softmax_rows().data().to_vec()
+            })
+            .collect()
+    }
+
+    /// Candidate labels per slot (diagnostics).
+    pub fn candidate_labels(&self) -> Vec<Vec<String>> {
+        self.layers
+            .iter()
+            .map(|l| l.candidates.iter().map(CandidateKind::label).collect())
+            .collect()
+    }
+}
+
+/// Differentiable Gumbel-softmax sample over `theta` logits.
+pub fn gumbel_softmax(theta: &Var, tau: f32, rng: &mut StdRng) -> Var {
+    let n = theta.dims()[0];
+    let noise: Vec<f32> = (0..n)
+        .map(|_| {
+            let u: f32 = rng.gen_range(1e-7..1.0);
+            -(-u.ln()).ln()
+        })
+        .collect();
+    let g = Var::constant(Tensor::from_vec(vec![n], noise));
+    let z = theta.add(&g).scale(1.0 / tau.max(1e-6));
+    ops::softmax_1d(&z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instantnet_quant::{BitWidthSet, Quantizer};
+
+    fn tiny_supernet() -> Supernet {
+        Supernet::new(&SearchSpace::cifar_tiny(3), 5, 2, 0)
+    }
+
+    #[test]
+    fn forward_produces_logits_and_flops() {
+        let sn = tiny_supernet();
+        let bits = BitWidthSet::new(vec![4, 32]).unwrap();
+        let x = Var::constant(Tensor::zeros(&[2, 3, 8, 8]));
+        let mut ctx = ForwardCtx::train(&bits, 0, Quantizer::Sbm);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = sn.forward(&x, &mut ctx, 3.0, &mut rng);
+        assert_eq!(out.logits.dims(), vec![2, 5]);
+        let f = out.expected_cost.item();
+        assert!(f > 0.0 && f <= 3.0, "normalized flops {f}");
+    }
+
+    #[test]
+    fn gumbel_softmax_is_probability_vector() {
+        let theta = Var::leaf(Tensor::from_vec(vec![4], vec![1.0, 0.0, -1.0, 2.0]), true);
+        let mut rng = StdRng::seed_from_u64(2);
+        let y = gumbel_softmax(&theta, 1.0, &mut rng);
+        let v = y.value();
+        let sum: f32 = v.data().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(v.data().iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn low_temperature_sharpens_distribution() {
+        let theta = Var::leaf(Tensor::from_vec(vec![3], vec![2.0, 0.0, -2.0]), true);
+        let sharp = gumbel_softmax(&theta, 0.05, &mut StdRng::seed_from_u64(3));
+        let max = sharp.value().max_abs();
+        assert!(max > 0.95, "low-tau sample should be nearly one-hot, got {max}");
+    }
+
+    #[test]
+    fn arch_gradients_flow_from_classification_loss() {
+        let sn = tiny_supernet();
+        let bits = BitWidthSet::new(vec![4, 32]).unwrap();
+        let x = Var::constant(instantnet_tensor::init::uniform(
+            &mut StdRng::seed_from_u64(4),
+            &[2, 3, 8, 8],
+            -1.0,
+            1.0,
+        ));
+        let mut ctx = ForwardCtx::train(&bits, 0, Quantizer::Sbm);
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = sn.forward(&x, &mut ctx, 3.0, &mut rng);
+        let loss = ops::softmax_cross_entropy(&out.logits, &[0, 1])
+            .add(&out.expected_cost.scale(0.1));
+        loss.backward();
+        for theta in sn.arch_params() {
+            let g = theta.var().grad().expect("theta grad");
+            assert!(g.max_abs() > 0.0, "zero grad for {}", theta.name());
+        }
+    }
+
+    #[test]
+    fn derive_picks_argmax() {
+        let sn = tiny_supernet();
+        // Bias slot 0's logits toward candidate 2.
+        sn.arch_params()[0].var().update_value(|t| {
+            t.data_mut()[2] = 5.0;
+        });
+        let arch = sn.derive();
+        let labels = sn.candidate_labels();
+        assert_eq!(arch.describe().split('|').next().unwrap(), labels[0][2]);
+    }
+
+    #[test]
+    fn weight_and_arch_params_are_disjoint() {
+        let sn = tiny_supernet();
+        let arch_ids: Vec<u64> = sn.arch_params().iter().map(|p| p.var().id()).collect();
+        for w in sn.weight_params() {
+            assert!(!arch_ids.contains(&w.var().id()));
+        }
+        assert_eq!(sn.arch_params().len(), 3);
+    }
+
+    #[test]
+    fn expected_flops_prefers_skip_when_biased() {
+        let sn = tiny_supernet();
+        let bits = BitWidthSet::new(vec![4]).unwrap();
+        let x = Var::constant(Tensor::zeros(&[1, 3, 8, 8]));
+        let run = |sn: &Supernet| {
+            let mut ctx = ForwardCtx::train(&bits, 0, Quantizer::Sbm);
+            let mut rng = StdRng::seed_from_u64(6);
+            sn.forward(&x, &mut ctx, 0.05, &mut rng).expected_cost.item()
+        };
+        let before = run(&sn);
+        // Bias every slot with a skip candidate hard toward skip.
+        for (slot, labels) in sn.candidate_labels().into_iter().enumerate() {
+            if let Some(i) = labels.iter().position(|l| l == "skip") {
+                sn.arch_params()[slot].var().update_value(|t| {
+                    t.data_mut()[i] = 50.0;
+                });
+            }
+        }
+        let after = run(&sn);
+        assert!(after < before, "flops {before} -> {after}");
+    }
+}

@@ -1,0 +1,383 @@
+//! Composite blocks: conv-BN-act, MobileNetV2 inverted residuals, ResNet
+//! basic blocks.
+
+use crate::layers::{Activation, QuantConv2d, SwitchableBatchNorm};
+use crate::{ConvSpec, ForwardCtx, Module};
+use instantnet_tensor::{Param, Var};
+use rand::rngs::StdRng;
+
+/// Convolution followed by switchable batch norm and an activation.
+pub struct ConvBnAct {
+    conv: QuantConv2d,
+    bn: SwitchableBatchNorm,
+    act: Activation,
+}
+
+impl ConvBnAct {
+    /// Builds the fused block.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        rng: &mut StdRng,
+        name: &str,
+        in_c: usize,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        groups: usize,
+        n_bits: usize,
+        act: Activation,
+        quantize_input: bool,
+    ) -> Self {
+        let pad = kernel / 2;
+        ConvBnAct {
+            conv: QuantConv2d::new(
+                rng,
+                name,
+                in_c,
+                out_c,
+                kernel,
+                stride,
+                pad,
+                groups,
+                quantize_input,
+            ),
+            bn: SwitchableBatchNorm::new(&format!("{name}.bn"), out_c, n_bits),
+            act,
+        }
+    }
+}
+
+impl Module for ConvBnAct {
+    fn forward(&self, x: &Var, ctx: &mut ForwardCtx) -> Var {
+        let y = self.conv.forward(x, ctx);
+        let y = self.bn.forward(&y, ctx);
+        self.act.forward(&y, ctx)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut p = self.conv.params();
+        p.extend(self.bn.params());
+        p
+    }
+
+    fn conv_specs(
+        &self,
+        in_shape: (usize, usize, usize),
+    ) -> (Vec<ConvSpec>, (usize, usize, usize)) {
+        self.conv.conv_specs(in_shape)
+    }
+}
+
+/// MobileNetV2 inverted residual: 1x1 expand → depthwise kxk → 1x1 linear
+/// project, with a residual connection when shapes allow.
+///
+/// The depthwise stage is the documented low-precision accuracy bottleneck
+/// (the paper notes SP-Nets "fail to work on lower bit-widths when being
+/// applied to MobileNetV2"), which is why this block matters for CDT.
+pub struct InvertedResidual {
+    expand: Option<ConvBnAct>,
+    depthwise: ConvBnAct,
+    project: ConvBnAct,
+    use_res: bool,
+}
+
+impl InvertedResidual {
+    /// Builds an MBConv block with expansion factor `expand_ratio` and a
+    /// square depthwise kernel.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        rng: &mut StdRng,
+        name: &str,
+        in_c: usize,
+        out_c: usize,
+        expand_ratio: usize,
+        kernel: usize,
+        stride: usize,
+        n_bits: usize,
+    ) -> Self {
+        assert!(expand_ratio >= 1, "expansion ratio must be >= 1");
+        let hidden = in_c * expand_ratio;
+        let expand = if expand_ratio > 1 {
+            Some(ConvBnAct::new(
+                rng,
+                &format!("{name}.expand"),
+                in_c,
+                hidden,
+                1,
+                1,
+                1,
+                n_bits,
+                Activation::Relu6,
+                true,
+            ))
+        } else {
+            None
+        };
+        let depthwise = ConvBnAct::new(
+            rng,
+            &format!("{name}.dw"),
+            hidden,
+            hidden,
+            kernel,
+            stride,
+            hidden,
+            n_bits,
+            Activation::Relu6,
+            true,
+        );
+        let project = ConvBnAct::new(
+            rng,
+            &format!("{name}.project"),
+            hidden,
+            out_c,
+            1,
+            1,
+            1,
+            n_bits,
+            Activation::None,
+            true,
+        );
+        InvertedResidual {
+            expand,
+            depthwise,
+            project,
+            use_res: stride == 1 && in_c == out_c,
+        }
+    }
+
+    /// Whether the block adds a residual connection.
+    pub fn has_residual(&self) -> bool {
+        self.use_res
+    }
+}
+
+impl Module for InvertedResidual {
+    fn forward(&self, x: &Var, ctx: &mut ForwardCtx) -> Var {
+        let mut y = x.clone();
+        if let Some(e) = &self.expand {
+            y = e.forward(&y, ctx);
+        }
+        y = self.depthwise.forward(&y, ctx);
+        y = self.project.forward(&y, ctx);
+        if self.use_res {
+            y = y.add(x);
+        }
+        y
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut p = Vec::new();
+        if let Some(e) = &self.expand {
+            p.extend(e.params());
+        }
+        p.extend(self.depthwise.params());
+        p.extend(self.project.params());
+        p
+    }
+
+    fn conv_specs(
+        &self,
+        in_shape: (usize, usize, usize),
+    ) -> (Vec<ConvSpec>, (usize, usize, usize)) {
+        let mut specs = Vec::new();
+        let mut shape = in_shape;
+        if let Some(e) = &self.expand {
+            let (s, out) = e.conv_specs(shape);
+            specs.extend(s);
+            shape = out;
+        }
+        let (s, out) = self.depthwise.conv_specs(shape);
+        specs.extend(s);
+        shape = out;
+        let (s, out) = self.project.conv_specs(shape);
+        specs.extend(s);
+        (specs, out)
+    }
+}
+
+/// ResNet basic block: two 3x3 convolutions with an identity or projection
+/// shortcut.
+pub struct BasicBlock {
+    conv1: ConvBnAct,
+    conv2: ConvBnAct,
+    shortcut: Option<ConvBnAct>,
+}
+
+impl BasicBlock {
+    /// Builds a basic block; a 1x1 projection shortcut is inserted when the
+    /// stride or channel count changes.
+    pub fn new(
+        rng: &mut StdRng,
+        name: &str,
+        in_c: usize,
+        out_c: usize,
+        stride: usize,
+        n_bits: usize,
+    ) -> Self {
+        let conv1 = ConvBnAct::new(
+            rng,
+            &format!("{name}.conv1"),
+            in_c,
+            out_c,
+            3,
+            stride,
+            1,
+            n_bits,
+            Activation::Relu,
+            true,
+        );
+        let conv2 = ConvBnAct::new(
+            rng,
+            &format!("{name}.conv2"),
+            out_c,
+            out_c,
+            3,
+            1,
+            1,
+            n_bits,
+            Activation::None,
+            true,
+        );
+        let shortcut = if stride != 1 || in_c != out_c {
+            Some(ConvBnAct::new(
+                rng,
+                &format!("{name}.shortcut"),
+                in_c,
+                out_c,
+                1,
+                stride,
+                1,
+                n_bits,
+                Activation::None,
+                true,
+            ))
+        } else {
+            None
+        };
+        BasicBlock {
+            conv1,
+            conv2,
+            shortcut,
+        }
+    }
+}
+
+impl Module for BasicBlock {
+    fn forward(&self, x: &Var, ctx: &mut ForwardCtx) -> Var {
+        let y = self.conv1.forward(x, ctx);
+        let y = self.conv2.forward(&y, ctx);
+        let sc = match &self.shortcut {
+            Some(p) => p.forward(x, ctx),
+            None => x.clone(),
+        };
+        y.add(&sc).relu()
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut p = self.conv1.params();
+        p.extend(self.conv2.params());
+        if let Some(s) = &self.shortcut {
+            p.extend(s.params());
+        }
+        p
+    }
+
+    fn conv_specs(
+        &self,
+        in_shape: (usize, usize, usize),
+    ) -> (Vec<ConvSpec>, (usize, usize, usize)) {
+        let (mut specs, mid) = self.conv1.conv_specs(in_shape);
+        let (s2, out) = self.conv2.conv_specs(mid);
+        specs.extend(s2);
+        if let Some(s) = &self.shortcut {
+            let (s3, _) = s.conv_specs(in_shape);
+            specs.extend(s3);
+        }
+        (specs, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instantnet_quant::{BitWidthSet, Quantizer};
+    use instantnet_tensor::{init, Tensor};
+    use rand::SeedableRng;
+
+    fn ctx() -> ForwardCtx {
+        ForwardCtx::train(&BitWidthSet::narrow_range(), 0, Quantizer::Sbm)
+    }
+
+    #[test]
+    fn inverted_residual_preserving_shape_uses_residual() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let b = InvertedResidual::new(&mut rng, "b", 8, 8, 3, 3, 1, 4);
+        assert!(b.has_residual());
+        let x = Var::constant(init::uniform(&mut rng, &[1, 8, 4, 4], -1.0, 1.0));
+        let y = b.forward(&x, &mut ctx());
+        assert_eq!(y.dims(), vec![1, 8, 4, 4]);
+    }
+
+    #[test]
+    fn inverted_residual_strided_drops_residual() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let b = InvertedResidual::new(&mut rng, "b", 8, 16, 6, 5, 2, 4);
+        assert!(!b.has_residual());
+        let x = Var::constant(Tensor::zeros(&[1, 8, 8, 8]));
+        let y = b.forward(&x, &mut ctx());
+        assert_eq!(y.dims(), vec![1, 16, 4, 4]);
+        let (specs, out) = b.conv_specs((8, 8, 8));
+        assert_eq!(specs.len(), 3); // expand + dw + project
+        assert_eq!(out, (16, 4, 4));
+        // Depthwise stage has groups == hidden channels.
+        assert_eq!(specs[1].groups, 48);
+    }
+
+    #[test]
+    fn expansion_one_skips_expand_conv() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let b = InvertedResidual::new(&mut rng, "b", 8, 8, 1, 3, 1, 2);
+        let (specs, _) = b.conv_specs((8, 6, 6));
+        assert_eq!(specs.len(), 2); // dw + project only
+    }
+
+    #[test]
+    fn basic_block_shapes_and_projection() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let b = BasicBlock::new(&mut rng, "b", 8, 16, 2, 3);
+        let x = Var::constant(init::uniform(&mut rng, &[2, 8, 8, 8], -1.0, 1.0));
+        let y = b.forward(&x, &mut ctx());
+        assert_eq!(y.dims(), vec![2, 16, 4, 4]);
+        let (specs, out) = b.conv_specs((8, 8, 8));
+        assert_eq!(specs.len(), 3); // conv1 + conv2 + projection shortcut
+        assert_eq!(out, (16, 4, 4));
+    }
+
+    #[test]
+    fn basic_block_identity_shortcut_has_two_convs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let b = BasicBlock::new(&mut rng, "b", 8, 8, 1, 3);
+        let (specs, _) = b.conv_specs((8, 8, 8));
+        assert_eq!(specs.len(), 2);
+    }
+
+    #[test]
+    fn block_gradients_reach_all_params() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let b = BasicBlock::new(&mut rng, "b", 4, 4, 1, 2);
+        let x = Var::constant(init::uniform(&mut rng, &[2, 4, 4, 4], -1.0, 1.0));
+        // Forward at every bit index so each BN branch receives gradient.
+        let bits = BitWidthSet::new(vec![4, 8]).unwrap();
+        for i in 0..2 {
+            let mut c = ForwardCtx::train(&bits, i, Quantizer::Sbm);
+            b.forward(&x, &mut c).sum().backward();
+        }
+        for p in b.params() {
+            assert!(
+                p.var().grad().is_some(),
+                "missing grad for {}",
+                p.name()
+            );
+        }
+    }
+}

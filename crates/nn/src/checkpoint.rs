@@ -1,0 +1,247 @@
+//! Weight checkpointing: save/load a module's parameters to a simple
+//! self-describing binary format (no external serialization deps).
+//!
+//! Format (little-endian): magic `b"INET"`, format version `u32`,
+//! parameter count `u32`, then per parameter: name length `u32`, UTF-8
+//! name bytes, rank `u32`, dims (`u64` each), and `f32` data.
+
+use crate::Module;
+use instantnet_tensor::Tensor;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"INET";
+const VERSION: u32 = 1;
+
+/// Errors from checkpoint I/O.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// Missing or wrong magic/version header.
+    BadHeader,
+    /// File data was malformed (truncated, bad UTF-8, absurd sizes).
+    Corrupt(&'static str),
+    /// A parameter in the file has no counterpart in the module, or the
+    /// shapes disagree.
+    Mismatch(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::BadHeader => write!(f, "not an InstantNet checkpoint"),
+            CheckpointError::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
+            CheckpointError::Mismatch(name) => write!(f, "parameter mismatch for '{name}'"),
+        }
+    }
+}
+
+impl Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Saves every parameter of `module` to `path`.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] on filesystem failures.
+pub fn save(module: &dyn Module, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let params = module.params();
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    for p in &params {
+        let name = p.name().as_bytes();
+        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(name)?;
+        let value = p.var().value();
+        let dims = value.dims();
+        w.write_all(&(dims.len() as u32).to_le_bytes())?;
+        for &d in dims {
+            w.write_all(&(d as u64).to_le_bytes())?;
+        }
+        for v in value.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32, CheckpointError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> Result<u64, CheckpointError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Reads a checkpoint into a name → tensor map.
+///
+/// # Errors
+///
+/// Returns header/corruption errors for malformed files.
+pub fn read_tensors(
+    path: impl AsRef<Path>,
+) -> Result<HashMap<String, Tensor>, CheckpointError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC || read_u32(&mut r)? != VERSION {
+        return Err(CheckpointError::BadHeader);
+    }
+    let count = read_u32(&mut r)? as usize;
+    let mut out = HashMap::with_capacity(count);
+    for _ in 0..count {
+        let name_len = read_u32(&mut r)? as usize;
+        if name_len > 4096 {
+            return Err(CheckpointError::Corrupt("parameter name too long"));
+        }
+        let mut name_bytes = vec![0u8; name_len];
+        r.read_exact(&mut name_bytes)?;
+        let name = String::from_utf8(name_bytes)
+            .map_err(|_| CheckpointError::Corrupt("non-UTF-8 parameter name"))?;
+        let rank = read_u32(&mut r)? as usize;
+        if rank > 8 {
+            return Err(CheckpointError::Corrupt("rank too large"));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(read_u64(&mut r)? as usize);
+        }
+        let n: usize = dims.iter().product();
+        if n > 1 << 28 {
+            return Err(CheckpointError::Corrupt("tensor too large"));
+        }
+        let mut data = vec![0.0f32; n];
+        for v in data.iter_mut() {
+            let mut b = [0u8; 4];
+            r.read_exact(&mut b)?;
+            *v = f32::from_le_bytes(b);
+        }
+        out.insert(name, Tensor::from_vec(dims, data));
+    }
+    Ok(out)
+}
+
+/// Loads a checkpoint into `module`, matching parameters by name.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Mismatch`] if any module parameter is absent
+/// from the file or has a different shape; file I/O and format errors
+/// propagate.
+pub fn load(module: &dyn Module, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let mut tensors = read_tensors(path)?;
+    for p in module.params() {
+        let Some(t) = tensors.remove(p.name()) else {
+            return Err(CheckpointError::Mismatch(p.name().to_string()));
+        };
+        if t.dims() != p.var().value().dims() {
+            return Err(CheckpointError::Mismatch(p.name().to_string()));
+        }
+        p.var().set_value(t);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use crate::ForwardCtx;
+    use instantnet_quant::{BitWidthSet, Quantizer};
+    use instantnet_tensor::Var;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("instantnet-ckpt-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_restores_outputs() {
+        let bits = BitWidthSet::new(vec![4, 32]).unwrap();
+        let a = models::small_cnn(4, 5, (6, 6), bits.len(), 1);
+        let path = tmp("roundtrip.bin");
+        save(&a, &path).unwrap();
+        // A differently initialized clone of the same topology.
+        let b = models::small_cnn(4, 5, (6, 6), bits.len(), 2);
+        use rand::SeedableRng;
+        let x = Var::constant(instantnet_tensor::init::uniform(
+            &mut rand::rngs::StdRng::seed_from_u64(3),
+            &[1, 3, 6, 6],
+            -1.0,
+            1.0,
+        ));
+        let fwd = |net: &models::Network| {
+            let mut ctx = ForwardCtx::train(&bits, 0, Quantizer::Sbm);
+            net.forward(&x, &mut ctx).value()
+        };
+        assert_ne!(fwd(&a), fwd(&b), "different seeds differ");
+        load(&b, &path).unwrap();
+        assert_eq!(fwd(&a), fwd(&b), "loaded weights reproduce outputs");
+    }
+
+    #[test]
+    fn load_rejects_wrong_topology() {
+        let a = models::small_cnn(4, 5, (6, 6), 1, 1);
+        let path = tmp("wrong-topo.bin");
+        save(&a, &path).unwrap();
+        let wider = models::small_cnn(8, 5, (6, 6), 1, 1);
+        let err = load(&wider, &path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn load_rejects_garbage_file() {
+        let path = tmp("garbage.bin");
+        std::fs::write(&path, b"definitely not a checkpoint").unwrap();
+        let net = models::small_cnn(4, 5, (6, 6), 1, 1);
+        let err = load(&net, &path).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::BadHeader | CheckpointError::Io(_)),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn read_tensors_exposes_names() {
+        let net = models::small_cnn(4, 5, (6, 6), 2, 1);
+        let path = tmp("names.bin");
+        save(&net, &path).unwrap();
+        let tensors = read_tensors(&path).unwrap();
+        assert_eq!(tensors.len(), net.params().len());
+        assert!(tensors.keys().any(|k| k.contains("classifier")));
+        assert!(tensors.keys().any(|k| k.contains("gamma")));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let net = models::small_cnn(4, 5, (6, 6), 1, 1);
+        let err = load(&net, tmp("does-not-exist.bin")).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+    }
+}

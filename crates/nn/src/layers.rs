@@ -1,0 +1,498 @@
+//! Primitive quantization-aware layers.
+
+use crate::{ConvSpec, ForwardCtx, Module};
+use instantnet_tensor::{init, ops, Param, Tensor, Var};
+use rand::rngs::StdRng;
+use std::cell::RefCell;
+
+/// Quantized 2-d convolution (no bias; batch norm follows).
+///
+/// The full-precision weight is shared across all bit-widths; at forward
+/// time both the input activations and the weight are quantized to the
+/// precision in the [`ForwardCtx`] through straight-through estimators.
+pub struct QuantConv2d {
+    weight: Param,
+    in_c: usize,
+    out_c: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+    /// First-layer convention: raw images are not re-quantized.
+    quantize_input: bool,
+    /// Optional PACT learnable activation clipping (replaces the
+    /// quantizer's own activation rule when present).
+    pact_alpha: Option<Param>,
+}
+
+impl QuantConv2d {
+    /// Creates a conv layer with Kaiming-uniform initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_c`/`out_c` are not divisible by `groups`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        rng: &mut StdRng,
+        name: &str,
+        in_c: usize,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        groups: usize,
+        quantize_input: bool,
+    ) -> Self {
+        assert_eq!(in_c % groups, 0, "in_c must divide by groups");
+        assert_eq!(out_c % groups, 0, "out_c must divide by groups");
+        let weight = Param::new(
+            format!("{name}.weight"),
+            init::kaiming_uniform(rng, &[out_c, in_c / groups, kernel, kernel]),
+        );
+        QuantConv2d {
+            weight,
+            in_c,
+            out_c,
+            kernel,
+            stride,
+            pad,
+            groups,
+            quantize_input,
+            pact_alpha: None,
+        }
+    }
+
+    /// Enables PACT activation quantization (Choi et al. 2018): inputs are
+    /// clipped to a per-layer *learnable* range `[0, alpha]` before uniform
+    /// quantization, instead of the quantizer's static rule.
+    pub fn with_pact(mut self, alpha_init: f32) -> Self {
+        assert!(alpha_init > 0.0, "PACT alpha must start positive");
+        self.pact_alpha = Some(Param::new(
+            format!("{}.pact_alpha", self.weight.name().trim_end_matches(".weight")),
+            Tensor::scalar(alpha_init),
+        ));
+        self
+    }
+
+    /// The layer's shape spec for an input of `in_h x in_w`.
+    pub fn spec(&self, in_h: usize, in_w: usize) -> ConvSpec {
+        ConvSpec {
+            in_c: self.in_c,
+            out_c: self.out_c,
+            kernel: self.kernel,
+            stride: self.stride,
+            pad: self.pad,
+            groups: self.groups,
+            in_h,
+            in_w,
+        }
+    }
+}
+
+impl Module for QuantConv2d {
+    fn forward(&self, x: &Var, ctx: &mut ForwardCtx) -> Var {
+        let xq = if !self.quantize_input {
+            x.clone()
+        } else if let (Some(alpha), false) = (
+            &self.pact_alpha,
+            ctx.precision.activation.is_full_precision(),
+        ) {
+            ops::pact(x, alpha.var(), ctx.precision.activation.get())
+        } else {
+            ctx.quantizer
+                .quantize_activations(x, ctx.precision.activation)
+        };
+        let wq = ctx
+            .quantizer
+            .quantize_weights(self.weight.var(), ctx.precision.weight);
+        ops::conv2d(&xq, &wq, self.stride, self.pad, self.groups)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut p = vec![self.weight.clone()];
+        if let Some(a) = &self.pact_alpha {
+            p.push(a.clone());
+        }
+        p
+    }
+
+    fn conv_specs(
+        &self,
+        in_shape: (usize, usize, usize),
+    ) -> (Vec<ConvSpec>, (usize, usize, usize)) {
+        let (c, h, w) = in_shape;
+        assert_eq!(c, self.in_c, "input channels {c} != layer in_c {}", self.in_c);
+        let spec = self.spec(h, w);
+        let (oh, ow) = spec.out_hw();
+        (vec![spec], (self.out_c, oh, ow))
+    }
+}
+
+/// Quantized fully-connected classifier head.
+pub struct QuantLinear {
+    weight: Param,
+    bias: Param,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl QuantLinear {
+    /// Creates a linear layer with Kaiming-uniform initialization.
+    pub fn new(rng: &mut StdRng, name: &str, in_features: usize, out_features: usize) -> Self {
+        QuantLinear {
+            weight: Param::new(
+                format!("{name}.weight"),
+                init::kaiming_uniform(rng, &[out_features, in_features]),
+            ),
+            bias: Param::new(format!("{name}.bias"), Tensor::zeros(&[out_features])),
+            in_features,
+            out_features,
+        }
+    }
+}
+
+impl Module for QuantLinear {
+    fn forward(&self, x: &Var, ctx: &mut ForwardCtx) -> Var {
+        let xq = ctx
+            .quantizer
+            .quantize_activations(x, ctx.precision.activation);
+        let wq = ctx
+            .quantizer
+            .quantize_weights(self.weight.var(), ctx.precision.weight);
+        ops::linear(&xq, &wq, Some(self.bias.var()))
+    }
+
+    fn params(&self) -> Vec<Param> {
+        vec![self.weight.clone(), self.bias.clone()]
+    }
+
+    fn conv_specs(
+        &self,
+        in_shape: (usize, usize, usize),
+    ) -> (Vec<ConvSpec>, (usize, usize, usize)) {
+        let (c, h, w) = in_shape;
+        assert_eq!(c * h * w, self.in_features, "linear input size mismatch");
+        // Model the FC layer as a 1x1 conv over a 1x1 feature map.
+        (
+            vec![ConvSpec {
+                in_c: self.in_features,
+                out_c: self.out_features,
+                kernel: 1,
+                stride: 1,
+                pad: 0,
+                groups: 1,
+                in_h: 1,
+                in_w: 1,
+            }],
+            (self.out_features, 1, 1),
+        )
+    }
+}
+
+/// Batch normalization with one statistics/affine branch per bit-width.
+///
+/// Quantization noise shifts activation statistics differently at each
+/// precision, so SP-Nets keep independent BN parameters and running
+/// statistics per bit-width (SP, Guerra et al. 2020) while convolutional
+/// weights stay shared. `ctx.bit_index` selects the branch.
+pub struct SwitchableBatchNorm {
+    gammas: Vec<Param>,
+    betas: Vec<Param>,
+    running: RefCell<Vec<RunningStats>>,
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+}
+
+#[derive(Debug, Clone)]
+struct RunningStats {
+    mean: Tensor,
+    var: Tensor,
+    initialized: bool,
+}
+
+impl SwitchableBatchNorm {
+    /// Creates `n_bits` independent BN branches over `channels` channels.
+    pub fn new(name: &str, channels: usize, n_bits: usize) -> Self {
+        let gammas = (0..n_bits)
+            .map(|i| Param::new(format!("{name}.gamma[{i}]"), Tensor::ones(&[channels])))
+            .collect();
+        let betas = (0..n_bits)
+            .map(|i| Param::new(format!("{name}.beta[{i}]"), Tensor::zeros(&[channels])))
+            .collect();
+        let running = (0..n_bits)
+            .map(|_| RunningStats {
+                mean: Tensor::zeros(&[channels]),
+                var: Tensor::ones(&[channels]),
+                initialized: false,
+            })
+            .collect();
+        SwitchableBatchNorm {
+            gammas,
+            betas,
+            running: RefCell::new(running),
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+        }
+    }
+
+    /// Number of per-bit-width branches.
+    pub fn branches(&self) -> usize {
+        self.gammas.len()
+    }
+
+    /// Running mean/variance of branch `index` (diagnostics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn running_stats(&self, index: usize) -> (Tensor, Tensor) {
+        let r = &self.running.borrow()[index];
+        (r.mean.clone(), r.var.clone())
+    }
+}
+
+impl Module for SwitchableBatchNorm {
+    fn forward(&self, x: &Var, ctx: &mut ForwardCtx) -> Var {
+        let i = ctx.bit_index;
+        assert!(
+            i < self.gammas.len(),
+            "bit index {i} out of range for {} BN branches",
+            self.gammas.len()
+        );
+        if ctx.train {
+            let bn = ops::batch_norm2d(
+                x,
+                self.gammas[i].var(),
+                self.betas[i].var(),
+                self.eps,
+                None,
+            );
+            let mut running = self.running.borrow_mut();
+            let slot = &mut running[i];
+            if slot.initialized {
+                // EMA update: r = (1-m) r + m batch.
+                let m = self.momentum;
+                slot.mean = slot.mean.scale(1.0 - m).add(&bn.mean.scale(m));
+                slot.var = slot.var.scale(1.0 - m).add(&bn.var.scale(m));
+            } else {
+                slot.mean = bn.mean.clone();
+                slot.var = bn.var.clone();
+                slot.initialized = true;
+            }
+            bn.out
+        } else {
+            let running = self.running.borrow();
+            let slot = &running[i];
+            ops::batch_norm2d(
+                x,
+                self.gammas[i].var(),
+                self.betas[i].var(),
+                self.eps,
+                Some((slot.mean.clone(), slot.var.clone())),
+            )
+            .out
+        }
+    }
+
+    fn params(&self) -> Vec<Param> {
+        self.gammas
+            .iter()
+            .chain(self.betas.iter())
+            .cloned()
+            .collect()
+    }
+
+    fn conv_specs(
+        &self,
+        in_shape: (usize, usize, usize),
+    ) -> (Vec<ConvSpec>, (usize, usize, usize)) {
+        assert_eq!(in_shape.0, self.channels, "BN channel mismatch");
+        (vec![], in_shape)
+    }
+}
+
+/// Activation functions usable as modules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Activation {
+    /// `max(x, 0)`.
+    #[default]
+    Relu,
+    /// `min(max(x, 0), 6)`.
+    Relu6,
+    /// Identity (linear bottleneck projections).
+    None,
+}
+
+impl Module for Activation {
+    fn forward(&self, x: &Var, _ctx: &mut ForwardCtx) -> Var {
+        match self {
+            Activation::Relu => x.relu(),
+            Activation::Relu6 => x.relu6(),
+            Activation::None => x.clone(),
+        }
+    }
+
+    fn params(&self) -> Vec<Param> {
+        vec![]
+    }
+
+    fn conv_specs(
+        &self,
+        in_shape: (usize, usize, usize),
+    ) -> (Vec<ConvSpec>, (usize, usize, usize)) {
+        (vec![], in_shape)
+    }
+}
+
+/// Global average pooling + flatten: `[N,C,H,W] -> [N,C]`.
+pub struct GlobalAvgPool;
+
+impl Module for GlobalAvgPool {
+    fn forward(&self, x: &Var, _ctx: &mut ForwardCtx) -> Var {
+        ops::global_avg_pool(x)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        vec![]
+    }
+
+    fn conv_specs(
+        &self,
+        in_shape: (usize, usize, usize),
+    ) -> (Vec<ConvSpec>, (usize, usize, usize)) {
+        (vec![], (in_shape.0, 1, 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instantnet_quant::{BitWidthSet, Quantizer};
+    use rand::SeedableRng;
+
+    fn ctx_train(index: usize) -> ForwardCtx {
+        ForwardCtx::train(&BitWidthSet::large_range(), index, Quantizer::Sbm)
+    }
+
+    #[test]
+    fn conv_forward_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let conv = QuantConv2d::new(&mut rng, "c", 3, 8, 3, 2, 1, 1, false);
+        let x = Var::constant(Tensor::zeros(&[2, 3, 8, 8]));
+        let y = conv.forward(&x, &mut ctx_train(0));
+        assert_eq!(y.dims(), vec![2, 8, 4, 4]);
+        let (specs, out) = conv.conv_specs((3, 8, 8));
+        assert_eq!(specs.len(), 1);
+        assert_eq!(out, (8, 4, 4));
+    }
+
+    #[test]
+    fn conv_weight_grad_flows_through_quantization() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let conv = QuantConv2d::new(&mut rng, "c", 2, 4, 3, 1, 1, 1, true);
+        let x = Var::constant(init::uniform(&mut rng, &[1, 2, 4, 4], 0.0, 1.0));
+        let y = conv.forward(&x, &mut ctx_train(0));
+        y.sum().backward();
+        let g = conv.params()[0].var().grad().expect("weight grad");
+        assert!(g.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn pact_conv_trains_its_clip_and_bounds_inputs() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let conv =
+            QuantConv2d::new(&mut rng, "c", 2, 4, 3, 1, 1, 1, true).with_pact(1.0);
+        assert_eq!(conv.params().len(), 2, "weight + alpha");
+        let x = Var::constant(init::uniform(&mut rng, &[1, 2, 4, 4], -2.0, 4.0));
+        let y = conv.forward(&x, &mut ctx_train(0));
+        y.sum().backward();
+        let alpha = &conv.params()[1];
+        assert!(alpha.name().contains("pact_alpha"));
+        assert!(alpha.var().grad().is_some(), "alpha must receive gradient");
+    }
+
+    #[test]
+    fn pact_disabled_at_full_precision() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let conv =
+            QuantConv2d::new(&mut rng, "c", 2, 2, 3, 1, 1, 1, true).with_pact(0.5);
+        let x = Var::constant(init::uniform(&mut rng, &[1, 2, 4, 4], -2.0, 4.0));
+        // Full-precision rung: PACT must not clip.
+        let bits = BitWidthSet::new(vec![4, 32]).unwrap();
+        let mut ctx = ForwardCtx::train(&bits, 1, Quantizer::Sbm);
+        let y_fp = conv.forward(&x, &mut ctx).value();
+        let mut ctx_q = ForwardCtx::train(&bits, 0, Quantizer::Sbm);
+        let y_q = conv.forward(&x, &mut ctx_q).value();
+        assert_ne!(y_fp, y_q, "quantized rung must clip, FP rung must not");
+    }
+
+    #[test]
+    fn switchable_bn_branches_are_independent() {
+        let bn = SwitchableBatchNorm::new("bn", 4, 5);
+        assert_eq!(bn.branches(), 5);
+        let mut rng = StdRng::seed_from_u64(2);
+        // Feed different data at different bit indices; running stats differ.
+        let x0 = Var::constant(init::uniform(&mut rng, &[4, 4, 2, 2], 0.0, 1.0));
+        let x1 = Var::constant(init::uniform(&mut rng, &[4, 4, 2, 2], 5.0, 6.0));
+        bn.forward(&x0, &mut ctx_train(0));
+        bn.forward(&x1, &mut ctx_train(1));
+        let (m0, _) = bn.running_stats(0);
+        let (m1, _) = bn.running_stats(1);
+        assert!(m1.mean() > m0.mean() + 1.0);
+        // Untouched branch keeps its init.
+        let (m2, v2) = bn.running_stats(2);
+        assert_eq!(m2.mean(), 0.0);
+        assert_eq!(v2.mean(), 1.0);
+    }
+
+    #[test]
+    fn bn_eval_uses_running_stats() {
+        let bn = SwitchableBatchNorm::new("bn", 2, 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Var::constant(init::uniform(&mut rng, &[8, 2, 3, 3], -1.0, 1.0));
+        bn.forward(&x, &mut ctx_train(0)); // seed running stats
+        let mut eval = ForwardCtx::eval(&BitWidthSet::large_range(), 0, Quantizer::Sbm);
+        let y1 = bn.forward(&x, &mut eval).value();
+        let y2 = bn.forward(&x, &mut eval).value();
+        assert_eq!(y1, y2, "eval mode must be deterministic");
+    }
+
+    #[test]
+    fn bn_normalizes_in_train_mode() {
+        let bn = SwitchableBatchNorm::new("bn", 1, 1);
+        let x = Var::constant(Tensor::from_vec(
+            vec![1, 1, 2, 2],
+            vec![10.0, 12.0, 14.0, 16.0],
+        ));
+        let y = bn.forward(&x, &mut ctx_train(0)).value();
+        assert!(y.mean().abs() < 1e-5);
+    }
+
+    #[test]
+    fn linear_output_shape_and_spec() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let lin = QuantLinear::new(&mut rng, "fc", 16, 10);
+        let x = Var::constant(Tensor::zeros(&[3, 16]));
+        let y = lin.forward(&x, &mut ctx_train(0));
+        assert_eq!(y.dims(), vec![3, 10]);
+        let (specs, out) = lin.conv_specs((16, 1, 1));
+        assert_eq!(specs[0].macs(), 160);
+        assert_eq!(out, (10, 1, 1));
+    }
+
+    #[test]
+    fn activation_modules_have_no_params() {
+        assert!(Activation::Relu6.params().is_empty());
+        assert!(GlobalAvgPool.params().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "bit index")]
+    fn bn_rejects_out_of_range_bit_index() {
+        let bn = SwitchableBatchNorm::new("bn", 2, 2);
+        let x = Var::constant(Tensor::zeros(&[1, 2, 2, 2]));
+        bn.forward(&x, &mut ctx_train(4));
+    }
+}

@@ -1,0 +1,261 @@
+//! Quantization-aware layers and the InstantNet model zoo.
+//!
+//! Networks built from this crate are *switchable-precision*: one set of
+//! shared weights serves every bit-width in a [`instantnet_quant::BitWidthSet`].
+//! Quantization happens on the fly in the forward pass according to the
+//! active [`ForwardCtx`], and batch-normalization statistics are kept
+//! *per bit-width* ([`layers::SwitchableBatchNorm`]), following the
+//! switchable-BN design of SP-Nets that the paper adopts.
+//!
+//! # Example
+//!
+//! ```
+//! use instantnet_nn::{models, ForwardCtx, Module};
+//! use instantnet_quant::{BitWidthSet, Quantizer};
+//! use instantnet_tensor::{Tensor, Var};
+//!
+//! let bits = BitWidthSet::narrow_range();
+//! let net = models::small_cnn(8, 10, (8, 8), bits.len(), 42);
+//! let x = Var::constant(Tensor::zeros(&[2, 3, 8, 8]));
+//! let mut ctx = ForwardCtx::eval(&bits, 0, Quantizer::Sbm); // lowest bit-width
+//! let logits = net.forward(&x, &mut ctx);
+//! assert_eq!(logits.dims(), vec![2, 10]);
+//! ```
+
+pub mod blocks;
+pub mod checkpoint;
+pub mod layers;
+pub mod models;
+pub mod shapes;
+
+use instantnet_quant::{BitWidthSet, Precision, Quantizer};
+use instantnet_tensor::{Param, Var};
+
+/// Per-forward-pass configuration: which bit-width branch is active, the
+/// quantizer, and train/eval mode.
+#[derive(Debug, Clone)]
+pub struct ForwardCtx {
+    /// Training mode (batch statistics + running-stat updates) vs inference.
+    pub train: bool,
+    /// Index into the network's bit-width set; selects the BN branch.
+    pub bit_index: usize,
+    /// Active weight/activation precision.
+    pub precision: Precision,
+    /// Quantization rule.
+    pub quantizer: Quantizer,
+}
+
+impl ForwardCtx {
+    /// Training-mode context at bit-width `index` of `set`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for `set`.
+    pub fn train(set: &BitWidthSet, index: usize, quantizer: Quantizer) -> Self {
+        ForwardCtx {
+            train: true,
+            bit_index: index,
+            precision: Precision::uniform(set.at(index)),
+            quantizer,
+        }
+    }
+
+    /// Inference-mode context at bit-width `index` of `set`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for `set`.
+    pub fn eval(set: &BitWidthSet, index: usize, quantizer: Quantizer) -> Self {
+        ForwardCtx {
+            train: false,
+            ..ForwardCtx::train(set, index, quantizer)
+        }
+    }
+
+    /// Overrides the weight/activation precision (Table IV mixed settings).
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+}
+
+/// Shape/cost description of one convolutional (or linear, as 1x1 conv)
+/// layer — consumed by the FLOPs accounting here and by the dataflow /
+/// hardware-model crates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvSpec {
+    /// Input channels.
+    pub in_c: usize,
+    /// Output channels.
+    pub out_c: usize,
+    /// Kernel height/width (square).
+    pub kernel: usize,
+    /// Square stride.
+    pub stride: usize,
+    /// Zero padding per side.
+    pub pad: usize,
+    /// Channel groups (depthwise = `in_c`).
+    pub groups: usize,
+    /// Input spatial height.
+    pub in_h: usize,
+    /// Input spatial width.
+    pub in_w: usize,
+}
+
+impl ConvSpec {
+    /// Output spatial extents.
+    pub fn out_hw(&self) -> (usize, usize) {
+        (
+            (self.in_h + 2 * self.pad - self.kernel) / self.stride + 1,
+            (self.in_w + 2 * self.pad - self.kernel) / self.stride + 1,
+        )
+    }
+
+    /// Multiply-accumulate count for one sample.
+    pub fn macs(&self) -> u64 {
+        let (oh, ow) = self.out_hw();
+        (self.out_c * (self.in_c / self.groups) * self.kernel * self.kernel * oh * ow) as u64
+    }
+
+    /// FLOPs (2 per MAC) for one sample.
+    pub fn flops(&self) -> u64 {
+        2 * self.macs()
+    }
+
+    /// Weight element count.
+    pub fn weight_count(&self) -> u64 {
+        (self.out_c * (self.in_c / self.groups) * self.kernel * self.kernel) as u64
+    }
+}
+
+/// A differentiable network component.
+///
+/// Modules own [`Param`]s (shared across bit-widths) and build a fresh
+/// autograd graph on every [`Module::forward`] call.
+pub trait Module {
+    /// Runs the module, reading precision/mode from `ctx`.
+    fn forward(&self, x: &Var, ctx: &mut ForwardCtx) -> Var;
+
+    /// All trainable parameters (weights shared across bit-widths plus the
+    /// per-bit-width BN affine parameters).
+    fn params(&self) -> Vec<Param>;
+
+    /// Conv/linear shape specs given the input shape `(c, h, w)`; returns
+    /// the specs contributed by this module and its output shape.
+    fn conv_specs(&self, in_shape: (usize, usize, usize))
+        -> (Vec<ConvSpec>, (usize, usize, usize));
+}
+
+/// Runs modules in order.
+pub struct Sequential {
+    modules: Vec<Box<dyn Module>>,
+}
+
+impl Sequential {
+    /// Creates an empty container.
+    pub fn new() -> Self {
+        Sequential {
+            modules: Vec::new(),
+        }
+    }
+
+    /// Appends a module.
+    pub fn push(&mut self, m: Box<dyn Module>) {
+        self.modules.push(m);
+    }
+
+    /// Number of child modules.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.modules.len()
+    }
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Sequential::new()
+    }
+}
+
+impl Module for Sequential {
+    fn forward(&self, x: &Var, ctx: &mut ForwardCtx) -> Var {
+        let mut cur = x.clone();
+        for m in &self.modules {
+            cur = m.forward(&cur, ctx);
+        }
+        cur
+    }
+
+    fn params(&self) -> Vec<Param> {
+        self.modules.iter().flat_map(|m| m.params()).collect()
+    }
+
+    fn conv_specs(
+        &self,
+        in_shape: (usize, usize, usize),
+    ) -> (Vec<ConvSpec>, (usize, usize, usize)) {
+        let mut specs = Vec::new();
+        let mut shape = in_shape;
+        for m in &self.modules {
+            let (s, out) = m.conv_specs(shape);
+            specs.extend(s);
+            shape = out;
+        }
+        (specs, shape)
+    }
+}
+
+/// Total single-sample FLOPs of a module for a given input shape.
+pub fn total_flops(module: &dyn Module, in_shape: (usize, usize, usize)) -> u64 {
+    module.conv_specs(in_shape).0.iter().map(ConvSpec::flops).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_spec_arithmetic() {
+        let s = ConvSpec {
+            in_c: 3,
+            out_c: 16,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            groups: 1,
+            in_h: 8,
+            in_w: 8,
+        };
+        assert_eq!(s.out_hw(), (8, 8));
+        assert_eq!(s.macs(), 16 * 3 * 9 * 64);
+        assert_eq!(s.flops(), 2 * s.macs());
+        assert_eq!(s.weight_count(), 16 * 3 * 9);
+    }
+
+    #[test]
+    fn depthwise_spec_divides_channels() {
+        let s = ConvSpec {
+            in_c: 8,
+            out_c: 8,
+            kernel: 3,
+            stride: 2,
+            pad: 1,
+            groups: 8,
+            in_h: 8,
+            in_w: 8,
+        };
+        assert_eq!(s.out_hw(), (4, 4));
+        assert_eq!(s.macs(), 8 * 9 * 16);
+    }
+
+    #[test]
+    fn forward_ctx_constructors() {
+        let bits = BitWidthSet::large_range();
+        let c = ForwardCtx::train(&bits, 0, Quantizer::Sbm);
+        assert!(c.train);
+        assert_eq!(c.precision.weight.get(), 4);
+        let e = ForwardCtx::eval(&bits, 4, Quantizer::Sbm);
+        assert!(!e.train);
+        assert!(e.precision.weight.is_full_precision());
+    }
+}

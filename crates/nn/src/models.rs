@@ -1,0 +1,490 @@
+//! The model zoo: MobileNetV2 (CIFAR variant), ResNet-18/38/74, and a
+//! small CNN for fast tests.
+//!
+//! Every constructor takes a `scale` knob so the paper-faithful topology can
+//! be width/depth-reduced to laptop-CPU size while keeping the structural
+//! properties that matter (depthwise separability, residual topology,
+//! per-stage striding). Experiment binaries use the scaled variants; the
+//! unscaled configurations remain available for shape/FLOPs accounting.
+
+use crate::blocks::{BasicBlock, ConvBnAct, InvertedResidual};
+use crate::layers::{Activation, GlobalAvgPool, QuantLinear};
+use crate::{ConvSpec, ForwardCtx, Module, Sequential};
+use instantnet_tensor::{Param, Var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A complete classification network with known input geometry.
+pub struct Network {
+    name: String,
+    body: Sequential,
+    in_shape: (usize, usize, usize),
+}
+
+impl Network {
+    /// Wraps a body with its expected input shape `(c, h, w)`.
+    pub fn new(name: impl Into<String>, body: Sequential, in_shape: (usize, usize, usize)) -> Self {
+        Network {
+            name: name.into(),
+            body,
+            in_shape,
+        }
+    }
+
+    /// Human-readable model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Expected input shape `(c, h, w)`.
+    pub fn in_shape(&self) -> (usize, usize, usize) {
+        self.in_shape
+    }
+
+    /// Conv/linear specs of the whole network (for FLOPs and hardware
+    /// mapping).
+    pub fn specs(&self) -> Vec<ConvSpec> {
+        self.body.conv_specs(self.in_shape).0
+    }
+
+    /// Single-sample FLOPs.
+    pub fn flops(&self) -> u64 {
+        self.specs().iter().map(ConvSpec::flops).sum()
+    }
+
+    /// Total trainable parameter count (all BN branches included).
+    pub fn param_count(&self) -> u64 {
+        self.params().iter().map(|p| p.len() as u64).sum()
+    }
+
+    /// A human-readable model summary: name, input geometry, layer table
+    /// with shapes and MACs, and totals.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let (c, h, w) = self.in_shape;
+        let _ = writeln!(out, "{} (input {c}x{h}x{w})", self.name);
+        let _ = writeln!(
+            out,
+            "{:>4} {:>22} {:>8} {:>7} {:>12}",
+            "#", "conv (inCxoutC kxk/s)", "groups", "out hw", "MACs"
+        );
+        for (i, spec) in self.specs().iter().enumerate() {
+            let (oh, ow) = spec.out_hw();
+            let _ = writeln!(
+                out,
+                "{:>4} {:>22} {:>8} {:>7} {:>12}",
+                i,
+                format!(
+                    "{}x{} {}x{}/{}",
+                    spec.in_c, spec.out_c, spec.kernel, spec.kernel, spec.stride
+                ),
+                spec.groups,
+                format!("{oh}x{ow}"),
+                spec.macs()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "total: {} FLOPs, {} parameters",
+            self.flops(),
+            self.param_count()
+        );
+        out
+    }
+}
+
+impl Module for Network {
+    fn forward(&self, x: &Var, ctx: &mut ForwardCtx) -> Var {
+        self.body.forward(x, ctx)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        self.body.params()
+    }
+
+    fn conv_specs(
+        &self,
+        in_shape: (usize, usize, usize),
+    ) -> (Vec<ConvSpec>, (usize, usize, usize)) {
+        self.body.conv_specs(in_shape)
+    }
+}
+
+fn scaled(c: usize, mult: f32) -> usize {
+    ((c as f32 * mult).round() as usize).max(2)
+}
+
+/// MobileNetV2 stage configuration: `(expansion, channels, repeats, stride)`.
+pub type MbStage = (usize, usize, usize, usize);
+
+/// The CIFAR MobileNetV2 stage table (strides adapted to 32x32-class
+/// resolutions, as the paper adapts the FBNet space).
+pub fn mobilenet_v2_stages() -> Vec<MbStage> {
+    vec![
+        (1, 16, 1, 1),
+        (6, 24, 2, 1),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ]
+}
+
+/// Builds a MobileNetV2 classifier.
+///
+/// * `width_mult` scales every channel count (1.0 = paper topology).
+/// * `depth_div` divides per-stage repeat counts (1 = paper topology).
+/// * `in_hw` is the square input resolution; `seed` fixes initialization.
+pub fn mobilenet_v2(
+    width_mult: f32,
+    depth_div: usize,
+    num_classes: usize,
+    in_hw: (usize, usize),
+    n_bits: usize,
+    seed: u64,
+) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut body = Sequential::new();
+    let stem_c = scaled(32, width_mult);
+    body.push(Box::new(ConvBnAct::new(
+        &mut rng,
+        "stem",
+        3,
+        stem_c,
+        3,
+        1,
+        1,
+        n_bits,
+        Activation::Relu6,
+        false,
+    )));
+    let mut in_c = stem_c;
+    for (si, (t, c, n, s)) in mobilenet_v2_stages().into_iter().enumerate() {
+        let out_c = scaled(c, width_mult);
+        let reps = (n / depth_div).max(1);
+        for r in 0..reps {
+            let stride = if r == 0 { s } else { 1 };
+            body.push(Box::new(InvertedResidual::new(
+                &mut rng,
+                &format!("stage{si}.block{r}"),
+                in_c,
+                out_c,
+                t,
+                3,
+                stride,
+                n_bits,
+            )));
+            in_c = out_c;
+        }
+    }
+    let head_c = scaled(1280, width_mult * 0.25); // keep the head affordable
+    body.push(Box::new(ConvBnAct::new(
+        &mut rng,
+        "head",
+        in_c,
+        head_c,
+        1,
+        1,
+        1,
+        n_bits,
+        Activation::Relu6,
+        true,
+    )));
+    body.push(Box::new(GlobalAvgPool));
+    body.push(Box::new(QuantLinear::new(
+        &mut rng,
+        "classifier",
+        head_c,
+        num_classes,
+    )));
+    Network::new(
+        format!("mobilenet_v2(w={width_mult})"),
+        body,
+        (3, in_hw.0, in_hw.1),
+    )
+}
+
+/// Builds a CIFAR-style ResNet with `6n + 2` layers (three stages of `n`
+/// basic blocks) — ResNet-38 is `n = 6`, ResNet-74 is `n = 12`.
+pub fn resnet_cifar(
+    n: usize,
+    width_mult: f32,
+    num_classes: usize,
+    in_hw: (usize, usize),
+    n_bits: usize,
+    seed: u64,
+) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut body = Sequential::new();
+    let widths = [
+        scaled(16, width_mult),
+        scaled(32, width_mult),
+        scaled(64, width_mult),
+    ];
+    body.push(Box::new(ConvBnAct::new(
+        &mut rng,
+        "stem",
+        3,
+        widths[0],
+        3,
+        1,
+        1,
+        n_bits,
+        Activation::Relu,
+        false,
+    )));
+    let mut in_c = widths[0];
+    for (stage, &w) in widths.iter().enumerate() {
+        for b in 0..n {
+            let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+            body.push(Box::new(BasicBlock::new(
+                &mut rng,
+                &format!("stage{stage}.block{b}"),
+                in_c,
+                w,
+                stride,
+                n_bits,
+            )));
+            in_c = w;
+        }
+    }
+    body.push(Box::new(GlobalAvgPool));
+    body.push(Box::new(QuantLinear::new(
+        &mut rng,
+        "classifier",
+        in_c,
+        num_classes,
+    )));
+    Network::new(
+        format!("resnet{}(w={width_mult})", 6 * n + 2),
+        body,
+        (3, in_hw.0, in_hw.1),
+    )
+}
+
+/// ResNet-38 (`n = 6`).
+pub fn resnet38(
+    width_mult: f32,
+    num_classes: usize,
+    in_hw: (usize, usize),
+    n_bits: usize,
+    seed: u64,
+) -> Network {
+    resnet_cifar(6, width_mult, num_classes, in_hw, n_bits, seed)
+}
+
+/// ResNet-74 (`n = 12`).
+pub fn resnet74(
+    width_mult: f32,
+    num_classes: usize,
+    in_hw: (usize, usize),
+    n_bits: usize,
+    seed: u64,
+) -> Network {
+    resnet_cifar(12, width_mult, num_classes, in_hw, n_bits, seed)
+}
+
+/// ImageNet-style ResNet-18: four stages of two basic blocks with channel
+/// doubling, adapted to small inputs (3x3 stem, no initial max-pool).
+pub fn resnet18(
+    width_mult: f32,
+    num_classes: usize,
+    in_hw: (usize, usize),
+    n_bits: usize,
+    seed: u64,
+) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut body = Sequential::new();
+    let widths = [
+        scaled(64, width_mult),
+        scaled(128, width_mult),
+        scaled(256, width_mult),
+        scaled(512, width_mult),
+    ];
+    body.push(Box::new(ConvBnAct::new(
+        &mut rng,
+        "stem",
+        3,
+        widths[0],
+        3,
+        1,
+        1,
+        n_bits,
+        Activation::Relu,
+        false,
+    )));
+    let mut in_c = widths[0];
+    for (stage, &w) in widths.iter().enumerate() {
+        for b in 0..2 {
+            let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+            body.push(Box::new(BasicBlock::new(
+                &mut rng,
+                &format!("stage{stage}.block{b}"),
+                in_c,
+                w,
+                stride,
+                n_bits,
+            )));
+            in_c = w;
+        }
+    }
+    body.push(Box::new(GlobalAvgPool));
+    body.push(Box::new(QuantLinear::new(
+        &mut rng,
+        "classifier",
+        in_c,
+        num_classes,
+    )));
+    Network::new(
+        format!("resnet18(w={width_mult})"),
+        body,
+        (3, in_hw.0, in_hw.1),
+    )
+}
+
+/// A two-conv CNN for fast unit/integration tests.
+pub fn small_cnn(
+    channels: usize,
+    num_classes: usize,
+    in_hw: (usize, usize),
+    n_bits: usize,
+    seed: u64,
+) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut body = Sequential::new();
+    body.push(Box::new(ConvBnAct::new(
+        &mut rng,
+        "conv1",
+        3,
+        channels,
+        3,
+        1,
+        1,
+        n_bits,
+        Activation::Relu,
+        false,
+    )));
+    body.push(Box::new(ConvBnAct::new(
+        &mut rng,
+        "conv2",
+        channels,
+        channels * 2,
+        3,
+        2,
+        1,
+        n_bits,
+        Activation::Relu,
+        true,
+    )));
+    body.push(Box::new(GlobalAvgPool));
+    body.push(Box::new(QuantLinear::new(
+        &mut rng,
+        "classifier",
+        channels * 2,
+        num_classes,
+    )));
+    Network::new("small_cnn", body, (3, in_hw.0, in_hw.1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instantnet_quant::{BitWidthSet, Quantizer};
+    use instantnet_tensor::Tensor;
+
+    fn eval_ctx(bits: &BitWidthSet, i: usize) -> ForwardCtx {
+        ForwardCtx::eval(bits, i, Quantizer::Sbm)
+    }
+
+    #[test]
+    fn mobilenet_forward_all_bitwidths() {
+        let bits = BitWidthSet::narrow_range();
+        let net = mobilenet_v2(0.1, 4, 10, (8, 8), bits.len(), 0);
+        let x = Var::constant(Tensor::zeros(&[1, 3, 8, 8]));
+        for i in 0..bits.len() {
+            // Train pass first to seed BN running stats for that branch.
+            let mut tc = ForwardCtx::train(&bits, i, Quantizer::Sbm);
+            net.forward(&x, &mut tc);
+            let y = net.forward(&x, &mut eval_ctx(&bits, i));
+            assert_eq!(y.dims(), vec![1, 10]);
+        }
+    }
+
+    #[test]
+    fn mobilenet_contains_depthwise_layers() {
+        let net = mobilenet_v2(0.1, 4, 10, (8, 8), 1, 0);
+        assert!(net.specs().iter().any(|s| s.groups > 1 && s.groups == s.in_c));
+    }
+
+    #[test]
+    fn resnet38_has_expected_conv_count() {
+        // Stem + 6 blocks/stage x 3 stages x 2 convs + 2 projections + FC.
+        let net = resnet38(0.125, 10, (8, 8), 1, 0);
+        let convs = net.specs().len();
+        assert_eq!(convs, 1 + 18 * 2 + 2 + 1);
+    }
+
+    #[test]
+    fn resnet74_deeper_than_resnet38() {
+        let a = resnet38(0.125, 10, (8, 8), 1, 0);
+        let b = resnet74(0.125, 10, (8, 8), 1, 0);
+        assert!(b.specs().len() > a.specs().len());
+        assert!(b.flops() > a.flops());
+    }
+
+    #[test]
+    fn resnet18_downsamples_three_times() {
+        let net = resnet18(0.05, 20, (16, 16), 1, 0);
+        let strided = net.specs().iter().filter(|s| s.stride == 2).count();
+        // One strided conv + one strided shortcut per downsampling stage.
+        assert_eq!(strided, 6);
+    }
+
+    #[test]
+    fn network_flops_scale_with_width() {
+        let small = resnet38(0.125, 10, (8, 8), 1, 0);
+        let large = resnet38(0.25, 10, (8, 8), 1, 0);
+        assert!(large.flops() > 2 * small.flops());
+    }
+
+    #[test]
+    fn full_width_mobilenet_flops_order_of_magnitude() {
+        // Unscaled MobileNetV2 on 32x32 should be in the hundreds of MFLOPs.
+        let net = mobilenet_v2(1.0, 1, 100, (32, 32), 1, 0);
+        let f = net.flops();
+        assert!(f > 20_000_000, "flops {f}");
+        assert!(f < 2_000_000_000, "flops {f}");
+    }
+
+    #[test]
+    fn summary_lists_every_conv_and_totals() {
+        let net = small_cnn(4, 5, (8, 8), 2, 0);
+        let text = net.summary();
+        assert!(text.contains("small_cnn"));
+        // One line per conv spec plus header/footer.
+        let body_lines = net.specs().len();
+        assert!(text.lines().count() >= body_lines + 2);
+        assert!(text.contains("total:"));
+        assert!(net.param_count() > 0);
+    }
+
+    #[test]
+    fn param_count_grows_with_bn_branches() {
+        let one = small_cnn(4, 5, (8, 8), 1, 0).param_count();
+        let five = small_cnn(4, 5, (8, 8), 5, 0).param_count();
+        assert!(five > one, "{five} vs {one}");
+    }
+
+    #[test]
+    fn small_cnn_trains_end_to_end_shape() {
+        let bits = BitWidthSet::new(vec![4, 32]).unwrap();
+        let net = small_cnn(4, 5, (8, 8), bits.len(), 1);
+        let x = Var::constant(Tensor::zeros(&[2, 3, 8, 8]));
+        let mut ctx = ForwardCtx::train(&bits, 0, Quantizer::Sbm);
+        let y = net.forward(&x, &mut ctx);
+        assert_eq!(y.dims(), vec![2, 5]);
+        assert!(!net.params().is_empty());
+    }
+}

@@ -1,0 +1,85 @@
+//! Layer-shape specifications of classic networks used only for hardware
+//! evaluation (AlexNet and VGG16 in Fig. 5), plus helpers to turn any
+//! network's specs into dataflow workloads.
+
+use crate::ConvSpec;
+
+fn conv(in_c: usize, out_c: usize, k: usize, stride: usize, pad: usize, hw: usize) -> ConvSpec {
+    ConvSpec {
+        in_c,
+        out_c,
+        kernel: k,
+        stride,
+        pad,
+        groups: 1,
+        in_h: hw,
+        in_w: hw,
+    }
+}
+
+/// AlexNet's five convolutional layers (224x224 input), the Fig. 5 ASIC
+/// workload.
+pub fn alexnet_convs() -> Vec<ConvSpec> {
+    vec![
+        conv(3, 96, 11, 4, 2, 224),  // conv1 -> 55x55
+        conv(96, 256, 5, 1, 2, 27),  // conv2 (post 3x3/2 pool)
+        conv(256, 384, 3, 1, 1, 13), // conv3
+        conv(384, 384, 3, 1, 1, 13), // conv4
+        conv(384, 256, 3, 1, 1, 13), // conv5
+    ]
+}
+
+/// VGG16's thirteen convolutional layers (224x224 input), the Fig. 5
+/// large-model workload (19.6 GFLOPs per the paper's §III-D example).
+pub fn vgg16_convs() -> Vec<ConvSpec> {
+    let mut specs = Vec::new();
+    let stages: [(usize, usize, usize); 5] = [
+        (3, 64, 2),
+        (64, 128, 2),
+        (128, 256, 3),
+        (256, 512, 3),
+        (512, 512, 3),
+    ];
+    let mut hw = 224;
+    for (in_c, out_c, reps) in stages {
+        let mut c = in_c;
+        for _ in 0..reps {
+            specs.push(conv(c, out_c, 3, 1, 1, hw));
+            c = out_c;
+        }
+        hw /= 2; // 2x2 max pool between stages
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_has_five_convs_with_known_first_layer() {
+        let specs = alexnet_convs();
+        assert_eq!(specs.len(), 5);
+        assert_eq!(specs[0].out_hw(), (55, 55));
+        // conv1 MACs: 96*3*11*11*55*55 ≈ 105M.
+        assert_eq!(specs[0].macs(), 96 * 3 * 121 * 55 * 55);
+    }
+
+    #[test]
+    fn vgg16_total_flops_matches_paper_scale() {
+        let specs = vgg16_convs();
+        assert_eq!(specs.len(), 13);
+        let flops: u64 = specs.iter().map(ConvSpec::flops).sum();
+        // Paper quotes 19.6E9 ops for VGG16 (convs dominate).
+        assert!(flops > 25_000_000_000, "flops {flops}");
+        assert!(flops < 35_000_000_000, "flops {flops}");
+    }
+
+    #[test]
+    fn vgg16_spatial_sizes_halve_per_stage() {
+        let specs = vgg16_convs();
+        assert_eq!(specs[0].in_h, 224);
+        assert_eq!(specs[2].in_h, 112);
+        assert_eq!(specs[12].in_h, 14);
+    }
+}

@@ -1,0 +1,576 @@
+//! Bit-widths, bit-width sets, and quantizers for switchable-precision
+//! networks.
+//!
+//! A switchable-precision network (SP-Net) shares one set of full-precision
+//! weights and, at inference time, quantizes weights and activations to the
+//! currently selected bit-width from a [`BitWidthSet`]. This crate provides:
+//!
+//! * [`BitWidth`] / [`BitWidthSet`] — the candidate precisions (index 0 is
+//!   the lowest bit-width, the accuracy bottleneck the paper targets).
+//! * [`Quantizer`] — the quantization rules evaluated in the paper:
+//!   [`Quantizer::Dorefa`] (Zhou et al.) and [`Quantizer::Sbm`]
+//!   (Banner et al., the paper's default), plus full-precision identity.
+//!   All quantizers differentiate through a straight-through estimator.
+//!
+//! # Example
+//!
+//! ```
+//! use instantnet_quant::{BitWidthSet, Quantizer};
+//! use instantnet_tensor::Tensor;
+//!
+//! let bits = BitWidthSet::new(vec![4, 8, 12, 16, 32])?;
+//! assert_eq!(bits.lowest().get(), 4);
+//! let q = Quantizer::Sbm;
+//! let w = Tensor::from_vec(vec![2, 2], vec![0.3, -1.2, 0.9, 0.05]);
+//! let wq = q.quantize_weights_tensor(&w, bits.lowest());
+//! assert!(wq.max_abs() <= w.max_abs() + 1e-6);
+//! # Ok::<(), instantnet_quant::BitWidthError>(())
+//! ```
+
+use instantnet_tensor::{ops, Tensor, Var};
+use std::error::Error;
+use std::fmt;
+
+/// A quantization precision in bits. `32` denotes full precision (no
+/// quantization).
+///
+/// # Example
+///
+/// ```
+/// use instantnet_quant::BitWidth;
+/// assert!(BitWidth::new(32).is_full_precision());
+/// assert_eq!(BitWidth::new(4).levels(), 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BitWidth(u8);
+
+impl BitWidth {
+    /// Full precision marker.
+    pub const FULL: BitWidth = BitWidth(32);
+
+    /// Creates a bit-width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 32.
+    pub fn new(bits: u8) -> Self {
+        assert!((1..=32).contains(&bits), "bit-width must be in 1..=32");
+        BitWidth(bits)
+    }
+
+    /// Raw number of bits.
+    pub fn get(&self) -> u8 {
+        self.0
+    }
+
+    /// Whether this bit-width means "do not quantize".
+    pub fn is_full_precision(&self) -> bool {
+        self.0 >= 32
+    }
+
+    /// Number of representable levels, `2^bits` (saturates for ≥ 31 bits).
+    pub fn levels(&self) -> u64 {
+        1u64 << self.0.min(63)
+    }
+}
+
+impl fmt::Display for BitWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-bit", self.0)
+    }
+}
+
+impl From<u8> for BitWidth {
+    fn from(b: u8) -> Self {
+        BitWidth::new(b)
+    }
+}
+
+/// Error constructing a [`BitWidthSet`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BitWidthError {
+    /// The candidate list was empty.
+    Empty,
+    /// The candidate list contained a duplicate bit-width.
+    Duplicate(u8),
+}
+
+impl fmt::Display for BitWidthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BitWidthError::Empty => write!(f, "bit-width set must not be empty"),
+            BitWidthError::Duplicate(b) => write!(f, "duplicate bit-width {b} in set"),
+        }
+    }
+}
+
+impl Error for BitWidthError {}
+
+/// The ordered set of candidate bit-widths an SP-Net can switch between.
+///
+/// Stored ascending: index `0` is the lowest precision — the accuracy
+/// bottleneck that both CDT and SP-NAS specifically target.
+///
+/// # Example
+///
+/// ```
+/// use instantnet_quant::BitWidthSet;
+/// let set = BitWidthSet::new(vec![8, 4, 32])?; // order does not matter
+/// assert_eq!(set.widths().iter().map(|b| b.get()).collect::<Vec<_>>(), vec![4, 8, 32]);
+/// assert_eq!(set.teachers_of(0).count(), 2); // 8-bit and 32-bit teach 4-bit
+/// # Ok::<(), instantnet_quant::BitWidthError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitWidthSet {
+    widths: Vec<BitWidth>,
+}
+
+impl BitWidthSet {
+    /// Builds a set from raw bit counts (sorted, deduplicated is an error).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitWidthError::Empty`] for an empty list and
+    /// [`BitWidthError::Duplicate`] if a value repeats.
+    pub fn new(bits: Vec<u8>) -> Result<Self, BitWidthError> {
+        if bits.is_empty() {
+            return Err(BitWidthError::Empty);
+        }
+        let mut widths: Vec<BitWidth> = bits.iter().map(|&b| BitWidth::new(b)).collect();
+        widths.sort();
+        for pair in widths.windows(2) {
+            if pair[0] == pair[1] {
+                return Err(BitWidthError::Duplicate(pair[0].get()));
+            }
+        }
+        Ok(BitWidthSet { widths })
+    }
+
+    /// The paper's large-dynamic-range set `{4, 8, 12, 16, 32}`.
+    pub fn large_range() -> Self {
+        BitWidthSet::new(vec![4, 8, 12, 16, 32]).expect("static set is valid")
+    }
+
+    /// The paper's narrow-dynamic-range set `{4, 5, 6, 8}`.
+    pub fn narrow_range() -> Self {
+        BitWidthSet::new(vec![4, 5, 6, 8]).expect("static set is valid")
+    }
+
+    /// Ascending candidate bit-widths.
+    pub fn widths(&self) -> &[BitWidth] {
+        &self.widths
+    }
+
+    /// Number of candidates.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.widths.len()
+    }
+
+    /// The lowest (bottleneck) bit-width.
+    pub fn lowest(&self) -> BitWidth {
+        self.widths[0]
+    }
+
+    /// The highest bit-width (the strongest distillation teacher).
+    pub fn highest(&self) -> BitWidth {
+        *self.widths.last().expect("set is non-empty")
+    }
+
+    /// Candidate at `index` (ascending order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn at(&self, index: usize) -> BitWidth {
+        self.widths[index]
+    }
+
+    /// Index of a bit-width in the set, if present.
+    pub fn index_of(&self, bits: BitWidth) -> Option<usize> {
+        self.widths.iter().position(|&b| b == bits)
+    }
+
+    /// Indices of all bit-widths strictly above `index` — the cascade of
+    /// distillation teachers for student `index` in Eq. (1).
+    pub fn teachers_of(&self, index: usize) -> impl Iterator<Item = usize> + '_ {
+        (index + 1)..self.widths.len()
+    }
+
+    /// The set's dynamic range, `highest / lowest` — the paper
+    /// distinguishes "large" ({4,8,12,16,32}, range 8) from "narrow"
+    /// ({4,5,6,8}, range 2) sets, with SP-NAS most helpful on large
+    /// ranges.
+    pub fn dynamic_range(&self) -> f32 {
+        f32::from(self.highest().get()) / f32::from(self.lowest().get())
+    }
+}
+
+/// Separate weight/activation precision, used in the paper's Table IV
+/// (e.g. 2-bit weights with 32-bit activations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Precision {
+    /// Weight bit-width.
+    pub weight: BitWidth,
+    /// Activation bit-width.
+    pub activation: BitWidth,
+}
+
+impl Precision {
+    /// Uniform precision for weights and activations.
+    pub fn uniform(bits: BitWidth) -> Self {
+        Precision {
+            weight: bits,
+            activation: bits,
+        }
+    }
+
+    /// Mixed weight/activation precision.
+    pub fn new(weight: BitWidth, activation: BitWidth) -> Self {
+        Precision { weight, activation }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "W{}A{}", self.weight.get(), self.activation.get())
+    }
+}
+
+/// Uniform quantization of `x ∈ [0,1]` to `k` bits: the `quantize_k`
+/// primitive shared by DoReFa weights and activations.
+fn quantize_unit(x: f32, bits: u8) -> f32 {
+    let n = ((1u64 << bits) - 1) as f32;
+    (x * n).round() / n
+}
+
+/// The quantization rule applied to weights and activations.
+///
+/// All rules share weights across bit-widths (quantization happens on the
+/// fly in the forward pass) and use a straight-through estimator for the
+/// backward pass, which is what makes switchable-precision training work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Quantizer {
+    /// No quantization at any bit-width (debugging / FP reference).
+    Identity,
+    /// DoReFa-Net (Zhou et al. 2016): tanh-normalized weights and
+    /// clipped-`[0,1]` activations, both uniformly quantized.
+    Dorefa,
+    /// SBM (Banner et al., NeurIPS'18 "Scalable Methods for 8-bit
+    /// Training"): symmetric range-based scaling, per-output-channel for
+    /// weights and per-tensor for activations. The paper's default.
+    #[default]
+    Sbm,
+}
+
+impl Quantizer {
+    /// Quantizes a weight tensor to `bits` (pure, no gradient).
+    ///
+    /// Full-precision bit-widths return the input unchanged.
+    pub fn quantize_weights_tensor(&self, w: &Tensor, bits: BitWidth) -> Tensor {
+        if bits.is_full_precision() || matches!(self, Quantizer::Identity) {
+            return w.clone();
+        }
+        match self {
+            Quantizer::Identity => unreachable!(),
+            Quantizer::Dorefa => {
+                let t = w.map(f32::tanh);
+                let max = t.max_abs().max(1e-8);
+                t.map(|v| 2.0 * quantize_unit(v / (2.0 * max) + 0.5, bits.get()) - 1.0)
+            }
+            Quantizer::Sbm => {
+                // Per-output-channel (axis 0) symmetric scaling; rank-1
+                // tensors fall back to per-tensor scaling.
+                let dims = w.dims().to_vec();
+                let qmax = ((1u64 << (bits.get().min(31) - 1)) - 1).max(1) as f32;
+                if dims.len() < 2 {
+                    let s = w.max_abs().max(1e-8) / qmax;
+                    return w.map(|v| (v / s).round().clamp(-qmax, qmax) * s);
+                }
+                let per: usize = dims[1..].iter().product();
+                let mut out = w.clone();
+                for k in 0..dims[0] {
+                    let chunk = &w.data()[k * per..(k + 1) * per];
+                    let max = chunk.iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-8);
+                    let s = max / qmax;
+                    for (o, &v) in out.data_mut()[k * per..(k + 1) * per]
+                        .iter_mut()
+                        .zip(chunk)
+                    {
+                        *o = (v / s).round().clamp(-qmax, qmax) * s;
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Quantizes an activation tensor to `bits` (pure, no gradient).
+    pub fn quantize_activations_tensor(&self, x: &Tensor, bits: BitWidth) -> Tensor {
+        if bits.is_full_precision() || matches!(self, Quantizer::Identity) {
+            return x.clone();
+        }
+        match self {
+            Quantizer::Identity => unreachable!(),
+            Quantizer::Dorefa => x.map(|v| quantize_unit(v.clamp(0.0, 1.0), bits.get())),
+            Quantizer::Sbm => {
+                // Unsigned per-tensor scaling (activations follow ReLU).
+                let qmax = ((1u64 << bits.get().min(31)) - 1) as f32;
+                let max = x.max_abs().max(1e-8);
+                let s = max / qmax;
+                x.map(|v| (v / s).round().clamp(-qmax, qmax) * s)
+            }
+        }
+    }
+
+    /// Differentiable weight quantization (straight-through gradient).
+    pub fn quantize_weights(&self, w: &Var, bits: BitWidth) -> Var {
+        if bits.is_full_precision() || matches!(self, Quantizer::Identity) {
+            // Still insert a pass-through node so graph shape is uniform.
+            return ops::ste_apply(w, |t| t.clone(), None);
+        }
+        let q = *self;
+        ops::ste_apply(w, move |t| q.quantize_weights_tensor(t, bits), None)
+    }
+
+    /// Differentiable activation quantization.
+    ///
+    /// DoReFa clips to `[0,1]` and masks the gradient outside the clip
+    /// range; SBM passes the gradient straight through.
+    pub fn quantize_activations(&self, x: &Var, bits: BitWidth) -> Var {
+        if bits.is_full_precision() || matches!(self, Quantizer::Identity) {
+            return ops::ste_apply(x, |t| t.clone(), None);
+        }
+        let q = *self;
+        let mask: Option<Box<dyn Fn(&Tensor) -> Tensor>> = match self {
+            Quantizer::Dorefa => Some(Box::new(|t: &Tensor| {
+                t.map(|v| if (0.0..=1.0).contains(&v) { 1.0 } else { 0.0 })
+            })),
+            _ => None,
+        };
+        ops::ste_apply(x, move |t| q.quantize_activations_tensor(t, bits), mask)
+    }
+
+    /// Mean squared quantization error of an activation tensor at `bits`.
+    pub fn activation_error(&self, x: &Tensor, bits: BitWidth) -> f32 {
+        let q = self.quantize_activations_tensor(x, bits);
+        x.sub(&q).map(|v| v * v).mean()
+    }
+
+    /// Mean squared quantization error of a weight tensor at `bits` —
+    /// the quantity whose decay with increasing bit-width motivates
+    /// cascade distillation.
+    pub fn weight_error(&self, w: &Tensor, bits: BitWidth) -> f32 {
+        let q = self.quantize_weights_tensor(w, bits);
+        w.sub(&q).map(|v| v * v).mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instantnet_tensor::Var;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_tensor(seed: u64, dims: &[usize]) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n: usize = dims.iter().product();
+        Tensor::from_vec(
+            dims.to_vec(),
+            (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect(),
+        )
+    }
+
+    #[test]
+    fn bitwidth_set_sorted_and_indexed() {
+        let set = BitWidthSet::new(vec![16, 4, 32, 8, 12]).unwrap();
+        assert_eq!(set.lowest().get(), 4);
+        assert_eq!(set.highest().get(), 32);
+        assert_eq!(set.index_of(BitWidth::new(12)), Some(2));
+        assert_eq!(set.index_of(BitWidth::new(5)), None);
+        assert_eq!(set.len(), 5);
+    }
+
+    #[test]
+    fn bitwidth_set_rejects_bad_input() {
+        assert_eq!(BitWidthSet::new(vec![]), Err(BitWidthError::Empty));
+        assert_eq!(
+            BitWidthSet::new(vec![4, 4]),
+            Err(BitWidthError::Duplicate(4))
+        );
+    }
+
+    #[test]
+    fn dynamic_range_distinguishes_paper_sets() {
+        assert_eq!(BitWidthSet::large_range().dynamic_range(), 8.0);
+        assert_eq!(BitWidthSet::narrow_range().dynamic_range(), 2.0);
+    }
+
+    #[test]
+    fn activation_error_decreases_with_bits() {
+        let x = random_tensor(11, &[128]);
+        let q = Quantizer::Sbm;
+        let lo = q.activation_error(&x, BitWidth::new(3));
+        let hi = q.activation_error(&x, BitWidth::new(8));
+        assert!(hi < lo);
+        assert_eq!(q.activation_error(&x, BitWidth::FULL), 0.0);
+    }
+
+    #[test]
+    fn teachers_are_all_higher_bits() {
+        let set = BitWidthSet::large_range();
+        let teachers: Vec<usize> = set.teachers_of(0).collect();
+        assert_eq!(teachers, vec![1, 2, 3, 4]);
+        assert_eq!(set.teachers_of(4).count(), 0);
+    }
+
+    #[test]
+    fn full_precision_is_identity_for_all_quantizers() {
+        let w = random_tensor(0, &[4, 3]);
+        for q in [Quantizer::Identity, Quantizer::Dorefa, Quantizer::Sbm] {
+            assert_eq!(q.quantize_weights_tensor(&w, BitWidth::FULL), w);
+            assert_eq!(q.quantize_activations_tensor(&w, BitWidth::FULL), w);
+        }
+    }
+
+    #[test]
+    fn dorefa_weights_bounded_by_one() {
+        let w = random_tensor(1, &[8, 4]);
+        let q = Quantizer::Dorefa.quantize_weights_tensor(&w, BitWidth::new(4));
+        assert!(q.data().iter().all(|v| v.abs() <= 1.0 + 1e-6));
+    }
+
+    #[test]
+    fn dorefa_activations_in_unit_range() {
+        let x = random_tensor(2, &[16]);
+        let q = Quantizer::Dorefa.quantize_activations_tensor(&x, BitWidth::new(3));
+        assert!(q.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // Exactly representable levels: v * 7 should be integral.
+        assert!(q.data().iter().all(|&v| (v * 7.0 - (v * 7.0).round()).abs() < 1e-5));
+    }
+
+    #[test]
+    fn sbm_is_idempotent() {
+        let w = random_tensor(3, &[4, 6]);
+        let q = Quantizer::Sbm;
+        let w1 = q.quantize_weights_tensor(&w, BitWidth::new(5));
+        let w2 = q.quantize_weights_tensor(&w1, BitWidth::new(5));
+        for (a, b) in w1.data().iter().zip(w2.data()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sbm_error_decreases_with_bits() {
+        let w = random_tensor(4, &[8, 16]);
+        let q = Quantizer::Sbm;
+        let e4 = q.weight_error(&w, BitWidth::new(4));
+        let e8 = q.weight_error(&w, BitWidth::new(8));
+        let e16 = q.weight_error(&w, BitWidth::new(16));
+        assert!(e4 > e8, "e4 {e4} vs e8 {e8}");
+        assert!(e8 > e16, "e8 {e8} vs e16 {e16}");
+    }
+
+    #[test]
+    fn adjacent_bitwidths_are_closer_than_distant_ones() {
+        // The CDT hypothesis: quantization noise between adjacent bit-widths
+        // is smaller than between distant ones.
+        let w = random_tensor(5, &[8, 16]);
+        let q = Quantizer::Sbm;
+        let w4 = q.quantize_weights_tensor(&w, BitWidth::new(4));
+        let w8 = q.quantize_weights_tensor(&w, BitWidth::new(8));
+        let w32 = q.quantize_weights_tensor(&w, BitWidth::FULL);
+        let gap_4_8 = w4.sub(&w8).map(|v| v * v).mean();
+        let gap_4_32 = w4.sub(&w32).map(|v| v * v).mean();
+        let gap_8_32 = w8.sub(&w32).map(|v| v * v).mean();
+        assert!(gap_8_32 < gap_4_32);
+        assert!(gap_4_8 <= gap_4_32 * 1.5); // adjacent gap comparable or smaller
+    }
+
+    #[test]
+    fn ste_gradient_flows_through_weight_quantization() {
+        let w = Var::leaf(random_tensor(6, &[3, 3]), true);
+        let q = Quantizer::Sbm.quantize_weights(&w, BitWidth::new(4));
+        q.sum().backward();
+        let g = w.grad().unwrap();
+        assert!(g.data().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn dorefa_activation_mask_zeroes_out_of_range() {
+        let x = Var::leaf(Tensor::from_vec(vec![3], vec![-0.5, 0.5, 1.5]), true);
+        let q = Quantizer::Dorefa.quantize_activations(&x, BitWidth::new(4));
+        q.sum().backward();
+        assert_eq!(x.grad().unwrap().data(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn one_bit_quantization_is_sign_like() {
+        // 1-bit SBM: values collapse to {-max, 0, +max} per channel.
+        let w = random_tensor(13, &[2, 8]);
+        let q = Quantizer::Sbm.quantize_weights_tensor(&w, BitWidth::new(1));
+        for k in 0..2 {
+            let chunk = &q.data()[k * 8..(k + 1) * 8];
+            let mut levels: Vec<i32> = chunk.iter().map(|&v| v.signum() as i32).collect();
+            levels.sort_unstable();
+            levels.dedup();
+            assert!(levels.len() <= 3, "1-bit levels {levels:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bit-width must be in 1..=32")]
+    fn zero_bitwidth_rejected() {
+        let _ = BitWidth::new(0);
+    }
+
+    #[test]
+    fn bitwidth_ordering_and_levels() {
+        assert!(BitWidth::new(4) < BitWidth::new(8));
+        assert_eq!(BitWidth::new(1).levels(), 2);
+        assert_eq!(BitWidth::FULL.levels(), 1u64 << 32);
+    }
+
+    #[test]
+    fn precision_display_and_uniform() {
+        let p = Precision::new(BitWidth::new(2), BitWidth::FULL);
+        assert_eq!(p.to_string(), "W2A32");
+        assert_eq!(Precision::uniform(BitWidth::new(4)).activation.get(), 4);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sbm_weights_never_exceed_input_range(
+            seed in 0u64..1000, bits in 2u8..12
+        ) {
+            let w = random_tensor(seed, &[4, 8]);
+            let q = Quantizer::Sbm.quantize_weights_tensor(&w, BitWidth::new(bits));
+            prop_assert!(q.max_abs() <= w.max_abs() + 1e-5);
+        }
+
+        #[test]
+        fn prop_dorefa_level_count_bounded(seed in 0u64..500, bits in 2u8..6) {
+            let x = random_tensor(seed, &[64]);
+            let q = Quantizer::Dorefa.quantize_activations_tensor(&x, BitWidth::new(bits));
+            let mut levels: Vec<i64> = q
+                .data()
+                .iter()
+                .map(|&v| (v * (((1u64 << bits) - 1) as f32)).round() as i64)
+                .collect();
+            levels.sort_unstable();
+            levels.dedup();
+            prop_assert!(levels.len() as u64 <= (1u64 << bits));
+        }
+
+        #[test]
+        fn prop_quantization_error_shrinks_with_bits(seed in 0u64..200) {
+            let w = random_tensor(seed, &[8, 8]);
+            let q = Quantizer::Sbm;
+            let lo = q.weight_error(&w, BitWidth::new(3));
+            let hi = q.weight_error(&w, BitWidth::new(10));
+            prop_assert!(hi <= lo + 1e-9);
+        }
+    }
+}

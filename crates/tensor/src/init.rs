@@ -1,0 +1,82 @@
+//! Weight initializers.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Kaiming/He uniform initialization for conv weights `[K, C/g, R, S]` or
+/// linear weights `[out, in]`: `U(-b, b)` with `b = sqrt(6 / fan_in)`.
+///
+/// # Panics
+///
+/// Panics if `dims` has fewer than 2 axes.
+pub fn kaiming_uniform(rng: &mut StdRng, dims: &[usize]) -> Tensor {
+    assert!(dims.len() >= 2, "kaiming init needs at least 2 axes");
+    let fan_in: usize = dims[1..].iter().product();
+    let bound = (6.0 / fan_in as f32).sqrt();
+    let n: usize = dims.iter().product();
+    Tensor::from_vec(
+        dims.to_vec(),
+        (0..n).map(|_| rng.gen_range(-bound..bound)).collect(),
+    )
+}
+
+/// Standard normal samples scaled by `std`.
+pub fn normal(rng: &mut StdRng, dims: &[usize], std: f32) -> Tensor {
+    let n: usize = dims.iter().product();
+    // Box-Muller; avoids a distribution dependency.
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f32 = rng.gen_range(1e-7..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(r * theta.cos() * std);
+        if data.len() < n {
+            data.push(r * theta.sin() * std);
+        }
+    }
+    Tensor::from_vec(dims.to_vec(), data)
+}
+
+/// Uniform samples in `[lo, hi)`.
+pub fn uniform(rng: &mut StdRng, dims: &[usize], lo: f32, hi: f32) -> Tensor {
+    let n: usize = dims.iter().product();
+    Tensor::from_vec(
+        dims.to_vec(),
+        (0..n).map(|_| rng.gen_range(lo..hi)).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kaiming_bound_respected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = kaiming_uniform(&mut rng, &[8, 4, 3, 3]);
+        let bound = (6.0 / 36.0f32).sqrt();
+        assert!(t.data().iter().all(|v| v.abs() <= bound));
+        assert_eq!(t.dims(), &[8, 4, 3, 3]);
+    }
+
+    #[test]
+    fn normal_has_roughly_right_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = normal(&mut rng, &[10000], 2.0);
+        let mean = t.mean();
+        let var: f32 =
+            t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / t.len() as f32;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let a = uniform(&mut StdRng::seed_from_u64(7), &[16], -1.0, 1.0);
+        let b = uniform(&mut StdRng::seed_from_u64(7), &[16], -1.0, 1.0);
+        assert_eq!(a, b);
+    }
+}

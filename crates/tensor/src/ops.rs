@@ -1,0 +1,1428 @@
+//! Differentiable operators.
+//!
+//! Every function here performs an eager forward computation and registers a
+//! closure computing the exact analytic vector-Jacobian product for the
+//! backward pass. Convolution recomputes `im2col` in the backward closure
+//! instead of caching patch matrices, trading FLOPs for memory — the right
+//! trade for the many-bit-width forward passes of cascade distillation.
+
+use crate::autograd::Var;
+use crate::tensor::{col2im, im2col, Tensor};
+
+// ---------------------------------------------------------------------------
+// Elementwise arithmetic
+// ---------------------------------------------------------------------------
+
+/// Elementwise `a + b` (shapes must match).
+pub fn add(a: &Var, b: &Var) -> Var {
+    let out = a.node.value.borrow().add(&b.node.value.borrow());
+    Var::from_op(
+        out,
+        vec![a.clone(), b.clone()],
+        Box::new(|g, parents| {
+            parents[0].accumulate_grad(g);
+            parents[1].accumulate_grad(g);
+        }),
+    )
+}
+
+/// Elementwise `a - b` (shapes must match).
+pub fn sub(a: &Var, b: &Var) -> Var {
+    let out = a.node.value.borrow().sub(&b.node.value.borrow());
+    Var::from_op(
+        out,
+        vec![a.clone(), b.clone()],
+        Box::new(|g, parents| {
+            parents[0].accumulate_grad(g);
+            parents[1].accumulate_grad(&g.scale(-1.0));
+        }),
+    )
+}
+
+/// Elementwise `a * b` (Hadamard product, shapes must match).
+pub fn mul(a: &Var, b: &Var) -> Var {
+    let out = a.node.value.borrow().mul(&b.node.value.borrow());
+    Var::from_op(
+        out,
+        vec![a.clone(), b.clone()],
+        Box::new(|g, parents| {
+            let av = parents[0].value();
+            let bv = parents[1].value();
+            parents[0].accumulate_grad(&g.mul(&bv));
+            parents[1].accumulate_grad(&g.mul(&av));
+        }),
+    )
+}
+
+/// Scales every element by the constant `s`.
+pub fn scale(x: &Var, s: f32) -> Var {
+    let out = x.node.value.borrow().scale(s);
+    Var::from_op(
+        out,
+        vec![x.clone()],
+        Box::new(move |g, parents| parents[0].accumulate_grad(&g.scale(s))),
+    )
+}
+
+/// Adds the constant `c` to every element.
+pub fn add_scalar(x: &Var, c: f32) -> Var {
+    let out = x.node.value.borrow().map(|v| v + c);
+    Var::from_op(
+        out,
+        vec![x.clone()],
+        Box::new(|g, parents| parents[0].accumulate_grad(g)),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
+
+/// Sum of all elements, as a `[1]` tensor.
+pub fn sum(x: &Var) -> Var {
+    let out = Tensor::scalar(x.node.value.borrow().sum());
+    Var::from_op(
+        out,
+        vec![x.clone()],
+        Box::new(|g, parents| {
+            let dims = parents[0].dims();
+            parents[0].accumulate_grad(&Tensor::full(&dims, g.item()));
+        }),
+    )
+}
+
+/// Mean of all elements, as a `[1]` tensor.
+pub fn mean(x: &Var) -> Var {
+    let n = x.node.value.borrow().len() as f32;
+    scale(&sum(x), 1.0 / n)
+}
+
+// ---------------------------------------------------------------------------
+// Linear algebra
+// ---------------------------------------------------------------------------
+
+/// Matrix product `[m,k] x [k,n] -> [m,n]`.
+pub fn matmul(a: &Var, b: &Var) -> Var {
+    let out = a.node.value.borrow().matmul(&b.node.value.borrow());
+    Var::from_op(
+        out,
+        vec![a.clone(), b.clone()],
+        Box::new(|g, parents| {
+            let av = parents[0].value();
+            let bv = parents[1].value();
+            // dA = g . B^T ; dB = A^T . g
+            parents[0].accumulate_grad(&g.matmul(&bv.transpose2d()));
+            parents[1].accumulate_grad(&av.transpose2d().matmul(g));
+        }),
+    )
+}
+
+/// Fully-connected layer: `x[n, in] . w[out, in]^T (+ b[out])`.
+pub fn linear(x: &Var, w: &Var, b: Option<&Var>) -> Var {
+    let wt = transpose2d(w);
+    let y = matmul(x, &wt);
+    match b {
+        Some(bias) => bias_add(&y, bias),
+        None => y,
+    }
+}
+
+/// Matrix transpose as a graph op.
+pub fn transpose2d(x: &Var) -> Var {
+    let out = x.node.value.borrow().transpose2d();
+    Var::from_op(
+        out,
+        vec![x.clone()],
+        Box::new(|g, parents| parents[0].accumulate_grad(&g.transpose2d())),
+    )
+}
+
+/// Broadcast-adds a `[C]` bias over the channel axis of `[N,C]` or
+/// `[N,C,H,W]` input.
+///
+/// # Panics
+///
+/// Panics if the input rank is not 2 or 4, or the bias length differs from
+/// the channel extent.
+pub fn bias_add(x: &Var, b: &Var) -> Var {
+    let xv = x.node.value.borrow().clone();
+    let bv = b.node.value.borrow().clone();
+    let dims = xv.dims().to_vec();
+    let c = match dims.len() {
+        2 => dims[1],
+        4 => dims[1],
+        r => panic!("bias_add expects rank 2 or 4 input, got rank {r}"),
+    };
+    assert_eq!(bv.len(), c, "bias length must equal channel count");
+    let spatial: usize = if dims.len() == 4 { dims[2] * dims[3] } else { 1 };
+    let n = dims[0];
+    let mut out = xv.clone();
+    {
+        let data = out.data_mut();
+        let bd = bv.data();
+        for i in 0..n {
+            for ch in 0..c {
+                let base = (i * c + ch) * spatial;
+                for s in 0..spatial {
+                    data[base + s] += bd[ch];
+                }
+            }
+        }
+    }
+    Var::from_op(
+        out,
+        vec![x.clone(), b.clone()],
+        Box::new(move |g, parents| {
+            parents[0].accumulate_grad(g);
+            let mut db = vec![0.0f32; c];
+            let gd = g.data();
+            for i in 0..n {
+                for ch in 0..c {
+                    let base = (i * c + ch) * spatial;
+                    for s in 0..spatial {
+                        db[ch] += gd[base + s];
+                    }
+                }
+            }
+            parents[1].accumulate_grad(&Tensor::from_vec(vec![c], db));
+        }),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Convolution
+// ---------------------------------------------------------------------------
+
+/// Grouped 2-d convolution.
+///
+/// * `x`: `[N, C, H, W]`
+/// * `w`: `[K, C/groups, R, S]`
+/// * zero padding `pad` on both spatial sides, square `stride`.
+///
+/// Depthwise convolution is `groups == C == K`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent with `groups`, or the kernel does not
+/// fit the padded input.
+pub fn conv2d(x: &Var, w: &Var, stride: usize, pad: usize, groups: usize) -> Var {
+    let xv = x.node.value.borrow().clone();
+    let wv = w.node.value.borrow().clone();
+    let (out, oh, ow) = conv2d_forward(&xv, &wv, stride, pad, groups);
+    let (n, c) = (xv.dims()[0], xv.dims()[1]);
+    let (h, wdt) = (xv.dims()[2], xv.dims()[3]);
+    let (k, cg, r, s) = (wv.dims()[0], wv.dims()[1], wv.dims()[2], wv.dims()[3]);
+    Var::from_op(
+        out,
+        vec![x.clone(), w.clone()],
+        Box::new(move |g, parents| {
+            let xv = parents[0].value();
+            let wv = parents[1].value();
+            let kg = k / groups;
+            let mut dx = Tensor::zeros(&[n, c, h, wdt]);
+            let mut dw = Tensor::zeros(&[k, cg, r, s]);
+            let gd = g.data();
+            for i in 0..n {
+                for gi in 0..groups {
+                    // Patch matrix for this sample/group: [cg*r*s, oh*ow].
+                    let xin = &xv.data()
+                        [(i * c + gi * cg) * h * wdt..(i * c + (gi + 1) * cg) * h * wdt];
+                    let (cols, _, _) = im2col(xin, cg, h, wdt, r, s, stride, pad);
+                    // dy for this sample/group: [kg, oh*ow].
+                    let mut dy = Tensor::zeros(&[kg, oh * ow]);
+                    for kk in 0..kg {
+                        let src = ((i * k) + gi * kg + kk) * oh * ow;
+                        dy.data_mut()[kk * oh * ow..(kk + 1) * oh * ow]
+                            .copy_from_slice(&gd[src..src + oh * ow]);
+                    }
+                    // dW[g] += dy . cols^T
+                    let dwg = dy.matmul(&cols.transpose2d());
+                    for kk in 0..kg {
+                        let dst = (gi * kg + kk) * cg * r * s;
+                        let row = &dwg.data()[kk * cg * r * s..(kk + 1) * cg * r * s];
+                        for (j, &v) in row.iter().enumerate() {
+                            dw.data_mut()[dst + j] += v;
+                        }
+                    }
+                    // dcols = W[g]^T . dy ; dx = col2im(dcols)
+                    let mut wg = Tensor::zeros(&[kg, cg * r * s]);
+                    for kk in 0..kg {
+                        let src = (gi * kg + kk) * cg * r * s;
+                        wg.data_mut()[kk * cg * r * s..(kk + 1) * cg * r * s]
+                            .copy_from_slice(&wv.data()[src..src + cg * r * s]);
+                    }
+                    let dcols = wg.transpose2d().matmul(&dy);
+                    let dxg = col2im(&dcols, cg, h, wdt, r, s, stride, pad);
+                    let dst = (i * c + gi * cg) * h * wdt;
+                    for (j, &v) in dxg.iter().enumerate() {
+                        dx.data_mut()[dst + j] += v;
+                    }
+                }
+            }
+            parents[0].accumulate_grad(&dx);
+            parents[1].accumulate_grad(&dw);
+        }),
+    )
+}
+
+fn conv2d_forward(
+    x: &Tensor,
+    w: &Tensor,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+) -> (Tensor, usize, usize) {
+    assert_eq!(x.dims().len(), 4, "conv2d input must be [N,C,H,W]");
+    assert_eq!(w.dims().len(), 4, "conv2d weight must be [K,C/g,R,S]");
+    let (n, c, h, wdt) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    let (k, cg, r, s) = (w.dims()[0], w.dims()[1], w.dims()[2], w.dims()[3]);
+    assert_eq!(c % groups, 0, "channels {c} not divisible by groups {groups}");
+    assert_eq!(k % groups, 0, "filters {k} not divisible by groups {groups}");
+    assert_eq!(cg, c / groups, "weight C/g mismatch");
+    assert!(
+        h + 2 * pad >= r && wdt + 2 * pad >= s,
+        "kernel {r}x{s} does not fit padded input {h}x{wdt} (pad {pad})"
+    );
+    let oh = (h + 2 * pad - r) / stride + 1;
+    let ow = (wdt + 2 * pad - s) / stride + 1;
+    let kg = k / groups;
+    let mut out = Tensor::zeros(&[n, k, oh, ow]);
+    for i in 0..n {
+        for gi in 0..groups {
+            let xin =
+                &x.data()[(i * c + gi * cg) * h * wdt..(i * c + (gi + 1) * cg) * h * wdt];
+            let (cols, _, _) = im2col(xin, cg, h, wdt, r, s, stride, pad);
+            let mut wg = Tensor::zeros(&[kg, cg * r * s]);
+            for kk in 0..kg {
+                let src = (gi * kg + kk) * cg * r * s;
+                wg.data_mut()[kk * cg * r * s..(kk + 1) * cg * r * s]
+                    .copy_from_slice(&w.data()[src..src + cg * r * s]);
+            }
+            let y = wg.matmul(&cols); // [kg, oh*ow]
+            for kk in 0..kg {
+                let dst = ((i * k) + gi * kg + kk) * oh * ow;
+                out.data_mut()[dst..dst + oh * ow]
+                    .copy_from_slice(&y.data()[kk * oh * ow..(kk + 1) * oh * ow]);
+            }
+        }
+    }
+    (out, oh, ow)
+}
+
+// ---------------------------------------------------------------------------
+// Normalization
+// ---------------------------------------------------------------------------
+
+/// Result of [`batch_norm2d`]: the normalized output plus the batch
+/// statistics needed to maintain running estimates.
+#[derive(Debug)]
+pub struct BatchNormOutput {
+    /// Normalized, scaled and shifted activations.
+    pub out: Var,
+    /// Per-channel mean used for normalization.
+    pub mean: Tensor,
+    /// Per-channel (biased) variance used for normalization.
+    pub var: Tensor,
+}
+
+/// Batch normalization over `[N, C, H, W]` (statistics per channel).
+///
+/// With `stats = None` the batch statistics are computed and fully
+/// differentiated (training mode). With `stats = Some((mean, var))` the
+/// given statistics are treated as constants (inference mode).
+///
+/// # Panics
+///
+/// Panics if the input is not rank 4 or parameter lengths differ from `C`.
+pub fn batch_norm2d(
+    x: &Var,
+    gamma: &Var,
+    beta: &Var,
+    eps: f32,
+    stats: Option<(Tensor, Tensor)>,
+) -> BatchNormOutput {
+    let xv = x.node.value.borrow().clone();
+    assert_eq!(xv.dims().len(), 4, "batch_norm2d input must be [N,C,H,W]");
+    let (n, c, h, w) = (xv.dims()[0], xv.dims()[1], xv.dims()[2], xv.dims()[3]);
+    let gv = gamma.node.value.borrow().clone();
+    let bv = beta.node.value.borrow().clone();
+    assert_eq!(gv.len(), c, "gamma length must equal channel count");
+    assert_eq!(bv.len(), c, "beta length must equal channel count");
+    let m = (n * h * w) as f32;
+    let use_batch_stats = stats.is_none();
+    let (mean, var) = match stats {
+        Some((mu, va)) => (mu, va),
+        None => {
+            let mut mu = vec![0.0f32; c];
+            let mut va = vec![0.0f32; c];
+            for i in 0..n {
+                for ch in 0..c {
+                    let base = (i * c + ch) * h * w;
+                    for s in 0..h * w {
+                        mu[ch] += xv.data()[base + s];
+                    }
+                }
+            }
+            for v in mu.iter_mut() {
+                *v /= m;
+            }
+            for i in 0..n {
+                for ch in 0..c {
+                    let base = (i * c + ch) * h * w;
+                    for s in 0..h * w {
+                        let d = xv.data()[base + s] - mu[ch];
+                        va[ch] += d * d;
+                    }
+                }
+            }
+            for v in va.iter_mut() {
+                *v /= m;
+            }
+            (
+                Tensor::from_vec(vec![c], mu),
+                Tensor::from_vec(vec![c], va),
+            )
+        }
+    };
+    let invstd: Vec<f32> = var.data().iter().map(|&v| 1.0 / (v + eps).sqrt()).collect();
+    // xhat and y
+    let mut xhat = Tensor::zeros(&[n, c, h, w]);
+    let mut y = Tensor::zeros(&[n, c, h, w]);
+    for i in 0..n {
+        for ch in 0..c {
+            let base = (i * c + ch) * h * w;
+            for s in 0..h * w {
+                let xh = (xv.data()[base + s] - mean.data()[ch]) * invstd[ch];
+                xhat.data_mut()[base + s] = xh;
+                y.data_mut()[base + s] = gv.data()[ch] * xh + bv.data()[ch];
+            }
+        }
+    }
+    let xhat_saved = xhat.clone();
+    let invstd_saved = invstd.clone();
+    let mean_out = mean.clone();
+    let var_out = var.clone();
+    let out = Var::from_op(
+        y,
+        vec![x.clone(), gamma.clone(), beta.clone()],
+        Box::new(move |g, parents| {
+            let gv = parents[1].value();
+            let gd = g.data();
+            let mut dgamma = vec![0.0f32; c];
+            let mut dbeta = vec![0.0f32; c];
+            let mut sum_dy = vec![0.0f32; c];
+            let mut sum_dy_xhat = vec![0.0f32; c];
+            for i in 0..n {
+                for ch in 0..c {
+                    let base = (i * c + ch) * h * w;
+                    for s in 0..h * w {
+                        let dy = gd[base + s];
+                        let xh = xhat_saved.data()[base + s];
+                        dgamma[ch] += dy * xh;
+                        dbeta[ch] += dy;
+                        sum_dy[ch] += dy;
+                        sum_dy_xhat[ch] += dy * xh;
+                    }
+                }
+            }
+            let mut dx = Tensor::zeros(&[n, c, h, w]);
+            for i in 0..n {
+                for ch in 0..c {
+                    let base = (i * c + ch) * h * w;
+                    let gsc = gv.data()[ch] * invstd_saved[ch];
+                    for s in 0..h * w {
+                        let dy = gd[base + s];
+                        let xh = xhat_saved.data()[base + s];
+                        dx.data_mut()[base + s] = if use_batch_stats {
+                            gsc / m * (m * dy - sum_dy[ch] - xh * sum_dy_xhat[ch])
+                        } else {
+                            gsc * dy
+                        };
+                    }
+                }
+            }
+            parents[0].accumulate_grad(&dx);
+            parents[1].accumulate_grad(&Tensor::from_vec(vec![c], dgamma));
+            parents[2].accumulate_grad(&Tensor::from_vec(vec![c], dbeta));
+        }),
+    );
+    BatchNormOutput {
+        out,
+        mean: mean_out,
+        var: var_out,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Activations
+// ---------------------------------------------------------------------------
+
+/// Rectified linear unit, `max(x, 0)`.
+pub fn relu(x: &Var) -> Var {
+    clamp(x, 0.0, f32::INFINITY)
+}
+
+/// `min(max(x, 0), 6)` — MobileNet's bounded activation.
+pub fn relu6(x: &Var) -> Var {
+    clamp(x, 0.0, 6.0)
+}
+
+/// Elementwise clamp with pass-through gradient strictly inside the range.
+pub fn clamp(x: &Var, lo: f32, hi: f32) -> Var {
+    let xv = x.node.value.borrow().clone();
+    let out = xv.map(|v| v.clamp(lo, hi));
+    Var::from_op(
+        out,
+        vec![x.clone()],
+        Box::new(move |g, parents| {
+            let xv = parents[0].value();
+            let dx = g.zip_map(&xv, |gi, vi| if vi > lo && vi < hi { gi } else { 0.0 });
+            parents[0].accumulate_grad(&dx);
+        }),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Pooling & reshape
+// ---------------------------------------------------------------------------
+
+/// Non-overlapping-friendly average pooling over `[N,C,H,W]`.
+///
+/// # Panics
+///
+/// Panics if the window does not tile the input exactly.
+pub fn avg_pool2d(x: &Var, kernel: usize, stride: usize) -> Var {
+    let xv = x.node.value.borrow().clone();
+    assert_eq!(xv.dims().len(), 4, "avg_pool2d input must be [N,C,H,W]");
+    let (n, c, h, w) = (xv.dims()[0], xv.dims()[1], xv.dims()[2], xv.dims()[3]);
+    assert!(
+        (h - kernel) % stride == 0 && (w - kernel) % stride == 0,
+        "pool window {kernel}/{stride} must tile {h}x{w}"
+    );
+    let oh = (h - kernel) / stride + 1;
+    let ow = (w - kernel) / stride + 1;
+    let inv = 1.0 / (kernel * kernel) as f32;
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    for i in 0..n {
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for ky in 0..kernel {
+                        for kx in 0..kernel {
+                            acc += xv.data()
+                                [((i * c + ch) * h + oy * stride + ky) * w + ox * stride + kx];
+                        }
+                    }
+                    out.data_mut()[((i * c + ch) * oh + oy) * ow + ox] = acc * inv;
+                }
+            }
+        }
+    }
+    Var::from_op(
+        out,
+        vec![x.clone()],
+        Box::new(move |g, parents| {
+            let mut dx = Tensor::zeros(&[n, c, h, w]);
+            let gd = g.data();
+            for i in 0..n {
+                for ch in 0..c {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let go = gd[((i * c + ch) * oh + oy) * ow + ox] * inv;
+                            for ky in 0..kernel {
+                                for kx in 0..kernel {
+                                    dx.data_mut()[((i * c + ch) * h + oy * stride + ky) * w
+                                        + ox * stride
+                                        + kx] += go;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            parents[0].accumulate_grad(&dx);
+        }),
+    )
+}
+
+/// Global average pooling: `[N,C,H,W] -> [N,C]`.
+pub fn global_avg_pool(x: &Var) -> Var {
+    let xv = x.node.value.borrow().clone();
+    assert_eq!(xv.dims().len(), 4, "global_avg_pool input must be [N,C,H,W]");
+    let (n, c, h, w) = (xv.dims()[0], xv.dims()[1], xv.dims()[2], xv.dims()[3]);
+    let inv = 1.0 / (h * w) as f32;
+    let mut out = Tensor::zeros(&[n, c]);
+    for i in 0..n {
+        for ch in 0..c {
+            let base = (i * c + ch) * h * w;
+            let acc: f32 = xv.data()[base..base + h * w].iter().sum();
+            out.data_mut()[i * c + ch] = acc * inv;
+        }
+    }
+    Var::from_op(
+        out,
+        vec![x.clone()],
+        Box::new(move |g, parents| {
+            let mut dx = Tensor::zeros(&[n, c, h, w]);
+            let gd = g.data();
+            for i in 0..n {
+                for ch in 0..c {
+                    let go = gd[i * c + ch] * inv;
+                    let base = (i * c + ch) * h * w;
+                    for s in 0..h * w {
+                        dx.data_mut()[base + s] = go;
+                    }
+                }
+            }
+            parents[0].accumulate_grad(&dx);
+        }),
+    )
+}
+
+/// Max pooling over `[N,C,H,W]` with square kernel/stride.
+///
+/// # Panics
+///
+/// Panics if the window does not tile the input exactly.
+pub fn max_pool2d(x: &Var, kernel: usize, stride: usize) -> Var {
+    let xv = x.node.value.borrow().clone();
+    assert_eq!(xv.dims().len(), 4, "max_pool2d input must be [N,C,H,W]");
+    let (n, c, h, w) = (xv.dims()[0], xv.dims()[1], xv.dims()[2], xv.dims()[3]);
+    assert!(
+        (h - kernel) % stride == 0 && (w - kernel) % stride == 0,
+        "pool window {kernel}/{stride} must tile {h}x{w}"
+    );
+    let oh = (h - kernel) / stride + 1;
+    let ow = (w - kernel) / stride + 1;
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut arg: Vec<usize> = vec![0; n * c * oh * ow];
+    for i in 0..n {
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for ky in 0..kernel {
+                        for kx in 0..kernel {
+                            let idx =
+                                ((i * c + ch) * h + oy * stride + ky) * w + ox * stride + kx;
+                            if xv.data()[idx] > best {
+                                best = xv.data()[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let o = ((i * c + ch) * oh + oy) * ow + ox;
+                    out.data_mut()[o] = best;
+                    arg[o] = best_idx;
+                }
+            }
+        }
+    }
+    Var::from_op(
+        out,
+        vec![x.clone()],
+        Box::new(move |g, parents| {
+            let mut dx = Tensor::zeros(&[n, c, h, w]);
+            for (o, &src) in arg.iter().enumerate() {
+                dx.data_mut()[src] += g.data()[o];
+            }
+            parents[0].accumulate_grad(&dx);
+        }),
+    )
+}
+
+/// Shape-changing view (data order preserved).
+pub fn reshape(x: &Var, dims: &[usize]) -> Var {
+    let out = x.node.value.borrow().reshape(dims);
+    Var::from_op(
+        out,
+        vec![x.clone()],
+        Box::new(|g, parents| {
+            let dims = parents[0].dims();
+            parents[0].accumulate_grad(&g.reshape(&dims));
+        }),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Concatenation & slicing
+// ---------------------------------------------------------------------------
+
+/// Concatenates along axis 0 (all other axes must match).
+///
+/// # Panics
+///
+/// Panics if `parts` is empty or trailing shapes disagree.
+pub fn concat0(parts: &[Var]) -> Var {
+    assert!(!parts.is_empty(), "concat0 needs at least one input");
+    let first = parts[0].node.value.borrow().clone();
+    let tail_shape: Vec<usize> = first.dims()[1..].to_vec();
+    let mut rows = 0usize;
+    let mut data = Vec::new();
+    let mut sizes = Vec::with_capacity(parts.len());
+    for p in parts {
+        let v = p.node.value.borrow().clone();
+        assert_eq!(
+            &v.dims()[1..],
+            tail_shape.as_slice(),
+            "concat0 trailing shapes must match"
+        );
+        rows += v.dims()[0];
+        sizes.push(v.len());
+        data.extend_from_slice(v.data());
+    }
+    let mut out_dims = vec![rows];
+    out_dims.extend_from_slice(&tail_shape);
+    Var::from_op(
+        Tensor::from_vec(out_dims, data),
+        parts.to_vec(),
+        Box::new(move |g, parents| {
+            let mut offset = 0usize;
+            for (p, &len) in parents.iter().zip(&sizes) {
+                let dims = p.dims();
+                let chunk = Tensor::from_vec(dims, g.data()[offset..offset + len].to_vec());
+                p.accumulate_grad(&chunk);
+                offset += len;
+            }
+        }),
+    )
+}
+
+/// Slices rows `[start, start + len)` along axis 0.
+///
+/// # Panics
+///
+/// Panics if the range exceeds the axis-0 extent or `len == 0`.
+pub fn slice0(x: &Var, start: usize, len: usize) -> Var {
+    let xv = x.node.value.borrow().clone();
+    let rows = xv.dims()[0];
+    assert!(len > 0, "slice length must be positive");
+    assert!(start + len <= rows, "slice [{start}, {}) out of {rows} rows", start + len);
+    let per: usize = xv.dims()[1..].iter().product::<usize>().max(1);
+    let mut dims = xv.dims().to_vec();
+    dims[0] = len;
+    let data = xv.data()[start * per..(start + len) * per].to_vec();
+    Var::from_op(
+        Tensor::from_vec(dims, data),
+        vec![x.clone()],
+        Box::new(move |g, parents| {
+            let pdims = parents[0].dims();
+            let mut dx = Tensor::zeros(&pdims);
+            dx.data_mut()[start * per..(start + len) * per].copy_from_slice(g.data());
+            parents[0].accumulate_grad(&dx);
+        }),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Softmax & losses
+// ---------------------------------------------------------------------------
+
+/// Softmax over a 1-d vector (used for Gumbel-softmax architecture weights).
+///
+/// # Panics
+///
+/// Panics if the input is not rank 1.
+pub fn softmax_1d(x: &Var) -> Var {
+    let xv = x.node.value.borrow().clone();
+    assert_eq!(xv.dims().len(), 1, "softmax_1d input must be rank 1");
+    let y = xv.reshape(&[1, xv.len()]).softmax_rows().reshape(&[xv.len()]);
+    let y_saved = y.clone();
+    Var::from_op(
+        y,
+        vec![x.clone()],
+        Box::new(move |g, parents| {
+            // dx_i = y_i * (g_i - sum_j g_j y_j)
+            let dot: f32 = g
+                .data()
+                .iter()
+                .zip(y_saved.data())
+                .map(|(&gi, &yi)| gi * yi)
+                .sum();
+            let dx = y_saved.zip_map(g, |yi, gi| yi * (gi - dot));
+            parents[0].accumulate_grad(&dx);
+        }),
+    )
+}
+
+/// Fused softmax + cross-entropy over `[N, C]` logits with integer labels.
+///
+/// Returns the mean negative log-likelihood as a `[1]` tensor.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != N` or any label is out of range.
+pub fn softmax_cross_entropy(logits: &Var, labels: &[usize]) -> Var {
+    let lv = logits.node.value.borrow().clone();
+    assert_eq!(lv.dims().len(), 2, "logits must be [N, C]");
+    let (n, c) = (lv.dims()[0], lv.dims()[1]);
+    assert_eq!(labels.len(), n, "labels length must equal batch size");
+    assert!(
+        labels.iter().all(|&l| l < c),
+        "label out of range for {c} classes"
+    );
+    let probs = lv.softmax_rows();
+    let mut loss = 0.0f32;
+    for (i, &l) in labels.iter().enumerate() {
+        loss -= probs.data()[i * c + l].max(1e-12).ln();
+    }
+    loss /= n as f32;
+    let labels_owned = labels.to_vec();
+    Var::from_op(
+        Tensor::scalar(loss),
+        vec![logits.clone()],
+        Box::new(move |g, parents| {
+            let go = g.item() / n as f32;
+            let mut dl = probs.clone();
+            for (i, &l) in labels_owned.iter().enumerate() {
+                dl.data_mut()[i * c + l] -= 1.0;
+            }
+            parents[0].accumulate_grad(&dl.scale(go));
+        }),
+    )
+}
+
+/// Softmax cross-entropy with label smoothing: the target distribution is
+/// `(1 - eps) * onehot + eps / C`.
+///
+/// With `eps = 0` this equals [`softmax_cross_entropy`].
+///
+/// # Panics
+///
+/// Panics on label/shape mismatch or `eps` outside `[0, 1)`.
+pub fn softmax_cross_entropy_smoothed(logits: &Var, labels: &[usize], eps: f32) -> Var {
+    assert!((0.0..1.0).contains(&eps), "eps must be in [0, 1)");
+    let lv = logits.node.value.borrow().clone();
+    assert_eq!(lv.dims().len(), 2, "logits must be [N, C]");
+    let (n, c) = (lv.dims()[0], lv.dims()[1]);
+    assert_eq!(labels.len(), n, "labels length must equal batch size");
+    assert!(labels.iter().all(|&l| l < c), "label out of range");
+    let probs = lv.softmax_rows();
+    let unif = eps / c as f32;
+    let mut loss = 0.0f32;
+    for (i, &l) in labels.iter().enumerate() {
+        for j in 0..c {
+            let target = if j == l { 1.0 - eps + unif } else { unif };
+            if target > 0.0 {
+                loss -= target * probs.data()[i * c + j].max(1e-12).ln();
+            }
+        }
+    }
+    loss /= n as f32;
+    let labels_owned = labels.to_vec();
+    Var::from_op(
+        Tensor::scalar(loss),
+        vec![logits.clone()],
+        Box::new(move |g, parents| {
+            let go = g.item() / n as f32;
+            let mut dl = probs.clone();
+            for (i, &l) in labels_owned.iter().enumerate() {
+                for j in 0..c {
+                    let target = if j == l { 1.0 - eps + unif } else { unif };
+                    dl.data_mut()[i * c + j] -= target;
+                }
+            }
+            parents[0].accumulate_grad(&dl.scale(go));
+        }),
+    )
+}
+
+/// Mean-squared-error `mean((a - b)^2)` as a `[1]` tensor.
+pub fn mse_loss(a: &Var, b: &Var) -> Var {
+    let d = sub(a, b);
+    mean(&mul(&d, &d))
+}
+
+/// Temperature-softened distillation loss:
+/// `KL(softmax(teacher/T) || softmax(student/T)) * T^2`, averaged over the
+/// batch (Hinton et al.; the `T^2` keeps gradient magnitude
+/// temperature-invariant).
+///
+/// The teacher distribution is a constant (stop-gradient) tensor of
+/// logits with the same `[N, C]` shape.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or non-positive temperature.
+pub fn distill_kl(student_logits: &Var, teacher_logits: &Tensor, temperature: f32) -> Var {
+    assert!(temperature > 0.0, "temperature must be positive");
+    let sv = student_logits.node.value.borrow().clone();
+    assert_eq!(sv.dims().len(), 2, "logits must be [N, C]");
+    assert_eq!(sv.shape(), teacher_logits.shape(), "student/teacher shapes differ");
+    let (n, c) = (sv.dims()[0], sv.dims()[1]);
+    let t = temperature;
+    let p_teacher = teacher_logits.scale(1.0 / t).softmax_rows();
+    let p_student = sv.scale(1.0 / t).softmax_rows();
+    let mut loss = 0.0f32;
+    for i in 0..n * c {
+        let pt = p_teacher.data()[i];
+        if pt > 0.0 {
+            loss += pt * (pt.max(1e-12).ln() - p_student.data()[i].max(1e-12).ln());
+        }
+    }
+    loss = loss * t * t / n as f32;
+    Var::from_op(
+        Tensor::scalar(loss),
+        vec![student_logits.clone()],
+        Box::new(move |g, parents| {
+            // d/dz_s = (softmax(z_s/T) - p_teacher) * T / N  (times T^2/T).
+            let go = g.item() * t / n as f32;
+            let dl = p_student.sub(&p_teacher).scale(go);
+            parents[0].accumulate_grad(&dl);
+        }),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Straight-through estimator & architecture mixing
+// ---------------------------------------------------------------------------
+
+/// Applies a non-differentiable elementwise transform with a
+/// straight-through gradient.
+///
+/// `forward` maps the input tensor to the output (e.g. a quantizer);
+/// `grad_mask`, if given, produces an elementwise multiplier applied to the
+/// incoming gradient (e.g. zero outside a clipping range). With
+/// `grad_mask = None` the gradient passes through unchanged — the classic
+/// STE used by DoReFa / SBM quantizers.
+pub fn ste_apply(
+    x: &Var,
+    forward: impl Fn(&Tensor) -> Tensor,
+    grad_mask: Option<Box<dyn Fn(&Tensor) -> Tensor>>,
+) -> Var {
+    let xv = x.node.value.borrow().clone();
+    let out = forward(&xv);
+    assert_eq!(
+        out.shape(),
+        xv.shape(),
+        "ste_apply transform must preserve the shape"
+    );
+    Var::from_op(
+        out,
+        vec![x.clone()],
+        Box::new(move |g, parents| {
+            let dx = match &grad_mask {
+                Some(mask) => g.mul(&mask(&parents[0].value())),
+                None => g.clone(),
+            };
+            parents[0].accumulate_grad(&dx);
+        }),
+    )
+}
+
+/// PACT activation quantization (Choi et al. 2018): clips to a *learnable*
+/// range `[0, alpha]` and uniformly quantizes to `bits`.
+///
+/// Gradients: straight-through inside the clip range for `x`; for `alpha`,
+/// the gradient is the sum of upstream gradients over clipped-high
+/// elements (the PACT estimator).
+///
+/// # Panics
+///
+/// Panics if `alpha` is not a positive scalar or `bits == 0`.
+pub fn pact(x: &Var, alpha: &Var, bits: u8) -> Var {
+    assert!(bits >= 1, "bits must be positive");
+    let a = alpha.node.value.borrow().item().max(1e-3);
+    let levels = ((1u64 << bits.min(31)) - 1) as f32;
+    let xv = x.node.value.borrow().clone();
+    let out = xv.map(|v| {
+        let c = v.clamp(0.0, a);
+        (c * levels / a).round() * a / levels
+    });
+    Var::from_op(
+        out,
+        vec![x.clone(), alpha.clone()],
+        Box::new(move |g, parents| {
+            let xv = parents[0].value();
+            let a = parents[1].value().item().max(1e-3);
+            let dx = g.zip_map(&xv, |gi, vi| if (0.0..=a).contains(&vi) { gi } else { 0.0 });
+            parents[0].accumulate_grad(&dx);
+            let dalpha: f32 = g
+                .data()
+                .iter()
+                .zip(xv.data())
+                .map(|(&gi, &vi)| if vi > a { gi } else { 0.0 })
+                .sum();
+            parents[1].accumulate_grad(&Tensor::scalar(dalpha));
+        }),
+    )
+}
+
+/// Multiplies a tensor by one scalar element of a vector-valued [`Var`].
+///
+/// Used to mix supernet candidate outputs: `out = x * w[idx]`, with
+/// gradients flowing to both the candidate output and the architecture
+/// weight element.
+///
+/// # Panics
+///
+/// Panics if `idx` is out of range for `w`.
+pub fn scale_by_element(x: &Var, w: &Var, idx: usize) -> Var {
+    let wv = w.node.value.borrow().clone();
+    assert!(idx < wv.len(), "weight index {idx} out of range");
+    let out = x.node.value.borrow().scale(wv.data()[idx]);
+    Var::from_op(
+        out,
+        vec![x.clone(), w.clone()],
+        Box::new(move |g, parents| {
+            let xv = parents[0].value();
+            let wv = parents[1].value();
+            parents[0].accumulate_grad(&g.scale(wv.data()[idx]));
+            let mut dw = Tensor::zeros(&[wv.len()]);
+            dw.data_mut()[idx] = g
+                .data()
+                .iter()
+                .zip(xv.data())
+                .map(|(&gi, &xi)| gi * xi)
+                .sum();
+            parents[1].accumulate_grad(&dw);
+        }),
+    )
+}
+
+/// Inner product of a variable with a constant vector: `sum_i x_i * c_i`.
+///
+/// Used for the differentiable FLOPs/efficiency loss over architecture
+/// weights.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn dot_const(x: &Var, consts: &[f32]) -> Var {
+    let xv = x.node.value.borrow().clone();
+    assert_eq!(xv.len(), consts.len(), "dot_const length mismatch");
+    let out: f32 = xv.data().iter().zip(consts).map(|(&a, &b)| a * b).sum();
+    let consts = consts.to_vec();
+    Var::from_op(
+        Tensor::scalar(out),
+        vec![x.clone()],
+        Box::new(move |g, parents| {
+            let go = g.item();
+            let dx = Tensor::from_vec(vec![consts.len()], consts.iter().map(|&c| c * go).collect());
+            parents[0].accumulate_grad(&dx);
+        }),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Method sugar on Var
+// ---------------------------------------------------------------------------
+
+impl Var {
+    /// See [`add`].
+    pub fn add(&self, other: &Var) -> Var {
+        add(self, other)
+    }
+    /// See [`sub`].
+    pub fn sub(&self, other: &Var) -> Var {
+        sub(self, other)
+    }
+    /// See [`mul`].
+    pub fn mul(&self, other: &Var) -> Var {
+        mul(self, other)
+    }
+    /// See [`scale`].
+    pub fn scale(&self, s: f32) -> Var {
+        scale(self, s)
+    }
+    /// See [`sum`].
+    pub fn sum(&self) -> Var {
+        sum(self)
+    }
+    /// See [`mean`].
+    pub fn mean(&self) -> Var {
+        mean(self)
+    }
+    /// See [`relu`].
+    pub fn relu(&self) -> Var {
+        relu(self)
+    }
+    /// See [`relu6`].
+    pub fn relu6(&self) -> Var {
+        relu6(self)
+    }
+    /// See [`reshape`].
+    pub fn reshape(&self, dims: &[usize]) -> Var {
+        reshape(self, dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Central-difference gradient check of `f` at leaf `x`.
+    fn grad_check(x: &Var, f: impl Fn(&Var) -> Var, tol: f32) {
+        let loss = f(x);
+        loss.backward();
+        let analytic = x.grad().unwrap();
+        let base = x.value();
+        let eps = 1e-2f32;
+        for i in 0..base.len() {
+            let mut plus = base.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = base.clone();
+            minus.data_mut()[i] -= eps;
+            let fp = f(&Var::leaf(plus, false)).item();
+            let fm = f(&Var::leaf(minus, false)).item();
+            let numeric = (fp - fm) / (2.0 * eps);
+            let a = analytic.data()[i];
+            assert!(
+                (a - numeric).abs() <= tol * (1.0 + numeric.abs()),
+                "grad mismatch at {i}: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+
+    fn randn(rng: &mut StdRng, dims: &[usize]) -> Tensor {
+        let n: usize = dims.iter().product();
+        Tensor::from_vec(
+            dims.to_vec(),
+            (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
+    }
+
+    #[test]
+    fn grad_check_matmul() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let b = Var::constant(randn(&mut rng, &[3, 2]));
+        let x = Var::leaf(randn(&mut rng, &[2, 3]), true);
+        grad_check(&x, |x| matmul(x, &b).sum(), 1e-2);
+    }
+
+    #[test]
+    fn grad_check_conv2d_weight() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = Var::constant(randn(&mut rng, &[1, 2, 5, 5]));
+        let w = Var::leaf(randn(&mut rng, &[3, 2, 3, 3]), true);
+        grad_check(&w, |w| conv2d(&x, w, 1, 1, 1).sum(), 2e-2);
+    }
+
+    #[test]
+    fn grad_check_conv2d_input_strided() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = Var::constant(randn(&mut rng, &[2, 2, 3, 3]));
+        let x = Var::leaf(randn(&mut rng, &[1, 2, 6, 6]), true);
+        grad_check(&x, |x| conv2d(x, &w, 2, 1, 1).sum(), 2e-2);
+    }
+
+    #[test]
+    fn grad_check_depthwise_conv() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = Var::constant(randn(&mut rng, &[1, 4, 5, 5]));
+        let w = Var::leaf(randn(&mut rng, &[4, 1, 3, 3]), true);
+        grad_check(&w, |w| conv2d(&x, w, 1, 1, 4).sum(), 2e-2);
+    }
+
+    #[test]
+    fn grad_check_batch_norm_input() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let gamma = Var::constant(Tensor::ones(&[3]));
+        let beta = Var::constant(Tensor::zeros(&[3]));
+        let x = Var::leaf(randn(&mut rng, &[2, 3, 2, 2]), true);
+        grad_check(
+            &x,
+            |x| {
+                let bn = batch_norm2d(x, &gamma, &beta, 1e-3, None);
+                mul(&bn.out, &bn.out).sum()
+            },
+            5e-2,
+        );
+    }
+
+    #[test]
+    fn grad_check_batch_norm_gamma_beta() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let x = Var::constant(randn(&mut rng, &[2, 2, 3, 3]));
+        let gb = Var::leaf(randn(&mut rng, &[2]), true);
+        // Check gamma gradient by reusing gb as gamma.
+        grad_check(
+            &gb,
+            |gamma| {
+                let beta = Var::constant(Tensor::zeros(&[2]));
+                let bn = batch_norm2d(&x, gamma, &beta, 1e-3, None);
+                mul(&bn.out, &bn.out).sum()
+            },
+            5e-2,
+        );
+    }
+
+    #[test]
+    fn grad_check_softmax_cross_entropy() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = Var::leaf(randn(&mut rng, &[4, 5]), true);
+        grad_check(&x, |x| softmax_cross_entropy(x, &[0, 1, 2, 3]), 1e-2);
+    }
+
+    #[test]
+    fn grad_check_softmax_1d() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let x = Var::leaf(randn(&mut rng, &[5]), true);
+        grad_check(&x, |x| dot_const(&softmax_1d(x), &[1.0, -2.0, 3.0, 0.5, 2.0]), 1e-2);
+    }
+
+    #[test]
+    fn grad_check_avg_pool() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = Var::leaf(randn(&mut rng, &[1, 2, 4, 4]), true);
+        grad_check(
+            &x,
+            |x| {
+                let p = avg_pool2d(x, 2, 2);
+                mul(&p, &p).sum()
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_check_global_avg_pool() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let x = Var::leaf(randn(&mut rng, &[2, 3, 2, 2]), true);
+        grad_check(
+            &x,
+            |x| {
+                let p = global_avg_pool(x);
+                mul(&p, &p).sum()
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_check_linear_and_bias() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = Var::constant(randn(&mut rng, &[3, 4]));
+        let w = Var::leaf(randn(&mut rng, &[2, 4]), true);
+        grad_check(
+            &w,
+            |w| {
+                let b = Var::constant(randn(&mut StdRng::seed_from_u64(12), &[2]));
+                let y = linear(&x, w, Some(&b));
+                mul(&y, &y).sum()
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_check_clamp_interior_only() {
+        let x = Var::leaf(Tensor::from_vec(vec![3], vec![-1.0, 0.5, 7.0]), true);
+        let y = relu6(&x).sum();
+        y.backward();
+        assert_eq!(x.grad().unwrap().data(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn max_pool_routes_gradient_to_argmax() {
+        let x = Var::leaf(
+            Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 5.0, 3.0, 2.0]),
+            true,
+        );
+        let y = max_pool2d(&x, 2, 2).sum();
+        y.backward();
+        assert_eq!(x.grad().unwrap().data(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn ste_passes_gradient_through_round() {
+        let x = Var::leaf(Tensor::from_vec(vec![3], vec![0.2, 0.7, 1.4]), true);
+        let q = ste_apply(&x, |t| t.map(|v| v.round()), None);
+        assert_eq!(q.value().data(), &[0.0, 1.0, 1.0]);
+        q.sum().backward();
+        assert_eq!(x.grad().unwrap().data(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn ste_grad_mask_applies() {
+        let x = Var::leaf(Tensor::from_vec(vec![2], vec![0.5, 2.0]), true);
+        let q = ste_apply(
+            &x,
+            |t| t.map(|v| v.clamp(0.0, 1.0)),
+            Some(Box::new(|t: &Tensor| {
+                t.map(|v| if (0.0..=1.0).contains(&v) { 1.0 } else { 0.0 })
+            })),
+        );
+        q.sum().backward();
+        assert_eq!(x.grad().unwrap().data(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn scale_by_element_grad_flows_to_weight() {
+        let x = Var::constant(Tensor::from_vec(vec![2], vec![1.0, 2.0]));
+        let w = Var::leaf(Tensor::from_vec(vec![3], vec![0.1, 0.2, 0.3]), true);
+        let y = scale_by_element(&x, &w, 1).sum();
+        y.backward();
+        assert_eq!(w.grad().unwrap().data(), &[0.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn mse_loss_of_equal_inputs_is_zero() {
+        let a = Var::constant(Tensor::from_vec(vec![2], vec![1.0, 2.0]));
+        let b = Var::constant(Tensor::from_vec(vec![2], vec![1.0, 2.0]));
+        assert_eq!(mse_loss(&a, &b).item(), 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Var::constant(Tensor::from_vec(vec![1, 3], vec![20.0, 0.0, 0.0]));
+        assert!(softmax_cross_entropy(&logits, &[0]).item() < 1e-3);
+    }
+
+    #[test]
+    fn pact_output_bounded_by_alpha_and_quantized() {
+        let x = Var::constant(Tensor::from_vec(vec![4], vec![-1.0, 0.3, 0.9, 5.0]));
+        let alpha = Var::leaf(Tensor::scalar(1.0), true);
+        let y = pact(&x, &alpha, 2);
+        let v = y.value();
+        assert!(v.data().iter().all(|&p| (0.0..=1.0).contains(&p)));
+        // 2-bit: levels at multiples of 1/3.
+        assert!(v
+            .data()
+            .iter()
+            .all(|&p| (p * 3.0 - (p * 3.0).round()).abs() < 1e-5));
+    }
+
+    #[test]
+    fn pact_alpha_gradient_counts_clipped_elements() {
+        let x = Var::constant(Tensor::from_vec(vec![4], vec![-1.0, 0.5, 2.0, 3.0]));
+        let alpha = Var::leaf(Tensor::scalar(1.0), true);
+        pact(&x, &alpha, 4).sum().backward();
+        // Two elements exceed alpha; each contributes gradient 1.
+        assert_eq!(alpha.grad().unwrap().item(), 2.0);
+    }
+
+    #[test]
+    fn pact_input_gradient_masks_out_of_range() {
+        let x = Var::leaf(Tensor::from_vec(vec![3], vec![-0.5, 0.5, 2.0]), true);
+        let alpha = Var::constant(Tensor::scalar(1.0));
+        pact(&x, &alpha, 4).sum().backward();
+        assert_eq!(x.grad().unwrap().data(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn distill_kl_zero_for_identical_logits() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let z = randn(&mut rng, &[3, 5]);
+        let loss = distill_kl(&Var::constant(z.clone()), &z, 4.0).item();
+        assert!(loss.abs() < 1e-5, "{loss}");
+    }
+
+    #[test]
+    fn distill_kl_nonnegative_and_grad_checks() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let teacher = randn(&mut rng, &[3, 4]);
+        let x = Var::leaf(randn(&mut rng, &[3, 4]), true);
+        assert!(distill_kl(&x, &teacher, 2.0).item() >= 0.0);
+        let t2 = teacher.clone();
+        grad_check(&x, move |x| distill_kl(x, &t2, 2.0), 1e-2);
+    }
+
+    #[test]
+    fn distill_kl_bounded_under_logit_scaling() {
+        // Unlike logit MSE, the softened KL does not explode when logits
+        // scale up (the Table IV failure mode of raw-MSE distillation).
+        let teacher = Tensor::from_vec(vec![1, 3], vec![10.0, 0.0, -10.0]);
+        let student = Var::constant(Tensor::from_vec(vec![1, 3], vec![-10.0, 0.0, 10.0]));
+        let kl = distill_kl(&student, &teacher, 4.0).item();
+        let mse = mse_loss(&student, &Var::constant(teacher.clone())).item();
+        assert!(kl < mse, "kl {kl} vs mse {mse}");
+    }
+
+    #[test]
+    fn concat0_stacks_batches_and_routes_grads() {
+        let a = Var::leaf(Tensor::from_vec(vec![1, 2], vec![1.0, 2.0]), true);
+        let b = Var::leaf(Tensor::from_vec(vec![2, 2], vec![3.0, 4.0, 5.0, 6.0]), true);
+        let c = concat0(&[a.clone(), b.clone()]);
+        assert_eq!(c.dims(), vec![3, 2]);
+        // Weight the rows differently so the split gradients differ.
+        let w = Var::constant(Tensor::from_vec(vec![3, 2], vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0]));
+        mul(&c, &w).sum().backward();
+        assert_eq!(a.grad().unwrap().data(), &[1.0, 1.0]);
+        assert_eq!(b.grad().unwrap().data(), &[2.0, 2.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn slice0_extracts_rows_and_scatters_grad() {
+        let x = Var::leaf(
+            Tensor::from_vec(vec![3, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
+            true,
+        );
+        let sl = slice0(&x, 1, 1);
+        assert_eq!(sl.value().data(), &[3.0, 4.0]);
+        sl.sum().backward();
+        assert_eq!(x.grad().unwrap().data(), &[0.0, 0.0, 1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn concat_slice_roundtrip() {
+        let x = Var::constant(Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        let parts = vec![slice0(&x, 0, 1), slice0(&x, 1, 1)];
+        let back = concat0(&parts);
+        assert_eq!(back.value(), x.value());
+    }
+
+    #[test]
+    #[should_panic(expected = "trailing shapes")]
+    fn concat0_rejects_mismatched_shapes() {
+        let a = Var::constant(Tensor::zeros(&[1, 2]));
+        let b = Var::constant(Tensor::zeros(&[1, 3]));
+        let _ = concat0(&[a, b]);
+    }
+
+    #[test]
+    fn smoothed_ce_reduces_to_plain_ce_at_eps_zero() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let x = randn(&mut rng, &[3, 4]);
+        let a = softmax_cross_entropy(&Var::constant(x.clone()), &[0, 1, 2]).item();
+        let b = softmax_cross_entropy_smoothed(&Var::constant(x), &[0, 1, 2], 0.0).item();
+        assert!((a - b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn grad_check_smoothed_cross_entropy() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let x = Var::leaf(randn(&mut rng, &[3, 4]), true);
+        grad_check(&x, |x| softmax_cross_entropy_smoothed(x, &[0, 1, 3], 0.1), 1e-2);
+    }
+
+    #[test]
+    fn smoothing_penalizes_overconfidence() {
+        // A very confident correct prediction has near-zero CE but nonzero
+        // smoothed CE (the uniform component keeps pressure on).
+        let logits = Var::constant(Tensor::from_vec(vec![1, 3], vec![30.0, 0.0, 0.0]));
+        let plain = softmax_cross_entropy(&logits, &[0]).item();
+        let smooth = softmax_cross_entropy_smoothed(&logits, &[0], 0.2).item();
+        assert!(plain < 1e-3);
+        assert!(smooth > 1.0);
+    }
+
+    #[test]
+    fn conv_matches_hand_computed_value() {
+        // 1x1 input channel, 2x2 input, 2x2 kernel, no pad.
+        let x = Var::constant(Tensor::from_vec(
+            vec![1, 1, 2, 2],
+            vec![1.0, 2.0, 3.0, 4.0],
+        ));
+        let w = Var::constant(Tensor::from_vec(
+            vec![1, 1, 2, 2],
+            vec![1.0, 0.0, 0.0, 1.0],
+        ));
+        let y = conv2d(&x, &w, 1, 0, 1);
+        assert_eq!(y.value().data(), &[5.0]); // 1*1 + 4*1
+    }
+
+    #[test]
+    fn bias_add_4d_broadcasts_per_channel() {
+        let x = Var::constant(Tensor::zeros(&[1, 2, 2, 2]));
+        let b = Var::constant(Tensor::from_vec(vec![2], vec![1.0, -1.0]));
+        let y = bias_add(&x, &b);
+        let v = y.value();
+        assert_eq!(&v.data()[0..4], &[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(&v.data()[4..8], &[-1.0, -1.0, -1.0, -1.0]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Shape bookkeeping for row-major tensors.
+
+use std::fmt;
+
+/// The extents of a tensor along each axis, row-major (last axis fastest).
+///
+/// `Shape` is a thin wrapper over `Vec<usize>` that centralizes index
+/// arithmetic so kernels cannot disagree about layout.
+///
+/// # Example
+///
+/// ```
+/// use instantnet_tensor::Shape;
+/// let s = Shape::new(vec![2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from per-axis extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any extent is zero; zero-sized tensors are never meaningful
+    /// in this workspace and allowing them would push degenerate-case checks
+    /// into every kernel.
+    pub fn new(dims: Vec<usize>) -> Self {
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "shape axes must be positive, got {dims:?}"
+        );
+        Shape(dims)
+    }
+
+    /// Scalar shape `[1]`.
+    pub fn scalar() -> Self {
+        Shape(vec![1])
+    }
+
+    /// Per-axis extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Row-major strides (elements, not bytes).
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Extent of axis `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.len(), 24);
+        assert_eq!(s.rank(), 3);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.dims(), &[1]);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn display_formats_dims() {
+        assert_eq!(Shape::new(vec![4, 8]).to_string(), "[4x8]");
+    }
+
+    #[test]
+    #[should_panic(expected = "shape axes must be positive")]
+    fn zero_axis_rejected() {
+        let _ = Shape::new(vec![2, 0]);
+    }
+}

@@ -1,0 +1,524 @@
+//! The dense `f32` tensor and its (non-differentiable) kernels.
+
+use crate::shape::Shape;
+use std::fmt;
+
+/// A dense, row-major `f32` n-d array.
+///
+/// All autograd operators in [`crate::ops`] bottom out in the plain kernels
+/// defined here. `Tensor` is a value type: operations return new tensors
+/// unless named `*_assign` / `*_scaled`.
+///
+/// # Example
+///
+/// ```
+/// use instantnet_tensor::Tensor;
+/// let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+/// let b = Tensor::full(&[2, 2], 1.0);
+/// assert_eq!(a.add(&b).data(), &[2.0, 3.0, 4.0, 5.0]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor with the given shape and backing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn from_vec(dims: Vec<usize>, data: Vec<f32>) -> Self {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            shape.len(),
+            data.len(),
+            "data length {} does not match shape {shape}",
+            data.len()
+        );
+        Tensor { shape, data }
+    }
+
+    /// All-zeros tensor.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::from(dims);
+        let n = shape.len();
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// All-ones tensor.
+    pub fn ones(dims: &[usize]) -> Self {
+        Tensor::full(dims, 1.0)
+    }
+
+    /// Constant-filled tensor.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::from(dims);
+        let n = shape.len();
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
+    }
+
+    /// Scalar (shape `[1]`) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Per-axis extents.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total element count.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Immutable view of the backing data (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing data (row-major).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Scalar value of a one-element tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor has more than one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.len(), 1, "item() on non-scalar tensor {}", self.shape);
+        self.data[0]
+    }
+
+    /// Returns the same data viewed under a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Tensor {
+        let shape = Shape::from(dims);
+        assert_eq!(
+            shape.len(),
+            self.len(),
+            "reshape {} -> {shape} changes element count",
+            self.shape
+        );
+        Tensor {
+            shape,
+            data: self.data.clone(),
+        }
+    }
+
+    /// Elementwise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Elementwise combination of two same-shaped tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(
+            self.shape, other.shape,
+            "zip_map shape mismatch {} vs {}",
+            self.shape, other.shape
+        );
+        Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Elementwise sum.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise product (Hadamard).
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|v| v * s)
+    }
+
+    /// In-place `self += other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(
+            self.shape, other.shape,
+            "add_assign shape mismatch {} vs {}",
+            self.shape, other.shape
+        );
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += s * other` (axpy).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_scaled_assign(&mut self, other: &Tensor, s: f32) {
+        assert_eq!(
+            self.shape, other.shape,
+            "add_scaled_assign shape mismatch {} vs {}",
+            self.shape, other.shape
+        );
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += s * b;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        self.sum() / self.len() as f32
+    }
+
+    /// Largest absolute value (0 for the impossible empty case).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// Index of the maximum element of a 1-d slice of `len` starting at
+    /// `offset`; used for per-row argmax.
+    fn argmax_slice(&self, offset: usize, len: usize) -> usize {
+        let mut best = 0;
+        let mut best_v = f32::NEG_INFINITY;
+        for i in 0..len {
+            let v = self.data[offset + i];
+            if v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Per-row argmax of a `[rows, cols]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        assert_eq!(self.shape.rank(), 2, "argmax_rows needs a matrix");
+        let (rows, cols) = (self.shape.dim(0), self.shape.dim(1));
+        (0..rows).map(|r| self.argmax_slice(r * cols, cols)).collect()
+    }
+
+    /// Row-wise softmax of a `[rows, cols]` tensor (numerically stabilized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn softmax_rows(&self) -> Tensor {
+        assert_eq!(self.shape.rank(), 2, "softmax_rows needs a matrix");
+        let (rows, cols) = (self.shape.dim(0), self.shape.dim(1));
+        let mut out = vec![0.0f32; rows * cols];
+        for r in 0..rows {
+            let row = &self.data[r * cols..(r + 1) * cols];
+            let m = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+            let mut z = 0.0f32;
+            for c in 0..cols {
+                let e = (row[c] - m).exp();
+                out[r * cols + c] = e;
+                z += e;
+            }
+            for c in 0..cols {
+                out[r * cols + c] /= z;
+            }
+        }
+        Tensor::from_vec(vec![rows, cols], out)
+    }
+
+    /// Matrix product of `[m, k] x [k, n] -> [m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 2 or the inner dims disagree.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.rank(), 2, "matmul lhs must be a matrix");
+        assert_eq!(other.shape.rank(), 2, "matmul rhs must be a matrix");
+        let (m, k) = (self.shape.dim(0), self.shape.dim(1));
+        let (k2, n) = (other.shape.dim(0), other.shape.dim(1));
+        assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        // i-k-j order: streams the rhs row-major, good cache behaviour.
+        for i in 0..m {
+            for p in 0..k {
+                let a = self.data[i * k + p];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &other.data[p * n..(p + 1) * n];
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for j in 0..n {
+                    out_row[j] += a * rhs_row[j];
+                }
+            }
+        }
+        Tensor::from_vec(vec![m, n], out)
+    }
+
+    /// Transpose of a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn transpose2d(&self) -> Tensor {
+        assert_eq!(self.shape.rank(), 2, "transpose2d needs a matrix");
+        let (m, n) = (self.shape.dim(0), self.shape.dim(1));
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor::from_vec(vec![n, m], out)
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} ", self.shape)?;
+        let preview: Vec<f32> = self.data.iter().take(8).copied().collect();
+        write!(f, "{preview:?}")?;
+        if self.len() > 8 {
+            write!(f, "…")?;
+        }
+        Ok(())
+    }
+}
+
+/// Unfolds conv input patches into columns (`im2col`).
+///
+/// Input is `[c, h, w]` for a single sample; output is
+/// `[c * kh * kw, oh * ow]` where `oh/ow` follow the usual conv arithmetic
+/// with the given `stride` and zero `pad`.
+pub fn im2col(
+    input: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> (Tensor, usize, usize) {
+    let oh = (h + 2 * pad - kh) / stride + 1;
+    let ow = (w + 2 * pad - kw) / stride + 1;
+    let rows = c * kh * kw;
+    let cols = oh * ow;
+    let mut out = vec![0.0f32; rows * cols];
+    for ci in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                for oy in 0..oh {
+                    let iy = (oy * stride + ki) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * stride + kj) as isize - pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        out[row * cols + oy * ow + ox] =
+                            input[(ci * h + iy as usize) * w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    (Tensor::from_vec(vec![rows, cols], out), oh, ow)
+}
+
+/// Folds columns back into an image, accumulating overlaps (`col2im`); the
+/// adjoint of [`im2col`].
+#[allow(clippy::too_many_arguments)]
+pub fn col2im(
+    cols: &Tensor,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> Vec<f32> {
+    let oh = (h + 2 * pad - kh) / stride + 1;
+    let ow = (w + 2 * pad - kw) / stride + 1;
+    let ncols = oh * ow;
+    let mut out = vec![0.0f32; c * h * w];
+    let data = cols.data();
+    for ci in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                for oy in 0..oh {
+                    let iy = (oy * stride + ki) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * stride + kj) as isize - pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        out[(ci * h + iy as usize) * w + ix as usize] +=
+                            data[row * ncols + oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let eye = Tensor::from_vec(vec![2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(a.matmul(&eye), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(vec![3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose2d().transpose2d(), a);
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let s = a.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.data()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let a = Tensor::from_vec(vec![1, 2], vec![1000.0, 1001.0]);
+        let s = a.softmax_rows();
+        assert!(s.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint_on_ones() {
+        // col2im(im2col(x)) counts how many patches cover each pixel.
+        let (c, h, w, k, s, p) = (1, 4, 4, 3, 1, 1);
+        let input = vec![1.0f32; c * h * w];
+        let (cols, oh, ow) = im2col(&input, c, h, w, k, k, s, p);
+        assert_eq!(oh, 4);
+        assert_eq!(ow, 4);
+        let back = col2im(&cols, c, h, w, k, k, s, p);
+        // Centre pixels are covered by all 9 offsets; corners by 4.
+        assert_eq!(back[5], 9.0);
+        assert_eq!(back[0], 4.0);
+    }
+
+    #[test]
+    fn im2col_stride_two_shrinks_output() {
+        let (c, h, w) = (2, 8, 8);
+        let input = vec![0.5f32; c * h * w];
+        let (cols, oh, ow) = im2col(&input, c, h, w, 3, 3, 2, 1);
+        assert_eq!((oh, ow), (4, 4));
+        assert_eq!(cols.dims(), &[2 * 9, 16]);
+    }
+
+    #[test]
+    fn argmax_rows_picks_max() {
+        let a = Tensor::from_vec(vec![2, 3], vec![0.1, 0.9, 0.0, 1.0, -5.0, 0.5]);
+        assert_eq!(a.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_length_checked() {
+        let _ = Tensor::from_vec(vec![2, 2], vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul inner dims")]
+    fn matmul_dim_mismatch_panics() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = a.reshape(&[3, 2]);
+        assert_eq!(b.data(), a.data());
+        assert_eq!(b.dims(), &[3, 2]);
+    }
+
+    #[test]
+    fn add_scaled_assign_is_axpy() {
+        let mut a = Tensor::from_vec(vec![2], vec![1.0, 2.0]);
+        let b = Tensor::from_vec(vec![2], vec![10.0, 20.0]);
+        a.add_scaled_assign(&b, 0.5);
+        assert_eq!(a.data(), &[6.0, 12.0]);
+    }
+}

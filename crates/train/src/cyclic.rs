@@ -1,0 +1,180 @@
+//! Cyclic Precision Training (CPT) — the extension the paper cites as its
+//! companion work (Fu et al., ICLR'21, ref. \[8\]).
+//!
+//! Instead of training every bit-width each batch (CDT's cost), CPT cycles
+//! the active precision along the ladder following a cosine schedule,
+//! visiting low precisions early-and-often (a regularizer) and high
+//! precisions periodically. It costs one forward/backward per batch —
+//! `N`x cheaper than CDT — at the price of weaker low-bit accuracy, which
+//! makes it a useful ablation point between AdaBits and CDT.
+
+use crate::optim::{CosineLr, Optimizer, Sgd};
+use crate::strategy::PrecisionLadder;
+use crate::trainer::{evaluate, TrainConfig, TrainReport};
+use instantnet_data::{BatchIter, Dataset};
+use instantnet_nn::models::Network;
+use instantnet_nn::Module;
+use instantnet_tensor::{ops, Var};
+
+/// How the active rung moves through the ladder during cyclic training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CycleSchedule {
+    /// Low → high → low triangle wave with the given period (in batches).
+    Triangle {
+        /// Batches per full cycle.
+        period: usize,
+    },
+    /// Cosine-shaped cycle (CPT's schedule): spends more steps near the
+    /// extremes than the triangle.
+    Cosine {
+        /// Batches per full cycle.
+        period: usize,
+    },
+}
+
+impl CycleSchedule {
+    /// The rung index active at batch `t` for a ladder of `n` rungs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn rung_at(&self, t: usize, n: usize) -> usize {
+        assert!(n > 0, "ladder must be non-empty");
+        if n == 1 {
+            return 0;
+        }
+        match *self {
+            CycleSchedule::Triangle { period } => {
+                let period = period.max(2);
+                let phase = t % period;
+                let half = period / 2;
+                let frac = if phase < half {
+                    phase as f32 / half as f32
+                } else {
+                    1.0 - (phase - half) as f32 / (period - half) as f32
+                };
+                ((frac * (n - 1) as f32).round() as usize).min(n - 1)
+            }
+            CycleSchedule::Cosine { period } => {
+                let period = period.max(2);
+                let phase = (t % period) as f32 / period as f32;
+                let frac = 0.5 * (1.0 - (std::f32::consts::TAU * phase).cos());
+                ((frac * (n - 1) as f32).round() as usize).min(n - 1)
+            }
+        }
+    }
+}
+
+/// Trains `net` with cyclic precision and reports per-rung test accuracy.
+///
+/// Each batch runs a single forward/backward at the schedule's current
+/// rung (that rung's BN branch is the one updated), so all rungs'
+/// statistics get visited over a cycle.
+pub fn train_cyclic(
+    net: &Network,
+    ds: &Dataset,
+    ladder: &PrecisionLadder,
+    schedule: CycleSchedule,
+    cfg: TrainConfig,
+) -> TrainReport {
+    let params = net.params();
+    let mut opt = Sgd::new(cfg.lr, cfg.momentum, cfg.weight_decay);
+    let lr_schedule = CosineLr::new(cfg.lr, cfg.epochs.max(1));
+    let mut loss_curve = Vec::with_capacity(cfg.epochs);
+    let all: Vec<usize> = (0..ds.train().len()).collect();
+    let mut t = 0usize;
+    for epoch in 0..cfg.epochs {
+        opt.set_lr(lr_schedule.at(epoch));
+        let mut epoch_loss = 0.0;
+        let mut batches = 0;
+        for idx in BatchIter::new(all.clone(), cfg.batch_size, cfg.seed + epoch as u64) {
+            let (x, labels) = ds.train().batch(&idx);
+            let xv = Var::constant(x);
+            let rung = schedule.rung_at(t, ladder.len());
+            let mut ctx = ladder.train_ctx(rung, cfg.quantizer);
+            let logits = net.forward(&xv, &mut ctx);
+            let loss = ops::softmax_cross_entropy(&logits, &labels);
+            epoch_loss += loss.item();
+            loss.backward();
+            opt.step(&params);
+            t += 1;
+            batches += 1;
+        }
+        loss_curve.push(epoch_loss / batches.max(1) as f32);
+    }
+    let accuracy_per_rung = (0..ladder.len())
+        .map(|i| evaluate(net, ds.test(), ladder, i, cfg.quantizer, cfg.batch_size))
+        .collect();
+    TrainReport {
+        accuracy_per_rung,
+        loss_curve,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instantnet_data::DatasetSpec;
+    use instantnet_nn::models;
+    use instantnet_quant::BitWidthSet;
+
+    #[test]
+    fn triangle_schedule_sweeps_both_directions() {
+        let s = CycleSchedule::Triangle { period: 8 };
+        let rungs: Vec<usize> = (0..8).map(|t| s.rung_at(t, 5)).collect();
+        assert_eq!(*rungs.first().unwrap(), 0);
+        assert!(rungs.contains(&4), "must reach the top rung: {rungs:?}");
+        // Comes back down by the end of the cycle.
+        assert!(rungs[7] < 3, "{rungs:?}");
+    }
+
+    #[test]
+    fn cosine_schedule_visits_all_rungs() {
+        let s = CycleSchedule::Cosine { period: 16 };
+        let mut seen: Vec<usize> = (0..16).map(|t| s.rung_at(t, 4)).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn single_rung_ladder_always_rung_zero() {
+        let s = CycleSchedule::Triangle { period: 4 };
+        assert!((0..20).all(|t| s.rung_at(t, 1) == 0));
+    }
+
+    #[test]
+    fn schedule_is_periodic() {
+        for s in [
+            CycleSchedule::Triangle { period: 6 },
+            CycleSchedule::Cosine { period: 6 },
+        ] {
+            for t in 0..6 {
+                assert_eq!(s.rung_at(t, 5), s.rung_at(t + 6, 5));
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_training_learns_above_chance() {
+        let ds = Dataset::generate(&DatasetSpec::tiny());
+        let bits = BitWidthSet::new(vec![4, 32]).unwrap();
+        let ladder = PrecisionLadder::uniform(&bits);
+        let net = models::small_cnn(6, ds.num_classes(), (ds.hw(), ds.hw()), bits.len(), 21);
+        let report = train_cyclic(
+            &net,
+            &ds,
+            &ladder,
+            CycleSchedule::Cosine { period: 8 },
+            TrainConfig {
+                epochs: 8,
+                lr: 0.05,
+                ..TrainConfig::default()
+            },
+        );
+        let chance = 1.0 / ds.num_classes() as f32;
+        for acc in &report.accuracy_per_rung {
+            assert!(*acc > chance, "accuracy {acc} vs chance {chance}");
+        }
+    }
+}

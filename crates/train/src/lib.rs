@@ -1,0 +1,36 @@
+//! Training machinery for switchable-precision networks.
+//!
+//! The centerpiece is [`strategy::Strategy::Cdt`] — InstantNet's
+//! **cascade distillation training** (Eq. 1 of the paper): the loss at each
+//! bit-width combines cross-entropy with MSE distillation from *every*
+//! higher bit-width, teachers stop-gradient'ed. The crate also implements
+//! the paper's baselines (SP's vanilla full-precision-only distillation,
+//! AdaBits' joint training, and independently trained per-bit SBM models)
+//! so every row of Tables I–IV can be regenerated.
+//!
+//! # Example
+//!
+//! ```
+//! use instantnet_data::{Dataset, DatasetSpec};
+//! use instantnet_nn::models;
+//! use instantnet_quant::BitWidthSet;
+//! use instantnet_train::{strategy::Strategy, PrecisionLadder, TrainConfig, Trainer};
+//!
+//! let ds = Dataset::generate(&DatasetSpec::tiny());
+//! let bits = BitWidthSet::new(vec![4, 32])?;
+//! let net = models::small_cnn(4, ds.num_classes(), (ds.hw(), ds.hw()), bits.len(), 0);
+//! let cfg = TrainConfig { epochs: 1, ..TrainConfig::default() };
+//! let report = Trainer::new(cfg).train(&net, &ds, &PrecisionLadder::uniform(&bits), Strategy::cdt());
+//! assert_eq!(report.accuracy_per_rung.len(), 2);
+//! # Ok::<(), instantnet_quant::BitWidthError>(())
+//! ```
+
+pub mod cyclic;
+pub mod optim;
+pub mod strategy;
+pub mod trainer;
+
+pub use cyclic::{train_cyclic, CycleSchedule};
+pub use optim::{Adam, CosineLr, Optimizer, Sgd};
+pub use strategy::{PrecisionLadder, Strategy};
+pub use trainer::{evaluate, prediction_distribution, train_independent, TrainConfig, TrainReport, Trainer};

@@ -1,0 +1,305 @@
+//! Optimizers and learning-rate schedules.
+
+use instantnet_tensor::{Param, Tensor};
+use std::collections::HashMap;
+
+/// First-order optimizer over a set of [`Param`]s.
+///
+/// Implementations read each parameter's accumulated gradient, update the
+/// value in place, and clear the gradient.
+pub trait Optimizer {
+    /// Applies one update step and zeroes the gradients.
+    fn step(&mut self, params: &[Param]);
+
+    /// Changes the learning rate (for schedules).
+    fn set_lr(&mut self, lr: f32);
+
+    /// Current learning rate.
+    fn lr(&self) -> f32;
+}
+
+/// Stochastic gradient descent with classical momentum and optional L2
+/// weight decay (applied to parameters whose name contains `"weight"`,
+/// the usual no-decay-on-BN/bias convention).
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    clip_norm: Option<f32>,
+    velocity: HashMap<u64, Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            clip_norm: None,
+            velocity: HashMap::new(),
+        }
+    }
+
+    /// Enables global-norm gradient clipping: before each step, if the
+    /// L2 norm over all gradients exceeds `max_norm`, every gradient is
+    /// scaled down proportionally.
+    pub fn with_clip_norm(mut self, max_norm: f32) -> Self {
+        assert!(max_norm > 0.0, "clip norm must be positive");
+        self.clip_norm = Some(max_norm);
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &[Param]) {
+        let clip_scale = match self.clip_norm {
+            Some(max_norm) => {
+                let sq: f32 = params
+                    .iter()
+                    .filter_map(|p| p.var().grad())
+                    .map(|g| g.data().iter().map(|v| v * v).sum::<f32>())
+                    .sum();
+                let norm = sq.sqrt();
+                if norm > max_norm {
+                    max_norm / norm
+                } else {
+                    1.0
+                }
+            }
+            None => 1.0,
+        };
+        for p in params {
+            let Some(mut g) = p.var().grad() else {
+                continue;
+            };
+            if clip_scale < 1.0 {
+                g = g.scale(clip_scale);
+            }
+            if self.weight_decay > 0.0 && p.name().contains("weight") {
+                g.add_scaled_assign(&p.var().value(), self.weight_decay);
+            }
+            let v = self
+                .velocity
+                .entry(p.var().id())
+                .or_insert_with(|| Tensor::zeros(g.dims()));
+            // v = momentum * v + g ; w -= lr * v
+            *v = v.scale(self.momentum);
+            v.add_assign(&g);
+            let lr = self.lr;
+            let vv = v.clone();
+            p.var().update_value(|w| w.add_scaled_assign(&vv, -lr));
+            p.var().zero_grad();
+        }
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// Adam (Kingma & Ba) — used for the NAS architecture parameters, matching
+/// the paper's search settings (fixed LR 3e-4).
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: HashMap<u64, Tensor>,
+    v: HashMap<u64, Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the standard `(0.9, 0.999)` betas.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: HashMap::new(),
+            v: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &[Param]) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for p in params {
+            let Some(g) = p.var().grad() else {
+                continue;
+            };
+            let m = self
+                .m
+                .entry(p.var().id())
+                .or_insert_with(|| Tensor::zeros(g.dims()));
+            *m = m.scale(self.beta1);
+            m.add_scaled_assign(&g, 1.0 - self.beta1);
+            let v = self
+                .v
+                .entry(p.var().id())
+                .or_insert_with(|| Tensor::zeros(g.dims()));
+            *v = v.scale(self.beta2);
+            let g2 = g.mul(&g);
+            v.add_scaled_assign(&g2, 1.0 - self.beta2);
+            let mh = m.scale(1.0 / bc1);
+            let vh = v.scale(1.0 / bc2);
+            let lr = self.lr;
+            let eps = self.eps;
+            let update = mh.zip_map(&vh, |mi, vi| mi / (vi.sqrt() + eps));
+            p.var().update_value(|w| w.add_scaled_assign(&update, -lr));
+            p.var().zero_grad();
+        }
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// Cosine learning-rate decay from `base` to 0 over `total` steps — the
+/// paper's schedule for weight training.
+#[derive(Debug, Clone, Copy)]
+pub struct CosineLr {
+    base: f32,
+    total: usize,
+}
+
+impl CosineLr {
+    /// Creates the schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total == 0`.
+    pub fn new(base: f32, total: usize) -> Self {
+        assert!(total > 0, "schedule length must be positive");
+        CosineLr { base, total }
+    }
+
+    /// Learning rate at step `t` (clamped to the final value past `total`).
+    pub fn at(&self, t: usize) -> f32 {
+        let frac = (t.min(self.total)) as f32 / self.total as f32;
+        self.base * 0.5 * (1.0 + (std::f32::consts::PI * frac).cos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instantnet_tensor::{ops, Var};
+
+    fn quadratic_param(x0: f32) -> Param {
+        Param::new("weight", Tensor::from_vec(vec![1], vec![x0]))
+    }
+
+    fn quadratic_loss(p: &Param) -> Var {
+        // loss = x^2, minimum at 0.
+        p.var().mul(p.var()).sum()
+    }
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        let p = quadratic_param(4.0);
+        let mut opt = Sgd::new(0.1, 0.0, 0.0);
+        for _ in 0..30 {
+            quadratic_loss(&p).backward();
+            opt.step(std::slice::from_ref(&p));
+        }
+        assert!(p.var().value().item().abs() < 0.1);
+    }
+
+    #[test]
+    fn sgd_momentum_accelerates() {
+        let run = |momentum: f32| {
+            let p = quadratic_param(4.0);
+            let mut opt = Sgd::new(0.02, momentum, 0.0);
+            for _ in 0..20 {
+                quadratic_loss(&p).backward();
+                opt.step(std::slice::from_ref(&p));
+            }
+            p.var().value().item().abs()
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn sgd_weight_decay_shrinks_weights_without_gradient_signal() {
+        let p = quadratic_param(2.0);
+        let mut opt = Sgd::new(0.1, 0.0, 0.5);
+        // Constant-zero loss gradient: only decay acts.
+        for _ in 0..5 {
+            ops::mse_loss(p.var(), p.var()).backward();
+            opt.step(std::slice::from_ref(&p));
+        }
+        assert!(p.var().value().item() < 2.0);
+    }
+
+    #[test]
+    fn adam_descends_quadratic() {
+        let p = quadratic_param(-3.0);
+        let mut opt = Adam::new(0.2);
+        for _ in 0..100 {
+            quadratic_loss(&p).backward();
+            opt.step(std::slice::from_ref(&p));
+        }
+        assert!(p.var().value().item().abs() < 0.2);
+    }
+
+    #[test]
+    fn clip_norm_bounds_update_magnitude() {
+        // Huge gradient: unclipped step moves far, clipped step is bounded.
+        let run = |clip: Option<f32>| {
+            let p = quadratic_param(100.0);
+            let mut opt = Sgd::new(0.1, 0.0, 0.0);
+            if let Some(c) = clip {
+                opt = opt.with_clip_norm(c);
+            }
+            quadratic_loss(&p).backward();
+            opt.step(std::slice::from_ref(&p));
+            (100.0 - p.var().value().item()).abs()
+        };
+        let free = run(None);
+        let clipped = run(Some(1.0));
+        assert!(free > 10.0);
+        assert!(clipped <= 0.11, "clipped step {clipped}");
+    }
+
+    #[test]
+    fn step_without_grad_is_noop() {
+        let p = quadratic_param(1.5);
+        let mut opt = Sgd::new(0.1, 0.9, 0.0);
+        opt.step(std::slice::from_ref(&p));
+        assert_eq!(p.var().value().item(), 1.5);
+    }
+
+    #[test]
+    fn cosine_schedule_endpoints() {
+        let s = CosineLr::new(0.1, 100);
+        assert!((s.at(0) - 0.1).abs() < 1e-7);
+        assert!(s.at(100) < 1e-7);
+        assert!((s.at(50) - 0.05).abs() < 1e-7);
+        assert!(s.at(200) < 1e-7, "clamped past the horizon");
+    }
+
+    #[test]
+    fn set_lr_changes_rate() {
+        let mut opt = Sgd::new(0.1, 0.0, 0.0);
+        opt.set_lr(0.01);
+        assert_eq!(opt.lr(), 0.01);
+    }
+}

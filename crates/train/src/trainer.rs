@@ -1,0 +1,334 @@
+//! Training/evaluation loops and the independent-per-bit baseline.
+
+use crate::optim::{CosineLr, Optimizer, Sgd};
+use crate::strategy::{batch_loss, PrecisionLadder, Strategy};
+use instantnet_data::{Augment, BatchIter, Dataset, Split};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use instantnet_nn::{models::Network, Module};
+use instantnet_quant::Quantizer;
+use instantnet_tensor::Var;
+
+/// Hyper-parameters for switchable-precision training.
+///
+/// Defaults mirror the paper's CIFAR settings (SGD, momentum 0.9, initial
+/// LR 0.025 with cosine decay) at reproduction scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training split.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Initial learning rate (cosine-decayed to zero).
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// L2 weight decay on conv/linear weights.
+    pub weight_decay: f32,
+    /// Quantization rule.
+    pub quantizer: Quantizer,
+    /// Optional train-time augmentation (flip/shift).
+    pub augment: Option<Augment>,
+    /// Progressive-precision warm-up: for this many initial epochs the
+    /// network trains only at the highest rung (full precision), before the
+    /// switchable objective takes over — stabilizes very deep networks
+    /// whose low-bit rungs are too noisy to optimize from step one
+    /// (AdaBits-style progressive training).
+    pub warmup_epochs: usize,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 8,
+            batch_size: 16,
+            lr: 0.025,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            quantizer: Quantizer::Sbm,
+            augment: None,
+            warmup_epochs: 0,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Test accuracy at each precision rung (weakest first).
+    pub accuracy_per_rung: Vec<f32>,
+    /// Mean training loss per epoch.
+    pub loss_curve: Vec<f32>,
+}
+
+/// Runs switchable-precision training with a chosen [`Strategy`].
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    cfg: TrainConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer.
+    pub fn new(cfg: TrainConfig) -> Self {
+        Trainer { cfg }
+    }
+
+    /// Trains `net` on `ds` over the precision `ladder` and reports
+    /// per-rung test accuracy.
+    pub fn train(
+        &self,
+        net: &Network,
+        ds: &Dataset,
+        ladder: &PrecisionLadder,
+        strategy: Strategy,
+    ) -> TrainReport {
+        let params = net.params();
+        let mut opt = Sgd::new(self.cfg.lr, self.cfg.momentum, self.cfg.weight_decay);
+        let schedule = CosineLr::new(self.cfg.lr, self.cfg.epochs.max(1));
+        let mut loss_curve = Vec::with_capacity(self.cfg.epochs);
+        let all: Vec<usize> = (0..ds.train().len()).collect();
+        let mut aug_rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(0xA06));
+        for epoch in 0..self.cfg.epochs {
+            opt.set_lr(schedule.at(epoch));
+            let mut epoch_loss = 0.0;
+            let mut batches = 0;
+            for idx in BatchIter::new(all.clone(), self.cfg.batch_size, self.cfg.seed + epoch as u64)
+            {
+                let (x, labels) = match self.cfg.augment {
+                    Some(aug) => ds.train().batch_augmented(&idx, aug, &mut aug_rng),
+                    None => ds.train().batch(&idx),
+                };
+                let xv = Var::constant(x);
+                let loss = if epoch < self.cfg.warmup_epochs {
+                    // Highest rung only: plain CE at (near-)full precision.
+                    let mut ctx = ladder.train_ctx(ladder.len() - 1, self.cfg.quantizer);
+                    let logits = net.forward(&xv, &mut ctx);
+                    instantnet_tensor::ops::softmax_cross_entropy(&logits, &labels)
+                } else {
+                    batch_loss(net, &xv, &labels, ladder, self.cfg.quantizer, strategy)
+                };
+                epoch_loss += loss.item();
+                loss.backward();
+                opt.step(&params);
+                batches += 1;
+            }
+            loss_curve.push(epoch_loss / batches.max(1) as f32);
+        }
+        let accuracy_per_rung = (0..ladder.len())
+            .map(|i| {
+                evaluate(
+                    net,
+                    ds.test(),
+                    ladder,
+                    i,
+                    self.cfg.quantizer,
+                    self.cfg.batch_size,
+                )
+            })
+            .collect();
+        TrainReport {
+            accuracy_per_rung,
+            loss_curve,
+        }
+    }
+}
+
+/// Test accuracy (fraction in `[0,1]`) of `net` at rung `rung`, using
+/// inference-mode BN statistics.
+pub fn evaluate(
+    net: &dyn Module,
+    split: &Split,
+    ladder: &PrecisionLadder,
+    rung: usize,
+    quantizer: Quantizer,
+    batch_size: usize,
+) -> f32 {
+    let mut correct = 0usize;
+    let all: Vec<usize> = (0..split.len()).collect();
+    for chunk in all.chunks(batch_size.max(1)) {
+        let (x, labels) = split.batch(chunk);
+        let xv = Var::constant(x);
+        let mut ctx = ladder.eval_ctx(rung, quantizer);
+        let logits = net.forward(&xv, &mut ctx).value();
+        for (pred, &label) in logits.argmax_rows().iter().zip(&labels) {
+            if *pred == label {
+                correct += 1;
+            }
+        }
+    }
+    correct as f32 / split.len() as f32
+}
+
+/// Softmax class distribution of one sample at the given rung — the Fig. 2
+/// prediction-distribution visualization.
+pub fn prediction_distribution(
+    net: &dyn Module,
+    split: &Split,
+    sample: usize,
+    ladder: &PrecisionLadder,
+    rung: usize,
+    quantizer: Quantizer,
+) -> Vec<f32> {
+    let (x, _) = split.batch(&[sample]);
+    let xv = Var::constant(x);
+    let mut ctx = ladder.eval_ctx(rung, quantizer);
+    let logits = net.forward(&xv, &mut ctx).value();
+    logits.softmax_rows().data().to_vec()
+}
+
+/// The SBM baseline of Tables I–III: trains an *independent* model per
+/// rung (no weight sharing, no distillation) and reports each one's
+/// accuracy at its own precision.
+///
+/// `build` constructs a fresh single-branch network (`n_bits = 1`) for each
+/// rung index.
+pub fn train_independent(
+    build: impl Fn(usize) -> Network,
+    ds: &Dataset,
+    ladder: &PrecisionLadder,
+    cfg: TrainConfig,
+) -> Vec<f32> {
+    (0..ladder.len())
+        .map(|i| {
+            let net = build(i);
+            let single = PrecisionLadder::new(vec![ladder.at(i)]);
+            let report = Trainer::new(cfg).train(&net, ds, &single, Strategy::AdaBits);
+            report.accuracy_per_rung[0]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instantnet_data::DatasetSpec;
+    use instantnet_nn::models;
+    use instantnet_quant::BitWidthSet;
+
+    fn quick_cfg() -> TrainConfig {
+        TrainConfig {
+            epochs: 6,
+            batch_size: 12,
+            lr: 0.05,
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn cdt_training_beats_chance_on_tiny_dataset() {
+        let ds = Dataset::generate(&DatasetSpec::tiny());
+        let bits = BitWidthSet::new(vec![4, 32]).unwrap();
+        let net = models::small_cnn(6, ds.num_classes(), (ds.hw(), ds.hw()), bits.len(), 11);
+        let ladder = PrecisionLadder::uniform(&bits);
+        let report = Trainer::new(quick_cfg()).train(&net, &ds, &ladder, Strategy::cdt());
+        let chance = 1.0 / ds.num_classes() as f32;
+        for (i, acc) in report.accuracy_per_rung.iter().enumerate() {
+            assert!(
+                *acc > chance + 0.15,
+                "rung {i} accuracy {acc} not above chance {chance}"
+            );
+        }
+    }
+
+    #[test]
+    fn loss_curve_decreases_overall() {
+        let ds = Dataset::generate(&DatasetSpec::tiny());
+        let bits = BitWidthSet::new(vec![8]).unwrap();
+        let net = models::small_cnn(4, ds.num_classes(), (ds.hw(), ds.hw()), 1, 2);
+        let ladder = PrecisionLadder::uniform(&bits);
+        let report = Trainer::new(quick_cfg()).train(&net, &ds, &ladder, Strategy::AdaBits);
+        let first = report.loss_curve.first().copied().unwrap();
+        let last = report.loss_curve.last().copied().unwrap();
+        assert!(last < first, "loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn evaluate_is_deterministic() {
+        let ds = Dataset::generate(&DatasetSpec::tiny());
+        let bits = BitWidthSet::new(vec![8]).unwrap();
+        let net = models::small_cnn(4, ds.num_classes(), (ds.hw(), ds.hw()), 1, 3);
+        let ladder = PrecisionLadder::uniform(&bits);
+        // Seed BN stats with one training pass.
+        Trainer::new(TrainConfig {
+            epochs: 1,
+            ..quick_cfg()
+        })
+        .train(&net, &ds, &ladder, Strategy::AdaBits);
+        let a = evaluate(&net, ds.test(), &ladder, 0, Quantizer::Sbm, 8);
+        let b = evaluate(&net, ds.test(), &ladder, 0, Quantizer::Sbm, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prediction_distribution_is_a_distribution() {
+        let ds = Dataset::generate(&DatasetSpec::tiny());
+        let bits = BitWidthSet::new(vec![4, 32]).unwrap();
+        let net = models::small_cnn(4, ds.num_classes(), (ds.hw(), ds.hw()), 2, 4);
+        let ladder = PrecisionLadder::uniform(&bits);
+        Trainer::new(TrainConfig {
+            epochs: 1,
+            ..quick_cfg()
+        })
+        .train(&net, &ds, &ladder, Strategy::cdt());
+        let p = prediction_distribution(&net, ds.test(), 0, &ladder, 0, Quantizer::Sbm);
+        assert_eq!(p.len(), ds.num_classes());
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4);
+        assert!(p.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn warmup_epochs_then_switchable_training_learns_all_rungs() {
+        let ds = Dataset::generate(&DatasetSpec::tiny());
+        let bits = BitWidthSet::new(vec![4, 32]).unwrap();
+        let net = models::small_cnn(6, ds.num_classes(), (ds.hw(), ds.hw()), bits.len(), 41);
+        let ladder = PrecisionLadder::uniform(&bits);
+        let report = Trainer::new(TrainConfig {
+            warmup_epochs: 2,
+            ..quick_cfg()
+        })
+        .train(&net, &ds, &ladder, Strategy::cdt());
+        let chance = 1.0 / ds.num_classes() as f32;
+        // Both rungs must still end above chance (the low rung is only
+        // trained in the post-warm-up epochs, incl. its BN branch).
+        for acc in &report.accuracy_per_rung {
+            assert!(*acc > chance, "accuracy {acc}");
+        }
+    }
+
+    #[test]
+    fn augmented_training_still_learns() {
+        let ds = Dataset::generate(&DatasetSpec::tiny());
+        let bits = BitWidthSet::new(vec![8]).unwrap();
+        let net = models::small_cnn(6, ds.num_classes(), (ds.hw(), ds.hw()), 1, 31);
+        let ladder = PrecisionLadder::uniform(&bits);
+        let report = Trainer::new(TrainConfig {
+            augment: Some(instantnet_data::Augment::standard()),
+            ..quick_cfg()
+        })
+        .train(&net, &ds, &ladder, Strategy::AdaBits);
+        let chance = 1.0 / ds.num_classes() as f32;
+        assert!(report.accuracy_per_rung[0] > chance + 0.1);
+    }
+
+    #[test]
+    fn independent_baseline_trains_one_model_per_rung() {
+        let ds = Dataset::generate(&DatasetSpec::tiny());
+        let bits = BitWidthSet::new(vec![4, 32]).unwrap();
+        let ladder = PrecisionLadder::uniform(&bits);
+        let accs = train_independent(
+            |i| models::small_cnn(4, ds.num_classes(), (ds.hw(), ds.hw()), 1, 100 + i as u64),
+            &ds,
+            &ladder,
+            TrainConfig {
+                epochs: 3,
+                ..quick_cfg()
+            },
+        );
+        assert_eq!(accs.len(), 2);
+        assert!(accs.iter().all(|&a| (0.0..=1.0).contains(&a)));
+    }
+}

@@ -1,0 +1,57 @@
+//! Simulates an IoT device with a time-varying harvested-energy budget that
+//! switches the deployed SP-Net's bit-width on the fly — the motivating
+//! scenario of the paper's introduction — and compares switching policies.
+//!
+//! ```sh
+//! cargo run --release -p instantnet --example adaptive_iot
+//! ```
+
+use instantnet::runtime::{simulate, EnergyTrace, Policy};
+use instantnet::{Pipeline, PipelineConfig};
+use instantnet_data::{Dataset, DatasetSpec};
+use instantnet_quant::BitWidthSet;
+
+fn main() {
+    let ds = Dataset::generate(&DatasetSpec::tiny());
+    let mut cfg = PipelineConfig::quick();
+    cfg.bits = BitWidthSet::new(vec![4, 8, 32]).expect("valid set");
+    let report = Pipeline::new(cfg).run(&ds);
+
+    println!("deployed {} with operating points:", report.arch());
+    for p in report.points() {
+        println!(
+            "  {:<7} acc {:>5.1}%  energy {:.3e} pJ",
+            p.bits.to_string(),
+            100.0 * p.accuracy,
+            p.energy_pj
+        );
+    }
+
+    // Two days of solar harvest: budget swings from below the cheapest
+    // point to above the most expensive one.
+    let e_lo = report.points()[0].energy_pj;
+    let e_hi = report.points().last().expect("non-empty").energy_pj;
+    let trace = EnergyTrace::sinusoidal(0.8 * e_lo, 1.3 * e_hi, 48, 2.0);
+
+    println!("\n{:<12} {:>10} {:>9} {:>9} {:>14}", "policy", "mean acc", "switches", "dropped", "energy (pJ)");
+    for (name, policy) in [
+        ("greedy", Policy::Greedy),
+        ("hysteresis", Policy::Hysteresis { margin: 0.05 }),
+    ] {
+        let stats = simulate(&report, &trace, policy);
+        println!(
+            "{name:<12} {:>9.1}% {:>9} {:>9} {:>14.3e}",
+            100.0 * stats.mean_accuracy,
+            stats.switches,
+            stats.dropped,
+            stats.energy_pj
+        );
+    }
+
+    let stats = simulate(&report, &trace, Policy::Greedy);
+    println!("\nhourly schedule (greedy):");
+    for (hour, slot) in stats.schedule.iter().enumerate() {
+        let label = slot.map_or("sleep".to_string(), |b| format!("{b}-bit"));
+        println!("  t={hour:<3} budget {:>12.3e} pJ -> {label}", trace.budgets()[hour]);
+    }
+}

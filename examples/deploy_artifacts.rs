@@ -1,0 +1,88 @@
+//! Produces the deployment artifacts a real IoT toolchain would consume:
+//! a trained SP-Net weight checkpoint, and the searched dataflow for each
+//! bit-width rendered as a nested-loop listing (the paper's Fig. 3 view)
+//! with its energy breakdown.
+//!
+//! ```sh
+//! cargo run --release -p instantnet --example deploy_artifacts
+//! ```
+
+use instantnet_automapper::{allocate_bits, evolve_layer, MapperConfig};
+use instantnet_data::{Dataset, DatasetSpec};
+use instantnet_dataflow::emit_loop_nest;
+use instantnet_hwmodel::{format_breakdown, workloads_from_specs, Device};
+use instantnet_nn::{checkpoint, models, Module};
+use instantnet_quant::BitWidthSet;
+use instantnet_train::{PrecisionLadder, Strategy, TrainConfig, Trainer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ds = Dataset::generate(&DatasetSpec::tiny());
+    let bits = BitWidthSet::new(vec![4, 32])?;
+    let net = models::small_cnn(6, ds.num_classes(), (ds.hw(), ds.hw()), bits.len(), 3);
+    let ladder = PrecisionLadder::uniform(&bits);
+
+    println!("training a 2-rung SP-Net with CDT...");
+    let report = Trainer::new(TrainConfig {
+        epochs: 4,
+        ..TrainConfig::default()
+    })
+    .train(&net, &ds, &ladder, Strategy::cdt());
+    for (i, acc) in report.accuracy_per_rung.iter().enumerate() {
+        println!("  {}: {:.1}%", bits.at(i), 100.0 * acc);
+    }
+
+    // Artifact 1: the weight checkpoint.
+    let ckpt = std::env::temp_dir().join("instantnet-demo.ckpt");
+    checkpoint::save(&net, &ckpt)?;
+    println!(
+        "\nsaved checkpoint to {} ({} parameters)",
+        ckpt.display(),
+        net.params().len()
+    );
+    let restored = models::small_cnn(6, ds.num_classes(), (ds.hw(), ds.hw()), bits.len(), 99);
+    checkpoint::load(&restored, &ckpt)?;
+    println!("restored into a freshly built network (matched by name)");
+
+    // Artifact 2: per-bit-width dataflows for the heaviest layer.
+    let device = Device::eyeriss_like();
+    let workloads = workloads_from_specs(&net.specs(), 1);
+    let heaviest = workloads
+        .iter()
+        .max_by_key(|w| w.macs())
+        .expect("network has layers");
+    for hw_bits in [4u8, 16] {
+        let found = evolve_layer(
+            &heaviest.dims,
+            &device,
+            hw_bits,
+            &MapperConfig {
+                max_evals: 300,
+                ..MapperConfig::default()
+            },
+        );
+        println!("\n--- dataflow for {hw_bits}-bit execution ---");
+        print!("{}", emit_loop_nest(&heaviest.dims, &found.mapping));
+        println!("\nenergy breakdown:\n{}", format_breakdown(&found.cost));
+    }
+
+    // Artifact 3: a mixed-precision layer assignment under a mean-bits
+    // budget (deployment-side HAQ-style allocation).
+    let alloc = allocate_bits(
+        &workloads,
+        &device,
+        &[4, 8, 16],
+        6.0,
+        &MapperConfig {
+            max_evals: 150,
+            ..MapperConfig::default()
+        },
+    );
+    println!(
+        "--- mixed-precision allocation (mean bits {:.2}, total EDP {:.3e}) ---",
+        alloc.mean_bits, alloc.total_edp
+    );
+    for (i, layer) in alloc.layers.iter().enumerate() {
+        println!("  layer {i}: {} bits, EDP {:.3e}", layer.bits, layer.edp);
+    }
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Hardware-energy-aware architecture search: Eq. 2's efficiency loss with
+//! *device energy* per candidate operator instead of FLOPs.
+//!
+//! Builds the per-slot/per-candidate energy table for the Eyeriss-like
+//! ASIC at the bottleneck bit-width, runs SP-NAS under both cost bases,
+//! and compares the derived architectures' FLOPs and modeled energy.
+//!
+//! ```sh
+//! cargo run --release -p instantnet --example energy_aware_nas
+//! ```
+
+use instantnet_automapper::{map_network, MapperConfig};
+use instantnet_data::{Dataset, DatasetSpec};
+use instantnet_hwmodel::{workloads_from_specs, Device};
+use instantnet_nas::{
+    energy_table, search, search_with_cost, EfficiencyCost, NasConfig, SearchMode, SearchSpace,
+};
+use instantnet_quant::BitWidthSet;
+
+fn main() {
+    let ds = Dataset::generate(&DatasetSpec::tiny());
+    let space = SearchSpace::cifar_tiny(3);
+    let bits = BitWidthSet::new(vec![4, 32]).expect("valid set");
+    let device = Device::eyeriss_like();
+    let cfg = NasConfig {
+        epochs: 3,
+        lambda: 1.0,
+        ..NasConfig::default()
+    };
+
+    println!("building per-candidate energy table on {} at 4-bit...", device.name);
+    let table = energy_table(&space, &device, 4);
+    for (slot, row) in table.iter().enumerate() {
+        let labels = &space.layers()[slot].candidates;
+        let cells: Vec<String> = row
+            .iter()
+            .zip(labels)
+            .map(|(e, c)| format!("{}={:.2e}pJ", c.label(), e))
+            .collect();
+        println!("  slot {slot}: {}", cells.join("  "));
+    }
+
+    println!("\nsearching with FLOPs efficiency loss...");
+    let flops_based = search(&space, &ds, &bits, SearchMode::SpNas, cfg);
+    println!("searching with device-energy efficiency loss...");
+    let energy_based = search_with_cost(
+        &space,
+        &ds,
+        &bits,
+        SearchMode::SpNas,
+        cfg,
+        EfficiencyCost::Table(table),
+    );
+
+    let mapper = MapperConfig {
+        max_evals: 200,
+        ..MapperConfig::default()
+    };
+    for (name, outcome) in [("FLOPs-aware", &flops_based), ("energy-aware", &energy_based)] {
+        let net = outcome.arch.build_network(ds.num_classes(), 1, 0);
+        let workloads = workloads_from_specs(&net.specs(), 1);
+        let (_, cost) = map_network(&workloads, &device, 4, &mapper);
+        println!(
+            "\n{name}: arch {}  FLOPs {}  modeled 4-bit energy {:.3e} pJ",
+            outcome.arch.describe(),
+            outcome.derived_flops,
+            cost.energy_pj
+        );
+    }
+    println!("\nwith equal lambda, the energy table penalizes operators by their true device cost (DRAM-heavy 5x5 depthwise vs cheap 1x1), not just arithmetic count.");
+}

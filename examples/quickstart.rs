@@ -1,0 +1,51 @@
+//! Quickstart: generate, train and deploy a switchable-precision network
+//! end-to-end on a synthetic dataset, then print its operating points.
+//!
+//! ```sh
+//! cargo run --release -p instantnet --example quickstart
+//! ```
+
+use instantnet::{Pipeline, PipelineConfig};
+use instantnet_data::{Dataset, DatasetSpec};
+
+fn main() {
+    let ds = Dataset::generate(&DatasetSpec::tiny());
+    println!(
+        "dataset: {} ({} classes, {} train / {} test samples)",
+        ds.spec().name,
+        ds.num_classes(),
+        ds.train().len(),
+        ds.test().len()
+    );
+
+    let pipeline = Pipeline::new(PipelineConfig::quick());
+    println!(
+        "running InstantNet: SP-NAS -> CDT -> AutoMapper on {} ...",
+        pipeline.config().device.name
+    );
+    let report = pipeline.run(&ds);
+
+    println!("\nderived architecture: {}", report.arch());
+    println!("FLOPs/sample: {}", report.flops());
+    println!("\n{:<8} {:>9} {:>14} {:>12} {:>14}", "bits", "accuracy", "energy (pJ)", "latency (s)", "EDP (pJ*s)");
+    for p in report.points() {
+        println!(
+            "{:<8} {:>8.1}% {:>14.3e} {:>12.3e} {:>14.3e}",
+            p.bits.to_string(),
+            100.0 * p.accuracy,
+            p.energy_pj,
+            p.latency_s,
+            p.edp
+        );
+    }
+
+    // Instantaneous switching: pick the best point under an energy budget.
+    let budget = report.points()[0].energy_pj * 1.5;
+    if let Some(p) = report.select(budget) {
+        println!(
+            "\nunder a {budget:.3e} pJ budget the runtime would switch to {} ({:.1}% accuracy)",
+            p.bits,
+            100.0 * p.accuracy
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based integration tests of invariants that span crates:
+//! quantizers inside networks, mappings against the cost model, and the
+//! training strategies over shared weights.
+
+use instantnet_automapper::{evolve_layer, MapperConfig};
+use instantnet_dataflow::{ConvDims, Mapping};
+use instantnet_hwmodel::{evaluate_layer, workloads_from_specs, Device};
+use instantnet_nn::{models, ForwardCtx, Module};
+use instantnet_quant::{BitWidthSet, Quantizer};
+use instantnet_tensor::{init, Tensor, Var};
+use instantnet_train::{PrecisionLadder, Strategy};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any random mapping that the cost model accepts must respect device
+    /// capacities implicitly: energy and latency are finite and positive.
+    #[test]
+    fn legal_mappings_cost_finite(seed in 0u64..500, bits in prop::sample::select(vec![4u8, 8, 16])) {
+        let dims = ConvDims::new(1, 32, 16, 8, 8, 3, 3, 1);
+        let device = Device::eyeriss_like();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = Mapping::random(&dims, &mut rng);
+        if let Ok(c) = evaluate_layer(&dims, &m, &device, bits) {
+            prop_assert!(c.energy_pj.is_finite() && c.energy_pj > 0.0);
+            prop_assert!(c.latency_s.is_finite() && c.latency_s > 0.0);
+            prop_assert!(c.pes_used <= device.pe_count);
+        }
+    }
+
+    /// The evolutionary search never returns something worse than the
+    /// always-legal fallback it is seeded with.
+    #[test]
+    fn automapper_never_regresses_fallback(seed in 0u64..50) {
+        let dims = ConvDims::new(1, 16, 16, 8, 8, 3, 3, 1);
+        let device = Device::eyeriss_like();
+        let cfg = MapperConfig { max_evals: 120, seed, ..MapperConfig::default() };
+        let found = evolve_layer(&dims, &device, 8, &cfg);
+        let fallback = instantnet_hwmodel::baselines::outermost_mapping(&dims, false);
+        let fb = evaluate_layer(&dims, &fallback, &device, 8).unwrap().edp();
+        prop_assert!(found.cost.edp() <= fb);
+    }
+
+    /// Networks forward deterministically in eval mode at every bit-width.
+    #[test]
+    fn network_eval_deterministic(bit_index in 0usize..2) {
+        let bits = BitWidthSet::new(vec![4, 32]).unwrap();
+        let net = models::small_cnn(4, 5, (6, 6), bits.len(), 3);
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = Var::constant(init::uniform(&mut rng, &[2, 3, 6, 6], -1.0, 1.0));
+        // Seed BN stats first.
+        let mut tc = ForwardCtx::train(&bits, bit_index, Quantizer::Sbm);
+        net.forward(&x, &mut tc);
+        let mut e1 = ForwardCtx::eval(&bits, bit_index, Quantizer::Sbm);
+        let mut e2 = ForwardCtx::eval(&bits, bit_index, Quantizer::Sbm);
+        let a = net.forward(&x, &mut e1).value();
+        let b = net.forward(&x, &mut e2).value();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Quantized forward at full precision equals the unquantized network:
+    /// the 32-bit rung must be exactly the FP network.
+    #[test]
+    fn full_precision_rung_matches_identity_quantizer(seed in 0u64..20) {
+        let bits = BitWidthSet::new(vec![4, 32]).unwrap();
+        let net = models::small_cnn(4, 5, (6, 6), bits.len(), seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Var::constant(init::uniform(&mut rng, &[1, 3, 6, 6], -1.0, 1.0));
+        let mut sbm = ForwardCtx::train(&bits, 1, Quantizer::Sbm);
+        let mut idn = ForwardCtx::train(&bits, 1, Quantizer::Identity);
+        let a = net.forward(&x, &mut sbm).value();
+        let b = net.forward(&x, &mut idn).value();
+        for (va, vb) in a.data().iter().zip(b.data()) {
+            prop_assert!((va - vb).abs() < 1e-5);
+        }
+    }
+}
+
+#[test]
+fn cdt_loss_gradient_matches_shared_weight_count() {
+    // Every trainable parameter of a 3-rung SP-Net receives gradient from a
+    // single CDT backward pass.
+    let bits = BitWidthSet::new(vec![2, 4, 32]).unwrap();
+    let net = models::small_cnn(4, 4, (6, 6), bits.len(), 5);
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = Var::constant(init::uniform(&mut rng, &[2, 3, 6, 6], -1.0, 1.0));
+    let ladder = PrecisionLadder::uniform(&bits);
+    let loss = instantnet_train::strategy::batch_loss(
+        &net,
+        &x,
+        &[0, 1],
+        &ladder,
+        Quantizer::Sbm,
+        Strategy::cdt(),
+    );
+    loss.backward();
+    for p in net.params() {
+        assert!(p.var().grad().is_some(), "no grad for {}", p.name());
+    }
+}
+
+#[test]
+fn workload_macs_match_network_flops() {
+    let net = models::resnet_cifar(2, 0.25, 10, (8, 8), 1, 0);
+    let workloads = workloads_from_specs(&net.specs(), 1);
+    let total_macs: u64 = workloads.iter().map(|w| w.macs()).sum();
+    assert_eq!(2 * total_macs, net.flops());
+}
+
+#[test]
+fn hardware_cost_scales_with_network_size() {
+    let small = models::resnet_cifar(1, 0.125, 10, (8, 8), 1, 0);
+    let large = models::resnet_cifar(3, 0.5, 10, (8, 8), 1, 0);
+    let device = Device::eyeriss_like();
+    let cfg = MapperConfig {
+        max_evals: 60,
+        ..MapperConfig::default()
+    };
+    let (_, cs) = instantnet_automapper::map_network(
+        &workloads_from_specs(&small.specs(), 1),
+        &device,
+        8,
+        &cfg,
+    );
+    let (_, cl) = instantnet_automapper::map_network(
+        &workloads_from_specs(&large.specs(), 1),
+        &device,
+        8,
+        &cfg,
+    );
+    assert!(cl.energy_pj > cs.energy_pj);
+    assert!(cl.latency_s > cs.latency_s);
+}
+
+#[test]
+fn switchable_bn_keeps_bit_widths_isolated() {
+    // Training at one bit-width must not disturb another bit-width's BN
+    // statistics (tensor equality of running stats before/after).
+    let bits = BitWidthSet::new(vec![4, 32]).unwrap();
+    let net = models::small_cnn(4, 4, (6, 6), bits.len(), 8);
+    let mut rng = StdRng::seed_from_u64(2);
+    let x = Var::constant(init::uniform(&mut rng, &[4, 3, 6, 6], -1.0, 1.0));
+    // Seed both branches once.
+    for i in 0..2 {
+        let mut c = ForwardCtx::train(&bits, i, Quantizer::Sbm);
+        net.forward(&x, &mut c);
+    }
+    let mut eval1 = ForwardCtx::eval(&bits, 1, Quantizer::Sbm);
+    let before = net.forward(&x, &mut eval1).value();
+    // Hammer branch 0 with more training passes.
+    for _ in 0..3 {
+        let mut c = ForwardCtx::train(&bits, 0, Quantizer::Sbm);
+        net.forward(&x, &mut c);
+    }
+    let mut eval2 = ForwardCtx::eval(&bits, 1, Quantizer::Sbm);
+    let after = net.forward(&x, &mut eval2).value();
+    assert_eq!(before, after, "bit-width 32 BN stats must be untouched");
+}
+
+#[test]
+fn tensor_quant_roundtrip_inside_conv() {
+    // Quantizing weights to 16 bits changes a conv output by far less than
+    // quantizing to 2 bits — cross-crate sanity of quantizer + conv.
+    let mut rng = StdRng::seed_from_u64(3);
+    let x = Var::constant(init::uniform(&mut rng, &[1, 3, 6, 6], -1.0, 1.0));
+    let w = init::kaiming_uniform(&mut rng, &[4, 3, 3, 3]);
+    let q = Quantizer::Sbm;
+    let out = |wt: Tensor| {
+        let wv = Var::constant(wt);
+        instantnet_tensor::ops::conv2d(&x, &wv, 1, 1, 1).value()
+    };
+    let full = out(w.clone());
+    let w16 = out(q.quantize_weights_tensor(&w, instantnet_quant::BitWidth::new(16)));
+    let w2 = out(q.quantize_weights_tensor(&w, instantnet_quant::BitWidth::new(2)));
+    let err16: f32 = full.sub(&w16).map(|v| v * v).mean();
+    let err2: f32 = full.sub(&w2).map(|v| v * v).mean();
+    assert!(err16 * 10.0 < err2, "err16 {err16} vs err2 {err2}");
+}

@@ -1,0 +1,128 @@
+//! Property tests of the dataflow/hardware stack under randomized layer
+//! shapes and mappings.
+
+use instantnet_dataflow::{
+    emit_loop_nest, mapping_from_text, mapping_to_text, ConvDims, Mapping,
+};
+use instantnet_hwmodel::{
+    area_mm2, baselines, evaluate_layer, Device, Workload,
+};
+use instantnet_nn::shapes;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_dims() -> impl Strategy<Value = ConvDims> {
+    (
+        1usize..3,   // n
+        1usize..64,  // k
+        1usize..64,  // c
+        1usize..24,  // y
+        1usize..24,  // x
+        prop::sample::select(vec![1usize, 3, 5]),
+        prop::sample::select(vec![1usize, 2]),
+    )
+        .prop_map(|(n, k, c, y, x, r, stride)| ConvDims::new(n, k, c, y, x, r, r, stride))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The legalizer always produces a mapping the device accepts, even on
+    /// the deliberately tiny test device.
+    #[test]
+    fn legalize_always_yields_legal_mapping(dims in arb_dims(), seed in 0u64..1000) {
+        let device = Device::tiny_test();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = Mapping::random(&dims, &mut rng);
+        let fixed = baselines::legalize(m, &dims, &device, 16);
+        prop_assert!(fixed.covers(&dims));
+        prop_assert!(evaluate_layer(&dims, &fixed, &device, 16).is_ok());
+    }
+
+    /// Padded iteration counts never undershoot the true MAC count, so the
+    /// cost model can only over-estimate work, never silently drop it.
+    #[test]
+    fn padded_macs_cover_true_macs(dims in arb_dims(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = Mapping::random(&dims, &mut rng);
+        prop_assert!(m.padded_macs() >= dims.macs());
+    }
+
+    /// Emitted loop nests are syntactically balanced for any mapping.
+    #[test]
+    fn emitted_nests_are_balanced(dims in arb_dims(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = Mapping::random(&dims, &mut rng);
+        let listing = emit_loop_nest(&dims, &m);
+        prop_assert_eq!(listing.matches('{').count(), listing.matches('}').count());
+        prop_assert!(listing.contains("MAC"));
+    }
+
+    /// Energy is monotone in bit-width for a fixed legal mapping.
+    #[test]
+    fn energy_monotone_in_bits(dims in arb_dims()) {
+        let device = Device::eyeriss_like();
+        let m = baselines::outermost_mapping(&dims, false);
+        let e4 = evaluate_layer(&dims, &m, &device, 4).unwrap().energy_pj;
+        let e8 = evaluate_layer(&dims, &m, &device, 8).unwrap().energy_pj;
+        let e16 = evaluate_layer(&dims, &m, &device, 16).unwrap().energy_pj;
+        prop_assert!(e4 < e8);
+        prop_assert!(e8 < e16);
+    }
+
+    /// Text serialization round-trips every random mapping exactly.
+    #[test]
+    fn serialization_roundtrips(dims in arb_dims(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = Mapping::random(&dims, &mut rng);
+        let back = mapping_from_text(&mapping_to_text(&m)).expect("parses");
+        prop_assert_eq!(back, m);
+    }
+
+    /// Crossover children of covering parents always cover.
+    #[test]
+    fn crossover_children_cover(dims in arb_dims(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Mapping::random(&dims, &mut rng);
+        let b = Mapping::random(&dims, &mut rng);
+        let c = a.crossover(&b, &mut rng);
+        prop_assert!(c.covers(&dims));
+    }
+
+    /// The expert baselines stay legal across layer shapes and bit-widths.
+    #[test]
+    fn eyeriss_baseline_always_legal(dims in arb_dims(), bits in prop::sample::select(vec![4u8, 8, 16])) {
+        let device = Device::eyeriss_like();
+        let m = baselines::eyeriss_row_stationary(&dims, &device, bits);
+        prop_assert!(evaluate_layer(&dims, &m, &device, bits).is_ok());
+    }
+}
+
+#[test]
+fn alexnet_workload_macs_total() {
+    // Cross-checks Workload conversion against the single-tower (ungrouped)
+    // AlexNet conv MAC count, ~1.07G for the five conv layers at batch 1.
+    let total: u64 = shapes::alexnet_convs()
+        .iter()
+        .map(|s| Workload::from_spec(s, 1).macs())
+        .sum();
+    assert!(total > 900_000_000, "total {total}");
+    assert!(total < 1_200_000_000, "total {total}");
+}
+
+#[test]
+fn area_grows_with_array_size() {
+    let small = Device::tiny_test();
+    let big = Device::eyeriss_like();
+    assert!(area_mm2(&big, 16) > area_mm2(&small, 16));
+}
+
+#[test]
+fn magnet_templates_subset_of_free_space() {
+    // Every MAGNet template is a valid loop order in the free space (i.e.
+    // construction does not panic) and the template count is small — the
+    // paper's criticism of template-based tools.
+    let templates = baselines::magnet_templates();
+    assert!(templates.len() <= 8);
+}
