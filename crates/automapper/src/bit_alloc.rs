@@ -101,7 +101,7 @@ pub fn allocate_bits(
                 * macs[li]
                 / total_macs;
             let gain = (edp_now - edp_down) / bit_drop.max(1e-12);
-            if best.map_or(true, |(_, g)| gain > g) {
+            if best.is_none_or(|(_, g)| gain > g) {
                 best = Some((li, gain));
             }
         }
@@ -154,7 +154,13 @@ mod tests {
 
     #[test]
     fn unconstrained_budget_keeps_highest_bits() {
-        let alloc = allocate_bits(&workloads(), &Device::eyeriss_like(), &[4, 8, 16], 16.0, &cfg());
+        let alloc = allocate_bits(
+            &workloads(),
+            &Device::eyeriss_like(),
+            &[4, 8, 16],
+            16.0,
+            &cfg(),
+        );
         assert!(alloc.layers.iter().all(|l| l.bits == 16));
         assert!((alloc.mean_bits - 16.0).abs() < 1e-9);
     }
@@ -181,7 +187,13 @@ mod tests {
         // Demoting only the small layer moves the mean less than demoting
         // the big one; with a budget just under the top, the big layer
         // (better EDP saving) goes first.
-        let alloc = allocate_bits(&workloads(), &Device::eyeriss_like(), &[8, 16], 12.0, &cfg());
+        let alloc = allocate_bits(
+            &workloads(),
+            &Device::eyeriss_like(),
+            &[8, 16],
+            12.0,
+            &cfg(),
+        );
         assert!(alloc.mean_bits <= 12.0 + 1e-9);
     }
 }

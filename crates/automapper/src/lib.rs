@@ -31,6 +31,7 @@ use instantnet_dataflow::{ConvDims, Mapping};
 use instantnet_hwmodel::{
     baselines, evaluate_layer, evaluate_network, Device, LayerCost, NetworkCost, Workload,
 };
+use instantnet_parallel as parallel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -145,14 +146,25 @@ pub fn evolve_layer(
         pool.members.push(entry);
     }
     evals += 1;
-    // Initial random pool.
+    // Initial random pool. Candidates are drawn serially from the single
+    // RNG stream, then scored concurrently: `try_eval` is pure, so batching
+    // the evaluations is bit-identical to evaluating inline — at any thread
+    // count. The batch size is capped so neither the pool-size nor the
+    // eval-budget stopping condition can trip mid-batch, which keeps the
+    // RNG draw sequence exactly equal to the one-at-a-time loop.
     while pool.members.len() < cfg.pool_size && evals < cfg.max_evals {
-        let m = Mapping::random(dims, &mut rng);
-        if let Some(entry) = try_eval(dims, m, device, bits, cfg.pipelined) {
-            pool.members.push(entry);
+        let take = (cfg.pool_size - pool.members.len()).min(cfg.max_evals - evals);
+        let candidates: Vec<Mapping> = (0..take).map(|_| Mapping::random(dims, &mut rng)).collect();
+        let entries = parallel::parallel_map(&candidates, |_, m| {
+            try_eval(dims, m.clone(), device, bits, cfg.pipelined)
+        });
+        for entry in entries {
+            if let Some(e) = entry {
+                pool.members.push(e);
+            }
+            evals += 1;
+            history.push(pool.best().0);
         }
-        evals += 1;
-        history.push(pool.best().0);
     }
     // Main loop.
     while evals < cfg.max_evals {
@@ -162,23 +174,42 @@ pub fn evolve_layer(
             }
         }
         if pool.members.len() <= cfg.pool_size {
-            for _ in 0..cfg.batch {
-                if evals >= cfg.max_evals {
-                    break;
-                }
-                let pick = rng.gen_range(0..pool.members.len());
-                let parent = pool.members[pick].1.clone();
-                let child = if cfg.crossover_prob > 0.0
-                    && pool.members.len() > 1
-                    && rng.gen_bool(cfg.crossover_prob)
-                {
-                    let other = rng.gen_range(0..pool.members.len());
-                    parent.crossover(&pool.members[other].1, &mut rng)
-                } else {
-                    parent.perturb(dims, &mut rng, cfg.perturb_features)
-                };
-                if let Some(entry) = try_eval(dims, child, device, bits, cfg.pipelined) {
-                    pool.members.push(entry);
+            // One generation: mutate/crossover against the pool as it stands
+            // at the start of the batch (all RNG work serial, single
+            // stream), then evaluate the whole batch concurrently and fold
+            // the results back in batch order.
+            let take = cfg.batch.min(cfg.max_evals - evals);
+            let children: Vec<Mapping> = (0..take)
+                .map(|_| {
+                    // Binary tournament: draw two members, mutate the
+                    // fitter one. Batched generation no longer sees
+                    // within-batch pool growth, so selection pressure
+                    // comes from the tournament instead.
+                    let i = rng.gen_range(0..pool.members.len());
+                    let j = rng.gen_range(0..pool.members.len());
+                    let pick = if pool.members[i].0 <= pool.members[j].0 {
+                        i
+                    } else {
+                        j
+                    };
+                    let parent = pool.members[pick].1.clone();
+                    if cfg.crossover_prob > 0.0
+                        && pool.members.len() > 1
+                        && rng.gen_bool(cfg.crossover_prob)
+                    {
+                        let other = rng.gen_range(0..pool.members.len());
+                        parent.crossover(&pool.members[other].1, &mut rng)
+                    } else {
+                        parent.perturb(dims, &mut rng, cfg.perturb_features)
+                    }
+                })
+                .collect();
+            let entries = parallel::parallel_map(&children, |_, child| {
+                try_eval(dims, child.clone(), device, bits, cfg.pipelined)
+            });
+            for entry in entries {
+                if let Some(e) = entry {
+                    pool.members.push(e);
                 }
                 evals += 1;
                 history.push(pool.best().0);
@@ -215,7 +246,7 @@ pub fn random_search_layer(
     while evals < cfg.max_evals {
         let m = Mapping::random(dims, &mut rng);
         if let Some(entry) = try_eval(dims, m, device, bits, cfg.pipelined) {
-            if best.as_ref().map_or(true, |(b, _, _)| entry.0 < *b) {
+            if best.as_ref().is_none_or(|(b, _, _)| entry.0 < *b) {
                 best = Some(entry);
             }
         }
@@ -243,34 +274,42 @@ pub fn map_network(
     bits: u8,
     cfg: &MapperConfig,
 ) -> (Vec<Mapping>, NetworkCost) {
-    assert!(!workloads.is_empty(), "network must have at least one layer");
+    assert!(
+        !workloads.is_empty(),
+        "network must have at least one layer"
+    );
     let total_macs: f64 = workloads.iter().map(|w| w.macs() as f64).sum();
+    // Every (execution mode, layer) search is an independent evolve_layer
+    // run under its own derived seed, so the whole grid fans out across
+    // threads at once; results are stitched back in (mode, layer) order
+    // and the winning mode is chosen serially.
+    let nl = workloads.len();
+    let jobs: Vec<(bool, usize)> = [false, true]
+        .into_iter()
+        .flat_map(|p| (0..nl).map(move |li| (p, li)))
+        .collect();
+    let mapped = parallel::parallel_map(&jobs, |_, &(pipelined, li)| {
+        let w = &workloads[li];
+        // In pipeline mode each stage owns a slice of the fabric, so
+        // search against the partitioned device.
+        let dev = if pipelined {
+            instantnet_hwmodel::cost::pipeline_stage_device(device, w.macs() as f64 / total_macs)
+        } else {
+            device.clone()
+        };
+        let layer_cfg = MapperConfig {
+            pipelined: Some(pipelined),
+            seed: cfg.seed.wrapping_add(li as u64 * 7919),
+            ..*cfg
+        };
+        evolve_layer(&w.dims, &dev, bits, &layer_cfg).mapping
+    });
+    let mut mapped = mapped.into_iter();
     let mut best: Option<(Vec<Mapping>, NetworkCost)> = None;
-    for pipelined in [false, true] {
-        let mut mappings = Vec::with_capacity(workloads.len());
-        for (li, w) in workloads.iter().enumerate() {
-            // In pipeline mode each stage owns a slice of the fabric, so
-            // search against the partitioned device.
-            let dev = if pipelined {
-                instantnet_hwmodel::cost::pipeline_stage_device(
-                    device,
-                    w.macs() as f64 / total_macs,
-                )
-            } else {
-                device.clone()
-            };
-            let layer_cfg = MapperConfig {
-                pipelined: Some(pipelined),
-                seed: cfg.seed.wrapping_add(li as u64 * 7919),
-                ..*cfg
-            };
-            mappings.push(evolve_layer(&w.dims, &dev, bits, &layer_cfg).mapping);
-        }
+    for _pipelined in [false, true] {
+        let mappings: Vec<Mapping> = mapped.by_ref().take(nl).collect();
         if let Ok(cost) = evaluate_network(workloads, &mappings, device, bits) {
-            if best
-                .as_ref()
-                .map_or(true, |(_, b)| cost.edp() < b.edp())
-            {
+            if best.as_ref().is_none_or(|(_, b)| cost.edp() < b.edp()) {
                 best = Some((mappings, cost));
             }
         }
@@ -291,13 +330,12 @@ pub fn map_per_bitwidth(
     bit_widths: &[u8],
     cfg: &MapperConfig,
 ) -> Vec<(u8, Vec<Mapping>, NetworkCost)> {
-    bit_widths
-        .iter()
-        .map(|&bits| {
-            let (mappings, cost) = map_network(workloads, device, bits, cfg);
-            (bits, mappings, cost)
-        })
-        .collect()
+    // Bit-widths are fully independent searches; run them concurrently
+    // (each worker serializes its own nested map_network fan-out).
+    parallel::parallel_map(bit_widths, |_, &bits| {
+        let (mappings, cost) = map_network(workloads, device, bits, cfg);
+        (bits, mappings, cost)
+    })
 }
 
 /// EDP penalty of running the network at `bits` with a mapping searched
@@ -320,8 +358,8 @@ pub fn switch_penalty(
         .zip(&donor_mappings)
         .map(|(w, m)| baselines::legalize(m.clone(), &w.dims, device, bits))
         .collect();
-    let reused = evaluate_network(workloads, &legalized, device, bits)
-        .expect("legalized mappings evaluate");
+    let reused =
+        evaluate_network(workloads, &legalized, device, bits).expect("legalized mappings evaluate");
     let (_, native) = map_network(workloads, device, bits, cfg);
     (reused.edp(), native.edp(), reused.edp() / native.edp())
 }
@@ -398,14 +436,10 @@ mod tests {
         };
         let found = evolve_layer(&dims(), &Device::eyeriss_like(), 16, &cfg);
         let fallback = instantnet_hwmodel::baselines::outermost_mapping(&dims(), false);
-        let fb = instantnet_hwmodel::evaluate_layer(
-            &dims(),
-            &fallback,
-            &Device::eyeriss_like(),
-            16,
-        )
-        .unwrap()
-        .edp();
+        let fb =
+            instantnet_hwmodel::evaluate_layer(&dims(), &fallback, &Device::eyeriss_like(), 16)
+                .unwrap()
+                .edp();
         assert!(found.cost.edp() < fb, "crossover search must still improve");
     }
 
@@ -417,7 +451,11 @@ mod tests {
             ..MapperConfig::default()
         };
         let found = evolve_layer(&dims(), &Device::eyeriss_like(), 16, &cfg);
-        assert!(found.evals < 10_000, "goal met at once, evals {}", found.evals);
+        assert!(
+            found.evals < 10_000,
+            "goal met at once, evals {}",
+            found.evals
+        );
     }
 
     #[test]
@@ -480,8 +518,7 @@ mod tests {
             max_evals: 300,
             ..MapperConfig::default()
         };
-        let (reused, native, ratio) =
-            switch_penalty(&ws, &Device::eyeriss_like(), 4, 16, &cfg);
+        let (reused, native, ratio) = switch_penalty(&ws, &Device::eyeriss_like(), 4, 16, &cfg);
         assert!(native > 0.0 && reused > 0.0);
         assert!(
             ratio >= 0.99,

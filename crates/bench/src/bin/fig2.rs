@@ -34,7 +34,14 @@ fn main() {
         ..TrainConfig::default()
     };
     let build = |seed| {
-        models::mobilenet_v2(0.12, 4, ds.num_classes(), (ds.hw(), ds.hw()), bits.len(), seed)
+        models::mobilenet_v2(
+            0.12,
+            4,
+            ds.num_classes(),
+            (ds.hw(), ds.hw()),
+            bits.len(),
+            seed,
+        )
     };
 
     println!("training with vanilla distillation (SP-style, 32-bit teacher only)...");
@@ -74,5 +81,9 @@ fn main() {
             ]
         })
         .collect();
-    write_csv("fig2", &["class", "vanilla_4bit", "cdt_4bit", "fp_32bit"], &rows);
+    write_csv(
+        "fig2",
+        &["class", "vanilla_4bit", "cdt_4bit", "fp_32bit"],
+        &rows,
+    );
 }

@@ -30,7 +30,10 @@ fn main() {
         for (cname, lambda) in constraints {
             let mut rows = Vec::new();
             for mode in [SearchMode::SpNas, SearchMode::FpNas, SearchMode::LpNas] {
-                println!("bit set {set_name}, {cname} constraint: {}...", mode.label());
+                println!(
+                    "bit set {set_name}, {cname} constraint: {}...",
+                    mode.label()
+                );
                 let nas_cfg = NasConfig {
                     epochs: 2,
                     lambda,

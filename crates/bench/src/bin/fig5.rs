@@ -12,19 +12,12 @@
 
 use instantnet_automapper::{map_network, MapperConfig};
 use instantnet_bench::{print_table, write_csv};
-use instantnet_hwmodel::{
-    baselines, evaluate_network, workloads_from_specs, Device, Workload,
-};
+use instantnet_hwmodel::{baselines, evaluate_network, workloads_from_specs, Device, Workload};
 use instantnet_nn::shapes;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn baseline_cost(
-    name: &str,
-    workloads: &[Workload],
-    device: &Device,
-    bits: u8,
-) -> (f64, f64) {
+fn baseline_cost(name: &str, workloads: &[Workload], device: &Device, bits: u8) -> (f64, f64) {
     let total_macs: f64 = workloads.iter().map(|w| w.macs() as f64).sum();
     let mappings: Vec<_> = workloads
         .iter()

@@ -29,7 +29,10 @@ fn main() {
             cfg.nas.epochs = 2;
             cfg.mapper.max_evals = 250;
             let ours = Pipeline::new(cfg.clone()).run(&ds);
-            println!("{} / {set_name}: running manual SP-Net baseline...", spec.name);
+            println!(
+                "{} / {set_name}: running manual SP-Net baseline...",
+                spec.name
+            );
             let base = baseline_system(&ds, &cfg);
             let mut rows = Vec::new();
             for (o, b) in ours.points().iter().zip(base.points()) {
@@ -57,7 +60,13 @@ fn main() {
                     spec.name,
                     ours.arch()
                 ),
-                &["bits", "baseline acc/EDP", "InstantNet acc/EDP", "EDP red.", "acc gain"],
+                &[
+                    "bits",
+                    "baseline acc/EDP",
+                    "InstantNet acc/EDP",
+                    "EDP red.",
+                    "acc gain",
+                ],
                 &rows,
             );
         }

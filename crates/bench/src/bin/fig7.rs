@@ -10,9 +10,7 @@
 use instantnet::{Pipeline, PipelineConfig};
 use instantnet_bench::{pct, print_table, write_csv};
 use instantnet_data::{Dataset, DatasetSpec};
-use instantnet_hwmodel::{
-    baselines, evaluate_network, workloads_from_specs, Device,
-};
+use instantnet_hwmodel::{baselines, evaluate_network, workloads_from_specs, Device};
 use instantnet_quant::BitWidthSet;
 use instantnet_train::{evaluate, PrecisionLadder, Strategy, TrainConfig, Trainer};
 
@@ -92,7 +90,13 @@ fn main() {
     println!("\npaper reference: 1.86x FPS at -0.05% accuracy vs the SOTA FPGA IoT system.");
     write_csv(
         "fig7",
-        &["bits", "baseline_fps", "baseline_acc", "instantnet_fps", "instantnet_acc"],
+        &[
+            "bits",
+            "baseline_fps",
+            "baseline_acc",
+            "instantnet_fps",
+            "instantnet_acc",
+        ],
         &csv_rows,
     );
 }

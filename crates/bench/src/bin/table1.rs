@@ -48,7 +48,10 @@ fn main() {
             .collect());
         let mut results: Vec<(String, Vec<f32>)> = vec![("SBM".into(), sbm)];
         for strategy in [Strategy::sp_net(), Strategy::AdaBits, Strategy::cdt()] {
-            println!("bit set {set_name}: training {} ({SEEDS} seeds)...", strategy.label());
+            println!(
+                "bit set {set_name}: training {} ({SEEDS} seeds)...",
+                strategy.label()
+            );
             let accs = avg((0..SEEDS)
                 .map(|s| {
                     let net = build(bits.len(), 7 + s);
@@ -82,7 +85,9 @@ fn main() {
             rows.push(row);
         }
         print_table(
-            &format!("Table I (reproduction) — MobileNetV2-scaled, cifar100-like, bit set {set_name}"),
+            &format!(
+                "Table I (reproduction) — MobileNetV2-scaled, cifar100-like, bit set {set_name}"
+            ),
             &["bits", "SBM", "SP", "AdaBits", "CDT"],
             &rows,
         );

@@ -43,10 +43,7 @@ fn main() {
         let mut accs = Vec::new();
         // At 2-bit the raw-logit MSE terms are large; a smaller beta keeps
         // the cascade from overwhelming the cross-entropy signal.
-        for strategy in [
-            Strategy::SpNet { beta: 0.05 },
-            Strategy::Cdt { beta: 0.05 },
-        ] {
+        for strategy in [Strategy::SpNet { beta: 0.05 }, Strategy::Cdt { beta: 0.05 }] {
             println!("{name}: training {}...", strategy.label());
             let net = models::resnet18(0.1, ds.num_classes(), (ds.hw(), ds.hw()), ladder.len(), 3);
             let report = Trainer::new(cfg).train(&net, &ds, &ladder, strategy);

@@ -113,7 +113,10 @@ pub mod cdt_vs_sbm {
                         .map(|i| runs.iter().map(|r| r[i]).sum::<f32>() / n)
                         .collect()
                 };
-                println!("{}/{set_name}: SBM-independent ({seeds} seeds)...", spec.name);
+                println!(
+                    "{}/{set_name}: SBM-independent ({seeds} seeds)...",
+                    spec.name
+                );
                 let sbm = avg((0..seeds)
                     .map(|s| {
                         train_independent(
@@ -177,11 +180,7 @@ mod tests {
 
     #[test]
     fn csv_roundtrip() {
-        write_csv(
-            "unit-test",
-            &["a", "b"],
-            &[vec!["1".into(), "2".into()]],
-        );
+        write_csv("unit-test", &["a", "b"], &[vec!["1".into(), "2".into()]]);
         let content = std::fs::read_to_string(out_dir().join("unit-test.csv")).unwrap();
         assert_eq!(content, "a,b\n1,2\n");
     }

@@ -104,10 +104,10 @@ pub fn simulate(report: &DeploymentReport, trace: &EnergyTrace, policy: Policy) 
             (Policy::Greedy, _, Some(b)) => Some(b),
             (Policy::Hysteresis { .. }, None, Some(b)) => Some(b),
             (Policy::Hysteresis { margin }, Some(cur), Some(b)) => {
-                if cur.energy_pj > budget {
-                    Some(b) // forced downward switch
-                } else if b.accuracy > cur.accuracy + margin {
-                    Some(b) // worthwhile upward switch
+                // Switch when forced downward (over budget) or when the
+                // upward move is worth more than the hysteresis margin.
+                if cur.energy_pj > budget || b.accuracy > cur.accuracy + margin {
+                    Some(b)
                 } else {
                     Some(cur)
                 }

@@ -407,12 +407,9 @@ fn generate_split(
                             // Box-Muller on demand.
                             let u1: f32 = rng.gen_range(1e-7..1.0f32);
                             let u2: f32 = rng.gen_range(0.0..1.0f32);
-                            (-2.0 * u1.ln()).sqrt()
-                                * (std::f32::consts::TAU * u2).cos()
+                            (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
                         };
-                        images.push(
-                            amp * tpl[(c * hw + sy) * hw + sx] + spec.noise * noise,
-                        );
+                        images.push(amp * tpl[(c * hw + sy) * hw + sx] + spec.noise * noise);
                     }
                 }
             }
@@ -494,16 +491,19 @@ mod tests {
         let ds = Dataset::generate(&DatasetSpec::tiny());
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let (clean, labels) = ds.train().batch(&[0, 1, 2]);
-        let (aug, labels2) =
-            ds.train()
-                .batch_augmented(&[0, 1, 2], Augment::standard(), &mut rng);
+        let (aug, labels2) = ds
+            .train()
+            .batch_augmented(&[0, 1, 2], Augment::standard(), &mut rng);
         assert_eq!(aug.dims(), clean.dims());
         assert_eq!(labels, labels2);
         // Flip + toroidal shift are permutations: per-sample energy is
         // conserved exactly.
         let px = clean.len() / 3;
         for b in 0..3 {
-            let e1: f32 = clean.data()[b * px..(b + 1) * px].iter().map(|v| v * v).sum();
+            let e1: f32 = clean.data()[b * px..(b + 1) * px]
+                .iter()
+                .map(|v| v * v)
+                .sum();
             let e2: f32 = aug.data()[b * px..(b + 1) * px].iter().map(|v| v * v).sum();
             assert!((e1 - e2).abs() < 1e-3, "{e1} vs {e2}");
         }

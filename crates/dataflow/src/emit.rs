@@ -54,10 +54,20 @@ pub fn emit_loop_nest(dims: &ConvDims, mapping: &Mapping) -> String {
     let _ = writeln!(
         out,
         "// layer {dims}  ({} mode)",
-        if mapping.pipelined { "pipeline" } else { "multi-cycle" }
+        if mapping.pipelined {
+            "pipeline"
+        } else {
+            "multi-cycle"
+        }
     );
     let mut indent = 0usize;
-    emit_level(&mut out, "DRAM", &mapping.dram, &mapping.order_dram, &mut indent);
+    emit_level(
+        &mut out,
+        "DRAM",
+        &mapping.dram,
+        &mapping.order_dram,
+        &mut indent,
+    );
     emit_level(
         &mut out,
         "global buffer",

@@ -37,8 +37,8 @@ pub mod serialize;
 pub mod space;
 
 pub use emit::emit_loop_nest;
-pub use serialize::{mapping_from_text, mapping_to_text, ParseMappingError};
 pub use mapping::{LoopOrder, Mapping, Tiling};
+pub use serialize::{mapping_from_text, mapping_to_text, ParseMappingError};
 pub use space::{log10_space_size, PerturbKind};
 
 use std::fmt;

@@ -23,7 +23,10 @@ impl Tiling {
     ///
     /// Panics if any factor is zero.
     pub fn new(factors: [usize; 7]) -> Self {
-        assert!(factors.iter().all(|&f| f > 0), "tiling factors must be positive");
+        assert!(
+            factors.iter().all(|&f| f > 0),
+            "tiling factors must be positive"
+        );
         Tiling(factors)
     }
 
@@ -288,7 +291,7 @@ impl Mapping {
             match rng.gen_range(0..4) {
                 0 => {
                     // Re-tile one dimension from scratch.
-                    let d = Dim::ALL[rng.gen_range(0..7)];
+                    let d = Dim::ALL[rng.gen_range(0..7usize)];
                     let bound = dims.bound(d);
                     let f1 = sample_factor(rng, bound);
                     let rem1 = bound.div_ceil(f1);
@@ -330,7 +333,11 @@ impl fmt::Display for Mapping {
         write!(
             f,
             "mode  {}",
-            if self.pipelined { "pipeline" } else { "multi-cycle" }
+            if self.pipelined {
+                "pipeline"
+            } else {
+                "multi-cycle"
+            }
         )
     }
 }
@@ -343,7 +350,7 @@ fn sample_factor(rng: &mut StdRng, bound: usize) -> usize {
     }
     if rng.gen_bool(0.5) {
         // Prefer an exact divisor.
-        let divs: Vec<usize> = (1..=bound).filter(|d| bound % d == 0).collect();
+        let divs: Vec<usize> = (1..=bound).filter(|d| bound.is_multiple_of(*d)).collect();
         divs[rng.gen_range(0..divs.len())]
     } else {
         rng.gen_range(1..=bound)
@@ -458,15 +465,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "repeats")]
     fn duplicate_loop_order_rejected() {
-        let _ = LoopOrder::new([
-            Dim::N,
-            Dim::N,
-            Dim::C,
-            Dim::Y,
-            Dim::X,
-            Dim::R,
-            Dim::S,
-        ]);
+        let _ = LoopOrder::new([Dim::N, Dim::N, Dim::C, Dim::Y, Dim::X, Dim::R, Dim::S]);
     }
 
     #[test]

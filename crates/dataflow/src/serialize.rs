@@ -88,7 +88,11 @@ pub fn mapping_to_text(m: &Mapping) -> String {
         order_to_text(&m.order_gbuf),
         tiling_to_text(&m.spatial),
         tiling_to_text(&m.rf),
-        if m.pipelined { "pipeline" } else { "multi-cycle" }
+        if m.pipelined {
+            "pipeline"
+        } else {
+            "multi-cycle"
+        }
     )
 }
 
@@ -163,9 +167,7 @@ pub fn mapping_from_text(text: &str) -> Result<Mapping, ParseMappingError> {
                     Some("pipeline") => true,
                     Some("multi-cycle") => false,
                     other => {
-                        return Err(ParseMappingError::BadMode(
-                            other.unwrap_or("").to_string(),
-                        ))
+                        return Err(ParseMappingError::BadMode(other.unwrap_or("").to_string()))
                     }
                 })
             }

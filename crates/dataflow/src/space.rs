@@ -35,7 +35,7 @@ fn ordered_factorizations(v: usize, parts: usize) -> f64 {
     }
     let mut total = 0.0;
     for d in 1..=v {
-        if v % d == 0 {
+        if v.is_multiple_of(d) {
             total += ordered_factorizations(v / d, parts - 1);
         }
     }

@@ -70,7 +70,7 @@ fn shrink_level(m: &mut Mapping, which: Shrink) -> bool {
     let mut best: Option<(Dim, usize)> = None;
     for d in Dim::ALL {
         let f = tiling.factor(d);
-        if f > 1 && best.map_or(true, |(_, bf)| f > bf) {
+        if f > 1 && best.is_none_or(|(_, bf)| f > bf) {
             best = Some((d, f));
         }
     }
@@ -156,7 +156,7 @@ pub fn magnet_search(
         m.pipelined = false; // MAGNet's tiled architecture is multi-cycle
         if let Ok(c) = evaluate_layer(dims, &m, device, bits) {
             let edp = c.edp();
-            if best.as_ref().map_or(true, |(b, _)| edp < *b) {
+            if best.as_ref().is_none_or(|(b, _)| edp < *b) {
                 best = Some((edp, m));
             }
         }
@@ -170,7 +170,7 @@ pub fn magnet_search(
 /// inputs.
 pub fn dnnbuilder_mapping(dims: &ConvDims, device: &Device, bits: u8) -> Mapping {
     let mut spatial = Tiling::unit();
-    spatial.set(Dim::K, dims.k.min(32).max(1));
+    spatial.set(Dim::K, dims.k.clamp(1, 32));
     let mut rf = Tiling::unit();
     rf.set(Dim::R, dims.r);
     rf.set(Dim::S, dims.s);
@@ -181,7 +181,7 @@ pub fn dnnbuilder_mapping(dims: &ConvDims, device: &Device, bits: u8) -> Mapping
     dram.set(Dim::N, dims.n);
     dram.set(Dim::Y, dims.y);
     dram.set(Dim::C, dims.c.div_ceil(dims.c.min(8)));
-    dram.set(Dim::K, dims.k.div_ceil(dims.k.min(32).max(1)));
+    dram.set(Dim::K, dims.k.div_ceil(dims.k.clamp(1, 32)));
     let m = Mapping {
         dram,
         gbuf,

@@ -35,14 +35,32 @@ pub enum MapError {
 impl fmt::Display for MapError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MapError::SpatialOverflow { required, available } => {
-                write!(f, "spatial unrolling needs {required} PEs, device has {available}")
+            MapError::SpatialOverflow {
+                required,
+                available,
+            } => {
+                write!(
+                    f,
+                    "spatial unrolling needs {required} PEs, device has {available}"
+                )
             }
-            MapError::GbufOverflow { required, available } => {
-                write!(f, "global buffer needs {required} B, device has {available} B")
+            MapError::GbufOverflow {
+                required,
+                available,
+            } => {
+                write!(
+                    f,
+                    "global buffer needs {required} B, device has {available} B"
+                )
             }
-            MapError::RfOverflow { required, available } => {
-                write!(f, "register file needs {required} B per PE, device has {available} B")
+            MapError::RfOverflow {
+                required,
+                available,
+            } => {
+                write!(
+                    f,
+                    "register file needs {required} B per PE, device has {available} B"
+                )
             }
         }
     }
@@ -158,7 +176,7 @@ pub fn evaluate_layer(
     }
     let macs = mapping.padded_macs() as f64;
     let rf_accesses = 3.0 * macs; // weight read, input read, psum update
-    // --- energy ---
+                                  // --- energy ---
     let ws = word_scale(bits);
     let e_dram = dram_words * device.e_dram_16 * ws;
     let e_gbuf = gbuf_traffic * device.e_gbuf_16 * ws;
@@ -243,7 +261,10 @@ pub fn evaluate_network(
         mappings.len(),
         "one mapping per workload required"
     );
-    assert!(!workloads.is_empty(), "network must have at least one layer");
+    assert!(
+        !workloads.is_empty(),
+        "network must have at least one layer"
+    );
     let pipelined = mappings[0].pipelined;
     let total_macs: f64 = workloads.iter().map(|w| w.macs() as f64).sum();
     let mut energy = 0.0f64;
@@ -432,6 +453,9 @@ mod tests {
                 ok += 1;
             }
         }
-        assert!(ok > 5, "at least some random mappings must be legal, got {ok}");
+        assert!(
+            ok > 5,
+            "at least some random mappings must be legal, got {ok}"
+        );
     }
 }

@@ -119,7 +119,11 @@ mod tests {
 
     #[test]
     fn presets_have_sane_hierarchy() {
-        for d in [Device::eyeriss_like(), Device::zc706_like(), Device::tiny_test()] {
+        for d in [
+            Device::eyeriss_like(),
+            Device::zc706_like(),
+            Device::tiny_test(),
+        ] {
             assert!(d.e_dram_16 > d.e_gbuf_16, "{}", d.name);
             assert!(d.e_gbuf_16 > d.e_rf_16 * 0.99, "{}", d.name);
             assert!(d.pe_count > 0);

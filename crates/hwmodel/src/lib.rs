@@ -84,7 +84,10 @@ impl Workload {
 
 /// Converts a whole network's specs to workloads.
 pub fn workloads_from_specs(specs: &[ConvSpec], batch: usize) -> Vec<Workload> {
-    specs.iter().map(|s| Workload::from_spec(s, batch)).collect()
+    specs
+        .iter()
+        .map(|s| Workload::from_spec(s, batch))
+        .collect()
 }
 
 #[cfg(test)]

@@ -56,10 +56,7 @@ pub fn format_breakdown(cost: &LayerCost) -> String {
             100.0 * share
         ));
     }
-    s.push_str(&format!(
-        "{:>14}: {:>12.3e} pJ\n",
-        "total", cost.energy_pj
-    ));
+    s.push_str(&format!("{:>14}: {:>12.3e} pJ\n", "total", cost.energy_pj));
     s
 }
 

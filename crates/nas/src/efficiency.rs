@@ -41,7 +41,12 @@ impl EfficiencyCost {
 }
 
 /// The conv layers a candidate expands to, as hardware loop nests.
-fn candidate_dims(space: &SearchSpace, slot: usize, cand: CandidateKind, in_hw: usize) -> Vec<(ConvDims, usize)> {
+fn candidate_dims(
+    space: &SearchSpace,
+    slot: usize,
+    cand: CandidateKind,
+    in_hw: usize,
+) -> Vec<(ConvDims, usize)> {
     let lc = &space.layers()[slot];
     match cand {
         CandidateKind::Skip => vec![],
@@ -54,7 +59,10 @@ fn candidate_dims(space: &SearchSpace, slot: usize, cand: CandidateKind, in_hw: 
             }
             let oh = (hw + 2 * (kernel / 2) - kernel) / lc.stride + 1;
             // Depthwise: one 1-channel group per hidden channel.
-            out.push((ConvDims::new(1, 1, 1, oh, oh, kernel, kernel, lc.stride), hidden));
+            out.push((
+                ConvDims::new(1, 1, 1, oh, oh, kernel, kernel, lc.stride),
+                hidden,
+            ));
             hw = oh;
             out.push((ConvDims::new(1, lc.out_c, hidden, hw, hw, 1, 1, 1), 1));
             out
@@ -116,12 +124,22 @@ mod tests {
         let small = lc
             .candidates
             .iter()
-            .position(|c| *c == CandidateKind::MbConv { expand: 1, kernel: 3 })
+            .position(|c| {
+                *c == CandidateKind::MbConv {
+                    expand: 1,
+                    kernel: 3,
+                }
+            })
             .expect("e1k3 present");
         let big = lc
             .candidates
             .iter()
-            .position(|c| *c == CandidateKind::MbConv { expand: 6, kernel: 5 })
+            .position(|c| {
+                *c == CandidateKind::MbConv {
+                    expand: 6,
+                    kernel: 5,
+                }
+            })
             .expect("e6k5 present");
         assert_eq!(t[0][skip], 0.0);
         assert!(t[0][small] > 0.0);

@@ -84,12 +84,30 @@ impl LayerChoice {
     /// variants plus skip when the slot preserves shape.
     pub fn fbnet_menu(in_c: usize, out_c: usize, stride: usize) -> Self {
         let mut candidates = vec![
-            CandidateKind::MbConv { expand: 1, kernel: 3 },
-            CandidateKind::MbConv { expand: 3, kernel: 3 },
-            CandidateKind::MbConv { expand: 6, kernel: 3 },
-            CandidateKind::MbConv { expand: 1, kernel: 5 },
-            CandidateKind::MbConv { expand: 3, kernel: 5 },
-            CandidateKind::MbConv { expand: 6, kernel: 5 },
+            CandidateKind::MbConv {
+                expand: 1,
+                kernel: 3,
+            },
+            CandidateKind::MbConv {
+                expand: 3,
+                kernel: 3,
+            },
+            CandidateKind::MbConv {
+                expand: 6,
+                kernel: 3,
+            },
+            CandidateKind::MbConv {
+                expand: 1,
+                kernel: 5,
+            },
+            CandidateKind::MbConv {
+                expand: 3,
+                kernel: 5,
+            },
+            CandidateKind::MbConv {
+                expand: 6,
+                kernel: 5,
+            },
         ];
         if stride == 1 && in_c == out_c {
             candidates.push(CandidateKind::Skip);
@@ -458,8 +476,22 @@ mod tests {
     fn candidate_flops_ordering() {
         let space = SearchSpace::cifar_tiny(4);
         let f_skip = space.candidate_flops(0, CandidateKind::Skip, 8);
-        let f_small = space.candidate_flops(0, CandidateKind::MbConv { expand: 1, kernel: 3 }, 8);
-        let f_big = space.candidate_flops(0, CandidateKind::MbConv { expand: 6, kernel: 5 }, 8);
+        let f_small = space.candidate_flops(
+            0,
+            CandidateKind::MbConv {
+                expand: 1,
+                kernel: 3,
+            },
+            8,
+        );
+        let f_big = space.candidate_flops(
+            0,
+            CandidateKind::MbConv {
+                expand: 6,
+                kernel: 5,
+            },
+            8,
+        );
         assert_eq!(f_skip, 0);
         assert!(f_small > 0);
         assert!(f_big > f_small);
@@ -508,7 +540,13 @@ mod tests {
     fn parse_rejects_wrong_slot_count() {
         let space = SearchSpace::cifar_tiny(3);
         let err = DerivedArch::parse(space, "e1k3|e1k3").unwrap_err();
-        assert!(matches!(err, ParseArchError::SlotCount { expected: 3, got: 2 }));
+        assert!(matches!(
+            err,
+            ParseArchError::SlotCount {
+                expected: 3,
+                got: 2
+            }
+        ));
     }
 
     #[test]

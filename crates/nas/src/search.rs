@@ -146,9 +146,12 @@ pub fn search_with_cost(
         w_opt.set_lr(schedule.at(epoch));
         let w_batches: Vec<Vec<usize>> =
             BatchIter::new(half_w.clone(), cfg.batch_size, cfg.seed + 2 * epoch as u64).collect();
-        let a_batches: Vec<Vec<usize>> =
-            BatchIter::new(half_a.clone(), cfg.batch_size, cfg.seed + 2 * epoch as u64 + 1)
-                .collect();
+        let a_batches: Vec<Vec<usize>> = BatchIter::new(
+            half_a.clone(),
+            cfg.batch_size,
+            cfg.seed + 2 * epoch as u64 + 1,
+        )
+        .collect();
         for (wb, ab) in w_batches.iter().zip(a_batches.iter()) {
             // --- weight step ---
             let (x, labels) = ds.train().batch(wb);
@@ -224,10 +227,10 @@ fn supernet_cdt_loss(
         .collect();
     let teachers: Vec<Var> = logits.iter().map(Var::detach).collect();
     let mut total: Option<Var> = None;
-    for i in 0..n {
-        let mut li = ops::softmax_cross_entropy(&logits[i], labels);
-        for teacher in teachers.iter().take(n).skip(i + 1) {
-            li = li.add(&ops::mse_loss(&logits[i], teacher).scale(cfg.beta));
+    for (i, logit) in logits.iter().enumerate() {
+        let mut li = ops::softmax_cross_entropy(logit, labels);
+        for teacher in teachers.iter().skip(i + 1) {
+            li = li.add(&ops::mse_loss(logit, teacher).scale(cfg.beta));
         }
         total = Some(match total {
             Some(t) => t.add(&li),
@@ -332,11 +335,8 @@ mod tests {
         let ds = Dataset::generate(&DatasetSpec::tiny());
         let space = SearchSpace::cifar_tiny(2);
         let bits = BitWidthSet::new(vec![4, 32]).unwrap();
-        let table = crate::efficiency::energy_table(
-            &space,
-            &instantnet_hwmodel::Device::eyeriss_like(),
-            4,
-        );
+        let table =
+            crate::efficiency::energy_table(&space, &instantnet_hwmodel::Device::eyeriss_like(), 4);
         let out = crate::search_with_cost(
             &space,
             &ds,

@@ -41,11 +41,7 @@ impl MixedLayer {
     }
 
     fn weight_params(&self) -> Vec<Param> {
-        self.ops
-            .iter()
-            .flatten()
-            .flat_map(|b| b.params())
-            .collect()
+        self.ops.iter().flatten().flat_map(|b| b.params()).collect()
     }
 }
 
@@ -159,12 +155,8 @@ impl Supernet {
             Activation::Relu6,
             true,
         );
-        let classifier = QuantLinear::new(
-            &mut rng,
-            "classifier",
-            space.head_channels(),
-            num_classes,
-        );
+        let classifier =
+            QuantLinear::new(&mut rng, "classifier", space.head_channels(), num_classes);
         let max_cost: f32 = layers
             .iter()
             .map(|l| l.costs.iter().fold(0.0f32, |m, &f| m.max(f)))
@@ -327,7 +319,10 @@ mod tests {
         let theta = Var::leaf(Tensor::from_vec(vec![3], vec![2.0, 0.0, -2.0]), true);
         let sharp = gumbel_softmax(&theta, 0.05, &mut StdRng::seed_from_u64(3));
         let max = sharp.value().max_abs();
-        assert!(max > 0.95, "low-tau sample should be nearly one-hot, got {max}");
+        assert!(
+            max > 0.95,
+            "low-tau sample should be nearly one-hot, got {max}"
+        );
     }
 
     #[test]
@@ -343,8 +338,8 @@ mod tests {
         let mut ctx = ForwardCtx::train(&bits, 0, Quantizer::Sbm);
         let mut rng = StdRng::seed_from_u64(5);
         let out = sn.forward(&x, &mut ctx, 3.0, &mut rng);
-        let loss = ops::softmax_cross_entropy(&out.logits, &[0, 1])
-            .add(&out.expected_cost.scale(0.1));
+        let loss =
+            ops::softmax_cross_entropy(&out.logits, &[0, 1]).add(&out.expected_cost.scale(0.1));
         loss.backward();
         for theta in sn.arch_params() {
             let g = theta.var().grad().expect("theta grad");
@@ -382,7 +377,9 @@ mod tests {
         let run = |sn: &Supernet| {
             let mut ctx = ForwardCtx::train(&bits, 0, Quantizer::Sbm);
             let mut rng = StdRng::seed_from_u64(6);
-            sn.forward(&x, &mut ctx, 0.05, &mut rng).expected_cost.item()
+            sn.forward(&x, &mut ctx, 0.05, &mut rng)
+                .expected_cost
+                .item()
         };
         let before = run(&sn);
         // Bias every slot with a skip candidate hard toward skip.

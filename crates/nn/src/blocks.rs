@@ -373,11 +373,7 @@ mod tests {
             b.forward(&x, &mut c).sum().backward();
         }
         for p in b.params() {
-            assert!(
-                p.var().grad().is_some(),
-                "missing grad for {}",
-                p.name()
-            );
+            assert!(p.var().grad().is_some(), "missing grad for {}", p.name());
         }
     }
 }

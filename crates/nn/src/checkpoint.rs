@@ -103,9 +103,7 @@ fn read_u64(r: &mut impl Read) -> Result<u64, CheckpointError> {
 /// # Errors
 ///
 /// Returns header/corruption errors for malformed files.
-pub fn read_tensors(
-    path: impl AsRef<Path>,
-) -> Result<HashMap<String, Tensor>, CheckpointError> {
+pub fn read_tensors(path: impl AsRef<Path>) -> Result<HashMap<String, Tensor>, CheckpointError> {
     let mut r = BufReader::new(File::open(path)?);
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;

@@ -68,7 +68,10 @@ impl QuantConv2d {
     pub fn with_pact(mut self, alpha_init: f32) -> Self {
         assert!(alpha_init > 0.0, "PACT alpha must start positive");
         self.pact_alpha = Some(Param::new(
-            format!("{}.pact_alpha", self.weight.name().trim_end_matches(".weight")),
+            format!(
+                "{}.pact_alpha",
+                self.weight.name().trim_end_matches(".weight")
+            ),
             Tensor::scalar(alpha_init),
         ));
         self
@@ -121,7 +124,11 @@ impl Module for QuantConv2d {
         in_shape: (usize, usize, usize),
     ) -> (Vec<ConvSpec>, (usize, usize, usize)) {
         let (c, h, w) = in_shape;
-        assert_eq!(c, self.in_c, "input channels {c} != layer in_c {}", self.in_c);
+        assert_eq!(
+            c, self.in_c,
+            "input channels {c} != layer in_c {}",
+            self.in_c
+        );
         let spec = self.spec(h, w);
         let (oh, ow) = spec.out_hw();
         (vec![spec], (self.out_c, oh, ow))
@@ -262,13 +269,8 @@ impl Module for SwitchableBatchNorm {
             self.gammas.len()
         );
         if ctx.train {
-            let bn = ops::batch_norm2d(
-                x,
-                self.gammas[i].var(),
-                self.betas[i].var(),
-                self.eps,
-                None,
-            );
+            let bn =
+                ops::batch_norm2d(x, self.gammas[i].var(), self.betas[i].var(), self.eps, None);
             let mut running = self.running.borrow_mut();
             let slot = &mut running[i];
             if slot.initialized {
@@ -402,8 +404,7 @@ mod tests {
     #[test]
     fn pact_conv_trains_its_clip_and_bounds_inputs() {
         let mut rng = StdRng::seed_from_u64(6);
-        let conv =
-            QuantConv2d::new(&mut rng, "c", 2, 4, 3, 1, 1, 1, true).with_pact(1.0);
+        let conv = QuantConv2d::new(&mut rng, "c", 2, 4, 3, 1, 1, 1, true).with_pact(1.0);
         assert_eq!(conv.params().len(), 2, "weight + alpha");
         let x = Var::constant(init::uniform(&mut rng, &[1, 2, 4, 4], -2.0, 4.0));
         let y = conv.forward(&x, &mut ctx_train(0));
@@ -416,8 +417,7 @@ mod tests {
     #[test]
     fn pact_disabled_at_full_precision() {
         let mut rng = StdRng::seed_from_u64(7);
-        let conv =
-            QuantConv2d::new(&mut rng, "c", 2, 2, 3, 1, 1, 1, true).with_pact(0.5);
+        let conv = QuantConv2d::new(&mut rng, "c", 2, 2, 3, 1, 1, 1, true).with_pact(0.5);
         let x = Var::constant(init::uniform(&mut rng, &[1, 2, 4, 4], -2.0, 4.0));
         // Full-precision rung: PACT must not clip.
         let bits = BitWidthSet::new(vec![4, 32]).unwrap();

@@ -207,7 +207,12 @@ impl Module for Sequential {
 
 /// Total single-sample FLOPs of a module for a given input shape.
 pub fn total_flops(module: &dyn Module, in_shape: (usize, usize, usize)) -> u64 {
-    module.conv_specs(in_shape).0.iter().map(ConvSpec::flops).sum()
+    module
+        .conv_specs(in_shape)
+        .0
+        .iter()
+        .map(ConvSpec::flops)
+        .sum()
 }
 
 #[cfg(test)]

@@ -415,7 +415,10 @@ mod tests {
     #[test]
     fn mobilenet_contains_depthwise_layers() {
         let net = mobilenet_v2(0.1, 4, 10, (8, 8), 1, 0);
-        assert!(net.specs().iter().any(|s| s.groups > 1 && s.groups == s.in_c));
+        assert!(net
+            .specs()
+            .iter()
+            .any(|s| s.groups > 1 && s.groups == s.in_c));
     }
 
     #[test]

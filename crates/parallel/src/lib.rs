@@ -1,0 +1,312 @@
+//! Workspace-wide parallel execution layer.
+//!
+//! Every hot loop in the workspace (matmul row blocks, `im2col` channels,
+//! conv batch samples, AutoMapper candidate evaluation) parallelizes
+//! through this module instead of spawning threads ad hoc. The design
+//! contract is **determinism**: results are bit-identical at 1 thread and
+//! N threads, because
+//!
+//! * work is split into *index-addressed chunks* — chunk `i` computes the
+//!   same values no matter which thread runs it;
+//! * every chunk writes to its own disjoint output slot (no atomics-based
+//!   float accumulation anywhere);
+//! * reductions happen on the calling thread in fixed chunk order
+//!   ([`parallel_map`] returns results in input order for the caller to
+//!   fold).
+//!
+//! # Thread-count knob
+//!
+//! The effective thread count is, in priority order:
+//!
+//! 1. a thread-local override set by [`set_threads`] / [`with_threads`]
+//!    (how tests force serial or forced-parallel execution);
+//! 2. the `INSTANTNET_THREADS` environment variable;
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Worker threads run with an override of 1, so nested parallel regions
+//! (a parallel conv batch loop calling the parallel matmul) execute
+//! serially instead of oversubscribing the machine.
+//!
+//! # Example
+//!
+//! ```
+//! use instantnet_parallel as parallel;
+//!
+//! let squares = parallel::parallel_map(&[1u64, 2, 3, 4], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//!
+//! // Identical results forced-serial and forced-parallel:
+//! let serial = parallel::with_threads(1, || parallel::parallel_map_indexed(8, |i| i * i));
+//! let par = parallel::with_threads(4, || parallel::parallel_map_indexed(8, |i| i * i));
+//! assert_eq!(serial, par);
+//! ```
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+thread_local! {
+    static OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+static DEFAULT: OnceLock<usize> = OnceLock::new();
+
+fn default_threads() -> usize {
+    *DEFAULT.get_or_init(|| {
+        if let Ok(v) = std::env::var("INSTANTNET_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// The effective maximum thread count for parallel regions started from
+/// the current thread.
+pub fn max_threads() -> usize {
+    let o = OVERRIDE.with(Cell::get);
+    if o > 0 {
+        o
+    } else {
+        default_threads()
+    }
+}
+
+/// Sets (n ≥ 1) or clears (n = 0) the current thread's thread-count
+/// override. Prefer [`with_threads`], which restores the previous value.
+pub fn set_threads(n: usize) {
+    OVERRIDE.with(|o| o.set(n));
+}
+
+/// Runs `f` with the thread-count override set to `n` (0 = no override),
+/// restoring the previous override afterwards — the scoped form of
+/// [`set_threads`] used by tests and by trainer configs.
+pub fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    let prev = OVERRIDE.with(Cell::get);
+    set_threads(n);
+    let out = f();
+    set_threads(prev);
+    out
+}
+
+/// Maps `f(index, item)` over `items`, returning results in input order.
+///
+/// `f` must be pure with respect to the index (chunk placement is a
+/// scheduling detail); under that contract the output is identical for
+/// every thread count.
+pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = max_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (ci, (in_chunk, out_chunk)) in
+            items.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
+        {
+            let f = &f;
+            s.spawn(move || {
+                set_threads(1); // serialize nested parallel regions
+                for (j, (t, slot)) in in_chunk.iter().zip(out_chunk.iter_mut()).enumerate() {
+                    *slot = Some(f(ci * chunk + j, t));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("every slot filled"))
+        .collect()
+}
+
+/// Maps `f(i)` over `0..n`, returning results in index order.
+pub fn parallel_map_indexed<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let indices: Vec<usize> = (0..n).collect();
+    parallel_map(&indices, |_, &i| f(i))
+}
+
+/// Splits `data` into consecutive chunks of `chunk` elements (the last may
+/// be shorter) and runs `f(chunk_index, chunk)` on each, in parallel.
+///
+/// Chunks are disjoint `&mut` slices, so writes cannot race; with `f` pure
+/// in the chunk index the result is independent of the thread count.
+///
+/// # Panics
+///
+/// Panics if `chunk == 0` while `data` is non-empty.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    assert!(chunk > 0, "chunk size must be positive");
+    let nchunks = data.len().div_ceil(chunk);
+    let threads = max_threads().min(nchunks);
+    if threads <= 1 {
+        for (i, c) in data.chunks_mut(chunk).enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    // Hand each thread a contiguous run of chunks: preserves the cache
+    // locality of the serial loop and keeps chunk indices deterministic.
+    let per_thread = nchunks.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (ti, group) in data.chunks_mut(per_thread * chunk).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                set_threads(1);
+                for (j, c) in group.chunks_mut(chunk).enumerate() {
+                    f(ti * per_thread + j, c);
+                }
+            });
+        }
+    });
+}
+
+/// Runs two closures, in parallel when more than one thread is allowed,
+/// and returns both results.
+pub fn join<A, B, FA, FB>(fa: FA, fb: FB) -> (A, B)
+where
+    A: Send,
+    B: Send,
+    FA: FnOnce() -> A + Send,
+    FB: FnOnce() -> B + Send,
+{
+    if max_threads() <= 1 {
+        return (fa(), fb());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(|| {
+            set_threads(1);
+            fb()
+        });
+        let a = {
+            let prev = OVERRIDE.with(Cell::get);
+            set_threads(1);
+            let a = fa();
+            set_threads(prev);
+            a
+        };
+        (a, hb.join().expect("join closure panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = with_threads(8, || parallel_map(&items, |i, &x| (i, x * 2)));
+        for (i, &(idx, v)) in out.iter().enumerate() {
+            assert_eq!(idx, i);
+            assert_eq!(v, i * 2);
+        }
+    }
+
+    #[test]
+    fn map_serial_equals_parallel() {
+        let items: Vec<u64> = (0..57).collect();
+        let f = |_: usize, &x: &u64| x.wrapping_mul(0x9E37_79B9).rotate_left(13);
+        let serial = with_threads(1, || parallel_map(&items, f));
+        for t in [2, 3, 5, 16] {
+            assert_eq!(with_threads(t, || parallel_map(&items, f)), serial);
+        }
+    }
+
+    #[test]
+    fn chunks_cover_all_indices() {
+        let mut data = vec![0usize; 103];
+        with_threads(4, || {
+            par_chunks_mut(&mut data, 10, |ci, chunk| {
+                for (j, v) in chunk.iter_mut().enumerate() {
+                    *v = ci * 10 + j + 1;
+                }
+            })
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i + 1, "index {i} written by wrong chunk");
+        }
+    }
+
+    #[test]
+    fn chunks_serial_equals_parallel() {
+        let init: Vec<f32> = (0..64).map(|i| i as f32 * 0.5).collect();
+        let run = |threads: usize| {
+            let mut d = init.clone();
+            with_threads(threads, || {
+                par_chunks_mut(&mut d, 7, |ci, chunk| {
+                    for v in chunk.iter_mut() {
+                        *v = v.sin() + ci as f32;
+                    }
+                })
+            });
+            d
+        };
+        let serial = run(1);
+        assert_eq!(run(4), serial);
+        assert_eq!(run(9), serial);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let out: Vec<u8> = parallel_map(&[] as &[u8], |_, &x| x);
+        assert!(out.is_empty());
+        par_chunks_mut(&mut [] as &mut [u8], 4, |_, _| {});
+        assert_eq!(parallel_map_indexed(0, |i| i).len(), 0);
+    }
+
+    #[test]
+    fn override_is_scoped() {
+        assert_eq!(with_threads(3, max_threads), 3);
+        let outer = max_threads();
+        with_threads(2, || {
+            assert_eq!(max_threads(), 2);
+        });
+        assert_eq!(max_threads(), outer);
+    }
+
+    #[test]
+    fn nested_regions_serialize() {
+        // Inside a parallel_map worker the override is 1, so a nested
+        // region must not spawn (observable via max_threads()).
+        let inner: Vec<usize> = with_threads(4, || parallel_map_indexed(4, |_| max_threads()));
+        assert!(inner.iter().all(|&t| t == 1), "workers saw {inner:?}");
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = with_threads(2, || join(|| 6 * 7, || "ok"));
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+        let (c, d) = with_threads(1, || join(|| 1, || 2));
+        assert_eq!((c, d), (1, 2));
+    }
+
+    #[test]
+    fn indexed_map_matches_direct_computation() {
+        let out = with_threads(5, || parallel_map_indexed(23, |i| i * i));
+        let expect: Vec<usize> = (0..23).map(|i| i * i).collect();
+        assert_eq!(out, expect);
+    }
+}

@@ -1,0 +1,249 @@
+//! Vendored subset of the `proptest` API.
+//!
+//! The build environment has no crates.io access, so the workspace ships
+//! the slice of `proptest` its tests actually use: the [`proptest!`] macro,
+//! [`Strategy`] for primitive ranges, tuples, [`sample::select`] and
+//! [`Strategy::prop_map`], plus the [`prop_assert!`]/[`prop_assert_eq!`]
+//! assertion macros.
+//!
+//! Unlike upstream proptest there is no shrinking: each test runs
+//! [`ProptestConfig::cases`] deterministic seeded cases and panics (with
+//! the case's inputs reproducible from the fixed seed schedule) on the
+//! first failure. For the property suites in this workspace — which assert
+//! invariants, not parser round-trips over adversarial inputs — that is
+//! the behaviour that matters.
+//!
+//! # Example
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(16))]
+//!     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! addition_commutes();
+//! ```
+
+use std::ops::Range;
+
+/// The RNG driving case generation (the workspace's seeded `StdRng`).
+pub type TestRng = rand::rngs::StdRng;
+
+pub use rand::SeedableRng as __SeedableRng;
+
+/// Per-test configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values for property tests.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { strat: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strat: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.strat.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A 0);
+impl_tuple_strategy!(A 0, B 1);
+impl_tuple_strategy!(A 0, B 1, C 2);
+impl_tuple_strategy!(A 0, B 1, C 2, D 3);
+impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4);
+impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5);
+impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7);
+
+/// Value-sampling strategies (`prop::sample::select`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Strategy drawing uniformly from a fixed list.
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    /// Uniform choice among `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics at generation time if `items` is empty.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        Select { items }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(!self.items.is_empty(), "select over empty list");
+            self.items[rand::Rng::gen_range(rng, 0..self.items.len())].clone()
+        }
+    }
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Asserts a condition inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// expands to a test running [`ProptestConfig::cases`] seeded cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            for case in 0..cfg.cases {
+                // Deterministic per-case seed schedule: failures reproduce
+                // by re-running the test (no shrinking).
+                let mut rng = <$crate::TestRng as $crate::__SeedableRng>::seed_from_u64(
+                    0xC0FF_EE00u64 ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (usize, usize)> {
+        (1usize..10, 1usize..10).prop_map(|(a, b)| (a, a + b))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_sample_in_bounds(x in 3u64..9, y in -2i32..3) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-2..3).contains(&y));
+        }
+
+        #[test]
+        fn select_draws_from_list(v in prop::sample::select(vec![2usize, 4, 8])) {
+            prop_assert!(v == 2 || v == 4 || v == 8);
+        }
+
+        #[test]
+        fn prop_map_composes(p in arb_pair()) {
+            prop_assert!(p.1 > p.0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u8..255) {
+            prop_assert_eq!(x as u16 * 2, (x as u16) + (x as u16));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        use crate::Strategy;
+        let s = 0u64..1_000_000;
+        let mut r1 = <crate::TestRng as rand::SeedableRng>::seed_from_u64(99);
+        let mut r2 = <crate::TestRng as rand::SeedableRng>::seed_from_u64(99);
+        for _ in 0..20 {
+            assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+        }
+    }
+}

@@ -293,10 +293,7 @@ impl Quantizer {
                     let chunk = &w.data()[k * per..(k + 1) * per];
                     let max = chunk.iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-8);
                     let s = max / qmax;
-                    for (o, &v) in out.data_mut()[k * per..(k + 1) * per]
-                        .iter_mut()
-                        .zip(chunk)
-                    {
+                    for (o, &v) in out.data_mut()[k * per..(k + 1) * per].iter_mut().zip(chunk) {
                         *o = (v / s).round().clamp(-qmax, qmax) * s;
                     }
                 }
@@ -342,7 +339,7 @@ impl Quantizer {
             return ops::ste_apply(x, |t| t.clone(), None);
         }
         let q = *self;
-        let mask: Option<Box<dyn Fn(&Tensor) -> Tensor>> = match self {
+        let mask: Option<ops::GradMaskFn> = match self {
             Quantizer::Dorefa => Some(Box::new(|t: &Tensor| {
                 t.map(|v| if (0.0..=1.0).contains(&v) { 1.0 } else { 0.0 })
             })),
@@ -448,7 +445,10 @@ mod tests {
         let q = Quantizer::Dorefa.quantize_activations_tensor(&x, BitWidth::new(3));
         assert!(q.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
         // Exactly representable levels: v * 7 should be integral.
-        assert!(q.data().iter().all(|&v| (v * 7.0 - (v * 7.0).round()).abs() < 1e-5));
+        assert!(q
+            .data()
+            .iter()
+            .all(|&v| (v * 7.0 - (v * 7.0).round()).abs() < 1e-5));
     }
 
     #[test]

@@ -67,8 +67,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let t = normal(&mut rng, &[10000], 2.0);
         let mean = t.mean();
-        let var: f32 =
-            t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / t.len() as f32;
+        let var: f32 = t
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / t.len() as f32;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
     }

@@ -2,12 +2,16 @@
 //!
 //! Every function here performs an eager forward computation and registers a
 //! closure computing the exact analytic vector-Jacobian product for the
-//! backward pass. Convolution recomputes `im2col` in the backward closure
-//! instead of caching patch matrices, trading FLOPs for memory — the right
-//! trade for the many-bit-width forward passes of cascade distillation.
+//! backward pass. Convolution caches the `im2col` patch matrices computed in
+//! the forward pass and reuses them in the backward closure, so the backward
+//! pass costs two matmuls plus a `col2im` per sample/group instead of
+//! re-unfolding the input. Batch samples are independent and run through the
+//! shared parallel layer ([`instantnet_parallel`]); reductions stay in fixed
+//! sample order, so gradients are bit-identical at any thread count.
 
 use crate::autograd::Var;
 use crate::tensor::{col2im, im2col, Tensor};
+use instantnet_parallel as parallel;
 
 // ---------------------------------------------------------------------------
 // Elementwise arithmetic
@@ -154,17 +158,21 @@ pub fn bias_add(x: &Var, b: &Var) -> Var {
         r => panic!("bias_add expects rank 2 or 4 input, got rank {r}"),
     };
     assert_eq!(bv.len(), c, "bias length must equal channel count");
-    let spatial: usize = if dims.len() == 4 { dims[2] * dims[3] } else { 1 };
+    let spatial: usize = if dims.len() == 4 {
+        dims[2] * dims[3]
+    } else {
+        1
+    };
     let n = dims[0];
     let mut out = xv.clone();
     {
         let data = out.data_mut();
         let bd = bv.data();
         for i in 0..n {
-            for ch in 0..c {
+            for (ch, &bch) in bd.iter().enumerate() {
                 let base = (i * c + ch) * spatial;
                 for s in 0..spatial {
-                    data[base + s] += bd[ch];
+                    data[base + s] += bch;
                 }
             }
         }
@@ -177,10 +185,10 @@ pub fn bias_add(x: &Var, b: &Var) -> Var {
             let mut db = vec![0.0f32; c];
             let gd = g.data();
             for i in 0..n {
-                for ch in 0..c {
+                for (ch, dbch) in db.iter_mut().enumerate() {
                     let base = (i * c + ch) * spatial;
                     for s in 0..spatial {
-                        db[ch] += gd[base + s];
+                        *dbch += gd[base + s];
                     }
                 }
             }
@@ -208,7 +216,7 @@ pub fn bias_add(x: &Var, b: &Var) -> Var {
 pub fn conv2d(x: &Var, w: &Var, stride: usize, pad: usize, groups: usize) -> Var {
     let xv = x.node.value.borrow().clone();
     let wv = w.node.value.borrow().clone();
-    let (out, oh, ow) = conv2d_forward(&xv, &wv, stride, pad, groups);
+    let (out, oh, ow, cols_cache) = conv2d_forward(&xv, &wv, stride, pad, groups);
     let (n, c) = (xv.dims()[0], xv.dims()[1]);
     let (h, wdt) = (xv.dims()[2], xv.dims()[3]);
     let (k, cg, r, s) = (wv.dims()[0], wv.dims()[1], wv.dims()[2], wv.dims()[3]);
@@ -216,18 +224,37 @@ pub fn conv2d(x: &Var, w: &Var, stride: usize, pad: usize, groups: usize) -> Var
         out,
         vec![x.clone(), w.clone()],
         Box::new(move |g, parents| {
-            let xv = parents[0].value();
             let wv = parents[1].value();
             let kg = k / groups;
             let mut dx = Tensor::zeros(&[n, c, h, wdt]);
             let mut dw = Tensor::zeros(&[k, cg, r, s]);
             let gd = g.data();
-            for i in 0..n {
+            // Transposed per-group weight matrices, hoisted out of the
+            // sample loop.
+            let wgt: Vec<Tensor> = (0..groups)
+                .map(|gi| {
+                    let mut wg = Tensor::zeros(&[kg, cg * r * s]);
+                    for kk in 0..kg {
+                        let src = (gi * kg + kk) * cg * r * s;
+                        wg.data_mut()[kk * cg * r * s..(kk + 1) * cg * r * s]
+                            .copy_from_slice(&wv.data()[src..src + cg * r * s]);
+                    }
+                    wg.transpose2d()
+                })
+                .collect();
+            // Per-sample gradients are independent: compute them in
+            // parallel from the cached forward patch matrices, then reduce
+            // dw serially in ascending sample order so the accumulation
+            // order (and hence the float result) never depends on the
+            // thread count.
+            let flops = 4 * n * kg * cg * r * s * oh * ow * groups;
+            let sample_grad = |i: usize| {
+                let mut dx_i = vec![0.0f32; c * h * wdt];
+                let mut dwgs = Vec::with_capacity(groups);
                 for gi in 0..groups {
-                    // Patch matrix for this sample/group: [cg*r*s, oh*ow].
-                    let xin = &xv.data()
-                        [(i * c + gi * cg) * h * wdt..(i * c + (gi + 1) * cg) * h * wdt];
-                    let (cols, _, _) = im2col(xin, cg, h, wdt, r, s, stride, pad);
+                    // Cached patch matrix for this sample/group:
+                    // [cg*r*s, oh*ow] — computed once in the forward pass.
+                    let cols = &cols_cache[i * groups + gi];
                     // dy for this sample/group: [kg, oh*ow].
                     let mut dy = Tensor::zeros(&[kg, oh * ow]);
                     for kk in 0..kg {
@@ -235,27 +262,32 @@ pub fn conv2d(x: &Var, w: &Var, stride: usize, pad: usize, groups: usize) -> Var
                         dy.data_mut()[kk * oh * ow..(kk + 1) * oh * ow]
                             .copy_from_slice(&gd[src..src + oh * ow]);
                     }
-                    // dW[g] += dy . cols^T
-                    let dwg = dy.matmul(&cols.transpose2d());
+                    // dW[g] contribution: dy . cols^T
+                    dwgs.push(dy.matmul(&cols.transpose2d()));
+                    // dcols = W[g]^T . dy ; dx = col2im(dcols)
+                    let dcols = wgt[gi].matmul(&dy);
+                    let dxg = col2im(&dcols, cg, h, wdt, r, s, stride, pad);
+                    let dst = gi * cg * h * wdt;
+                    for (j, &v) in dxg.iter().enumerate() {
+                        dx_i[dst + j] += v;
+                    }
+                }
+                (dx_i, dwgs)
+            };
+            let per_sample = if flops < crate::tensor::PAR_FLOP_THRESHOLD {
+                parallel::with_threads(1, || parallel::parallel_map_indexed(n, sample_grad))
+            } else {
+                parallel::parallel_map_indexed(n, sample_grad)
+            };
+            for (i, (dx_i, dwgs)) in per_sample.into_iter().enumerate() {
+                dx.data_mut()[i * c * h * wdt..(i + 1) * c * h * wdt].copy_from_slice(&dx_i);
+                for (gi, dwg) in dwgs.iter().enumerate() {
                     for kk in 0..kg {
                         let dst = (gi * kg + kk) * cg * r * s;
                         let row = &dwg.data()[kk * cg * r * s..(kk + 1) * cg * r * s];
                         for (j, &v) in row.iter().enumerate() {
                             dw.data_mut()[dst + j] += v;
                         }
-                    }
-                    // dcols = W[g]^T . dy ; dx = col2im(dcols)
-                    let mut wg = Tensor::zeros(&[kg, cg * r * s]);
-                    for kk in 0..kg {
-                        let src = (gi * kg + kk) * cg * r * s;
-                        wg.data_mut()[kk * cg * r * s..(kk + 1) * cg * r * s]
-                            .copy_from_slice(&wv.data()[src..src + cg * r * s]);
-                    }
-                    let dcols = wg.transpose2d().matmul(&dy);
-                    let dxg = col2im(&dcols, cg, h, wdt, r, s, stride, pad);
-                    let dst = (i * c + gi * cg) * h * wdt;
-                    for (j, &v) in dxg.iter().enumerate() {
-                        dx.data_mut()[dst + j] += v;
                     }
                 }
             }
@@ -265,19 +297,29 @@ pub fn conv2d(x: &Var, w: &Var, stride: usize, pad: usize, groups: usize) -> Var
     )
 }
 
+/// Forward conv plus the per-sample/group `im2col` patch matrices (indexed
+/// `i * groups + gi`), which [`conv2d`] hands to its backward closure.
 fn conv2d_forward(
     x: &Tensor,
     w: &Tensor,
     stride: usize,
     pad: usize,
     groups: usize,
-) -> (Tensor, usize, usize) {
+) -> (Tensor, usize, usize, Vec<Tensor>) {
     assert_eq!(x.dims().len(), 4, "conv2d input must be [N,C,H,W]");
     assert_eq!(w.dims().len(), 4, "conv2d weight must be [K,C/g,R,S]");
     let (n, c, h, wdt) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
     let (k, cg, r, s) = (w.dims()[0], w.dims()[1], w.dims()[2], w.dims()[3]);
-    assert_eq!(c % groups, 0, "channels {c} not divisible by groups {groups}");
-    assert_eq!(k % groups, 0, "filters {k} not divisible by groups {groups}");
+    assert_eq!(
+        c % groups,
+        0,
+        "channels {c} not divisible by groups {groups}"
+    );
+    assert_eq!(
+        k % groups,
+        0,
+        "filters {k} not divisible by groups {groups}"
+    );
     assert_eq!(cg, c / groups, "weight C/g mismatch");
     assert!(
         h + 2 * pad >= r && wdt + 2 * pad >= s,
@@ -286,27 +328,46 @@ fn conv2d_forward(
     let oh = (h + 2 * pad - r) / stride + 1;
     let ow = (wdt + 2 * pad - s) / stride + 1;
     let kg = k / groups;
-    let mut out = Tensor::zeros(&[n, k, oh, ow]);
-    for i in 0..n {
-        for gi in 0..groups {
-            let xin =
-                &x.data()[(i * c + gi * cg) * h * wdt..(i * c + (gi + 1) * cg) * h * wdt];
-            let (cols, _, _) = im2col(xin, cg, h, wdt, r, s, stride, pad);
+    // Per-group weight matrices, hoisted out of the sample loop.
+    let wgs: Vec<Tensor> = (0..groups)
+        .map(|gi| {
             let mut wg = Tensor::zeros(&[kg, cg * r * s]);
             for kk in 0..kg {
                 let src = (gi * kg + kk) * cg * r * s;
                 wg.data_mut()[kk * cg * r * s..(kk + 1) * cg * r * s]
                     .copy_from_slice(&w.data()[src..src + cg * r * s]);
             }
-            let y = wg.matmul(&cols); // [kg, oh*ow]
-            for kk in 0..kg {
-                let dst = ((i * k) + gi * kg + kk) * oh * ow;
-                out.data_mut()[dst..dst + oh * ow]
-                    .copy_from_slice(&y.data()[kk * oh * ow..(kk + 1) * oh * ow]);
-            }
+            wg
+        })
+        .collect();
+    // Each sample is independent (im2col + one matmul per group), so the
+    // batch loop fans out across threads; results are stitched back in
+    // sample order. Small convolutions stay on the calling thread.
+    let flops = 2 * n * kg * cg * r * s * oh * ow * groups;
+    let sample_fwd = |i: usize| {
+        let mut out_i = vec![0.0f32; k * oh * ow];
+        let mut cols_i = Vec::with_capacity(groups);
+        for gi in 0..groups {
+            let xin = &x.data()[(i * c + gi * cg) * h * wdt..(i * c + (gi + 1) * cg) * h * wdt];
+            let (cols, _, _) = im2col(xin, cg, h, wdt, r, s, stride, pad);
+            let y = wgs[gi].matmul(&cols); // [kg, oh*ow]
+            out_i[gi * kg * oh * ow..(gi + 1) * kg * oh * ow].copy_from_slice(y.data());
+            cols_i.push(cols);
         }
+        (out_i, cols_i)
+    };
+    let per_sample = if flops < crate::tensor::PAR_FLOP_THRESHOLD {
+        parallel::with_threads(1, || parallel::parallel_map_indexed(n, sample_fwd))
+    } else {
+        parallel::parallel_map_indexed(n, sample_fwd)
+    };
+    let mut out = Tensor::zeros(&[n, k, oh, ow]);
+    let mut cols_cache = Vec::with_capacity(n * groups);
+    for (i, (out_i, cols_i)) in per_sample.into_iter().enumerate() {
+        out.data_mut()[i * k * oh * ow..(i + 1) * k * oh * ow].copy_from_slice(&out_i);
+        cols_cache.extend(cols_i);
     }
-    (out, oh, ow)
+    (out, oh, ow, cols_cache)
 }
 
 // ---------------------------------------------------------------------------
@@ -356,10 +417,10 @@ pub fn batch_norm2d(
             let mut mu = vec![0.0f32; c];
             let mut va = vec![0.0f32; c];
             for i in 0..n {
-                for ch in 0..c {
+                for (ch, much) in mu.iter_mut().enumerate() {
                     let base = (i * c + ch) * h * w;
                     for s in 0..h * w {
-                        mu[ch] += xv.data()[base + s];
+                        *much += xv.data()[base + s];
                     }
                 }
             }
@@ -378,10 +439,7 @@ pub fn batch_norm2d(
             for v in va.iter_mut() {
                 *v /= m;
             }
-            (
-                Tensor::from_vec(vec![c], mu),
-                Tensor::from_vec(vec![c], va),
-            )
+            (Tensor::from_vec(vec![c], mu), Tensor::from_vec(vec![c], va))
         }
     };
     let invstd: Vec<f32> = var.data().iter().map(|&v| 1.0 / (v + eps).sqrt()).collect();
@@ -389,10 +447,10 @@ pub fn batch_norm2d(
     let mut xhat = Tensor::zeros(&[n, c, h, w]);
     let mut y = Tensor::zeros(&[n, c, h, w]);
     for i in 0..n {
-        for ch in 0..c {
+        for (ch, &is) in invstd.iter().enumerate() {
             let base = (i * c + ch) * h * w;
             for s in 0..h * w {
-                let xh = (xv.data()[base + s] - mean.data()[ch]) * invstd[ch];
+                let xh = (xv.data()[base + s] - mean.data()[ch]) * is;
                 xhat.data_mut()[base + s] = xh;
                 y.data_mut()[base + s] = gv.data()[ch] * xh + bv.data()[ch];
             }
@@ -496,7 +554,7 @@ pub fn avg_pool2d(x: &Var, kernel: usize, stride: usize) -> Var {
     assert_eq!(xv.dims().len(), 4, "avg_pool2d input must be [N,C,H,W]");
     let (n, c, h, w) = (xv.dims()[0], xv.dims()[1], xv.dims()[2], xv.dims()[3]);
     assert!(
-        (h - kernel) % stride == 0 && (w - kernel) % stride == 0,
+        (h - kernel).is_multiple_of(stride) && (w - kernel).is_multiple_of(stride),
         "pool window {kernel}/{stride} must tile {h}x{w}"
     );
     let oh = (h - kernel) / stride + 1;
@@ -549,7 +607,11 @@ pub fn avg_pool2d(x: &Var, kernel: usize, stride: usize) -> Var {
 /// Global average pooling: `[N,C,H,W] -> [N,C]`.
 pub fn global_avg_pool(x: &Var) -> Var {
     let xv = x.node.value.borrow().clone();
-    assert_eq!(xv.dims().len(), 4, "global_avg_pool input must be [N,C,H,W]");
+    assert_eq!(
+        xv.dims().len(),
+        4,
+        "global_avg_pool input must be [N,C,H,W]"
+    );
     let (n, c, h, w) = (xv.dims()[0], xv.dims()[1], xv.dims()[2], xv.dims()[3]);
     let inv = 1.0 / (h * w) as f32;
     let mut out = Tensor::zeros(&[n, c]);
@@ -590,7 +652,7 @@ pub fn max_pool2d(x: &Var, kernel: usize, stride: usize) -> Var {
     assert_eq!(xv.dims().len(), 4, "max_pool2d input must be [N,C,H,W]");
     let (n, c, h, w) = (xv.dims()[0], xv.dims()[1], xv.dims()[2], xv.dims()[3]);
     assert!(
-        (h - kernel) % stride == 0 && (w - kernel) % stride == 0,
+        (h - kernel).is_multiple_of(stride) && (w - kernel).is_multiple_of(stride),
         "pool window {kernel}/{stride} must tile {h}x{w}"
     );
     let oh = (h - kernel) / stride + 1;
@@ -605,8 +667,7 @@ pub fn max_pool2d(x: &Var, kernel: usize, stride: usize) -> Var {
                     let mut best_idx = 0;
                     for ky in 0..kernel {
                         for kx in 0..kernel {
-                            let idx =
-                                ((i * c + ch) * h + oy * stride + ky) * w + ox * stride + kx;
+                            let idx = ((i * c + ch) * h + oy * stride + ky) * w + ox * stride + kx;
                             if xv.data()[idx] > best {
                                 best = xv.data()[idx];
                                 best_idx = idx;
@@ -699,7 +760,11 @@ pub fn slice0(x: &Var, start: usize, len: usize) -> Var {
     let xv = x.node.value.borrow().clone();
     let rows = xv.dims()[0];
     assert!(len > 0, "slice length must be positive");
-    assert!(start + len <= rows, "slice [{start}, {}) out of {rows} rows", start + len);
+    assert!(
+        start + len <= rows,
+        "slice [{start}, {}) out of {rows} rows",
+        start + len
+    );
     let per: usize = xv.dims()[1..].iter().product::<usize>().max(1);
     let mut dims = xv.dims().to_vec();
     dims[0] = len;
@@ -728,7 +793,10 @@ pub fn slice0(x: &Var, start: usize, len: usize) -> Var {
 pub fn softmax_1d(x: &Var) -> Var {
     let xv = x.node.value.borrow().clone();
     assert_eq!(xv.dims().len(), 1, "softmax_1d input must be rank 1");
-    let y = xv.reshape(&[1, xv.len()]).softmax_rows().reshape(&[xv.len()]);
+    let y = xv
+        .reshape(&[1, xv.len()])
+        .softmax_rows()
+        .reshape(&[xv.len()]);
     let y_saved = y.clone();
     Var::from_op(
         y,
@@ -850,7 +918,11 @@ pub fn distill_kl(student_logits: &Var, teacher_logits: &Tensor, temperature: f3
     assert!(temperature > 0.0, "temperature must be positive");
     let sv = student_logits.node.value.borrow().clone();
     assert_eq!(sv.dims().len(), 2, "logits must be [N, C]");
-    assert_eq!(sv.shape(), teacher_logits.shape(), "student/teacher shapes differ");
+    assert_eq!(
+        sv.shape(),
+        teacher_logits.shape(),
+        "student/teacher shapes differ"
+    );
     let (n, c) = (sv.dims()[0], sv.dims()[1]);
     let t = temperature;
     let p_teacher = teacher_logits.scale(1.0 / t).softmax_rows();
@@ -879,6 +951,10 @@ pub fn distill_kl(student_logits: &Var, teacher_logits: &Tensor, temperature: f3
 // Straight-through estimator & architecture mixing
 // ---------------------------------------------------------------------------
 
+/// Elementwise gradient multiplier used by [`ste_apply`] (e.g. a clip-range
+/// mask for DoReFa activations).
+pub type GradMaskFn = Box<dyn Fn(&Tensor) -> Tensor>;
+
 /// Applies a non-differentiable elementwise transform with a
 /// straight-through gradient.
 ///
@@ -890,7 +966,7 @@ pub fn distill_kl(student_logits: &Var, teacher_logits: &Tensor, temperature: f3
 pub fn ste_apply(
     x: &Var,
     forward: impl Fn(&Tensor) -> Tensor,
-    grad_mask: Option<Box<dyn Fn(&Tensor) -> Tensor>>,
+    grad_mask: Option<GradMaskFn>,
 ) -> Var {
     let xv = x.node.value.borrow().clone();
     let out = forward(&xv);
@@ -1162,7 +1238,11 @@ mod tests {
     fn grad_check_softmax_1d() {
         let mut rng = StdRng::seed_from_u64(8);
         let x = Var::leaf(randn(&mut rng, &[5]), true);
-        grad_check(&x, |x| dot_const(&softmax_1d(x), &[1.0, -2.0, 3.0, 0.5, 2.0]), 1e-2);
+        grad_check(
+            &x,
+            |x| dot_const(&softmax_1d(x), &[1.0, -2.0, 3.0, 0.5, 2.0]),
+            1e-2,
+        );
     }
 
     #[test]
@@ -1340,7 +1420,10 @@ mod tests {
         let c = concat0(&[a.clone(), b.clone()]);
         assert_eq!(c.dims(), vec![3, 2]);
         // Weight the rows differently so the split gradients differ.
-        let w = Var::constant(Tensor::from_vec(vec![3, 2], vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0]));
+        let w = Var::constant(Tensor::from_vec(
+            vec![3, 2],
+            vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0],
+        ));
         mul(&c, &w).sum().backward();
         assert_eq!(a.grad().unwrap().data(), &[1.0, 1.0]);
         assert_eq!(b.grad().unwrap().data(), &[2.0, 2.0, 3.0, 3.0]);
@@ -1360,7 +1443,10 @@ mod tests {
 
     #[test]
     fn concat_slice_roundtrip() {
-        let x = Var::constant(Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        let x = Var::constant(Tensor::from_vec(
+            vec![2, 3],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        ));
         let parts = vec![slice0(&x, 0, 1), slice0(&x, 1, 1)];
         let back = concat0(&parts);
         assert_eq!(back.value(), x.value());
@@ -1387,7 +1473,11 @@ mod tests {
     fn grad_check_smoothed_cross_entropy() {
         let mut rng = StdRng::seed_from_u64(21);
         let x = Var::leaf(randn(&mut rng, &[3, 4]), true);
-        grad_check(&x, |x| softmax_cross_entropy_smoothed(x, &[0, 1, 3], 0.1), 1e-2);
+        grad_check(
+            &x,
+            |x| softmax_cross_entropy_smoothed(x, &[0, 1, 3], 0.1),
+            1e-2,
+        );
     }
 
     #[test]
@@ -1404,14 +1494,8 @@ mod tests {
     #[test]
     fn conv_matches_hand_computed_value() {
         // 1x1 input channel, 2x2 input, 2x2 kernel, no pad.
-        let x = Var::constant(Tensor::from_vec(
-            vec![1, 1, 2, 2],
-            vec![1.0, 2.0, 3.0, 4.0],
-        ));
-        let w = Var::constant(Tensor::from_vec(
-            vec![1, 1, 2, 2],
-            vec![1.0, 0.0, 0.0, 1.0],
-        ));
+        let x = Var::constant(Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]));
+        let w = Var::constant(Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 0.0, 0.0, 1.0]));
         let y = conv2d(&x, &w, 1, 0, 1);
         assert_eq!(y.value().data(), &[5.0]); // 1*1 + 4*1
     }

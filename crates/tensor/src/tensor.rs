@@ -1,7 +1,45 @@
 //! The dense `f32` tensor and its (non-differentiable) kernels.
 
 use crate::shape::Shape;
+use instantnet_parallel as parallel;
 use std::fmt;
+
+/// Kernels whose flop count falls below this run serially; thread spawn
+/// costs more than it saves on small inputs.
+pub(crate) const PAR_FLOP_THRESHOLD: usize = 1 << 18;
+
+/// Depth of the k-dimension blocking in [`matmul_row_block`]: one block of
+/// rhs rows (64 × n floats) stays cache-resident while every output row of
+/// the chunk accumulates it.
+const K_BLOCK: usize = 64;
+
+/// Computes output rows `row0..row0 + out.len() / n` of an `[m, k] x [k, n]`
+/// product into `out`, which holds exactly those rows.
+///
+/// The accumulation order over `k` is fixed (block-major, ascending within
+/// each block — i.e. plain ascending `p`), so the result for a given row is
+/// bit-identical however the rows are chunked across threads.
+fn matmul_row_block(lhs: &[f32], rhs: &[f32], row0: usize, out: &mut [f32], k: usize, n: usize) {
+    let rows = out.len() / n;
+    for p0 in (0..k).step_by(K_BLOCK) {
+        let p1 = (p0 + K_BLOCK).min(k);
+        for r in 0..rows {
+            let lhs_row = &lhs[(row0 + r) * k..(row0 + r) * k + k];
+            let out_row = &mut out[r * n..(r + 1) * n];
+            // i-k-j order: streams the rhs row-major, good cache behaviour.
+            for p in p0..p1 {
+                let a = lhs_row[p];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs[p * n..(p + 1) * n];
+                for j in 0..n {
+                    out_row[j] += a * rhs_row[j];
+                }
+            }
+        }
+    }
+}
 
 /// A dense, row-major `f32` n-d array.
 ///
@@ -248,7 +286,9 @@ impl Tensor {
     pub fn argmax_rows(&self) -> Vec<usize> {
         assert_eq!(self.shape.rank(), 2, "argmax_rows needs a matrix");
         let (rows, cols) = (self.shape.dim(0), self.shape.dim(1));
-        (0..rows).map(|r| self.argmax_slice(r * cols, cols)).collect()
+        (0..rows)
+            .map(|r| self.argmax_slice(r * cols, cols))
+            .collect()
     }
 
     /// Row-wise softmax of a `[rows, cols]` tensor (numerically stabilized).
@@ -288,19 +328,20 @@ impl Tensor {
         let (k2, n) = (other.shape.dim(0), other.shape.dim(1));
         assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
         let mut out = vec![0.0f32; m * n];
-        // i-k-j order: streams the rhs row-major, good cache behaviour.
-        for i in 0..m {
-            for p in 0..k {
-                let a = self.data[i * k + p];
-                if a == 0.0 {
-                    continue;
-                }
-                let rhs_row = &other.data[p * n..(p + 1) * n];
-                let out_row = &mut out[i * n..(i + 1) * n];
-                for j in 0..n {
-                    out_row[j] += a * rhs_row[j];
-                }
-            }
+        if n > 0 {
+            // Output rows are independent (row i reads lhs row i and all of
+            // rhs), so splitting over row chunks is bit-identical to the
+            // serial loop for any thread count. Small products stay serial:
+            // a single chunk covering every row.
+            let rows_per_chunk = if 2 * m * k * n < PAR_FLOP_THRESHOLD {
+                m
+            } else {
+                m.div_ceil(parallel::max_threads()).max(1)
+            };
+            let (lhs, rhs) = (&self.data, &other.data);
+            parallel::par_chunks_mut(&mut out, rows_per_chunk * n, |ci, out_chunk| {
+                matmul_row_block(lhs, rhs, ci * rows_per_chunk, out_chunk, k, n);
+            });
         }
         Tensor::from_vec(vec![m, n], out)
     }
@@ -340,6 +381,7 @@ impl fmt::Debug for Tensor {
 /// Input is `[c, h, w]` for a single sample; output is
 /// `[c * kh * kw, oh * ow]` where `oh/ow` follow the usual conv arithmetic
 /// with the given `stride` and zero `pad`.
+#[allow(clippy::too_many_arguments)]
 pub fn im2col(
     input: &[f32],
     c: usize,
@@ -355,10 +397,13 @@ pub fn im2col(
     let rows = c * kh * kw;
     let cols = oh * ow;
     let mut out = vec![0.0f32; rows * cols];
-    for ci in 0..c {
+    // Channel ci owns the contiguous output rows [ci*kh*kw, (ci+1)*kh*kw),
+    // so channels parallelize with disjoint writes and no ordering effects.
+    let per_channel = kh * kw * cols;
+    let fill = |ci: usize, chunk: &mut [f32]| {
         for ki in 0..kh {
             for kj in 0..kw {
-                let row = (ci * kh + ki) * kw + kj;
+                let row = ki * kw + kj;
                 for oy in 0..oh {
                     let iy = (oy * stride + ki) as isize - pad as isize;
                     if iy < 0 || iy >= h as isize {
@@ -369,12 +414,17 @@ pub fn im2col(
                         if ix < 0 || ix >= w as isize {
                             continue;
                         }
-                        out[row * cols + oy * ow + ox] =
+                        chunk[row * cols + oy * ow + ox] =
                             input[(ci * h + iy as usize) * w + ix as usize];
                     }
                 }
             }
         }
+    };
+    if rows * cols < PAR_FLOP_THRESHOLD {
+        parallel::with_threads(1, || parallel::par_chunks_mut(&mut out, per_channel, fill));
+    } else {
+        parallel::par_chunks_mut(&mut out, per_channel, fill);
     }
     (Tensor::from_vec(vec![rows, cols], out), oh, ow)
 }
@@ -397,7 +447,10 @@ pub fn col2im(
     let ncols = oh * ow;
     let mut out = vec![0.0f32; c * h * w];
     let data = cols.data();
-    for ci in 0..c {
+    // Channel ci only accumulates into its own `h * w` image plane, and the
+    // accumulation order within a plane matches the serial loop exactly, so
+    // the fold is deterministic under any thread count.
+    let fold = |ci: usize, plane: &mut [f32]| {
         for ki in 0..kh {
             for kj in 0..kw {
                 let row = (ci * kh + ki) * kw + kj;
@@ -411,12 +464,16 @@ pub fn col2im(
                         if ix < 0 || ix >= w as isize {
                             continue;
                         }
-                        out[(ci * h + iy as usize) * w + ix as usize] +=
-                            data[row * ncols + oy * ow + ox];
+                        plane[iy as usize * w + ix as usize] += data[row * ncols + oy * ow + ox];
                     }
                 }
             }
         }
+    };
+    if c * kh * kw * ncols < PAR_FLOP_THRESHOLD {
+        parallel::with_threads(1, || parallel::par_chunks_mut(&mut out, h * w, fold));
+    } else {
+        parallel::par_chunks_mut(&mut out, h * w, fold);
     }
     out
 }

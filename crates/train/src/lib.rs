@@ -33,4 +33,6 @@ pub mod trainer;
 pub use cyclic::{train_cyclic, CycleSchedule};
 pub use optim::{Adam, CosineLr, Optimizer, Sgd};
 pub use strategy::{PrecisionLadder, Strategy};
-pub use trainer::{evaluate, prediction_distribution, train_independent, TrainConfig, TrainReport, Trainer};
+pub use trainer::{
+    evaluate, prediction_distribution, train_independent, TrainConfig, TrainReport, Trainer,
+};

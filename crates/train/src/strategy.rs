@@ -263,7 +263,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let net = models::small_cnn(4, 4, (6, 6), 2, 5);
         let x = Var::constant(init::uniform(&mut rng, &[2, 3, 6, 6], -1.0, 1.0));
-        let loss = batch_loss(&net, &x, &[0, 1], &ladder2(), Quantizer::Sbm, Strategy::cdt());
+        let loss = batch_loss(
+            &net,
+            &x,
+            &[0, 1],
+            &ladder2(),
+            Quantizer::Sbm,
+            Strategy::cdt(),
+        );
         loss.backward();
         let with_grad = net
             .params()
@@ -287,7 +294,10 @@ mod tests {
         let big_beta = Strategy::Cdt { beta: 100.0 };
         let cdt = batch_loss(&net, &x, &labels, &l3, Quantizer::Sbm, big_beta).item();
         let ada = batch_loss(&net, &x, &labels, &l3, Quantizer::Sbm, Strategy::AdaBits).item();
-        assert!(cdt > ada, "distillation terms must contribute: {cdt} vs {ada}");
+        assert!(
+            cdt > ada,
+            "distillation terms must contribute: {cdt} vs {ada}"
+        );
     }
 
     #[test]

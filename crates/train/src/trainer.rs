@@ -3,11 +3,12 @@
 use crate::optim::{CosineLr, Optimizer, Sgd};
 use crate::strategy::{batch_loss, PrecisionLadder, Strategy};
 use instantnet_data::{Augment, BatchIter, Dataset, Split};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use instantnet_nn::{models::Network, Module};
+use instantnet_parallel as parallel;
 use instantnet_quant::Quantizer;
 use instantnet_tensor::Var;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// Hyper-parameters for switchable-precision training.
 ///
@@ -37,6 +38,14 @@ pub struct TrainConfig {
     pub warmup_epochs: usize,
     /// Shuffling seed.
     pub seed: u64,
+    /// Thread budget for the tensor kernels under this trainer (batch-loop
+    /// and row-chunk parallelism in conv/matmul). `0` inherits the process
+    /// default (`INSTANTNET_THREADS` or the machine's core count). The
+    /// autograd graph itself stays single-threaded: the per-rung forward
+    /// passes of cascade distillation run in a fixed cascade order, and all
+    /// parallelism lives below them in the kernels, so results are
+    /// bit-identical for any setting.
+    pub threads: usize,
 }
 
 impl Default for TrainConfig {
@@ -51,6 +60,7 @@ impl Default for TrainConfig {
             augment: None,
             warmup_epochs: 0,
             seed: 0,
+            threads: 0,
         }
     }
 }
@@ -85,6 +95,21 @@ impl Trainer {
         ladder: &PrecisionLadder,
         strategy: Strategy,
     ) -> TrainReport {
+        // Scope the configured thread budget over the whole run: every
+        // kernel under the CDT bit-width cascade (conv batch loops, matmul
+        // row chunks) picks it up from here.
+        parallel::with_threads(self.cfg.threads, || {
+            self.train_inner(net, ds, ladder, strategy)
+        })
+    }
+
+    fn train_inner(
+        &self,
+        net: &Network,
+        ds: &Dataset,
+        ladder: &PrecisionLadder,
+        strategy: Strategy,
+    ) -> TrainReport {
         let params = net.params();
         let mut opt = Sgd::new(self.cfg.lr, self.cfg.momentum, self.cfg.weight_decay);
         let schedule = CosineLr::new(self.cfg.lr, self.cfg.epochs.max(1));
@@ -95,8 +120,11 @@ impl Trainer {
             opt.set_lr(schedule.at(epoch));
             let mut epoch_loss = 0.0;
             let mut batches = 0;
-            for idx in BatchIter::new(all.clone(), self.cfg.batch_size, self.cfg.seed + epoch as u64)
-            {
+            for idx in BatchIter::new(
+                all.clone(),
+                self.cfg.batch_size,
+                self.cfg.seed + epoch as u64,
+            ) {
                 let (x, labels) = match self.cfg.augment {
                     Some(aug) => ds.train().batch_augmented(&idx, aug, &mut aug_rng),
                     None => ds.train().batch(&idx),

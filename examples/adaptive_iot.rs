@@ -33,7 +33,10 @@ fn main() {
     let e_hi = report.points().last().expect("non-empty").energy_pj;
     let trace = EnergyTrace::sinusoidal(0.8 * e_lo, 1.3 * e_hi, 48, 2.0);
 
-    println!("\n{:<12} {:>10} {:>9} {:>9} {:>14}", "policy", "mean acc", "switches", "dropped", "energy (pJ)");
+    println!(
+        "\n{:<12} {:>10} {:>9} {:>9} {:>14}",
+        "policy", "mean acc", "switches", "dropped", "energy (pJ)"
+    );
     for (name, policy) in [
         ("greedy", Policy::Greedy),
         ("hysteresis", Policy::Hysteresis { margin: 0.05 }),
@@ -52,6 +55,9 @@ fn main() {
     println!("\nhourly schedule (greedy):");
     for (hour, slot) in stats.schedule.iter().enumerate() {
         let label = slot.map_or("sleep".to_string(), |b| format!("{b}-bit"));
-        println!("  t={hour:<3} budget {:>12.3e} pJ -> {label}", trace.budgets()[hour]);
+        println!(
+            "  t={hour:<3} budget {:>12.3e} pJ -> {label}",
+            trace.budgets()[hour]
+        );
     }
 }

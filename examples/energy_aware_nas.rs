@@ -28,7 +28,10 @@ fn main() {
         ..NasConfig::default()
     };
 
-    println!("building per-candidate energy table on {} at 4-bit...", device.name);
+    println!(
+        "building per-candidate energy table on {} at 4-bit...",
+        device.name
+    );
     let table = energy_table(&space, &device, 4);
     for (slot, row) in table.iter().enumerate() {
         let labels = &space.layers()[slot].candidates;
@@ -56,7 +59,10 @@ fn main() {
         max_evals: 200,
         ..MapperConfig::default()
     };
-    for (name, outcome) in [("FLOPs-aware", &flops_based), ("energy-aware", &energy_based)] {
+    for (name, outcome) in [
+        ("FLOPs-aware", &flops_based),
+        ("energy-aware", &energy_based),
+    ] {
         let net = outcome.arch.build_network(ds.num_classes(), 1, 0);
         let workloads = workloads_from_specs(&net.specs(), 1);
         let (_, cost) = map_network(&workloads, &device, 4, &mapper);

@@ -27,7 +27,10 @@ fn main() {
 
     println!("\nderived architecture: {}", report.arch());
     println!("FLOPs/sample: {}", report.flops());
-    println!("\n{:<8} {:>9} {:>14} {:>12} {:>14}", "bits", "accuracy", "energy (pJ)", "latency (s)", "EDP (pJ*s)");
+    println!(
+        "\n{:<8} {:>9} {:>14} {:>12} {:>14}",
+        "bits", "accuracy", "energy (pJ)", "latency (s)", "EDP (pJ*s)"
+    );
     for p in report.points() {
         println!(
             "{:<8} {:>8.1}% {:>14.3e} {:>12.3e} {:>14.3e}",

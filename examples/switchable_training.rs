@@ -23,7 +23,10 @@ fn main() {
         models::mobilenet_v2(0.12, 4, ds.num_classes(), (ds.hw(), ds.hw()), n_bits, seed)
     };
 
-    println!("training four strategies on {} (bit set 4/8/32)...", ds.spec().name);
+    println!(
+        "training four strategies on {} (bit set 4/8/32)...",
+        ds.spec().name
+    );
     let mut rows: Vec<(String, Vec<f32>)> = Vec::new();
     for strategy in [Strategy::cdt(), Strategy::sp_net(), Strategy::AdaBits] {
         let net = build(bits.len(), 7);

@@ -1,12 +1,8 @@
 //! Property tests of the dataflow/hardware stack under randomized layer
 //! shapes and mappings.
 
-use instantnet_dataflow::{
-    emit_loop_nest, mapping_from_text, mapping_to_text, ConvDims, Mapping,
-};
-use instantnet_hwmodel::{
-    area_mm2, baselines, evaluate_layer, Device, Workload,
-};
+use instantnet_dataflow::{emit_loop_nest, mapping_from_text, mapping_to_text, ConvDims, Mapping};
+use instantnet_hwmodel::{area_mm2, baselines, evaluate_layer, Device, Workload};
 use instantnet_nn::shapes;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -14,11 +10,11 @@ use rand::SeedableRng;
 
 fn arb_dims() -> impl Strategy<Value = ConvDims> {
     (
-        1usize..3,   // n
-        1usize..64,  // k
-        1usize..64,  // c
-        1usize..24,  // y
-        1usize..24,  // x
+        1usize..3,  // n
+        1usize..64, // k
+        1usize..64, // c
+        1usize..24, // y
+        1usize..24, // x
         prop::sample::select(vec![1usize, 3, 5]),
         prop::sample::select(vec![1usize, 2]),
     )

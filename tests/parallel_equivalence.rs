@@ -1,0 +1,197 @@
+//! Determinism contract of the parallel execution layer: every parallelized
+//! path — matmul row chunks, conv2d forward/backward batch loops, and the
+//! AutoMapper's concurrent candidate evaluation — must produce bit-identical
+//! results at 1 thread and at N threads.
+//!
+//! Sizes are chosen above the kernels' serial-fallback thresholds so the
+//! forced-thread runs genuinely exercise the threaded code paths.
+
+use instantnet_automapper::{evolve_layer, map_network, map_per_bitwidth, MapperConfig};
+use instantnet_dataflow::ConvDims;
+use instantnet_hwmodel::{Device, Workload};
+use instantnet_parallel::with_threads;
+use instantnet_tensor::{init, ops, Tensor, Var};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Thread counts exercised against the serial baseline — deliberately not
+/// divisors of the work sizes, so chunk boundaries land unevenly.
+const THREADS: [usize; 3] = [2, 3, 7];
+
+fn random_matrix(seed: u64, rows: usize, cols: usize) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    init::uniform(&mut rng, &[rows, cols], -1.0, 1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Row-chunked matmul is bit-identical for every thread count
+    /// (dimensions large enough to cross the parallel threshold).
+    #[test]
+    fn matmul_thread_count_invariant(seed in 0u64..1000, m in 65usize..90, n in 64usize..80) {
+        let a = random_matrix(seed, m, 72);
+        let b = random_matrix(seed ^ 0xABCD, 72, n);
+        let serial = with_threads(1, || a.matmul(&b));
+        for t in THREADS {
+            let par = with_threads(t, || a.matmul(&b));
+            prop_assert_eq!(serial.data(), par.data(), "matmul differs at {} threads", t);
+        }
+    }
+
+    /// conv2d forward values are bit-identical for every thread count.
+    #[test]
+    fn conv2d_forward_thread_count_invariant(seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Var::constant(init::uniform(&mut rng, &[4, 8, 14, 14], -1.0, 1.0));
+        let w = Var::constant(init::kaiming_uniform(&mut rng, &[16, 8, 3, 3]));
+        let serial = with_threads(1, || ops::conv2d(&x, &w, 1, 1, 1).value());
+        for t in THREADS {
+            let par = with_threads(t, || ops::conv2d(&x, &w, 1, 1, 1).value());
+            prop_assert_eq!(serial.data(), par.data(), "conv2d forward differs at {} threads", t);
+        }
+    }
+
+    /// conv2d gradients (both dx and dw, i.e. the full serially-reduced
+    /// backward pass over cached forward columns) are bit-identical for
+    /// every thread count.
+    #[test]
+    fn conv2d_backward_thread_count_invariant(seed in 0u64..1000) {
+        let grads = |threads: usize| {
+            with_threads(threads, || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let x = Var::leaf(init::uniform(&mut rng, &[4, 8, 14, 14], -1.0, 1.0), true);
+                let w = Var::leaf(init::kaiming_uniform(&mut rng, &[16, 8, 3, 3]), true);
+                let y = ops::conv2d(&x, &w, 1, 1, 1);
+                y.sum().backward();
+                (x.grad().expect("dx"), w.grad().expect("dw"))
+            })
+        };
+        let (dx1, dw1) = grads(1);
+        for t in THREADS {
+            let (dxn, dwn) = grads(t);
+            prop_assert_eq!(dx1.data(), dxn.data(), "dx differs at {} threads", t);
+            prop_assert_eq!(dw1.data(), dwn.data(), "dw differs at {} threads", t);
+        }
+    }
+
+    /// Grouped/depthwise conv keeps the invariant too (distinct per-group
+    /// cached columns and weight transposes).
+    #[test]
+    fn grouped_conv2d_thread_count_invariant(seed in 0u64..1000) {
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let x = Var::leaf(init::uniform(&mut rng, &[2, 8, 12, 12], -1.0, 1.0), true);
+                let w = Var::leaf(init::kaiming_uniform(&mut rng, &[8, 2, 3, 3]), true);
+                let y = ops::conv2d(&x, &w, 1, 1, 4);
+                let out = y.value();
+                y.sum().backward();
+                (out, x.grad().expect("dx"), w.grad().expect("dw"))
+            })
+        };
+        let (y1, dx1, dw1) = run(1);
+        for t in THREADS {
+            let (yn, dxn, dwn) = run(t);
+            prop_assert_eq!(y1.data(), yn.data(), "grouped forward differs at {} threads", t);
+            prop_assert_eq!(dx1.data(), dxn.data(), "grouped dx differs at {} threads", t);
+            prop_assert_eq!(dw1.data(), dwn.data(), "grouped dw differs at {} threads", t);
+        }
+    }
+
+    /// The AutoMapper's batched candidate evaluation gives the same search
+    /// trajectory (best mapping, EDP, eval count, full history) at any
+    /// thread count: RNG mutation is serial, evaluation is pure.
+    #[test]
+    fn evolve_layer_thread_count_invariant(seed in 0u64..200) {
+        let dims = ConvDims::new(1, 32, 16, 14, 14, 3, 3, 1);
+        let device = Device::eyeriss_like();
+        let cfg = MapperConfig { max_evals: 200, seed, ..MapperConfig::default() };
+        let serial = with_threads(1, || evolve_layer(&dims, &device, 8, &cfg));
+        for t in THREADS {
+            let par = with_threads(t, || evolve_layer(&dims, &device, 8, &cfg));
+            prop_assert_eq!(&serial.mapping, &par.mapping, "mapping differs at {} threads", t);
+            prop_assert_eq!(serial.cost.edp(), par.cost.edp());
+            prop_assert_eq!(serial.evals, par.evals);
+            prop_assert_eq!(&serial.history, &par.history);
+        }
+    }
+}
+
+/// map_network fans out over (execution mode × layer) and map_per_bitwidth
+/// over bit-widths; both must match the forced-serial result exactly.
+#[test]
+fn network_and_bitwidth_fanout_thread_count_invariant() {
+    let workloads = vec![
+        Workload {
+            dims: ConvDims::new(1, 32, 16, 14, 14, 3, 3, 1),
+            multiplicity: 1,
+        },
+        Workload {
+            dims: ConvDims::new(1, 64, 32, 7, 7, 3, 3, 1),
+            multiplicity: 1,
+        },
+    ];
+    let device = Device::eyeriss_like();
+    let cfg = MapperConfig {
+        max_evals: 120,
+        ..MapperConfig::default()
+    };
+    let (maps_serial, cost_serial) = with_threads(1, || map_network(&workloads, &device, 8, &cfg));
+    let per_bits_serial = with_threads(1, || {
+        map_per_bitwidth(&workloads, &device, &[4, 8, 16], &cfg)
+    });
+    for t in THREADS {
+        let (maps_par, cost_par) = with_threads(t, || map_network(&workloads, &device, 8, &cfg));
+        assert_eq!(maps_serial, maps_par, "map_network differs at {t} threads");
+        assert_eq!(cost_serial.edp(), cost_par.edp());
+        let per_bits_par = with_threads(t, || {
+            map_per_bitwidth(&workloads, &device, &[4, 8, 16], &cfg)
+        });
+        assert_eq!(per_bits_serial.len(), per_bits_par.len());
+        for (s, p) in per_bits_serial.iter().zip(&per_bits_par) {
+            assert_eq!(s.0, p.0);
+            assert_eq!(s.1, p.1, "per-bitwidth mappings differ at {t} threads");
+            assert_eq!(s.2.edp(), p.2.edp());
+        }
+    }
+}
+
+/// End-to-end: one training step's updated parameters are bit-identical
+/// under forced-serial and forced-parallel kernels (the TrainConfig
+/// `threads` knob routes through the same layer).
+#[test]
+fn train_step_thread_count_invariant() {
+    use instantnet_data::{Dataset, DatasetSpec};
+    use instantnet_nn::{models, Module};
+    use instantnet_quant::BitWidthSet;
+    use instantnet_train::{PrecisionLadder, Strategy, TrainConfig, Trainer};
+
+    let run = |threads: usize| {
+        let ds = Dataset::generate(&DatasetSpec::tiny());
+        let bits = BitWidthSet::new(vec![4, 32]).unwrap();
+        let net = models::small_cnn(4, ds.num_classes(), (ds.hw(), ds.hw()), bits.len(), 7);
+        let ladder = PrecisionLadder::uniform(&bits);
+        let cfg = TrainConfig {
+            epochs: 1,
+            batch_size: 8,
+            threads,
+            ..TrainConfig::default()
+        };
+        let report = Trainer::new(cfg).train(&net, &ds, &ladder, Strategy::cdt());
+        let params: Vec<Vec<f32>> = net
+            .params()
+            .iter()
+            .map(|p| p.var().value().data().to_vec())
+            .collect();
+        (report.loss_curve, params)
+    };
+    let (loss1, params1) = run(1);
+    let (loss4, params4) = run(4);
+    assert_eq!(loss1, loss4, "loss curves diverge between 1 and 4 threads");
+    assert_eq!(
+        params1, params4,
+        "trained parameters diverge between 1 and 4 threads"
+    );
+}
