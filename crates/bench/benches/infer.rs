@@ -1,0 +1,73 @@
+//! Criterion micro-benchmarks of the packed integer inference engine
+//! against the f32 fake-quant reference path, plus the cost of a bit-width
+//! switch (a pointer swap on the packed path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use instantnet_infer::PackedModel;
+use instantnet_nn::layers::{QuantConv2d, QuantLinear};
+use instantnet_nn::{ForwardCtx, Module};
+use instantnet_quant::{BitWidthSet, Quantizer};
+use instantnet_tensor::{init, Var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let layer = QuantLinear::new(&mut rng, "fc", 256, 256);
+    let x = init::uniform(&mut rng, &[64, 256], -0.3, 1.2);
+    let bits = BitWidthSet::new(vec![4, 8]).unwrap();
+    let packed = PackedModel::prepack(&layer, &bits, Quantizer::Sbm).unwrap();
+    c.bench_function("packed_gemm_4bit_64x256x256", |b| {
+        b.iter(|| std::hint::black_box(packed.forward_at(0, &x)))
+    });
+    c.bench_function("packed_gemm_8bit_64x256x256", |b| {
+        b.iter(|| std::hint::black_box(packed.forward_at(1, &x)))
+    });
+    // The fake-quant path re-quantizes the weights on every forward.
+    c.bench_function("fakequant_gemm_4bit_64x256x256", |b| {
+        b.iter(|| {
+            let mut ctx = ForwardCtx::eval(&bits, 0, Quantizer::Sbm);
+            std::hint::black_box(layer.forward(&Var::constant(x.clone()), &mut ctx).value())
+        })
+    });
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let conv = QuantConv2d::new(&mut rng, "conv", 16, 32, 3, 1, 1, 1, true);
+    let x = init::uniform(&mut rng, &[4, 16, 16, 16], -0.3, 1.2);
+    let bits = BitWidthSet::new(vec![4, 8]).unwrap();
+    let packed = PackedModel::prepack(&conv, &bits, Quantizer::Sbm).unwrap();
+    c.bench_function("packed_conv_4bit_4x16x16x16", |b| {
+        b.iter(|| std::hint::black_box(packed.forward_at(0, &x)))
+    });
+    c.bench_function("fakequant_conv_4bit_4x16x16x16", |b| {
+        b.iter(|| {
+            let mut ctx = ForwardCtx::eval(&bits, 0, Quantizer::Sbm);
+            std::hint::black_box(conv.forward(&Var::constant(x.clone()), &mut ctx).value())
+        })
+    });
+}
+
+fn bench_switch(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let layer = QuantLinear::new(&mut rng, "fc", 256, 256);
+    let bits = BitWidthSet::large_range();
+    let mut packed = PackedModel::prepack(&layer, &bits, Quantizer::Sbm).unwrap();
+    let n = bits.len();
+    let mut i = 0usize;
+    c.bench_function("bit_width_switch", |b| {
+        b.iter(|| {
+            i = (i + 1) % n;
+            packed.switch_to(i);
+            std::hint::black_box(packed.active_bits())
+        })
+    });
+}
+
+criterion_group! {
+    name = infer;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gemm, bench_conv, bench_switch
+}
+criterion_main!(infer);

@@ -1,0 +1,120 @@
+//! CI bench-regression gate: compares freshly generated `BENCH_<group>.json`
+//! snapshots against committed baselines and fails (exit 1) when any
+//! benchmark's median regresses by more than the allowed ratio (default 2×,
+//! wide enough to absorb shared-runner noise while catching real
+//! regressions).
+//!
+//! Usage: `bench_check <baseline-dir> <current-dir> [max-ratio]`
+//!
+//! Groups or benchmarks present in the baseline but absent from the current
+//! run are reported and skipped (renames should update the baseline in the
+//! same change), as are sub-100 ns medians, which are pure timer noise.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Parses the criterion shim's snapshot format: one benchmark per line,
+/// `{"name": "...", "mean_ns": ..., "median_ns": ..., ...}`.
+fn parse_medians(path: &Path) -> Result<HashMap<String, f64>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let mut out = HashMap::new();
+    for line in text.lines() {
+        let Some(name) = field_str(line, "\"name\": \"") else {
+            continue;
+        };
+        let median = field_num(line, "\"median_ns\": ")
+            .ok_or_else(|| format!("{}: benchmark {name} has no median_ns", path.display()))?;
+        out.insert(name, median);
+    }
+    if out.is_empty() {
+        return Err(format!("{}: no benchmarks found", path.display()));
+    }
+    Ok(out)
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let rest = &line[line.find(key)? + key.len()..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let rest = &line[line.find(key)? + key.len()..];
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 {
+        eprintln!("usage: bench_check <baseline-dir> <current-dir> [max-ratio]");
+        return ExitCode::FAILURE;
+    }
+    let (baseline_dir, current_dir) = (Path::new(&args[1]), Path::new(&args[2]));
+    let max_ratio: f64 = args
+        .get(3)
+        .map(|s| s.parse().expect("max-ratio must be a number"))
+        .unwrap_or(2.0);
+    // Below this, a median is timer noise (e.g. the pointer-swap switch
+    // benchmark), not a meaningful regression signal.
+    const NOISE_FLOOR_NS: f64 = 100.0;
+
+    let mut snapshots: Vec<String> = std::fs::read_dir(baseline_dir)
+        .expect("baseline dir must be readable")
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            (name.starts_with("BENCH_") && name.ends_with(".json")).then_some(name)
+        })
+        .collect();
+    snapshots.sort();
+    assert!(
+        !snapshots.is_empty(),
+        "no BENCH_*.json baselines in {}",
+        baseline_dir.display()
+    );
+
+    let mut failures = 0usize;
+    for file in &snapshots {
+        let current_path = current_dir.join(file);
+        if !current_path.exists() {
+            println!("{file}: no current snapshot (group not re-run), skipping");
+            continue;
+        }
+        let baseline = parse_medians(&baseline_dir.join(file)).unwrap();
+        let current = parse_medians(&current_path).unwrap();
+        let mut names: Vec<&String> = baseline.keys().collect();
+        names.sort();
+        for name in names {
+            let base = baseline[name];
+            let Some(&cur) = current.get(name) else {
+                println!("{file}: {name} missing from current run, skipping");
+                continue;
+            };
+            if base.max(cur) < NOISE_FLOOR_NS {
+                println!("{file}: {name} below noise floor ({base:.0} -> {cur:.0} ns), skipping");
+                continue;
+            }
+            let ratio = cur / base;
+            let verdict = if ratio > max_ratio {
+                failures += 1;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "{file}: {name:<40} {base:>12.0} -> {cur:>12.0} ns  ({ratio:>5.2}x) {verdict}"
+            );
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("{failures} benchmark(s) regressed beyond {max_ratio}x");
+        ExitCode::FAILURE
+    } else {
+        println!("all benchmarks within {max_ratio}x of baseline");
+        ExitCode::SUCCESS
+    }
+}

@@ -42,6 +42,7 @@ pub use instantnet_automapper as automapper;
 pub use instantnet_data as data;
 pub use instantnet_dataflow as dataflow;
 pub use instantnet_hwmodel as hwmodel;
+pub use instantnet_infer as infer;
 pub use instantnet_nas as nas;
 pub use instantnet_nn as nn;
 pub use instantnet_quant as quant;

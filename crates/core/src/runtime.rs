@@ -8,6 +8,9 @@
 //! end-to-end benefit of instantaneous switching can be quantified.
 
 use crate::{DeploymentReport, OperatingPoint};
+use instantnet_infer::PackedModel;
+use instantnet_quant::BitWidth;
+use instantnet_tensor::Tensor;
 
 /// A per-timestep energy budget trace (pJ available per inference).
 #[derive(Debug, Clone, PartialEq)]
@@ -71,6 +74,24 @@ pub enum Policy {
     },
 }
 
+/// Simulation knobs beyond the switching policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationConfig {
+    /// Energy charged per bit-width reconfiguration (pJ). The paper's
+    /// engine switches by pointer swap, so the physical cost is ~0 — the
+    /// default; set non-zero to model re-quantizing deployments. Affects
+    /// accounting only, never point selection.
+    pub switch_cost_pj: f64,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            switch_cost_pj: 0.0,
+        }
+    }
+}
+
 /// Outcome of a runtime simulation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeStats {
@@ -81,15 +102,71 @@ pub struct RuntimeStats {
     /// Timesteps where no operating point fit the budget (inference
     /// skipped).
     pub dropped: usize,
-    /// Total energy consumed (pJ).
+    /// Total energy consumed (pJ), inference plus reconfiguration.
     pub energy_pj: f64,
+    /// Energy spent on reconfigurations alone
+    /// (`switches × switch_cost_pj`).
+    pub switch_energy_pj: f64,
     /// Chosen bit-width per timestep (`None` = dropped).
     pub schedule: Vec<Option<u8>>,
 }
 
 /// Simulates running `report`'s operating points over `trace` with the
-/// given policy.
+/// given policy and zero switching cost.
 pub fn simulate(report: &DeploymentReport, trace: &EnergyTrace, policy: Policy) -> RuntimeStats {
+    simulate_with_config(report, trace, policy, &SimulationConfig::default())
+}
+
+/// [`simulate`] with explicit [`SimulationConfig`].
+pub fn simulate_with_config(
+    report: &DeploymentReport,
+    trace: &EnergyTrace,
+    policy: Policy,
+    cfg: &SimulationConfig,
+) -> RuntimeStats {
+    run_simulation(report, trace, policy, cfg, |_| {})
+}
+
+/// Simulates the trace while actually serving inferences: every served
+/// timestep switches `model` to the selected bit-width (a pointer swap)
+/// and runs `input` through the packed engine. Returns the stats plus one
+/// output tensor per timestep (`None` where the budget dropped the step).
+///
+/// # Panics
+///
+/// Panics if a selected operating point's bit-width is not in the packed
+/// model's set — the report and the model must come from the same
+/// [`instantnet_quant::BitWidthSet`].
+pub fn simulate_serving(
+    report: &DeploymentReport,
+    trace: &EnergyTrace,
+    policy: Policy,
+    cfg: &SimulationConfig,
+    model: &mut PackedModel,
+    input: &Tensor,
+) -> (RuntimeStats, Vec<Option<Tensor>>) {
+    let mut outputs: Vec<Option<Tensor>> = Vec::with_capacity(trace.len());
+    let stats = run_simulation(report, trace, policy, cfg, |bits| match bits {
+        Some(b) => {
+            assert!(
+                model.switch_to_bits(b),
+                "operating point {b} is not in the packed model's bit-width set"
+            );
+            outputs.push(Some(model.forward(input)));
+        }
+        None => outputs.push(None),
+    });
+    (stats, outputs)
+}
+
+/// Shared policy loop; `on_step` observes every timestep's selection.
+fn run_simulation(
+    report: &DeploymentReport,
+    trace: &EnergyTrace,
+    policy: Policy,
+    cfg: &SimulationConfig,
+    mut on_step: impl FnMut(Option<BitWidth>),
+) -> RuntimeStats {
     let mut current: Option<&OperatingPoint> = None;
     let mut switches = 0usize;
     let mut dropped = 0usize;
@@ -123,14 +200,17 @@ pub fn simulate(report: &DeploymentReport, trace: &EnergyTrace, policy: Policy) 
                 served += 1;
                 energy += p.energy_pj;
                 schedule.push(Some(p.bits.get()));
+                on_step(Some(p.bits));
             }
             None => {
                 dropped += 1;
                 current = None;
                 schedule.push(None);
+                on_step(None);
             }
         }
     }
+    let switch_energy = switches as f64 * cfg.switch_cost_pj;
     RuntimeStats {
         mean_accuracy: if served > 0 {
             acc_sum / served as f32
@@ -139,7 +219,8 @@ pub fn simulate(report: &DeploymentReport, trace: &EnergyTrace, policy: Policy) 
         },
         switches,
         dropped,
-        energy_pj: energy,
+        energy_pj: energy + switch_energy,
+        switch_energy_pj: switch_energy,
         schedule,
     }
 }
@@ -235,6 +316,66 @@ mod tests {
         let stats = simulate(&report, &trace, Policy::Greedy);
         assert_eq!(stats.energy_pj, 20.0);
         assert_eq!(stats.switches, 1, "initial selection counts once");
+        assert_eq!(stats.switch_energy_pj, 0.0, "default switching is free");
+    }
+
+    #[test]
+    fn switch_cost_charges_accounting_without_changing_selection() {
+        let report = demo_report();
+        // 4 -> 8 -> 4 -> 8: three reconfigurations after the initial pick.
+        let trace = EnergyTrace::new(vec![15.0, 35.0, 15.0, 35.0]);
+        let free = simulate(&report, &trace, Policy::Greedy);
+        let cfg = SimulationConfig {
+            switch_cost_pj: 5.0,
+        };
+        let costed = simulate_with_config(&report, &trace, Policy::Greedy, &cfg);
+        assert_eq!(costed.schedule, free.schedule, "selection must not change");
+        assert_eq!(costed.switches, 4);
+        assert_eq!(costed.switch_energy_pj, 20.0);
+        assert_eq!(costed.energy_pj, free.energy_pj + 20.0);
+    }
+
+    #[test]
+    fn serving_runs_packed_inference_per_served_step() {
+        use instantnet_infer::PackedModel;
+        use instantnet_nn::models;
+        use instantnet_quant::{BitWidthSet, Quantizer};
+
+        let bits = BitWidthSet::new(vec![4, 8, 32]).unwrap();
+        let net = models::small_cnn(4, 6, (8, 8), bits.len(), 5);
+        let mut model = PackedModel::prepack(&net, &bits, Quantizer::Sbm).unwrap();
+        let report = demo_report(); // points at 4/8/32 bits, matching `bits`
+        let trace = EnergyTrace::new(vec![5.0, 15.0, 50.0, 200.0]);
+        let x = Tensor::from_vec(
+            vec![1, 3, 8, 8],
+            (0..3 * 8 * 8)
+                .map(|i| (i % 13) as f32 / 13.0 - 0.5)
+                .collect(),
+        );
+        let (stats, outputs) = simulate_serving(
+            &report,
+            &trace,
+            Policy::Greedy,
+            &SimulationConfig::default(),
+            &mut model,
+            &x,
+        );
+        assert_eq!(outputs.len(), trace.len());
+        for (step, out) in stats.schedule.iter().zip(&outputs) {
+            match (step, out) {
+                (Some(b), Some(y)) => {
+                    assert_eq!(y.dims(), &[1, 6]);
+                    // The serving path produces exactly what a direct
+                    // forward at that bit-width produces.
+                    let i = bits.index_of(instantnet_quant::BitWidth::new(*b)).unwrap();
+                    assert_eq!(y.data(), model.forward_at(i, &x).data());
+                }
+                (None, None) => {}
+                _ => panic!("schedule and outputs disagree"),
+            }
+        }
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(model.active_bits().get(), 32, "last served point sticks");
     }
 
     #[test]

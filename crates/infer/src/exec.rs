@@ -1,0 +1,552 @@
+//! Packed-network execution: integer i32/i64-accumulate kernels for packed
+//! layers, f32 fallbacks for unpacked ones, activation re-quantization
+//! between layers.
+//!
+//! Determinism contract (mirrors `instantnet-tensor`): integer accumulation
+//! is exact, f32 dequantization is elementwise, and every parallel region
+//! assigns disjoint output slices by index — results are bit-identical at
+//! any thread count.
+
+use crate::{Accum, PackedGemm, PackedOp, Storage};
+use instantnet_nn::layers::Activation;
+use instantnet_parallel::{par_chunks_mut, parallel_map_indexed, with_threads};
+use instantnet_quant::{BitWidth, Quantizer};
+use instantnet_tensor::tensor::{im2col, im2col_generic};
+use instantnet_tensor::Tensor;
+
+/// Work threshold below which kernels run single-threaded (same policy and
+/// value as the tensor crate's, which is crate-private there).
+const PAR_FLOP_THRESHOLD: usize = 1 << 18;
+
+/// Runs `ops` in order over `x`.
+pub(crate) fn exec_ops(
+    ops: &[PackedOp],
+    x: &Tensor,
+    bits: BitWidth,
+    quantizer: Quantizer,
+) -> Tensor {
+    let mut cur = x.clone();
+    for op in ops {
+        cur = exec_op(op, &cur, bits, quantizer);
+    }
+    cur
+}
+
+fn exec_op(op: &PackedOp, x: &Tensor, bits: BitWidth, quantizer: Quantizer) -> Tensor {
+    match op {
+        PackedOp::Conv {
+            gemm,
+            cg,
+            r,
+            s,
+            stride,
+            pad,
+            groups,
+            quantize_input,
+        } => exec_conv(
+            gemm,
+            *cg,
+            *r,
+            *s,
+            *stride,
+            *pad,
+            *groups,
+            *quantize_input,
+            x,
+            bits,
+            quantizer,
+        ),
+        PackedOp::Linear { gemm } => exec_linear(gemm, x, bits, quantizer),
+        PackedOp::Act(a) => match a {
+            Activation::Relu => x.map(|v| v.max(0.0)),
+            Activation::Relu6 => x.map(|v| v.clamp(0.0, 6.0)),
+            Activation::None => x.clone(),
+        },
+        PackedOp::GlobalAvgPool => global_avg_pool(x),
+        PackedOp::Residual {
+            body,
+            shortcut,
+            post_relu,
+        } => {
+            let b = exec_ops(body, x, bits, quantizer);
+            let s = if shortcut.is_empty() {
+                x.clone()
+            } else {
+                exec_ops(shortcut, x, bits, quantizer)
+            };
+            assert_eq!(b.dims(), s.dims(), "residual branch shapes must match");
+            let mut data: Vec<f32> = b
+                .data()
+                .iter()
+                .zip(s.data())
+                .map(|(&u, &v)| u + v)
+                .collect();
+            if *post_relu {
+                for v in &mut data {
+                    *v = v.max(0.0);
+                }
+            }
+            Tensor::from_vec(b.dims().to_vec(), data)
+        }
+    }
+}
+
+fn global_avg_pool(x: &Tensor) -> Tensor {
+    let dims = x.dims();
+    assert_eq!(dims.len(), 4, "global average pool input must be rank 4");
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    let hw = h * w;
+    let inv = 1.0 / hw as f32;
+    let mut out = vec![0.0f32; n * c];
+    for i in 0..n {
+        for ch in 0..c {
+            let base = (i * c + ch) * hw;
+            let mut acc = 0.0f32;
+            for &v in &x.data()[base..base + hw] {
+                acc += v;
+            }
+            out[i * c + ch] = acc * inv;
+        }
+    }
+    Tensor::from_vec(vec![n, c], out)
+}
+
+/// Dispatches per-sample work: serial for batch 1 (keeps row-level
+/// parallelism inside the kernel live), serialized under the threshold,
+/// sample-parallel otherwise. All three produce identical results.
+fn run_samples(n: usize, flops: usize, f: impl Fn(usize) -> Vec<f32> + Sync) -> Vec<Vec<f32>> {
+    if n == 1 {
+        vec![f(0)]
+    } else if flops < PAR_FLOP_THRESHOLD {
+        with_threads(1, || parallel_map_indexed(n, &f))
+    } else {
+        parallel_map_indexed(n, &f)
+    }
+}
+
+/// Per-column sums of activation codes (i64 guards 16-bit × long-reduction
+/// overflow), consumed by the zero-offset correction term.
+fn code_colsums(acts: &[i32], rows: usize, ncols: usize) -> Vec<f32> {
+    let mut cs = vec![0i64; ncols];
+    for p in 0..rows {
+        for (o, &v) in cs.iter_mut().zip(&acts[p * ncols..(p + 1) * ncols]) {
+            *o += i64::from(v);
+        }
+    }
+    cs.into_iter().map(|v| v as f32).collect()
+}
+
+/// [`code_colsums`] over f32-lane codes (exact: the `Accum::F32` tier's
+/// bound keeps every partial sum below 2^24).
+fn code_colsums_f32(acts: &[f32], rows: usize, ncols: usize) -> Vec<f32> {
+    let mut cs = vec![0f32; ncols];
+    for p in 0..rows {
+        for (o, &v) in cs.iter_mut().zip(&acts[p * ncols..(p + 1) * ncols]) {
+            *o += v;
+        }
+    }
+    cs
+}
+
+/// `acc[j] += Σ_p wrow[p] · acts[p][j]` in i32 — the narrow-path hot loop.
+/// Four weight rows per pass for instruction-level parallelism; slices are
+/// pre-split to `ncols` so the inner loops vectorize without bounds checks.
+fn accumulate_i32(acc: &mut [i32], wrow: &[i32], acts: &[i32]) {
+    let ncols = acc.len();
+    let mut quads = wrow.chunks_exact(4);
+    let mut base = 0usize;
+    for w in quads.by_ref() {
+        let (a0, rest) = acts[base..base + 4 * ncols].split_at(ncols);
+        let (a1, rest) = rest.split_at(ncols);
+        let (a2, a3) = rest.split_at(ncols);
+        let (w0, w1, w2, w3) = (w[0], w[1], w[2], w[3]);
+        for (j, o) in acc.iter_mut().enumerate() {
+            *o += w0 * a0[j] + w1 * a1[j] + w2 * a2[j] + w3 * a3[j];
+        }
+        base += 4 * ncols;
+    }
+    for &wv in quads.remainder() {
+        let a = &acts[base..base + ncols];
+        for (o, &av) in acc.iter_mut().zip(a) {
+            *o += wv * av;
+        }
+        base += ncols;
+    }
+}
+
+/// i64 variant for 9–16-bit layers whose partial sums can overflow i32.
+fn accumulate_i64(acc: &mut [i64], wrow: &[i32], acts: &[i32]) {
+    let ncols = acc.len();
+    for (p, &wv) in wrow.iter().enumerate() {
+        let wv = i64::from(wv);
+        let a = &acts[p * ncols..(p + 1) * ncols];
+        for (o, &av) in acc.iter_mut().zip(a) {
+            *o += wv * i64::from(av);
+        }
+    }
+}
+
+/// Exact-f32 variant of [`accumulate_i32`]: codes are small integers, so
+/// every product and partial sum stays below 2^24 and the arithmetic is
+/// lossless — same integer result, but f32 lanes vectorize on targets
+/// whose baseline ISA has no packed i32 multiply.
+fn accumulate_f32(acc: &mut [f32], wrow: &[f32], acts: &[f32]) {
+    let ncols = acc.len();
+    let mut quads = wrow.chunks_exact(4);
+    let mut base = 0usize;
+    for w in quads.by_ref() {
+        let (a0, rest) = acts[base..base + 4 * ncols].split_at(ncols);
+        let (a1, rest) = rest.split_at(ncols);
+        let (a2, a3) = rest.split_at(ncols);
+        let (w0, w1, w2, w3) = (w[0], w[1], w[2], w[3]);
+        for (j, o) in acc.iter_mut().enumerate() {
+            *o += w0 * a0[j] + w1 * a1[j] + w2 * a2[j] + w3 * a3[j];
+        }
+        base += 4 * ncols;
+    }
+    for &wv in quads.remainder() {
+        let a = &acts[base..base + ncols];
+        for (o, &av) in acc.iter_mut().zip(a) {
+            *o += wv * av;
+        }
+        base += ncols;
+    }
+}
+
+/// [`gemm_rows`] for the `Accum::F32` tier: identical affine dequant, but
+/// weight/activation codes travel as exact f32 lanes.
+#[allow(clippy::too_many_arguments)]
+fn gemm_rows_f32(
+    g: &PackedGemm,
+    row0: usize,
+    nrows: usize,
+    acts: &[f32],
+    ncols: usize,
+    colsum: Option<&[f32]>,
+    sa: f32,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(acts.len(), g.cols * ncols);
+    debug_assert_eq!(out.len(), nrows * ncols);
+    let body = |kk: usize, orow: &mut [f32]| {
+        let row = row0 + kk;
+        let mut wrow = vec![0f32; g.cols];
+        g.storage.decode_row_f32(row, g.cols, &mut wrow);
+        let (a, bias) = (g.scale[row], g.bias[row]);
+        let bco = g.colsum_coef[row];
+        let mut acc = vec![0f32; ncols];
+        accumulate_f32(&mut acc, &wrow, acts);
+        match colsum {
+            Some(cs) => {
+                for (j, o) in orow.iter_mut().enumerate() {
+                    *o = sa * (a * acc[j] + bco * cs[j]) + bias;
+                }
+            }
+            None => {
+                for (o, &v) in orow.iter_mut().zip(&acc) {
+                    *o = sa * a * v + bias;
+                }
+            }
+        }
+    };
+    let work = 2 * nrows * g.cols * ncols;
+    if work < PAR_FLOP_THRESHOLD {
+        with_threads(1, || par_chunks_mut(out, ncols, body));
+    } else {
+        par_chunks_mut(out, ncols, body);
+    }
+}
+
+/// Integer GEMM over rows `[row0, row0 + nrows)` of a packed matrix:
+/// `out[kk][j] = sa * (A[row] * acc + B[row] * colsum[j]) + bias[row]`
+/// with `acc` the exact integer dot product of the decoded weight row and
+/// activation-code column `j`. Row-parallel with disjoint output rows.
+/// Handles the native `I32`/`I64` tiers; `Accum::F32` layers take
+/// [`gemm_rows_f32`].
+#[allow(clippy::too_many_arguments)]
+fn gemm_rows(
+    g: &PackedGemm,
+    row0: usize,
+    nrows: usize,
+    acts: &[i32],
+    ncols: usize,
+    colsum: Option<&[f32]>,
+    sa: f32,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(acts.len(), g.cols * ncols);
+    debug_assert_eq!(out.len(), nrows * ncols);
+    let body = |kk: usize, orow: &mut [f32]| {
+        let row = row0 + kk;
+        let mut wrow = vec![0i32; g.cols];
+        g.storage.decode_row(row, g.cols, &mut wrow);
+        let (a, bias) = (g.scale[row], g.bias[row]);
+        let bco = g.colsum_coef[row];
+        if g.accum == Accum::I32 {
+            let mut acc = vec![0i32; ncols];
+            accumulate_i32(&mut acc, &wrow, acts);
+            match colsum {
+                Some(cs) => {
+                    for (j, o) in orow.iter_mut().enumerate() {
+                        *o = sa * (a * acc[j] as f32 + bco * cs[j]) + bias;
+                    }
+                }
+                None => {
+                    for (o, &v) in orow.iter_mut().zip(&acc) {
+                        *o = sa * a * v as f32 + bias;
+                    }
+                }
+            }
+        } else {
+            let mut acc = vec![0i64; ncols];
+            accumulate_i64(&mut acc, &wrow, acts);
+            match colsum {
+                Some(cs) => {
+                    for (j, o) in orow.iter_mut().enumerate() {
+                        *o = sa * (a * acc[j] as f32 + bco * cs[j]) + bias;
+                    }
+                }
+                None => {
+                    for (o, &v) in orow.iter_mut().zip(&acc) {
+                        *o = sa * a * v as f32 + bias;
+                    }
+                }
+            }
+        }
+    };
+    let work = 2 * nrows * g.cols * ncols;
+    if work < PAR_FLOP_THRESHOLD {
+        with_threads(1, || par_chunks_mut(out, ncols, body));
+    } else {
+        par_chunks_mut(out, ncols, body);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_conv(
+    gemm: &PackedGemm,
+    cg: usize,
+    r: usize,
+    s: usize,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+    quantize_input: bool,
+    x: &Tensor,
+    bits: BitWidth,
+    quantizer: Quantizer,
+) -> Tensor {
+    let dims = x.dims();
+    assert_eq!(dims.len(), 4, "conv input must be rank 4");
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    assert_eq!(c, cg * groups, "conv input channel mismatch");
+    let k = gemm.rows;
+    let kg = k / groups;
+    let oh = (h + 2 * pad - r) / stride + 1;
+    let ow = (w + 2 * pad - s) / stride + 1;
+    let ncols = oh * ow;
+    let flops = 2 * n * k * gemm.cols * ncols;
+
+    let outs = if gemm.storage.is_integer() {
+        // One per-tensor activation quantization for the whole batch
+        // (identical scale policy to the fake-quant reference).
+        let ac = quantizer
+            .activation_codes(x.data(), bits)
+            .expect("integer storage implies quantized activations");
+        if gemm.accum == Accum::F32 {
+            let actf: Vec<f32> = ac.codes.iter().map(|&v| v as f32).collect();
+            let sample = |i: usize| -> Vec<f32> {
+                let mut out_i = vec![0.0f32; k * ncols];
+                for gi in 0..groups {
+                    let base = (i * c + gi * cg) * h * w;
+                    let (cols_buf, _, _) =
+                        im2col_generic(&actf[base..base + cg * h * w], cg, h, w, r, s, stride, pad);
+                    let colsum = gemm
+                        .has_offset
+                        .then(|| code_colsums_f32(&cols_buf, gemm.cols, ncols));
+                    gemm_rows_f32(
+                        gemm,
+                        gi * kg,
+                        kg,
+                        &cols_buf,
+                        ncols,
+                        colsum.as_deref(),
+                        ac.scale,
+                        &mut out_i[gi * kg * ncols..(gi + 1) * kg * ncols],
+                    );
+                }
+                out_i
+            };
+            run_samples(n, flops, sample)
+        } else {
+            let sample = |i: usize| -> Vec<f32> {
+                let mut out_i = vec![0.0f32; k * ncols];
+                for gi in 0..groups {
+                    let base = (i * c + gi * cg) * h * w;
+                    let (cols_buf, _, _) = im2col_generic(
+                        &ac.codes[base..base + cg * h * w],
+                        cg,
+                        h,
+                        w,
+                        r,
+                        s,
+                        stride,
+                        pad,
+                    );
+                    let colsum = gemm
+                        .has_offset
+                        .then(|| code_colsums(&cols_buf, gemm.cols, ncols));
+                    gemm_rows(
+                        gemm,
+                        gi * kg,
+                        kg,
+                        &cols_buf,
+                        ncols,
+                        colsum.as_deref(),
+                        ac.scale,
+                        &mut out_i[gi * kg * ncols..(gi + 1) * kg * ncols],
+                    );
+                }
+                out_i
+            };
+            run_samples(n, flops, sample)
+        }
+    } else {
+        let Storage::F32(wdata) = &gemm.storage else {
+            unreachable!("non-integer storage is f32");
+        };
+        let xq = if quantize_input {
+            quantizer.quantize_activations_tensor(x, bits)
+        } else {
+            x.clone()
+        };
+        let wgs: Vec<Tensor> = (0..groups)
+            .map(|gi| {
+                let start = gi * kg * gemm.cols;
+                Tensor::from_vec(
+                    vec![kg, gemm.cols],
+                    wdata[start..start + kg * gemm.cols].to_vec(),
+                )
+            })
+            .collect();
+        let sample = |i: usize| -> Vec<f32> {
+            let mut out_i = vec![0.0f32; k * ncols];
+            for gi in 0..groups {
+                let base = (i * c + gi * cg) * h * w;
+                let (cols_t, _, _) = im2col(
+                    &xq.data()[base..base + cg * h * w],
+                    cg,
+                    h,
+                    w,
+                    r,
+                    s,
+                    stride,
+                    pad,
+                );
+                let mm = wgs[gi].matmul(&cols_t);
+                let og = &mut out_i[gi * kg * ncols..(gi + 1) * kg * ncols];
+                for kk in 0..kg {
+                    let row = gi * kg + kk;
+                    let (a, b) = (gemm.scale[row], gemm.bias[row]);
+                    for (o, &v) in og[kk * ncols..(kk + 1) * ncols]
+                        .iter_mut()
+                        .zip(&mm.data()[kk * ncols..(kk + 1) * ncols])
+                    {
+                        *o = a * v + b;
+                    }
+                }
+            }
+            out_i
+        };
+        run_samples(n, flops, sample)
+    };
+
+    let mut data = Vec::with_capacity(n * k * ncols);
+    for o in outs {
+        data.extend(o);
+    }
+    Tensor::from_vec(vec![n, k, oh, ow], data)
+}
+
+fn exec_linear(g: &PackedGemm, x: &Tensor, bits: BitWidth, quantizer: Quantizer) -> Tensor {
+    let dims = x.dims();
+    assert_eq!(dims.len(), 2, "linear input must be rank 2");
+    let (n, f) = (dims[0], dims[1]);
+    assert_eq!(f, g.cols, "linear in-feature mismatch");
+
+    if g.storage.is_integer() {
+        let ac = quantizer
+            .activation_codes(x.data(), bits)
+            .expect("integer storage implies quantized activations");
+        // Samples along GEMM columns: transpose codes to `[features, n]`.
+        let mut tmp = vec![0.0f32; g.rows * n];
+        if g.accum == Accum::F32 {
+            let mut tcodes = vec![0f32; f * n];
+            for i in 0..n {
+                for p in 0..f {
+                    tcodes[p * n + i] = ac.codes[i * f + p] as f32;
+                }
+            }
+            let colsum = g.has_offset.then(|| code_colsums_f32(&tcodes, f, n));
+            gemm_rows_f32(
+                g,
+                0,
+                g.rows,
+                &tcodes,
+                n,
+                colsum.as_deref(),
+                ac.scale,
+                &mut tmp,
+            );
+        } else {
+            let mut tcodes = vec![0i32; f * n];
+            for i in 0..n {
+                for p in 0..f {
+                    tcodes[p * n + i] = ac.codes[i * f + p];
+                }
+            }
+            let colsum = g.has_offset.then(|| code_colsums(&tcodes, f, n));
+            gemm_rows(
+                g,
+                0,
+                g.rows,
+                &tcodes,
+                n,
+                colsum.as_deref(),
+                ac.scale,
+                &mut tmp,
+            );
+        }
+        let mut out = vec![0.0f32; n * g.rows];
+        for kk in 0..g.rows {
+            for i in 0..n {
+                out[i * g.rows + kk] = tmp[kk * n + i];
+            }
+        }
+        Tensor::from_vec(vec![n, g.rows], out)
+    } else {
+        let Storage::F32(wdata) = &g.storage else {
+            unreachable!("non-integer storage is f32");
+        };
+        let fp = bits.is_full_precision() || matches!(quantizer, Quantizer::Identity);
+        let xq = if fp {
+            x.clone()
+        } else {
+            quantizer.quantize_activations_tensor(x, bits)
+        };
+        let mut wt = vec![0.0f32; f * g.rows];
+        for kk in 0..g.rows {
+            for p in 0..f {
+                wt[p * g.rows + kk] = wdata[kk * f + p];
+            }
+        }
+        let mm = xq.matmul(&Tensor::from_vec(vec![f, g.rows], wt));
+        let mut out = mm.data().to_vec();
+        for i in 0..n {
+            for (kk, o) in out[i * g.rows..(i + 1) * g.rows].iter_mut().enumerate() {
+                *o = g.scale[kk] * *o + g.bias[kk];
+            }
+        }
+        Tensor::from_vec(vec![n, g.rows], out)
+    }
+}

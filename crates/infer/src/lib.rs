@@ -1,0 +1,488 @@
+//! Quantized integer inference engine with zero-cost precision switching.
+//!
+//! The training stack executes "quantized" networks as f32 fake-quant:
+//! every forward re-quantizes the shared weights onto an f32 grid and runs
+//! full-precision matmul/conv, so a 4-bit model costs as much as a 32-bit
+//! one and a bit-width switch pays a full re-quantization pass. This crate
+//! delivers the paper's *instantaneous switching* claim at the execution
+//! level:
+//!
+//! * [`PackedModel::prepack`] walks a module's inference plan
+//!   ([`instantnet_nn::Module::plan_ops`]) and, **once per bit-width**,
+//!   converts each layer's weights to integer codes — bit-packed signed
+//!   nibbles for ≤ 4 bits, `i8` for 5–8, `i16` for 9–16 — with per-output-
+//!   channel scale factors, folding `SwitchableBatchNorm` running
+//!   statistics of the matching branch into the per-row scale and bias.
+//! * A runtime bit-width switch ([`PackedModel::switch_to`]) just moves the
+//!   active-network index into the prebuilt table: no per-element weight
+//!   work (asserted by tests against [`PackedModel::pack_passes`]).
+//! * Forwards quantize activations to integer codes between layers with
+//!   the exact SBM/DoReFa grids from `instantnet-quant`, then run
+//!   i32-accumulate (i64 for 9–16 bit) GEMM and im2col-conv kernels,
+//!   row-parallel via `instantnet-parallel`. Integer accumulation is
+//!   exact, so results are bit-identical at any thread count.
+//!
+//! Dequantization uses the affine identity
+//! `y[k][j] = sa · (A[k] · acc[k][j] + B[k] · colsum[j]) + bias[k]`
+//! where `acc` is the integer dot product of weight and activation codes,
+//! `colsum[j]` the per-column activation code sum, `A[k]` the weight scale
+//! × BN scale, `B[k]` the weight zero-offset term (non-zero only for
+//! DoReFa's `[0, n]` codes and the nibble/i8 re-centering bias), and `sa`
+//! the per-tensor activation scale computed fresh each forward. The packed
+//! path matches the f32 fake-quant reference within one quantization step
+//! per element.
+
+use instantnet_nn::layers::Activation;
+use instantnet_nn::plan::PlanOp;
+use instantnet_nn::Module;
+use instantnet_quant::{BitWidth, BitWidthSet, Quantizer};
+use instantnet_tensor::Tensor;
+use std::path::Path;
+
+mod exec;
+mod pack;
+
+pub use pack::PackError;
+
+/// Integer (or fallback f32) weight storage for one packed layer.
+///
+/// Integer variants hold *re-centered* codes `d = c - cb` where `cb` is
+/// the mid-point of the quantizer's code range, so asymmetric DoReFa codes
+/// (`[0, 2^b - 1]`) fit signed storage; the shift is folded into the
+/// layer's column-sum coefficient.
+#[derive(Debug, Clone)]
+pub enum Storage {
+    /// Two signed 4-bit codes per byte, rows padded to whole bytes.
+    Nibble(Vec<u8>),
+    /// One signed byte per code (5–8 bits).
+    I8(Vec<i8>),
+    /// One signed 16-bit word per code (9–16 bits).
+    I16(Vec<i16>),
+    /// Plain f32 weights: full precision, stem layers whose input is not
+    /// quantized, or bit-widths above 16 (already fake-quantized values).
+    F32(Vec<f32>),
+}
+
+impl Storage {
+    /// Whether this layer runs the integer kernels.
+    pub fn is_integer(&self) -> bool {
+        !matches!(self, Storage::F32(_))
+    }
+
+    /// Bytes held by the packed weights.
+    pub fn bytes(&self) -> usize {
+        match self {
+            Storage::Nibble(v) => v.len(),
+            Storage::I8(v) => v.len(),
+            Storage::I16(v) => 2 * v.len(),
+            Storage::F32(v) => 4 * v.len(),
+        }
+    }
+
+    /// Decodes one row of `cols` codes into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on [`Storage::F32`] (the f32 path never decodes).
+    fn decode_row(&self, row: usize, cols: usize, out: &mut [i32]) {
+        match self {
+            Storage::Nibble(data) => {
+                let stride = cols.div_ceil(2);
+                let row_bytes = &data[row * stride..row * stride + stride];
+                // Two sign-extended codes per byte, low nibble first.
+                for (pair, &byte) in out[..cols].chunks_mut(2).zip(row_bytes) {
+                    pair[0] = i32::from(((byte as i8) << 4) >> 4);
+                    if let Some(hi) = pair.get_mut(1) {
+                        *hi = i32::from((byte as i8) >> 4);
+                    }
+                }
+            }
+            Storage::I8(data) => {
+                for (o, &v) in out.iter_mut().zip(&data[row * cols..(row + 1) * cols]) {
+                    *o = i32::from(v);
+                }
+            }
+            Storage::I16(data) => {
+                for (o, &v) in out.iter_mut().zip(&data[row * cols..(row + 1) * cols]) {
+                    *o = i32::from(v);
+                }
+            }
+            Storage::F32(_) => panic!("decode_row on f32 storage"),
+        }
+    }
+
+    /// Decodes one row of `cols` codes into f32 lanes (the exact-f32
+    /// accumulation tier; every code is a small integer so the conversion
+    /// is lossless).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on [`Storage::F32`].
+    fn decode_row_f32(&self, row: usize, cols: usize, out: &mut [f32]) {
+        match self {
+            Storage::Nibble(data) => {
+                let stride = cols.div_ceil(2);
+                let row_bytes = &data[row * stride..row * stride + stride];
+                for (pair, &byte) in out[..cols].chunks_mut(2).zip(row_bytes) {
+                    pair[0] = f32::from(((byte as i8) << 4) >> 4);
+                    if let Some(hi) = pair.get_mut(1) {
+                        *hi = f32::from((byte as i8) >> 4);
+                    }
+                }
+            }
+            Storage::I8(data) => {
+                for (o, &v) in out.iter_mut().zip(&data[row * cols..(row + 1) * cols]) {
+                    *o = f32::from(v);
+                }
+            }
+            Storage::I16(data) => {
+                for (o, &v) in out.iter_mut().zip(&data[row * cols..(row + 1) * cols]) {
+                    *o = f32::from(v);
+                }
+            }
+            Storage::F32(_) => panic!("decode_row_f32 on f32 storage"),
+        }
+    }
+}
+
+/// Accumulator type for a packed layer's integer GEMM, chosen at pack time
+/// from the worst-case partial-sum bound `max|w_code| · max|a_code| · cols`.
+///
+/// All three tiers compute the *same exact integer*: f32 arithmetic on
+/// integers below 2^24 is lossless (every product and partial sum is
+/// exactly representable), so the `F32` tier — which vectorizes on every
+/// target, unlike i32 multiplies on baseline x86-64 — is preferred
+/// whenever the bound allows. Exact arithmetic is associative, keeping the
+/// thread-count-determinism guarantee in all tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Accum {
+    /// Bound < 2^24: exact f32 lanes (all ≤ 8-bit layers in practice).
+    F32,
+    /// Bound ≤ i32::MAX / 2: native i32.
+    I32,
+    /// Anything wider (9–16-bit layers with long reductions).
+    I64,
+}
+
+/// A packed weight matrix plus its affine dequantization parameters.
+#[derive(Debug, Clone)]
+pub struct PackedGemm {
+    /// Output rows (conv filters across all groups / linear out features).
+    pub rows: usize,
+    /// Reduction length (conv `cg*r*s` / linear in features).
+    pub cols: usize,
+    /// Packed weight codes or fallback f32 values.
+    pub storage: Storage,
+    /// Per-row multiplier `A[k]` (weight scale × folded BN scale; the BN
+    /// scale alone on the f32 path).
+    pub scale: Vec<f32>,
+    /// Per-row column-sum coefficient `B[k]` (weight offset terms × BN
+    /// scale); all-zero for symmetric SBM codes.
+    pub colsum_coef: Vec<f32>,
+    /// Per-row additive bias (folded BN shift or linear bias).
+    pub bias: Vec<f32>,
+    /// Whether any `colsum_coef` entry is non-zero.
+    pub has_offset: bool,
+    /// Overflow-safe accumulator tier for this layer.
+    pub accum: Accum,
+}
+
+/// One executable operation of a packed network.
+#[derive(Debug, Clone)]
+pub(crate) enum PackedOp {
+    Conv {
+        gemm: PackedGemm,
+        cg: usize,
+        r: usize,
+        s: usize,
+        stride: usize,
+        pad: usize,
+        groups: usize,
+        quantize_input: bool,
+    },
+    Linear {
+        gemm: PackedGemm,
+    },
+    Act(Activation),
+    GlobalAvgPool,
+    Residual {
+        body: Vec<PackedOp>,
+        shortcut: Vec<PackedOp>,
+        post_relu: bool,
+    },
+}
+
+/// The ops of one bit-width's prebuilt network.
+#[derive(Debug, Clone)]
+pub(crate) struct PackedNet {
+    pub(crate) ops: Vec<PackedOp>,
+    pub(crate) bits: BitWidth,
+}
+
+/// A network prepacked at every bit-width of a [`BitWidthSet`].
+///
+/// # Example
+///
+/// ```
+/// use instantnet_infer::PackedModel;
+/// use instantnet_nn::models;
+/// use instantnet_quant::{BitWidthSet, Quantizer};
+/// use instantnet_tensor::Tensor;
+///
+/// let bits = BitWidthSet::narrow_range();
+/// let net = models::small_cnn(4, 10, (8, 8), bits.len(), 7);
+/// let mut packed = PackedModel::prepack(&net, &bits, Quantizer::Sbm).unwrap();
+/// let x = Tensor::zeros(&[1, 3, 8, 8]);
+/// let y4 = packed.forward(&x); // lowest bit-width
+/// packed.switch_to(bits.len() - 1); // instantaneous: no weight work
+/// let y8 = packed.forward(&x);
+/// assert_eq!(y4.dims(), y8.dims());
+/// ```
+pub struct PackedModel {
+    nets: Vec<PackedNet>,
+    set: BitWidthSet,
+    quantizer: Quantizer,
+    active: usize,
+    pack_passes: usize,
+}
+
+impl PackedModel {
+    /// Prepacks `module` at every bit-width of `set`.
+    ///
+    /// # Errors
+    ///
+    /// [`PackError::Unsupported`] if the module exposes no inference plan
+    /// (e.g. PACT layers) or the plan contains an unfoldable op sequence;
+    /// [`PackError::Shape`] on inconsistent tensor shapes.
+    pub fn prepack(
+        module: &dyn Module,
+        set: &BitWidthSet,
+        quantizer: Quantizer,
+    ) -> Result<Self, PackError> {
+        let plan = module
+            .plan_ops()
+            .ok_or_else(|| PackError::Unsupported("module exposes no inference plan".into()))?;
+        Self::from_plan(&plan, set, quantizer)
+    }
+
+    /// Prepacks an explicit plan (useful for single-layer tests/benches).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::prepack`].
+    pub fn from_plan(
+        plan: &[PlanOp],
+        set: &BitWidthSet,
+        quantizer: Quantizer,
+    ) -> Result<Self, PackError> {
+        let mut pack_passes = 0usize;
+        let mut nets = Vec::with_capacity(set.len());
+        for (i, &b) in set.widths().iter().enumerate() {
+            let ops = pack::pack_plan(plan, i, b, quantizer, &mut pack_passes)?;
+            nets.push(PackedNet { ops, bits: b });
+        }
+        Ok(PackedModel {
+            nets,
+            set: set.clone(),
+            quantizer,
+            active: 0,
+            pack_passes,
+        })
+    }
+
+    /// Restores `module` from a checkpoint (parameters *and* BN running
+    /// statistics), then prepacks it — the deployment path: train, save,
+    /// load on device, pack once, switch freely.
+    ///
+    /// # Errors
+    ///
+    /// Checkpoint I/O and format errors surface as
+    /// [`PackError::Checkpoint`]; packing errors as in [`Self::prepack`].
+    pub fn from_checkpoint(
+        module: &dyn Module,
+        path: impl AsRef<Path>,
+        set: &BitWidthSet,
+        quantizer: Quantizer,
+    ) -> Result<Self, PackError> {
+        instantnet_nn::checkpoint::load(module, path).map_err(PackError::Checkpoint)?;
+        Self::prepack(module, set, quantizer)
+    }
+
+    /// Switches the active bit-width by set index — a pointer swap into
+    /// the prebuilt table; performs no per-element weight work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn switch_to(&mut self, index: usize) {
+        assert!(index < self.nets.len(), "bit index {index} out of range");
+        self.active = index;
+    }
+
+    /// Switches by bit-width value; returns whether it was in the set.
+    pub fn switch_to_bits(&mut self, bits: BitWidth) -> bool {
+        match self.set.index_of(bits) {
+            Some(i) => {
+                self.active = i;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Index of the active bit-width.
+    pub fn active_index(&self) -> usize {
+        self.active
+    }
+
+    /// The active bit-width.
+    pub fn active_bits(&self) -> BitWidth {
+        self.nets[self.active].bits
+    }
+
+    /// The candidate set this model was packed for.
+    pub fn bit_widths(&self) -> &BitWidthSet {
+        &self.set
+    }
+
+    /// The quantization rule the model was packed with.
+    pub fn quantizer(&self) -> Quantizer {
+        self.quantizer
+    }
+
+    /// Number of per-element weight packing passes performed so far.
+    /// Monotone; constant after construction — switching and forwards
+    /// never repack (the zero-cost-switch guarantee tests pin).
+    pub fn pack_passes(&self) -> usize {
+        self.pack_passes
+    }
+
+    /// Total bytes of packed weight storage across all bit-widths.
+    pub fn packed_bytes(&self) -> usize {
+        fn op_bytes(op: &PackedOp) -> usize {
+            match op {
+                PackedOp::Conv { gemm, .. } | PackedOp::Linear { gemm } => gemm.storage.bytes(),
+                PackedOp::Residual { body, shortcut, .. } => {
+                    body.iter().map(op_bytes).sum::<usize>()
+                        + shortcut.iter().map(op_bytes).sum::<usize>()
+                }
+                _ => 0,
+            }
+        }
+        self.nets
+            .iter()
+            .map(|n| n.ops.iter().map(op_bytes).sum::<usize>())
+            .sum()
+    }
+
+    /// Runs the packed network at the active bit-width.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        self.forward_at(self.active, x)
+    }
+
+    /// Runs the packed network at an explicit bit-width index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or the input shape does not fit
+    /// the first layer.
+    pub fn forward_at(&self, index: usize, x: &Tensor) -> Tensor {
+        let net = &self.nets[index];
+        exec::exec_ops(&net.ops, x, net.bits, self.quantizer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instantnet_nn::{checkpoint, models};
+
+    #[test]
+    fn from_checkpoint_matches_prepack_of_source() {
+        let bits = BitWidthSet::narrow_range();
+        let net = models::small_cnn(4, 6, (8, 8), bits.len(), 11);
+        let path = std::env::temp_dir().join(format!(
+            "instantnet_infer_ckpt_{}_{:p}.bin",
+            std::process::id(),
+            &bits
+        ));
+        checkpoint::save(&net, &path).unwrap();
+
+        // A differently-seeded clone restored from the checkpoint must pack
+        // to the same model as the source (parameters and BN buffers both
+        // travel through the file).
+        let restored = models::small_cnn(4, 6, (8, 8), bits.len(), 99);
+        let packed_src = PackedModel::prepack(&net, &bits, Quantizer::Sbm).unwrap();
+        let packed_ckpt =
+            PackedModel::from_checkpoint(&restored, &path, &bits, Quantizer::Sbm).unwrap();
+        std::fs::remove_file(&path).unwrap();
+
+        let x = Tensor::from_vec(
+            vec![2, 3, 8, 8],
+            (0..2 * 3 * 8 * 8)
+                .map(|i| ((i * 37 % 101) as f32) / 50.5 - 1.0)
+                .collect(),
+        );
+        for i in 0..bits.len() {
+            let a = packed_src.forward_at(i, &x);
+            let b = packed_ckpt.forward_at(i, &x);
+            assert_eq!(a.data(), b.data(), "bit index {i}");
+        }
+    }
+
+    #[test]
+    fn switching_and_forwards_perform_no_weight_work() {
+        let bits = BitWidthSet::large_range();
+        let net = models::small_cnn(4, 6, (8, 8), bits.len(), 3);
+        let mut packed = PackedModel::prepack(&net, &bits, Quantizer::Sbm).unwrap();
+        // small_cnn has three GEMM layers (two convs + classifier), each
+        // packed exactly once per bit-width.
+        assert_eq!(packed.pack_passes(), 3 * bits.len());
+
+        let x = Tensor::zeros(&[1, 3, 8, 8]);
+        let before = packed.pack_passes();
+        for i in (0..bits.len()).rev() {
+            packed.switch_to(i);
+            assert_eq!(packed.active_index(), i);
+            let _ = packed.forward(&x);
+        }
+        assert!(packed.switch_to_bits(bits.widths()[0]));
+        let _ = packed.forward(&x);
+        assert_eq!(packed.pack_passes(), before, "switching must not repack");
+    }
+
+    #[test]
+    fn nibble_roundtrip_all_signed_values() {
+        // Pack every signed nibble value over an odd column count (row
+        // padding exercised), decode, compare.
+        let cols = 5;
+        let codes: Vec<i32> = (-8..8).collect(); // 16 values
+        let rows = codes.len().div_ceil(cols);
+        let mut padded = codes.clone();
+        padded.resize(rows * cols, 0);
+        let stride = cols.div_ceil(2);
+        let mut data = vec![0u8; rows * stride];
+        for (e, &d) in padded.iter().enumerate() {
+            let (row, j) = (e / cols, e % cols);
+            let nib = (d as u8) & 0xF;
+            let slot = &mut data[row * stride + j / 2];
+            *slot |= if j % 2 == 0 { nib } else { nib << 4 };
+        }
+        let storage = Storage::Nibble(data);
+        let mut out = vec![0i32; cols];
+        for row in 0..rows {
+            storage.decode_row(row, cols, &mut out);
+            assert_eq!(out, &padded[row * cols..(row + 1) * cols]);
+        }
+    }
+
+    #[test]
+    fn storage_bytes_accounting() {
+        assert_eq!(Storage::Nibble(vec![0; 10]).bytes(), 10);
+        assert_eq!(Storage::I8(vec![0; 10]).bytes(), 10);
+        assert_eq!(Storage::I16(vec![0; 10]).bytes(), 20);
+        assert_eq!(Storage::F32(vec![0.0; 10]).bytes(), 40);
+        assert!(!Storage::F32(vec![]).is_integer());
+        assert!(Storage::I8(vec![]).is_integer());
+    }
+}

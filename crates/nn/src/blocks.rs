@@ -2,8 +2,9 @@
 //! basic blocks.
 
 use crate::layers::{Activation, QuantConv2d, SwitchableBatchNorm};
+use crate::plan::{concat_plans, PlanOp};
 use crate::{ConvSpec, ForwardCtx, Module};
-use instantnet_tensor::{Param, Var};
+use instantnet_tensor::{Param, Tensor, Var};
 use rand::rngs::StdRng;
 
 /// Convolution followed by switchable batch norm and an activation.
@@ -65,6 +66,22 @@ impl Module for ConvBnAct {
         in_shape: (usize, usize, usize),
     ) -> (Vec<ConvSpec>, (usize, usize, usize)) {
         self.conv.conv_specs(in_shape)
+    }
+
+    fn plan_ops(&self) -> Option<Vec<PlanOp>> {
+        concat_plans(vec![
+            self.conv.plan_ops(),
+            self.bn.plan_ops(),
+            self.act.plan_ops(),
+        ])
+    }
+
+    fn buffers(&self) -> Vec<(String, Tensor)> {
+        self.bn.buffers()
+    }
+
+    fn set_buffer(&self, name: &str, value: &Tensor) -> bool {
+        self.bn.set_buffer(name, value)
     }
 }
 
@@ -193,6 +210,43 @@ impl Module for InvertedResidual {
         specs.extend(s);
         (specs, out)
     }
+
+    fn plan_ops(&self) -> Option<Vec<PlanOp>> {
+        let mut parts = Vec::new();
+        if let Some(e) = &self.expand {
+            parts.push(e.plan_ops());
+        }
+        parts.push(self.depthwise.plan_ops());
+        parts.push(self.project.plan_ops());
+        let body = concat_plans(parts)?;
+        if self.use_res {
+            Some(vec![PlanOp::Residual {
+                body,
+                shortcut: vec![],
+                post_relu: false,
+            }])
+        } else {
+            Some(body)
+        }
+    }
+
+    fn buffers(&self) -> Vec<(String, Tensor)> {
+        let mut out = Vec::new();
+        if let Some(e) = &self.expand {
+            out.extend(e.buffers());
+        }
+        out.extend(self.depthwise.buffers());
+        out.extend(self.project.buffers());
+        out
+    }
+
+    fn set_buffer(&self, name: &str, value: &Tensor) -> bool {
+        self.expand
+            .as_ref()
+            .is_some_and(|e| e.set_buffer(name, value))
+            || self.depthwise.set_buffer(name, value)
+            || self.project.set_buffer(name, value)
+    }
 }
 
 /// ResNet basic block: two 3x3 convolutions with an identity or projection
@@ -294,6 +348,37 @@ impl Module for BasicBlock {
             specs.extend(s3);
         }
         (specs, out)
+    }
+
+    fn plan_ops(&self) -> Option<Vec<PlanOp>> {
+        let body = concat_plans(vec![self.conv1.plan_ops(), self.conv2.plan_ops()])?;
+        let shortcut = match &self.shortcut {
+            Some(s) => s.plan_ops()?,
+            None => vec![],
+        };
+        Some(vec![PlanOp::Residual {
+            body,
+            shortcut,
+            post_relu: true,
+        }])
+    }
+
+    fn buffers(&self) -> Vec<(String, Tensor)> {
+        let mut out = self.conv1.buffers();
+        out.extend(self.conv2.buffers());
+        if let Some(s) = &self.shortcut {
+            out.extend(s.buffers());
+        }
+        out
+    }
+
+    fn set_buffer(&self, name: &str, value: &Tensor) -> bool {
+        self.conv1.set_buffer(name, value)
+            || self.conv2.set_buffer(name, value)
+            || self
+                .shortcut
+                .as_ref()
+                .is_some_and(|s| s.set_buffer(name, value))
     }
 }
 

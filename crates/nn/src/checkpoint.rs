@@ -3,7 +3,12 @@
 //!
 //! Format (little-endian): magic `b"INET"`, format version `u32`,
 //! parameter count `u32`, then per parameter: name length `u32`, UTF-8
-//! name bytes, rank `u32`, dims (`u64` each), and `f32` data.
+//! name bytes, rank `u32`, dims (`u64` each), and `f32` data. Version 2
+//! appends a second section in the same record format holding module
+//! *buffers* — non-trainable state such as `SwitchableBatchNorm` running
+//! statistics — so an eval-mode model (and the integer engine prepacked
+//! from it) is fully reconstructable from a checkpoint. Version 1 files
+//! (params only) remain readable.
 
 use crate::Module;
 use instantnet_tensor::Tensor;
@@ -15,7 +20,7 @@ use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"INET";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// Errors from checkpoint I/O.
 #[derive(Debug)]
@@ -57,22 +62,12 @@ impl From<std::io::Error> for CheckpointError {
     }
 }
 
-/// Saves every parameter of `module` to `path`.
-///
-/// # Errors
-///
-/// Returns [`CheckpointError::Io`] on filesystem failures.
-pub fn save(module: &dyn Module, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
-    let params = module.params();
-    let mut w = BufWriter::new(File::create(path)?);
-    w.write_all(MAGIC)?;
-    w.write_all(&VERSION.to_le_bytes())?;
-    w.write_all(&(params.len() as u32).to_le_bytes())?;
-    for p in &params {
-        let name = p.name().as_bytes();
+fn write_section(w: &mut impl Write, records: &[(String, Tensor)]) -> Result<(), CheckpointError> {
+    w.write_all(&(records.len() as u32).to_le_bytes())?;
+    for (name, value) in records {
+        let name = name.as_bytes();
         w.write_all(&(name.len() as u32).to_le_bytes())?;
         w.write_all(name)?;
-        let value = p.var().value();
         let dims = value.dims();
         w.write_all(&(dims.len() as u32).to_le_bytes())?;
         for &d in dims {
@@ -82,6 +77,25 @@ pub fn save(module: &dyn Module, path: impl AsRef<Path>) -> Result<(), Checkpoin
             w.write_all(&v.to_le_bytes())?;
         }
     }
+    Ok(())
+}
+
+/// Saves every parameter and buffer of `module` to `path`.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] on filesystem failures.
+pub fn save(module: &dyn Module, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let params: Vec<(String, Tensor)> = module
+        .params()
+        .iter()
+        .map(|p| (p.name().to_string(), p.var().value()))
+        .collect();
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    write_section(&mut w, &params)?;
+    write_section(&mut w, &module.buffers())?;
     w.flush()?;
     Ok(())
 }
@@ -98,40 +112,32 @@ fn read_u64(r: &mut impl Read) -> Result<u64, CheckpointError> {
     Ok(u64::from_le_bytes(b))
 }
 
-/// Reads a checkpoint into a name → tensor map.
-///
-/// # Errors
-///
-/// Returns header/corruption errors for malformed files.
-pub fn read_tensors(path: impl AsRef<Path>) -> Result<HashMap<String, Tensor>, CheckpointError> {
-    let mut r = BufReader::new(File::open(path)?);
-    let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC || read_u32(&mut r)? != VERSION {
-        return Err(CheckpointError::BadHeader);
-    }
-    let count = read_u32(&mut r)? as usize;
+fn read_section(
+    r: &mut impl Read,
+    what: &'static str,
+) -> Result<HashMap<String, Tensor>, CheckpointError> {
+    let count = read_u32(r)? as usize;
     let mut out = HashMap::with_capacity(count);
     for _ in 0..count {
-        let name_len = read_u32(&mut r)? as usize;
+        let name_len = read_u32(r)? as usize;
         if name_len > 4096 {
-            return Err(CheckpointError::Corrupt("parameter name too long"));
+            return Err(CheckpointError::Corrupt("tensor name too long"));
         }
         let mut name_bytes = vec![0u8; name_len];
         r.read_exact(&mut name_bytes)?;
         let name = String::from_utf8(name_bytes)
-            .map_err(|_| CheckpointError::Corrupt("non-UTF-8 parameter name"))?;
-        let rank = read_u32(&mut r)? as usize;
+            .map_err(|_| CheckpointError::Corrupt("non-UTF-8 tensor name"))?;
+        let rank = read_u32(r)? as usize;
         if rank > 8 {
             return Err(CheckpointError::Corrupt("rank too large"));
         }
         let mut dims = Vec::with_capacity(rank);
         for _ in 0..rank {
-            dims.push(read_u64(&mut r)? as usize);
+            dims.push(read_u64(r)? as usize);
         }
         let n: usize = dims.iter().product();
         if n > 1 << 28 {
-            return Err(CheckpointError::Corrupt("tensor too large"));
+            return Err(CheckpointError::Corrupt(what));
         }
         let mut data = vec![0.0f32; n];
         for v in data.iter_mut() {
@@ -144,15 +150,50 @@ pub fn read_tensors(path: impl AsRef<Path>) -> Result<HashMap<String, Tensor>, C
     Ok(out)
 }
 
-/// Loads a checkpoint into `module`, matching parameters by name.
+type Sections = (HashMap<String, Tensor>, HashMap<String, Tensor>);
+
+/// Reads a checkpoint's parameter and buffer sections (buffers empty for
+/// version-1 files).
+fn read_sections(path: impl AsRef<Path>) -> Result<Sections, CheckpointError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadHeader);
+    }
+    let version = read_u32(&mut r)?;
+    if !(1..=VERSION).contains(&version) {
+        return Err(CheckpointError::BadHeader);
+    }
+    let params = read_section(&mut r, "parameter tensor too large")?;
+    let buffers = if version >= 2 {
+        read_section(&mut r, "buffer tensor too large")?
+    } else {
+        HashMap::new()
+    };
+    Ok((params, buffers))
+}
+
+/// Reads a checkpoint's parameters into a name → tensor map.
+///
+/// # Errors
+///
+/// Returns header/corruption errors for malformed files.
+pub fn read_tensors(path: impl AsRef<Path>) -> Result<HashMap<String, Tensor>, CheckpointError> {
+    Ok(read_sections(path)?.0)
+}
+
+/// Loads a checkpoint into `module`, matching parameters and buffers by
+/// name.
 ///
 /// # Errors
 ///
 /// Returns [`CheckpointError::Mismatch`] if any module parameter is absent
-/// from the file or has a different shape; file I/O and format errors
-/// propagate.
+/// from the file, has a different shape, or a stored buffer is rejected by
+/// the module; file I/O and format errors propagate. Version-1 files carry
+/// no buffers, so running statistics keep their in-memory values.
 pub fn load(module: &dyn Module, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
-    let mut tensors = read_tensors(path)?;
+    let (mut tensors, buffers) = read_sections(path)?;
     for p in module.params() {
         let Some(t) = tensors.remove(p.name()) else {
             return Err(CheckpointError::Mismatch(p.name().to_string()));
@@ -161,6 +202,11 @@ pub fn load(module: &dyn Module, path: impl AsRef<Path>) -> Result<(), Checkpoin
             return Err(CheckpointError::Mismatch(p.name().to_string()));
         }
         p.var().set_value(t);
+    }
+    for (name, t) in &buffers {
+        if !module.set_buffer(name, t) {
+            return Err(CheckpointError::Mismatch(name.clone()));
+        }
     }
     Ok(())
 }
@@ -234,6 +280,66 @@ mod tests {
         assert_eq!(tensors.len(), net.params().len());
         assert!(tensors.keys().any(|k| k.contains("classifier")));
         assert!(tensors.keys().any(|k| k.contains("gamma")));
+    }
+
+    #[test]
+    fn bn_running_stats_survive_roundtrip() {
+        use rand::SeedableRng;
+        let bits = BitWidthSet::new(vec![4, 8, 32]).unwrap();
+        let a = models::small_cnn(4, 5, (6, 6), bits.len(), 1);
+        let x = Var::constant(instantnet_tensor::init::uniform(
+            &mut rand::rngs::StdRng::seed_from_u64(5),
+            &[4, 3, 6, 6],
+            -1.0,
+            1.0,
+        ));
+        // Seed distinct running stats per branch with train passes.
+        for i in 0..bits.len() {
+            let mut ctx = ForwardCtx::train(&bits, i, Quantizer::Sbm);
+            a.forward(&x, &mut ctx);
+        }
+        let path = tmp("bn-stats.bin");
+        save(&a, &path).unwrap();
+        let b = models::small_cnn(4, 5, (6, 6), bits.len(), 2);
+        load(&b, &path).unwrap();
+        let (ba, bb) = (a.buffers(), b.buffers());
+        assert!(!ba.is_empty(), "small_cnn must expose BN buffers");
+        assert_eq!(ba.len(), bb.len());
+        for ((na, ta), (nb, tb)) in ba.iter().zip(&bb) {
+            assert_eq!(na, nb);
+            assert_eq!(ta.data(), tb.data(), "buffer {na} differs after load");
+        }
+        // Eval-mode forwards (which read running stats) now agree too.
+        for i in 0..bits.len() {
+            let ya = a
+                .forward(&x, &mut ForwardCtx::eval(&bits, i, Quantizer::Sbm))
+                .value();
+            let yb = b
+                .forward(&x, &mut ForwardCtx::eval(&bits, i, Quantizer::Sbm))
+                .value();
+            assert_eq!(ya, yb, "eval outputs differ at bit index {i}");
+        }
+    }
+
+    #[test]
+    fn version1_params_only_file_still_loads() {
+        use std::io::Write as _;
+        let net = models::small_cnn(4, 5, (6, 6), 2, 1);
+        let params: Vec<(String, Tensor)> = net
+            .params()
+            .iter()
+            .map(|p| (p.name().to_string(), p.var().value()))
+            .collect();
+        let path = tmp("v1.bin");
+        let mut w = BufWriter::new(File::create(&path).unwrap());
+        w.write_all(MAGIC).unwrap();
+        w.write_all(&1u32.to_le_bytes()).unwrap();
+        write_section(&mut w, &params).unwrap();
+        w.flush().unwrap();
+        drop(w);
+        let other = models::small_cnn(4, 5, (6, 6), 2, 2);
+        load(&other, &path).unwrap();
+        assert_eq!(read_tensors(&path).unwrap().len(), params.len());
     }
 
     #[test]

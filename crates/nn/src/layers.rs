@@ -1,5 +1,6 @@
 //! Primitive quantization-aware layers.
 
+use crate::plan::PlanOp;
 use crate::{ConvSpec, ForwardCtx, Module};
 use instantnet_tensor::{init, ops, Param, Tensor, Var};
 use rand::rngs::StdRng;
@@ -133,6 +134,22 @@ impl Module for QuantConv2d {
         let (oh, ow) = spec.out_hw();
         (vec![spec], (self.out_c, oh, ow))
     }
+
+    fn plan_ops(&self) -> Option<Vec<PlanOp>> {
+        if self.pact_alpha.is_some() {
+            // PACT's clip range is a learnable parameter the integer
+            // engine does not model; fall back to the fake-quant path.
+            return None;
+        }
+        Some(vec![PlanOp::Conv {
+            name: self.weight.name().to_string(),
+            weight: self.weight.var().value(),
+            stride: self.stride,
+            pad: self.pad,
+            groups: self.groups,
+            quantize_input: self.quantize_input,
+        }])
+    }
 }
 
 /// Quantized fully-connected classifier head.
@@ -194,6 +211,14 @@ impl Module for QuantLinear {
             (self.out_features, 1, 1),
         )
     }
+
+    fn plan_ops(&self) -> Option<Vec<PlanOp>> {
+        Some(vec![PlanOp::Linear {
+            name: self.weight.name().to_string(),
+            weight: self.weight.var().value(),
+            bias: self.bias.var().value(),
+        }])
+    }
 }
 
 /// Batch normalization with one statistics/affine branch per bit-width.
@@ -203,6 +228,7 @@ impl Module for QuantLinear {
 /// statistics per bit-width (SP, Guerra et al. 2020) while convolutional
 /// weights stay shared. `ctx.bit_index` selects the branch.
 pub struct SwitchableBatchNorm {
+    name: String,
     gammas: Vec<Param>,
     betas: Vec<Param>,
     running: RefCell<Vec<RunningStats>>,
@@ -235,6 +261,7 @@ impl SwitchableBatchNorm {
             })
             .collect();
         SwitchableBatchNorm {
+            name: name.to_string(),
             gammas,
             betas,
             running: RefCell::new(running),
@@ -313,6 +340,58 @@ impl Module for SwitchableBatchNorm {
         assert_eq!(in_shape.0, self.channels, "BN channel mismatch");
         (vec![], in_shape)
     }
+
+    fn plan_ops(&self) -> Option<Vec<PlanOp>> {
+        let running = self.running.borrow();
+        Some(vec![PlanOp::BatchNorm {
+            gamma: self.gammas.iter().map(|p| p.var().value()).collect(),
+            beta: self.betas.iter().map(|p| p.var().value()).collect(),
+            mean: running.iter().map(|r| r.mean.clone()).collect(),
+            var: running.iter().map(|r| r.var.clone()).collect(),
+            eps: self.eps,
+        }])
+    }
+
+    fn buffers(&self) -> Vec<(String, Tensor)> {
+        let running = self.running.borrow();
+        let mut out = Vec::with_capacity(2 * running.len());
+        for (i, r) in running.iter().enumerate() {
+            out.push((format!("{}.running_mean[{i}]", self.name), r.mean.clone()));
+            out.push((format!("{}.running_var[{i}]", self.name), r.var.clone()));
+        }
+        out
+    }
+
+    fn set_buffer(&self, name: &str, value: &Tensor) -> bool {
+        let Some(rest) = name.strip_prefix(self.name.as_str()) else {
+            return false;
+        };
+        let parse = |rest: &str, kind: &str| -> Option<usize> {
+            rest.strip_prefix(kind)?
+                .strip_prefix('[')?
+                .strip_suffix(']')?
+                .parse()
+                .ok()
+        };
+        let mut running = self.running.borrow_mut();
+        if let Some(i) = parse(rest, ".running_mean") {
+            if i >= running.len() || value.dims() != [self.channels] {
+                return false;
+            }
+            running[i].mean = value.clone();
+            running[i].initialized = true;
+            return true;
+        }
+        if let Some(i) = parse(rest, ".running_var") {
+            if i >= running.len() || value.dims() != [self.channels] {
+                return false;
+            }
+            running[i].var = value.clone();
+            running[i].initialized = true;
+            return true;
+        }
+        false
+    }
 }
 
 /// Activation functions usable as modules.
@@ -346,6 +425,10 @@ impl Module for Activation {
     ) -> (Vec<ConvSpec>, (usize, usize, usize)) {
         (vec![], in_shape)
     }
+
+    fn plan_ops(&self) -> Option<Vec<PlanOp>> {
+        Some(vec![PlanOp::Act(*self)])
+    }
 }
 
 /// Global average pooling + flatten: `[N,C,H,W] -> [N,C]`.
@@ -365,6 +448,10 @@ impl Module for GlobalAvgPool {
         in_shape: (usize, usize, usize),
     ) -> (Vec<ConvSpec>, (usize, usize, usize)) {
         (vec![], (in_shape.0, 1, 1))
+    }
+
+    fn plan_ops(&self) -> Option<Vec<PlanOp>> {
+        Some(vec![PlanOp::GlobalAvgPool])
     }
 }
 

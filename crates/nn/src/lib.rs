@@ -26,10 +26,11 @@ pub mod blocks;
 pub mod checkpoint;
 pub mod layers;
 pub mod models;
+pub mod plan;
 pub mod shapes;
 
 use instantnet_quant::{BitWidthSet, Precision, Quantizer};
-use instantnet_tensor::{Param, Var};
+use instantnet_tensor::{Param, Tensor, Var};
 
 /// Per-forward-pass configuration: which bit-width branch is active, the
 /// quantizer, and train/eval mode.
@@ -144,6 +145,26 @@ pub trait Module {
     /// the specs contributed by this module and its output shape.
     fn conv_specs(&self, in_shape: (usize, usize, usize))
         -> (Vec<ConvSpec>, (usize, usize, usize));
+
+    /// Flattens the module into inference-plan operations for the integer
+    /// engine ([`plan::PlanOp`]); `None` when the module (or any child)
+    /// has no data-level description.
+    fn plan_ops(&self) -> Option<Vec<plan::PlanOp>> {
+        None
+    }
+
+    /// Non-trainable state tensors (BN running statistics), as
+    /// `(name, value)` pairs — checkpointed alongside parameters.
+    fn buffers(&self) -> Vec<(String, Tensor)> {
+        vec![]
+    }
+
+    /// Restores one buffer by name; returns whether the name was accepted.
+    /// Uses interior mutability, mirroring how running stats update in
+    /// forward passes.
+    fn set_buffer(&self, _name: &str, _value: &Tensor) -> bool {
+        false
+    }
 }
 
 /// Runs modules in order.
@@ -202,6 +223,18 @@ impl Module for Sequential {
             shape = out;
         }
         (specs, shape)
+    }
+
+    fn plan_ops(&self) -> Option<Vec<plan::PlanOp>> {
+        plan::concat_plans(self.modules.iter().map(|m| m.plan_ops()).collect())
+    }
+
+    fn buffers(&self) -> Vec<(String, Tensor)> {
+        self.modules.iter().flat_map(|m| m.buffers()).collect()
+    }
+
+    fn set_buffer(&self, name: &str, value: &Tensor) -> bool {
+        self.modules.iter().any(|m| m.set_buffer(name, value))
     }
 }
 

@@ -9,8 +9,9 @@
 
 use crate::blocks::{BasicBlock, ConvBnAct, InvertedResidual};
 use crate::layers::{Activation, GlobalAvgPool, QuantLinear};
+use crate::plan::PlanOp;
 use crate::{ConvSpec, ForwardCtx, Module, Sequential};
-use instantnet_tensor::{Param, Var};
+use instantnet_tensor::{Param, Tensor, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -108,6 +109,18 @@ impl Module for Network {
         in_shape: (usize, usize, usize),
     ) -> (Vec<ConvSpec>, (usize, usize, usize)) {
         self.body.conv_specs(in_shape)
+    }
+
+    fn plan_ops(&self) -> Option<Vec<PlanOp>> {
+        self.body.plan_ops()
+    }
+
+    fn buffers(&self) -> Vec<(String, Tensor)> {
+        self.body.buffers()
+    }
+
+    fn set_buffer(&self, name: &str, value: &Tensor) -> bool {
+        self.body.set_buffer(name, value)
     }
 }
 

@@ -1,0 +1,79 @@
+//! Structural introspection for inference engines.
+//!
+//! [`crate::Module::plan_ops`] flattens a network into a linear list of
+//! [`PlanOp`]s — plain data (weight tensors, BN statistics, shape
+//! parameters) with no autograd state — which the integer inference engine
+//! (`crates/infer`) consumes to prepack weights per bit-width. Modules that
+//! have no data-level description (e.g. PACT-clipped convolutions, whose
+//! activation rule depends on a learnable parameter the engine does not
+//! model) return `None` and opt the whole network out of packing.
+
+use crate::layers::Activation;
+use instantnet_tensor::Tensor;
+
+/// One inference-plan operation, in execution order.
+#[derive(Debug, Clone)]
+pub enum PlanOp {
+    /// Grouped 2-d convolution, no bias (BN follows).
+    Conv {
+        /// Parameter name of the weight (diagnostics).
+        name: String,
+        /// Weight tensor `[out_c, in_c/groups, k, k]`, full precision.
+        weight: Tensor,
+        /// Square stride.
+        stride: usize,
+        /// Zero padding per side.
+        pad: usize,
+        /// Channel groups.
+        groups: usize,
+        /// Whether the input is re-quantized before the conv (false for
+        /// the raw-image stem layer).
+        quantize_input: bool,
+    },
+    /// Switchable batch norm: one affine + running-stat set per bit-width
+    /// branch; branch `i` corresponds to bit-width index `i`.
+    BatchNorm {
+        /// Per-branch scale `[channels]`.
+        gamma: Vec<Tensor>,
+        /// Per-branch shift `[channels]`.
+        beta: Vec<Tensor>,
+        /// Per-branch running mean `[channels]`.
+        mean: Vec<Tensor>,
+        /// Per-branch running variance `[channels]`.
+        var: Vec<Tensor>,
+        /// Variance epsilon.
+        eps: f32,
+    },
+    /// Pointwise activation.
+    Act(Activation),
+    /// Global average pooling + flatten, `[N,C,H,W] -> [N,C]`.
+    GlobalAvgPool,
+    /// Fully-connected layer with bias; input is quantized first.
+    Linear {
+        /// Parameter name of the weight (diagnostics).
+        name: String,
+        /// Weight `[out_features, in_features]`, full precision.
+        weight: Tensor,
+        /// Bias `[out_features]`.
+        bias: Tensor,
+    },
+    /// Residual connection: `post(body(x) + shortcut(x))`, identity
+    /// shortcut when `shortcut` is empty, `post` = ReLU iff `post_relu`.
+    Residual {
+        /// Main path.
+        body: Vec<PlanOp>,
+        /// Projection path (empty = identity).
+        shortcut: Vec<PlanOp>,
+        /// Apply ReLU after the add (ResNet basic block).
+        post_relu: bool,
+    },
+}
+
+/// Concatenates children's plans; `None` if any child has none.
+pub fn concat_plans(parts: Vec<Option<Vec<PlanOp>>>) -> Option<Vec<PlanOp>> {
+    let mut out = Vec::new();
+    for p in parts {
+        out.extend(p?);
+    }
+    Some(out)
+}

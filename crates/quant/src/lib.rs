@@ -244,6 +244,72 @@ fn quantize_unit(x: f32, bits: u8) -> f32 {
     (x * n).round() / n
 }
 
+/// DoReFa weight codes `c = round((tanh(w) / (2·max|tanh(w)|) + 0.5) · n)`
+/// with `n = 2^bits - 1`, so the quantized value is `2c/n - 1`.
+///
+/// `tanh` is odd and monotone, so `max |tanh(w)| = tanh(max |w|)`: one tanh
+/// call replaces the full normalization pass over the tensor. For ≤ 4 bits
+/// the per-element tanh disappears too — the code increments exactly where
+/// `tanh(v)` crosses `((c − 0.5)/n − 0.5)·2·max`, and monotonicity moves
+/// that boundary into input space via `atanh`, leaving a 15-way threshold
+/// scan per element.
+fn dorefa_weight_codes(data: &[f32], bits: u8) -> Vec<i32> {
+    let n = ((1u64 << bits) - 1) as f32;
+    let amax = data.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    let tmax = amax.tanh().max(1e-8);
+    if bits <= 4 {
+        let levels = 1usize << bits;
+        let mut thr = [0f32; 15];
+        for (c, t) in thr.iter_mut().enumerate().take(levels - 1) {
+            let y = (((c + 1) as f32 - 0.5) / n - 0.5) * (2.0 * tmax);
+            *t = y.clamp(-0.999_999, 0.999_999).atanh();
+        }
+        let thr = &thr[..levels - 1];
+        data.iter()
+            .map(|&v| thr.iter().map(|&t| i32::from(v >= t)).sum())
+            .collect()
+    } else {
+        let half_inv = 0.5 / tmax;
+        data.iter()
+            .map(|&v| ((v.tanh() * half_inv + 0.5) * n).round().clamp(0.0, n) as i32)
+            .collect()
+    }
+}
+
+/// Integer weight codes plus the affine decode parameters, the prepack
+/// input for the integer inference engine (`crates/infer`).
+///
+/// The decoded value of element `e` in dim-0 channel `k` is
+/// `scales[k.min(scales.len()-1)] * codes[e] + offset` and reproduces
+/// [`Quantizer::quantize_weights_tensor`] up to f32 rounding (bit-exact
+/// for SBM, ≤ 1 ulp for DoReFa).
+#[derive(Debug, Clone)]
+pub struct WeightCodes {
+    /// One integer code per element, row-major like the source tensor.
+    pub codes: Vec<i32>,
+    /// Per-output-channel scales (`dims[0]` entries) or one per-tensor scale.
+    pub scales: Vec<f32>,
+    /// Shared additive offset: DoReFa's `-1`, zero for SBM.
+    pub offset: f32,
+    /// Smallest representable code at this bit-width.
+    pub code_min: i32,
+    /// Largest representable code at this bit-width.
+    pub code_max: i32,
+}
+
+/// Integer activation codes with a per-tensor decode scale
+/// (`value = scale * code`), computed fresh each forward because the scale
+/// is data-dependent.
+#[derive(Debug, Clone)]
+pub struct ActivationCodes {
+    /// One integer code per element.
+    pub codes: Vec<i32>,
+    /// Per-tensor decode scale.
+    pub scale: f32,
+    /// Largest |code| that can occur (overflow-bound input for kernels).
+    pub code_abs_max: i32,
+}
+
 /// The quantization rule applied to weights and activations.
 ///
 /// All rules share weights across bit-widths (quantization happens on the
@@ -274,9 +340,12 @@ impl Quantizer {
         match self {
             Quantizer::Identity => unreachable!(),
             Quantizer::Dorefa => {
-                let t = w.map(f32::tanh);
-                let max = t.max_abs().max(1e-8);
-                t.map(|v| 2.0 * quantize_unit(v / (2.0 * max) + 0.5, bits.get()) - 1.0)
+                let n = ((1u64 << bits.get()) - 1) as f32;
+                let codes = dorefa_weight_codes(w.data(), bits.get());
+                Tensor::from_vec(
+                    w.dims().to_vec(),
+                    codes.iter().map(|&c| 2.0 * (c as f32 / n) - 1.0).collect(),
+                )
             }
             Quantizer::Sbm => {
                 // Per-output-channel (axis 0) symmetric scaling; rank-1
@@ -316,6 +385,108 @@ impl Quantizer {
                 let max = x.max_abs().max(1e-8);
                 let s = max / qmax;
                 x.map(|v| (v / s).round().clamp(-qmax, qmax) * s)
+            }
+        }
+    }
+
+    /// Extracts integer weight codes and decode scales for prepacking.
+    ///
+    /// Returns `None` when no integer grid exists ([`Quantizer::Identity`]
+    /// or a full-precision bit-width) — callers keep f32 weights then.
+    /// SBM yields per-output-channel scales on rank ≥ 2 tensors (one scale
+    /// per dim-0 slice, matching [`Self::quantize_weights_tensor`]); DoReFa
+    /// yields a single per-tensor scale `2/n` with offset `-1`.
+    pub fn weight_codes(&self, w: &Tensor, bits: BitWidth) -> Option<WeightCodes> {
+        if bits.is_full_precision() || matches!(self, Quantizer::Identity) {
+            return None;
+        }
+        match self {
+            Quantizer::Identity => unreachable!(),
+            Quantizer::Dorefa => {
+                let n = ((1u64 << bits.get()) - 1) as f32;
+                Some(WeightCodes {
+                    codes: dorefa_weight_codes(w.data(), bits.get()),
+                    scales: vec![2.0 / n],
+                    offset: -1.0,
+                    code_min: 0,
+                    code_max: (n as i32).max(1),
+                })
+            }
+            Quantizer::Sbm => {
+                let dims = w.dims().to_vec();
+                let qmax = ((1u64 << (bits.get().min(31) - 1)) - 1).max(1) as f32;
+                let (codes, scales) = if dims.len() < 2 {
+                    let s = w.max_abs().max(1e-8) / qmax;
+                    let codes = w
+                        .data()
+                        .iter()
+                        .map(|&v| (v / s).round().clamp(-qmax, qmax) as i32)
+                        .collect();
+                    (codes, vec![s])
+                } else {
+                    let per: usize = dims[1..].iter().product();
+                    let mut codes = Vec::with_capacity(w.len());
+                    let mut scales = Vec::with_capacity(dims[0]);
+                    for k in 0..dims[0] {
+                        let chunk = &w.data()[k * per..(k + 1) * per];
+                        let max = chunk.iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-8);
+                        let s = max / qmax;
+                        codes.extend(
+                            chunk
+                                .iter()
+                                .map(|&v| (v / s).round().clamp(-qmax, qmax) as i32),
+                        );
+                        scales.push(s);
+                    }
+                    (codes, scales)
+                };
+                Some(WeightCodes {
+                    codes,
+                    scales,
+                    offset: 0.0,
+                    code_min: -(qmax as i32),
+                    code_max: qmax as i32,
+                })
+            }
+        }
+    }
+
+    /// Extracts integer activation codes plus the per-tensor decode scale.
+    ///
+    /// Returns `None` for [`Quantizer::Identity`] or full precision. The
+    /// decoded value `scale * code` matches
+    /// [`Self::quantize_activations_tensor`] up to f32 rounding.
+    pub fn activation_codes(&self, x: &[f32], bits: BitWidth) -> Option<ActivationCodes> {
+        if bits.is_full_precision() || matches!(self, Quantizer::Identity) {
+            return None;
+        }
+        match self {
+            Quantizer::Identity => unreachable!(),
+            Quantizer::Dorefa => {
+                let n = ((1u64 << bits.get()) - 1) as f32;
+                let codes = x
+                    .iter()
+                    .map(|&v| (v.clamp(0.0, 1.0) * n).round() as i32)
+                    .collect();
+                Some(ActivationCodes {
+                    codes,
+                    scale: 1.0 / n,
+                    code_abs_max: (n as i32).max(1),
+                })
+            }
+            Quantizer::Sbm => {
+                let qmax = ((1u64 << bits.get().min(31)) - 1) as f32;
+                let max = x.iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-8);
+                let s = max / qmax;
+                let codes = x
+                    .iter()
+                    .map(|&v| (v / s).round().clamp(-qmax, qmax) as i32)
+                    .collect();
+                Some(ActivationCodes {
+                    codes,
+                    scale: s,
+                    code_abs_max: qmax as i32,
+                })
             }
         }
     }
@@ -538,6 +709,83 @@ mod tests {
         let p = Precision::new(BitWidth::new(2), BitWidth::FULL);
         assert_eq!(p.to_string(), "W2A32");
         assert_eq!(Precision::uniform(BitWidth::new(4)).activation.get(), 4);
+    }
+
+    /// Reference DoReFa weight rule, written the slow way (per-element tanh
+    /// and division) — pins the optimized path to the original definition.
+    fn dorefa_weights_reference(w: &Tensor, bits: u8) -> Tensor {
+        let t = w.map(f32::tanh);
+        let max = t.max_abs().max(1e-8);
+        t.map(|v| 2.0 * quantize_unit(v / (2.0 * max) + 0.5, bits) - 1.0)
+    }
+
+    #[test]
+    fn dorefa_fast_path_matches_reference() {
+        for seed in 0..20 {
+            let w = random_tensor(seed, &[16, 9]);
+            for bits in [2u8, 3, 4, 5, 8, 12] {
+                let fast = Quantizer::Dorefa.quantize_weights_tensor(&w, BitWidth::new(bits));
+                let reference = dorefa_weights_reference(&w, bits);
+                let step = 2.0 / (((1u64 << bits) - 1) as f32);
+                for (a, b) in fast.data().iter().zip(reference.data()) {
+                    assert!((a - b).abs() < step * 0.5 + 1e-6, "bits {bits}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weight_codes_decode_matches_fake_quant() {
+        let w = random_tensor(7, &[6, 10]);
+        for q in [Quantizer::Sbm, Quantizer::Dorefa] {
+            for bits in [2u8, 4, 8, 12] {
+                let bw = BitWidth::new(bits);
+                let wc = q.weight_codes(&w, bw).unwrap();
+                let fake = q.quantize_weights_tensor(&w, bw);
+                let per = w.len() / 6;
+                for (e, (&c, &f)) in wc.codes.iter().zip(fake.data()).enumerate() {
+                    assert!((wc.code_min..=wc.code_max).contains(&c));
+                    let s = wc.scales[(e / per).min(wc.scales.len() - 1)];
+                    let decoded = s * c as f32 + wc.offset;
+                    assert!(
+                        (decoded - f).abs() < 1e-5,
+                        "{q:?} bits {bits}: {decoded} vs {f}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn activation_codes_decode_matches_fake_quant() {
+        let x = random_tensor(9, &[128]);
+        for q in [Quantizer::Sbm, Quantizer::Dorefa] {
+            for bits in [2u8, 4, 8] {
+                let bw = BitWidth::new(bits);
+                let ac = q.activation_codes(x.data(), bw).unwrap();
+                let fake = q.quantize_activations_tensor(&x, bw);
+                for (&c, &f) in ac.codes.iter().zip(fake.data()) {
+                    assert!(c.abs() <= ac.code_abs_max);
+                    let decoded = ac.scale * c as f32;
+                    assert!(
+                        (decoded - f).abs() < 1e-5,
+                        "{q:?} bits {bits}: {decoded} vs {f}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn codes_absent_for_identity_and_full_precision() {
+        let w = random_tensor(10, &[4, 4]);
+        assert!(Quantizer::Identity
+            .weight_codes(&w, BitWidth::new(4))
+            .is_none());
+        assert!(Quantizer::Sbm.weight_codes(&w, BitWidth::FULL).is_none());
+        assert!(Quantizer::Sbm
+            .activation_codes(w.data(), BitWidth::FULL)
+            .is_none());
     }
 
     proptest! {

@@ -392,15 +392,34 @@ pub fn im2col(
     stride: usize,
     pad: usize,
 ) -> (Tensor, usize, usize) {
+    let (out, oh, ow) = im2col_generic(input, c, h, w, kh, kw, stride, pad);
+    let rows = c * kh * kw;
+    (Tensor::from_vec(vec![rows, oh * ow], out), oh, ow)
+}
+
+/// Element-type-generic [`im2col`]: identical patch layout, but over raw
+/// slices of any copyable element (the integer engine unfolds `i32`
+/// activation codes). Padding positions take `T::default()`.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col_generic<T: Copy + Default + Send + Sync>(
+    input: &[T],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> (Vec<T>, usize, usize) {
     let oh = (h + 2 * pad - kh) / stride + 1;
     let ow = (w + 2 * pad - kw) / stride + 1;
     let rows = c * kh * kw;
     let cols = oh * ow;
-    let mut out = vec![0.0f32; rows * cols];
+    let mut out = vec![T::default(); rows * cols];
     // Channel ci owns the contiguous output rows [ci*kh*kw, (ci+1)*kh*kw),
     // so channels parallelize with disjoint writes and no ordering effects.
     let per_channel = kh * kw * cols;
-    let fill = |ci: usize, chunk: &mut [f32]| {
+    let fill = |ci: usize, chunk: &mut [T]| {
         for ki in 0..kh {
             for kj in 0..kw {
                 let row = ki * kw + kj;
@@ -426,7 +445,7 @@ pub fn im2col(
     } else {
         parallel::par_chunks_mut(&mut out, per_channel, fill);
     }
-    (Tensor::from_vec(vec![rows, cols], out), oh, ow)
+    (out, oh, ow)
 }
 
 /// Folds columns back into an image, accumulating overlaps (`col2im`); the

@@ -1,0 +1,156 @@
+//! Parity and determinism contract of the packed integer inference engine
+//! (`instantnet-infer`) against the f32 fake-quant reference path.
+//!
+//! * **Parity**: for linear and conv layers — and a whole small CNN — the
+//!   packed integer forward matches the module's eval-mode fake-quant
+//!   forward within one quantization step per element (in practice the
+//!   difference is pure f32 association-order rounding, far below a step;
+//!   the asserted tolerance is `1e-3 + 1e-3·|ref|`), at every bit-width of
+//!   `BitWidthSet::large_range()` and for both SBM and DoReFa.
+//! * **Determinism**: packed forwards are bit-identical at 1 thread and at
+//!   {2, 3, 7} threads for every bit-width (nibble, i8, i16 and f32
+//!   storage tiers all exercised).
+//! * **Zero-cost switching**: a bit-width switch performs no per-element
+//!   weight work (the pack-pass counter stays frozen after construction).
+
+use instantnet_infer::PackedModel;
+use instantnet_nn::layers::{QuantConv2d, QuantLinear};
+use instantnet_nn::{models, ForwardCtx, Module};
+use instantnet_parallel::with_threads;
+use instantnet_quant::{BitWidthSet, Quantizer};
+use instantnet_tensor::{init, Tensor, Var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const THREADS: [usize; 3] = [2, 3, 7];
+
+fn assert_close(got: &Tensor, want: &Tensor, ctx: &str) {
+    assert_eq!(got.dims(), want.dims(), "{ctx}: dims differ");
+    for (i, (&g, &w)) in got.data().iter().zip(want.data()).enumerate() {
+        let tol = 1e-3 + 1e-3 * w.abs();
+        assert!(
+            (g - w).abs() <= tol,
+            "{ctx}: element {i}: packed {g} vs reference {w} (tol {tol})"
+        );
+    }
+}
+
+fn reference_eval(
+    module: &dyn Module,
+    x: &Tensor,
+    bits: &BitWidthSet,
+    index: usize,
+    q: Quantizer,
+) -> Tensor {
+    let mut ctx = ForwardCtx::eval(bits, index, q);
+    module.forward(&Var::constant(x.clone()), &mut ctx).value()
+}
+
+#[test]
+fn linear_parity_every_bitwidth_both_quantizers() {
+    let bits = BitWidthSet::large_range();
+    let mut rng = StdRng::seed_from_u64(41);
+    let layer = QuantLinear::new(&mut rng, "fc", 24, 10);
+    let x = init::uniform(&mut rng, &[5, 24], -0.3, 1.2);
+    for q in [Quantizer::Sbm, Quantizer::Dorefa] {
+        let packed = PackedModel::prepack(&layer, &bits, q).unwrap();
+        for i in 0..bits.len() {
+            let want = reference_eval(&layer, &x, &bits, i, q);
+            let got = packed.forward_at(i, &x);
+            assert_close(&got, &want, &format!("linear {q:?} @ {}", bits.widths()[i]));
+        }
+    }
+}
+
+#[test]
+fn conv_parity_every_bitwidth_both_quantizers() {
+    let bits = BitWidthSet::large_range();
+    let mut rng = StdRng::seed_from_u64(42);
+    // Quantized-input conv plus a grouped variant (exercises the per-group
+    // im2col/GEMM slicing).
+    let convs = [
+        QuantConv2d::new(&mut rng, "c1", 6, 8, 3, 1, 1, 1, true),
+        QuantConv2d::new(&mut rng, "c2", 6, 8, 3, 2, 1, 2, true),
+    ];
+    let x = init::uniform(&mut rng, &[2, 6, 10, 10], -0.3, 1.2);
+    for conv in &convs {
+        for q in [Quantizer::Sbm, Quantizer::Dorefa] {
+            let packed = PackedModel::prepack(conv, &bits, q).unwrap();
+            for i in 0..bits.len() {
+                let want = reference_eval(conv, &x, &bits, i, q);
+                let got = packed.forward_at(i, &x);
+                assert_close(&got, &want, &format!("conv {q:?} @ {}", bits.widths()[i]));
+            }
+        }
+    }
+}
+
+/// Builds a small CNN with per-branch BN statistics populated by train
+/// passes (eval mode then reads non-trivial running stats, so the packed
+/// engine's BN folding is tested against real values).
+fn trained_cnn(bits: &BitWidthSet, q: Quantizer, seed: u64) -> (models::Network, Tensor) {
+    let net = models::small_cnn(8, 10, (12, 12), bits.len(), seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+    let xb = Var::constant(init::uniform(&mut rng, &[4, 3, 12, 12], -1.0, 1.0));
+    for i in 0..bits.len() {
+        let mut ctx = ForwardCtx::train(bits, i, q);
+        net.forward(&xb, &mut ctx);
+    }
+    let x = init::uniform(&mut rng, &[2, 3, 12, 12], -1.0, 1.0);
+    (net, x)
+}
+
+#[test]
+fn full_network_parity_with_folded_batchnorm() {
+    let bits = BitWidthSet::large_range();
+    for q in [Quantizer::Sbm, Quantizer::Dorefa] {
+        let (net, x) = trained_cnn(&bits, q, 7);
+        let packed = PackedModel::prepack(&net, &bits, q).unwrap();
+        for i in 0..bits.len() {
+            let want = reference_eval(&net, &x, &bits, i, q);
+            let got = packed.forward_at(i, &x);
+            assert_close(&got, &want, &format!("cnn {q:?} @ {}", bits.widths()[i]));
+        }
+    }
+}
+
+#[test]
+fn packed_forward_bit_identical_across_thread_counts() {
+    let bits = BitWidthSet::large_range();
+    let (net, _) = trained_cnn(&bits, Quantizer::Sbm, 11);
+    let packed = PackedModel::prepack(&net, &bits, Quantizer::Sbm).unwrap();
+    // Batch and spatial size above the kernels' serial-fallback thresholds
+    // so the threaded paths genuinely run.
+    let mut rng = StdRng::seed_from_u64(99);
+    let x = init::uniform(&mut rng, &[4, 3, 12, 12], -1.0, 1.0);
+    for i in 0..bits.len() {
+        let serial = with_threads(1, || packed.forward_at(i, &x));
+        for t in THREADS {
+            let par = with_threads(t, || packed.forward_at(i, &x));
+            assert_eq!(
+                serial.data(),
+                par.data(),
+                "bit {} differs at {t} threads",
+                bits.widths()[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn bit_switch_does_no_weight_work() {
+    let bits = BitWidthSet::large_range();
+    let (net, x) = trained_cnn(&bits, Quantizer::Sbm, 13);
+    let mut packed = PackedModel::prepack(&net, &bits, Quantizer::Sbm).unwrap();
+    let frozen = packed.pack_passes();
+    assert!(frozen > 0, "construction performs the packing");
+    // Sweep every bit-width twice with forwards in between: the pack-pass
+    // counter must not move — switching is a pointer swap.
+    for _ in 0..2 {
+        for i in 0..bits.len() {
+            packed.switch_to(i);
+            let _ = packed.forward(&x);
+        }
+    }
+    assert_eq!(packed.pack_passes(), frozen, "switching must never repack");
+}
