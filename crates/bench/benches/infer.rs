@@ -15,13 +15,17 @@ fn bench_gemm(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(0);
     let layer = QuantLinear::new(&mut rng, "fc", 256, 256);
     let x = init::uniform(&mut rng, &[64, 256], -0.3, 1.2);
-    let bits = BitWidthSet::new(vec![4, 8]).unwrap();
+    let bits = BitWidthSet::new(vec![4, 8, 16]).unwrap();
     let packed = PackedModel::prepack(&layer, &bits, Quantizer::Sbm).unwrap();
     c.bench_function("packed_gemm_4bit_64x256x256", |b| {
         b.iter(|| std::hint::black_box(packed.forward_at(0, &x)))
     });
     c.bench_function("packed_gemm_8bit_64x256x256", |b| {
         b.iter(|| std::hint::black_box(packed.forward_at(1, &x)))
+    });
+    // 16-bit lands on the i64 accumulator tier (long-reduction wide lanes).
+    c.bench_function("packed_gemm_16bit_64x256x256", |b| {
+        b.iter(|| std::hint::black_box(packed.forward_at(2, &x)))
     });
     // The fake-quant path re-quantizes the weights on every forward.
     c.bench_function("fakequant_gemm_4bit_64x256x256", |b| {
@@ -46,6 +50,13 @@ fn bench_conv(c: &mut Criterion) {
             let mut ctx = ForwardCtx::eval(&bits, 0, Quantizer::Sbm);
             std::hint::black_box(conv.forward(&Var::constant(x.clone()), &mut ctx).value())
         })
+    });
+    // groups == C == K: the direct-tap depthwise fast path (no im2col).
+    let dw = QuantConv2d::new(&mut rng, "dw", 32, 32, 3, 1, 1, 32, true);
+    let xdw = init::uniform(&mut rng, &[4, 32, 16, 16], -0.3, 1.2);
+    let packed_dw = PackedModel::prepack(&dw, &bits, Quantizer::Sbm).unwrap();
+    c.bench_function("packed_depthwise_4bit_4x32x16x16", |b| {
+        b.iter(|| std::hint::black_box(packed_dw.forward_at(0, &xdw)))
     });
 }
 

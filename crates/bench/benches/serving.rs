@@ -1,0 +1,117 @@
+//! Throughput of the batched serving runtime on a packed 4-bit CNN.
+//!
+//! Every configuration pushes the same 48 requests through
+//! `simulate_serving_batched` — 48 steps × 1 arrival, 12 × 4, or 3 × 16 —
+//! so sample times compare per-request cost directly: requests/sec is
+//! `48 / t`, and the batch-16 / batch-1 ratio is the amortization the
+//! request queue buys (weights decoded once per forward, one parallel
+//! region and one set of buffers per batch instead of per request).
+//!
+//! The model mirrors the late stages of a deployment CNN: a strided conv
+//! stem collapses the spatial extent quickly and a quantized classifier
+//! head holds most of the weights. That is the serving regime where
+//! batching pays — per-forward weight decode scales with the parameter
+//! count, not the batch, so head-heavy layers amortize across the batch
+//! while wide-spatial convs are compute-bound either way.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use instantnet::runtime::{
+    simulate_serving_batched, EnergyTrace, Policy, RequestTrace, ServingConfig, SimulationConfig,
+};
+use instantnet::{DeploymentReport, OperatingPoint};
+use instantnet_infer::PackedModel;
+use instantnet_nn::blocks::ConvBnAct;
+use instantnet_nn::layers::{Activation, GlobalAvgPool, QuantLinear};
+use instantnet_nn::Sequential;
+use instantnet_quant::{BitWidth, BitWidthSet, Quantizer};
+use instantnet_tensor::{init, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strided conv stem on an 8x8 input, global pool, then a 3-layer
+/// quantized classifier head (32-256-256-10) that dominates the weights.
+fn serving_cnn(rng: &mut StdRng) -> Sequential {
+    let mut body = Sequential::new();
+    body.push(Box::new(ConvBnAct::new(
+        rng,
+        "stem",
+        3,
+        8,
+        3,
+        2,
+        1,
+        1,
+        Activation::Relu,
+        false,
+    )));
+    body.push(Box::new(ConvBnAct::new(
+        rng,
+        "conv2",
+        8,
+        32,
+        3,
+        2,
+        1,
+        1,
+        Activation::Relu,
+        true,
+    )));
+    body.push(Box::new(GlobalAvgPool));
+    body.push(Box::new(QuantLinear::new(rng, "fc1", 32, 256)));
+    body.push(Box::new(QuantLinear::new(rng, "fc2", 256, 256)));
+    body.push(Box::new(QuantLinear::new(rng, "fc3", 256, 10)));
+    body
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let bits = BitWidthSet::new(vec![4]).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let net = serving_cnn(&mut rng);
+    let mut model = PackedModel::prepack(&net, &bits, Quantizer::Sbm).unwrap();
+    let report = DeploymentReport::new(
+        "serving-bench",
+        1,
+        vec![OperatingPoint {
+            bits: BitWidth::new(4),
+            accuracy: 0.6,
+            energy_pj: 10.0,
+            latency_s: 1e-3,
+            edp: 1e-2,
+            fps: 1000.0,
+        }],
+    );
+    let inputs: Vec<Tensor> = (0..4)
+        .map(|_| init::uniform(&mut rng, &[1, 3, 8, 8], -1.0, 1.0))
+        .collect();
+    // Same 48 requests per invocation; only the aggregation differs.
+    for (name, per_step, steps, max_batch) in [
+        ("serving_batch1", 1, 48, 1),
+        ("serving_batch4", 4, 12, 4),
+        ("serving_batch16", 16, 3, 16),
+    ] {
+        let trace = EnergyTrace::new(vec![15.0; steps]);
+        let requests = RequestTrace::uniform(per_step, steps);
+        let serving = ServingConfig { max_batch };
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                std::hint::black_box(simulate_serving_batched(
+                    &report,
+                    &trace,
+                    &requests,
+                    Policy::Greedy,
+                    &SimulationConfig::default(),
+                    &serving,
+                    &mut model,
+                    &inputs,
+                ))
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = serving;
+    config = Criterion::default().sample_size(20);
+    targets = bench_serving
+}
+criterion_main!(serving);

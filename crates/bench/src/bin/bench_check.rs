@@ -9,6 +9,13 @@
 //! Groups or benchmarks present in the baseline but absent from the current
 //! run are reported and skipped (renames should update the baseline in the
 //! same change), as are sub-100 ns medians, which are pure timer noise.
+//!
+//! The serving group carries one extra absolute check: batch-16 request
+//! aggregation must keep at least 2× the requests/sec of batch-1 serving
+//! on the same 48 requests. Per-median ratios absorb machine drift, but
+//! this ratio is within one run and machine-independent — if it decays,
+//! the batching amortization itself (shared weight decode, one parallel
+//! region per batch) has regressed.
 
 use std::collections::HashMap;
 use std::path::Path;
@@ -107,6 +114,39 @@ fn main() -> ExitCode {
             println!(
                 "{file}: {name:<40} {base:>12.0} -> {cur:>12.0} ns  ({ratio:>5.2}x) {verdict}"
             );
+        }
+    }
+
+    // Within-run batching-throughput floor: both configurations serve the
+    // same 48 requests, so median times compare per-request cost directly.
+    const SERVING_MIN_SPEEDUP: f64 = 2.0;
+    let serving_path = current_dir.join("BENCH_serving.json");
+    if serving_path.exists() {
+        let serving = parse_medians(&serving_path).unwrap();
+        match (
+            serving.get("serving_batch1"),
+            serving.get("serving_batch16"),
+        ) {
+            (Some(&b1), Some(&b16)) => {
+                let speedup = b1 / b16;
+                let verdict = if speedup < SERVING_MIN_SPEEDUP {
+                    failures += 1;
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "BENCH_serving.json: batch-16 vs batch-1 throughput {speedup:>5.2}x \
+                     (floor {SERVING_MIN_SPEEDUP}x) {verdict}"
+                );
+            }
+            _ => {
+                failures += 1;
+                println!(
+                    "BENCH_serving.json: serving_batch1/serving_batch16 missing, \
+                     cannot check batching speedup: REGRESSED"
+                );
+            }
         }
     }
 

@@ -11,6 +11,7 @@ use crate::{DeploymentReport, OperatingPoint};
 use instantnet_infer::PackedModel;
 use instantnet_quant::BitWidth;
 use instantnet_tensor::Tensor;
+use std::collections::VecDeque;
 
 /// A per-timestep energy budget trace (pJ available per inference).
 #[derive(Debug, Clone, PartialEq)]
@@ -59,6 +60,86 @@ impl EnergyTrace {
     }
 }
 
+/// Per-timestep request arrival counts for the batched serving queue —
+/// the traffic-side companion of [`EnergyTrace`] (which is the
+/// supply side). Step `t` of a simulation enqueues `arrivals()[t]` new
+/// requests before the runtime decides how many to serve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestTrace {
+    arrivals: Vec<usize>,
+}
+
+impl RequestTrace {
+    /// Wraps an explicit arrival sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals` is empty.
+    pub fn new(arrivals: Vec<usize>) -> Self {
+        assert!(!arrivals.is_empty(), "request trace must not be empty");
+        RequestTrace { arrivals }
+    }
+
+    /// `per_step` arrivals at every one of `steps` timesteps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is zero.
+    pub fn uniform(per_step: usize, steps: usize) -> Self {
+        assert!(steps > 0, "request trace must not be empty");
+        RequestTrace {
+            arrivals: vec![per_step; steps],
+        }
+    }
+
+    /// Arrival count per timestep.
+    pub fn arrivals(&self) -> &[usize] {
+        &self.arrivals
+    }
+
+    /// Total number of requests over the whole trace.
+    pub fn total(&self) -> usize {
+        self.arrivals.iter().sum()
+    }
+
+    /// Number of timesteps.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+}
+
+/// Knobs of the batched serving queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServingConfig {
+    /// Largest number of queued requests aggregated into one packed
+    /// forward per timestep. 1 reproduces per-request serving exactly.
+    pub max_batch: usize,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig { max_batch: 16 }
+    }
+}
+
+/// Per-request record of a batched serving run, index-aligned with
+/// arrival order (request ids are assigned FIFO as arrivals enqueue).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestOutcome {
+    /// Timestep the request entered the queue.
+    pub arrived_at: usize,
+    /// Timestep it was served, or `None` if it was still queued when the
+    /// trace ended (counted in [`RuntimeStats::backlog`]).
+    pub served_at: Option<usize>,
+    /// Bit-width of the batch that served it.
+    pub bits: Option<u8>,
+    /// The packed forward's output for this request — bit-identical to a
+    /// batch-of-one forward of the same input at the same bit-width, no
+    /// matter which batch-mates it shared the GEMM with.
+    pub output: Option<Tensor>,
+}
+
 /// Bit-width switching policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Policy {
@@ -93,22 +174,49 @@ impl Default for SimulationConfig {
 }
 
 /// Outcome of a runtime simulation.
+///
+/// The queueing fields (`served_requests` through `p99_wait_steps`) are
+/// populated by [`simulate_serving_batched`]; the per-timestep paths
+/// leave them at their empty defaults except `served_requests`, which
+/// counts one inference per served timestep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeStats {
-    /// Mean accuracy over served timesteps.
+    /// Mean accuracy over served inferences (one per served timestep in
+    /// the per-timestep paths, one per request in the batched path).
     pub mean_accuracy: f32,
     /// Number of bit-width reconfigurations performed.
     pub switches: usize,
     /// Timesteps where no operating point fit the budget (inference
     /// skipped).
     pub dropped: usize,
-    /// Total energy consumed (pJ), inference plus reconfiguration.
+    /// Total energy consumed (pJ): one inference charge per served
+    /// request, plus reconfiguration.
     pub energy_pj: f64,
     /// Energy spent on reconfigurations alone
     /// (`switches × switch_cost_pj`).
     pub switch_energy_pj: f64,
     /// Chosen bit-width per timestep (`None` = dropped).
     pub schedule: Vec<Option<u8>>,
+    /// Inferences actually run (requests served, in the batched path).
+    pub served_requests: usize,
+    /// Requests still queued when the trace ended.
+    pub backlog: usize,
+    /// Deepest the queue got, measured after each step's arrivals.
+    pub max_queue_depth: usize,
+    /// `batch_histogram[b]` = number of budget-served timesteps that
+    /// aggregated exactly `b` requests (index 0 = idle steps); length
+    /// `max_batch + 1`. Empty for the per-timestep paths.
+    pub batch_histogram: Vec<usize>,
+    /// Queueing delay (serve step − arrival step) per served request, in
+    /// serve order.
+    pub wait_steps: Vec<usize>,
+    /// Mean of [`RuntimeStats::wait_steps`] (0 when nothing was served).
+    pub mean_wait_steps: f64,
+    /// Nearest-rank 50th percentile of the per-request queueing delay.
+    pub p50_wait_steps: f64,
+    /// Nearest-rank 99th percentile of the per-request queueing delay —
+    /// the tail-latency figure switch policies are judged against.
+    pub p99_wait_steps: f64,
 }
 
 /// Simulates running `report`'s operating points over `trace` with the
@@ -124,7 +232,7 @@ pub fn simulate_with_config(
     policy: Policy,
     cfg: &SimulationConfig,
 ) -> RuntimeStats {
-    run_simulation(report, trace, policy, cfg, |_| {})
+    run_simulation(report, trace, policy, cfg, |b| usize::from(b.is_some()))
 }
 
 /// Simulates the trace while actually serving inferences: every served
@@ -153,19 +261,150 @@ pub fn simulate_serving(
                 "operating point {b} is not in the packed model's bit-width set"
             );
             outputs.push(Some(model.forward(input)));
+            1
         }
-        None => outputs.push(None),
+        None => {
+            outputs.push(None);
+            0
+        }
     });
     (stats, outputs)
 }
 
-/// Shared policy loop; `on_step` observes every timestep's selection.
+/// Batched serving: requests arrive per [`RequestTrace`] step, queue FIFO,
+/// and every budget-served timestep aggregates up to
+/// [`ServingConfig::max_batch`] pending requests into **one** packed
+/// multi-sample forward at the policy-selected bit-width. Request `r`
+/// reuses `inputs[r % inputs.len()]` (each a `[1, …]` tensor).
+///
+/// Aggregation is invisible to individual requests: the batched forward
+/// quantizes activations per sample ([`PackedModel::forward_batch`]), so
+/// every [`RequestOutcome::output`] is bit-identical to serving that
+/// request alone at the same bit-width — at every bit-width, both
+/// quantizers, and any thread count. What batching changes is throughput
+/// and latency, which the returned [`RuntimeStats`] now measures:
+/// per-request wait times, batch-size histogram, p50/p99 queueing delay,
+/// and end-of-trace backlog. Energy and accuracy are charged per request
+/// served (an idle served step charges nothing).
+///
+/// # Panics
+///
+/// Panics if the traces' lengths differ, `inputs` is empty or holds
+/// differently-shaped non-`[1, …]` tensors, `max_batch` is zero, or a
+/// selected bit-width is missing from the packed model's set.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_serving_batched(
+    report: &DeploymentReport,
+    trace: &EnergyTrace,
+    requests: &RequestTrace,
+    policy: Policy,
+    cfg: &SimulationConfig,
+    serving: &ServingConfig,
+    model: &mut PackedModel,
+    inputs: &[Tensor],
+) -> (RuntimeStats, Vec<RequestOutcome>) {
+    assert_eq!(
+        requests.len(),
+        trace.len(),
+        "request trace and energy trace must cover the same timesteps"
+    );
+    assert!(serving.max_batch >= 1, "max_batch must be at least 1");
+    assert!(!inputs.is_empty(), "at least one request input is required");
+    let sample_dims = inputs[0].dims().to_vec();
+    assert!(
+        sample_dims.first() == Some(&1),
+        "request inputs must be single-sample [1, …] tensors"
+    );
+    for x in inputs {
+        assert_eq!(
+            x.dims(),
+            &sample_dims[..],
+            "request inputs must share one shape"
+        );
+    }
+    let sample_len = inputs[0].len();
+
+    let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(requests.total());
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut wait_steps: Vec<usize> = Vec::new();
+    let mut histogram = vec![0usize; serving.max_batch + 1];
+    let mut max_depth = 0usize;
+    let mut t = 0usize;
+    let mut stats = run_simulation(report, trace, policy, cfg, |bits| {
+        for _ in 0..requests.arrivals()[t] {
+            queue.push_back(outcomes.len());
+            outcomes.push(RequestOutcome {
+                arrived_at: t,
+                served_at: None,
+                bits: None,
+                output: None,
+            });
+        }
+        max_depth = max_depth.max(queue.len());
+        let served = match bits {
+            Some(b) => {
+                let take = queue.len().min(serving.max_batch);
+                histogram[take] += 1;
+                if take > 0 {
+                    assert!(
+                        model.switch_to_bits(b),
+                        "operating point {b} is not in the packed model's bit-width set"
+                    );
+                    let ids: Vec<usize> = queue.drain(..take).collect();
+                    let mut data = Vec::with_capacity(take * sample_len);
+                    for &rid in &ids {
+                        data.extend_from_slice(inputs[rid % inputs.len()].data());
+                    }
+                    let mut dims = sample_dims.clone();
+                    dims[0] = take;
+                    let y = model.forward_batch(&Tensor::from_vec(dims, data));
+                    let mut out_dims = y.dims().to_vec();
+                    out_dims[0] = 1;
+                    let out_len = y.len() / take;
+                    for (j, &rid) in ids.iter().enumerate() {
+                        let rec = &mut outcomes[rid];
+                        rec.served_at = Some(t);
+                        rec.bits = Some(b.get());
+                        rec.output = Some(Tensor::from_vec(
+                            out_dims.clone(),
+                            y.data()[j * out_len..(j + 1) * out_len].to_vec(),
+                        ));
+                        wait_steps.push(t - rec.arrived_at);
+                    }
+                }
+                take
+            }
+            None => 0,
+        };
+        t += 1;
+        served
+    });
+    stats.backlog = queue.len();
+    stats.max_queue_depth = max_depth;
+    stats.batch_histogram = histogram;
+    if !wait_steps.is_empty() {
+        let mut sorted = wait_steps.clone();
+        sorted.sort_unstable();
+        let pct = |p: f64| sorted[((p * sorted.len() as f64).ceil() as usize).max(1) - 1] as f64;
+        stats.mean_wait_steps = wait_steps.iter().sum::<usize>() as f64 / wait_steps.len() as f64;
+        stats.p50_wait_steps = pct(0.50);
+        stats.p99_wait_steps = pct(0.99);
+    }
+    stats.wait_steps = wait_steps;
+    (stats, outcomes)
+}
+
+/// Shared policy loop; `on_step` observes every timestep's selection and
+/// returns how many inferences it ran under that selection (the
+/// per-timestep paths return 1 per served step; the batched path returns
+/// the aggregated batch size). Accuracy and inference energy are charged
+/// per inference.
 fn run_simulation(
     report: &DeploymentReport,
     trace: &EnergyTrace,
     policy: Policy,
     cfg: &SimulationConfig,
-    mut on_step: impl FnMut(Option<BitWidth>),
+    mut on_step: impl FnMut(Option<BitWidth>) -> usize,
 ) -> RuntimeStats {
     let mut current: Option<&OperatingPoint> = None;
     let mut switches = 0usize;
@@ -196,11 +435,11 @@ fn run_simulation(
                     switches += 1;
                 }
                 current = Some(p);
-                acc_sum += p.accuracy;
-                served += 1;
-                energy += p.energy_pj;
                 schedule.push(Some(p.bits.get()));
-                on_step(Some(p.bits));
+                let inferences = on_step(Some(p.bits));
+                acc_sum += p.accuracy * inferences as f32;
+                served += inferences;
+                energy += p.energy_pj * inferences as f64;
             }
             None => {
                 dropped += 1;
@@ -222,6 +461,14 @@ fn run_simulation(
         energy_pj: energy + switch_energy,
         switch_energy_pj: switch_energy,
         schedule,
+        served_requests: served,
+        backlog: 0,
+        max_queue_depth: 0,
+        batch_histogram: Vec::new(),
+        wait_steps: Vec::new(),
+        mean_wait_steps: 0.0,
+        p50_wait_steps: 0.0,
+        p99_wait_steps: 0.0,
     }
 }
 
@@ -382,5 +629,132 @@ mod tests {
     #[should_panic(expected = "must not be empty")]
     fn empty_trace_rejected() {
         let _ = EnergyTrace::new(vec![]);
+    }
+
+    #[test]
+    fn per_timestep_paths_leave_queue_fields_empty() {
+        let report = demo_report();
+        let trace = EnergyTrace::new(vec![5.0, 15.0, 50.0]);
+        let stats = simulate(&report, &trace, Policy::Greedy);
+        assert_eq!(stats.served_requests, 2, "one inference per served step");
+        assert_eq!(stats.backlog, 0);
+        assert!(stats.batch_histogram.is_empty());
+        assert!(stats.wait_steps.is_empty());
+        assert_eq!(stats.mean_wait_steps, 0.0);
+    }
+
+    #[test]
+    fn batched_serving_aggregates_fifo_and_accounts_per_request() {
+        use instantnet_infer::PackedModel;
+        use instantnet_nn::models;
+        use instantnet_quant::{BitWidthSet, Quantizer};
+
+        let bits = BitWidthSet::new(vec![4, 8, 32]).unwrap();
+        let net = models::small_cnn(4, 6, (8, 8), bits.len(), 5);
+        let mut model = PackedModel::prepack(&net, &bits, Quantizer::Sbm).unwrap();
+        let report = demo_report();
+        // Budget 15 affords only the 4-bit point (10 pJ) at every step.
+        let trace = EnergyTrace::new(vec![15.0, 15.0, 15.0]);
+        let requests = RequestTrace::new(vec![3, 0, 2]);
+        let inputs: Vec<Tensor> = (0..2)
+            .map(|v| {
+                Tensor::from_vec(
+                    vec![1, 3, 8, 8],
+                    (0..3 * 8 * 8)
+                        .map(|i| ((i + v * 31) % 13) as f32 / 13.0 - 0.5)
+                        .collect(),
+                )
+            })
+            .collect();
+        let (stats, outcomes) = simulate_serving_batched(
+            &report,
+            &trace,
+            &requests,
+            Policy::Greedy,
+            &SimulationConfig::default(),
+            &ServingConfig { max_batch: 2 },
+            &mut model,
+            &inputs,
+        );
+        assert_eq!(outcomes.len(), 5, "no request lost");
+        // t0 serves [0, 1]; t1 drains [2]; t2 serves the new [3, 4].
+        let served_at: Vec<_> = outcomes.iter().map(|o| o.served_at).collect();
+        assert_eq!(served_at, vec![Some(0), Some(0), Some(1), Some(2), Some(2)]);
+        assert_eq!(stats.served_requests, 5);
+        assert_eq!(stats.backlog, 0);
+        assert_eq!(stats.max_queue_depth, 3);
+        assert_eq!(stats.batch_histogram, vec![0, 1, 2]);
+        assert_eq!(stats.wait_steps, vec![0, 0, 1, 0, 0]);
+        assert_eq!(stats.p50_wait_steps, 0.0);
+        assert_eq!(stats.p99_wait_steps, 1.0);
+        // Energy and accuracy are charged per request at the 4-bit point.
+        assert_eq!(stats.energy_pj, 5.0 * 10.0);
+        assert!((stats.mean_accuracy - 0.60).abs() < 1e-6);
+        // Every output is bit-identical to serving that request alone.
+        let i4 = bits.index_of(BitWidth::new(4)).unwrap();
+        for (r, o) in outcomes.iter().enumerate() {
+            let alone = model.forward_at(i4, &inputs[r % inputs.len()]);
+            assert_eq!(
+                o.output.as_ref().unwrap().data(),
+                alone.data(),
+                "request {r}"
+            );
+            assert_eq!(o.bits, Some(4));
+        }
+    }
+
+    #[test]
+    fn batched_serving_queues_through_dropped_steps() {
+        use instantnet_infer::PackedModel;
+        use instantnet_nn::models;
+        use instantnet_quant::{BitWidthSet, Quantizer};
+
+        let bits = BitWidthSet::new(vec![4, 8, 32]).unwrap();
+        let net = models::small_cnn(4, 6, (8, 8), bits.len(), 5);
+        let mut model = PackedModel::prepack(&net, &bits, Quantizer::Sbm).unwrap();
+        let report = demo_report();
+        // Step 1 affords nothing: its arrivals wait; step 2 catches up.
+        let trace = EnergyTrace::new(vec![15.0, 5.0, 15.0]);
+        let requests = RequestTrace::new(vec![1, 1, 0]);
+        let input = Tensor::from_vec(
+            vec![1, 3, 8, 8],
+            (0..3 * 8 * 8).map(|i| (i % 7) as f32 / 7.0 - 0.5).collect(),
+        );
+        let (stats, outcomes) = simulate_serving_batched(
+            &report,
+            &trace,
+            &requests,
+            Policy::Greedy,
+            &SimulationConfig::default(),
+            &ServingConfig::default(),
+            &mut model,
+            std::slice::from_ref(&input),
+        );
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(outcomes[1].arrived_at, 1);
+        assert_eq!(outcomes[1].served_at, Some(2), "waits out the dropped step");
+        assert_eq!(stats.wait_steps, vec![0, 1]);
+        assert_eq!(stats.backlog, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same timesteps")]
+    fn mismatched_trace_lengths_rejected() {
+        use instantnet_infer::PackedModel;
+        use instantnet_nn::models;
+        use instantnet_quant::{BitWidthSet, Quantizer};
+        let bits = BitWidthSet::new(vec![4, 8, 32]).unwrap();
+        let net = models::small_cnn(4, 6, (8, 8), bits.len(), 5);
+        let mut model = PackedModel::prepack(&net, &bits, Quantizer::Sbm).unwrap();
+        let _ = simulate_serving_batched(
+            &demo_report(),
+            &EnergyTrace::new(vec![15.0, 15.0]),
+            &RequestTrace::uniform(1, 3),
+            Policy::Greedy,
+            &SimulationConfig::default(),
+            &ServingConfig::default(),
+            &mut model,
+            &[Tensor::zeros(&[1, 3, 8, 8])],
+        );
     }
 }

@@ -1,15 +1,25 @@
-//! Packed-network execution: integer i32/i64-accumulate kernels for packed
-//! layers, f32 fallbacks for unpacked ones, activation re-quantization
-//! between layers.
+//! Packed-network execution: exact integer/f32-lane GEMM kernels for
+//! packed layers, f32 fallbacks for unpacked ones, activation
+//! re-quantization between layers.
 //!
-//! Determinism contract (mirrors `instantnet-tensor`): integer accumulation
-//! is exact, f32 dequantization is elementwise, and every parallel region
+//! The engine is **batch-aware**: a multi-sample input runs one kernel
+//! invocation per layer — weight rows are decoded once for the whole
+//! batch, per-column activation sums are computed once per (sample,
+//! group) patch matrix, and the parallel split distributes over
+//! `samples × output rows` so small layers still saturate threads.
+//! Because every accumulator tier computes an *exact* sum (integers, or
+//! f32 lanes bounded below 2^24), batching never changes a sample's
+//! result: with per-sample activation scales ([`ActQuant::PerSample`])
+//! each sample's output is bit-identical to running it alone.
+//!
+//! Determinism contract (mirrors `instantnet-tensor`): accumulation is
+//! exact, dequantization is elementwise, and every parallel region
 //! assigns disjoint output slices by index — results are bit-identical at
 //! any thread count.
 
 use crate::{Accum, PackedGemm, PackedOp, Storage};
 use instantnet_nn::layers::Activation;
-use instantnet_parallel::{par_chunks_mut, parallel_map_indexed, with_threads};
+use instantnet_parallel::{gate, par_chunks_mut, parallel_map_indexed};
 use instantnet_quant::{BitWidth, Quantizer};
 use instantnet_tensor::tensor::{im2col, im2col_generic};
 use instantnet_tensor::Tensor;
@@ -18,21 +28,41 @@ use instantnet_tensor::Tensor;
 /// value as the tensor crate's, which is crate-private there).
 const PAR_FLOP_THRESHOLD: usize = 1 << 18;
 
+/// Granularity of the data-dependent activation scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ActQuant {
+    /// One scale over the whole input tensor, batch dimension included —
+    /// the fake-quant training semantics ([`crate::PackedModel::forward`]).
+    PerBatch,
+    /// One scale per dim-0 sample — the serving semantics
+    /// ([`crate::PackedModel::forward_batch`]): aggregated requests are
+    /// quantized independently, so each sample's output is bit-identical
+    /// to a batch-of-one forward of that sample.
+    PerSample,
+}
+
 /// Runs `ops` in order over `x`.
 pub(crate) fn exec_ops(
     ops: &[PackedOp],
     x: &Tensor,
     bits: BitWidth,
     quantizer: Quantizer,
+    aq: ActQuant,
 ) -> Tensor {
     let mut cur = x.clone();
     for op in ops {
-        cur = exec_op(op, &cur, bits, quantizer);
+        cur = exec_op(op, &cur, bits, quantizer, aq);
     }
     cur
 }
 
-fn exec_op(op: &PackedOp, x: &Tensor, bits: BitWidth, quantizer: Quantizer) -> Tensor {
+fn exec_op(
+    op: &PackedOp,
+    x: &Tensor,
+    bits: BitWidth,
+    quantizer: Quantizer,
+    aq: ActQuant,
+) -> Tensor {
     match op {
         PackedOp::Conv {
             gemm,
@@ -55,8 +85,9 @@ fn exec_op(op: &PackedOp, x: &Tensor, bits: BitWidth, quantizer: Quantizer) -> T
             x,
             bits,
             quantizer,
+            aq,
         ),
-        PackedOp::Linear { gemm } => exec_linear(gemm, x, bits, quantizer),
+        PackedOp::Linear { gemm } => exec_linear(gemm, x, bits, quantizer, aq),
         PackedOp::Act(a) => match a {
             Activation::Relu => x.map(|v| v.max(0.0)),
             Activation::Relu6 => x.map(|v| v.clamp(0.0, 6.0)),
@@ -68,11 +99,11 @@ fn exec_op(op: &PackedOp, x: &Tensor, bits: BitWidth, quantizer: Quantizer) -> T
             shortcut,
             post_relu,
         } => {
-            let b = exec_ops(body, x, bits, quantizer);
+            let b = exec_ops(body, x, bits, quantizer, aq);
             let s = if shortcut.is_empty() {
                 x.clone()
             } else {
-                exec_ops(shortcut, x, bits, quantizer)
+                exec_ops(shortcut, x, bits, quantizer, aq)
             };
             assert_eq!(b.dims(), s.dims(), "residual branch shapes must match");
             let mut data: Vec<f32> = b
@@ -111,85 +142,215 @@ fn global_avg_pool(x: &Tensor) -> Tensor {
     Tensor::from_vec(vec![n, c], out)
 }
 
-/// Dispatches per-sample work: serial for batch 1 (keeps row-level
-/// parallelism inside the kernel live), serialized under the threshold,
-/// sample-parallel otherwise. All three produce identical results.
-fn run_samples(n: usize, flops: usize, f: impl Fn(usize) -> Vec<f32> + Sync) -> Vec<Vec<f32>> {
-    if n == 1 {
-        vec![f(0)]
-    } else if flops < PAR_FLOP_THRESHOLD {
-        with_threads(1, || parallel_map_indexed(n, &f))
-    } else {
-        parallel_map_indexed(n, &f)
-    }
-}
+// ---------------------------------------------------------------------------
+// Accumulator tiers
+// ---------------------------------------------------------------------------
 
-/// Per-column sums of activation codes (i64 guards 16-bit × long-reduction
-/// overflow), consumed by the zero-offset correction term.
-fn code_colsums(acts: &[i32], rows: usize, ncols: usize) -> Vec<f32> {
-    let mut cs = vec![0i64; ncols];
-    for p in 0..rows {
-        for (o, &v) in cs.iter_mut().zip(&acts[p * ncols..(p + 1) * ncols]) {
-            *o += i64::from(v);
+/// One exact accumulator tier of the packed GEMM: the lane type codes
+/// travel in (`Code`), the type partial sums reduce into (`Acc`), and the
+/// type column sums reduce into (`Cs`). Every tier computes the *same
+/// exact value* — f32 arithmetic on integers below 2^24 is lossless — so
+/// results are independent of the tier's internal order, the batch
+/// packing, and the thread count.
+trait Tier: Sync {
+    type Code: Copy + Default + Send + Sync;
+    type Acc: Copy + Default;
+    type Cs: Copy + Default;
+
+    fn code(c: i32) -> Self::Code;
+    /// Decodes one weight row of `cols` codes into `out`.
+    fn decode_row(storage: &Storage, row: usize, cols: usize, out: &mut [Self::Code]);
+    /// `acc[j] += Σ_p wrow[p] · acts[p · acc.len() + j]`, exactly.
+    fn accumulate(acc: &mut [Self::Acc], wrow: &[Self::Code], acts: &[Self::Code]);
+    fn mad(acc: Self::Acc, w: Self::Code, a: Self::Code) -> Self::Acc;
+    fn cs_add(cs: Self::Cs, a: Self::Code) -> Self::Cs;
+    fn acc_f32(a: Self::Acc) -> f32;
+    fn cs_f32(c: Self::Cs) -> f32;
+
+    /// Per-column sums of a `[rows, ncols]` code block (the colsum
+    /// correction input, consumed by offset-carrying layers).
+    fn colsums(acts: &[Self::Code], rows: usize, ncols: usize) -> Vec<f32> {
+        let mut cs = vec![Self::Cs::default(); ncols];
+        for p in 0..rows {
+            for (o, &v) in cs.iter_mut().zip(&acts[p * ncols..(p + 1) * ncols]) {
+                *o = Self::cs_add(*o, v);
+            }
         }
+        cs.into_iter().map(Self::cs_f32).collect()
     }
-    cs.into_iter().map(|v| v as f32).collect()
 }
 
-/// [`code_colsums`] over f32-lane codes (exact: the `Accum::F32` tier's
-/// bound keeps every partial sum below 2^24).
-fn code_colsums_f32(acts: &[f32], rows: usize, ncols: usize) -> Vec<f32> {
-    let mut cs = vec![0f32; ncols];
-    for p in 0..rows {
-        for (o, &v) in cs.iter_mut().zip(&acts[p * ncols..(p + 1) * ncols]) {
-            *o += v;
-        }
+/// Bound < 2^24: exact f32 lanes (vectorizes on baseline x86-64, which
+/// has no packed i32 multiply).
+struct TierF32;
+/// Bound ≤ i32::MAX / 2: native i32.
+struct TierI32;
+/// Anything wider (12/16-bit layers with long reductions).
+struct TierI64;
+
+impl Tier for TierF32 {
+    type Code = f32;
+    type Acc = f32;
+    type Cs = f32;
+
+    fn code(c: i32) -> f32 {
+        c as f32
     }
-    cs
+    fn decode_row(storage: &Storage, row: usize, cols: usize, out: &mut [f32]) {
+        storage.decode_row_f32(row, cols, out);
+    }
+    fn accumulate(acc: &mut [f32], wrow: &[f32], acts: &[f32]) {
+        accumulate_f32(acc, wrow, acts);
+    }
+    fn mad(acc: f32, w: f32, a: f32) -> f32 {
+        acc + w * a
+    }
+    fn cs_add(cs: f32, a: f32) -> f32 {
+        cs + a
+    }
+    fn acc_f32(a: f32) -> f32 {
+        a
+    }
+    fn cs_f32(c: f32) -> f32 {
+        c
+    }
 }
 
-/// `acc[j] += Σ_p wrow[p] · acts[p][j]` in i32 — the narrow-path hot loop.
-/// Four weight rows per pass for instruction-level parallelism; slices are
-/// pre-split to `ncols` so the inner loops vectorize without bounds checks.
+impl Tier for TierI32 {
+    type Code = i32;
+    type Acc = i32;
+    // i64 column sums guard 16-bit × long-reduction overflow (shared with
+    // the i64 tier; cheap relative to the multiply loop).
+    type Cs = i64;
+
+    fn code(c: i32) -> i32 {
+        c
+    }
+    fn decode_row(storage: &Storage, row: usize, cols: usize, out: &mut [i32]) {
+        storage.decode_row(row, cols, out);
+    }
+    fn accumulate(acc: &mut [i32], wrow: &[i32], acts: &[i32]) {
+        accumulate_i32(acc, wrow, acts);
+    }
+    fn mad(acc: i32, w: i32, a: i32) -> i32 {
+        acc + w * a
+    }
+    fn cs_add(cs: i64, a: i32) -> i64 {
+        cs + i64::from(a)
+    }
+    fn acc_f32(a: i32) -> f32 {
+        a as f32
+    }
+    fn cs_f32(c: i64) -> f32 {
+        c as f32
+    }
+}
+
+impl Tier for TierI64 {
+    type Code = i32;
+    type Acc = i64;
+    type Cs = i64;
+
+    fn code(c: i32) -> i32 {
+        c
+    }
+    fn decode_row(storage: &Storage, row: usize, cols: usize, out: &mut [i32]) {
+        storage.decode_row(row, cols, out);
+    }
+    fn accumulate(acc: &mut [i64], wrow: &[i32], acts: &[i32]) {
+        accumulate_i64(acc, wrow, acts);
+    }
+    fn mad(acc: i64, w: i32, a: i32) -> i64 {
+        acc + i64::from(w) * i64::from(a)
+    }
+    fn cs_add(cs: i64, a: i32) -> i64 {
+        cs + i64::from(a)
+    }
+    fn acc_f32(a: i64) -> f32 {
+        a as f32
+    }
+    fn cs_f32(c: i64) -> f32 {
+        c as f32
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Accumulate kernels
+// ---------------------------------------------------------------------------
+
+/// Column-block width of the integer accumulate kernels: 8 independent
+/// accumulator lanes live in registers across the whole reduction, so the
+/// inner loop has no accumulator load/store traffic and enough
+/// instruction-level parallelism to keep integer pipes full (the wide
+/// tiers' answer to the f32 tier's SIMD lanes).
+const I32_LANES: usize = 8;
+/// i64 lanes are twice as wide, so half as many keep register pressure
+/// equivalent.
+const I64_LANES: usize = 4;
+
+/// `acc[j] += Σ_p wrow[p] · acts[p][j]` in i32 — the native narrow tier.
+/// Column-register-blocked: each block of [`I32_LANES`] output columns
+/// runs the full reduction with its partial sums held in registers.
 fn accumulate_i32(acc: &mut [i32], wrow: &[i32], acts: &[i32]) {
     let ncols = acc.len();
-    let mut quads = wrow.chunks_exact(4);
-    let mut base = 0usize;
-    for w in quads.by_ref() {
-        let (a0, rest) = acts[base..base + 4 * ncols].split_at(ncols);
-        let (a1, rest) = rest.split_at(ncols);
-        let (a2, a3) = rest.split_at(ncols);
-        let (w0, w1, w2, w3) = (w[0], w[1], w[2], w[3]);
-        for (j, o) in acc.iter_mut().enumerate() {
-            *o += w0 * a0[j] + w1 * a1[j] + w2 * a2[j] + w3 * a3[j];
+    let mut j = 0usize;
+    while j + I32_LANES <= ncols {
+        let mut lanes = [0i32; I32_LANES];
+        for (p, &wv) in wrow.iter().enumerate() {
+            let a = &acts[p * ncols + j..p * ncols + j + I32_LANES];
+            for (l, &av) in lanes.iter_mut().zip(a) {
+                *l += wv * av;
+            }
         }
-        base += 4 * ncols;
+        for (o, l) in acc[j..j + I32_LANES].iter_mut().zip(lanes) {
+            *o += l;
+        }
+        j += I32_LANES;
     }
-    for &wv in quads.remainder() {
-        let a = &acts[base..base + ncols];
-        for (o, &av) in acc.iter_mut().zip(a) {
-            *o += wv * av;
+    while j < ncols {
+        let mut lane = 0i32;
+        for (p, &wv) in wrow.iter().enumerate() {
+            lane += wv * acts[p * ncols + j];
         }
-        base += ncols;
+        acc[j] += lane;
+        j += 1;
     }
 }
 
-/// i64 variant for 9–16-bit layers whose partial sums can overflow i32.
+/// i64 variant for 12/16-bit layers whose partial sums can overflow i32,
+/// with [`I64_LANES`] register lanes.
 fn accumulate_i64(acc: &mut [i64], wrow: &[i32], acts: &[i32]) {
     let ncols = acc.len();
-    for (p, &wv) in wrow.iter().enumerate() {
-        let wv = i64::from(wv);
-        let a = &acts[p * ncols..(p + 1) * ncols];
-        for (o, &av) in acc.iter_mut().zip(a) {
-            *o += wv * i64::from(av);
+    let mut j = 0usize;
+    while j + I64_LANES <= ncols {
+        let mut lanes = [0i64; I64_LANES];
+        for (p, &wv) in wrow.iter().enumerate() {
+            let wv = i64::from(wv);
+            let a = &acts[p * ncols + j..p * ncols + j + I64_LANES];
+            for (l, &av) in lanes.iter_mut().zip(a) {
+                *l += wv * i64::from(av);
+            }
         }
+        for (o, l) in acc[j..j + I64_LANES].iter_mut().zip(lanes) {
+            *o += l;
+        }
+        j += I64_LANES;
+    }
+    while j < ncols {
+        let mut lane = 0i64;
+        for (p, &wv) in wrow.iter().enumerate() {
+            lane += i64::from(wv) * i64::from(acts[p * ncols + j]);
+        }
+        acc[j] += lane;
+        j += 1;
     }
 }
 
-/// Exact-f32 variant of [`accumulate_i32`]: codes are small integers, so
-/// every product and partial sum stays below 2^24 and the arithmetic is
-/// lossless — same integer result, but f32 lanes vectorize on targets
-/// whose baseline ISA has no packed i32 multiply.
+/// Exact-f32 variant: codes are small integers, so every product and
+/// partial sum stays below 2^24 and the arithmetic is lossless — same
+/// integer result, but f32 lanes vectorize on targets whose baseline ISA
+/// has no packed i32 multiply. Four weight rows per pass for
+/// instruction-level parallelism.
 fn accumulate_f32(acc: &mut [f32], wrow: &[f32], acts: &[f32]) {
     let ncols = acc.len();
     let mut quads = wrow.chunks_exact(4);
@@ -213,112 +374,316 @@ fn accumulate_f32(acc: &mut [f32], wrow: &[f32], acts: &[f32]) {
     }
 }
 
-/// [`gemm_rows`] for the `Accum::F32` tier: identical affine dequant, but
-/// weight/activation codes travel as exact f32 lanes.
-#[allow(clippy::too_many_arguments)]
-fn gemm_rows_f32(
-    g: &PackedGemm,
-    row0: usize,
-    nrows: usize,
-    acts: &[f32],
-    ncols: usize,
-    colsum: Option<&[f32]>,
-    sa: f32,
-    out: &mut [f32],
-) {
-    debug_assert_eq!(acts.len(), g.cols * ncols);
-    debug_assert_eq!(out.len(), nrows * ncols);
-    let body = |kk: usize, orow: &mut [f32]| {
-        let row = row0 + kk;
-        let mut wrow = vec![0f32; g.cols];
-        g.storage.decode_row_f32(row, g.cols, &mut wrow);
-        let (a, bias) = (g.scale[row], g.bias[row]);
-        let bco = g.colsum_coef[row];
-        let mut acc = vec![0f32; ncols];
-        accumulate_f32(&mut acc, &wrow, acts);
-        match colsum {
-            Some(cs) => {
-                for (j, o) in orow.iter_mut().enumerate() {
-                    *o = sa * (a * acc[j] + bco * cs[j]) + bias;
-                }
-            }
-            None => {
-                for (o, &v) in orow.iter_mut().zip(&acc) {
-                    *o = sa * a * v + bias;
-                }
-            }
+// ---------------------------------------------------------------------------
+// Batched integer execution
+// ---------------------------------------------------------------------------
+
+/// Quantizes the batch to codes plus one decode scale per sample
+/// (`PerBatch` replicates the single whole-tensor scale).
+fn sample_codes<T: Tier>(
+    x: &Tensor,
+    n: usize,
+    sample_len: usize,
+    bits: BitWidth,
+    quantizer: Quantizer,
+    aq: ActQuant,
+) -> (Vec<T::Code>, Vec<f32>) {
+    match aq {
+        ActQuant::PerBatch => {
+            let ac = quantizer
+                .activation_codes(x.data(), bits)
+                .expect("integer storage implies quantized activations");
+            (
+                ac.codes.iter().map(|&v| T::code(v)).collect(),
+                vec![ac.scale; n],
+            )
         }
-    };
-    let work = 2 * nrows * g.cols * ncols;
-    if work < PAR_FLOP_THRESHOLD {
-        with_threads(1, || par_chunks_mut(out, ncols, body));
-    } else {
-        par_chunks_mut(out, ncols, body);
+        ActQuant::PerSample => {
+            let per = gate(n * sample_len >= PAR_FLOP_THRESHOLD, || {
+                parallel_map_indexed(n, |i| {
+                    quantizer
+                        .activation_codes(&x.data()[i * sample_len..(i + 1) * sample_len], bits)
+                        .expect("integer storage implies quantized activations")
+                })
+            });
+            let mut codes = Vec::with_capacity(n * sample_len);
+            let mut scales = Vec::with_capacity(n);
+            for ac in per {
+                codes.extend(ac.codes.iter().map(|&v| T::code(v)));
+                scales.push(ac.scale);
+            }
+            (codes, scales)
+        }
     }
 }
 
-/// Integer GEMM over rows `[row0, row0 + nrows)` of a packed matrix:
-/// `out[kk][j] = sa * (A[row] * acc + B[row] * colsum[j]) + bias[row]`
-/// with `acc` the exact integer dot product of the decoded weight row and
-/// activation-code column `j`. Row-parallel with disjoint output rows.
-/// Handles the native `I32`/`I64` tiers; `Accum::F32` layers take
-/// [`gemm_rows_f32`].
+/// Decodes the whole packed weight matrix once per forward; the decoded
+/// rows are shared by every sample of the batch (and by every chunk of
+/// the parallel GEMM), so decode cost is independent of the batch size.
+fn decode_all<T: Tier>(storage: &Storage, rows: usize, cols: usize) -> Vec<T::Code> {
+    let mut out = vec![T::Code::default(); rows * cols];
+    for (row, chunk) in out.chunks_mut(cols).enumerate() {
+        T::decode_row(storage, row, cols, chunk);
+    }
+    out
+}
+
+/// Batched integer conv: per-sample activation codes, per-(sample, group)
+/// `im2col` patch matrices and column sums computed once per forward, and
+/// one GEMM parallelized over `samples × output rows` (each chunk is one
+/// output row of one sample — disjoint writes, deterministic).
+///
+/// The pack-time accumulator tier stays safe at any batch size: batching
+/// adds GEMM *columns* (more output pixels), never reduction *length*, so
+/// the worst-case partial-sum bound `max|w|·max|a|·cols` is unchanged.
 #[allow(clippy::too_many_arguments)]
-fn gemm_rows(
+fn conv_int<T: Tier>(
+    gemm: &PackedGemm,
+    cg: usize,
+    r: usize,
+    s: usize,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+    x: &Tensor,
+    bits: BitWidth,
+    quantizer: Quantizer,
+    aq: ActQuant,
+) -> Tensor {
+    let dims = x.dims();
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    let k = gemm.rows;
+    let kg = k / groups;
+    let oh = (h + 2 * pad - r) / stride + 1;
+    let ow = (w + 2 * pad - s) / stride + 1;
+    let ncols = oh * ow;
+    let chw = c * h * w;
+
+    let (codes, scales) = sample_codes::<T>(x, n, chw, bits, quantizer, aq);
+
+    if groups == c && cg == 1 && kg == 1 {
+        return conv_dw_int::<T>(gemm, r, s, stride, pad, &codes, &scales, n, c, h, w, oh, ow);
+    }
+
+    // Patch matrices, one `[cols, ncols]` block per (sample, group).
+    let blocks: Vec<Vec<T::Code>> =
+        gate(n * groups * gemm.cols * ncols >= PAR_FLOP_THRESHOLD, || {
+            parallel_map_indexed(n * groups, |e| {
+                let (i, gi) = (e / groups, e % groups);
+                let base = (i * c + gi * cg) * h * w;
+                im2col_generic(&codes[base..base + cg * h * w], cg, h, w, r, s, stride, pad).0
+            })
+        });
+    let colsums: Option<Vec<Vec<f32>>> = gemm.has_offset.then(|| {
+        blocks
+            .iter()
+            .map(|b| T::colsums(b, gemm.cols, ncols))
+            .collect()
+    });
+    let wdec = decode_all::<T>(&gemm.storage, k, gemm.cols);
+
+    let mut out = vec![0.0f32; n * k * ncols];
+    let flops = 2 * n * k * gemm.cols * ncols;
+    gate(flops >= PAR_FLOP_THRESHOLD, || {
+        par_chunks_mut(&mut out, ncols, |ci, orow| {
+            let (i, row) = (ci / k, ci % k);
+            let gi = row / kg;
+            let block = &blocks[i * groups + gi];
+            let mut acc = vec![T::Acc::default(); ncols];
+            T::accumulate(
+                &mut acc,
+                &wdec[row * gemm.cols..(row + 1) * gemm.cols],
+                block,
+            );
+            let (a, bias, bco, sa) = (
+                gemm.scale[row],
+                gemm.bias[row],
+                gemm.colsum_coef[row],
+                scales[i],
+            );
+            match &colsums {
+                Some(cs) => {
+                    let cs = &cs[i * groups + gi];
+                    for (j, o) in orow.iter_mut().enumerate() {
+                        *o = sa * (a * T::acc_f32(acc[j]) + bco * cs[j]) + bias;
+                    }
+                }
+                None => {
+                    for (o, &v) in orow.iter_mut().zip(&acc) {
+                        *o = sa * a * T::acc_f32(v) + bias;
+                    }
+                }
+            }
+        })
+    });
+    Tensor::from_vec(vec![n, k, oh, ow], out)
+}
+
+/// Depthwise fast path (`groups == channels`): no patch matrix, no
+/// 1-column-per-group GEMM — each (sample, channel) chunk convolves its
+/// input plane directly, accumulating taps in `im2col` row order so the
+/// exact integer result matches the generic path bit for bit.
+#[allow(clippy::too_many_arguments)]
+fn conv_dw_int<T: Tier>(
+    gemm: &PackedGemm,
+    r: usize,
+    s: usize,
+    stride: usize,
+    pad: usize,
+    codes: &[T::Code],
+    scales: &[f32],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    oh: usize,
+    ow: usize,
+) -> Tensor {
+    let ncols = oh * ow;
+    let wdec = decode_all::<T>(&gemm.storage, gemm.rows, gemm.cols);
+    let mut out = vec![0.0f32; n * c * ncols];
+    let flops = 2 * n * c * r * s * ncols;
+    gate(flops >= PAR_FLOP_THRESHOLD, || {
+        par_chunks_mut(&mut out, ncols, |ci, orow| {
+            let (i, ch) = (ci / c, ci % c);
+            let plane = &codes[(i * c + ch) * h * w..(i * c + ch + 1) * h * w];
+            let wrow = &wdec[ch * gemm.cols..(ch + 1) * gemm.cols];
+            let (a, bias, bco, sa) = (
+                gemm.scale[ch],
+                gemm.bias[ch],
+                gemm.colsum_coef[ch],
+                scales[i],
+            );
+            let mut jp = 0usize;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = T::Acc::default();
+                    let mut cs = T::Cs::default();
+                    for ki in 0..r {
+                        let iy = (oy * stride + ki) as isize - pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kj in 0..s {
+                            let ix = (ox * stride + kj) as isize - pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let av = plane[iy as usize * w + ix as usize];
+                            acc = T::mad(acc, wrow[ki * s + kj], av);
+                            cs = T::cs_add(cs, av);
+                        }
+                    }
+                    orow[jp] = if gemm.has_offset {
+                        sa * (a * T::acc_f32(acc) + bco * T::cs_f32(cs)) + bias
+                    } else {
+                        sa * a * T::acc_f32(acc) + bias
+                    };
+                    jp += 1;
+                }
+            }
+        })
+    });
+    Tensor::from_vec(vec![n, c, oh, ow], out)
+}
+
+/// Batched integer linear: samples travel as GEMM columns (codes
+/// transposed to `[features, n]`), so one weight-row decode serves the
+/// whole batch and the dequant applies each column's own sample scale.
+fn linear_int<T: Tier>(
     g: &PackedGemm,
-    row0: usize,
-    nrows: usize,
-    acts: &[i32],
-    ncols: usize,
-    colsum: Option<&[f32]>,
-    sa: f32,
-    out: &mut [f32],
-) {
-    debug_assert_eq!(acts.len(), g.cols * ncols);
-    debug_assert_eq!(out.len(), nrows * ncols);
-    let body = |kk: usize, orow: &mut [f32]| {
-        let row = row0 + kk;
-        let mut wrow = vec![0i32; g.cols];
-        g.storage.decode_row(row, g.cols, &mut wrow);
-        let (a, bias) = (g.scale[row], g.bias[row]);
-        let bco = g.colsum_coef[row];
-        if g.accum == Accum::I32 {
-            let mut acc = vec![0i32; ncols];
-            accumulate_i32(&mut acc, &wrow, acts);
-            match colsum {
-                Some(cs) => {
-                    for (j, o) in orow.iter_mut().enumerate() {
-                        *o = sa * (a * acc[j] as f32 + bco * cs[j]) + bias;
-                    }
+    x: &Tensor,
+    bits: BitWidth,
+    quantizer: Quantizer,
+    aq: ActQuant,
+) -> Tensor {
+    let (n, f) = (x.dims()[0], x.dims()[1]);
+    let (codes, scales) = sample_codes::<T>(x, n, f, bits, quantizer, aq);
+    // Per-sample colsum = the transposed GEMM's per-column sum.
+    let colsums: Option<Vec<f32>> = g.has_offset.then(|| {
+        (0..n)
+            .map(|i| {
+                let mut cs = T::Cs::default();
+                for &v in &codes[i * f..(i + 1) * f] {
+                    cs = T::cs_add(cs, v);
                 }
-                None => {
-                    for (o, &v) in orow.iter_mut().zip(&acc) {
-                        *o = sa * a * v as f32 + bias;
-                    }
-                }
-            }
-        } else {
-            let mut acc = vec![0i64; ncols];
-            accumulate_i64(&mut acc, &wrow, acts);
-            match colsum {
-                Some(cs) => {
-                    for (j, o) in orow.iter_mut().enumerate() {
-                        *o = sa * (a * acc[j] as f32 + bco * cs[j]) + bias;
-                    }
-                }
-                None => {
-                    for (o, &v) in orow.iter_mut().zip(&acc) {
-                        *o = sa * a * v as f32 + bias;
-                    }
-                }
-            }
+                T::cs_f32(cs)
+            })
+            .collect()
+    });
+    let mut tcodes = vec![T::Code::default(); f * n];
+    for i in 0..n {
+        for p in 0..f {
+            tcodes[p * n + i] = codes[i * f + p];
         }
-    };
-    let work = 2 * nrows * g.cols * ncols;
-    if work < PAR_FLOP_THRESHOLD {
-        with_threads(1, || par_chunks_mut(out, ncols, body));
+    }
+    let mut tmp = vec![0.0f32; g.rows * n];
+    let flops = 2 * g.rows * f * n;
+    gate(flops >= PAR_FLOP_THRESHOLD, || {
+        par_chunks_mut(&mut tmp, n, |row, orow| {
+            let mut wrow = vec![T::Code::default(); f];
+            T::decode_row(&g.storage, row, f, &mut wrow);
+            let mut acc = vec![T::Acc::default(); n];
+            T::accumulate(&mut acc, &wrow, &tcodes);
+            let (a, bias, bco) = (g.scale[row], g.bias[row], g.colsum_coef[row]);
+            match &colsums {
+                Some(cs) => {
+                    for (i, o) in orow.iter_mut().enumerate() {
+                        *o = scales[i] * (a * T::acc_f32(acc[i]) + bco * cs[i]) + bias;
+                    }
+                }
+                None => {
+                    for (i, o) in orow.iter_mut().enumerate() {
+                        *o = scales[i] * a * T::acc_f32(acc[i]) + bias;
+                    }
+                }
+            }
+        })
+    });
+    let mut out = vec![0.0f32; n * g.rows];
+    for kk in 0..g.rows {
+        for i in 0..n {
+            out[i * g.rows + kk] = tmp[kk * n + i];
+        }
+    }
+    Tensor::from_vec(vec![n, g.rows], out)
+}
+
+// ---------------------------------------------------------------------------
+// f32 fallback path (full precision, raw-input stems, > 16 bits)
+// ---------------------------------------------------------------------------
+
+/// Quantizes activations at the requested granularity on the f32 path.
+/// `PerSample` slices keep serving outputs bit-identical to batch-of-one
+/// forwards; full-precision bit-widths pass through unchanged either way.
+fn quantize_acts_f32(x: &Tensor, bits: BitWidth, quantizer: Quantizer, aq: ActQuant) -> Tensor {
+    match aq {
+        ActQuant::PerBatch => quantizer.quantize_activations_tensor(x, bits),
+        ActQuant::PerSample => {
+            let n = x.dims()[0];
+            let sample_len = x.len() / n.max(1);
+            let mut data = Vec::with_capacity(x.len());
+            for i in 0..n {
+                let sample = Tensor::from_vec(
+                    vec![sample_len],
+                    x.data()[i * sample_len..(i + 1) * sample_len].to_vec(),
+                );
+                data.extend_from_slice(quantizer.quantize_activations_tensor(&sample, bits).data());
+            }
+            Tensor::from_vec(x.dims().to_vec(), data)
+        }
+    }
+}
+
+/// Dispatches per-sample work on the f32 path: serial for batch 1 (keeps
+/// row-level parallelism inside the matmul live), serialized under the
+/// threshold, sample-parallel otherwise. All three produce identical
+/// results.
+fn run_samples(n: usize, flops: usize, f: impl Fn(usize) -> Vec<f32> + Sync) -> Vec<Vec<f32>> {
+    if n == 1 {
+        vec![f(0)]
     } else {
-        par_chunks_mut(out, ncols, body);
+        gate(flops >= PAR_FLOP_THRESHOLD, || parallel_map_indexed(n, &f))
     }
 }
 
@@ -335,132 +700,117 @@ fn exec_conv(
     x: &Tensor,
     bits: BitWidth,
     quantizer: Quantizer,
+    aq: ActQuant,
 ) -> Tensor {
     let dims = x.dims();
     assert_eq!(dims.len(), 4, "conv input must be rank 4");
     let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
     assert_eq!(c, cg * groups, "conv input channel mismatch");
+
+    if gemm.storage.is_integer() {
+        return match gemm.accum {
+            Accum::F32 => {
+                conv_int::<TierF32>(gemm, cg, r, s, stride, pad, groups, x, bits, quantizer, aq)
+            }
+            Accum::I32 => {
+                conv_int::<TierI32>(gemm, cg, r, s, stride, pad, groups, x, bits, quantizer, aq)
+            }
+            Accum::I64 => {
+                conv_int::<TierI64>(gemm, cg, r, s, stride, pad, groups, x, bits, quantizer, aq)
+            }
+        };
+    }
+
+    let Storage::F32(wdata) = &gemm.storage else {
+        unreachable!("non-integer storage is f32");
+    };
     let k = gemm.rows;
     let kg = k / groups;
     let oh = (h + 2 * pad - r) / stride + 1;
     let ow = (w + 2 * pad - s) / stride + 1;
     let ncols = oh * ow;
     let flops = 2 * n * k * gemm.cols * ncols;
-
-    let outs = if gemm.storage.is_integer() {
-        // One per-tensor activation quantization for the whole batch
-        // (identical scale policy to the fake-quant reference).
-        let ac = quantizer
-            .activation_codes(x.data(), bits)
-            .expect("integer storage implies quantized activations");
-        if gemm.accum == Accum::F32 {
-            let actf: Vec<f32> = ac.codes.iter().map(|&v| v as f32).collect();
-            let sample = |i: usize| -> Vec<f32> {
-                let mut out_i = vec![0.0f32; k * ncols];
-                for gi in 0..groups {
-                    let base = (i * c + gi * cg) * h * w;
-                    let (cols_buf, _, _) =
-                        im2col_generic(&actf[base..base + cg * h * w], cg, h, w, r, s, stride, pad);
-                    let colsum = gemm
-                        .has_offset
-                        .then(|| code_colsums_f32(&cols_buf, gemm.cols, ncols));
-                    gemm_rows_f32(
-                        gemm,
-                        gi * kg,
-                        kg,
-                        &cols_buf,
-                        ncols,
-                        colsum.as_deref(),
-                        ac.scale,
-                        &mut out_i[gi * kg * ncols..(gi + 1) * kg * ncols],
-                    );
-                }
-                out_i
-            };
-            run_samples(n, flops, sample)
-        } else {
-            let sample = |i: usize| -> Vec<f32> {
-                let mut out_i = vec![0.0f32; k * ncols];
-                for gi in 0..groups {
-                    let base = (i * c + gi * cg) * h * w;
-                    let (cols_buf, _, _) = im2col_generic(
-                        &ac.codes[base..base + cg * h * w],
-                        cg,
-                        h,
-                        w,
-                        r,
-                        s,
-                        stride,
-                        pad,
-                    );
-                    let colsum = gemm
-                        .has_offset
-                        .then(|| code_colsums(&cols_buf, gemm.cols, ncols));
-                    gemm_rows(
-                        gemm,
-                        gi * kg,
-                        kg,
-                        &cols_buf,
-                        ncols,
-                        colsum.as_deref(),
-                        ac.scale,
-                        &mut out_i[gi * kg * ncols..(gi + 1) * kg * ncols],
-                    );
-                }
-                out_i
-            };
-            run_samples(n, flops, sample)
-        }
+    let xq = if quantize_input {
+        quantize_acts_f32(x, bits, quantizer, aq)
     } else {
-        let Storage::F32(wdata) = &gemm.storage else {
-            unreachable!("non-integer storage is f32");
-        };
-        let xq = if quantize_input {
-            quantizer.quantize_activations_tensor(x, bits)
-        } else {
-            x.clone()
-        };
-        let wgs: Vec<Tensor> = (0..groups)
-            .map(|gi| {
-                let start = gi * kg * gemm.cols;
-                Tensor::from_vec(
-                    vec![kg, gemm.cols],
-                    wdata[start..start + kg * gemm.cols].to_vec(),
-                )
-            })
-            .collect();
-        let sample = |i: usize| -> Vec<f32> {
-            let mut out_i = vec![0.0f32; k * ncols];
-            for gi in 0..groups {
-                let base = (i * c + gi * cg) * h * w;
-                let (cols_t, _, _) = im2col(
-                    &xq.data()[base..base + cg * h * w],
-                    cg,
-                    h,
-                    w,
-                    r,
-                    s,
-                    stride,
-                    pad,
-                );
-                let mm = wgs[gi].matmul(&cols_t);
-                let og = &mut out_i[gi * kg * ncols..(gi + 1) * kg * ncols];
-                for kk in 0..kg {
-                    let row = gi * kg + kk;
-                    let (a, b) = (gemm.scale[row], gemm.bias[row]);
-                    for (o, &v) in og[kk * ncols..(kk + 1) * ncols]
-                        .iter_mut()
-                        .zip(&mm.data()[kk * ncols..(kk + 1) * ncols])
-                    {
-                        *o = a * v + b;
-                    }
-                }
-            }
-            out_i
-        };
-        run_samples(n, flops, sample)
+        x.clone()
     };
 
+    if groups == c && cg == 1 && kg == 1 {
+        // Depthwise fast path, f32 flavour: direct per-plane taps instead
+        // of c one-row GEMMs over 1-channel patch matrices.
+        let mut out = vec![0.0f32; n * k * ncols];
+        gate(flops >= PAR_FLOP_THRESHOLD, || {
+            par_chunks_mut(&mut out, ncols, |ci, orow| {
+                let (i, ch) = (ci / c, ci % c);
+                let plane = &xq.data()[(i * c + ch) * h * w..(i * c + ch + 1) * h * w];
+                let wrow = &wdata[ch * gemm.cols..(ch + 1) * gemm.cols];
+                let (a, bias) = (gemm.scale[ch], gemm.bias[ch]);
+                let mut jp = 0usize;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0f32;
+                        for ki in 0..r {
+                            let iy = (oy * stride + ki) as isize - pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kj in 0..s {
+                                let ix = (ox * stride + kj) as isize - pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                acc += wrow[ki * s + kj] * plane[iy as usize * w + ix as usize];
+                            }
+                        }
+                        orow[jp] = a * acc + bias;
+                        jp += 1;
+                    }
+                }
+            })
+        });
+        return Tensor::from_vec(vec![n, k, oh, ow], out);
+    }
+
+    let wgs: Vec<Tensor> = (0..groups)
+        .map(|gi| {
+            let start = gi * kg * gemm.cols;
+            Tensor::from_vec(
+                vec![kg, gemm.cols],
+                wdata[start..start + kg * gemm.cols].to_vec(),
+            )
+        })
+        .collect();
+    let sample = |i: usize| -> Vec<f32> {
+        let mut out_i = vec![0.0f32; k * ncols];
+        for gi in 0..groups {
+            let base = (i * c + gi * cg) * h * w;
+            let (cols_t, _, _) = im2col(
+                &xq.data()[base..base + cg * h * w],
+                cg,
+                h,
+                w,
+                r,
+                s,
+                stride,
+                pad,
+            );
+            let mm = wgs[gi].matmul(&cols_t);
+            let og = &mut out_i[gi * kg * ncols..(gi + 1) * kg * ncols];
+            for kk in 0..kg {
+                let row = gi * kg + kk;
+                let (a, b) = (gemm.scale[row], gemm.bias[row]);
+                for (o, &v) in og[kk * ncols..(kk + 1) * ncols]
+                    .iter_mut()
+                    .zip(&mm.data()[kk * ncols..(kk + 1) * ncols])
+                {
+                    *o = a * v + b;
+                }
+            }
+        }
+        out_i
+    };
+    let outs = run_samples(n, flops, sample);
     let mut data = Vec::with_capacity(n * k * ncols);
     for o in outs {
         data.extend(o);
@@ -468,85 +818,50 @@ fn exec_conv(
     Tensor::from_vec(vec![n, k, oh, ow], data)
 }
 
-fn exec_linear(g: &PackedGemm, x: &Tensor, bits: BitWidth, quantizer: Quantizer) -> Tensor {
+fn exec_linear(
+    g: &PackedGemm,
+    x: &Tensor,
+    bits: BitWidth,
+    quantizer: Quantizer,
+    aq: ActQuant,
+) -> Tensor {
     let dims = x.dims();
     assert_eq!(dims.len(), 2, "linear input must be rank 2");
     let (n, f) = (dims[0], dims[1]);
     assert_eq!(f, g.cols, "linear in-feature mismatch");
 
     if g.storage.is_integer() {
-        let ac = quantizer
-            .activation_codes(x.data(), bits)
-            .expect("integer storage implies quantized activations");
-        // Samples along GEMM columns: transpose codes to `[features, n]`.
-        let mut tmp = vec![0.0f32; g.rows * n];
-        if g.accum == Accum::F32 {
-            let mut tcodes = vec![0f32; f * n];
-            for i in 0..n {
-                for p in 0..f {
-                    tcodes[p * n + i] = ac.codes[i * f + p] as f32;
-                }
-            }
-            let colsum = g.has_offset.then(|| code_colsums_f32(&tcodes, f, n));
-            gemm_rows_f32(
-                g,
-                0,
-                g.rows,
-                &tcodes,
-                n,
-                colsum.as_deref(),
-                ac.scale,
-                &mut tmp,
-            );
-        } else {
-            let mut tcodes = vec![0i32; f * n];
-            for i in 0..n {
-                for p in 0..f {
-                    tcodes[p * n + i] = ac.codes[i * f + p];
-                }
-            }
-            let colsum = g.has_offset.then(|| code_colsums(&tcodes, f, n));
-            gemm_rows(
-                g,
-                0,
-                g.rows,
-                &tcodes,
-                n,
-                colsum.as_deref(),
-                ac.scale,
-                &mut tmp,
-            );
-        }
-        let mut out = vec![0.0f32; n * g.rows];
-        for kk in 0..g.rows {
-            for i in 0..n {
-                out[i * g.rows + kk] = tmp[kk * n + i];
-            }
-        }
-        Tensor::from_vec(vec![n, g.rows], out)
-    } else {
-        let Storage::F32(wdata) = &g.storage else {
-            unreachable!("non-integer storage is f32");
+        return match g.accum {
+            Accum::F32 => linear_int::<TierF32>(g, x, bits, quantizer, aq),
+            Accum::I32 => linear_int::<TierI32>(g, x, bits, quantizer, aq),
+            Accum::I64 => linear_int::<TierI64>(g, x, bits, quantizer, aq),
         };
-        let fp = bits.is_full_precision() || matches!(quantizer, Quantizer::Identity);
-        let xq = if fp {
-            x.clone()
-        } else {
-            quantizer.quantize_activations_tensor(x, bits)
-        };
-        let mut wt = vec![0.0f32; f * g.rows];
-        for kk in 0..g.rows {
-            for p in 0..f {
-                wt[p * g.rows + kk] = wdata[kk * f + p];
-            }
-        }
-        let mm = xq.matmul(&Tensor::from_vec(vec![f, g.rows], wt));
-        let mut out = mm.data().to_vec();
-        for i in 0..n {
-            for (kk, o) in out[i * g.rows..(i + 1) * g.rows].iter_mut().enumerate() {
-                *o = g.scale[kk] * *o + g.bias[kk];
-            }
-        }
-        Tensor::from_vec(vec![n, g.rows], out)
     }
+
+    let Storage::F32(wdata) = &g.storage else {
+        unreachable!("non-integer storage is f32");
+    };
+    let fp = bits.is_full_precision() || matches!(quantizer, Quantizer::Identity);
+    let xq = if fp {
+        x.clone()
+    } else {
+        quantize_acts_f32(x, bits, quantizer, aq)
+    };
+    // Each matmul output row reads only its own lhs row (fixed k-block
+    // order), so batching samples as rows keeps every row bit-identical
+    // to a batch-of-one product — no per-sample split needed here.
+    let mut wt = vec![0.0f32; f * g.rows];
+    for kk in 0..g.rows {
+        for p in 0..f {
+            wt[p * g.rows + kk] = wdata[kk * f + p];
+        }
+    }
+    let mm = xq.matmul(&Tensor::from_vec(vec![f, g.rows], wt));
+    let mut out = mm.data().to_vec();
+    for i in 0..n {
+        for (kk, o) in out[i * g.rows..(i + 1) * g.rows].iter_mut().enumerate() {
+            *o = g.scale[kk] * *o + g.bias[kk];
+        }
+    }
+    Tensor::from_vec(vec![n, g.rows], out)
 }

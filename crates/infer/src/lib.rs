@@ -388,7 +388,47 @@ impl PackedModel {
     /// the first layer.
     pub fn forward_at(&self, index: usize, x: &Tensor) -> Tensor {
         let net = &self.nets[index];
-        exec::exec_ops(&net.ops, x, net.bits, self.quantizer)
+        exec::exec_ops(
+            &net.ops,
+            x,
+            net.bits,
+            self.quantizer,
+            exec::ActQuant::PerBatch,
+        )
+    }
+
+    /// Runs an aggregated request batch at the active bit-width — the
+    /// serving entry point. See [`Self::forward_batch_at`].
+    pub fn forward_batch(&self, x: &Tensor) -> Tensor {
+        self.forward_batch_at(self.active, x)
+    }
+
+    /// Runs an aggregated request batch at an explicit bit-width index.
+    ///
+    /// Unlike [`Self::forward_at`], which quantizes activations with one
+    /// scale across the whole tensor (the fake-quant training semantics),
+    /// this path computes activation scales **per dim-0 sample**. Combined
+    /// with the exact accumulator tiers, that makes each sample's output
+    /// bit-identical to a batch-of-one forward of that sample — requests
+    /// aggregated by the serving queue cannot observe their batch-mates,
+    /// at any bit-width and any thread count. The batch still shares all
+    /// fixed per-forward costs: weights are decoded once per layer,
+    /// `im2col` patch matrices and column sums are built in one pass, and
+    /// one parallel region covers `samples × output rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or the input shape does not fit
+    /// the first layer.
+    pub fn forward_batch_at(&self, index: usize, x: &Tensor) -> Tensor {
+        let net = &self.nets[index];
+        exec::exec_ops(
+            &net.ops,
+            x,
+            net.bits,
+            self.quantizer,
+            exec::ActQuant::PerSample,
+        )
     }
 }
 

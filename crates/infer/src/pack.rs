@@ -171,7 +171,11 @@ fn pack_gemm(
     let has_offset = colsum_coef.iter().any(|&v| v != 0.0);
     // Worst-case |partial sum| over the reduction; pick the cheapest exact
     // accumulator it fits in (f32 is lossless below 2^24 and vectorizes
-    // everywhere; halve i32::MAX for slack on the native tier).
+    // everywhere; halve i32::MAX for slack on the native tier). The bound
+    // holds at any serving batch size: batching adds GEMM *columns* (more
+    // samples × output pixels), never reduction *length* — `cols` is fixed
+    // at `cg*r*s` / in-features, and the only cross-sample sums (per-column
+    // activation colsums) are i64 regardless of tier.
     let bound = i64::from(max_code_abs) * act_code_abs_max(bits) * cols as i64;
     let accum = if bound < 1 << 24 {
         Accum::F32

@@ -93,6 +93,19 @@ pub fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
     out
 }
 
+/// Runs `f` under the ambient thread budget when `parallel` is true, or
+/// forced-serial (override 1) otherwise — the work-size gate every kernel
+/// call site wraps its parallel region in. Results must not depend on the
+/// choice (the determinism contract), so the flag is purely a scheduling
+/// hint, typically `flops >= THRESHOLD`.
+pub fn gate<T>(parallel: bool, f: impl FnOnce() -> T) -> T {
+    if parallel {
+        f()
+    } else {
+        with_threads(1, f)
+    }
+}
+
 /// Maps `f(index, item)` over `items`, returning results in input order.
 ///
 /// `f` must be pure with respect to the index (chunk placement is a
@@ -292,6 +305,19 @@ mod tests {
         // region must not spawn (observable via max_threads()).
         let inner: Vec<usize> = with_threads(4, || parallel_map_indexed(4, |_| max_threads()));
         assert!(inner.iter().all(|&t| t == 1), "workers saw {inner:?}");
+    }
+
+    #[test]
+    fn gate_controls_thread_budget() {
+        let ungated = with_threads(6, || gate(true, max_threads));
+        assert_eq!(ungated, 6);
+        let gated = with_threads(6, || gate(false, max_threads));
+        assert_eq!(gated, 1);
+        // The previous override is restored either way.
+        with_threads(3, || {
+            gate(false, || ());
+            assert_eq!(max_threads(), 3);
+        });
     }
 
     #[test]

@@ -66,11 +66,13 @@ fn linear_parity_every_bitwidth_both_quantizers() {
 fn conv_parity_every_bitwidth_both_quantizers() {
     let bits = BitWidthSet::large_range();
     let mut rng = StdRng::seed_from_u64(42);
-    // Quantized-input conv plus a grouped variant (exercises the per-group
-    // im2col/GEMM slicing).
+    // Quantized-input conv, a grouped variant (exercises the per-group
+    // im2col/GEMM slicing), and a depthwise one (groups == C == K — takes
+    // the direct-tap fast path in both engines).
     let convs = [
         QuantConv2d::new(&mut rng, "c1", 6, 8, 3, 1, 1, 1, true),
         QuantConv2d::new(&mut rng, "c2", 6, 8, 3, 2, 1, 2, true),
+        QuantConv2d::new(&mut rng, "dw", 6, 6, 3, 1, 1, 6, true),
     ];
     let x = init::uniform(&mut rng, &[2, 6, 10, 10], -0.3, 1.2);
     for conv in &convs {
