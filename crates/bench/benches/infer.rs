@@ -70,7 +70,7 @@ fn bench_switch(c: &mut Criterion) {
     c.bench_function("bit_width_switch", |b| {
         b.iter(|| {
             i = (i + 1) % n;
-            packed.switch_to(i);
+            packed.switch_to(i).unwrap();
             std::hint::black_box(packed.active_bits())
         })
     });

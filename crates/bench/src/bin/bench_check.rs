@@ -10,12 +10,16 @@
 //! run are reported and skipped (renames should update the baseline in the
 //! same change), as are sub-100 ns medians, which are pure timer noise.
 //!
-//! The serving group carries one extra absolute check: batch-16 request
-//! aggregation must keep at least 2× the requests/sec of batch-1 serving
-//! on the same 48 requests. Per-median ratios absorb machine drift, but
-//! this ratio is within one run and machine-independent — if it decays,
-//! the batching amortization itself (shared weight decode, one parallel
-//! region per batch) has regressed.
+//! Two groups carry extra within-run, machine-independent ratio checks
+//! (per-median ratios absorb machine drift; these cannot):
+//!
+//! * serving: batch-16 request aggregation must keep at least 2× the
+//!   requests/sec of batch-1 serving on the same 48 requests — if it
+//!   decays, the batching amortization itself (shared weight decode, one
+//!   parallel region per batch) has regressed;
+//! * resilience: the fault-free resilient path must stay within 1.1× of
+//!   plain batched serving — resilience is supposed to be bookkeeping on
+//!   top of the same forwards, never a second serving implementation.
 
 use std::collections::HashMap;
 use std::path::Path;
@@ -145,6 +149,41 @@ fn main() -> ExitCode {
                 println!(
                     "BENCH_serving.json: serving_batch1/serving_batch16 missing, \
                      cannot check batching speedup: REGRESSED"
+                );
+            }
+        }
+    }
+
+    // Within-run resilience-overhead ceiling: the fault-free resilient
+    // path serves the same requests as the plain batched path and must
+    // stay bit-identical to it, so its machinery (admission checks,
+    // per-request status, the catch_unwind fence) may cost at most 10%.
+    const RESILIENCE_MAX_OVERHEAD: f64 = 1.1;
+    let resilience_path = current_dir.join("BENCH_resilience.json");
+    if resilience_path.exists() {
+        let resilience = parse_medians(&resilience_path).unwrap();
+        match (
+            resilience.get("resilience_off"),
+            resilience.get("resilience_defaults"),
+        ) {
+            (Some(&off), Some(&defaults)) => {
+                let overhead = defaults / off;
+                let verdict = if overhead > RESILIENCE_MAX_OVERHEAD {
+                    failures += 1;
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "BENCH_resilience.json: fault-free resilient vs batched overhead \
+                     {overhead:>5.2}x (ceiling {RESILIENCE_MAX_OVERHEAD}x) {verdict}"
+                );
+            }
+            _ => {
+                failures += 1;
+                println!(
+                    "BENCH_resilience.json: resilience_off/resilience_defaults missing, \
+                     cannot check resilience overhead: REGRESSED"
                 );
             }
         }

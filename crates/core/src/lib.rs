@@ -28,6 +28,8 @@
 //! }
 //! ```
 
+pub mod faults;
+pub mod resilience;
 pub mod runtime;
 
 use instantnet_automapper::{map_network, MapperConfig};

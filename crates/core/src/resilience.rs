@@ -1,0 +1,487 @@
+//! Resilient batched serving: deadlines, load shedding, retry-with-backoff,
+//! precision-downshift degradation, and fault isolation.
+//!
+//! [`simulate_serving_resilient`] is [`crate::runtime::simulate_serving_batched`]
+//! hardened for the paper's deployment story: when traffic outruns the
+//! engine, the cheapest lever an SP-Net has is the one InstantNet makes
+//! free — *switch to fewer bits*. A hysteresis [`DegradationConfig`]
+//! controller watches the queue (depth is the leading indicator of p99
+//! wait: with bounded service rate, every queued request is future tail
+//! latency) and downshifts the [`PackedModel`] one operating point at a
+//! time, recovering once the backlog drains. Deadlines, an admission cap,
+//! and retry budgets turn overload and injected faults
+//! ([`crate::faults::FaultPlan`]) into *accounted* outcomes — shed,
+//! expired, failed — instead of unbounded queues or a dead process;
+//! worker panics are isolated per batch with `catch_unwind`.
+//!
+//! With every knob at its [`ResilienceConfig::default`] and an empty
+//! fault plan, this path reproduces `simulate_serving_batched`
+//! bit-for-bit — same outputs, same schedule, same queueing stats — at
+//! every bit-width and thread count. Resilience is strictly additive.
+
+use crate::faults::{FaultKind, FaultPlan};
+use crate::runtime::{
+    finish_wait_stats, EnergyTrace, Policy, PolicySelector, RequestTrace, RuntimeStats,
+    ServingConfig, SimulationConfig,
+};
+use crate::DeploymentReport;
+use instantnet_infer::{InferError, PackedModel};
+use instantnet_quant::BitWidth;
+use instantnet_tensor::Tensor;
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Hysteresis thresholds for the precision-downshift controller, in queue
+/// depth after each step's arrivals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradationConfig {
+    /// Downshift one operating point when the depth reaches this.
+    pub backlog_high: usize,
+    /// Recover one operating point when the depth falls to this or below.
+    /// Must be strictly below [`DegradationConfig::backlog_high`] — the
+    /// gap is the hysteresis band that prevents flapping.
+    pub backlog_low: usize,
+    /// Minimum steps between controller transitions (≥ 1). Bounds the
+    /// oscillation rate: at most one bit-width move per window.
+    pub recovery_window: usize,
+}
+
+/// Knobs of the resilient serving queue. The default is fully permissive —
+/// no deadlines, no cap, no retries, no degradation — and makes
+/// [`simulate_serving_resilient`] behave exactly like
+/// [`crate::runtime::simulate_serving_batched`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResilienceConfig {
+    /// Relative deadline: a request arriving at step `t` must be served by
+    /// step `t + deadline_steps` or it expires. `None` = no deadlines.
+    pub deadline_steps: Option<usize>,
+    /// Admission cap: arrivals finding this many requests queued are shed.
+    /// `None` = unbounded queue.
+    pub max_queue_depth: Option<usize>,
+    /// How many times a fault-hit request re-queues before it is failed.
+    pub max_retries: usize,
+    /// Extra steps a retried request waits before becoming eligible again.
+    pub retry_backoff_steps: usize,
+    /// Wall-clock length of one simulated step, in seconds. When set, a
+    /// step's batch capacity becomes
+    /// `min(max_batch, floor(step_time_s / point.latency_s))`, so
+    /// downshifting to a lower-latency operating point genuinely raises
+    /// throughput — the mechanism degradation trades accuracy for.
+    /// `None` keeps capacity at `max_batch` regardless of bit-width.
+    pub step_time_s: Option<f64>,
+    /// The precision-downshift controller. `None` = policy picks alone.
+    pub degradation: Option<DegradationConfig>,
+}
+
+/// Terminal (or end-of-trace) state of one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestStatus {
+    /// Still queued when the trace ended (counts toward
+    /// [`RuntimeStats::backlog`]).
+    Pending,
+    /// Served within deadline at the policy-selected bit-width.
+    Completed,
+    /// Served within deadline, but at a bit-width the degradation
+    /// controller downshifted below the policy's pick.
+    CompletedDegraded,
+    /// Rejected at admission: queue cap reached, or the deadline was
+    /// unmeetable even if every following step served a full batch.
+    Shed,
+    /// Deadline passed while queued.
+    Expired,
+    /// Abandoned after exhausting the retry budget on faulted batches.
+    Failed,
+}
+
+/// Per-request record of a resilient run, index-aligned with arrival
+/// order — [`crate::runtime::RequestOutcome`] plus status, retry count,
+/// and deadline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientOutcome {
+    /// Timestep the request arrived.
+    pub arrived_at: usize,
+    /// Timestep it was served, if it was.
+    pub served_at: Option<usize>,
+    /// Bit-width of the batch that served it.
+    pub bits: Option<u8>,
+    /// The packed forward's output — still bit-identical to a batch-of-one
+    /// forward at the same bit-width.
+    pub output: Option<Tensor>,
+    /// How the request ended.
+    pub status: RequestStatus,
+    /// Forward attempts that included this request (0 if never batched).
+    pub attempts: usize,
+    /// Absolute deadline step, when deadlines are configured.
+    pub deadline: Option<usize>,
+}
+
+/// Why a resilient run could not start (or continue).
+#[derive(Debug)]
+pub enum ServingError {
+    /// Inconsistent traces, shapes, or resilience knobs.
+    Config(String),
+    /// The packed engine rejected an operation (e.g. the selected
+    /// bit-width is not in the model's set).
+    Infer(InferError),
+}
+
+impl std::fmt::Display for ServingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServingError::Config(msg) => write!(f, "invalid serving configuration: {msg}"),
+            ServingError::Infer(e) => write!(f, "inference engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServingError::Config(_) => None,
+            ServingError::Infer(e) => Some(e),
+        }
+    }
+}
+
+impl From<InferError> for ServingError {
+    fn from(e: InferError) -> Self {
+        ServingError::Infer(e)
+    }
+}
+
+/// One queued request: its outcome index plus the first step it may be
+/// batched again after a retry backoff.
+struct QEntry {
+    id: usize,
+    eligible_at: usize,
+}
+
+fn config_err<T>(msg: impl Into<String>) -> Result<T, ServingError> {
+    Err(ServingError::Config(msg.into()))
+}
+
+#[allow(clippy::too_many_lines)]
+fn validate(
+    trace: &EnergyTrace,
+    requests: &RequestTrace,
+    serving: &ServingConfig,
+    resilience: &ResilienceConfig,
+    inputs: &[Tensor],
+) -> Result<(), ServingError> {
+    if requests.len() != trace.len() {
+        return config_err(format!(
+            "request trace covers {} steps but energy trace covers {}",
+            requests.len(),
+            trace.len()
+        ));
+    }
+    if serving.max_batch < 1 {
+        return config_err("max_batch must be at least 1");
+    }
+    let Some(first) = inputs.first() else {
+        return config_err("at least one request input is required");
+    };
+    if first.dims().first() != Some(&1) {
+        return config_err("request inputs must be single-sample [1, …] tensors");
+    }
+    if inputs.iter().any(|x| x.dims() != first.dims()) {
+        return config_err("request inputs must share one shape");
+    }
+    if let Some(st) = resilience.step_time_s {
+        if !st.is_finite() || st <= 0.0 {
+            return config_err(format!("step_time_s must be finite and positive, got {st}"));
+        }
+    }
+    if let Some(dc) = &resilience.degradation {
+        if dc.backlog_low >= dc.backlog_high {
+            return config_err(format!(
+                "degradation backlog_low {} must be below backlog_high {}",
+                dc.backlog_low, dc.backlog_high
+            ));
+        }
+        if dc.recovery_window < 1 {
+            return config_err("degradation recovery_window must be at least 1");
+        }
+    }
+    Ok(())
+}
+
+/// Batched serving with deadlines, shedding, retries, precision-downshift
+/// degradation, and deterministic fault injection.
+///
+/// Each timestep, in order: the energy policy selects an operating point
+/// ([`FaultKind::Stall`] skips the step entirely); arrivals are admitted,
+/// shed over the queue cap, or shed when their deadline is unmeetable;
+/// requests whose deadline has passed expire; the degradation controller
+/// compares the queue depth against its hysteresis band and moves the
+/// serving point at most one step per recovery window; then up to the
+/// step's capacity of backoff-eligible requests run as **one** packed
+/// batch at the (possibly downshifted) bit-width. A batch that faults —
+/// injected transient error, injected panic (isolated via
+/// `catch_unwind`; the model is immutable during a forward, so its state
+/// stays consistent), or a genuine [`InferError`] — fails only its own
+/// requests, which re-queue at the head with
+/// [`ResilienceConfig::retry_backoff_steps`] until their retry budget is
+/// spent. Energy and accuracy are charged per *successful* inference at
+/// the serving point.
+///
+/// Every request is accounted exactly once — `arrivals == completed +
+/// completed_degraded + shed + expired + failed + backlog` — and no
+/// completed request ever exceeds its deadline (late requests expire
+/// before they can be served).
+///
+/// # Errors
+///
+/// [`ServingError::Config`] for inconsistent traces, input shapes, or
+/// resilience knobs; [`ServingError::Infer`] if the model cannot switch
+/// to a selected bit-width (report and model built from different sets).
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+pub fn simulate_serving_resilient(
+    report: &DeploymentReport,
+    trace: &EnergyTrace,
+    requests: &RequestTrace,
+    policy: Policy,
+    cfg: &SimulationConfig,
+    serving: &ServingConfig,
+    resilience: &ResilienceConfig,
+    faults: &FaultPlan,
+    model: &mut PackedModel,
+    inputs: &[Tensor],
+) -> Result<(RuntimeStats, Vec<ResilientOutcome>), ServingError> {
+    validate(trace, requests, serving, resilience, inputs)?;
+    let sample_dims = inputs[0].dims().to_vec();
+    let sample_len = inputs[0].len();
+    let points = report.points();
+
+    let mut outcomes: Vec<ResilientOutcome> = Vec::with_capacity(requests.total());
+    let mut queue: VecDeque<QEntry> = VecDeque::new();
+    let mut wait_steps: Vec<usize> = Vec::new();
+    let mut histogram = vec![0usize; serving.max_batch + 1];
+    let mut max_depth = 0usize;
+    let mut time_in_bits: BTreeMap<u8, usize> = BTreeMap::new();
+    let mut degradation_events: Vec<(usize, usize)> = Vec::new();
+
+    let mut selector = PolicySelector::new(report, policy);
+    let mut prev_bits: Option<BitWidth> = None;
+    let mut stats = RuntimeStats::default();
+    let mut acc_sum = 0.0f32;
+    let mut schedule: Vec<Option<u8>> = Vec::with_capacity(trace.len());
+
+    // Degradation controller state: how many operating points below the
+    // policy's pick the model is held, and when it last moved.
+    let mut degrade_levels = 0usize;
+    let mut last_transition: Option<usize> = None;
+
+    for (t, &budget) in trace.budgets().iter().enumerate() {
+        let fault = faults.at(t);
+
+        // 1. Bit-width selection (stalls skip it, like an infeasible step).
+        let policy_point = if fault == Some(FaultKind::Stall) {
+            stats.stalled_steps += 1;
+            selector.reset();
+            None
+        } else {
+            match selector.select(budget) {
+                Some(p) => Some(p),
+                None => {
+                    stats.dropped += 1;
+                    None
+                }
+            }
+        };
+
+        // 2. Arrivals with admission control.
+        let deadline = |arrived: usize| resilience.deadline_steps.map(|d| arrived + d);
+        for _ in 0..requests.arrivals()[t] {
+            let id = outcomes.len();
+            let mut rec = ResilientOutcome {
+                arrived_at: t,
+                served_at: None,
+                bits: None,
+                output: None,
+                status: RequestStatus::Pending,
+                attempts: 0,
+                deadline: deadline(t),
+            };
+            let over_cap = resilience
+                .max_queue_depth
+                .is_some_and(|cap| queue.len() >= cap);
+            // Best case the queue drains `max_batch` per step, so a request
+            // behind `pos` others waits at least `pos / max_batch` steps.
+            let hopeless = resilience
+                .deadline_steps
+                .is_some_and(|d| queue.len() / serving.max_batch > d);
+            if over_cap || hopeless {
+                rec.status = RequestStatus::Shed;
+                stats.shed += 1;
+            } else {
+                queue.push_back(QEntry { id, eligible_at: t });
+            }
+            outcomes.push(rec);
+        }
+        max_depth = max_depth.max(queue.len());
+
+        // 3. Expire requests that can no longer meet their deadline.
+        if resilience.deadline_steps.is_some() {
+            queue.retain(|e| {
+                let live = outcomes[e.id].deadline.is_none_or(|d| d >= t);
+                if !live {
+                    outcomes[e.id].status = RequestStatus::Expired;
+                    stats.expired += 1;
+                }
+                live
+            });
+        }
+
+        // 4. Degradation controller: one move per recovery window, driven
+        // by queue depth against the hysteresis band.
+        if let (Some(dc), Some(p)) = (&resilience.degradation, policy_point) {
+            let window_open = last_transition.is_none_or(|lt| t - lt >= dc.recovery_window);
+            if window_open {
+                let idx = points
+                    .iter()
+                    .position(|q| q.bits == p.bits)
+                    .expect("selected point comes from the report");
+                let depth = queue.len();
+                if depth >= dc.backlog_high && degrade_levels < idx {
+                    degrade_levels += 1;
+                    last_transition = Some(t);
+                    degradation_events.push((t, degrade_levels));
+                } else if depth <= dc.backlog_low && degrade_levels > 0 {
+                    degrade_levels -= 1;
+                    last_transition = Some(t);
+                    degradation_events.push((t, degrade_levels));
+                }
+            }
+        }
+
+        // 5. Serve one batch at the (possibly downshifted) bit-width.
+        let Some(p) = policy_point else {
+            prev_bits = None;
+            schedule.push(None);
+            continue;
+        };
+        let idx = points
+            .iter()
+            .position(|q| q.bits == p.bits)
+            .expect("selected point comes from the report");
+        let serve_idx = idx - degrade_levels.min(idx);
+        let point = &points[serve_idx];
+        let degraded = serve_idx < idx;
+
+        if prev_bits != Some(point.bits) {
+            stats.switches += 1;
+        }
+        prev_bits = Some(point.bits);
+        schedule.push(Some(point.bits.get()));
+        *time_in_bits.entry(point.bits.get()).or_insert(0) += 1;
+
+        let capacity = match resilience.step_time_s {
+            None => serving.max_batch,
+            Some(st) => (st / point.latency_s).floor().max(0.0) as usize,
+        }
+        .min(serving.max_batch);
+
+        // Pull the first `capacity` backoff-eligible requests, FIFO,
+        // leaving ineligible ones in place.
+        let mut taken: Vec<QEntry> = Vec::new();
+        let mut kept: VecDeque<QEntry> = VecDeque::with_capacity(queue.len());
+        while let Some(e) = queue.pop_front() {
+            if taken.len() < capacity && e.eligible_at <= t {
+                taken.push(e);
+            } else {
+                kept.push_back(e);
+            }
+        }
+        queue = kept;
+        histogram[taken.len()] += 1;
+        if taken.is_empty() {
+            continue;
+        }
+
+        model.try_switch_to_bits(point.bits)?;
+        let mut data = Vec::with_capacity(taken.len() * sample_len);
+        for e in &taken {
+            data.extend_from_slice(inputs[e.id % inputs.len()].data());
+        }
+        let mut dims = sample_dims.clone();
+        dims[0] = taken.len();
+        let batch = Tensor::from_vec(dims, data);
+
+        // The forward is immutable on the model, so an isolated panic
+        // cannot leave the engine in a torn state.
+        let forward = || -> Result<Tensor, InferError> {
+            match fault {
+                Some(FaultKind::TransientError) => Err(InferError::Input(format!(
+                    "injected transient fault at step {t}"
+                ))),
+                Some(FaultKind::ForwardPanic) => panic!("injected forward panic at step {t}"),
+                _ => model.try_forward_batch(&batch),
+            }
+        };
+        match catch_unwind(AssertUnwindSafe(forward)) {
+            Ok(Ok(y)) => {
+                let take = taken.len();
+                let mut out_dims = y.dims().to_vec();
+                out_dims[0] = 1;
+                let out_len = y.len() / take;
+                for (j, e) in taken.iter().enumerate() {
+                    let rec = &mut outcomes[e.id];
+                    rec.served_at = Some(t);
+                    rec.bits = Some(point.bits.get());
+                    rec.attempts += 1;
+                    rec.output = Some(Tensor::from_vec(
+                        out_dims.clone(),
+                        y.data()[j * out_len..(j + 1) * out_len].to_vec(),
+                    ));
+                    rec.status = if degraded {
+                        stats.completed_degraded += 1;
+                        RequestStatus::CompletedDegraded
+                    } else {
+                        stats.completed += 1;
+                        RequestStatus::Completed
+                    };
+                    wait_steps.push(t - rec.arrived_at);
+                }
+                acc_sum += point.accuracy * take as f32;
+                stats.energy_pj += point.energy_pj * take as f64;
+            }
+            // A typed forward error or an isolated panic fails this batch
+            // alone: its requests retry (with backoff) or are abandoned.
+            Ok(Err(_)) | Err(_) => {
+                for e in taken.iter().rev() {
+                    let rec = &mut outcomes[e.id];
+                    rec.attempts += 1;
+                    if rec.attempts > resilience.max_retries {
+                        rec.status = RequestStatus::Failed;
+                        stats.failed += 1;
+                    } else {
+                        stats.retried += 1;
+                        queue.push_front(QEntry {
+                            id: e.id,
+                            eligible_at: t + 1 + resilience.retry_backoff_steps,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    stats.served_requests = stats.completed + stats.completed_degraded;
+    stats.mean_accuracy = if stats.served_requests > 0 {
+        acc_sum / stats.served_requests as f32
+    } else {
+        0.0
+    };
+    stats.switch_energy_pj = stats.switches as f64 * cfg.switch_cost_pj;
+    stats.energy_pj += stats.switch_energy_pj;
+    stats.schedule = schedule;
+    stats.backlog = queue.len();
+    stats.max_queue_depth = max_depth;
+    stats.batch_histogram = histogram;
+    stats.faults_injected = faults.count_before(trace.len());
+    stats.time_in_bits = time_in_bits.into_iter().collect();
+    stats.degradation_events = degradation_events;
+    finish_wait_stats(&mut stats, wait_steps);
+    Ok((stats, outcomes))
+}

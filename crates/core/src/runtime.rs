@@ -178,8 +178,10 @@ impl Default for SimulationConfig {
 /// The queueing fields (`served_requests` through `p99_wait_steps`) are
 /// populated by [`simulate_serving_batched`]; the per-timestep paths
 /// leave them at their empty defaults except `served_requests`, which
-/// counts one inference per served timestep.
-#[derive(Debug, Clone, PartialEq)]
+/// counts one inference per served timestep. The per-outcome resilience
+/// fields (`completed` through `degradation_events`) are populated only
+/// by [`crate::resilience::simulate_serving_resilient`].
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct RuntimeStats {
     /// Mean accuracy over served inferences (one per served timestep in
     /// the per-timestep paths, one per request in the batched path).
@@ -217,6 +219,98 @@ pub struct RuntimeStats {
     /// Nearest-rank 99th percentile of the per-request queueing delay —
     /// the tail-latency figure switch policies are judged against.
     pub p99_wait_steps: f64,
+    /// Requests served within deadline at the policy-selected bit-width.
+    pub completed: usize,
+    /// Requests served within deadline at a bit-width the degradation
+    /// controller downshifted below the policy's pick.
+    pub completed_degraded: usize,
+    /// Requests rejected at admission (queue cap reached, or the deadline
+    /// was unmeetable even under best-case service).
+    pub shed: usize,
+    /// Requests whose deadline passed while they were still queued.
+    pub expired: usize,
+    /// Requests abandoned after exhausting their retry budget on faulted
+    /// batches.
+    pub failed: usize,
+    /// Total re-queues of fault-hit requests (a request retried twice
+    /// counts twice).
+    pub retried: usize,
+    /// Timesteps lost to injected stalls (the worker served nothing).
+    pub stalled_steps: usize,
+    /// Injected faults that landed inside the trace.
+    pub faults_injected: usize,
+    /// Steps the engine spent configured at each serving bit-width,
+    /// ascending by bits — makes degradation dwell time observable.
+    pub time_in_bits: Vec<(u8, usize)>,
+    /// Degradation-controller transitions as `(step, levels)` where
+    /// `levels` is how many operating points below the policy's pick the
+    /// controller holds the model after the transition (0 = recovered).
+    pub degradation_events: Vec<(usize, usize)>,
+}
+
+/// Sorts `wait_steps` into the mean/p50/p99 fields of `stats` and stores
+/// the raw waits — the single definition of the nearest-rank percentile
+/// every serving path reports.
+pub(crate) fn finish_wait_stats(stats: &mut RuntimeStats, wait_steps: Vec<usize>) {
+    if !wait_steps.is_empty() {
+        let mut sorted = wait_steps.clone();
+        sorted.sort_unstable();
+        let pct = |p: f64| sorted[((p * sorted.len() as f64).ceil() as usize).max(1) - 1] as f64;
+        stats.mean_wait_steps = wait_steps.iter().sum::<usize>() as f64 / wait_steps.len() as f64;
+        stats.p50_wait_steps = pct(0.50);
+        stats.p99_wait_steps = pct(0.99);
+    }
+    stats.wait_steps = wait_steps;
+}
+
+/// The per-timestep bit-width selection shared by every simulation path:
+/// budget-constrained greedy / hysteresis choice over a report's operating
+/// points, carrying the hysteresis state between steps. Extracted from the
+/// policy loop so the resilient path selects *identically* to
+/// [`simulate_serving_batched`] — the fault-free bit-identity contract.
+pub(crate) struct PolicySelector<'r> {
+    report: &'r DeploymentReport,
+    policy: Policy,
+    current: Option<&'r OperatingPoint>,
+}
+
+impl<'r> PolicySelector<'r> {
+    pub(crate) fn new(report: &'r DeploymentReport, policy: Policy) -> Self {
+        PolicySelector {
+            report,
+            policy,
+            current: None,
+        }
+    }
+
+    /// Selects this timestep's operating point, or `None` when nothing
+    /// fits the budget (which also resets the hysteresis anchor, so the
+    /// next affordable step re-selects greedily).
+    pub(crate) fn select(&mut self, budget: f64) -> Option<&'r OperatingPoint> {
+        let best = self.report.select(budget);
+        let next = match (self.policy, self.current, best) {
+            (_, _, None) => None,
+            (Policy::Greedy, _, Some(b)) => Some(b),
+            (Policy::Hysteresis { .. }, None, Some(b)) => Some(b),
+            (Policy::Hysteresis { margin }, Some(cur), Some(b)) => {
+                // Switch when forced downward (over budget) or when the
+                // upward move is worth more than the hysteresis margin.
+                if cur.energy_pj > budget || b.accuracy > cur.accuracy + margin {
+                    Some(b)
+                } else {
+                    Some(cur)
+                }
+            }
+        };
+        self.current = next;
+        next
+    }
+
+    /// Drops the hysteresis anchor, as a budget-infeasible step does —
+    /// used by the resilient path when an injected stall skips selection.
+    pub(crate) fn reset(&mut self) {
+        self.current = None;
+    }
 }
 
 /// Simulates running `report`'s operating points over `trace` with the
@@ -382,15 +476,7 @@ pub fn simulate_serving_batched(
     stats.backlog = queue.len();
     stats.max_queue_depth = max_depth;
     stats.batch_histogram = histogram;
-    if !wait_steps.is_empty() {
-        let mut sorted = wait_steps.clone();
-        sorted.sort_unstable();
-        let pct = |p: f64| sorted[((p * sorted.len() as f64).ceil() as usize).max(1) - 1] as f64;
-        stats.mean_wait_steps = wait_steps.iter().sum::<usize>() as f64 / wait_steps.len() as f64;
-        stats.p50_wait_steps = pct(0.50);
-        stats.p99_wait_steps = pct(0.99);
-    }
-    stats.wait_steps = wait_steps;
+    finish_wait_stats(&mut stats, wait_steps);
     (stats, outcomes)
 }
 
@@ -406,7 +492,8 @@ fn run_simulation(
     cfg: &SimulationConfig,
     mut on_step: impl FnMut(Option<BitWidth>) -> usize,
 ) -> RuntimeStats {
-    let mut current: Option<&OperatingPoint> = None;
+    let mut selector = PolicySelector::new(report, policy);
+    let mut prev_bits: Option<BitWidth> = None;
     let mut switches = 0usize;
     let mut dropped = 0usize;
     let mut acc_sum = 0.0f32;
@@ -414,27 +501,12 @@ fn run_simulation(
     let mut energy = 0.0f64;
     let mut schedule = Vec::with_capacity(trace.len());
     for &budget in trace.budgets() {
-        let best = report.select(budget);
-        let next = match (policy, current, best) {
-            (_, _, None) => None,
-            (Policy::Greedy, _, Some(b)) => Some(b),
-            (Policy::Hysteresis { .. }, None, Some(b)) => Some(b),
-            (Policy::Hysteresis { margin }, Some(cur), Some(b)) => {
-                // Switch when forced downward (over budget) or when the
-                // upward move is worth more than the hysteresis margin.
-                if cur.energy_pj > budget || b.accuracy > cur.accuracy + margin {
-                    Some(b)
-                } else {
-                    Some(cur)
-                }
-            }
-        };
-        match next {
+        match selector.select(budget) {
             Some(p) => {
-                if current.map(|c| c.bits) != Some(p.bits) {
+                if prev_bits != Some(p.bits) {
                     switches += 1;
                 }
-                current = Some(p);
+                prev_bits = Some(p.bits);
                 schedule.push(Some(p.bits.get()));
                 let inferences = on_step(Some(p.bits));
                 acc_sum += p.accuracy * inferences as f32;
@@ -443,7 +515,7 @@ fn run_simulation(
             }
             None => {
                 dropped += 1;
-                current = None;
+                prev_bits = None;
                 schedule.push(None);
                 on_step(None);
             }
@@ -462,13 +534,7 @@ fn run_simulation(
         switch_energy_pj: switch_energy,
         schedule,
         served_requests: served,
-        backlog: 0,
-        max_queue_depth: 0,
-        batch_histogram: Vec::new(),
-        wait_steps: Vec::new(),
-        mean_wait_steps: 0.0,
-        p50_wait_steps: 0.0,
-        p99_wait_steps: 0.0,
+        ..RuntimeStats::default()
     }
 }
 

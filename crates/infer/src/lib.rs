@@ -32,6 +32,7 @@
 //! path matches the f32 fake-quant reference within one quantization step
 //! per element.
 
+use instantnet_nn::checkpoint::CheckpointError;
 use instantnet_nn::layers::Activation;
 use instantnet_nn::plan::PlanOp;
 use instantnet_nn::Module;
@@ -42,7 +43,72 @@ use std::path::Path;
 mod exec;
 mod pack;
 
-pub use pack::PackError;
+/// Typed error for every fallible engine operation: plan compilation
+/// ([`PackedModel::prepack`]), checkpoint restore
+/// ([`PackedModel::from_checkpoint`]), bit-width selection
+/// ([`PackedModel::switch_to`]) and input validation on the fallible
+/// forward paths ([`PackedModel::try_forward_at`]). Serving layers match
+/// on the variant to decide whether to fail a request, a batch, or the
+/// whole deployment.
+#[derive(Debug)]
+pub enum InferError {
+    /// The plan contains an op sequence the engine cannot execute (e.g. a
+    /// batch-norm with no preceding convolution to fold into).
+    Unsupported(String),
+    /// Tensor shapes in the plan are inconsistent at pack time.
+    Shape(String),
+    /// Checkpoint restore failed in [`PackedModel::from_checkpoint`].
+    Checkpoint(CheckpointError),
+    /// A bit-width set index outside the packed table.
+    BitIndex {
+        /// The requested index.
+        index: usize,
+        /// Number of packed bit-widths.
+        len: usize,
+    },
+    /// A bit-width value that is not in the packed set.
+    BitWidth(BitWidth),
+    /// A forward input that does not fit the packed network's first layer.
+    Input(String),
+}
+
+impl std::fmt::Display for InferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InferError::Unsupported(msg) => write!(f, "unsupported plan: {msg}"),
+            InferError::Shape(msg) => write!(f, "shape mismatch: {msg}"),
+            InferError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            InferError::BitIndex { index, len } => {
+                write!(
+                    f,
+                    "bit index {index} out of range (packed {len} bit-widths)"
+                )
+            }
+            InferError::BitWidth(b) => {
+                write!(f, "bit-width {b} is not in the packed model's set")
+            }
+            InferError::Input(msg) => write!(f, "invalid forward input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for InferError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            InferError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for InferError {
+    fn from(e: CheckpointError) -> Self {
+        InferError::Checkpoint(e)
+    }
+}
+
+/// Former name of [`InferError`], kept as an alias for existing callers.
+pub type PackError = InferError;
 
 /// Integer (or fallback f32) weight storage for one packed layer.
 ///
@@ -234,7 +300,7 @@ pub(crate) struct PackedNet {
 /// let mut packed = PackedModel::prepack(&net, &bits, Quantizer::Sbm).unwrap();
 /// let x = Tensor::zeros(&[1, 3, 8, 8]);
 /// let y4 = packed.forward(&x); // lowest bit-width
-/// packed.switch_to(bits.len() - 1); // instantaneous: no weight work
+/// packed.switch_to(bits.len() - 1).unwrap(); // instantaneous: no weight work
 /// let y8 = packed.forward(&x);
 /// assert_eq!(y4.dims(), y8.dims());
 /// ```
@@ -251,17 +317,17 @@ impl PackedModel {
     ///
     /// # Errors
     ///
-    /// [`PackError::Unsupported`] if the module exposes no inference plan
+    /// [`InferError::Unsupported`] if the module exposes no inference plan
     /// (e.g. PACT layers) or the plan contains an unfoldable op sequence;
-    /// [`PackError::Shape`] on inconsistent tensor shapes.
+    /// [`InferError::Shape`] on inconsistent tensor shapes.
     pub fn prepack(
         module: &dyn Module,
         set: &BitWidthSet,
         quantizer: Quantizer,
-    ) -> Result<Self, PackError> {
+    ) -> Result<Self, InferError> {
         let plan = module
             .plan_ops()
-            .ok_or_else(|| PackError::Unsupported("module exposes no inference plan".into()))?;
+            .ok_or_else(|| InferError::Unsupported("module exposes no inference plan".into()))?;
         Self::from_plan(&plan, set, quantizer)
     }
 
@@ -274,7 +340,7 @@ impl PackedModel {
         plan: &[PlanOp],
         set: &BitWidthSet,
         quantizer: Quantizer,
-    ) -> Result<Self, PackError> {
+    ) -> Result<Self, InferError> {
         let mut pack_passes = 0usize;
         let mut nets = Vec::with_capacity(set.len());
         for (i, &b) in set.widths().iter().enumerate() {
@@ -297,36 +363,54 @@ impl PackedModel {
     /// # Errors
     ///
     /// Checkpoint I/O and format errors surface as
-    /// [`PackError::Checkpoint`]; packing errors as in [`Self::prepack`].
+    /// [`InferError::Checkpoint`]; packing errors as in [`Self::prepack`].
     pub fn from_checkpoint(
         module: &dyn Module,
         path: impl AsRef<Path>,
         set: &BitWidthSet,
         quantizer: Quantizer,
-    ) -> Result<Self, PackError> {
-        instantnet_nn::checkpoint::load(module, path).map_err(PackError::Checkpoint)?;
+    ) -> Result<Self, InferError> {
+        instantnet_nn::checkpoint::load(module, path).map_err(InferError::Checkpoint)?;
         Self::prepack(module, set, quantizer)
     }
 
     /// Switches the active bit-width by set index — a pointer swap into
     /// the prebuilt table; performs no per-element weight work.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `index` is out of range.
-    pub fn switch_to(&mut self, index: usize) {
-        assert!(index < self.nets.len(), "bit index {index} out of range");
+    /// [`InferError::BitIndex`] if `index` is out of range (the model is
+    /// left unchanged).
+    pub fn switch_to(&mut self, index: usize) -> Result<(), InferError> {
+        if index >= self.nets.len() {
+            return Err(InferError::BitIndex {
+                index,
+                len: self.nets.len(),
+            });
+        }
         self.active = index;
+        Ok(())
     }
 
-    /// Switches by bit-width value; returns whether it was in the set.
+    /// Switches by bit-width value; returns whether it was in the set —
+    /// the `bool` convenience twin of [`Self::try_switch_to_bits`].
     pub fn switch_to_bits(&mut self, bits: BitWidth) -> bool {
+        self.try_switch_to_bits(bits).is_ok()
+    }
+
+    /// Switches by bit-width value.
+    ///
+    /// # Errors
+    ///
+    /// [`InferError::BitWidth`] if `bits` is not in the packed set (the
+    /// model is left unchanged).
+    pub fn try_switch_to_bits(&mut self, bits: BitWidth) -> Result<(), InferError> {
         match self.set.index_of(bits) {
             Some(i) => {
                 self.active = i;
-                true
+                Ok(())
             }
-            None => false,
+            None => Err(InferError::BitWidth(bits)),
         }
     }
 
@@ -375,9 +459,38 @@ impl PackedModel {
             .sum()
     }
 
+    /// Validates that `index` addresses a packed net and `x` fits its
+    /// first shape-consuming layer — the checks the fallible forward paths
+    /// run so malformed serving inputs surface as [`InferError`] instead
+    /// of a panic deep inside a kernel.
+    fn validate_input(&self, index: usize, x: &Tensor) -> Result<(), InferError> {
+        if index >= self.nets.len() {
+            return Err(InferError::BitIndex {
+                index,
+                len: self.nets.len(),
+            });
+        }
+        let dims = x.dims();
+        if dims.is_empty() || dims[0] == 0 {
+            return Err(InferError::Input(format!(
+                "input must have a non-empty batch dimension, got {dims:?}"
+            )));
+        }
+        validate_ops_input(&self.nets[index].ops, dims)
+    }
+
     /// Runs the packed network at the active bit-width.
     pub fn forward(&self, x: &Tensor) -> Tensor {
         self.forward_at(self.active, x)
+    }
+
+    /// [`Self::forward`] with input validation instead of panics.
+    ///
+    /// # Errors
+    ///
+    /// [`InferError::Input`] when `x` does not fit the first layer.
+    pub fn try_forward(&self, x: &Tensor) -> Result<Tensor, InferError> {
+        self.try_forward_at(self.active, x)
     }
 
     /// Runs the packed network at an explicit bit-width index.
@@ -385,22 +498,45 @@ impl PackedModel {
     /// # Panics
     ///
     /// Panics if `index` is out of range or the input shape does not fit
-    /// the first layer.
+    /// the first layer ([`Self::try_forward_at`] is the fallible twin).
     pub fn forward_at(&self, index: usize, x: &Tensor) -> Tensor {
+        match self.try_forward_at(index, x) {
+            Ok(y) => y,
+            Err(e) => panic!("forward_at: {e}"),
+        }
+    }
+
+    /// [`Self::forward_at`] with input validation instead of panics.
+    ///
+    /// # Errors
+    ///
+    /// [`InferError::BitIndex`] for an out-of-range index,
+    /// [`InferError::Input`] when `x` does not fit the first layer.
+    pub fn try_forward_at(&self, index: usize, x: &Tensor) -> Result<Tensor, InferError> {
+        self.validate_input(index, x)?;
         let net = &self.nets[index];
-        exec::exec_ops(
+        Ok(exec::exec_ops(
             &net.ops,
             x,
             net.bits,
             self.quantizer,
             exec::ActQuant::PerBatch,
-        )
+        ))
     }
 
     /// Runs an aggregated request batch at the active bit-width — the
     /// serving entry point. See [`Self::forward_batch_at`].
     pub fn forward_batch(&self, x: &Tensor) -> Tensor {
         self.forward_batch_at(self.active, x)
+    }
+
+    /// [`Self::forward_batch`] with input validation instead of panics.
+    ///
+    /// # Errors
+    ///
+    /// [`InferError::Input`] when `x` does not fit the first layer.
+    pub fn try_forward_batch(&self, x: &Tensor) -> Result<Tensor, InferError> {
+        self.try_forward_batch_at(self.active, x)
     }
 
     /// Runs an aggregated request batch at an explicit bit-width index.
@@ -419,17 +555,98 @@ impl PackedModel {
     /// # Panics
     ///
     /// Panics if `index` is out of range or the input shape does not fit
-    /// the first layer.
+    /// the first layer ([`Self::try_forward_batch_at`] is the fallible
+    /// twin).
     pub fn forward_batch_at(&self, index: usize, x: &Tensor) -> Tensor {
+        match self.try_forward_batch_at(index, x) {
+            Ok(y) => y,
+            Err(e) => panic!("forward_batch_at: {e}"),
+        }
+    }
+
+    /// [`Self::forward_batch_at`] with input validation instead of panics.
+    ///
+    /// # Errors
+    ///
+    /// [`InferError::BitIndex`] for an out-of-range index,
+    /// [`InferError::Input`] when `x` does not fit the first layer.
+    pub fn try_forward_batch_at(&self, index: usize, x: &Tensor) -> Result<Tensor, InferError> {
+        self.validate_input(index, x)?;
         let net = &self.nets[index];
-        exec::exec_ops(
+        Ok(exec::exec_ops(
             &net.ops,
             x,
             net.bits,
             self.quantizer,
             exec::ActQuant::PerSample,
-        )
+        ))
     }
+}
+
+/// Checks `dims` against the first shape-consuming op of `ops` (skipping
+/// pure activations, recursing into residual bodies). Later layers consume
+/// shapes the plan itself produced, so validating the entry contract is
+/// sufficient to keep kernels off their panic paths.
+fn validate_ops_input(ops: &[PackedOp], dims: &[usize]) -> Result<(), InferError> {
+    for op in ops {
+        match op {
+            PackedOp::Act(_) => continue,
+            PackedOp::Residual { body, .. } => return validate_ops_input(body, dims),
+            PackedOp::Conv {
+                gemm,
+                cg,
+                r,
+                s,
+                stride,
+                pad,
+                groups,
+                ..
+            } => {
+                if dims.len() != 4 {
+                    return Err(InferError::Input(format!(
+                        "conv input must be rank 4 [n, c, h, w], got {dims:?}"
+                    )));
+                }
+                let (c, h, w) = (dims[1], dims[2], dims[3]);
+                if c != cg * groups {
+                    return Err(InferError::Input(format!(
+                        "conv expects {} input channels ({cg} per group × {groups} groups), got {c}",
+                        cg * groups
+                    )));
+                }
+                if h + 2 * pad < *r || w + 2 * pad < *s {
+                    return Err(InferError::Input(format!(
+                        "padded input {h}×{w} (pad {pad}) is smaller than the {r}×{s} kernel"
+                    )));
+                }
+                let _ = (gemm, stride);
+                return Ok(());
+            }
+            PackedOp::Linear { gemm } => {
+                if dims.len() != 2 {
+                    return Err(InferError::Input(format!(
+                        "linear input must be rank 2 [n, features], got {dims:?}"
+                    )));
+                }
+                if dims[1] != gemm.cols {
+                    return Err(InferError::Input(format!(
+                        "linear expects {} input features, got {}",
+                        gemm.cols, dims[1]
+                    )));
+                }
+                return Ok(());
+            }
+            PackedOp::GlobalAvgPool => {
+                if dims.len() != 4 {
+                    return Err(InferError::Input(format!(
+                        "global average pool input must be rank 4, got {dims:?}"
+                    )));
+                }
+                return Ok(());
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -471,6 +688,36 @@ mod tests {
     }
 
     #[test]
+    fn from_checkpoint_surfaces_corruption_as_typed_error() {
+        let bits = BitWidthSet::narrow_range();
+        let net = models::small_cnn(4, 6, (8, 8), bits.len(), 11);
+        let path = std::env::temp_dir().join(format!(
+            "instantnet_infer_corrupt_{}_{:p}.bin",
+            std::process::id(),
+            &bits
+        ));
+        checkpoint::save(&net, &path).unwrap();
+        // Flip one bit in the tensor-data tail: the structure still parses,
+        // so only the per-section CRC32 can reject the file.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let victim = bytes.len() - 6;
+        bytes[victim] ^= 0x04;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = match PackedModel::from_checkpoint(&net, &path, &bits, Quantizer::Sbm) {
+            Ok(_) => panic!("corrupt checkpoint must not load"),
+            Err(e) => e,
+        };
+        std::fs::remove_file(&path).unwrap();
+        assert!(
+            matches!(
+                err,
+                InferError::Checkpoint(instantnet_nn::checkpoint::CheckpointError::Corrupt(_))
+            ),
+            "expected typed corruption error, got: {err}"
+        );
+    }
+
+    #[test]
     fn switching_and_forwards_perform_no_weight_work() {
         let bits = BitWidthSet::large_range();
         let net = models::small_cnn(4, 6, (8, 8), bits.len(), 3);
@@ -482,7 +729,7 @@ mod tests {
         let x = Tensor::zeros(&[1, 3, 8, 8]);
         let before = packed.pack_passes();
         for i in (0..bits.len()).rev() {
-            packed.switch_to(i);
+            packed.switch_to(i).unwrap();
             assert_eq!(packed.active_index(), i);
             let _ = packed.forward(&x);
         }
@@ -514,6 +761,62 @@ mod tests {
             storage.decode_row(row, cols, &mut out);
             assert_eq!(out, &padded[row * cols..(row + 1) * cols]);
         }
+    }
+
+    #[test]
+    fn switch_and_forward_errors_are_typed() {
+        let bits = BitWidthSet::new(vec![4, 8]).unwrap();
+        let net = models::small_cnn(4, 6, (8, 8), bits.len(), 7);
+        let mut packed = PackedModel::prepack(&net, &bits, Quantizer::Sbm).unwrap();
+
+        // Bad index: typed error, model unchanged.
+        let before = packed.active_index();
+        let err = packed.switch_to(99).unwrap_err();
+        assert!(
+            matches!(err, InferError::BitIndex { index: 99, len: 2 }),
+            "{err}"
+        );
+        assert_eq!(packed.active_index(), before);
+
+        // Bad bit-width value: typed error from the fallible twin, `false`
+        // from the bool convenience, model unchanged either way.
+        let err = packed.try_switch_to_bits(BitWidth::new(6)).unwrap_err();
+        assert!(
+            matches!(err, InferError::BitWidth(b) if b.get() == 6),
+            "{err}"
+        );
+        assert!(!packed.switch_to_bits(BitWidth::new(6)));
+        assert!(packed.switch_to_bits(BitWidth::new(8)));
+        assert_eq!(packed.active_bits().get(), 8);
+
+        // Malformed forward inputs: typed errors, not kernel panics.
+        let rank2 = Tensor::zeros(&[1, 3]);
+        assert!(matches!(
+            packed.try_forward(&rank2).unwrap_err(),
+            InferError::Input(_)
+        ));
+        let wrong_channels = Tensor::zeros(&[1, 5, 8, 8]);
+        assert!(matches!(
+            packed.try_forward_batch(&wrong_channels).unwrap_err(),
+            InferError::Input(_)
+        ));
+        assert!(matches!(
+            packed
+                .try_forward_at(7, &Tensor::zeros(&[1, 3, 8, 8]))
+                .unwrap_err(),
+            InferError::BitIndex { index: 7, len: 2 }
+        ));
+
+        // A well-formed input still runs, and the fallible path matches
+        // the panicking one bit for bit.
+        let x = Tensor::from_vec(
+            vec![1, 3, 8, 8],
+            (0..3 * 8 * 8)
+                .map(|i| (i % 11) as f32 / 11.0 - 0.5)
+                .collect(),
+        );
+        let a = packed.try_forward_at(0, &x).unwrap();
+        assert_eq!(a.data(), packed.forward_at(0, &x).data());
     }
 
     #[test]

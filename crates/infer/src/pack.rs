@@ -1,35 +1,10 @@
 //! Plan-to-packed compilation: weight code generation, BN folding, and
 //! storage-tier selection, performed once per bit-width at construction.
 
-use crate::{Accum, PackedGemm, PackedOp, Storage};
-use instantnet_nn::checkpoint::CheckpointError;
+use crate::{Accum, InferError, PackedGemm, PackedOp, Storage};
 use instantnet_nn::plan::PlanOp;
 use instantnet_quant::{BitWidth, Quantizer};
 use instantnet_tensor::Tensor;
-
-/// Errors surfaced while compiling an inference plan into packed form.
-#[derive(Debug)]
-pub enum PackError {
-    /// The plan contains an op sequence the engine cannot execute (e.g. a
-    /// batch-norm with no preceding convolution to fold into).
-    Unsupported(String),
-    /// Tensor shapes in the plan are inconsistent.
-    Shape(String),
-    /// Checkpoint restore failed in [`crate::PackedModel::from_checkpoint`].
-    Checkpoint(CheckpointError),
-}
-
-impl std::fmt::Display for PackError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            PackError::Unsupported(msg) => write!(f, "unsupported plan: {msg}"),
-            PackError::Shape(msg) => write!(f, "shape mismatch: {msg}"),
-            PackError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for PackError {}
 
 /// Folded batch-norm affine: `y = scale[k] * conv_out[k] + bias[k]`.
 struct BnFold {
@@ -45,9 +20,9 @@ fn fold_bn(
     eps: f32,
     bit_index: usize,
     rows: usize,
-) -> Result<BnFold, PackError> {
+) -> Result<BnFold, InferError> {
     if bit_index >= gamma.len() {
-        return Err(PackError::Shape(format!(
+        return Err(InferError::Shape(format!(
             "batch norm has {} branches but bit-width index {bit_index} was requested",
             gamma.len()
         )));
@@ -59,7 +34,7 @@ fn fold_bn(
         var[bit_index].data(),
     );
     if g.len() != rows {
-        return Err(PackError::Shape(format!(
+        return Err(InferError::Shape(format!(
             "batch norm over {} channels follows a conv with {rows} filters",
             g.len()
         )));
@@ -91,10 +66,10 @@ fn pack_gemm(
     quantizer: Quantizer,
     quantize_input: bool,
     pack_passes: &mut usize,
-) -> Result<PackedGemm, PackError> {
+) -> Result<PackedGemm, InferError> {
     let rows = weight.dims()[0];
     if rows == 0 || !weight.len().is_multiple_of(rows) {
-        return Err(PackError::Shape(format!(
+        return Err(InferError::Shape(format!(
             "weight of {} elements does not split into {rows} rows",
             weight.len()
         )));
@@ -204,7 +179,7 @@ pub(crate) fn pack_plan(
     bits: BitWidth,
     quantizer: Quantizer,
     pack_passes: &mut usize,
-) -> Result<Vec<PackedOp>, PackError> {
+) -> Result<Vec<PackedOp>, InferError> {
     let mut out = Vec::with_capacity(ops.len());
     let mut it = ops.iter().peekable();
     while let Some(op) = it.next() {
@@ -219,13 +194,13 @@ pub(crate) fn pack_plan(
             } => {
                 let dims = weight.dims();
                 if dims.len() != 4 {
-                    return Err(PackError::Shape(format!(
+                    return Err(InferError::Shape(format!(
                         "conv weight must be rank 4, got {dims:?}"
                     )));
                 }
                 let (k, cg, r, s) = (dims[0], dims[1], dims[2], dims[3]);
                 if *groups == 0 || k % groups != 0 {
-                    return Err(PackError::Shape(format!(
+                    return Err(InferError::Shape(format!(
                         "{k} conv filters do not split into {groups} groups"
                     )));
                 }
@@ -267,7 +242,7 @@ pub(crate) fn pack_plan(
                 });
             }
             PlanOp::BatchNorm { .. } => {
-                return Err(PackError::Unsupported(
+                return Err(InferError::Unsupported(
                     "batch norm without a preceding convolution to fold into".into(),
                 ));
             }
@@ -275,7 +250,7 @@ pub(crate) fn pack_plan(
             PlanOp::GlobalAvgPool => out.push(PackedOp::GlobalAvgPool),
             PlanOp::Linear { weight, bias, .. } => {
                 if weight.dims().len() != 2 {
-                    return Err(PackError::Shape(format!(
+                    return Err(InferError::Shape(format!(
                         "linear weight must be rank 2, got {:?}",
                         weight.dims()
                     )));

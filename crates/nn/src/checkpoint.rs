@@ -7,8 +7,12 @@
 //! appends a second section in the same record format holding module
 //! *buffers* — non-trainable state such as `SwitchableBatchNorm` running
 //! statistics — so an eval-mode model (and the integer engine prepacked
-//! from it) is fully reconstructable from a checkpoint. Version 1 files
-//! (params only) remain readable.
+//! from it) is fully reconstructable from a checkpoint. Version 3 appends
+//! a CRC32 (IEEE, reflected) of each section's bytes immediately after
+//! the section, so silent corruption — a flipped bit in weight data that
+//! still parses — is detected at load time instead of becoming garbage
+//! weights. Version 1 (params only) and version 2 (no checksums) files
+//! remain readable.
 
 use crate::Module;
 use instantnet_tensor::Tensor;
@@ -20,7 +24,51 @@ use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"INET";
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
+
+/// CRC32 (IEEE 802.3, reflected, init/xorout `0xFFFF_FFFF`) of `bytes`
+/// continued from a running `state` (start from [`CRC32_INIT`], finish by
+/// inverting). Bitwise — checkpoint I/O is dominated by tensor data reads,
+/// not the checksum.
+const CRC32_INIT: u32 = 0xFFFF_FFFF;
+
+fn crc32_update(mut state: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        state ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (state & 1).wrapping_neg();
+            state = (state >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    state
+}
+
+/// `Read` adapter folding every byte it yields into a running CRC32.
+struct Crc32Reader<'a, R: Read> {
+    inner: &'a mut R,
+    state: u32,
+}
+
+impl<'a, R: Read> Crc32Reader<'a, R> {
+    fn new(inner: &'a mut R) -> Self {
+        Crc32Reader {
+            inner,
+            state: CRC32_INIT,
+        }
+    }
+
+    fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl<R: Read> Read for Crc32Reader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.state = crc32_update(self.state, &buf[..n]);
+        Ok(n)
+    }
+}
 
 /// Errors from checkpoint I/O.
 #[derive(Debug)]
@@ -94,9 +142,21 @@ pub fn save(module: &dyn Module, path: impl AsRef<Path>) -> Result<(), Checkpoin
     let mut w = BufWriter::new(File::create(path)?);
     w.write_all(MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
-    write_section(&mut w, &params)?;
-    write_section(&mut w, &module.buffers())?;
+    write_section_checksummed(&mut w, &params)?;
+    write_section_checksummed(&mut w, &module.buffers())?;
     w.flush()?;
+    Ok(())
+}
+
+/// Writes one section followed by the CRC32 of its bytes (version ≥ 3).
+fn write_section_checksummed(
+    w: &mut impl Write,
+    records: &[(String, Tensor)],
+) -> Result<(), CheckpointError> {
+    let mut buf = Vec::new();
+    write_section(&mut buf, records)?;
+    w.write_all(&buf)?;
+    w.write_all(&(!crc32_update(CRC32_INIT, &buf)).to_le_bytes())?;
     Ok(())
 }
 
@@ -165,13 +225,33 @@ fn read_sections(path: impl AsRef<Path>) -> Result<Sections, CheckpointError> {
     if !(1..=VERSION).contains(&version) {
         return Err(CheckpointError::BadHeader);
     }
-    let params = read_section(&mut r, "parameter tensor too large")?;
+    let params = read_section_checked(&mut r, version, "parameter tensor too large")?;
     let buffers = if version >= 2 {
-        read_section(&mut r, "buffer tensor too large")?
+        read_section_checked(&mut r, version, "buffer tensor too large")?
     } else {
         HashMap::new()
     };
     Ok((params, buffers))
+}
+
+/// Reads one section, verifying the trailing CRC32 for version ≥ 3 files
+/// (earlier versions carry no checksum).
+fn read_section_checked(
+    r: &mut impl Read,
+    version: u32,
+    what: &'static str,
+) -> Result<HashMap<String, Tensor>, CheckpointError> {
+    if version < 3 {
+        return read_section(r, what);
+    }
+    let mut hr = Crc32Reader::new(r);
+    let out = read_section(&mut hr, what)?;
+    let computed = hr.finish();
+    let stored = read_u32(r)?;
+    if computed != stored {
+        return Err(CheckpointError::Corrupt("section checksum mismatch"));
+    }
+    Ok(out)
 }
 
 /// Reads a checkpoint's parameters into a name → tensor map.
@@ -340,6 +420,62 @@ mod tests {
         let other = models::small_cnn(4, 5, (6, 6), 2, 2);
         load(&other, &path).unwrap();
         assert_eq!(read_tensors(&path).unwrap().len(), params.len());
+    }
+
+    #[test]
+    fn crc32_known_answer() {
+        // IEEE CRC32 of "123456789" — the standard check value.
+        assert_eq!(!crc32_update(CRC32_INIT, b"123456789"), 0xCBF4_3926);
+        assert_eq!(!crc32_update(CRC32_INIT, b""), 0);
+        // Incremental updates equal one-shot.
+        let once = !crc32_update(CRC32_INIT, b"hello world");
+        let split = !crc32_update(crc32_update(CRC32_INIT, b"hello "), b"world");
+        assert_eq!(once, split);
+    }
+
+    #[test]
+    fn bit_flip_reported_as_corrupt_not_garbage_weights() {
+        let net = models::small_cnn(4, 5, (6, 6), 2, 1);
+        let path = tmp("bit-flip.bin");
+        save(&net, &path).unwrap();
+        // Flip one bit inside the last section's tensor data (the file
+        // tail is `…f32 data, crc32`), where the record structure still
+        // parses fine — only the checksum can catch it.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let victim = bytes.len() - 6;
+        bytes[victim] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let other = models::small_cnn(4, 5, (6, 6), 2, 3);
+        let err = load(&other, &path).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::Corrupt("section checksum mismatch")),
+            "expected checksum failure, got: {err}"
+        );
+        // Restoring the bit makes the file load again.
+        bytes[victim] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        load(&other, &path).unwrap();
+    }
+
+    #[test]
+    fn v2_unchecksummed_file_still_loads() {
+        use std::io::Write as _;
+        let net = models::small_cnn(4, 5, (6, 6), 2, 1);
+        let params: Vec<(String, Tensor)> = net
+            .params()
+            .iter()
+            .map(|p| (p.name().to_string(), p.var().value()))
+            .collect();
+        let path = tmp("v2.bin");
+        let mut w = BufWriter::new(File::create(&path).unwrap());
+        w.write_all(MAGIC).unwrap();
+        w.write_all(&2u32.to_le_bytes()).unwrap();
+        write_section(&mut w, &params).unwrap();
+        write_section(&mut w, &net.buffers()).unwrap();
+        w.flush().unwrap();
+        drop(w);
+        let other = models::small_cnn(4, 5, (6, 6), 2, 2);
+        load(&other, &path).unwrap();
     }
 
     #[test]

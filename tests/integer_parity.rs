@@ -150,7 +150,7 @@ fn bit_switch_does_no_weight_work() {
     // counter must not move — switching is a pointer swap.
     for _ in 0..2 {
         for i in 0..bits.len() {
-            packed.switch_to(i);
+            packed.switch_to(i).unwrap();
             let _ = packed.forward(&x);
         }
     }
