@@ -1,0 +1,184 @@
+//! Sharded serving throughput on a packed 4-bit CNN.
+//!
+//! Two kinds of entries share the `BENCH_sharding.json` snapshot:
+//!
+//! * `sharded_wall_replicas{1,2,4}` — wall-clock time to push the same
+//!   96-request burst through `simulate_serving_sharded`. Tracked for
+//!   regressions; on a single-core runner the replica forwards serialize,
+//!   so the wall ratio says nothing about serving capacity.
+//! * `sharded_drain_replicas{1,2,4}` — the *simulated* drain makespan:
+//!   steps until the burst is fully served, times a fixed 1 ms/step. This
+//!   is the capacity figure sharding exists to scale — 96 requests at
+//!   `max_batch` 4 need 24 serving steps on one replica, 6 on four — and
+//!   it is deterministic on any host. `bench_check` enforces the ≥2.5×
+//!   1-vs-4-replica floor on these entries.
+//!
+//! `sharded_cache_{off,on}` measure the content cache on a duplicate-heavy
+//! trace (4 distinct samples across 48 requests): on-path hits skip whole
+//! forwards, so the wall-clock gap is the cache's actual win.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use instantnet::runtime::{EnergyTrace, Policy, RequestTrace, ServingConfig, SimulationConfig};
+use instantnet::sharding::{simulate_serving_sharded, ShardConfig, ShardedOutcome};
+use instantnet::{faults::FaultPlan, DeploymentReport, OperatingPoint};
+use instantnet_infer::PackedModel;
+use instantnet_nn::blocks::ConvBnAct;
+use instantnet_nn::layers::{Activation, GlobalAvgPool, QuantLinear};
+use instantnet_nn::Sequential;
+use instantnet_quant::{BitWidth, BitWidthSet, Quantizer};
+use instantnet_tensor::{init, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One simulated timestep in nanoseconds (1 ms — the operating point's
+/// latency scale), turning drain makespans into snapshot ns entries.
+const STEP_NS: f64 = 1e6;
+
+/// Same stem + quantized-head CNN as the serving bench: the regime where
+/// batching (and therefore multi-replica draining) pays.
+fn serving_cnn(rng: &mut StdRng) -> Sequential {
+    let mut body = Sequential::new();
+    body.push(Box::new(ConvBnAct::new(
+        rng,
+        "stem",
+        3,
+        8,
+        3,
+        2,
+        1,
+        1,
+        Activation::Relu,
+        false,
+    )));
+    body.push(Box::new(ConvBnAct::new(
+        rng,
+        "conv2",
+        8,
+        32,
+        3,
+        2,
+        1,
+        1,
+        Activation::Relu,
+        true,
+    )));
+    body.push(Box::new(GlobalAvgPool));
+    body.push(Box::new(QuantLinear::new(rng, "fc1", 32, 256)));
+    body.push(Box::new(QuantLinear::new(rng, "fc2", 256, 256)));
+    body.push(Box::new(QuantLinear::new(rng, "fc3", 256, 10)));
+    body
+}
+
+fn report_4bit() -> DeploymentReport {
+    DeploymentReport::new(
+        "sharding-bench",
+        1,
+        vec![OperatingPoint {
+            bits: BitWidth::new(4),
+            accuracy: 0.6,
+            energy_pj: 10.0,
+            latency_s: 1e-3,
+            edp: 1e-2,
+            fps: 1000.0,
+        }],
+    )
+}
+
+fn makespan_steps(outcomes: &[ShardedOutcome]) -> usize {
+    1 + outcomes
+        .iter()
+        .map(|o| o.served_at.expect("burst trace must fully drain"))
+        .max()
+        .expect("at least one request")
+}
+
+fn bench_sharding(c: &mut Criterion) {
+    let bits = BitWidthSet::new(vec![4]).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let net = serving_cnn(&mut rng);
+    let model = PackedModel::prepack(&net, &bits, Quantizer::Sbm).unwrap();
+    let report = report_4bit();
+    let inputs: Vec<Tensor> = (0..4)
+        .map(|_| init::uniform(&mut rng, &[1, 3, 8, 8], -1.0, 1.0))
+        .collect();
+    let serving = ServingConfig { max_batch: 4 };
+
+    // The same 96-request burst at every replica count: all arrive at
+    // step 0 and the fleet drains them at max_batch per replica per step.
+    let steps = 96;
+    let trace = EnergyTrace::new(vec![15.0; steps]);
+    let mut arrivals = vec![0usize; steps];
+    arrivals[0] = 96;
+    let requests = RequestTrace::new(arrivals);
+
+    for replicas in [1usize, 2, 4] {
+        let shard = ShardConfig {
+            replicas,
+            ..ShardConfig::default()
+        };
+        let run = || {
+            simulate_serving_sharded(
+                &report,
+                &trace,
+                &requests,
+                Policy::Greedy,
+                &SimulationConfig::default(),
+                &serving,
+                &shard,
+                &FaultPlan::none(),
+                &model,
+                &inputs,
+            )
+            .expect("bench config is valid")
+        };
+        c.bench_function(&format!("sharded_wall_replicas{replicas}"), |b| {
+            b.iter(|| std::hint::black_box(run()))
+        });
+        let (stats, outcomes) = run();
+        assert_eq!(stats.completed, 96, "burst must fully drain");
+        c.record_metric(
+            &format!("sharded_drain_replicas{replicas}"),
+            makespan_steps(&outcomes) as f64 * STEP_NS,
+        );
+    }
+
+    // Cache value on duplicate traffic: 48 requests cycling 4 samples,
+    // 2 replicas. With the cache on, only the first occurrence of each
+    // (sample, bit-width) pair runs a forward.
+    let steps = 12;
+    let trace = EnergyTrace::new(vec![15.0; steps]);
+    let requests = RequestTrace::uniform(4, steps);
+    for (name, cache) in [("sharded_cache_off", false), ("sharded_cache_on", true)] {
+        let shard = ShardConfig {
+            replicas: 2,
+            cache,
+            ..ShardConfig::default()
+        };
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    simulate_serving_sharded(
+                        &report,
+                        &trace,
+                        &requests,
+                        Policy::Greedy,
+                        &SimulationConfig::default(),
+                        &serving,
+                        &shard,
+                        &FaultPlan::none(),
+                        &model,
+                        &inputs,
+                    )
+                    .expect("bench config is valid"),
+                )
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = sharding;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sharding
+}
+criterion_main!(sharding);

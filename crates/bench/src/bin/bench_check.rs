@@ -10,7 +10,7 @@
 //! run are reported and skipped (renames should update the baseline in the
 //! same change), as are sub-100 ns medians, which are pure timer noise.
 //!
-//! Two groups carry extra within-run, machine-independent ratio checks
+//! Three groups carry extra within-run, machine-independent ratio checks
 //! (per-median ratios absorb machine drift; these cannot):
 //!
 //! * serving: batch-16 request aggregation must keep at least 2× the
@@ -19,7 +19,16 @@
 //!   parallel region per batch) has regressed;
 //! * resilience: the fault-free resilient path must stay within 1.1× of
 //!   plain batched serving — resilience is supposed to be bookkeeping on
-//!   top of the same forwards, never a second serving implementation.
+//!   top of the same forwards, never a second serving implementation;
+//! * sharding: 4 replicas must drain the same burst in at most 1/2.5 the
+//!   *simulated* steps one replica needs (the `sharded_drain_replicas*`
+//!   entries are deterministic makespans, not wall clock, so this floor
+//!   holds on any host) — if it decays, dispatch has stopped spreading
+//!   load across the fleet.
+//!
+//! On failure every offending group/benchmark is listed by name with its
+//! measured-vs-baseline (or within-run) ratio, so a CI log is enough to
+//! diagnose which bench moved and by how much.
 
 use std::collections::HashMap;
 use std::path::Path;
@@ -87,7 +96,10 @@ fn main() -> ExitCode {
         baseline_dir.display()
     );
 
-    let mut failures = 0usize;
+    // Each failure is recorded as a human-readable line naming the group,
+    // the benchmark, and the offending ratio — replayed in the exit
+    // summary so the CI log alone identifies what regressed.
+    let mut failures: Vec<String> = Vec::new();
     for file in &snapshots {
         let current_path = current_dir.join(file);
         if !current_path.exists() {
@@ -110,7 +122,10 @@ fn main() -> ExitCode {
             }
             let ratio = cur / base;
             let verdict = if ratio > max_ratio {
-                failures += 1;
+                failures.push(format!(
+                    "{file}: {name} regressed {ratio:.2}x vs baseline \
+                     ({base:.0} -> {cur:.0} ns, allowed {max_ratio}x)"
+                ));
                 "REGRESSED"
             } else {
                 "ok"
@@ -134,7 +149,10 @@ fn main() -> ExitCode {
             (Some(&b1), Some(&b16)) => {
                 let speedup = b1 / b16;
                 let verdict = if speedup < SERVING_MIN_SPEEDUP {
-                    failures += 1;
+                    failures.push(format!(
+                        "BENCH_serving.json: serving_batch16 throughput only {speedup:.2}x \
+                         serving_batch1 (floor {SERVING_MIN_SPEEDUP}x)"
+                    ));
                     "REGRESSED"
                 } else {
                     "ok"
@@ -145,7 +163,11 @@ fn main() -> ExitCode {
                 );
             }
             _ => {
-                failures += 1;
+                failures.push(
+                    "BENCH_serving.json: serving_batch1/serving_batch16 missing, \
+                     cannot check batching speedup"
+                        .to_string(),
+                );
                 println!(
                     "BENCH_serving.json: serving_batch1/serving_batch16 missing, \
                      cannot check batching speedup: REGRESSED"
@@ -169,7 +191,10 @@ fn main() -> ExitCode {
             (Some(&off), Some(&defaults)) => {
                 let overhead = defaults / off;
                 let verdict = if overhead > RESILIENCE_MAX_OVERHEAD {
-                    failures += 1;
+                    failures.push(format!(
+                        "BENCH_resilience.json: fault-free resilient path costs {overhead:.2}x \
+                         the batched path (ceiling {RESILIENCE_MAX_OVERHEAD}x)"
+                    ));
                     "REGRESSED"
                 } else {
                     "ok"
@@ -180,7 +205,11 @@ fn main() -> ExitCode {
                 );
             }
             _ => {
-                failures += 1;
+                failures.push(
+                    "BENCH_resilience.json: resilience_off/resilience_defaults missing, \
+                     cannot check resilience overhead"
+                        .to_string(),
+                );
                 println!(
                     "BENCH_resilience.json: resilience_off/resilience_defaults missing, \
                      cannot check resilience overhead: REGRESSED"
@@ -189,11 +218,56 @@ fn main() -> ExitCode {
         }
     }
 
-    if failures > 0 {
-        eprintln!("{failures} benchmark(s) regressed beyond {max_ratio}x");
-        ExitCode::FAILURE
-    } else {
+    // Within-run sharding-capacity floor: the drain entries are simulated
+    // makespans (steps × a fixed ns/step), deterministic on any host, so
+    // 4 replicas must genuinely multiply serving capacity — not merely
+    // tie wall clock on a core-starved runner.
+    const SHARDING_MIN_SPEEDUP: f64 = 2.5;
+    let sharding_path = current_dir.join("BENCH_sharding.json");
+    if sharding_path.exists() {
+        let sharding = parse_medians(&sharding_path).unwrap();
+        match (
+            sharding.get("sharded_drain_replicas1"),
+            sharding.get("sharded_drain_replicas4"),
+        ) {
+            (Some(&r1), Some(&r4)) => {
+                let speedup = r1 / r4;
+                let verdict = if speedup < SHARDING_MIN_SPEEDUP {
+                    failures.push(format!(
+                        "BENCH_sharding.json: 4-replica drain only {speedup:.2}x the 1-replica \
+                         drain (floor {SHARDING_MIN_SPEEDUP}x)"
+                    ));
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "BENCH_sharding.json: 4-replica vs 1-replica drain throughput {speedup:>5.2}x \
+                     (floor {SHARDING_MIN_SPEEDUP}x) {verdict}"
+                );
+            }
+            _ => {
+                failures.push(
+                    "BENCH_sharding.json: sharded_drain_replicas1/sharded_drain_replicas4 \
+                     missing, cannot check sharding speedup"
+                        .to_string(),
+                );
+                println!(
+                    "BENCH_sharding.json: sharded_drain_replicas1/sharded_drain_replicas4 \
+                     missing, cannot check sharding speedup: REGRESSED"
+                );
+            }
+        }
+    }
+
+    if failures.is_empty() {
         println!("all benchmarks within {max_ratio}x of baseline");
         ExitCode::SUCCESS
+    } else {
+        eprintln!("{} benchmark check(s) failed:", failures.len());
+        for line in &failures {
+            eprintln!("  {line}");
+        }
+        ExitCode::FAILURE
     }
 }

@@ -123,6 +123,16 @@ impl FaultPlan {
         self.schedule.range(..steps).count()
     }
 
+    /// Faults of one kind scheduled strictly before step `steps` — e.g.
+    /// how many stall steps a sharded run's target replica will lose, or
+    /// how many batch-failing faults its retry accounting must absorb.
+    pub fn count_kind_before(&self, steps: usize, kind: FaultKind) -> usize {
+        self.schedule
+            .range(..steps)
+            .filter(|&(_, &k)| k == kind)
+            .count()
+    }
+
     /// Iterates the schedule in step order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, FaultKind)> + '_ {
         self.schedule.iter().map(|(&t, &k)| (t, k))
@@ -141,6 +151,10 @@ mod tests {
         assert_eq!(plan.at(4), None);
         assert_eq!(plan.len(), 2);
         assert_eq!(plan.count_before(7), 1);
+        assert_eq!(plan.count_kind_before(8, FaultKind::Stall), 1);
+        assert_eq!(plan.count_kind_before(8, FaultKind::ForwardPanic), 1);
+        assert_eq!(plan.count_kind_before(7, FaultKind::ForwardPanic), 0);
+        assert_eq!(plan.count_kind_before(8, FaultKind::TransientError), 0);
         assert!(FaultPlan::none().is_empty());
     }
 

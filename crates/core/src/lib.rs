@@ -31,6 +31,7 @@
 pub mod faults;
 pub mod resilience;
 pub mod runtime;
+pub mod sharding;
 
 use instantnet_automapper::{map_network, MapperConfig};
 use instantnet_data::Dataset;

@@ -156,7 +156,9 @@ struct QEntry {
     eligible_at: usize,
 }
 
-fn config_err<T>(msg: impl Into<String>) -> Result<T, ServingError> {
+/// Shorthand for a [`ServingError::Config`] — shared with the sharded
+/// path so both report configuration problems through one type.
+pub(crate) fn config_err<T>(msg: impl Into<String>) -> Result<T, ServingError> {
     Err(ServingError::Config(msg.into()))
 }
 

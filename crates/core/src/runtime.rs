@@ -179,8 +179,12 @@ impl Default for SimulationConfig {
 /// populated by [`simulate_serving_batched`]; the per-timestep paths
 /// leave them at their empty defaults except `served_requests`, which
 /// counts one inference per served timestep. The per-outcome resilience
-/// fields (`completed` through `degradation_events`) are populated only
-/// by [`crate::resilience::simulate_serving_resilient`].
+/// fields (`completed` through `degradation_events`) are populated by
+/// [`crate::resilience::simulate_serving_resilient`];
+/// [`crate::sharding::simulate_serving_sharded`] fills the outcome
+/// counters too (it never degrades, and tracks bit-width dwell per
+/// replica instead of globally), and alone fills the cache counters and
+/// the per-replica breakdown.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct RuntimeStats {
     /// Mean accuracy over served inferences (one per served timestep in
@@ -246,21 +250,41 @@ pub struct RuntimeStats {
     /// `levels` is how many operating points below the policy's pick the
     /// controller holds the model after the transition (0 = recovered).
     pub degradation_events: Vec<(usize, usize)>,
+    /// Requests answered straight from the content-keyed output cache
+    /// (no forward ran). Zero unless the sharded path runs with its
+    /// cache enabled.
+    pub cache_hits: usize,
+    /// Cache probes that missed and fell through to a packed forward.
+    /// Zero unless the sharded path runs with its cache enabled.
+    pub cache_misses: usize,
+    /// Per-replica breakdown, indexed by replica id. Populated only by
+    /// [`crate::sharding::simulate_serving_sharded`]; empty elsewhere.
+    pub replicas: Vec<crate::sharding::ReplicaStats>,
 }
 
 /// Sorts `wait_steps` into the mean/p50/p99 fields of `stats` and stores
 /// the raw waits — the single definition of the nearest-rank percentile
 /// every serving path reports.
 pub(crate) fn finish_wait_stats(stats: &mut RuntimeStats, wait_steps: Vec<usize>) {
-    if !wait_steps.is_empty() {
-        let mut sorted = wait_steps.clone();
-        sorted.sort_unstable();
-        let pct = |p: f64| sorted[((p * sorted.len() as f64).ceil() as usize).max(1) - 1] as f64;
-        stats.mean_wait_steps = wait_steps.iter().sum::<usize>() as f64 / wait_steps.len() as f64;
-        stats.p50_wait_steps = pct(0.50);
-        stats.p99_wait_steps = pct(0.99);
-    }
+    let (mean, p50, p99) = wait_percentiles(&wait_steps);
+    stats.mean_wait_steps = mean;
+    stats.p50_wait_steps = p50;
+    stats.p99_wait_steps = p99;
     stats.wait_steps = wait_steps;
+}
+
+/// Nearest-rank (mean, p50, p99) of a wait sample, all zero when empty —
+/// shared by the global wait summary and the per-replica breakdown so
+/// both report the same percentile definition.
+pub(crate) fn wait_percentiles(wait_steps: &[usize]) -> (f64, f64, f64) {
+    if wait_steps.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    let mut sorted = wait_steps.to_vec();
+    sorted.sort_unstable();
+    let pct = |p: f64| sorted[((p * sorted.len() as f64).ceil() as usize).max(1) - 1] as f64;
+    let mean = wait_steps.iter().sum::<usize>() as f64 / wait_steps.len() as f64;
+    (mean, pct(0.50), pct(0.99))
 }
 
 /// The per-timestep bit-width selection shared by every simulation path:

@@ -1,0 +1,706 @@
+//! Sharded serving: one request stream fanned out over N `PackedModel`
+//! replicas, with a content-keyed output cache in front of dispatch.
+//!
+//! [`simulate_serving_sharded`] scales the batched queue of
+//! [`crate::runtime::simulate_serving_batched`] past a single engine.
+//! Replica clones are free — [`PackedModel::clone`] shares the immutable
+//! packed weight tables behind an `Arc`, so N replicas cost N cursors,
+//! not N repacks — and each step every replica drains up to
+//! [`ServingConfig::max_batch`] requests from its own queue into its own
+//! packed forward, the forwards running concurrently on
+//! [`instantnet_parallel`] scoped threads. Per-sample activation
+//! quantization keeps every output bit-identical to serving that request
+//! alone, so *which* replica serves a request is invisible to the caller;
+//! what sharding changes is drain rate, and the per-replica
+//! [`ReplicaStats`] embedded in [`RuntimeStats`] measure exactly that.
+//!
+//! Three dispatchers are provided: round-robin, join-shortest-queue
+//! ([`DispatchPolicy::LeastLoaded`]), and — the InstantNet twist — a
+//! bit-width-specialized mode ([`ShardConfig::pinned`]) where each
+//! replica is pinned to one operating point of the report and arrivals
+//! route on their projected deadline slack: requests that can still
+//! afford the accurate replica's queue go there, urgent ones divert to
+//! the fastest replica. The global budget policy is still the single
+//! [`crate::runtime::Policy`] selector shared with every other serving
+//! path; a pinned replica only serves on steps where its point fits the
+//! step's budget.
+//!
+//! Faults compose per replica: a [`FaultPlan`] targets
+//! [`ShardConfig::fault_replica`] alone, its forwards are isolated with
+//! `catch_unwind`, and the other replicas keep serving — the sharded
+//! answer to the resilient path's single-worker fault story.
+//!
+//! With 1 replica, round-robin dispatch, the cache off, and no faults,
+//! this path reproduces `simulate_serving_batched` bit-for-bit — same
+//! outputs, schedule, switches, energy, and queue stats — at every
+//! bit-width and thread count. Sharding is strictly additive.
+
+use crate::faults::{FaultKind, FaultPlan};
+use crate::resilience::{config_err, RequestStatus, ServingError};
+use crate::runtime::{
+    finish_wait_stats, wait_percentiles, EnergyTrace, Policy, PolicySelector, RequestTrace,
+    RuntimeStats, ServingConfig, SimulationConfig,
+};
+use crate::{DeploymentReport, OperatingPoint};
+use instantnet_infer::{InferError, PackedModel};
+use instantnet_parallel::par_chunks_mut;
+use instantnet_quant::BitWidth;
+use instantnet_tensor::Tensor;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// How arrivals are spread across replica queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchPolicy {
+    /// Cycle through replicas in index order, one request per turn.
+    #[default]
+    RoundRobin,
+    /// Join the shortest queue (ties to the lowest replica index).
+    LeastLoaded,
+}
+
+/// Bit-width specialization: pin each replica to one operating point and
+/// route arrivals by deadline slack instead of queue shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PinnedConfig {
+    /// `point_indices[r]` = index into [`DeploymentReport::points`] that
+    /// replica `r` serves at. Must have one entry per replica.
+    pub point_indices: Vec<usize>,
+    /// An arrival whose projected slack at the most accurate replica —
+    /// deadline minus its best-case service step behind that replica's
+    /// queue — is at or below this diverts to the lowest-latency replica.
+    pub urgent_slack: usize,
+}
+
+/// Knobs of the sharded serving fan-out. The default — one replica,
+/// round-robin, cache off, nothing pinned, fully permissive queue — makes
+/// [`simulate_serving_sharded`] behave exactly like
+/// [`crate::runtime::simulate_serving_batched`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardConfig {
+    /// Number of `PackedModel` replicas (each an O(1) clone).
+    pub replicas: usize,
+    /// How arrivals pick a replica queue (ignored when `pinned` is set —
+    /// pinned mode routes by deadline slack).
+    pub dispatch: DispatchPolicy,
+    /// Enable the content-keyed output cache in front of dispatch: a
+    /// request whose `(bit-width, input bytes)` was already computed this
+    /// run completes instantly from the cached tensor, charging no energy
+    /// and consuming no batch slot.
+    pub cache: bool,
+    /// Bit-width specialization; requires `deadline_steps` (slack routing
+    /// needs deadlines to measure slack against).
+    pub pinned: Option<PinnedConfig>,
+    /// Relative deadline: a request arriving at step `t` expires if still
+    /// queued after step `t + deadline_steps`. `None` = no deadlines.
+    pub deadline_steps: Option<usize>,
+    /// Admission cap on the *total* queued across all replicas; arrivals
+    /// over the cap are shed. `None` = unbounded.
+    pub max_queue_depth: Option<usize>,
+    /// How many times a fault-hit request re-queues (at the head of the
+    /// same replica's queue) before it is failed.
+    pub max_retries: usize,
+    /// Which replica the [`FaultPlan`] targets; the others never fault.
+    pub fault_replica: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            replicas: 1,
+            dispatch: DispatchPolicy::RoundRobin,
+            cache: false,
+            pinned: None,
+            deadline_steps: None,
+            max_queue_depth: None,
+            max_retries: 0,
+            fault_replica: 0,
+        }
+    }
+}
+
+/// Per-replica slice of a sharded run, embedded in
+/// [`RuntimeStats::replicas`] (indexed by replica id).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ReplicaStats {
+    /// Requests this replica completed, including its cache hits.
+    pub served: usize,
+    /// Non-empty packed forwards this replica ran (successful or faulted).
+    pub batches: usize,
+    /// Forwards that faulted (injected or genuine) on this replica.
+    pub faulted_batches: usize,
+    /// Requests still in this replica's queue when the trace ended.
+    pub backlog: usize,
+    /// Deepest this replica's own queue got, after each step's arrivals.
+    pub max_queue_depth: usize,
+    /// Requests this replica answered from the output cache.
+    pub cache_hits: usize,
+    /// Mean queueing delay of the requests this replica served.
+    pub mean_wait_steps: f64,
+    /// Nearest-rank p99 queueing delay of this replica's requests —
+    /// same percentile definition as the global
+    /// [`RuntimeStats::p99_wait_steps`].
+    pub p99_wait_steps: f64,
+    /// Steps this replica spent configured at each serving bit-width,
+    /// ascending by bits (stalled and budget-excluded steps don't count).
+    pub time_in_bits: Vec<(u8, usize)>,
+}
+
+/// Per-request record of a sharded run, index-aligned with arrival order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedOutcome {
+    /// Timestep the request arrived.
+    pub arrived_at: usize,
+    /// Timestep it was served, if it was.
+    pub served_at: Option<usize>,
+    /// Bit-width of the forward (or cached result) that served it.
+    pub bits: Option<u8>,
+    /// The output — bit-identical to a batch-of-one forward at `bits`
+    /// whether it came from a replica forward or the cache.
+    pub output: Option<Tensor>,
+    /// How the request ended (sharding never degrades, so
+    /// [`RequestStatus::CompletedDegraded`] does not occur here).
+    pub status: RequestStatus,
+    /// Replica that served (or would have served) it; `None` until
+    /// dispatched, and kept at the serving replica afterwards.
+    pub replica: Option<usize>,
+    /// Whether the output came from the content cache.
+    pub cached: bool,
+    /// Absolute deadline step, when deadlines are configured.
+    pub deadline: Option<usize>,
+    /// Forward attempts that included this request (cache hits run no
+    /// forward and leave this at 0).
+    pub attempts: usize,
+}
+
+/// One queued request: outcome index plus first step it may batch again.
+struct QEntry {
+    id: usize,
+    eligible_at: usize,
+}
+
+/// One replica's drained batch for the current step, with the operating
+/// point it will serve at.
+struct PlannedBatch {
+    taken: Vec<QEntry>,
+    bits: BitWidth,
+    accuracy: f32,
+    energy_pj: f64,
+}
+
+/// Per-replica accumulators carried across steps.
+#[derive(Default)]
+struct ReplicaAcc {
+    served: usize,
+    batches: usize,
+    faulted_batches: usize,
+    max_queue_depth: usize,
+    cache_hits: usize,
+    waits: Vec<usize>,
+    time_in_bits: BTreeMap<u8, usize>,
+}
+
+/// Per-step, per-replica work slot handed to the scoped-thread fan-out.
+/// The model reference is the replica's own clone, so slots are disjoint.
+struct StepSlot<'m> {
+    model: &'m mut PackedModel,
+    bits: BitWidth,
+    batch: Option<Tensor>,
+    fault: Option<FaultKind>,
+    /// `Some(Ok)` = forward output; `Some(Err)` = fault description
+    /// (injected, typed engine error, or isolated panic).
+    result: Option<Result<Tensor, String>>,
+}
+
+fn validate(
+    report: &DeploymentReport,
+    trace: &EnergyTrace,
+    requests: &RequestTrace,
+    serving: &ServingConfig,
+    shard: &ShardConfig,
+    model: &PackedModel,
+    inputs: &[Tensor],
+) -> Result<(), ServingError> {
+    if requests.len() != trace.len() {
+        return config_err(format!(
+            "request trace covers {} steps but energy trace covers {}",
+            requests.len(),
+            trace.len()
+        ));
+    }
+    if serving.max_batch < 1 {
+        return config_err("max_batch must be at least 1");
+    }
+    if shard.replicas < 1 {
+        return config_err("at least one replica is required");
+    }
+    if shard.fault_replica >= shard.replicas {
+        return config_err(format!(
+            "fault_replica {} out of range for {} replicas",
+            shard.fault_replica, shard.replicas
+        ));
+    }
+    let Some(first) = inputs.first() else {
+        return config_err("at least one request input is required");
+    };
+    if first.dims().first() != Some(&1) {
+        return config_err("request inputs must be single-sample [1, …] tensors");
+    }
+    if inputs.iter().any(|x| x.dims() != first.dims()) {
+        return config_err("request inputs must share one shape");
+    }
+    if let Some(pc) = &shard.pinned {
+        if pc.point_indices.len() != shard.replicas {
+            return config_err(format!(
+                "pinned point_indices has {} entries for {} replicas",
+                pc.point_indices.len(),
+                shard.replicas
+            ));
+        }
+        if let Some(&bad) = pc
+            .point_indices
+            .iter()
+            .find(|&&i| i >= report.points().len())
+        {
+            return config_err(format!(
+                "pinned point index {bad} out of range for {} operating points",
+                report.points().len()
+            ));
+        }
+        if shard.deadline_steps.is_none() {
+            return config_err("pinned routing requires deadline_steps (it routes on slack)");
+        }
+    }
+    // Every operating point must be switchable up front, so a bad
+    // report/model pairing fails fast instead of mid-trace on a worker.
+    for p in report.points() {
+        if model.bit_widths().index_of(p.bits).is_none() {
+            return Err(ServingError::Infer(InferError::BitWidth(p.bits)));
+        }
+    }
+    Ok(())
+}
+
+/// Exact content key of one request at one bit-width: the sample's f32
+/// bit patterns. Keying on the full pattern (not a digest) means a cache
+/// hit is *provably* the same input, so the cached output is bit-identical
+/// to recomputing — no collision can serve the wrong tensor.
+fn cache_key(bits: BitWidth, sample: &Tensor) -> (u8, Vec<u32>) {
+    (
+        bits.get(),
+        sample.data().iter().map(|v| v.to_bits()).collect(),
+    )
+}
+
+/// Batched serving over N packed replicas with content caching and
+/// per-replica fault isolation.
+///
+/// Each timestep, in order: arrivals are admitted (or shed over
+/// [`ShardConfig::max_queue_depth`], counted on the *total* backlog) and
+/// dispatched to a replica queue — round-robin, join-shortest-queue, or
+/// slack-routed when pinned; queued requests past their deadline expire;
+/// the shared budget policy selects the step's operating point (`None`
+/// drops the step for every replica); then each serving replica drains up
+/// to `max_batch` cache-missing requests — cache hits complete instantly,
+/// free, and without consuming batch slots — and the non-empty batches
+/// run as one packed forward per replica, concurrently on scoped threads.
+/// A fault at this step hits only [`ShardConfig::fault_replica`]:
+/// [`FaultKind::Stall`] idles that replica for the step (the global
+/// selector is *not* reset — the other replicas still serve, so the
+/// budget anchor legitimately survives, unlike the single-worker
+/// resilient path), while transient errors and panics (isolated with
+/// `catch_unwind`) fail that replica's batch alone; its requests retry at
+/// the head of the same queue up to [`ShardConfig::max_retries`].
+///
+/// Global [`RuntimeStats`] aggregate exactly as in the batched path
+/// (plus cache counters), `stats.replicas[r]` carries each replica's
+/// share, and `arrivals == completed + shed + expired + failed + backlog`
+/// always holds. Energy is charged per forward-served request at its
+/// serving point; cache hits charge nothing.
+///
+/// The model is taken by `&` and cloned once per replica — O(1) each, the
+/// packed tables are shared, never re-packed.
+///
+/// # Errors
+///
+/// [`ServingError::Config`] for inconsistent traces, shapes, or shard
+/// knobs; [`ServingError::Infer`] if any report point's bit-width is
+/// missing from the packed set (checked up front).
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+pub fn simulate_serving_sharded(
+    report: &DeploymentReport,
+    trace: &EnergyTrace,
+    requests: &RequestTrace,
+    policy: Policy,
+    cfg: &SimulationConfig,
+    serving: &ServingConfig,
+    shard: &ShardConfig,
+    faults: &FaultPlan,
+    model: &PackedModel,
+    inputs: &[Tensor],
+) -> Result<(RuntimeStats, Vec<ShardedOutcome>), ServingError> {
+    validate(report, trace, requests, serving, shard, model, inputs)?;
+    let n = shard.replicas;
+    let points = report.points();
+    let sample_dims = inputs[0].dims().to_vec();
+    let sample_len = inputs[0].len();
+
+    let mut models: Vec<PackedModel> = (0..n).map(|_| model.clone()).collect();
+    let mut queues: Vec<VecDeque<QEntry>> = (0..n).map(|_| VecDeque::new()).collect();
+    let mut acc: Vec<ReplicaAcc> = (0..n).map(|_| ReplicaAcc::default()).collect();
+    let mut outcomes: Vec<ShardedOutcome> = Vec::with_capacity(requests.total());
+    let mut cache: HashMap<(u8, Vec<u32>), Tensor> = HashMap::new();
+    let mut wait_steps: Vec<usize> = Vec::new();
+    let mut histogram = vec![0usize; serving.max_batch + 1];
+    let mut max_depth = 0usize;
+    let mut rr_cursor = 0usize;
+
+    let mut selector = PolicySelector::new(report, policy);
+    let mut prev_bits: Option<BitWidth> = None;
+    let mut stats = RuntimeStats::default();
+    let mut acc_sum = 0.0f32;
+    let mut schedule: Vec<Option<u8>> = Vec::with_capacity(trace.len());
+
+    // Pinned routing targets: the replica whose point is most accurate
+    // (where slack-rich requests go) and the one with the lowest latency
+    // (where urgent requests divert), ties to the lower index.
+    let routing = shard.pinned.as_ref().map(|pc| {
+        let by = |f: &dyn Fn(&OperatingPoint) -> f64, best_is_max: bool| {
+            let mut best = 0usize;
+            for r in 1..n {
+                let (cand, cur) = (
+                    f(&points[pc.point_indices[r]]),
+                    f(&points[pc.point_indices[best]]),
+                );
+                if (best_is_max && cand > cur) || (!best_is_max && cand < cur) {
+                    best = r;
+                }
+            }
+            best
+        };
+        let quality = by(&|p| f64::from(p.accuracy), true);
+        let fast = by(&|p| p.latency_s, false);
+        (quality, fast)
+    });
+
+    for (t, &budget) in trace.budgets().iter().enumerate() {
+        let fault = faults.at(t);
+
+        // 1. Arrivals: admission against the total backlog, then dispatch.
+        for _ in 0..requests.arrivals()[t] {
+            let id = outcomes.len();
+            let mut rec = ShardedOutcome {
+                arrived_at: t,
+                served_at: None,
+                bits: None,
+                output: None,
+                status: RequestStatus::Pending,
+                replica: None,
+                cached: false,
+                deadline: shard.deadline_steps.map(|d| t + d),
+                attempts: 0,
+            };
+            let total: usize = queues.iter().map(VecDeque::len).sum();
+            if shard.max_queue_depth.is_some_and(|cap| total >= cap) {
+                rec.status = RequestStatus::Shed;
+                stats.shed += 1;
+                outcomes.push(rec);
+                continue;
+            }
+            let target = match (&shard.pinned, routing) {
+                (Some(pc), Some((quality, fast))) => {
+                    // Best case the quality replica drains max_batch per
+                    // step, so this request's service step is at earliest
+                    // t + queue/max_batch; route by the slack left then.
+                    let wait = queues[quality].len() / serving.max_batch;
+                    let slack = rec
+                        .deadline
+                        .expect("validated: pinned requires deadlines")
+                        .saturating_sub(t + wait);
+                    if slack <= pc.urgent_slack {
+                        fast
+                    } else {
+                        quality
+                    }
+                }
+                _ => match shard.dispatch {
+                    DispatchPolicy::RoundRobin => {
+                        let r = rr_cursor;
+                        rr_cursor = (rr_cursor + 1) % n;
+                        r
+                    }
+                    DispatchPolicy::LeastLoaded => (0..n)
+                        .min_by_key(|&r| queues[r].len())
+                        .expect("at least one replica"),
+                },
+            };
+            rec.replica = Some(target);
+            queues[target].push_back(QEntry { id, eligible_at: t });
+            outcomes.push(rec);
+        }
+        let total_after: usize = queues.iter().map(VecDeque::len).sum();
+        max_depth = max_depth.max(total_after);
+        for r in 0..n {
+            acc[r].max_queue_depth = acc[r].max_queue_depth.max(queues[r].len());
+        }
+
+        // 2. Expire requests whose deadline has passed.
+        if shard.deadline_steps.is_some() {
+            for q in &mut queues {
+                q.retain(|e| {
+                    let live = outcomes[e.id].deadline.is_none_or(|d| d >= t);
+                    if !live {
+                        outcomes[e.id].status = RequestStatus::Expired;
+                        stats.expired += 1;
+                    }
+                    live
+                });
+            }
+        }
+
+        // 3. The shared budget policy selects once for the whole fleet.
+        let Some(p) = selector.select(budget) else {
+            stats.dropped += 1;
+            prev_bits = None;
+            schedule.push(None);
+            continue;
+        };
+        if prev_bits != Some(p.bits) {
+            stats.switches += 1;
+        }
+        prev_bits = Some(p.bits);
+        schedule.push(Some(p.bits.get()));
+
+        // 4. Drain each serving replica's queue, cache hits first-class:
+        // a hit completes on the spot and frees its batch slot for the
+        // next miss, so one step can clear hits + a full batch.
+        let mut batches: Vec<Option<PlannedBatch>> = Vec::with_capacity(n);
+        for (r, queue) in queues.iter_mut().enumerate() {
+            // A pinned replica serves at its own point, but only on steps
+            // where that point fits the budget the selector just cleared.
+            let point = match &shard.pinned {
+                Some(pc) => {
+                    let q = &points[pc.point_indices[r]];
+                    if q.energy_pj > budget {
+                        batches.push(None);
+                        continue;
+                    }
+                    q
+                }
+                None => p,
+            };
+            if fault == Some(FaultKind::Stall) && r == shard.fault_replica {
+                stats.stalled_steps += 1;
+                batches.push(None);
+                continue;
+            }
+            *acc[r].time_in_bits.entry(point.bits.get()).or_insert(0) += 1;
+
+            let mut taken: Vec<QEntry> = Vec::new();
+            let mut kept: VecDeque<QEntry> = VecDeque::with_capacity(queue.len());
+            while let Some(e) = queue.pop_front() {
+                if taken.len() >= serving.max_batch {
+                    kept.push_back(e);
+                    continue;
+                }
+                if e.eligible_at > t {
+                    kept.push_back(e);
+                    continue;
+                }
+                if shard.cache {
+                    let key = cache_key(point.bits, &inputs[e.id % inputs.len()]);
+                    if let Some(y) = cache.get(&key) {
+                        let rec = &mut outcomes[e.id];
+                        rec.served_at = Some(t);
+                        rec.bits = Some(point.bits.get());
+                        rec.output = Some(y.clone());
+                        rec.status = RequestStatus::Completed;
+                        rec.cached = true;
+                        stats.completed += 1;
+                        stats.cache_hits += 1;
+                        acc[r].cache_hits += 1;
+                        acc[r].served += 1;
+                        acc[r].waits.push(t - rec.arrived_at);
+                        acc_sum += point.accuracy;
+                        continue;
+                    }
+                    stats.cache_misses += 1;
+                }
+                taken.push(e);
+            }
+            *queue = kept;
+            histogram[taken.len()] += 1;
+            if taken.is_empty() {
+                batches.push(None);
+            } else {
+                batches.push(Some(PlannedBatch {
+                    taken,
+                    bits: point.bits,
+                    accuracy: point.accuracy,
+                    energy_pj: point.energy_pj,
+                }));
+            }
+        }
+
+        // 5. Run the non-empty batches, one scoped thread per replica.
+        // Slots borrow each replica's own model, so the packed tables are
+        // shared read-only while the cursors stay disjoint.
+        let mut slots: Vec<StepSlot<'_>> = Vec::with_capacity(n);
+        for (r, m) in models.iter_mut().enumerate() {
+            let (batch, bits) = match &batches[r] {
+                Some(pb) => {
+                    let mut data = Vec::with_capacity(pb.taken.len() * sample_len);
+                    for e in &pb.taken {
+                        data.extend_from_slice(inputs[e.id % inputs.len()].data());
+                    }
+                    let mut dims = sample_dims.clone();
+                    dims[0] = pb.taken.len();
+                    (Some(Tensor::from_vec(dims, data)), pb.bits)
+                }
+                None => (None, p.bits),
+            };
+            slots.push(StepSlot {
+                model: m,
+                bits,
+                batch,
+                fault: if r == shard.fault_replica {
+                    fault
+                } else {
+                    None
+                },
+                result: None,
+            });
+        }
+        par_chunks_mut(&mut slots, 1, |_, chunk| {
+            let s = &mut chunk[0];
+            let Some(batch) = &s.batch else { return };
+            let run = || -> Result<Tensor, String> {
+                match s.fault {
+                    Some(FaultKind::TransientError) => {
+                        return Err(format!("injected transient fault at step {t}"))
+                    }
+                    Some(FaultKind::ForwardPanic) => panic!("injected forward panic at step {t}"),
+                    _ => {}
+                }
+                s.model
+                    .try_switch_to_bits(s.bits)
+                    .and_then(|()| s.model.try_forward_batch(batch))
+                    .map_err(|e| e.to_string())
+            };
+            s.result = Some(
+                catch_unwind(AssertUnwindSafe(run))
+                    .unwrap_or_else(|_| Err(format!("isolated forward panic at step {t}"))),
+            );
+        });
+
+        // 6. Join in replica order; a faulted batch fails or retries only
+        // its own replica's requests.
+        for (r, slot) in slots.into_iter().enumerate() {
+            let Some(PlannedBatch {
+                taken,
+                bits,
+                accuracy,
+                energy_pj,
+            }) = batches[r].take()
+            else {
+                continue;
+            };
+            acc[r].batches += 1;
+            match slot.result.expect("non-empty batch always executes") {
+                Ok(y) => {
+                    let take = taken.len();
+                    let mut out_dims = y.dims().to_vec();
+                    out_dims[0] = 1;
+                    let out_len = y.len() / take;
+                    for (j, e) in taken.iter().enumerate() {
+                        let rec = &mut outcomes[e.id];
+                        rec.served_at = Some(t);
+                        rec.bits = Some(bits.get());
+                        rec.attempts += 1;
+                        let out = Tensor::from_vec(
+                            out_dims.clone(),
+                            y.data()[j * out_len..(j + 1) * out_len].to_vec(),
+                        );
+                        if shard.cache {
+                            cache
+                                .entry(cache_key(bits, &inputs[e.id % inputs.len()]))
+                                .or_insert_with(|| out.clone());
+                        }
+                        rec.output = Some(out);
+                        rec.status = RequestStatus::Completed;
+                        stats.completed += 1;
+                        acc[r].served += 1;
+                        acc[r].waits.push(t - rec.arrived_at);
+                        wait_steps.push(t - rec.arrived_at);
+                    }
+                    acc_sum += accuracy * take as f32;
+                    stats.energy_pj += energy_pj * take as f64;
+                }
+                Err(_) => {
+                    acc[r].faulted_batches += 1;
+                    for e in taken.iter().rev() {
+                        let rec = &mut outcomes[e.id];
+                        rec.attempts += 1;
+                        if rec.attempts > shard.max_retries {
+                            rec.status = RequestStatus::Failed;
+                            stats.failed += 1;
+                        } else {
+                            stats.retried += 1;
+                            queues[r].push_front(QEntry {
+                                id: e.id,
+                                eligible_at: t + 1,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Cache hits complete requests but run no forward, so they join the
+    // global wait list after the per-forward waits — in replica order,
+    // matching the per-replica lists (degenerate runs have none, keeping
+    // the batched wait order intact).
+    if shard.cache {
+        let mut hit_waits: Vec<usize> = outcomes
+            .iter()
+            .filter(|o| o.cached)
+            .map(|o| o.served_at.expect("cached implies served") - o.arrived_at)
+            .collect();
+        wait_steps.append(&mut hit_waits);
+    }
+
+    stats.served_requests = stats.completed;
+    stats.mean_accuracy = if stats.served_requests > 0 {
+        acc_sum / stats.served_requests as f32
+    } else {
+        0.0
+    };
+    stats.switch_energy_pj = stats.switches as f64 * cfg.switch_cost_pj;
+    stats.energy_pj += stats.switch_energy_pj;
+    stats.schedule = schedule;
+    stats.backlog = queues.iter().map(VecDeque::len).sum();
+    stats.max_queue_depth = max_depth;
+    stats.batch_histogram = histogram;
+    stats.faults_injected = faults.count_before(trace.len());
+    stats.replicas = acc
+        .into_iter()
+        .zip(&queues)
+        .map(|(a, q)| {
+            let (mean, _, p99) = wait_percentiles(&a.waits);
+            ReplicaStats {
+                served: a.served,
+                batches: a.batches,
+                faulted_batches: a.faulted_batches,
+                backlog: q.len(),
+                max_queue_depth: a.max_queue_depth,
+                cache_hits: a.cache_hits,
+                mean_wait_steps: mean,
+                p99_wait_steps: p99,
+                time_in_bits: a.time_in_bits.into_iter().collect(),
+            }
+        })
+        .collect();
+    finish_wait_stats(&mut stats, wait_steps);
+    Ok((stats, outcomes))
+}

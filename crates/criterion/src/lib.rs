@@ -105,6 +105,28 @@ impl Criterion {
         self
     }
 
+    /// Records a precomputed metric as a single-sample benchmark entry —
+    /// all statistics equal `value_ns`. For deterministic quantities a
+    /// simulation derives (e.g. drain makespan in simulated time) that
+    /// should live in the same snapshot as the wall-clock benches but
+    /// must not vary with host load or core count.
+    pub fn record_metric(&mut self, name: &str, value_ns: f64) -> &mut Self {
+        assert!(
+            value_ns.is_finite() && value_ns >= 0.0,
+            "metric value must be a finite non-negative ns count"
+        );
+        println!("{name:<40} metric {value_ns:>12.1} ns (recorded)");
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            mean_ns: value_ns,
+            median_ns: value_ns,
+            min_ns: value_ns,
+            max_ns: value_ns,
+            samples: 1,
+        });
+        self
+    }
+
     #[doc(hidden)]
     pub fn __finish(&mut self) {
         if self.results.is_empty() {
@@ -251,6 +273,23 @@ mod tests {
         assert_eq!(r.samples, 3);
         assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
         assert!(r.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn record_metric_stores_an_exact_single_sample_entry() {
+        let mut c = Criterion::default().sample_size(2);
+        c.__set_group("metrics");
+        c.record_metric("drain_steps", 6.0e6);
+        assert_eq!(c.results.len(), 1);
+        let r = &c.results[0];
+        assert_eq!(r.samples, 1);
+        assert_eq!(r.mean_ns, 6.0e6);
+        assert_eq!(r.median_ns, 6.0e6);
+        assert_eq!(r.min_ns, 6.0e6);
+        assert_eq!(r.max_ns, 6.0e6);
+        let json = c.to_json();
+        assert!(json.contains("\"name\": \"drain_steps\""));
+        assert!(json.contains("\"median_ns\": 6000000.0"));
     }
 
     #[test]

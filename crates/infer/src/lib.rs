@@ -39,6 +39,7 @@ use instantnet_nn::Module;
 use instantnet_quant::{BitWidth, BitWidthSet, Quantizer};
 use instantnet_tensor::Tensor;
 use std::path::Path;
+use std::sync::Arc;
 
 mod exec;
 mod pack;
@@ -287,6 +288,13 @@ pub(crate) struct PackedNet {
 
 /// A network prepacked at every bit-width of a [`BitWidthSet`].
 ///
+/// The per-bit-width packed tables are immutable after construction and
+/// shared behind an [`Arc`], so `PackedModel::clone()` is O(1): a replica
+/// clone bumps one reference count and copies only the mutable cursor
+/// state (active index). Cloning never re-packs — [`Self::pack_passes`]
+/// is constant across clones, and sharded serving relies on this to spin
+/// up N replicas for free. Each clone switches bit-widths independently.
+///
 /// # Example
 ///
 /// ```
@@ -304,8 +312,9 @@ pub(crate) struct PackedNet {
 /// let y8 = packed.forward(&x);
 /// assert_eq!(y4.dims(), y8.dims());
 /// ```
+#[derive(Clone)]
 pub struct PackedModel {
-    nets: Vec<PackedNet>,
+    nets: Arc<Vec<PackedNet>>,
     set: BitWidthSet,
     quantizer: Quantizer,
     active: usize,
@@ -348,7 +357,7 @@ impl PackedModel {
             nets.push(PackedNet { ops, bits: b });
         }
         Ok(PackedModel {
-            nets,
+            nets: Arc::new(nets),
             set: set.clone(),
             quantizer,
             active: 0,
@@ -435,10 +444,18 @@ impl PackedModel {
     }
 
     /// Number of per-element weight packing passes performed so far.
-    /// Monotone; constant after construction — switching and forwards
-    /// never repack (the zero-cost-switch guarantee tests pin).
+    /// Monotone; constant after construction — switching, forwards, and
+    /// cloning never repack (the zero-cost-switch guarantee tests pin).
     pub fn pack_passes(&self) -> usize {
         self.pack_passes
+    }
+
+    /// Whether two models share the same underlying packed weight tables
+    /// (i.e. one is a clone of the other). Replica clones in sharded
+    /// serving share tables by construction; independently packed models
+    /// never do.
+    pub fn shares_packed_tables(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.nets, &other.nets)
     }
 
     /// Total bytes of packed weight storage across all bit-widths.
@@ -736,6 +753,47 @@ mod tests {
         assert!(packed.switch_to_bits(bits.widths()[0]));
         let _ = packed.forward(&x);
         assert_eq!(packed.pack_passes(), before, "switching must not repack");
+    }
+
+    #[test]
+    fn clone_shares_packed_tables_and_never_repacks() {
+        let bits = BitWidthSet::large_range();
+        let net = models::small_cnn(4, 6, (8, 8), bits.len(), 5);
+        let packed = PackedModel::prepack(&net, &bits, Quantizer::Sbm).unwrap();
+        let passes = packed.pack_passes();
+
+        // Replica clones share the immutable packed tables (one refcount
+        // bump, no per-element weight work) and report the same pack count.
+        let mut replica = packed.clone();
+        assert!(packed.shares_packed_tables(&replica));
+        assert_eq!(replica.pack_passes(), passes);
+        assert_eq!(packed.pack_passes(), passes);
+
+        // Each clone switches independently…
+        replica.switch_to(bits.len() - 1).unwrap();
+        assert_eq!(packed.active_index(), 0);
+        assert_eq!(replica.active_index(), bits.len() - 1);
+
+        // …and forwards are bit-identical to the original at every width.
+        let x = Tensor::from_vec(
+            vec![2, 3, 8, 8],
+            (0..2 * 3 * 8 * 8)
+                .map(|i| ((i * 29 % 97) as f32) / 48.5 - 1.0)
+                .collect(),
+        );
+        for i in 0..bits.len() {
+            assert_eq!(
+                packed.forward_batch_at(i, &x).data(),
+                replica.forward_batch_at(i, &x).data(),
+                "bit index {i}"
+            );
+        }
+        assert_eq!(packed.pack_passes(), passes, "cloning must not repack");
+        assert_eq!(replica.pack_passes(), passes);
+
+        // Independently packed models do not share tables.
+        let other = PackedModel::prepack(&net, &bits, Quantizer::Sbm).unwrap();
+        assert!(!packed.shares_packed_tables(&other));
     }
 
     #[test]
