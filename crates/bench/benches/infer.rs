@@ -1,9 +1,14 @@
 //! Criterion micro-benchmarks of the packed integer inference engine
 //! against the f32 fake-quant reference path, plus the cost of a bit-width
 //! switch (a pointer swap on the packed path).
+//!
+//! Kernel-bound entries come in pairs: the plain name runs the default
+//! SIMD dispatch (AVX2 where detected), and the `_scalar` twin forces the
+//! portable kernels via `with_simd_backend` — `bench_check` floors the
+//! scalar/SIMD ratio on AVX2 hosts.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use instantnet_infer::PackedModel;
+use instantnet_infer::{with_simd_backend, PackedModel, SimdBackend};
 use instantnet_nn::layers::{QuantConv2d, QuantLinear};
 use instantnet_nn::{ForwardCtx, Module};
 use instantnet_quant::{BitWidthSet, Quantizer};
@@ -27,6 +32,23 @@ fn bench_gemm(c: &mut Criterion) {
     c.bench_function("packed_gemm_16bit_64x256x256", |b| {
         b.iter(|| std::hint::black_box(packed.forward_at(2, &x)))
     });
+    // Forced-scalar twins of the three tiers (bit-identical outputs; only
+    // the kernel backend differs).
+    c.bench_function("packed_gemm_4bit_64x256x256_scalar", |b| {
+        with_simd_backend(SimdBackend::Scalar, || {
+            b.iter(|| std::hint::black_box(packed.forward_at(0, &x)))
+        })
+    });
+    c.bench_function("packed_gemm_8bit_64x256x256_scalar", |b| {
+        with_simd_backend(SimdBackend::Scalar, || {
+            b.iter(|| std::hint::black_box(packed.forward_at(1, &x)))
+        })
+    });
+    c.bench_function("packed_gemm_16bit_64x256x256_scalar", |b| {
+        with_simd_backend(SimdBackend::Scalar, || {
+            b.iter(|| std::hint::black_box(packed.forward_at(2, &x)))
+        })
+    });
     // The fake-quant path re-quantizes the weights on every forward.
     c.bench_function("fakequant_gemm_4bit_64x256x256", |b| {
         b.iter(|| {
@@ -40,10 +62,26 @@ fn bench_conv(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     let conv = QuantConv2d::new(&mut rng, "conv", 16, 32, 3, 1, 1, 1, true);
     let x = init::uniform(&mut rng, &[4, 16, 16, 16], -0.3, 1.2);
-    let bits = BitWidthSet::new(vec![4, 8]).unwrap();
+    let bits = BitWidthSet::new(vec![4, 8, 16]).unwrap();
     let packed = PackedModel::prepack(&conv, &bits, Quantizer::Sbm).unwrap();
     c.bench_function("packed_conv_4bit_4x16x16x16", |b| {
         b.iter(|| std::hint::black_box(packed.forward_at(0, &x)))
+    });
+    c.bench_function("packed_conv_8bit_4x16x16x16", |b| {
+        b.iter(|| std::hint::black_box(packed.forward_at(1, &x)))
+    });
+    c.bench_function("packed_conv_16bit_4x16x16x16", |b| {
+        b.iter(|| std::hint::black_box(packed.forward_at(2, &x)))
+    });
+    c.bench_function("packed_conv_4bit_4x16x16x16_scalar", |b| {
+        with_simd_backend(SimdBackend::Scalar, || {
+            b.iter(|| std::hint::black_box(packed.forward_at(0, &x)))
+        })
+    });
+    c.bench_function("packed_conv_16bit_4x16x16x16_scalar", |b| {
+        with_simd_backend(SimdBackend::Scalar, || {
+            b.iter(|| std::hint::black_box(packed.forward_at(2, &x)))
+        })
     });
     c.bench_function("fakequant_conv_4bit_4x16x16x16", |b| {
         b.iter(|| {

@@ -10,9 +10,14 @@
 //! run are reported and skipped (renames should update the baseline in the
 //! same change), as are sub-100 ns medians, which are pure timer noise.
 //!
-//! Three groups carry extra within-run, machine-independent ratio checks
-//! (per-median ratios absorb machine drift; these cannot):
+//! Four groups carry extra within-run ratio checks (per-median ratios
+//! absorb machine drift; these cannot):
 //!
+//! * infer: on hosts where the checker itself detects AVX2, the SIMD
+//!   16-bit GEMM must be at least 1.5× its forced-scalar twin, and 4-bit
+//!   GEMM must not be slower than 8-bit (the precision/latency ordering
+//!   the whole serving stack exploits). Skipped with a notice on
+//!   non-AVX2 runners, where both entries run the same scalar kernels;
 //! * serving: batch-16 request aggregation must keep at least 2× the
 //!   requests/sec of batch-1 serving on the same 48 requests — if it
 //!   decays, the batching amortization itself (shared weight decode, one
@@ -133,6 +138,96 @@ fn main() -> ExitCode {
             println!(
                 "{file}: {name:<40} {base:>12.0} -> {cur:>12.0} ns  ({ratio:>5.2}x) {verdict}"
             );
+        }
+    }
+
+    // Within-run SIMD-win floor: the `_scalar` twins run the same forward
+    // with kernels forced portable, so the ratio isolates the AVX2 kernel
+    // speedup from machine drift. Only meaningful where the dispatcher
+    // actually selects AVX2 — probed here with the same detection macro
+    // the engine uses (the checker runs on the same host as the bench).
+    const SIMD_MIN_SPEEDUP: f64 = 1.5;
+    // 4-bit may be at most this much slower than 8-bit: nominally 1.0
+    // (the paper's premise — fewer bits must not run slower), with 5%
+    // slack for runner noise between the two medians.
+    const LOW_BIT_MAX_RATIO: f64 = 1.05;
+    let infer_path = current_dir.join("BENCH_infer.json");
+    if infer_path.exists() {
+        #[cfg(target_arch = "x86_64")]
+        let avx2 = std::arch::is_x86_feature_detected!("avx2");
+        #[cfg(not(target_arch = "x86_64"))]
+        let avx2 = false;
+        if !avx2 {
+            println!(
+                "BENCH_infer.json: no AVX2 on this runner, skipping SIMD speedup \
+                 and 4-vs-8-bit ordering floors (scalar backend on both sides)"
+            );
+        } else {
+            let infer = parse_medians(&infer_path).unwrap();
+            match (
+                infer.get("packed_gemm_16bit_64x256x256_scalar"),
+                infer.get("packed_gemm_16bit_64x256x256"),
+            ) {
+                (Some(&scalar), Some(&simd)) => {
+                    let speedup = scalar / simd;
+                    let verdict = if speedup < SIMD_MIN_SPEEDUP {
+                        failures.push(format!(
+                            "BENCH_infer.json: SIMD 16-bit GEMM only {speedup:.2}x the scalar \
+                             kernels (floor {SIMD_MIN_SPEEDUP}x on AVX2 hosts)"
+                        ));
+                        "REGRESSED"
+                    } else {
+                        "ok"
+                    };
+                    println!(
+                        "BENCH_infer.json: SIMD vs scalar 16-bit GEMM {speedup:>5.2}x \
+                         (floor {SIMD_MIN_SPEEDUP}x) {verdict}"
+                    );
+                }
+                _ => {
+                    failures.push(
+                        "BENCH_infer.json: packed_gemm_16bit_64x256x256[_scalar] missing, \
+                         cannot check SIMD speedup"
+                            .to_string(),
+                    );
+                    println!(
+                        "BENCH_infer.json: packed_gemm_16bit_64x256x256[_scalar] missing, \
+                         cannot check SIMD speedup: REGRESSED"
+                    );
+                }
+            }
+            match (
+                infer.get("packed_gemm_4bit_64x256x256"),
+                infer.get("packed_gemm_8bit_64x256x256"),
+            ) {
+                (Some(&b4), Some(&b8)) => {
+                    let ratio = b4 / b8;
+                    let verdict = if ratio > LOW_BIT_MAX_RATIO {
+                        failures.push(format!(
+                            "BENCH_infer.json: 4-bit GEMM is {ratio:.2}x the 8-bit GEMM \
+                             (must be no slower than {LOW_BIT_MAX_RATIO}x on AVX2 hosts)"
+                        ));
+                        "REGRESSED"
+                    } else {
+                        "ok"
+                    };
+                    println!(
+                        "BENCH_infer.json: 4-bit vs 8-bit GEMM {ratio:>5.2}x \
+                         (ceiling {LOW_BIT_MAX_RATIO}x) {verdict}"
+                    );
+                }
+                _ => {
+                    failures.push(
+                        "BENCH_infer.json: packed_gemm_{{4,8}}bit_64x256x256 missing, \
+                         cannot check low-bit ordering"
+                            .to_string(),
+                    );
+                    println!(
+                        "BENCH_infer.json: packed_gemm_{{4,8}}bit_64x256x256 missing, \
+                         cannot check low-bit ordering: REGRESSED"
+                    );
+                }
+            }
         }
     }
 

@@ -257,6 +257,10 @@ pub struct RuntimeStats {
     /// Cache probes that missed and fell through to a packed forward.
     /// Zero unless the sharded path runs with its cache enabled.
     pub cache_misses: usize,
+    /// Entries evicted from the content cache to stay within
+    /// [`crate::sharding::ShardConfig::cache_capacity`]. Zero unless the
+    /// sharded path runs with its cache enabled and overflows the cap.
+    pub cache_evictions: usize,
     /// Per-replica breakdown, indexed by replica id. Populated only by
     /// [`crate::sharding::simulate_serving_sharded`]; empty elsewhere.
     pub replicas: Vec<crate::sharding::ReplicaStats>,

@@ -88,6 +88,14 @@ pub struct ShardConfig {
     /// run completes instantly from the cached tensor, charging no energy
     /// and consuming no batch slot.
     pub cache: bool,
+    /// Maximum entries the content cache holds; the least-recently-used
+    /// entry is evicted to admit a new one past the cap (evictions are
+    /// counted in [`RuntimeStats::cache_evictions`]). Eviction only costs
+    /// recompute — outputs stay bit-identical because every miss reruns
+    /// the same exact forward. Must be ≥ 1 when `cache` is on; the
+    /// generous default keeps prior unbounded-cache behavior for any
+    /// realistic trace.
+    pub cache_capacity: usize,
     /// Bit-width specialization; requires `deadline_steps` (slack routing
     /// needs deadlines to measure slack against).
     pub pinned: Option<PinnedConfig>,
@@ -110,6 +118,7 @@ impl Default for ShardConfig {
             replicas: 1,
             dispatch: DispatchPolicy::RoundRobin,
             cache: false,
+            cache_capacity: 65_536,
             pinned: None,
             deadline_steps: None,
             max_queue_depth: None,
@@ -240,6 +249,9 @@ fn validate(
             shard.fault_replica, shard.replicas
         ));
     }
+    if shard.cache && shard.cache_capacity == 0 {
+        return config_err("cache_capacity must be at least 1 when the cache is enabled");
+    }
     let Some(first) = inputs.first() else {
         return config_err("at least one request input is required");
     };
@@ -290,6 +302,64 @@ fn cache_key(bits: BitWidth, sample: &Tensor) -> (u8, Vec<u32>) {
         bits.get(),
         sample.data().iter().map(|v| v.to_bits()).collect(),
     )
+}
+
+/// Capacity-bounded content cache with least-recently-used eviction.
+///
+/// Recency is a monotone tick stamped on every hit and insert; eviction
+/// scans for the minimum tick. Ticks are unique, so the victim is
+/// deterministic — independent of `HashMap` iteration order — keeping
+/// sharded runs reproducible. The O(capacity) victim scan only runs on
+/// insertions past the cap, which a duplicate-heavy trace (the workload
+/// the cache exists for) makes rare.
+struct LruCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<(u8, Vec<u32>), (Tensor, u64)>,
+    evictions: usize,
+}
+
+impl LruCache {
+    fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+            evictions: 0,
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    fn get(&mut self, key: &(u8, Vec<u32>)) -> Option<&Tensor> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(y, at)| {
+            *at = tick;
+            &*y
+        })
+    }
+
+    /// Inserts `key → out` if absent, evicting the least-recently-used
+    /// entry when at capacity; refreshes recency (and keeps the existing
+    /// tensor) if present. Clones `out` only when actually inserting.
+    fn insert(&mut self, key: (u8, Vec<u32>), out: &Tensor) {
+        self.tick += 1;
+        if let Some((_, at)) = self.map.get_mut(&key) {
+            *at = self.tick;
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, at))| *at)
+                .map(|(k, _)| k.clone())
+                .expect("cache at capacity ≥ 1 is non-empty");
+            self.map.remove(&victim);
+            self.evictions += 1;
+        }
+        self.map.insert(key, (out.clone(), self.tick));
+    }
 }
 
 /// Batched serving over N packed replicas with content caching and
@@ -349,7 +419,7 @@ pub fn simulate_serving_sharded(
     let mut queues: Vec<VecDeque<QEntry>> = (0..n).map(|_| VecDeque::new()).collect();
     let mut acc: Vec<ReplicaAcc> = (0..n).map(|_| ReplicaAcc::default()).collect();
     let mut outcomes: Vec<ShardedOutcome> = Vec::with_capacity(requests.total());
-    let mut cache: HashMap<(u8, Vec<u32>), Tensor> = HashMap::new();
+    let mut cache = LruCache::new(shard.cache_capacity);
     let mut wait_steps: Vec<usize> = Vec::new();
     let mut histogram = vec![0usize; serving.max_batch + 1];
     let mut max_depth = 0usize;
@@ -622,9 +692,7 @@ pub fn simulate_serving_sharded(
                             y.data()[j * out_len..(j + 1) * out_len].to_vec(),
                         );
                         if shard.cache {
-                            cache
-                                .entry(cache_key(bits, &inputs[e.id % inputs.len()]))
-                                .or_insert_with(|| out.clone());
+                            cache.insert(cache_key(bits, &inputs[e.id % inputs.len()]), &out);
                         }
                         rec.output = Some(out);
                         rec.status = RequestStatus::Completed;
@@ -682,6 +750,7 @@ pub fn simulate_serving_sharded(
     stats.backlog = queues.iter().map(VecDeque::len).sum();
     stats.max_queue_depth = max_depth;
     stats.batch_histogram = histogram;
+    stats.cache_evictions = cache.evictions;
     stats.faults_injected = faults.count_before(trace.len());
     stats.replicas = acc
         .into_iter()

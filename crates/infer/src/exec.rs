@@ -200,7 +200,7 @@ impl Tier for TierF32 {
         storage.decode_row_f32(row, cols, out);
     }
     fn accumulate(acc: &mut [f32], wrow: &[f32], acts: &[f32]) {
-        accumulate_f32(acc, wrow, acts);
+        (crate::simd::kernels().accumulate_f32)(acc, wrow, acts);
     }
     fn mad(acc: f32, w: f32, a: f32) -> f32 {
         acc + w * a
@@ -230,7 +230,7 @@ impl Tier for TierI32 {
         storage.decode_row(row, cols, out);
     }
     fn accumulate(acc: &mut [i32], wrow: &[i32], acts: &[i32]) {
-        accumulate_i32(acc, wrow, acts);
+        (crate::simd::kernels().accumulate_i32)(acc, wrow, acts);
     }
     fn mad(acc: i32, w: i32, a: i32) -> i32 {
         acc + w * a
@@ -258,7 +258,7 @@ impl Tier for TierI64 {
         storage.decode_row(row, cols, out);
     }
     fn accumulate(acc: &mut [i64], wrow: &[i32], acts: &[i32]) {
-        accumulate_i64(acc, wrow, acts);
+        (crate::simd::kernels().accumulate_i64)(acc, wrow, acts);
     }
     fn mad(acc: i64, w: i32, a: i32) -> i64 {
         acc + i64::from(w) * i64::from(a)
@@ -275,7 +275,8 @@ impl Tier for TierI64 {
 }
 
 // ---------------------------------------------------------------------------
-// Accumulate kernels
+// Accumulate kernels (scalar backend — the portable baseline every target
+// can run; crate::simd selects between these and the AVX2 kernels)
 // ---------------------------------------------------------------------------
 
 /// Column-block width of the integer accumulate kernels: 8 independent
@@ -290,17 +291,21 @@ const I64_LANES: usize = 4;
 
 /// `acc[j] += Σ_p wrow[p] · acts[p][j]` in i32 — the native narrow tier.
 /// Column-register-blocked: each block of [`I32_LANES`] output columns
-/// runs the full reduction with its partial sums held in registers.
-fn accumulate_i32(acc: &mut [i32], wrow: &[i32], acts: &[i32]) {
+/// runs the full reduction with its partial sums held in registers. Row
+/// strides are hoisted to a running offset so neither the block loop nor
+/// the tail recomputes `p * ncols + j` per element.
+pub(crate) fn accumulate_i32_scalar(acc: &mut [i32], wrow: &[i32], acts: &[i32]) {
     let ncols = acc.len();
     let mut j = 0usize;
     while j + I32_LANES <= ncols {
         let mut lanes = [0i32; I32_LANES];
-        for (p, &wv) in wrow.iter().enumerate() {
-            let a = &acts[p * ncols + j..p * ncols + j + I32_LANES];
+        let mut base = j;
+        for &wv in wrow {
+            let a = &acts[base..base + I32_LANES];
             for (l, &av) in lanes.iter_mut().zip(a) {
                 *l += wv * av;
             }
+            base += ncols;
         }
         for (o, l) in acc[j..j + I32_LANES].iter_mut().zip(lanes) {
             *o += l;
@@ -309,8 +314,10 @@ fn accumulate_i32(acc: &mut [i32], wrow: &[i32], acts: &[i32]) {
     }
     while j < ncols {
         let mut lane = 0i32;
-        for (p, &wv) in wrow.iter().enumerate() {
-            lane += wv * acts[p * ncols + j];
+        let mut idx = j;
+        for &wv in wrow {
+            lane += wv * acts[idx];
+            idx += ncols;
         }
         acc[j] += lane;
         j += 1;
@@ -318,18 +325,20 @@ fn accumulate_i32(acc: &mut [i32], wrow: &[i32], acts: &[i32]) {
 }
 
 /// i64 variant for 12/16-bit layers whose partial sums can overflow i32,
-/// with [`I64_LANES`] register lanes.
-fn accumulate_i64(acc: &mut [i64], wrow: &[i32], acts: &[i32]) {
+/// with [`I64_LANES`] register lanes and the same hoisted row strides.
+pub(crate) fn accumulate_i64_scalar(acc: &mut [i64], wrow: &[i32], acts: &[i32]) {
     let ncols = acc.len();
     let mut j = 0usize;
     while j + I64_LANES <= ncols {
         let mut lanes = [0i64; I64_LANES];
-        for (p, &wv) in wrow.iter().enumerate() {
+        let mut base = j;
+        for &wv in wrow {
             let wv = i64::from(wv);
-            let a = &acts[p * ncols + j..p * ncols + j + I64_LANES];
+            let a = &acts[base..base + I64_LANES];
             for (l, &av) in lanes.iter_mut().zip(a) {
                 *l += wv * i64::from(av);
             }
+            base += ncols;
         }
         for (o, l) in acc[j..j + I64_LANES].iter_mut().zip(lanes) {
             *o += l;
@@ -338,8 +347,10 @@ fn accumulate_i64(acc: &mut [i64], wrow: &[i32], acts: &[i32]) {
     }
     while j < ncols {
         let mut lane = 0i64;
-        for (p, &wv) in wrow.iter().enumerate() {
-            lane += i64::from(wv) * i64::from(acts[p * ncols + j]);
+        let mut idx = j;
+        for &wv in wrow {
+            lane += i64::from(wv) * i64::from(acts[idx]);
+            idx += ncols;
         }
         acc[j] += lane;
         j += 1;
@@ -351,7 +362,7 @@ fn accumulate_i64(acc: &mut [i64], wrow: &[i32], acts: &[i32]) {
 /// integer result, but f32 lanes vectorize on targets whose baseline ISA
 /// has no packed i32 multiply. Four weight rows per pass for
 /// instruction-level parallelism.
-fn accumulate_f32(acc: &mut [f32], wrow: &[f32], acts: &[f32]) {
+pub(crate) fn accumulate_f32_scalar(acc: &mut [f32], wrow: &[f32], acts: &[f32]) {
     let ncols = acc.len();
     let mut quads = wrow.chunks_exact(4);
     let mut base = 0usize;

@@ -21,6 +21,11 @@
 //!   i32-accumulate (i64 for 9–16 bit) GEMM and im2col-conv kernels,
 //!   row-parallel via `instantnet-parallel`. Integer accumulation is
 //!   exact, so results are bit-identical at any thread count.
+//! * The hot reduction kernels run through a one-time runtime-dispatched
+//!   backend table ([`mod@simd`]): explicit AVX2 kernels where the CPU
+//!   supports them, portable scalar Rust everywhere else, overridable
+//!   with `INSTANTNET_SIMD=scalar|avx2`. Both backends are bit-identical,
+//!   so the dispatch choice is invisible to every serving layer.
 //!
 //! Dequantization uses the affine identity
 //! `y[k][j] = sa · (A[k] · acc[k][j] + B[k] · colsum[j]) + bias[k]`
@@ -31,6 +36,8 @@
 //! the per-tensor activation scale computed fresh each forward. The packed
 //! path matches the f32 fake-quant reference within one quantization step
 //! per element.
+
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use instantnet_nn::checkpoint::CheckpointError;
 use instantnet_nn::layers::Activation;
@@ -43,6 +50,9 @@ use std::sync::Arc;
 
 mod exec;
 mod pack;
+pub mod simd;
+
+pub use simd::{active_simd_backend, avx2_available, with_simd_backend, SimdBackend};
 
 /// Typed error for every fallible engine operation: plan compilation
 /// ([`PackedModel::prepack`]), checkpoint restore
@@ -146,12 +156,20 @@ impl Storage {
         }
     }
 
-    /// Decodes one row of `cols` codes into `out`.
+    /// Decodes one row of `cols` codes into `out`, on the active SIMD
+    /// backend.
     ///
     /// # Panics
     ///
     /// Panics if called on [`Storage::F32`] (the f32 path never decodes).
     fn decode_row(&self, row: usize, cols: usize, out: &mut [i32]) {
+        (simd::kernels().decode_row_i32)(self, row, cols, out);
+    }
+
+    /// Scalar-backend body of [`Self::decode_row`] (referenced by the
+    /// dispatch table; also the portable baseline the SIMD kernels are
+    /// tested bit-identical against).
+    fn decode_row_scalar(&self, row: usize, cols: usize, out: &mut [i32]) {
         match self {
             Storage::Nibble(data) => {
                 let stride = cols.div_ceil(2);
@@ -180,12 +198,17 @@ impl Storage {
 
     /// Decodes one row of `cols` codes into f32 lanes (the exact-f32
     /// accumulation tier; every code is a small integer so the conversion
-    /// is lossless).
+    /// is lossless), on the active SIMD backend.
     ///
     /// # Panics
     ///
     /// Panics if called on [`Storage::F32`].
     fn decode_row_f32(&self, row: usize, cols: usize, out: &mut [f32]) {
+        (simd::kernels().decode_row_f32)(self, row, cols, out);
+    }
+
+    /// Scalar-backend body of [`Self::decode_row_f32`].
+    fn decode_row_f32_scalar(&self, row: usize, cols: usize, out: &mut [f32]) {
         match self {
             Storage::Nibble(data) => {
                 let stride = cols.div_ceil(2);

@@ -150,7 +150,11 @@ fn pack_gemm(
     // holds at any serving batch size: batching adds GEMM *columns* (more
     // samples × output pixels), never reduction *length* — `cols` is fixed
     // at `cg*r*s` / in-features, and the only cross-sample sums (per-column
-    // activation colsums) are i64 regardless of tier.
+    // activation colsums) are i64 regardless of tier. The same bound is
+    // what lets the SIMD backend (`crate::simd`) reassociate f32 partial
+    // sums into 8 lanes exactly: every partial sum in any association
+    // order is an integer below 2^24, so lane-wise accumulation is
+    // bit-identical to the scalar left-to-right order.
     let bound = i64::from(max_code_abs) * act_code_abs_max(bits) * cols as i64;
     let accum = if bound < 1 << 24 {
         Accum::F32

@@ -1,0 +1,805 @@
+//! Explicit-SIMD backend for the hot reduction kernels, behind one-time
+//! runtime dispatch.
+//!
+//! The packed engine's inner loops — the `accumulate_*` column reductions
+//! and the per-row weight decode — are portable scalar Rust in
+//! [`crate::exec`] / [`crate::Storage`]. This module adds AVX2
+//! (`core::arch::x86_64`) implementations of the same kernels and selects
+//! between the two backends **once per process** through a function table:
+//!
+//! * detection runs once ([`std::sync::OnceLock`]) via
+//!   `is_x86_feature_detected!("avx2")`;
+//! * the `INSTANTNET_SIMD` environment variable overrides detection
+//!   (`scalar` forces the portable kernels anywhere; `avx2` requests AVX2
+//!   and falls back to scalar when the CPU lacks it; anything else —
+//!   including unset and `auto` — means "detect");
+//! * tests and benches can force a backend for a scoped region with
+//!   [`with_simd_backend`], which serializes callers on a global lock.
+//!
+//! Every call site in the engine routes through [`kernels`], so batched,
+//! resilient, and sharded serving plus the f32-fallback path all inherit
+//! the active backend with no API change. The table layout is
+//! backend-agnostic on purpose: a NEON port adds one more `Kernels`
+//! static (and a `SimdBackend::Neon` arm) without touching any call site.
+//!
+//! # Bit-identity contract
+//!
+//! The SIMD kernels produce **bit-identical** output to the scalar ones
+//! for every tier × bit-width × quantizer × batch size × thread count:
+//!
+//! * the i32/i64 kernels are integer arithmetic, which is associative and
+//!   commutative — lane order and write-back interleaving cannot change
+//!   the final sums;
+//! * the f32 kernels only ever see integer-valued lanes whose every
+//!   partial sum is bounded below 2^24 (the pack-time tier selection in
+//!   [`crate::pack`] guarantees the bound over the *whole* reduction, so
+//!   every prefix in any association order is an exactly representable
+//!   integer) — reassociating exact arithmetic is lossless;
+//! * `decode_row` is elementwise (no reduction at all).
+//!
+//! The contract is pinned by the kernel-level parity tests below and by
+//! `tests/simd_parity.rs`, which runs whole-model forwards under both
+//! backends.
+//!
+//! # Safety
+//!
+//! This module is the only place in the workspace containing `unsafe`
+//! code, and all of it is confined to the [`avx2`] submodule behind safe
+//! wrappers. Two invariants carry every `unsafe` block:
+//!
+//! 1. **ISA availability**: the AVX2 table is only reachable after
+//!    `is_x86_feature_detected!("avx2")` succeeded (dispatch default) or
+//!    after [`with_simd_backend`] asserted availability — so executing
+//!    AVX2 instructions is valid on this CPU.
+//! 2. **In-bounds access**: every vector load/store takes its pointer
+//!    from a bounds-checked subslice of exactly the lanes it touches, so
+//!    the unsafe surface is the intrinsic call itself, never the
+//!    addressing. Slice-shape contracts (`acts.len() == wrow.len() *
+//!    acc.len()`) are debug-asserted at the wrapper boundary.
+
+use crate::Storage;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A kernel backend the dispatch table can route to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdBackend {
+    /// Portable scalar Rust (the baseline every target can run).
+    Scalar,
+    /// 256-bit AVX2 integer/float kernels (x86-64 with runtime support).
+    Avx2,
+}
+
+impl SimdBackend {
+    /// The knob spelling of this backend (`INSTANTNET_SIMD` value).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdBackend::Scalar => "scalar",
+            SimdBackend::Avx2 => "avx2",
+        }
+    }
+}
+
+/// The hot-kernel function table one backend provides. One static per
+/// backend; [`kernels`] picks which one the engine routes through.
+pub(crate) struct Kernels {
+    pub(crate) backend: SimdBackend,
+    /// `acc[j] += Σ_p wrow[p] · acts[p · acc.len() + j]` in i32.
+    pub(crate) accumulate_i32: fn(&mut [i32], &[i32], &[i32]),
+    /// The i64-accumulator variant (12/16-bit layers).
+    pub(crate) accumulate_i64: fn(&mut [i64], &[i32], &[i32]),
+    /// The exact-f32-lane variant (≤ 8-bit layers).
+    pub(crate) accumulate_f32: fn(&mut [f32], &[f32], &[f32]),
+    /// Decodes one packed weight row into i32 codes.
+    pub(crate) decode_row_i32: fn(&Storage, usize, usize, &mut [i32]),
+    /// Decodes one packed weight row into exact f32 lanes.
+    pub(crate) decode_row_f32: fn(&Storage, usize, usize, &mut [f32]),
+}
+
+static SCALAR: Kernels = Kernels {
+    backend: SimdBackend::Scalar,
+    accumulate_i32: crate::exec::accumulate_i32_scalar,
+    accumulate_i64: crate::exec::accumulate_i64_scalar,
+    accumulate_f32: crate::exec::accumulate_f32_scalar,
+    decode_row_i32: Storage::decode_row_scalar,
+    decode_row_f32: Storage::decode_row_f32_scalar,
+};
+
+#[cfg(target_arch = "x86_64")]
+static AVX2: Kernels = Kernels {
+    backend: SimdBackend::Avx2,
+    accumulate_i32: avx2::accumulate_i32,
+    accumulate_i64: avx2::accumulate_i64,
+    accumulate_f32: avx2::accumulate_f32,
+    decode_row_i32: avx2::decode_row_i32,
+    decode_row_f32: avx2::decode_row_f32,
+};
+
+fn table(backend: SimdBackend) -> &'static Kernels {
+    match backend {
+        SimdBackend::Scalar => &SCALAR,
+        #[cfg(target_arch = "x86_64")]
+        SimdBackend::Avx2 => &AVX2,
+        // `resolve` never yields Avx2 off x86-64 and `with_simd_backend`
+        // asserts availability, so this arm is unreachable in practice.
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdBackend::Avx2 => &SCALAR,
+    }
+}
+
+/// Whether this CPU can run the AVX2 backend (always false off x86-64).
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Pure resolution of (env override, detected AVX2) → backend, split out
+/// so the knob semantics are unit-testable without process-global state.
+fn resolve(env: Option<&str>, avx2: bool) -> SimdBackend {
+    let fallback = if avx2 {
+        SimdBackend::Avx2
+    } else {
+        SimdBackend::Scalar
+    };
+    match env.map(str::trim) {
+        Some(v) if v.eq_ignore_ascii_case("scalar") => SimdBackend::Scalar,
+        // An explicit avx2 request still needs the CPU to support it;
+        // degrade to scalar instead of faulting on the first kernel.
+        Some(v) if v.eq_ignore_ascii_case("avx2") => fallback,
+        // Unset, "auto", or garbage: detect.
+        _ => fallback,
+    }
+}
+
+/// Forced-backend override (0 = none, else `SimdBackend` discriminant+1):
+/// process-global so worker threads spawned inside parallel regions see
+/// the same backend as the caller that forced it.
+static FORCED: AtomicU8 = AtomicU8::new(0);
+static FORCE_LOCK: Mutex<()> = Mutex::new(());
+
+fn default_kernels() -> &'static Kernels {
+    static DEFAULT: OnceLock<&'static Kernels> = OnceLock::new();
+    DEFAULT.get_or_init(|| {
+        table(resolve(
+            std::env::var("INSTANTNET_SIMD").ok().as_deref(),
+            avx2_available(),
+        ))
+    })
+}
+
+/// The active kernel table: a forced override when one is in effect, else
+/// the process default resolved once from `INSTANTNET_SIMD` + detection.
+#[inline]
+pub(crate) fn kernels() -> &'static Kernels {
+    match FORCED.load(Ordering::Relaxed) {
+        1 => &SCALAR,
+        #[cfg(target_arch = "x86_64")]
+        2 => &AVX2,
+        _ => default_kernels(),
+    }
+}
+
+/// The backend the engine currently dispatches to.
+pub fn active_simd_backend() -> SimdBackend {
+    kernels().backend
+}
+
+/// Runs `f` with kernel dispatch forced to `backend`, restoring the
+/// previous state afterwards (also on panic).
+///
+/// The override is **process-global** — it must be, so worker threads
+/// inside parallel regions run the same backend — and concurrent callers
+/// are serialized on an internal lock (do not nest calls; a nested call
+/// deadlocks). Forwards running concurrently *outside* the closure may
+/// observe the override, which is safe because both backends are
+/// bit-identical; only performance differs. Intended for parity tests and
+/// scalar-vs-SIMD benches.
+///
+/// # Panics
+///
+/// Panics if `backend` is [`SimdBackend::Avx2`] on a CPU without AVX2
+/// (callers gate on [`avx2_available`]).
+pub fn with_simd_backend<T>(backend: SimdBackend, f: impl FnOnce() -> T) -> T {
+    assert!(
+        backend != SimdBackend::Avx2 || avx2_available(),
+        "AVX2 backend forced but this CPU has no AVX2"
+    );
+    let _serialize = FORCE_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    struct Restore(u8);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FORCED.store(self.0, Ordering::SeqCst);
+        }
+    }
+    let code = match backend {
+        SimdBackend::Scalar => 1,
+        SimdBackend::Avx2 => 2,
+    };
+    let _restore = Restore(FORCED.swap(code, Ordering::SeqCst));
+    f()
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels (x86-64 only; every `unsafe` in the crate lives here)
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    // `loadu`/`storeu` intrinsics have no alignment requirement, so the
+    // `*const i32 → *const __m256i` pointer casts below are sound; the
+    // lint assumes the target type's alignment matters.
+    #![allow(clippy::cast_ptr_alignment)]
+
+    use crate::Storage;
+    use core::arch::x86_64::{
+        __m128i, __m256, __m256i, _mm256_add_epi32, _mm256_add_epi64, _mm256_add_ps,
+        _mm256_cvtepi16_epi32, _mm256_cvtepi32_ps, _mm256_cvtepi8_epi32, _mm256_cvtepu8_epi32,
+        _mm256_loadu_ps, _mm256_loadu_si256, _mm256_mul_epi32, _mm256_mul_ps, _mm256_mullo_epi32,
+        _mm256_permute2x128_si256, _mm256_set1_epi32, _mm256_set1_ps, _mm256_setzero_ps,
+        _mm256_setzero_si256, _mm256_shuffle_epi32, _mm256_slli_epi32, _mm256_srai_epi32,
+        _mm256_storeu_ps, _mm256_storeu_si256, _mm256_unpackhi_epi32, _mm256_unpackhi_epi64,
+        _mm256_unpacklo_epi32, _mm256_unpacklo_epi64, _mm_loadl_epi64, _mm_loadu_si128,
+    };
+
+    /// i32/f32 lanes per 256-bit register.
+    const L: usize = 8;
+
+    // --- safe wrappers: the only entry points into this module. Each
+    // checks the slice-shape contract, then defers to a
+    // `#[target_feature(enable = "avx2")]` kernel. ---
+
+    pub(super) fn accumulate_i32(acc: &mut [i32], wrow: &[i32], acts: &[i32]) {
+        debug_assert_eq!(
+            acts.len(),
+            wrow.len() * acc.len(),
+            "acts must be [rows, ncols]"
+        );
+        // SAFETY: reachable only through the AVX2 dispatch table, which is
+        // installed strictly after `is_x86_feature_detected!("avx2")`.
+        unsafe { accumulate_i32_kernel(acc, wrow, acts) }
+    }
+
+    pub(super) fn accumulate_i64(acc: &mut [i64], wrow: &[i32], acts: &[i32]) {
+        debug_assert_eq!(
+            acts.len(),
+            wrow.len() * acc.len(),
+            "acts must be [rows, ncols]"
+        );
+        // SAFETY: as in `accumulate_i32`.
+        unsafe { accumulate_i64_kernel(acc, wrow, acts) }
+    }
+
+    pub(super) fn accumulate_f32(acc: &mut [f32], wrow: &[f32], acts: &[f32]) {
+        debug_assert_eq!(
+            acts.len(),
+            wrow.len() * acc.len(),
+            "acts must be [rows, ncols]"
+        );
+        // SAFETY: as in `accumulate_i32`.
+        unsafe { accumulate_f32_kernel(acc, wrow, acts) }
+    }
+
+    pub(super) fn decode_row_i32(storage: &Storage, row: usize, cols: usize, out: &mut [i32]) {
+        let out = &mut out[..cols];
+        match storage {
+            Storage::Nibble(data) => {
+                let stride = cols.div_ceil(2);
+                // SAFETY: AVX2 detected (dispatch invariant); the row slice
+                // is bounds-checked here.
+                unsafe { decode_nibble_i32_kernel(&data[row * stride..(row + 1) * stride], out) }
+            }
+            // SAFETY (both arms): as above.
+            Storage::I8(data) => unsafe {
+                decode_i8_i32_kernel(&data[row * cols..(row + 1) * cols], out)
+            },
+            Storage::I16(data) => unsafe {
+                decode_i16_i32_kernel(&data[row * cols..(row + 1) * cols], out)
+            },
+            Storage::F32(_) => panic!("decode_row on f32 storage"),
+        }
+    }
+
+    pub(super) fn decode_row_f32(storage: &Storage, row: usize, cols: usize, out: &mut [f32]) {
+        let out = &mut out[..cols];
+        match storage {
+            Storage::Nibble(data) => {
+                let stride = cols.div_ceil(2);
+                // SAFETY: as in `decode_row_i32`.
+                unsafe { decode_nibble_f32_kernel(&data[row * stride..(row + 1) * stride], out) }
+            }
+            // SAFETY (both arms): as in `decode_row_i32`.
+            Storage::I8(data) => unsafe {
+                decode_i8_f32_kernel(&data[row * cols..(row + 1) * cols], out)
+            },
+            Storage::I16(data) => unsafe {
+                decode_i16_f32_kernel(&data[row * cols..(row + 1) * cols], out)
+            },
+            Storage::F32(_) => panic!("decode_row_f32 on f32 storage"),
+        }
+    }
+
+    // --- bounds-checked load/store helpers: each takes its pointer from a
+    // subslice of exactly the lanes it touches, so addressing is proven by
+    // the slice check and only the intrinsic call itself is unsafe. ---
+
+    #[target_feature(enable = "avx2")]
+    fn load_i32(s: &[i32], at: usize) -> __m256i {
+        let lane = &s[at..at + L];
+        // SAFETY: 8 readable i32 lanes per the slice above; unaligned load.
+        unsafe { _mm256_loadu_si256(lane.as_ptr().cast()) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    fn store_i32(s: &mut [i32], at: usize, v: __m256i) {
+        let lane = &mut s[at..at + L];
+        // SAFETY: 8 writable i32 lanes per the slice above; unaligned store.
+        unsafe { _mm256_storeu_si256(lane.as_mut_ptr().cast(), v) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    fn add_store_i32(acc: &mut [i32], at: usize, v: __m256i) {
+        let sum = _mm256_add_epi32(load_i32(acc, at), v);
+        store_i32(acc, at, sum);
+    }
+
+    #[target_feature(enable = "avx2")]
+    fn load_i64(s: &[i64], at: usize) -> __m256i {
+        let lane = &s[at..at + 4];
+        // SAFETY: 4 readable i64 lanes per the slice above; unaligned load.
+        unsafe { _mm256_loadu_si256(lane.as_ptr().cast()) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    fn add_store_i64(acc: &mut [i64], at: usize, v: __m256i) {
+        let sum = _mm256_add_epi64(load_i64(acc, at), v);
+        let lane = &mut acc[at..at + 4];
+        // SAFETY: 4 writable i64 lanes per the slice above; unaligned store.
+        unsafe { _mm256_storeu_si256(lane.as_mut_ptr().cast(), sum) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    fn load_f32(s: &[f32], at: usize) -> __m256 {
+        let lane = &s[at..at + L];
+        // SAFETY: 8 readable f32 lanes per the slice above; unaligned load.
+        unsafe { _mm256_loadu_ps(lane.as_ptr()) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    fn add_store_f32(acc: &mut [f32], at: usize, v: __m256) {
+        let sum = _mm256_add_ps(load_f32(acc, at), v);
+        let lane = &mut acc[at..at + L];
+        // SAFETY: 8 writable f32 lanes per the slice above; unaligned store.
+        unsafe { _mm256_storeu_ps(lane.as_mut_ptr(), sum) }
+    }
+
+    /// Loads 8 bytes into the low half of an xmm register.
+    #[target_feature(enable = "avx2")]
+    fn load_8_bytes(s: &[u8], at: usize) -> __m128i {
+        let lane = &s[at..at + 8];
+        // SAFETY: 8 readable bytes per the slice above; unaligned load.
+        unsafe { _mm_loadl_epi64(lane.as_ptr().cast()) }
+    }
+
+    // --- accumulate kernels ---
+
+    /// i32 column reduction, two registers (16 columns) per block so the
+    /// integer pipes have independent chains to fill.
+    #[target_feature(enable = "avx2")]
+    fn accumulate_i32_kernel(acc: &mut [i32], wrow: &[i32], acts: &[i32]) {
+        let ncols = acc.len();
+        let mut j = 0usize;
+        while j + 2 * L <= ncols {
+            let mut s0 = _mm256_setzero_si256();
+            let mut s1 = _mm256_setzero_si256();
+            let mut base = j;
+            for &wv in wrow {
+                let w = _mm256_set1_epi32(wv);
+                s0 = _mm256_add_epi32(s0, _mm256_mullo_epi32(w, load_i32(acts, base)));
+                s1 = _mm256_add_epi32(s1, _mm256_mullo_epi32(w, load_i32(acts, base + L)));
+                base += ncols;
+            }
+            add_store_i32(acc, j, s0);
+            add_store_i32(acc, j + L, s1);
+            j += 2 * L;
+        }
+        while j + L <= ncols {
+            let mut s = _mm256_setzero_si256();
+            let mut base = j;
+            for &wv in wrow {
+                s = _mm256_add_epi32(
+                    s,
+                    _mm256_mullo_epi32(_mm256_set1_epi32(wv), load_i32(acts, base)),
+                );
+                base += ncols;
+            }
+            add_store_i32(acc, j, s);
+            j += L;
+        }
+        while j < ncols {
+            let mut lane = 0i32;
+            let mut idx = j;
+            for &wv in wrow {
+                lane += wv * acts[idx];
+                idx += ncols;
+            }
+            acc[j] += lane;
+            j += 1;
+        }
+    }
+
+    /// i64 column reduction. AVX2 has no 64×64 multiply, but
+    /// `_mm256_mul_epi32` sign-extends the low dword of each qword into a
+    /// full 64-bit product — exactly the i32×i32→i64 widening MAC the i64
+    /// tier needs. Even columns multiply in place; odd columns are
+    /// shuffled into the low-dword slots first, and the two qword
+    /// accumulators are re-interleaved on write-back. Integer addition is
+    /// order-free, so the split cannot change the sums.
+    #[target_feature(enable = "avx2")]
+    fn accumulate_i64_kernel(acc: &mut [i64], wrow: &[i32], acts: &[i32]) {
+        let ncols = acc.len();
+        let mut j = 0usize;
+        while j + L <= ncols {
+            let mut even = _mm256_setzero_si256(); // columns j, j+2, j+4, j+6
+            let mut odd = _mm256_setzero_si256(); // columns j+1, j+3, j+5, j+7
+            let mut base = j;
+            for &wv in wrow {
+                let w = _mm256_set1_epi32(wv);
+                let a = load_i32(acts, base);
+                even = _mm256_add_epi64(even, _mm256_mul_epi32(w, a));
+                // 0xF5 copies dwords {1,3} of each 128-bit lane into the
+                // qword low-dword slots {0,2}.
+                odd = _mm256_add_epi64(odd, _mm256_mul_epi32(w, _mm256_shuffle_epi32::<0xF5>(a)));
+                base += ncols;
+            }
+            let lo = _mm256_unpacklo_epi64(even, odd); // j, j+1 | j+4, j+5
+            let hi = _mm256_unpackhi_epi64(even, odd); // j+2, j+3 | j+6, j+7
+            add_store_i64(acc, j, _mm256_permute2x128_si256::<0x20>(lo, hi));
+            add_store_i64(acc, j + 4, _mm256_permute2x128_si256::<0x31>(lo, hi));
+            j += L;
+        }
+        while j < ncols {
+            let mut lane = 0i64;
+            let mut idx = j;
+            for &wv in wrow {
+                lane += i64::from(wv) * i64::from(acts[idx]);
+                idx += ncols;
+            }
+            acc[j] += lane;
+            j += 1;
+        }
+    }
+
+    /// Exact-f32 column reduction (lanes are small integers; every partial
+    /// sum stays below 2^24, so mul+add here is lossless and bit-identical
+    /// to the scalar order). No FMA on purpose: `avx2` detection does not
+    /// imply `fma`, and exactness makes fusion pointless.
+    #[target_feature(enable = "avx2")]
+    fn accumulate_f32_kernel(acc: &mut [f32], wrow: &[f32], acts: &[f32]) {
+        let ncols = acc.len();
+        let mut j = 0usize;
+        while j + 2 * L <= ncols {
+            let mut s0 = _mm256_setzero_ps();
+            let mut s1 = _mm256_setzero_ps();
+            let mut base = j;
+            for &wv in wrow {
+                let w = _mm256_set1_ps(wv);
+                s0 = _mm256_add_ps(s0, _mm256_mul_ps(w, load_f32(acts, base)));
+                s1 = _mm256_add_ps(s1, _mm256_mul_ps(w, load_f32(acts, base + L)));
+                base += ncols;
+            }
+            add_store_f32(acc, j, s0);
+            add_store_f32(acc, j + L, s1);
+            j += 2 * L;
+        }
+        while j + L <= ncols {
+            let mut s = _mm256_setzero_ps();
+            let mut base = j;
+            for &wv in wrow {
+                s = _mm256_add_ps(s, _mm256_mul_ps(_mm256_set1_ps(wv), load_f32(acts, base)));
+                base += ncols;
+            }
+            add_store_f32(acc, j, s);
+            j += L;
+        }
+        while j < ncols {
+            let mut lane = 0.0f32;
+            let mut idx = j;
+            for &wv in wrow {
+                lane += wv * acts[idx];
+                idx += ncols;
+            }
+            acc[j] += lane;
+            j += 1;
+        }
+    }
+
+    // --- decode kernels ---
+
+    /// Sign-extends the two nibbles of each of 8 bytes into 16 i32 codes:
+    /// widen bytes to dwords, shift-extract both nibbles, interleave
+    /// (low nibble first — the pack order in `crate::pack`).
+    #[target_feature(enable = "avx2")]
+    fn decode_nibble_pair(bytes: __m128i) -> (__m256i, __m256i) {
+        let v = _mm256_cvtepu8_epi32(bytes);
+        let lo = _mm256_srai_epi32::<28>(_mm256_slli_epi32::<28>(v));
+        let hi = _mm256_srai_epi32::<28>(_mm256_slli_epi32::<24>(v));
+        let il = _mm256_unpacklo_epi32(lo, hi); // L0 H0 L1 H1 | L4 H4 L5 H5
+        let ih = _mm256_unpackhi_epi32(lo, hi); // L2 H2 L3 H3 | L6 H6 L7 H7
+        (
+            _mm256_permute2x128_si256::<0x20>(il, ih), // codes 0..8
+            _mm256_permute2x128_si256::<0x31>(il, ih), // codes 8..16
+        )
+    }
+
+    #[target_feature(enable = "avx2")]
+    fn decode_nibble_i32_kernel(row_bytes: &[u8], out: &mut [i32]) {
+        let cols = out.len();
+        let (mut j, mut b) = (0usize, 0usize);
+        while j + 2 * L <= cols {
+            let (first, second) = decode_nibble_pair(load_8_bytes(row_bytes, b));
+            store_i32(out, j, first);
+            store_i32(out, j + L, second);
+            j += 2 * L;
+            b += L;
+        }
+        decode_nibble_tail(row_bytes, b, out, j);
+    }
+
+    #[target_feature(enable = "avx2")]
+    fn decode_nibble_f32_kernel(row_bytes: &[u8], out: &mut [f32]) {
+        let cols = out.len();
+        let (mut j, mut b) = (0usize, 0usize);
+        while j + 2 * L <= cols {
+            let (first, second) = decode_nibble_pair(load_8_bytes(row_bytes, b));
+            store_f32_from_i32(out, j, first);
+            store_f32_from_i32(out, j + L, second);
+            j += 2 * L;
+            b += L;
+        }
+        let mut tail = [0i32; 2 * L];
+        let n = cols - j;
+        decode_nibble_tail(row_bytes, b, &mut tail[..n], 0);
+        for (o, &c) in out[j..].iter_mut().zip(&tail[..n]) {
+            *o = c as f32;
+        }
+    }
+
+    /// Scalar nibble tail, identical to `Storage::decode_row_scalar`'s
+    /// per-byte decode (low nibble first, high nibble dropped past `cols`).
+    fn decode_nibble_tail(row_bytes: &[u8], mut b: usize, out: &mut [i32], mut j: usize) {
+        let cols = out.len();
+        while j < cols {
+            let byte = row_bytes[b] as i8;
+            out[j] = i32::from((byte << 4) >> 4);
+            if let Some(o) = out.get_mut(j + 1) {
+                *o = i32::from(byte >> 4);
+            }
+            j += 2;
+            b += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    fn store_f32_from_i32(s: &mut [f32], at: usize, v: __m256i) {
+        let lane = &mut s[at..at + L];
+        // SAFETY: 8 writable f32 lanes per the slice above; unaligned store.
+        unsafe { _mm256_storeu_ps(lane.as_mut_ptr(), _mm256_cvtepi32_ps(v)) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    fn decode_i8_i32_kernel(codes: &[i8], out: &mut [i32]) {
+        let cols = out.len();
+        let mut j = 0usize;
+        while j + L <= cols {
+            let lane = &codes[j..j + L];
+            // SAFETY: 8 readable bytes per the slice above; unaligned load.
+            let bytes = unsafe { _mm_loadl_epi64(lane.as_ptr().cast()) };
+            store_i32(out, j, _mm256_cvtepi8_epi32(bytes));
+            j += L;
+        }
+        for (o, &c) in out[j..].iter_mut().zip(&codes[j..]) {
+            *o = i32::from(c);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    fn decode_i8_f32_kernel(codes: &[i8], out: &mut [f32]) {
+        let cols = out.len();
+        let mut j = 0usize;
+        while j + L <= cols {
+            let lane = &codes[j..j + L];
+            // SAFETY: 8 readable bytes per the slice above; unaligned load.
+            let bytes = unsafe { _mm_loadl_epi64(lane.as_ptr().cast()) };
+            store_f32_from_i32(out, j, _mm256_cvtepi8_epi32(bytes));
+            j += L;
+        }
+        for (o, &c) in out[j..].iter_mut().zip(&codes[j..]) {
+            *o = f32::from(c);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    fn decode_i16_i32_kernel(codes: &[i16], out: &mut [i32]) {
+        let cols = out.len();
+        let mut j = 0usize;
+        while j + L <= cols {
+            let lane = &codes[j..j + L];
+            // SAFETY: 8 readable i16 lanes per the slice above; unaligned load.
+            let words = unsafe { _mm_loadu_si128(lane.as_ptr().cast()) };
+            store_i32(out, j, _mm256_cvtepi16_epi32(words));
+            j += L;
+        }
+        for (o, &c) in out[j..].iter_mut().zip(&codes[j..]) {
+            *o = i32::from(c);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    fn decode_i16_f32_kernel(codes: &[i16], out: &mut [f32]) {
+        let cols = out.len();
+        let mut j = 0usize;
+        while j + L <= cols {
+            let lane = &codes[j..j + L];
+            // SAFETY: 8 readable i16 lanes per the slice above; unaligned load.
+            let words = unsafe { _mm_loadu_si128(lane.as_ptr().cast()) };
+            store_f32_from_i32(out, j, _mm256_cvtepi16_epi32(words));
+            j += L;
+        }
+        for (o, &c) in out[j..].iter_mut().zip(&codes[j..]) {
+            *o = f32::from(c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn resolve_knob_semantics() {
+        use SimdBackend::{Avx2, Scalar};
+        // scalar always wins, case/space-insensitively.
+        assert_eq!(resolve(Some("scalar"), true), Scalar);
+        assert_eq!(resolve(Some(" SCALAR "), true), Scalar);
+        assert_eq!(resolve(Some("scalar"), false), Scalar);
+        // avx2 requires detection; degrades to scalar without it.
+        assert_eq!(resolve(Some("avx2"), true), Avx2);
+        assert_eq!(resolve(Some("AVX2"), false), Scalar);
+        // unset / auto / garbage: detect.
+        assert_eq!(resolve(None, true), Avx2);
+        assert_eq!(resolve(None, false), Scalar);
+        assert_eq!(resolve(Some("auto"), true), Avx2);
+        assert_eq!(resolve(Some("definitely-not-a-backend"), false), Scalar);
+    }
+
+    #[test]
+    fn backend_names_round_trip_through_resolve() {
+        for b in [SimdBackend::Scalar, SimdBackend::Avx2] {
+            assert_eq!(resolve(Some(b.name()), true), b);
+        }
+    }
+
+    #[test]
+    fn forced_backend_is_scoped_and_restored() {
+        let ambient = active_simd_backend();
+        let inside = with_simd_backend(SimdBackend::Scalar, active_simd_backend);
+        assert_eq!(inside, SimdBackend::Scalar);
+        assert_eq!(active_simd_backend(), ambient);
+        if avx2_available() {
+            let inside = with_simd_backend(SimdBackend::Avx2, active_simd_backend);
+            assert_eq!(inside, SimdBackend::Avx2);
+            assert_eq!(active_simd_backend(), ambient);
+        }
+    }
+
+    #[test]
+    fn forced_backend_is_restored_on_panic() {
+        let ambient = active_simd_backend();
+        let result =
+            std::panic::catch_unwind(|| with_simd_backend(SimdBackend::Scalar, || panic!("boom")));
+        assert!(result.is_err());
+        assert_eq!(active_simd_backend(), ambient);
+    }
+
+    /// Random `[rows, ncols]` problems, including ragged tails around the
+    /// 8/16-lane block widths; both backends must agree bit for bit.
+    #[test]
+    fn avx2_accumulate_kernels_match_scalar_bit_for_bit() {
+        if !avx2_available() {
+            eprintln!("skipping: no AVX2 on this CPU");
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(0x51AD);
+        for case in 0..200 {
+            let rows = rng.gen_range(1usize..20);
+            let ncols = rng.gen_range(1usize..70);
+            let wrow: Vec<i32> = (0..rows).map(|_| rng.gen_range(-128i32..128)).collect();
+            let acts: Vec<i32> = (0..rows * ncols)
+                .map(|_| rng.gen_range(-256i32..256))
+                .collect();
+            let init: Vec<i32> = (0..ncols).map(|_| rng.gen_range(-1000i32..1000)).collect();
+
+            let mut a32 = init.clone();
+            let mut b32 = init.clone();
+            (SCALAR.accumulate_i32)(&mut a32, &wrow, &acts);
+            (AVX2.accumulate_i32)(&mut b32, &wrow, &acts);
+            assert_eq!(a32, b32, "i32 case {case}: rows {rows} ncols {ncols}");
+
+            let init64: Vec<i64> = init.iter().map(|&v| i64::from(v)).collect();
+            let mut a64 = init64.clone();
+            let mut b64 = init64;
+            (SCALAR.accumulate_i64)(&mut a64, &wrow, &acts);
+            (AVX2.accumulate_i64)(&mut b64, &wrow, &acts);
+            assert_eq!(a64, b64, "i64 case {case}: rows {rows} ncols {ncols}");
+
+            let wf: Vec<f32> = wrow.iter().map(|&v| v as f32).collect();
+            let af: Vec<f32> = acts.iter().map(|&v| v as f32).collect();
+            let initf: Vec<f32> = init.iter().map(|&v| v as f32).collect();
+            let mut aff = initf.clone();
+            let mut bff = initf;
+            (SCALAR.accumulate_f32)(&mut aff, &wf, &af);
+            (AVX2.accumulate_f32)(&mut bff, &wf, &af);
+            let (ab, bb): (Vec<u32>, Vec<u32>) = (
+                aff.iter().map(|v| v.to_bits()).collect(),
+                bff.iter().map(|v| v.to_bits()).collect(),
+            );
+            assert_eq!(ab, bb, "f32 case {case}: rows {rows} ncols {ncols}");
+        }
+    }
+
+    /// Every storage tier decodes identically under both backends, over
+    /// widths that exercise full blocks, ragged tails, and the odd-cols
+    /// half-byte of the nibble format.
+    #[test]
+    fn avx2_decode_kernels_match_scalar_bit_for_bit() {
+        if !avx2_available() {
+            eprintln!("skipping: no AVX2 on this CPU");
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(99);
+        for cols in [1usize, 2, 5, 7, 8, 15, 16, 17, 31, 32, 33, 64, 67] {
+            let rows = 3;
+            let stride = cols.div_ceil(2);
+            let nib = Storage::Nibble(
+                (0..rows * stride)
+                    .map(|_| rng.gen_range(0u32..256) as u8)
+                    .collect(),
+            );
+            let i8s = Storage::I8(
+                (0..rows * cols)
+                    .map(|_| rng.gen_range(-128i32..128) as i8)
+                    .collect(),
+            );
+            let i16s = Storage::I16(
+                (0..rows * cols)
+                    .map(|_| rng.gen_range(-32768i32..32768) as i16)
+                    .collect(),
+            );
+            for storage in [&nib, &i8s, &i16s] {
+                for row in 0..rows {
+                    let mut a = vec![0i32; cols];
+                    let mut b = vec![7i32; cols];
+                    (SCALAR.decode_row_i32)(storage, row, cols, &mut a);
+                    (AVX2.decode_row_i32)(storage, row, cols, &mut b);
+                    assert_eq!(a, b, "i32 decode: cols {cols} row {row}");
+
+                    let mut af = vec![0f32; cols];
+                    let mut bf = vec![7f32; cols];
+                    (SCALAR.decode_row_f32)(storage, row, cols, &mut af);
+                    (AVX2.decode_row_f32)(storage, row, cols, &mut bf);
+                    assert_eq!(af, bf, "f32 decode: cols {cols} row {row}");
+                }
+            }
+        }
+    }
+}

@@ -361,6 +361,89 @@ fn cache_hits_are_bit_identical_to_recompute_free_and_counted() {
 }
 
 #[test]
+fn tiny_lru_cache_evicts_but_stays_bit_identical() {
+    let bits = BitWidthSet::new(vec![4, 8]).unwrap();
+    let net = models::small_cnn(2, 4, (6, 6), bits.len(), 19);
+    let model = PackedModel::prepack(&net, &bits, Quantizer::Sbm).unwrap();
+    let report = report_for(&bits);
+    let steps = 14;
+    let trace = EnergyTrace::new(vec![100.0; steps]);
+    let requests = RequestTrace::new((0..steps).map(|t| usize::from(t < 10) * 2).collect());
+    let mut rng = StdRng::seed_from_u64(61);
+    // 4 distinct samples cycling over 20 requests against a 2-entry cache:
+    // the working set never fits, so the LRU must evict continuously.
+    let inputs = distinct_inputs(&mut rng, 4, &[1, 3, 6, 6]);
+    let serving = ServingConfig { max_batch: 2 };
+    let run = |cache: bool, cache_capacity: usize| {
+        simulate_serving_sharded(
+            &report,
+            &trace,
+            &requests,
+            Policy::Greedy,
+            &SimulationConfig::default(),
+            &serving,
+            &ShardConfig {
+                replicas: 2,
+                cache,
+                cache_capacity,
+                ..ShardConfig::default()
+            },
+            &FaultPlan::none(),
+            &model,
+            &inputs,
+        )
+        .unwrap()
+    };
+
+    let (off_stats, off) = run(false, 1);
+    let (tiny_stats, tiny) = run(true, 2);
+    let (big_stats, _) = run(true, usize::MAX);
+
+    // The tiny cache overflows and evicts; the generous cap never does
+    // (and the cache-off run never touches the cache at all).
+    assert!(tiny_stats.cache_evictions > 0, "2-entry cache must evict");
+    assert_eq!(big_stats.cache_evictions, 0, "generous cap never evicts");
+    assert_eq!(off_stats.cache_evictions, 0);
+    assert!(
+        big_stats.cache_hits >= tiny_stats.cache_hits,
+        "evictions can only cost hits"
+    );
+
+    // Eviction costs recompute, never correctness: every request completes
+    // with output bitwise equal to the cache-off run's.
+    assert_eq!(tiny_stats.completed, 20);
+    assert_sharded_accounting(&tiny_stats, &tiny, 20, 2);
+    for (r, (a, b)) in tiny.iter().zip(&off).enumerate() {
+        assert_eq!(a.bits, b.bits, "request {r}");
+        assert_eq!(
+            a.output.as_ref().map(Tensor::data),
+            b.output.as_ref().map(Tensor::data),
+            "request {r}: output under tiny LRU differs from recompute"
+        );
+    }
+
+    // cache_capacity 0 with the cache on is a config error, not a panic.
+    let err = simulate_serving_sharded(
+        &report,
+        &trace,
+        &requests,
+        Policy::Greedy,
+        &SimulationConfig::default(),
+        &serving,
+        &ShardConfig {
+            cache: true,
+            cache_capacity: 0,
+            ..ShardConfig::default()
+        },
+        &FaultPlan::none(),
+        &model,
+        &inputs,
+    )
+    .unwrap_err();
+    assert!(matches!(err, ServingError::Config(_)), "{err}");
+}
+
+#[test]
 fn fault_on_one_replica_leaves_the_others_untouched() {
     let bits = BitWidthSet::new(vec![4, 8]).unwrap();
     let net = models::small_cnn(2, 4, (6, 6), bits.len(), 29);
@@ -690,6 +773,9 @@ proptest! {
                 DispatchPolicy::RoundRobin
             },
             cache,
+            // Alternate a cap tiny enough to force evictions with the
+            // generous default, so conservation holds under LRU churn too.
+            cache_capacity: if seed % 2 == 0 { 1 } else { 65_536 },
             pinned: None,
             deadline_steps: usize::try_from(deadline).ok(),
             max_queue_depth: usize::try_from(cap).ok(),

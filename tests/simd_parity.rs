@@ -1,0 +1,211 @@
+//! SIMD-backend parity contract of the packed inference engine.
+//!
+//! The `instantnet-infer` dispatch layer selects between the portable
+//! scalar kernels and the AVX2 kernels at runtime; this suite pins the
+//! non-negotiable invariant that the choice is **invisible**:
+//!
+//! * **Whole-model bit-identity**: `forward_batch_at` under the forced
+//!   scalar backend equals the ambient (auto-dispatched) backend bit for
+//!   bit, for every `BitWidthSet::large_range()` bit-width × both
+//!   quantizers × batch sizes {1, 16} × 1 vs N threads — so every
+//!   existing bit-identity guarantee (fake-quant parity, degenerate
+//!   serving-path equivalence) transfers to the SIMD backend for free.
+//! * **Knob round-trip**: `INSTANTNET_SIMD=scalar|avx2|garbage` resolves
+//!   to the documented backend in a fresh process (subprocess self-exec,
+//!   since the default is latched once per process).
+//! * **Forced fallback**: `with_simd_backend(Scalar)` pins scalar even on
+//!   AVX2 hosts, scoped and restored.
+//! * **Proptest**: random (rows, cols, batch, bit-width, quantizer)
+//!   linear and conv problems produce identical results under both
+//!   backends at 1 vs 3 threads.
+
+use instantnet_infer::{
+    active_simd_backend, avx2_available, with_simd_backend, PackedModel, SimdBackend,
+};
+use instantnet_nn::layers::{QuantConv2d, QuantLinear};
+use instantnet_nn::models;
+use instantnet_parallel::with_threads;
+use instantnet_quant::{BitWidthSet, Quantizer};
+use instantnet_tensor::{init, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Exact comparison: the two backends must agree on every bit.
+fn assert_bits_eq(a: &Tensor, b: &Tensor, ctx: &str) {
+    assert_eq!(a.dims(), b.dims(), "{ctx}: dims differ");
+    let (ab, bb): (Vec<u32>, Vec<u32>) = (
+        a.data().iter().map(|v| v.to_bits()).collect(),
+        b.data().iter().map(|v| v.to_bits()).collect(),
+    );
+    assert_eq!(ab, bb, "{ctx}: outputs differ bitwise");
+}
+
+#[test]
+fn forward_batch_bit_identical_scalar_vs_dispatched_everywhere() {
+    let bits = BitWidthSet::large_range();
+    for q in [Quantizer::Sbm, Quantizer::Dorefa] {
+        let net = models::small_cnn(4, 6, (8, 8), bits.len(), 31);
+        let packed = PackedModel::prepack(&net, &bits, q).unwrap();
+        let mut rng = StdRng::seed_from_u64(0xB17);
+        for batch in [1usize, 16] {
+            let x = init::uniform(&mut rng, &[batch, 3, 8, 8], -1.0, 1.0);
+            for i in 0..bits.len() {
+                for threads in [1usize, 4] {
+                    let ambient = with_threads(threads, || packed.forward_batch_at(i, &x));
+                    let scalar = with_simd_backend(SimdBackend::Scalar, || {
+                        with_threads(threads, || packed.forward_batch_at(i, &x))
+                    });
+                    assert_bits_eq(
+                        &ambient,
+                        &scalar,
+                        &format!(
+                            "{q:?} @ {}b batch {batch} threads {threads}",
+                            bits.widths()[i]
+                        ),
+                    );
+                    if avx2_available() {
+                        let avx2 = with_simd_backend(SimdBackend::Avx2, || {
+                            with_threads(threads, || packed.forward_batch_at(i, &x))
+                        });
+                        assert_bits_eq(
+                            &avx2,
+                            &scalar,
+                            &format!(
+                                "forced avx2: {q:?} @ {}b batch {batch} threads {threads}",
+                                bits.widths()[i]
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn forced_scalar_overrides_dispatch_on_any_host() {
+    let ambient = active_simd_backend();
+    let inside = with_simd_backend(SimdBackend::Scalar, active_simd_backend);
+    assert_eq!(inside, SimdBackend::Scalar, "forcing scalar must stick");
+    assert_eq!(active_simd_backend(), ambient, "override must be scoped");
+    if avx2_available() {
+        let inside = with_simd_backend(SimdBackend::Avx2, active_simd_backend);
+        assert_eq!(inside, SimdBackend::Avx2);
+        assert_eq!(active_simd_backend(), ambient);
+    }
+}
+
+/// Subprocess target for the env round-trip: prints the backend this
+/// process latched from `INSTANTNET_SIMD` + detection. Runs as a trivial
+/// self-check in normal suite runs.
+#[test]
+fn print_active_backend() {
+    let b = active_simd_backend();
+    println!("active-simd-backend={}", b.name());
+    assert!(matches!(b, SimdBackend::Scalar | SimdBackend::Avx2));
+}
+
+/// The `INSTANTNET_SIMD` knob is read once per process, so each value is
+/// probed in a fresh subprocess running [`print_active_backend`].
+#[test]
+fn env_knob_round_trips_in_fresh_process() {
+    let exe = std::env::current_exe().expect("test binary path");
+    let backend_under = |env: &str| -> String {
+        let out = std::process::Command::new(&exe)
+            .args(["print_active_backend", "--exact", "--nocapture"])
+            .env("INSTANTNET_SIMD", env)
+            .output()
+            .expect("self-exec");
+        assert!(out.status.success(), "subprocess failed under {env:?}");
+        // libtest may splice its own "test … ok" text around the marker,
+        // so locate it by substring rather than line prefix.
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        let at = stdout
+            .find("active-simd-backend=")
+            .unwrap_or_else(|| panic!("no backend marker under {env:?}: {stdout}"));
+        stdout[at + "active-simd-backend=".len()..]
+            .split_whitespace()
+            .next()
+            .expect("marker has a value")
+            .to_string()
+    };
+
+    assert_eq!(backend_under("scalar"), "scalar", "scalar forces scalar");
+    assert_eq!(backend_under("SCALAR"), "scalar", "case-insensitive");
+    let detected = if avx2_available() { "avx2" } else { "scalar" };
+    assert_eq!(backend_under("avx2"), detected, "avx2 honors detection");
+    assert_eq!(backend_under("auto"), detected, "auto means detect");
+    assert_eq!(backend_under("bogus"), detected, "garbage means detect");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random linear problems: both backends, 1 vs 3 threads, all equal.
+    #[test]
+    fn random_linear_parity_both_backends(
+        infeat in 1usize..40,
+        outfeat in 1usize..24,
+        batch in 1usize..8,
+        bit_index in 0usize..5,
+        q in prop::sample::select(vec![Quantizer::Sbm, Quantizer::Dorefa]),
+    ) {
+        let bits = BitWidthSet::large_range();
+        let i = bit_index % bits.len();
+        let mut rng = StdRng::seed_from_u64((infeat * 31 + outfeat * 7 + batch) as u64);
+        let layer = QuantLinear::new(&mut rng, "fc", infeat, outfeat);
+        let packed = PackedModel::prepack(&layer, &bits, q).unwrap();
+        let x = init::uniform(&mut rng, &[batch, infeat], -1.1, 0.9);
+        let base = with_simd_backend(SimdBackend::Scalar, || {
+            with_threads(1, || packed.forward_batch_at(i, &x))
+        });
+        let runs = [
+            with_simd_backend(SimdBackend::Scalar, || {
+                with_threads(3, || packed.forward_batch_at(i, &x))
+            }),
+            with_threads(1, || packed.forward_batch_at(i, &x)),
+            with_threads(3, || packed.forward_batch_at(i, &x)),
+        ];
+        for (r, y) in runs.iter().enumerate() {
+            assert_bits_eq(y, &base, &format!(
+                "linear {infeat}x{outfeat} batch {batch} {q:?} @ {}b run {r}",
+                bits.widths()[i]
+            ));
+        }
+    }
+
+    /// Random conv problems through the same gauntlet (im2col + colsum
+    /// paths, both storage decoders).
+    #[test]
+    fn random_conv_parity_both_backends(
+        cin in 1usize..5,
+        cout in 1usize..6,
+        hw in 5usize..9,
+        bit_index in 0usize..5,
+        q in prop::sample::select(vec![Quantizer::Sbm, Quantizer::Dorefa]),
+    ) {
+        let bits = BitWidthSet::large_range();
+        let i = bit_index % bits.len();
+        let mut rng = StdRng::seed_from_u64((cin * 91 + cout * 13 + hw) as u64);
+        let conv = QuantConv2d::new(&mut rng, "c", cin, cout, 3, 1, 1, 1, true);
+        let packed = PackedModel::prepack(&conv, &bits, q).unwrap();
+        let x = init::uniform(&mut rng, &[2, cin, hw, hw], -1.0, 1.0);
+        let base = with_simd_backend(SimdBackend::Scalar, || {
+            with_threads(1, || packed.forward_batch_at(i, &x))
+        });
+        let runs = [
+            with_simd_backend(SimdBackend::Scalar, || {
+                with_threads(3, || packed.forward_batch_at(i, &x))
+            }),
+            with_threads(1, || packed.forward_batch_at(i, &x)),
+            with_threads(3, || packed.forward_batch_at(i, &x)),
+        ];
+        for (r, y) in runs.iter().enumerate() {
+            assert_bits_eq(y, &base, &format!(
+                "conv {cin}->{cout} {hw}x{hw} {q:?} @ {}b run {r}",
+                bits.widths()[i]
+            ));
+        }
+    }
+}
