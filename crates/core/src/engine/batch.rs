@@ -1,0 +1,102 @@
+//! Batch tensor assembly and per-request output scatter, shared by every
+//! serving path.
+//!
+//! The contract all paths inherit: request `id` reuses
+//! `inputs[id % inputs.len()]`, batches are built by concatenating the
+//! chosen samples along dim 0, and the batch output is sliced back into
+//! `[1, …]` per-request tensors in batch order. Because the packed engine
+//! quantizes activations per sample, each scattered output is
+//! bit-identical to a batch-of-one forward of the same input at the same
+//! bit-width — which is what lets every higher serving layer claim
+//! bit-identity with the layer below.
+
+use instantnet_tensor::Tensor;
+
+/// Validates a request-input set: non-empty, every tensor `[1, …]`, all
+/// one shape. Returns `(sample_dims, sample_len)` on success and the
+/// human-readable config complaint otherwise (the simulated batched path
+/// asserts on it; the fallible paths wrap it in a config error).
+pub(crate) fn validate_inputs(inputs: &[Tensor]) -> Result<(Vec<usize>, usize), String> {
+    let Some(first) = inputs.first() else {
+        return Err("at least one request input is required".to_string());
+    };
+    if first.dims().first() != Some(&1) {
+        return Err("request inputs must be single-sample [1, …] tensors".to_string());
+    }
+    if inputs.iter().any(|x| x.dims() != first.dims()) {
+        return Err("request inputs must share one shape".to_string());
+    }
+    Ok((first.dims().to_vec(), first.len()))
+}
+
+/// Concatenates the requests' samples (`inputs[id % inputs.len()]` each)
+/// into one `[ids.len(), …]` batch tensor.
+pub(crate) fn gather_batch(
+    inputs: &[Tensor],
+    sample_dims: &[usize],
+    sample_len: usize,
+    ids: &[usize],
+) -> Tensor {
+    let mut data = Vec::with_capacity(ids.len() * sample_len);
+    for &id in ids {
+        data.extend_from_slice(inputs[id % inputs.len()].data());
+    }
+    let mut dims = sample_dims.to_vec();
+    dims[0] = ids.len();
+    Tensor::from_vec(dims, data)
+}
+
+/// Splits a batch output back into `n` per-request `[1, …]` tensors, in
+/// batch order.
+pub(crate) fn scatter_outputs(y: &Tensor, n: usize) -> Vec<Tensor> {
+    let mut out_dims = y.dims().to_vec();
+    out_dims[0] = 1;
+    let out_len = y.len() / n;
+    (0..n)
+        .map(|j| {
+            Tensor::from_vec(
+                out_dims.clone(),
+                y.data()[j * out_len..(j + 1) * out_len].to_vec(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_wraps_ids_modulo_inputs() {
+        let inputs = vec![
+            Tensor::from_vec(vec![1, 2], vec![1.0, 2.0]),
+            Tensor::from_vec(vec![1, 2], vec![3.0, 4.0]),
+        ];
+        let batch = gather_batch(&inputs, &[1, 2], 2, &[0, 1, 2]);
+        assert_eq!(batch.dims(), &[3, 2]);
+        assert_eq!(batch.data(), &[1.0, 2.0, 3.0, 4.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn scatter_splits_rows_in_batch_order() {
+        let y = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let outs = scatter_outputs(&y, 2);
+        assert_eq!(outs.len(), 2);
+        assert_eq!(outs[0].dims(), &[1, 3]);
+        assert_eq!(outs[0].data(), &[1.0, 2.0, 3.0]);
+        assert_eq!(outs[1].data(), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn validate_rejects_shape_mismatches() {
+        assert!(validate_inputs(&[]).is_err());
+        let two = Tensor::zeros(&[2, 3]);
+        assert!(validate_inputs(std::slice::from_ref(&two)).is_err());
+        let a = Tensor::zeros(&[1, 3]);
+        let b = Tensor::zeros(&[1, 4]);
+        assert!(validate_inputs(&[a.clone(), b]).is_err());
+        let (dims, len) = validate_inputs(&[a]).unwrap();
+        assert_eq!(dims, vec![1, 3]);
+        assert_eq!(len, 3);
+    }
+}

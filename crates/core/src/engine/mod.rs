@@ -1,0 +1,34 @@
+//! Shared serving-engine internals.
+//!
+//! Every serving front-end in this crate — the simulated paths
+//! ([`crate::runtime::simulate_serving_batched`],
+//! [`crate::resilience::simulate_serving_resilient`],
+//! [`crate::sharding::simulate_serving_sharded`]) and the wall-clock loop
+//! ([`crate::wallclock::serve_wallclock`]) — is a different *driver* over
+//! the same policy machinery. This module holds that machinery once:
+//!
+//! * [`stats`] — the single nearest-rank wait-percentile definition
+//!   (mean/p50/p99/p99.9) every path reports;
+//! * [`batch`] — request-input validation, batch tensor assembly, and
+//!   per-request output scatter;
+//! * [`degrade`] — the hysteresis precision-downshift controller,
+//!   parameterized over an abstract monotone tick so simulated steps and
+//!   wall-clock microseconds drive the same state machine;
+//! * [`cache`] — the exact-key LRU content cache;
+//! * [`queue`] — the bounded MPMC ingress queue the wall-clock loop's
+//!   threads share;
+//! * [`clock`] — the wall-clock run clock mapping `Instant`s onto trace
+//!   steps.
+//!
+//! The twin guarantee rests on this layout: because both the simulated
+//! and wall-clock drivers call the same selection, degradation, batching,
+//! and accounting code, a fault-free wall-clock run over a frozen trace
+//! completes the same request set with bit-identical outputs as its
+//! simulated twin — only the timing-derived statistics differ.
+
+pub(crate) mod batch;
+pub(crate) mod cache;
+pub(crate) mod clock;
+pub(crate) mod degrade;
+pub(crate) mod queue;
+pub(crate) mod stats;

@@ -1,0 +1,168 @@
+//! Bounded MPMC ingress queue for the wall-clock serving loop.
+//!
+//! A `Mutex<VecDeque>` + `Condvar` channel — no external crates, no
+//! tokio. The capacity bound *is* the admission cap: a full queue rejects
+//! the push and the ingress thread records the request as shed, exactly
+//! like the simulated paths' `max_queue_depth`. Re-queues (retries,
+//! budget-infeasible batches handed back) go to the head and bypass the
+//! cap — those requests were already admitted once.
+//!
+//! Shutdown protocol: the producer calls [`SharedQueue::close`] after the
+//! last arrival; consumers keep draining until the queue is empty *and*
+//! closed, at which point [`SharedQueue::pop_batch`] returns
+//! [`Popped::Closed`] and the worker exits its loop. No request can be
+//! stranded: every admitted item is either popped by a worker or still in
+//! the deque — and the deque is provably empty when `Closed` is returned.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct Inner<T> {
+    deque: VecDeque<T>,
+    closed: bool,
+    max_depth: usize,
+}
+
+/// What a consumer got from [`SharedQueue::pop_batch`].
+pub(crate) enum Popped<T> {
+    /// 1..=max items, FIFO from the head.
+    Batch(Vec<T>),
+    /// The queue is closed and fully drained; the consumer should exit.
+    Closed,
+}
+
+/// The shared ingress queue: any number of producers and consumers.
+pub(crate) struct SharedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    nonempty: Condvar,
+    capacity: usize,
+}
+
+impl<T> SharedQueue<T> {
+    /// `capacity` of `None` = unbounded.
+    pub(crate) fn new(capacity: Option<usize>) -> Self {
+        SharedQueue {
+            inner: Mutex::new(Inner {
+                deque: VecDeque::new(),
+                closed: false,
+                max_depth: 0,
+            }),
+            nonempty: Condvar::new(),
+            capacity: capacity.unwrap_or(usize::MAX),
+        }
+    }
+
+    /// Admits one item at the tail; `Err(item)` when the queue is at
+    /// capacity (the caller sheds it).
+    pub(crate) fn try_push(&self, item: T) -> Result<(), T> {
+        let mut g = self.inner.lock().expect("queue mutex poisoned");
+        if g.deque.len() >= self.capacity {
+            return Err(item);
+        }
+        g.deque.push_back(item);
+        g.max_depth = g.max_depth.max(g.deque.len());
+        drop(g);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Re-queues already-admitted items at the head, preserving their
+    /// order (`items[0]` becomes the new front). Bypasses the capacity
+    /// bound — shedding happens at admission only.
+    pub(crate) fn push_front(&self, items: Vec<T>) {
+        if items.is_empty() {
+            return;
+        }
+        let mut g = self.inner.lock().expect("queue mutex poisoned");
+        for item in items.into_iter().rev() {
+            g.deque.push_front(item);
+        }
+        g.max_depth = g.max_depth.max(g.deque.len());
+        drop(g);
+        self.nonempty.notify_all();
+    }
+
+    /// Blocks until items are available or the queue is closed and
+    /// drained; takes up to `max` items from the head.
+    pub(crate) fn pop_batch(&self, max: usize) -> Popped<T> {
+        let mut g = self.inner.lock().expect("queue mutex poisoned");
+        loop {
+            if !g.deque.is_empty() {
+                let take = g.deque.len().min(max);
+                return Popped::Batch(g.deque.drain(..take).collect());
+            }
+            if g.closed {
+                return Popped::Closed;
+            }
+            g = self.nonempty.wait(g).expect("queue mutex poisoned");
+        }
+    }
+
+    /// Current depth (racy by nature — used for admission heuristics and
+    /// the degradation controller's backlog signal).
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().expect("queue mutex poisoned").deque.len()
+    }
+
+    /// Deepest the queue has been.
+    pub(crate) fn max_depth(&self) -> usize {
+        self.inner.lock().expect("queue mutex poisoned").max_depth
+    }
+
+    /// Whether ingress has ended (items may still be draining).
+    pub(crate) fn is_closed(&self) -> bool {
+        self.inner.lock().expect("queue mutex poisoned").closed
+    }
+
+    /// Ends ingress and wakes every blocked consumer.
+    pub(crate) fn close(&self) {
+        self.inner.lock().expect("queue mutex poisoned").closed = true;
+        self.nonempty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn capacity_bound_sheds_at_admission_but_not_on_requeue() {
+        let q: SharedQueue<u32> = SharedQueue::new(Some(2));
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3), "full queue rejects the push");
+        q.push_front(vec![0]);
+        assert_eq!(q.len(), 3, "re-queues bypass the cap");
+        assert_eq!(q.max_depth(), 3);
+        match q.pop_batch(10) {
+            Popped::Batch(items) => assert_eq!(items, vec![0, 1, 2]),
+            Popped::Closed => panic!("queue is not closed"),
+        }
+    }
+
+    #[test]
+    fn close_drains_then_signals_consumers() {
+        let q: Arc<SharedQueue<u32>> = Arc::new(SharedQueue::new(None));
+        for v in 0..5 {
+            q.try_push(v).unwrap();
+        }
+        q.close();
+        // A blocked consumer on another thread must still drain the
+        // remainder before seeing Closed.
+        let qc = Arc::clone(&q);
+        let drained = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            loop {
+                match qc.pop_batch(2) {
+                    Popped::Batch(items) => got.extend(items),
+                    Popped::Closed => return got,
+                }
+            }
+        })
+        .join()
+        .unwrap();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+        assert!(q.is_closed());
+    }
+}

@@ -1,0 +1,73 @@
+//! The single wait-time summary every serving path reports.
+
+use crate::runtime::RuntimeStats;
+
+/// Nearest-rank percentile summary of a wait sample; all zeros when the
+/// sample is empty.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub(crate) struct WaitSummary {
+    pub mean: f64,
+    pub p50: f64,
+    pub p99: f64,
+    pub p999: f64,
+}
+
+/// Summarizes a wait sample with the nearest-rank percentile definition
+/// (`sorted[ceil(p·n) - 1]`) shared by the global wait summary, the
+/// per-replica breakdown, and the wall-clock loop — so every path reports
+/// the same statistic.
+pub(crate) fn wait_summary(waits: &[usize]) -> WaitSummary {
+    if waits.is_empty() {
+        return WaitSummary::default();
+    }
+    let mut sorted = waits.to_vec();
+    sorted.sort_unstable();
+    let pct = |p: f64| sorted[((p * sorted.len() as f64).ceil() as usize).max(1) - 1] as f64;
+    WaitSummary {
+        mean: waits.iter().sum::<usize>() as f64 / waits.len() as f64,
+        p50: pct(0.50),
+        p99: pct(0.99),
+        p999: pct(0.999),
+    }
+}
+
+/// Fills the mean/p50/p99/p99.9 wait fields of `stats` and stores the raw
+/// waits.
+pub(crate) fn finish_wait_stats(stats: &mut RuntimeStats, waits: Vec<usize>) {
+    let s = wait_summary(&waits);
+    stats.mean_wait_steps = s.mean;
+    stats.p50_wait_steps = s.p50;
+    stats.p99_wait_steps = s.p99;
+    stats.p999_wait_steps = s.p999;
+    stats.wait_steps = waits;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_is_all_zero() {
+        assert_eq!(wait_summary(&[]), WaitSummary::default());
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        // 1000 samples 0..=999: nearest-rank p50 = sorted[499], p99 =
+        // sorted[989], p99.9 = sorted[998].
+        let waits: Vec<usize> = (0..1000).rev().collect();
+        let s = wait_summary(&waits);
+        assert_eq!(s.p50, 499.0);
+        assert_eq!(s.p99, 989.0);
+        assert_eq!(s.p999, 998.0);
+        assert_eq!(s.mean, 499.5);
+    }
+
+    #[test]
+    fn tiny_sample_clamps_to_first_element() {
+        let s = wait_summary(&[7]);
+        assert_eq!(s.p50, 7.0);
+        assert_eq!(s.p99, 7.0);
+        assert_eq!(s.p999, 7.0);
+    }
+}

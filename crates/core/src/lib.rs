@@ -28,10 +28,12 @@
 //! }
 //! ```
 
+mod engine;
 pub mod faults;
 pub mod resilience;
 pub mod runtime;
 pub mod sharding;
+pub mod wallclock;
 
 use instantnet_automapper::{map_network, MapperConfig};
 use instantnet_data::Dataset;

@@ -19,10 +19,13 @@
 //! bit-for-bit — same outputs, same schedule, same queueing stats — at
 //! every bit-width and thread count. Resilience is strictly additive.
 
+use crate::engine::batch::{gather_batch, scatter_outputs, validate_inputs};
+use crate::engine::degrade::HysteresisController;
+use crate::engine::stats::finish_wait_stats;
 use crate::faults::{FaultKind, FaultPlan};
 use crate::runtime::{
-    finish_wait_stats, EnergyTrace, Policy, PolicySelector, RequestTrace, RuntimeStats,
-    ServingConfig, SimulationConfig,
+    EnergyTrace, Policy, PolicySelector, RequestTrace, RuntimeStats, ServingConfig,
+    SimulationConfig,
 };
 use crate::DeploymentReport;
 use instantnet_infer::{InferError, PackedModel};
@@ -180,14 +183,8 @@ fn validate(
     if serving.max_batch < 1 {
         return config_err("max_batch must be at least 1");
     }
-    let Some(first) = inputs.first() else {
-        return config_err("at least one request input is required");
-    };
-    if first.dims().first() != Some(&1) {
-        return config_err("request inputs must be single-sample [1, …] tensors");
-    }
-    if inputs.iter().any(|x| x.dims() != first.dims()) {
-        return config_err("request inputs must share one shape");
+    if let Err(msg) = validate_inputs(inputs) {
+        return config_err(msg);
     }
     if let Some(st) = resilience.step_time_s {
         if !st.is_finite() || st <= 0.0 {
@@ -269,10 +266,13 @@ pub fn simulate_serving_resilient(
     let mut acc_sum = 0.0f32;
     let mut schedule: Vec<Option<u8>> = Vec::with_capacity(trace.len());
 
-    // Degradation controller state: how many operating points below the
-    // policy's pick the model is held, and when it last moved.
-    let mut degrade_levels = 0usize;
-    let mut last_transition: Option<usize> = None;
+    // Degradation controller: how many operating points below the
+    // policy's pick the model is held. Simulated driver, so its tick is
+    // the step index (the wall-clock loop feeds the same state machine
+    // microseconds instead).
+    let mut controller = resilience.degradation.as_ref().map(|dc| {
+        HysteresisController::new(dc.backlog_high, dc.backlog_low, dc.recovery_window as u64)
+    });
 
     for (t, &budget) in trace.budgets().iter().enumerate() {
         let fault = faults.at(t);
@@ -337,23 +337,13 @@ pub fn simulate_serving_resilient(
 
         // 4. Degradation controller: one move per recovery window, driven
         // by queue depth against the hysteresis band.
-        if let (Some(dc), Some(p)) = (&resilience.degradation, policy_point) {
-            let window_open = last_transition.is_none_or(|lt| t - lt >= dc.recovery_window);
-            if window_open {
-                let idx = points
-                    .iter()
-                    .position(|q| q.bits == p.bits)
-                    .expect("selected point comes from the report");
-                let depth = queue.len();
-                if depth >= dc.backlog_high && degrade_levels < idx {
-                    degrade_levels += 1;
-                    last_transition = Some(t);
-                    degradation_events.push((t, degrade_levels));
-                } else if depth <= dc.backlog_low && degrade_levels > 0 {
-                    degrade_levels -= 1;
-                    last_transition = Some(t);
-                    degradation_events.push((t, degrade_levels));
-                }
+        if let (Some(c), Some(p)) = (controller.as_mut(), policy_point) {
+            let idx = points
+                .iter()
+                .position(|q| q.bits == p.bits)
+                .expect("selected point comes from the report");
+            if let Some(levels) = c.observe(t as u64, queue.len(), idx) {
+                degradation_events.push((t, levels));
             }
         }
 
@@ -367,6 +357,7 @@ pub fn simulate_serving_resilient(
             .iter()
             .position(|q| q.bits == p.bits)
             .expect("selected point comes from the report");
+        let degrade_levels = controller.as_ref().map_or(0, HysteresisController::levels);
         let serve_idx = idx - degrade_levels.min(idx);
         let point = &points[serve_idx];
         let degraded = serve_idx < idx;
@@ -402,13 +393,8 @@ pub fn simulate_serving_resilient(
         }
 
         model.try_switch_to_bits(point.bits)?;
-        let mut data = Vec::with_capacity(taken.len() * sample_len);
-        for e in &taken {
-            data.extend_from_slice(inputs[e.id % inputs.len()].data());
-        }
-        let mut dims = sample_dims.clone();
-        dims[0] = taken.len();
-        let batch = Tensor::from_vec(dims, data);
+        let ids: Vec<usize> = taken.iter().map(|e| e.id).collect();
+        let batch = gather_batch(inputs, &sample_dims, sample_len, &ids);
 
         // The forward is immutable on the model, so an isolated panic
         // cannot leave the engine in a torn state.
@@ -424,18 +410,13 @@ pub fn simulate_serving_resilient(
         match catch_unwind(AssertUnwindSafe(forward)) {
             Ok(Ok(y)) => {
                 let take = taken.len();
-                let mut out_dims = y.dims().to_vec();
-                out_dims[0] = 1;
-                let out_len = y.len() / take;
-                for (j, e) in taken.iter().enumerate() {
+                let outs = scatter_outputs(&y, take);
+                for (e, out) in taken.iter().zip(outs) {
                     let rec = &mut outcomes[e.id];
                     rec.served_at = Some(t);
                     rec.bits = Some(point.bits.get());
                     rec.attempts += 1;
-                    rec.output = Some(Tensor::from_vec(
-                        out_dims.clone(),
-                        y.data()[j * out_len..(j + 1) * out_len].to_vec(),
-                    ));
+                    rec.output = Some(out);
                     rec.status = if degraded {
                         stats.completed_degraded += 1;
                         RequestStatus::CompletedDegraded

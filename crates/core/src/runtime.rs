@@ -7,6 +7,7 @@
 //! traces and switching policies over a [`crate::DeploymentReport`], so the
 //! end-to-end benefit of instantaneous switching can be quantified.
 
+use crate::engine::stats::finish_wait_stats;
 use crate::{DeploymentReport, OperatingPoint};
 use instantnet_infer::PackedModel;
 use instantnet_quant::BitWidth;
@@ -223,6 +224,9 @@ pub struct RuntimeStats {
     /// Nearest-rank 99th percentile of the per-request queueing delay —
     /// the tail-latency figure switch policies are judged against.
     pub p99_wait_steps: f64,
+    /// Nearest-rank 99.9th percentile of the per-request queueing delay —
+    /// the deep tail a wall-clock deployment answers for.
+    pub p999_wait_steps: f64,
     /// Requests served within deadline at the policy-selected bit-width.
     pub completed: usize,
     /// Requests served within deadline at a bit-width the degradation
@@ -261,34 +265,19 @@ pub struct RuntimeStats {
     /// [`crate::sharding::ShardConfig::cache_capacity`]. Zero unless the
     /// sharded path runs with its cache enabled and overflows the cap.
     pub cache_evictions: usize,
-    /// Per-replica breakdown, indexed by replica id. Populated only by
-    /// [`crate::sharding::simulate_serving_sharded`]; empty elsewhere.
+    /// Per-replica breakdown, indexed by replica id. Populated by
+    /// [`crate::sharding::simulate_serving_sharded`] (one entry per
+    /// replica) and [`crate::wallclock::serve_wallclock`] (one entry per
+    /// worker); empty elsewhere.
     pub replicas: Vec<crate::sharding::ReplicaStats>,
-}
-
-/// Sorts `wait_steps` into the mean/p50/p99 fields of `stats` and stores
-/// the raw waits — the single definition of the nearest-rank percentile
-/// every serving path reports.
-pub(crate) fn finish_wait_stats(stats: &mut RuntimeStats, wait_steps: Vec<usize>) {
-    let (mean, p50, p99) = wait_percentiles(&wait_steps);
-    stats.mean_wait_steps = mean;
-    stats.p50_wait_steps = p50;
-    stats.p99_wait_steps = p99;
-    stats.wait_steps = wait_steps;
-}
-
-/// Nearest-rank (mean, p50, p99) of a wait sample, all zero when empty —
-/// shared by the global wait summary and the per-replica breakdown so
-/// both report the same percentile definition.
-pub(crate) fn wait_percentiles(wait_steps: &[usize]) -> (f64, f64, f64) {
-    if wait_steps.is_empty() {
-        return (0.0, 0.0, 0.0);
-    }
-    let mut sorted = wait_steps.to_vec();
-    sorted.sort_unstable();
-    let pct = |p: f64| sorted[((p * sorted.len() as f64).ceil() as usize).max(1) - 1] as f64;
-    let mean = wait_steps.iter().sum::<usize>() as f64 / wait_steps.len() as f64;
-    (mean, pct(0.50), pct(0.99))
+    /// Wall-clock duration of the run in microseconds. Populated only by
+    /// [`crate::wallclock::serve_wallclock`]; zero for the simulated
+    /// paths, whose time is the step index.
+    pub elapsed_us: u64,
+    /// Sustained completed requests per second over the whole run —
+    /// `served_requests / elapsed`. Populated only by
+    /// [`crate::wallclock::serve_wallclock`].
+    pub requests_per_sec: f64,
 }
 
 /// The per-timestep bit-width selection shared by every simulation path:
@@ -431,20 +420,10 @@ pub fn simulate_serving_batched(
         "request trace and energy trace must cover the same timesteps"
     );
     assert!(serving.max_batch >= 1, "max_batch must be at least 1");
-    assert!(!inputs.is_empty(), "at least one request input is required");
-    let sample_dims = inputs[0].dims().to_vec();
-    assert!(
-        sample_dims.first() == Some(&1),
-        "request inputs must be single-sample [1, …] tensors"
-    );
-    for x in inputs {
-        assert_eq!(
-            x.dims(),
-            &sample_dims[..],
-            "request inputs must share one shape"
-        );
-    }
-    let sample_len = inputs[0].len();
+    let (sample_dims, sample_len) = match crate::engine::batch::validate_inputs(inputs) {
+        Ok(v) => v,
+        Err(msg) => panic!("{msg}"),
+    };
 
     let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(requests.total());
     let mut queue: VecDeque<usize> = VecDeque::new();
@@ -473,24 +452,15 @@ pub fn simulate_serving_batched(
                         "operating point {b} is not in the packed model's bit-width set"
                     );
                     let ids: Vec<usize> = queue.drain(..take).collect();
-                    let mut data = Vec::with_capacity(take * sample_len);
-                    for &rid in &ids {
-                        data.extend_from_slice(inputs[rid % inputs.len()].data());
-                    }
-                    let mut dims = sample_dims.clone();
-                    dims[0] = take;
-                    let y = model.forward_batch(&Tensor::from_vec(dims, data));
-                    let mut out_dims = y.dims().to_vec();
-                    out_dims[0] = 1;
-                    let out_len = y.len() / take;
-                    for (j, &rid) in ids.iter().enumerate() {
+                    let batch =
+                        crate::engine::batch::gather_batch(inputs, &sample_dims, sample_len, &ids);
+                    let y = model.forward_batch(&batch);
+                    let outs = crate::engine::batch::scatter_outputs(&y, take);
+                    for (&rid, out) in ids.iter().zip(outs) {
                         let rec = &mut outcomes[rid];
                         rec.served_at = Some(t);
                         rec.bits = Some(b.get());
-                        rec.output = Some(Tensor::from_vec(
-                            out_dims.clone(),
-                            y.data()[j * out_len..(j + 1) * out_len].to_vec(),
-                        ));
+                        rec.output = Some(out);
                         wait_steps.push(t - rec.arrived_at);
                     }
                 }

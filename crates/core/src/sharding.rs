@@ -35,18 +35,21 @@
 //! outputs, schedule, switches, energy, and queue stats — at every
 //! bit-width and thread count. Sharding is strictly additive.
 
+use crate::engine::batch::{gather_batch, scatter_outputs, validate_inputs};
+use crate::engine::cache::{cache_key, LruCache};
+use crate::engine::stats::{finish_wait_stats, wait_summary};
 use crate::faults::{FaultKind, FaultPlan};
 use crate::resilience::{config_err, RequestStatus, ServingError};
 use crate::runtime::{
-    finish_wait_stats, wait_percentiles, EnergyTrace, Policy, PolicySelector, RequestTrace,
-    RuntimeStats, ServingConfig, SimulationConfig,
+    EnergyTrace, Policy, PolicySelector, RequestTrace, RuntimeStats, ServingConfig,
+    SimulationConfig,
 };
 use crate::{DeploymentReport, OperatingPoint};
 use instantnet_infer::{InferError, PackedModel};
 use instantnet_parallel::par_chunks_mut;
 use instantnet_quant::BitWidth;
 use instantnet_tensor::Tensor;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// How arrivals are spread across replica queues.
@@ -105,11 +108,20 @@ pub struct ShardConfig {
     /// Admission cap on the *total* queued across all replicas; arrivals
     /// over the cap are shed. `None` = unbounded.
     pub max_queue_depth: Option<usize>,
-    /// How many times a fault-hit request re-queues (at the head of the
-    /// same replica's queue) before it is failed.
+    /// How many times a fault-hit request re-queues before it is failed.
+    /// With more than one replica, a retry re-dispatches to the
+    /// least-loaded *other* replica — never back onto the replica whose
+    /// fault just failed it.
     pub max_retries: usize,
     /// Which replica the [`FaultPlan`] targets; the others never fault.
     pub fault_replica: usize,
+    /// Work stealing between replica queues: a replica that would serve
+    /// this step but drained nothing from its own queue takes up to
+    /// `max_batch` eligible requests from the head of the deepest other
+    /// queue (ties to the lowest index) and serves them at its own point.
+    /// Off by default; with stealing off the dispatch is bit-identical to
+    /// the pre-stealing path.
+    pub work_stealing: bool,
 }
 
 impl Default for ShardConfig {
@@ -124,6 +136,7 @@ impl Default for ShardConfig {
             max_queue_depth: None,
             max_retries: 0,
             fault_replica: 0,
+            work_stealing: false,
         }
     }
 }
@@ -252,14 +265,8 @@ fn validate(
     if shard.cache && shard.cache_capacity == 0 {
         return config_err("cache_capacity must be at least 1 when the cache is enabled");
     }
-    let Some(first) = inputs.first() else {
-        return config_err("at least one request input is required");
-    };
-    if first.dims().first() != Some(&1) {
-        return config_err("request inputs must be single-sample [1, …] tensors");
-    }
-    if inputs.iter().any(|x| x.dims() != first.dims()) {
-        return config_err("request inputs must share one shape");
+    if let Err(msg) = validate_inputs(inputs) {
+        return config_err(msg);
     }
     if let Some(pc) = &shard.pinned {
         if pc.point_indices.len() != shard.replicas {
@@ -293,73 +300,60 @@ fn validate(
     Ok(())
 }
 
-/// Exact content key of one request at one bit-width: the sample's f32
-/// bit patterns. Keying on the full pattern (not a digest) means a cache
-/// hit is *provably* the same input, so the cached output is bit-identical
-/// to recomputing — no collision can serve the wrong tensor.
-fn cache_key(bits: BitWidth, sample: &Tensor) -> (u8, Vec<u32>) {
-    (
-        bits.get(),
-        sample.data().iter().map(|v| v.to_bits()).collect(),
-    )
-}
-
-/// Capacity-bounded content cache with least-recently-used eviction.
-///
-/// Recency is a monotone tick stamped on every hit and insert; eviction
-/// scans for the minimum tick. Ticks are unique, so the victim is
-/// deterministic — independent of `HashMap` iteration order — keeping
-/// sharded runs reproducible. The O(capacity) victim scan only runs on
-/// insertions past the cap, which a duplicate-heavy trace (the workload
-/// the cache exists for) makes rare.
-struct LruCache {
-    capacity: usize,
-    tick: u64,
-    map: HashMap<(u8, Vec<u32>), (Tensor, u64)>,
-    evictions: usize,
-}
-
-impl LruCache {
-    fn new(capacity: usize) -> Self {
-        LruCache {
-            capacity,
-            tick: 0,
-            map: HashMap::new(),
-            evictions: 0,
+/// Pulls up to `max_take` backoff-eligible requests from the head of
+/// `queue`, FIFO, leaving ineligible ones in place — completing cache
+/// hits on the spot (free, and without consuming a batch slot) when the
+/// cache is on. Shared by a replica's own drain and the work-stealing
+/// pass, so stolen requests get the identical cache/accounting treatment;
+/// `acc_r` is the *serving* replica's accumulator either way.
+#[allow(clippy::too_many_arguments)]
+fn drain_eligible(
+    queue: &mut VecDeque<QEntry>,
+    t: usize,
+    max_take: usize,
+    point: &OperatingPoint,
+    use_cache: bool,
+    cache: &mut LruCache,
+    inputs: &[Tensor],
+    outcomes: &mut [ShardedOutcome],
+    stats: &mut RuntimeStats,
+    acc_r: &mut ReplicaAcc,
+    acc_sum: &mut f32,
+) -> Vec<QEntry> {
+    let mut taken: Vec<QEntry> = Vec::new();
+    let mut kept: VecDeque<QEntry> = VecDeque::with_capacity(queue.len());
+    while let Some(e) = queue.pop_front() {
+        if taken.len() >= max_take {
+            kept.push_back(e);
+            continue;
         }
-    }
-
-    /// Looks up `key`, refreshing its recency on a hit.
-    fn get(&mut self, key: &(u8, Vec<u32>)) -> Option<&Tensor> {
-        self.tick += 1;
-        let tick = self.tick;
-        self.map.get_mut(key).map(|(y, at)| {
-            *at = tick;
-            &*y
-        })
-    }
-
-    /// Inserts `key → out` if absent, evicting the least-recently-used
-    /// entry when at capacity; refreshes recency (and keeps the existing
-    /// tensor) if present. Clones `out` only when actually inserting.
-    fn insert(&mut self, key: (u8, Vec<u32>), out: &Tensor) {
-        self.tick += 1;
-        if let Some((_, at)) = self.map.get_mut(&key) {
-            *at = self.tick;
-            return;
+        if e.eligible_at > t {
+            kept.push_back(e);
+            continue;
         }
-        if self.map.len() >= self.capacity {
-            let victim = self
-                .map
-                .iter()
-                .min_by_key(|(_, (_, at))| *at)
-                .map(|(k, _)| k.clone())
-                .expect("cache at capacity ≥ 1 is non-empty");
-            self.map.remove(&victim);
-            self.evictions += 1;
+        if use_cache {
+            let key = cache_key(point.bits, &inputs[e.id % inputs.len()]);
+            if let Some(y) = cache.get(&key) {
+                let rec = &mut outcomes[e.id];
+                rec.served_at = Some(t);
+                rec.bits = Some(point.bits.get());
+                rec.output = Some(y.clone());
+                rec.status = RequestStatus::Completed;
+                rec.cached = true;
+                stats.completed += 1;
+                stats.cache_hits += 1;
+                acc_r.cache_hits += 1;
+                acc_r.served += 1;
+                acc_r.waits.push(t - rec.arrived_at);
+                *acc_sum += point.accuracy;
+                continue;
+            }
+            stats.cache_misses += 1;
         }
-        self.map.insert(key, (out.clone(), self.tick));
+        taken.push(e);
     }
+    *queue = kept;
+    taken
 }
 
 /// Batched serving over N packed replicas with content caching and
@@ -379,8 +373,11 @@ impl LruCache {
 /// selector is *not* reset — the other replicas still serve, so the
 /// budget anchor legitimately survives, unlike the single-worker
 /// resilient path), while transient errors and panics (isolated with
-/// `catch_unwind`) fail that replica's batch alone; its requests retry at
-/// the head of the same queue up to [`ShardConfig::max_retries`].
+/// `catch_unwind`) fail that replica's batch alone; its requests retry up
+/// to [`ShardConfig::max_retries`] times, re-dispatched to the head of
+/// the least-loaded *other* replica's queue (back onto the same queue
+/// only when it is the sole replica). [`ShardConfig::work_stealing`] lets
+/// otherwise-idle replicas drain the deepest queue's backlog.
 ///
 /// Global [`RuntimeStats`] aggregate exactly as in the batched path
 /// (plus cache counters), `stats.replicas[r]` carries each replica's
@@ -541,18 +538,17 @@ pub fn simulate_serving_sharded(
         prev_bits = Some(p.bits);
         schedule.push(Some(p.bits.get()));
 
-        // 4. Drain each serving replica's queue, cache hits first-class:
-        // a hit completes on the spot and frees its batch slot for the
-        // next miss, so one step can clear hits + a full batch.
-        let mut batches: Vec<Option<PlannedBatch>> = Vec::with_capacity(n);
-        for (r, queue) in queues.iter_mut().enumerate() {
-            // A pinned replica serves at its own point, but only on steps
-            // where that point fits the budget the selector just cleared.
+        // 4. Plan each replica's serving point for the step. A pinned
+        // replica serves at its own point, but only on steps where that
+        // point fits the budget the selector just cleared; a stall idles
+        // the faulted replica.
+        let mut serve_points: Vec<Option<&OperatingPoint>> = Vec::with_capacity(n);
+        for r in 0..n {
             let point = match &shard.pinned {
                 Some(pc) => {
                     let q = &points[pc.point_indices[r]];
                     if q.energy_pj > budget {
-                        batches.push(None);
+                        serve_points.push(None);
                         continue;
                     }
                     q
@@ -561,44 +557,88 @@ pub fn simulate_serving_sharded(
             };
             if fault == Some(FaultKind::Stall) && r == shard.fault_replica {
                 stats.stalled_steps += 1;
-                batches.push(None);
+                serve_points.push(None);
                 continue;
             }
             *acc[r].time_in_bits.entry(point.bits.get()).or_insert(0) += 1;
+            serve_points.push(Some(point));
+        }
 
-            let mut taken: Vec<QEntry> = Vec::new();
-            let mut kept: VecDeque<QEntry> = VecDeque::with_capacity(queue.len());
-            while let Some(e) = queue.pop_front() {
-                if taken.len() >= serving.max_batch {
-                    kept.push_back(e);
+        // Drain each serving replica's own queue, cache hits first-class:
+        // a hit completes on the spot and frees its batch slot for the
+        // next miss, so one step can clear hits + a full batch.
+        let mut takes: Vec<Vec<QEntry>> = Vec::with_capacity(n);
+        for r in 0..n {
+            let taken = match serve_points[r] {
+                Some(point) => drain_eligible(
+                    &mut queues[r],
+                    t,
+                    serving.max_batch,
+                    point,
+                    shard.cache,
+                    &mut cache,
+                    inputs,
+                    &mut outcomes,
+                    &mut stats,
+                    &mut acc[r],
+                    &mut acc_sum,
+                ),
+                None => Vec::new(),
+            };
+            takes.push(taken);
+        }
+
+        // 4b. Work stealing: a serving replica whose own drain came up
+        // empty takes from the head of the deepest other queue (strictly
+        // deeper wins, ties to the lowest index) and serves the steal at
+        // its own point. Runs after every own-queue drain so steals only
+        // target genuinely leftover backlog.
+        if shard.work_stealing {
+            for r in 0..n {
+                let Some(point) = serve_points[r] else {
+                    continue;
+                };
+                if !takes[r].is_empty() {
                     continue;
                 }
-                if e.eligible_at > t {
-                    kept.push_back(e);
-                    continue;
-                }
-                if shard.cache {
-                    let key = cache_key(point.bits, &inputs[e.id % inputs.len()]);
-                    if let Some(y) = cache.get(&key) {
-                        let rec = &mut outcomes[e.id];
-                        rec.served_at = Some(t);
-                        rec.bits = Some(point.bits.get());
-                        rec.output = Some(y.clone());
-                        rec.status = RequestStatus::Completed;
-                        rec.cached = true;
-                        stats.completed += 1;
-                        stats.cache_hits += 1;
-                        acc[r].cache_hits += 1;
-                        acc[r].served += 1;
-                        acc[r].waits.push(t - rec.arrived_at);
-                        acc_sum += point.accuracy;
+                let mut victim: Option<(usize, usize)> = None;
+                for (v, q) in queues.iter().enumerate() {
+                    if v == r {
                         continue;
                     }
-                    stats.cache_misses += 1;
+                    let len = q.len();
+                    if len > 0 && victim.is_none_or(|(_, best)| len > best) {
+                        victim = Some((v, len));
+                    }
                 }
-                taken.push(e);
+                let Some((v, _)) = victim else { continue };
+                let stolen = drain_eligible(
+                    &mut queues[v],
+                    t,
+                    serving.max_batch,
+                    point,
+                    shard.cache,
+                    &mut cache,
+                    inputs,
+                    &mut outcomes,
+                    &mut stats,
+                    &mut acc[r],
+                    &mut acc_sum,
+                );
+                for e in &stolen {
+                    outcomes[e.id].replica = Some(r);
+                }
+                takes[r] = stolen;
             }
-            *queue = kept;
+        }
+
+        // Freeze the step's batches; the histogram counts post-steal takes.
+        let mut batches: Vec<Option<PlannedBatch>> = Vec::with_capacity(n);
+        for (r, taken) in takes.into_iter().enumerate() {
+            let Some(point) = serve_points[r] else {
+                batches.push(None);
+                continue;
+            };
             histogram[taken.len()] += 1;
             if taken.is_empty() {
                 batches.push(None);
@@ -619,13 +659,11 @@ pub fn simulate_serving_sharded(
         for (r, m) in models.iter_mut().enumerate() {
             let (batch, bits) = match &batches[r] {
                 Some(pb) => {
-                    let mut data = Vec::with_capacity(pb.taken.len() * sample_len);
-                    for e in &pb.taken {
-                        data.extend_from_slice(inputs[e.id % inputs.len()].data());
-                    }
-                    let mut dims = sample_dims.clone();
-                    dims[0] = pb.taken.len();
-                    (Some(Tensor::from_vec(dims, data)), pb.bits)
+                    let ids: Vec<usize> = pb.taken.iter().map(|e| e.id).collect();
+                    (
+                        Some(gather_batch(inputs, &sample_dims, sample_len, &ids)),
+                        pb.bits,
+                    )
                 }
                 None => (None, p.bits),
             };
@@ -679,18 +717,12 @@ pub fn simulate_serving_sharded(
             match slot.result.expect("non-empty batch always executes") {
                 Ok(y) => {
                     let take = taken.len();
-                    let mut out_dims = y.dims().to_vec();
-                    out_dims[0] = 1;
-                    let out_len = y.len() / take;
-                    for (j, e) in taken.iter().enumerate() {
+                    let outs = scatter_outputs(&y, take);
+                    for (e, out) in taken.iter().zip(outs) {
                         let rec = &mut outcomes[e.id];
                         rec.served_at = Some(t);
                         rec.bits = Some(bits.get());
                         rec.attempts += 1;
-                        let out = Tensor::from_vec(
-                            out_dims.clone(),
-                            y.data()[j * out_len..(j + 1) * out_len].to_vec(),
-                        );
                         if shard.cache {
                             cache.insert(cache_key(bits, &inputs[e.id % inputs.len()]), &out);
                         }
@@ -706,6 +738,21 @@ pub fn simulate_serving_sharded(
                 }
                 Err(_) => {
                     acc[r].faulted_batches += 1;
+                    // Retries re-dispatch away from the replica whose
+                    // fault just failed them: the least-loaded *other*
+                    // replica (ties to the lowest index). With a single
+                    // replica there is nowhere else to go.
+                    let retry_target = if n > 1 {
+                        let mut best = usize::from(r == 0);
+                        for v in 0..n {
+                            if v != r && queues[v].len() < queues[best].len() {
+                                best = v;
+                            }
+                        }
+                        best
+                    } else {
+                        r
+                    };
                     for e in taken.iter().rev() {
                         let rec = &mut outcomes[e.id];
                         rec.attempts += 1;
@@ -714,7 +761,8 @@ pub fn simulate_serving_sharded(
                             stats.failed += 1;
                         } else {
                             stats.retried += 1;
-                            queues[r].push_front(QEntry {
+                            rec.replica = Some(retry_target);
+                            queues[retry_target].push_front(QEntry {
                                 id: e.id,
                                 eligible_at: t + 1,
                             });
@@ -750,13 +798,13 @@ pub fn simulate_serving_sharded(
     stats.backlog = queues.iter().map(VecDeque::len).sum();
     stats.max_queue_depth = max_depth;
     stats.batch_histogram = histogram;
-    stats.cache_evictions = cache.evictions;
+    stats.cache_evictions = cache.evictions();
     stats.faults_injected = faults.count_before(trace.len());
     stats.replicas = acc
         .into_iter()
         .zip(&queues)
         .map(|(a, q)| {
-            let (mean, _, p99) = wait_percentiles(&a.waits);
+            let w = wait_summary(&a.waits);
             ReplicaStats {
                 served: a.served,
                 batches: a.batches,
@@ -764,8 +812,8 @@ pub fn simulate_serving_sharded(
                 backlog: q.len(),
                 max_queue_depth: a.max_queue_depth,
                 cache_hits: a.cache_hits,
-                mean_wait_steps: mean,
-                p99_wait_steps: p99,
+                mean_wait_steps: w.mean,
+                p99_wait_steps: w.p99,
                 time_in_bits: a.time_in_bits.into_iter().collect(),
             }
         })

@@ -1,0 +1,676 @@
+//! Wall-clock threaded serving: a continuously running front-end over
+//! real threads, real queues, and real time — no tokio, no simulation.
+//!
+//! [`serve_wallclock`] is the deployment-shaped face of the serving
+//! stack. An ingress thread plays a [`RequestTrace`]'s arrival schedule
+//! in real time (step `t`'s arrivals are pushed at `t × step_time` on the
+//! wall clock) into a bounded MPMC queue
+//! ([`crate::engine::queue::SharedQueue`]); `workers` worker threads —
+//! each holding an O(1) [`PackedModel`] clone over the shared packed
+//! tables — block on the queue and drain batches of up to `max_batch`
+//! requests into packed forwards. All of PR 4's resilience machinery
+//! runs here on `Instant`-derived time instead of step indices: the
+//! bounded queue *is* the admission cap, deadline-hopeless arrivals are
+//! shed at ingress, late requests expire at dequeue, and the hysteresis
+//! degradation controller ([`crate::engine::degrade`]) downshifts the
+//! fleet one operating point per recovery window as wall-clock backlog
+//! builds. The per-step energy budget still gates selection: a batch
+//! popped at elapsed time `e` is served under budget
+//! `budgets[min(e / step_time, len - 1)]` — the final step's budget
+//! persists through the drain phase — via the same shared
+//! [`PolicySelector`] every simulated path uses.
+//!
+//! **Shutdown protocol:** the ingress thread closes the queue after the
+//! last step's arrivals; workers keep draining until the queue is empty
+//! *and* closed, then exit, and the scoped join returns every worker's
+//! accounting to be merged into one [`RuntimeStats`]. Every admitted
+//! request is at all times either in the queue or held by a live worker,
+//! so each is recorded exactly once and
+//! `arrivals == completed + completed_degraded + shed + expired +
+//! failed + backlog` holds for every run (backlog = requests the trace's
+//! final budget could never afford).
+//!
+//! **The twin guarantee.** This loop and
+//! [`crate::runtime::simulate_serving_batched`] are two drivers over the
+//! same engine modules (selection, batching, scatter, accounting — see
+//! [`crate::engine`]), and the packed engine quantizes activations per
+//! sample, so a request's output depends only on its input and the
+//! serving bit-width — never on batch-mates, timing, or worker count. A
+//! fault-free wall-clock run whose budget affords one fixed operating
+//! point therefore completes the exact same request set with
+//! bit-identical outputs as its simulated twin on the frozen trace; only
+//! the timing-derived statistics differ (and those are tolerance-checked
+//! in tests, not pinned). `tests/wallclock_serving.rs` enforces this at
+//! every `large_range()` bit-width.
+//!
+//! **Threads:** worker count composes with the `INSTANTNET_THREADS`
+//! kernel knob: each worker runs its forwards at
+//! `max(1, ambient_threads / workers)` kernel threads (ambient = the
+//! caller's [`instantnet_parallel::max_threads`]), so one worker keeps
+//! full kernel parallelism while a 4-worker fleet on 8 ambient threads
+//! runs 2 kernel threads per forward instead of oversubscribing 32.
+
+use crate::engine::batch::{gather_batch, scatter_outputs, validate_inputs};
+use crate::engine::clock::RunClock;
+use crate::engine::degrade::HysteresisController;
+use crate::engine::queue::{Popped, SharedQueue};
+use crate::engine::stats::{finish_wait_stats, wait_summary};
+use crate::resilience::{config_err, RequestStatus, ServingError};
+use crate::runtime::{
+    EnergyTrace, Policy, PolicySelector, RequestTrace, RuntimeStats, SimulationConfig,
+};
+use crate::sharding::ReplicaStats;
+use crate::DeploymentReport;
+use instantnet_infer::{InferError, PackedModel};
+use instantnet_parallel::{max_threads, set_threads};
+use instantnet_quant::BitWidth;
+use instantnet_tensor::Tensor;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::thread;
+use std::time::Duration;
+
+/// Hysteresis thresholds for the wall-clock degradation controller —
+/// [`crate::resilience::DegradationConfig`] with the recovery window in
+/// wall-clock time instead of steps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WallclockDegradation {
+    /// Downshift one operating point when the queue depth reaches this.
+    pub backlog_high: usize,
+    /// Recover one operating point when the depth falls to this or below.
+    /// Must be strictly below `backlog_high`.
+    pub backlog_low: usize,
+    /// Minimum wall-clock time between controller transitions (> 0).
+    pub recovery_window: Duration,
+}
+
+/// Knobs of the wall-clock serving loop. The default — one worker,
+/// unbounded queue, no deadlines, no retries, no degradation — is the
+/// fully permissive configuration the twin-identity tests run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WallclockConfig {
+    /// Worker threads, each draining the shared queue with its own O(1)
+    /// [`PackedModel`] clone.
+    pub workers: usize,
+    /// Largest number of queued requests one worker aggregates into one
+    /// packed forward. Aggregation is opportunistic: a worker takes
+    /// whatever is queued up to this, it never waits for a batch to fill.
+    pub max_batch: usize,
+    /// Wall-clock length of one trace step: arrivals of step `t` are
+    /// pushed at `t × step_time`, and the energy budget in force at
+    /// elapsed time `e` is `budgets[min(e / step_time, len - 1)]`.
+    pub step_time: Duration,
+    /// Bounded-queue capacity — the admission cap. Arrivals that find the
+    /// queue full are shed. `None` = unbounded.
+    pub queue_capacity: Option<usize>,
+    /// Relative wall-clock deadline per request. An arrival whose
+    /// deadline is hopeless even at best-case service is shed at ingress;
+    /// a queued request past its deadline expires at dequeue, before it
+    /// can be served. `None` = no deadlines.
+    pub deadline: Option<Duration>,
+    /// How many times a request whose forward failed re-queues (at the
+    /// head) before it is failed.
+    pub max_retries: usize,
+    /// The precision-downshift controller. `None` = policy picks alone.
+    pub degradation: Option<WallclockDegradation>,
+}
+
+impl Default for WallclockConfig {
+    fn default() -> Self {
+        WallclockConfig {
+            workers: 1,
+            max_batch: 16,
+            step_time: Duration::from_millis(1),
+            queue_capacity: None,
+            deadline: None,
+            max_retries: 0,
+            degradation: None,
+        }
+    }
+}
+
+/// Per-request record of a wall-clock run, index-aligned with arrival
+/// order (ids are assigned by the ingress thread as arrivals push).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WallclockOutcome {
+    /// Microseconds after run start the request entered (or was shed at)
+    /// the queue.
+    pub arrived_us: u64,
+    /// Microseconds after run start its forward completed, if it was
+    /// served.
+    pub served_us: Option<u64>,
+    /// Bit-width of the batch that served it.
+    pub bits: Option<u8>,
+    /// The packed forward's output — bit-identical to a batch-of-one
+    /// forward of the same input at the same bit-width, regardless of
+    /// batch-mates, timing, or which worker ran it.
+    pub output: Option<Tensor>,
+    /// How the request ended. [`RequestStatus::Pending`] = still
+    /// unservable when the trace ended (counted in
+    /// [`RuntimeStats::backlog`]).
+    pub status: RequestStatus,
+    /// Worker whose forward completed or failed the request; `None` for
+    /// requests that never reached a forward (shed, expired, backlog).
+    pub worker: Option<usize>,
+    /// Forward attempts that included this request.
+    pub attempts: usize,
+    /// Absolute deadline in run-microseconds, when deadlines are
+    /// configured.
+    pub deadline_us: Option<u64>,
+}
+
+/// One queued request as carried through the shared queue.
+struct Request {
+    id: usize,
+    arrived_us: u64,
+    deadline_us: Option<u64>,
+    attempts: usize,
+}
+
+/// What ingress recorded about one arrival.
+struct Arrival {
+    arrived_us: u64,
+    deadline_us: Option<u64>,
+    shed: bool,
+}
+
+/// One terminal decision a worker made about one request.
+struct Record {
+    id: usize,
+    status: RequestStatus,
+    served_us: Option<u64>,
+    bits: Option<u8>,
+    output: Option<Tensor>,
+    attempts: usize,
+}
+
+/// Everything one worker accumulated over its lifetime; merged into the
+/// global [`RuntimeStats`] after the join.
+struct WorkerAcc {
+    records: Vec<Record>,
+    waits_us: Vec<usize>,
+    completed: usize,
+    completed_degraded: usize,
+    expired: usize,
+    failed: usize,
+    retried: usize,
+    dropped: usize,
+    batches: usize,
+    faulted_batches: usize,
+    switches: usize,
+    energy_pj: f64,
+    acc_sum: f32,
+    histogram: Vec<usize>,
+    time_in_bits: BTreeMap<u8, usize>,
+}
+
+impl WorkerAcc {
+    fn new(max_batch: usize) -> Self {
+        WorkerAcc {
+            records: Vec::new(),
+            waits_us: Vec::new(),
+            completed: 0,
+            completed_degraded: 0,
+            expired: 0,
+            failed: 0,
+            retried: 0,
+            dropped: 0,
+            batches: 0,
+            faulted_batches: 0,
+            switches: 0,
+            energy_pj: 0.0,
+            acc_sum: 0.0,
+            histogram: vec![0; max_batch + 1],
+            time_in_bits: BTreeMap::new(),
+        }
+    }
+}
+
+/// Degradation state shared by the workers behind one mutex, so the
+/// controller sees one serialized observation stream like the simulated
+/// driver does.
+struct DegradeShared {
+    controller: Option<HysteresisController>,
+    events: Vec<(usize, usize)>,
+}
+
+fn validate(
+    report: &DeploymentReport,
+    trace: &EnergyTrace,
+    requests: &RequestTrace,
+    wall: &WallclockConfig,
+    model: &PackedModel,
+    inputs: &[Tensor],
+) -> Result<(), ServingError> {
+    if requests.len() != trace.len() {
+        return config_err(format!(
+            "request trace covers {} steps but energy trace covers {}",
+            requests.len(),
+            trace.len()
+        ));
+    }
+    if wall.workers < 1 {
+        return config_err("at least one worker is required");
+    }
+    if wall.max_batch < 1 {
+        return config_err("max_batch must be at least 1");
+    }
+    if wall.step_time.is_zero() {
+        return config_err("step_time must be positive");
+    }
+    if wall.queue_capacity == Some(0) {
+        return config_err("queue_capacity must be at least 1 when bounded");
+    }
+    if let Some(dc) = &wall.degradation {
+        if dc.backlog_low >= dc.backlog_high {
+            return config_err(format!(
+                "degradation backlog_low {} must be below backlog_high {}",
+                dc.backlog_low, dc.backlog_high
+            ));
+        }
+        if dc.recovery_window.is_zero() {
+            return config_err("degradation recovery_window must be positive");
+        }
+    }
+    if let Err(msg) = validate_inputs(inputs) {
+        return config_err(msg);
+    }
+    // Every operating point must be switchable up front, so a bad
+    // report/model pairing fails fast instead of mid-run on a worker.
+    for p in report.points() {
+        if model.bit_widths().index_of(p.bits).is_none() {
+            return Err(ServingError::Infer(InferError::BitWidth(p.bits)));
+        }
+    }
+    Ok(())
+}
+
+/// Serves a [`RequestTrace`] in real time over `workers` threads; blocks
+/// until the trace has been fully played *and* drained, then returns the
+/// merged [`RuntimeStats`] and one [`WallclockOutcome`] per request.
+///
+/// Compared to the simulated paths, the returned stats differ only where
+/// time itself is the unit: `wait_steps` (and the mean/p50/p99/p99.9
+/// summary over it) is measured in **microseconds** of queueing +
+/// service delay, `elapsed_us`/`requests_per_sec` report the sustained
+/// wall-clock throughput the run achieved, `schedule` is left empty (no
+/// global step loop exists to record one — per-request bit-widths live
+/// in the outcomes), `dropped` counts budget-infeasible batch attempts,
+/// and `stats.replicas[w]` carries worker `w`'s share with
+/// `max_queue_depth` at 0 (workers share one queue; its high-water mark
+/// is the global `max_queue_depth`).
+///
+/// # Errors
+///
+/// [`ServingError::Config`] for inconsistent traces, shapes, or knobs;
+/// [`ServingError::Infer`] if any report point's bit-width is missing
+/// from the packed set (checked up front).
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+pub fn serve_wallclock(
+    report: &DeploymentReport,
+    trace: &EnergyTrace,
+    requests: &RequestTrace,
+    policy: Policy,
+    cfg: &SimulationConfig,
+    wall: &WallclockConfig,
+    model: &PackedModel,
+    inputs: &[Tensor],
+) -> Result<(RuntimeStats, Vec<WallclockOutcome>), ServingError> {
+    validate(report, trace, requests, wall, model, inputs)?;
+    let (sample_dims, sample_len) = validate_inputs(inputs).expect("validated above");
+    let points = report.points();
+    let budgets = trace.budgets();
+    let steps = budgets.len();
+    let step_us = u64::try_from(wall.step_time.as_micros())
+        .unwrap_or(u64::MAX)
+        .max(1);
+    let deadline_us_rel = wall
+        .deadline
+        .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    // Best-case per-batch service time, for the hopeless-deadline
+    // admission check (the wall-clock analog of the resilient path's
+    // `queue / max_batch > deadline_steps`).
+    let min_latency_us = points
+        .iter()
+        .map(|p| p.latency_s)
+        .fold(f64::INFINITY, f64::min)
+        * 1e6;
+
+    let queue: SharedQueue<Request> = SharedQueue::new(wall.queue_capacity);
+    let selector = Mutex::new(PolicySelector::new(report, policy));
+    let degrade = Mutex::new(DegradeShared {
+        controller: wall.degradation.as_ref().map(|dc| {
+            HysteresisController::new(
+                dc.backlog_high,
+                dc.backlog_low,
+                u64::try_from(dc.recovery_window.as_micros())
+                    .unwrap_or(u64::MAX)
+                    .max(1),
+            )
+        }),
+        events: Vec::new(),
+    });
+    // Split the caller's kernel-thread allowance across the workers.
+    let inner_threads = (max_threads() / wall.workers).max(1);
+    let clock = RunClock::start();
+
+    let queue_ref = &queue;
+    let selector_ref = &selector;
+    let degrade_ref = &degrade;
+    let sample_dims_ref = &sample_dims;
+
+    let (arrivals_log, worker_accs): (Vec<Arrival>, Vec<WorkerAcc>) = thread::scope(|s| {
+        let ingress = s.spawn(move || {
+            let mut log: Vec<Arrival> = Vec::with_capacity(requests.total());
+            for (t, &count) in requests.arrivals().iter().enumerate() {
+                // Pace the schedule: step t's arrivals land at t × step_time.
+                let target_us = t as u64 * step_us;
+                loop {
+                    let now = clock.now_us();
+                    if now >= target_us {
+                        break;
+                    }
+                    thread::sleep(Duration::from_micros(target_us - now));
+                }
+                for _ in 0..count {
+                    let id = log.len();
+                    let arrived_us = clock.now_us();
+                    let deadline_us = deadline_us_rel.map(|d| arrived_us + d);
+                    // Admission: shed deadline-hopeless arrivals (even
+                    // best-case service behind the current backlog would
+                    // finish past the deadline), then let the bounded
+                    // queue shed over-capacity ones.
+                    let hopeless = deadline_us.is_some_and(|d| {
+                        let batches_ahead =
+                            (queue_ref.len() / (wall.workers * wall.max_batch)) as f64;
+                        arrived_us.saturating_add((batches_ahead * min_latency_us) as u64) > d
+                    });
+                    let shed = hopeless
+                        || queue_ref
+                            .try_push(Request {
+                                id,
+                                arrived_us,
+                                deadline_us,
+                                attempts: 0,
+                            })
+                            .is_err();
+                    log.push(Arrival {
+                        arrived_us,
+                        deadline_us,
+                        shed,
+                    });
+                }
+            }
+            queue_ref.close();
+            log
+        });
+
+        let workers: Vec<_> = (0..wall.workers)
+            .map(|_| {
+                let mut model = model.clone();
+                s.spawn(move || {
+                    set_threads(inner_threads);
+                    let mut acc = WorkerAcc::new(wall.max_batch);
+                    let mut prev_bits: Option<BitWidth> = None;
+                    loop {
+                        let popped = match queue_ref.pop_batch(wall.max_batch) {
+                            Popped::Closed => break,
+                            Popped::Batch(items) => items,
+                        };
+                        let now = clock.now_us();
+
+                        // 1. Late requests expire before they can be served.
+                        let mut live: Vec<Request> = Vec::with_capacity(popped.len());
+                        for req in popped {
+                            if req.deadline_us.is_some_and(|d| now > d) {
+                                acc.expired += 1;
+                                acc.records.push(Record {
+                                    id: req.id,
+                                    status: RequestStatus::Expired,
+                                    served_us: None,
+                                    bits: None,
+                                    output: None,
+                                    attempts: req.attempts,
+                                });
+                            } else {
+                                live.push(req);
+                            }
+                        }
+                        if live.is_empty() {
+                            continue;
+                        }
+
+                        // 2. The shared policy selects under the budget in
+                        // force at this wall-clock instant.
+                        let step = RunClock::step_of(now, step_us, steps);
+                        let selected = selector_ref
+                            .lock()
+                            .expect("selector mutex poisoned")
+                            .select(budgets[step]);
+                        let Some(p) = selected else {
+                            acc.dropped += 1;
+                            if queue_ref.is_closed() && step + 1 == steps {
+                                // The trace ended on an infeasible budget
+                                // that now persists forever: these
+                                // requests are the run's backlog.
+                                for req in live {
+                                    acc.records.push(Record {
+                                        id: req.id,
+                                        status: RequestStatus::Pending,
+                                        served_us: None,
+                                        bits: None,
+                                        output: None,
+                                        attempts: req.attempts,
+                                    });
+                                }
+                            } else {
+                                // Hand the batch back and wait out the
+                                // infeasible step.
+                                queue_ref.push_front(live);
+                                let boundary = (step as u64 + 1) * step_us;
+                                let wait = boundary.saturating_sub(clock.now_us()).max(50);
+                                thread::sleep(Duration::from_micros(wait));
+                            }
+                            continue;
+                        };
+
+                        // 3. Degradation: observe wall-clock backlog, then
+                        // serve `levels` operating points below the pick.
+                        let idx = points
+                            .iter()
+                            .position(|q| q.bits == p.bits)
+                            .expect("selected point comes from the report");
+                        let levels = {
+                            let mut d = degrade_ref.lock().expect("degrade mutex poisoned");
+                            let DegradeShared { controller, events } = &mut *d;
+                            match controller.as_mut() {
+                                Some(c) => {
+                                    let depth = queue_ref.len() + live.len();
+                                    if let Some(lv) = c.observe(now, depth, idx) {
+                                        events.push((step, lv));
+                                    }
+                                    c.levels()
+                                }
+                                None => 0,
+                            }
+                        };
+                        let serve_idx = idx - levels.min(idx);
+                        let point = &points[serve_idx];
+                        let degraded = serve_idx < idx;
+
+                        // 4. One packed forward for the whole batch.
+                        if prev_bits != Some(point.bits) {
+                            acc.switches += 1;
+                            prev_bits = Some(point.bits);
+                        }
+                        model
+                            .try_switch_to_bits(point.bits)
+                            .expect("validated: every report point is packed");
+                        let ids: Vec<usize> = live.iter().map(|r| r.id).collect();
+                        let batch = gather_batch(inputs, sample_dims_ref, sample_len, &ids);
+                        acc.batches += 1;
+                        match model.try_forward_batch(&batch) {
+                            Ok(y) => {
+                                let take = live.len();
+                                acc.histogram[take] += 1;
+                                *acc.time_in_bits.entry(point.bits.get()).or_insert(0) += 1;
+                                let served_us = clock.now_us();
+                                let outs = scatter_outputs(&y, take);
+                                for (req, out) in live.iter().zip(outs) {
+                                    let status = if degraded {
+                                        acc.completed_degraded += 1;
+                                        RequestStatus::CompletedDegraded
+                                    } else {
+                                        acc.completed += 1;
+                                        RequestStatus::Completed
+                                    };
+                                    acc.waits_us.push((served_us - req.arrived_us) as usize);
+                                    acc.records.push(Record {
+                                        id: req.id,
+                                        status,
+                                        served_us: Some(served_us),
+                                        bits: Some(point.bits.get()),
+                                        output: Some(out),
+                                        attempts: req.attempts + 1,
+                                    });
+                                }
+                                acc.energy_pj += point.energy_pj * take as f64;
+                                acc.acc_sum += point.accuracy * take as f32;
+                            }
+                            Err(_) => {
+                                // A genuine engine error fails only this
+                                // batch: its requests retry at the head
+                                // until their budget is spent.
+                                acc.faulted_batches += 1;
+                                let mut requeue: Vec<Request> = Vec::new();
+                                for mut req in live {
+                                    req.attempts += 1;
+                                    if req.attempts > wall.max_retries {
+                                        acc.failed += 1;
+                                        acc.records.push(Record {
+                                            id: req.id,
+                                            status: RequestStatus::Failed,
+                                            served_us: None,
+                                            bits: None,
+                                            output: None,
+                                            attempts: req.attempts,
+                                        });
+                                    } else {
+                                        acc.retried += 1;
+                                        requeue.push(req);
+                                    }
+                                }
+                                queue_ref.push_front(requeue);
+                            }
+                        }
+                    }
+                    acc
+                })
+            })
+            .collect();
+
+        let log = ingress.join().expect("ingress thread never panics");
+        let accs = workers
+            .into_iter()
+            .map(|h| h.join().expect("worker thread never panics"))
+            .collect();
+        (log, accs)
+    });
+    let elapsed_us = clock.now_us().max(1);
+
+    // Merge: ingress seeds every outcome, worker records overwrite their
+    // terminal states, per-worker accumulators sum into the global stats.
+    let mut outcomes: Vec<WallclockOutcome> = arrivals_log
+        .iter()
+        .map(|a| WallclockOutcome {
+            arrived_us: a.arrived_us,
+            served_us: None,
+            bits: None,
+            output: None,
+            status: if a.shed {
+                RequestStatus::Shed
+            } else {
+                RequestStatus::Pending
+            },
+            worker: None,
+            attempts: 0,
+            deadline_us: a.deadline_us,
+        })
+        .collect();
+
+    let mut stats = RuntimeStats {
+        shed: arrivals_log.iter().filter(|a| a.shed).count(),
+        ..RuntimeStats::default()
+    };
+    let mut wait_us: Vec<usize> = Vec::new();
+    let mut histogram = vec![0usize; wall.max_batch + 1];
+    let mut time_in_bits: BTreeMap<u8, usize> = BTreeMap::new();
+    let mut replicas: Vec<ReplicaStats> = Vec::with_capacity(wall.workers);
+    let mut acc_sum = 0.0f32;
+    for (w, acc) in worker_accs.into_iter().enumerate() {
+        for rec in acc.records {
+            let o = &mut outcomes[rec.id];
+            o.status = rec.status;
+            o.served_us = rec.served_us;
+            o.bits = rec.bits;
+            o.output = rec.output;
+            o.attempts = rec.attempts;
+            if matches!(
+                rec.status,
+                RequestStatus::Completed | RequestStatus::CompletedDegraded | RequestStatus::Failed
+            ) {
+                o.worker = Some(w);
+            }
+        }
+        stats.completed += acc.completed;
+        stats.completed_degraded += acc.completed_degraded;
+        stats.expired += acc.expired;
+        stats.failed += acc.failed;
+        stats.retried += acc.retried;
+        stats.dropped += acc.dropped;
+        stats.switches += acc.switches;
+        stats.energy_pj += acc.energy_pj;
+        acc_sum += acc.acc_sum;
+        for (i, h) in acc.histogram.iter().enumerate() {
+            histogram[i] += h;
+        }
+        for (&b, &n) in &acc.time_in_bits {
+            *time_in_bits.entry(b).or_insert(0) += n;
+        }
+        let w_summary = wait_summary(&acc.waits_us);
+        replicas.push(ReplicaStats {
+            served: acc.completed + acc.completed_degraded,
+            batches: acc.batches,
+            faulted_batches: acc.faulted_batches,
+            backlog: 0,
+            max_queue_depth: 0,
+            cache_hits: 0,
+            mean_wait_steps: w_summary.mean,
+            p99_wait_steps: w_summary.p99,
+            time_in_bits: acc.time_in_bits.into_iter().collect(),
+        });
+        wait_us.extend(acc.waits_us);
+    }
+
+    stats.served_requests = stats.completed + stats.completed_degraded;
+    stats.backlog = outcomes
+        .iter()
+        .filter(|o| o.status == RequestStatus::Pending)
+        .count();
+    stats.max_queue_depth = queue.max_depth();
+    stats.batch_histogram = histogram;
+    stats.time_in_bits = time_in_bits.into_iter().collect();
+    stats.degradation_events = degrade.into_inner().expect("degrade mutex poisoned").events;
+    stats.switch_energy_pj = stats.switches as f64 * cfg.switch_cost_pj;
+    stats.energy_pj += stats.switch_energy_pj;
+    stats.mean_accuracy = if stats.served_requests > 0 {
+        acc_sum / stats.served_requests as f32
+    } else {
+        0.0
+    };
+    stats.elapsed_us = elapsed_us;
+    stats.requests_per_sec = stats.served_requests as f64 / (elapsed_us as f64 * 1e-6);
+    stats.replicas = replicas;
+    finish_wait_stats(&mut stats, wait_us);
+    Ok((stats, outcomes))
+}

@@ -509,8 +509,9 @@ fn fault_on_one_replica_leaves_the_others_untouched() {
             }
         }
 
-        // With a retry budget the victims recover on the next step, on
-        // the same replica.
+        // With a retry budget the victims recover on the next step —
+        // re-dispatched away from the replica that just faulted, onto
+        // the least-loaded other queue (a tie here, so lowest index: 0).
         let (stats, outcomes) = run(&faults, 1);
         assert_eq!(stats.failed, 0, "{kind:?}");
         assert_eq!(stats.completed, 6, "{kind:?}");
@@ -518,7 +519,7 @@ fn fault_on_one_replica_leaves_the_others_untouched() {
         for r in [1usize, 4] {
             assert_eq!(outcomes[r].served_at, Some(1), "{kind:?}: request {r}");
             assert_eq!(outcomes[r].attempts, 2, "{kind:?}: request {r}");
-            assert_eq!(outcomes[r].replica, Some(1), "{kind:?}: request {r}");
+            assert_eq!(outcomes[r].replica, Some(0), "{kind:?}: request {r}");
         }
     }
 
@@ -781,6 +782,9 @@ proptest! {
             max_queue_depth: usize::try_from(cap).ok(),
             max_retries,
             fault_replica: seed as usize % replicas,
+            // Every third case steals, so conservation is exercised with
+            // batches migrating between replica queues mid-run too.
+            work_stealing: seed % 3 == 0,
         };
         let (stats, outcomes) = simulate_serving_sharded(
             &report,
@@ -874,4 +878,178 @@ proptest! {
             stats.energy_pj, inference
         );
     }
+}
+
+/// Work-stealing: under a skewed load (pinned routing funnels every
+/// arrival to the quality lane), the idle fast lane steals from the
+/// deepest queue, the fleet drains faster, the backlog high-water mark
+/// drops, and every stolen request is served at the thief's point with
+/// an output bit-identical to a standalone forward at that bit-width.
+#[test]
+fn work_stealing_drains_a_skewed_queue_and_lowers_the_high_water_mark() {
+    let bits = BitWidthSet::new(vec![4, 8, 32]).unwrap();
+    let net = models::small_cnn(2, 4, (6, 6), bits.len(), 41);
+    let model = PackedModel::prepack(&net, &bits, Quantizer::Sbm).unwrap();
+    let report = report_for(&bits);
+    let steps = 40;
+    let trace = EnergyTrace::new(vec![100.0; steps]);
+    let mut arrivals = vec![0usize; steps];
+    for a in arrivals.iter_mut().take(8) {
+        *a = 3;
+    }
+    let requests = RequestTrace::new(arrivals);
+    let total = requests.total();
+    let mut rng = StdRng::seed_from_u64(73);
+    let inputs = distinct_inputs(&mut rng, 6, &[1, 3, 6, 6]);
+    // urgent_slack 0 with a distant deadline: no arrival ever diverts, so
+    // the whole trace lands on the pinned quality lane (replica 1).
+    let run = |work_stealing: bool| {
+        simulate_serving_sharded(
+            &report,
+            &trace,
+            &requests,
+            Policy::Greedy,
+            &SimulationConfig::default(),
+            &ServingConfig { max_batch: 2 },
+            &ShardConfig {
+                replicas: 2,
+                pinned: Some(PinnedConfig {
+                    point_indices: vec![0, 2],
+                    urgent_slack: 0,
+                }),
+                deadline_steps: Some(100),
+                work_stealing,
+                ..ShardConfig::default()
+            },
+            &FaultPlan::none(),
+            &model,
+            &inputs,
+        )
+        .unwrap()
+    };
+
+    let (nosteal_stats, nosteal) = run(false);
+    let (steal_stats, stolen) = run(true);
+
+    // Stealing off: the fast lane idles while the quality lane eats the
+    // whole burst alone, 2 per step against 3 arriving.
+    assert_eq!(nosteal_stats.replicas[0].served, 0);
+    assert_eq!(nosteal_stats.replicas[1].served, total);
+    assert_sharded_accounting(&nosteal_stats, &nosteal, total, 2);
+
+    // Stealing on: both lanes serve, everything still completes, and the
+    // global queue high-water mark shrinks.
+    assert_eq!(steal_stats.completed, total);
+    assert!(
+        steal_stats.replicas[0].served > 0,
+        "the idle lane must steal work"
+    );
+    assert!(
+        steal_stats.max_queue_depth < nosteal_stats.max_queue_depth,
+        "stealing must lower the backlog high-water mark: {} vs {}",
+        steal_stats.max_queue_depth,
+        nosteal_stats.max_queue_depth
+    );
+    let last_served =
+        |outcomes: &[ShardedOutcome]| outcomes.iter().filter_map(|o| o.served_at).max().unwrap();
+    assert!(
+        last_served(&stolen) < last_served(&nosteal),
+        "the fleet must finish the burst in fewer steps: {} vs {}",
+        last_served(&stolen),
+        last_served(&nosteal)
+    );
+    assert_sharded_accounting(&steal_stats, &stolen, total, 2);
+
+    // A stolen request is served at the thief's pinned point, and its
+    // output is bit-identical to a standalone forward at that bit-width:
+    // stealing changes placement and timing, never numerics.
+    for (i, o) in stolen.iter().enumerate() {
+        assert_eq!(o.status, RequestStatus::Completed, "request {i}");
+        let b = o.bits.unwrap();
+        let expect = if o.replica == Some(0) { 4 } else { 32 };
+        assert_eq!(b, expect, "request {i} bits follow its serving lane");
+        let idx = model.bit_widths().index_of(b.into()).unwrap();
+        let reference = model.forward_at(idx, &inputs[i % inputs.len()]);
+        assert_eq!(
+            o.output.as_ref().unwrap().data(),
+            reference.data(),
+            "request {i} stolen output must be bit-identical"
+        );
+    }
+}
+
+/// Retry re-dispatch: under a seeded fault plan hammering one replica,
+/// every request that survives a faulted batch is re-queued on a
+/// *different* replica, so no retry ever lands back on the box that just
+/// failed it.
+#[test]
+fn retries_redispatch_away_from_the_faulted_replica() {
+    let bits = BitWidthSet::new(vec![4, 8]).unwrap();
+    let net = models::small_cnn(2, 4, (6, 6), bits.len(), 53);
+    let model = PackedModel::prepack(&net, &bits, Quantizer::Sbm).unwrap();
+    let report = report_for(&bits);
+    let steps = 48;
+    let trace = EnergyTrace::new(vec![100.0; steps]);
+    let mut arrivals = vec![0usize; steps];
+    for a in arrivals.iter_mut().take(20) {
+        *a = 2;
+    }
+    let requests = RequestTrace::new(arrivals);
+    let total = requests.total();
+    let mut rng = StdRng::seed_from_u64(97);
+    let inputs = distinct_inputs(&mut rng, 5, &[1, 3, 6, 6]);
+    let faults = FaultPlan::seeded(
+        0xFEED,
+        steps,
+        FaultRates {
+            stall: 0.0,
+            transient: 0.35,
+            panic: 0.15,
+        },
+    );
+    let (stats, outcomes) = simulate_serving_sharded(
+        &report,
+        &trace,
+        &requests,
+        Policy::Greedy,
+        &SimulationConfig::default(),
+        &ServingConfig { max_batch: 2 },
+        &ShardConfig {
+            replicas: 3,
+            fault_replica: 1,
+            max_retries: 3,
+            ..ShardConfig::default()
+        },
+        &faults,
+        &model,
+        &inputs,
+    )
+    .unwrap();
+
+    assert_sharded_accounting(&stats, &outcomes, total, 3);
+    assert!(
+        stats.retried > 0,
+        "the seeded plan must actually fault some replica-1 batches"
+    );
+    assert_eq!(
+        stats.failed, 0,
+        "a retry budget of 3 plus re-dispatch must recover every victim"
+    );
+    let mut redispatched = 0;
+    for (i, o) in outcomes.iter().enumerate() {
+        if o.attempts >= 2 {
+            assert_ne!(
+                o.replica,
+                Some(1),
+                "request {i} retried back onto the faulted replica"
+            );
+            redispatched += 1;
+        }
+    }
+    assert!(redispatched > 0, "some requests must have been retried");
+    // Faults fire only when the target replica actually serves a batch;
+    // the other replicas must stay clean.
+    assert!(stats.replicas[1].faulted_batches > 0);
+    assert_eq!(stats.replicas[0].faulted_batches, 0);
+    assert_eq!(stats.replicas[2].faulted_batches, 0);
 }

@@ -1,0 +1,510 @@
+//! Wall-clock serving contract.
+//!
+//! * **The twin guarantee**: a fault-free wall-clock run whose budget
+//!   affords one fixed operating point completes the exact same request
+//!   set as `simulate_serving_batched` on the frozen trace, with
+//!   request-by-request bit-identical outputs — at every
+//!   `BitWidthSet::large_range()` bit-width and every worker count
+//!   (outputs depend only on input and bits, never on batching, timing,
+//!   or placement). Timing assertions are lower-bound only: real threads
+//!   on a loaded CI box are noisy, numerics are not.
+//! * **Conservation** (proptest): arrivals == completed +
+//!   completed_degraded + shed + expired + failed + backlog across
+//!   worker counts × deadlines × queue caps × degradation, no matter how
+//!   the wall-clock timing falls.
+//! * **Degradation**: a burst deep enough to trip the controller serves
+//!   degraded batches whose outputs are still bit-identical to a
+//!   standalone forward at the downshifted width.
+//! * **Errors**: inconsistent knobs are typed `ServingError`s, never
+//!   panics or hung threads.
+//!
+//! The CI matrix re-runs this suite with `INSTANTNET_WALLCLOCK_WORKERS`
+//! set to pin the worker count; unset, the tests sweep {1, 2, 4}.
+
+use instantnet::resilience::{RequestStatus, ServingError};
+use instantnet::runtime::{
+    simulate_serving_batched, EnergyTrace, Policy, RequestTrace, RuntimeStats, ServingConfig,
+    SimulationConfig,
+};
+use instantnet::wallclock::{
+    serve_wallclock, WallclockConfig, WallclockDegradation, WallclockOutcome,
+};
+use instantnet::{DeploymentReport, OperatingPoint};
+use instantnet_infer::PackedModel;
+use instantnet_nn::models;
+use instantnet_parallel::with_threads;
+use instantnet_quant::{BitWidth, BitWidthSet, Quantizer};
+use instantnet_tensor::{init, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// Worker counts under test: the CI matrix pins one via
+/// `INSTANTNET_WALLCLOCK_WORKERS`; locally the default sweeps three.
+fn worker_counts() -> Vec<usize> {
+    std::env::var("INSTANTNET_WALLCLOCK_WORKERS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .map_or_else(|| vec![1, 2, 4], |w| vec![w])
+}
+
+fn point_for(bits: BitWidth, i: usize) -> OperatingPoint {
+    let e = 10.0 * (i + 1) as f64;
+    let l = 1e-3 * (i + 1) as f64;
+    OperatingPoint {
+        bits,
+        accuracy: 0.5 + 0.05 * i as f32,
+        energy_pj: e,
+        latency_s: l,
+        edp: e * l,
+        fps: 1.0 / l,
+    }
+}
+
+fn report_for(bits: &BitWidthSet) -> DeploymentReport {
+    let points = bits
+        .widths()
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| point_for(b, i))
+        .collect();
+    DeploymentReport::new("test", 1, points)
+}
+
+fn distinct_inputs(rng: &mut StdRng, count: usize, dims: &[usize]) -> Vec<Tensor> {
+    (0..count)
+        .map(|_| init::uniform(rng, dims, -1.0, 1.0))
+        .collect()
+}
+
+/// Every request accounted exactly once, per-worker sums agreeing with
+/// the global stats — the invariant that must survive arbitrary timing.
+fn assert_wallclock_accounting(stats: &RuntimeStats, outcomes: &[WallclockOutcome], total: usize) {
+    let count = |s: RequestStatus| outcomes.iter().filter(|o| o.status == s).count();
+    assert_eq!(outcomes.len(), total, "one record per arrival");
+    assert_eq!(count(RequestStatus::Completed), stats.completed);
+    assert_eq!(
+        count(RequestStatus::CompletedDegraded),
+        stats.completed_degraded
+    );
+    assert_eq!(count(RequestStatus::Shed), stats.shed);
+    assert_eq!(count(RequestStatus::Expired), stats.expired);
+    assert_eq!(count(RequestStatus::Failed), stats.failed);
+    assert_eq!(count(RequestStatus::Pending), stats.backlog);
+    assert_eq!(
+        stats.completed
+            + stats.completed_degraded
+            + stats.shed
+            + stats.expired
+            + stats.failed
+            + stats.backlog,
+        total,
+        "conservation: every request accounted exactly once"
+    );
+    assert_eq!(
+        stats.served_requests,
+        stats.completed + stats.completed_degraded
+    );
+    assert_eq!(
+        stats.replicas.iter().map(|r| r.served).sum::<usize>(),
+        stats.served_requests,
+        "per-worker served sums to the global count"
+    );
+    assert_eq!(
+        stats.replicas.iter().map(|r| r.batches).sum::<usize>(),
+        stats.batch_histogram.iter().skip(1).sum::<usize>(),
+        "per-worker batches sum to the histogram"
+    );
+    for o in outcomes {
+        match o.status {
+            RequestStatus::Completed | RequestStatus::CompletedDegraded => {
+                assert!(o.output.is_some() && o.bits.is_some() && o.served_us.is_some());
+                assert!(o.worker.is_some());
+                assert!(o.served_us.unwrap() >= o.arrived_us, "time flows forward");
+            }
+            _ => assert!(o.output.is_none() && o.served_us.is_none()),
+        }
+    }
+}
+
+/// The tentpole contract: at every `large_range()` bit-width and worker
+/// count, a fault-free wall-clock run over a frozen trace completes the
+/// same request set as the simulated twin with bit-identical outputs.
+#[test]
+fn wallclock_twin_bit_identical_to_batched_all_bitwidths_and_worker_counts() {
+    let bits = BitWidthSet::large_range();
+    let net = models::small_cnn(2, 4, (6, 6), bits.len(), 11);
+    let mut model = PackedModel::prepack(&net, &bits, Quantizer::Sbm).unwrap();
+    let steps = 12;
+    let trace = EnergyTrace::new(vec![100.0; steps]);
+    let arrivals: Vec<usize> = (0..steps).map(|t| (t * 3 + 1) % 4).collect();
+    let requests = RequestTrace::new(arrivals);
+    let total = requests.total();
+    let mut rng = StdRng::seed_from_u64(31);
+    let inputs = distinct_inputs(&mut rng, 5, &[1, 3, 6, 6]);
+    let cfg = SimulationConfig {
+        switch_cost_pj: 1.5,
+    };
+    let step_us = 200u64;
+
+    for (i, &b) in bits.widths().iter().enumerate() {
+        // A one-point report freezes the serving bit-width: the twin
+        // comparison is then pure numerics, no policy timing involved.
+        let report = DeploymentReport::new("twin", 1, vec![point_for(b, i)]);
+        let (base_stats, base) = simulate_serving_batched(
+            &report,
+            &trace,
+            &requests,
+            Policy::Greedy,
+            &cfg,
+            &ServingConfig { max_batch: 4 },
+            &mut model,
+            &inputs,
+        );
+        assert_eq!(
+            base_stats.served_requests, total,
+            "{b}-bit: batched serves all"
+        );
+
+        for workers in worker_counts() {
+            let (stats, outcomes) = serve_wallclock(
+                &report,
+                &trace,
+                &requests,
+                Policy::Greedy,
+                &cfg,
+                &WallclockConfig {
+                    workers,
+                    max_batch: 4,
+                    step_time: Duration::from_micros(step_us),
+                    ..WallclockConfig::default()
+                },
+                &model,
+                &inputs,
+            )
+            .unwrap();
+            let ctx = format!("{b}-bit @ {workers} workers");
+
+            // Identical completion set...
+            assert_eq!(stats.completed, total, "{ctx}");
+            assert_wallclock_accounting(&stats, &outcomes, total);
+            // ...with request-by-request bit-identical outputs.
+            for (id, (w, s)) in outcomes.iter().zip(&base).enumerate() {
+                assert_eq!(w.bits, s.bits, "{ctx}: request {id}");
+                assert_eq!(
+                    w.output.as_ref().map(Tensor::data),
+                    s.output.as_ref().map(Tensor::data),
+                    "{ctx}: request {id} output must be bit-identical"
+                );
+            }
+            // Noise-tolerant timing: the ingress thread must have paced
+            // the full schedule in real time (lower bound only — upper
+            // bounds flake on loaded machines).
+            assert!(
+                stats.elapsed_us >= (steps as u64 - 1) * step_us,
+                "{ctx}: elapsed {}us is shorter than the schedule",
+                stats.elapsed_us
+            );
+            assert!(stats.requests_per_sec > 0.0, "{ctx}");
+            assert_eq!(stats.replicas.len(), workers, "{ctx}");
+            assert_eq!(stats.shed + stats.expired + stats.failed, 0, "{ctx}");
+            assert!(
+                stats.energy_pj > 0.0 && stats.switch_energy_pj > 0.0,
+                "{ctx}: energy accounting"
+            );
+        }
+    }
+}
+
+/// The kernel-thread knob composes: a fleet under `with_threads` splits
+/// the allowance across workers and still reproduces the twin bit-for-bit.
+#[test]
+fn wallclock_splits_kernel_threads_across_workers_without_changing_numerics() {
+    let bits = BitWidthSet::new(vec![4, 8]).unwrap();
+    let net = models::small_cnn(2, 4, (6, 6), bits.len(), 19);
+    let mut model = PackedModel::prepack(&net, &bits, Quantizer::Sbm).unwrap();
+    let report = DeploymentReport::new("twin", 1, vec![point_for(bits.widths()[1], 0)]);
+    let steps = 6;
+    let trace = EnergyTrace::new(vec![100.0; steps]);
+    let requests = RequestTrace::uniform(2, steps);
+    let mut rng = StdRng::seed_from_u64(47);
+    let inputs = distinct_inputs(&mut rng, 4, &[1, 3, 6, 6]);
+    let cfg = SimulationConfig::default();
+    let (_, base) = simulate_serving_batched(
+        &report,
+        &trace,
+        &requests,
+        Policy::Greedy,
+        &cfg,
+        &ServingConfig { max_batch: 2 },
+        &mut model,
+        &inputs,
+    );
+    let (stats, outcomes) = with_threads(3, || {
+        serve_wallclock(
+            &report,
+            &trace,
+            &requests,
+            Policy::Greedy,
+            &cfg,
+            &WallclockConfig {
+                workers: 2,
+                max_batch: 2,
+                step_time: Duration::from_micros(200),
+                ..WallclockConfig::default()
+            },
+            &model,
+            &inputs,
+        )
+        .unwrap()
+    });
+    assert_eq!(stats.completed, requests.total());
+    for (w, s) in outcomes.iter().zip(&base) {
+        assert_eq!(
+            w.output.as_ref().map(Tensor::data),
+            s.output.as_ref().map(Tensor::data)
+        );
+    }
+}
+
+/// A burst deep enough to trip the hysteresis controller downshifts the
+/// fleet; degraded outputs are still bit-identical to a standalone
+/// forward at the downshifted width.
+#[test]
+fn wallclock_degradation_downshifts_under_overload_with_exact_numerics() {
+    let bits = BitWidthSet::new(vec![4, 8, 32]).unwrap();
+    let net = models::small_cnn(2, 4, (6, 6), bits.len(), 29);
+    let model = PackedModel::prepack(&net, &bits, Quantizer::Sbm).unwrap();
+    let report = report_for(&bits);
+    let steps = 24;
+    let trace = EnergyTrace::new(vec![100.0; steps]);
+    let mut arrivals = vec![0usize; steps];
+    arrivals[0] = 32;
+    let requests = RequestTrace::new(arrivals);
+    let mut rng = StdRng::seed_from_u64(59);
+    let inputs = distinct_inputs(&mut rng, 8, &[1, 3, 6, 6]);
+    let (stats, outcomes) = serve_wallclock(
+        &report,
+        &trace,
+        &requests,
+        Policy::Greedy,
+        &SimulationConfig::default(),
+        &WallclockConfig {
+            workers: 1,
+            max_batch: 2,
+            step_time: Duration::from_micros(500),
+            degradation: Some(WallclockDegradation {
+                backlog_high: 8,
+                backlog_low: 2,
+                recovery_window: Duration::from_micros(1),
+            }),
+            ..WallclockConfig::default()
+        },
+        &model,
+        &inputs,
+    )
+    .unwrap();
+
+    assert_wallclock_accounting(&stats, &outcomes, 32);
+    assert_eq!(stats.served_requests, 32, "permissive run completes all");
+    assert!(
+        !stats.degradation_events.is_empty(),
+        "a 32-deep burst against backlog_high 8 must trip the controller"
+    );
+    assert!(
+        stats.completed_degraded >= 1,
+        "at least the first batch serves below the policy's pick"
+    );
+    // Degradation changes which width serves, never the numerics at the
+    // width that did.
+    for (i, o) in outcomes.iter().enumerate() {
+        let b = o.bits.unwrap();
+        let idx = model.bit_widths().index_of(b.into()).unwrap();
+        let reference = model.forward_at(idx, &inputs[i % inputs.len()]);
+        assert_eq!(
+            o.output.as_ref().unwrap().data(),
+            reference.data(),
+            "request {i} at {b} bits must be bit-identical"
+        );
+        if o.status == RequestStatus::CompletedDegraded {
+            assert!(b < 32, "degraded requests serve below the top point");
+        }
+    }
+}
+
+/// Inconsistent knobs are typed errors — no panics, no spawned threads
+/// left behind.
+#[test]
+fn invalid_wallclock_configs_are_typed_errors_not_panics() {
+    let bits = BitWidthSet::new(vec![4, 8]).unwrap();
+    let net = models::small_cnn(2, 2, (6, 6), bits.len(), 7);
+    let model = PackedModel::prepack(&net, &bits, Quantizer::Sbm).unwrap();
+    let report = report_for(&bits);
+    let mut rng = StdRng::seed_from_u64(3);
+    let inputs = distinct_inputs(&mut rng, 1, &[1, 3, 6, 6]);
+    let run = |wall: WallclockConfig| {
+        serve_wallclock(
+            &report,
+            &EnergyTrace::new(vec![100.0; 2]),
+            &RequestTrace::uniform(1, 2),
+            Policy::Greedy,
+            &SimulationConfig::default(),
+            &wall,
+            &model,
+            &inputs,
+        )
+    };
+    let config_cases = [
+        WallclockConfig {
+            workers: 0,
+            ..WallclockConfig::default()
+        },
+        WallclockConfig {
+            max_batch: 0,
+            ..WallclockConfig::default()
+        },
+        WallclockConfig {
+            step_time: Duration::ZERO,
+            ..WallclockConfig::default()
+        },
+        WallclockConfig {
+            queue_capacity: Some(0),
+            ..WallclockConfig::default()
+        },
+        WallclockConfig {
+            degradation: Some(WallclockDegradation {
+                backlog_high: 2,
+                backlog_low: 2,
+                recovery_window: Duration::from_millis(1),
+            }),
+            ..WallclockConfig::default()
+        },
+        WallclockConfig {
+            degradation: Some(WallclockDegradation {
+                backlog_high: 8,
+                backlog_low: 2,
+                recovery_window: Duration::ZERO,
+            }),
+            ..WallclockConfig::default()
+        },
+    ];
+    for wall in config_cases {
+        assert!(
+            matches!(run(wall.clone()), Err(ServingError::Config(_))),
+            "{wall:?} must be a config error"
+        );
+    }
+
+    // Mismatched trace lengths.
+    assert!(matches!(
+        serve_wallclock(
+            &report,
+            &EnergyTrace::new(vec![100.0; 3]),
+            &RequestTrace::uniform(1, 2),
+            Policy::Greedy,
+            &SimulationConfig::default(),
+            &WallclockConfig::default(),
+            &model,
+            &inputs,
+        ),
+        Err(ServingError::Config(_))
+    ));
+    // Empty input pool.
+    assert!(matches!(
+        serve_wallclock(
+            &report,
+            &EnergyTrace::new(vec![100.0; 2]),
+            &RequestTrace::uniform(1, 2),
+            Policy::Greedy,
+            &SimulationConfig::default(),
+            &WallclockConfig::default(),
+            &model,
+            &[],
+        ),
+        Err(ServingError::Config(_))
+    ));
+    // A report point the packed set can't serve fails up front.
+    let wide = BitWidthSet::new(vec![4, 8, 16]).unwrap();
+    assert!(matches!(
+        serve_wallclock(
+            &report_for(&wide),
+            &EnergyTrace::new(vec![100.0; 2]),
+            &RequestTrace::uniform(1, 2),
+            Policy::Greedy,
+            &SimulationConfig::default(),
+            &WallclockConfig::default(),
+            &model,
+            &inputs,
+        ),
+        Err(ServingError::Infer(_))
+    ));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// No matter how the wall-clock timing falls — worker count, queue
+    /// cap, deadlines, degradation — every arrival is accounted exactly
+    /// once and the per-worker sums agree with the global stats.
+    #[test]
+    fn conservation_holds_across_worker_counts_and_knobs(
+        workers in 1usize..5,
+        steps in 6usize..13,
+        max_batch in 1usize..4,
+        deadline_steps in prop::sample::select(vec![-1i64, 1, 2, 4]),
+        cap in prop::sample::select(vec![-1isize, 1, 3, 6]),
+        degrade_flag in 0usize..2,
+        seed in 0u64..1_000,
+    ) {
+        use rand::Rng;
+        let bits = BitWidthSet::new(vec![4, 8, 32]).unwrap();
+        let net = models::small_cnn(2, 4, (6, 6), bits.len(), 13);
+        let model = PackedModel::prepack(&net, &bits, Quantizer::Sbm).unwrap();
+        let report = report_for(&bits);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let arrivals: Vec<usize> = (0..steps).map(|_| rng.gen_range(0..4usize)).collect();
+        let trace = EnergyTrace::new(vec![100.0; steps]);
+        let requests = RequestTrace::new(arrivals);
+        let total = requests.total();
+        let deadline_steps = u64::try_from(deadline_steps).ok();
+        let cap = usize::try_from(cap).ok();
+        let degrade = degrade_flag == 1;
+        let inputs = distinct_inputs(&mut rng, 3, &[1, 3, 6, 6]);
+        let step_us = 300u64;
+        let (stats, outcomes) = serve_wallclock(
+            &report,
+            &trace,
+            &requests,
+            Policy::Greedy,
+            &SimulationConfig::default(),
+            &WallclockConfig {
+                workers,
+                max_batch,
+                step_time: Duration::from_micros(step_us),
+                queue_capacity: cap,
+                deadline: deadline_steps.map(|d| Duration::from_micros(d * step_us)),
+                degradation: degrade.then(|| WallclockDegradation {
+                    backlog_high: 4,
+                    backlog_low: 1,
+                    recovery_window: Duration::from_micros(step_us),
+                }),
+                ..WallclockConfig::default()
+            },
+            &model,
+            &inputs,
+        ).unwrap();
+
+        prop_assert_eq!(outcomes.len(), total);
+        assert_wallclock_accounting(&stats, &outcomes, total);
+        // Whatever completed is numerically exact, regardless of when,
+        // where, and at which downshift level it was served.
+        for (i, o) in outcomes.iter().enumerate() {
+            if let (Some(b), Some(out)) = (o.bits, o.output.as_ref()) {
+                let idx = model.bit_widths().index_of(b.into()).unwrap();
+                let reference = model.forward_at(idx, &inputs[i % inputs.len()]);
+                prop_assert_eq!(out.data(), reference.data(), "request {}", i);
+            }
+        }
+    }
+}
