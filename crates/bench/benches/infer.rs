@@ -5,10 +5,13 @@
 //! Kernel-bound entries come in pairs: the plain name runs the default
 //! SIMD dispatch (AVX2 where detected), and the `_scalar` twin forces the
 //! portable kernels via `with_simd_backend` — `bench_check` floors the
-//! scalar/SIMD ratio on AVX2 hosts.
+//! scalar/SIMD ratio on AVX2 hosts. The ≤8-bit tiers add a `_widen` twin
+//! that disables the fused multiply-on-packed-codes kernels via
+//! `with_fused_gemm(false)` (the PR 6 decode-then-multiply path), so the
+//! fused speedup is floored within-run too.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use instantnet_infer::{with_simd_backend, PackedModel, SimdBackend};
+use instantnet_infer::{with_fused_gemm, with_simd_backend, PackedModel, SimdBackend};
 use instantnet_nn::layers::{QuantConv2d, QuantLinear};
 use instantnet_nn::{ForwardCtx, Module};
 use instantnet_quant::{BitWidthSet, Quantizer};
@@ -31,6 +34,18 @@ fn bench_gemm(c: &mut Criterion) {
     // 16-bit lands on the i64 accumulator tier (long-reduction wide lanes).
     c.bench_function("packed_gemm_16bit_64x256x256", |b| {
         b.iter(|| std::hint::black_box(packed.forward_at(2, &x)))
+    });
+    // Fused kernels disabled: the widen-then-multiply path the fused
+    // kernels replace for the ≤8-bit storage tiers (bit-identical output).
+    c.bench_function("packed_gemm_4bit_64x256x256_widen", |b| {
+        with_fused_gemm(false, || {
+            b.iter(|| std::hint::black_box(packed.forward_at(0, &x)))
+        })
+    });
+    c.bench_function("packed_gemm_8bit_64x256x256_widen", |b| {
+        with_fused_gemm(false, || {
+            b.iter(|| std::hint::black_box(packed.forward_at(1, &x)))
+        })
     });
     // Forced-scalar twins of the three tiers (bit-identical outputs; only
     // the kernel backend differs).
@@ -72,6 +87,11 @@ fn bench_conv(c: &mut Criterion) {
     });
     c.bench_function("packed_conv_16bit_4x16x16x16", |b| {
         b.iter(|| std::hint::black_box(packed.forward_at(2, &x)))
+    });
+    c.bench_function("packed_conv_4bit_4x16x16x16_widen", |b| {
+        with_fused_gemm(false, || {
+            b.iter(|| std::hint::black_box(packed.forward_at(0, &x)))
+        })
     });
     c.bench_function("packed_conv_4bit_4x16x16x16_scalar", |b| {
         with_simd_backend(SimdBackend::Scalar, || {

@@ -289,72 +289,80 @@ const I32_LANES: usize = 8;
 /// equivalent.
 const I64_LANES: usize = 4;
 
-/// `acc[j] += Σ_p wrow[p] · acts[p][j]` in i32 — the native narrow tier.
-/// Column-register-blocked: each block of [`I32_LANES`] output columns
-/// runs the full reduction with its partial sums held in registers. Row
-/// strides are hoisted to a running offset so neither the block loop nor
-/// the tail recomputes `p * ncols + j` per element.
-pub(crate) fn accumulate_i32_scalar(acc: &mut [i32], wrow: &[i32], acts: &[i32]) {
+/// Shared scalar tail of every blocked accumulate kernel: the columns past
+/// the last full lane block each walk the `[rows, ncols]` activation block
+/// at a hoisted stride of `ncols`. The scalar reference kernels below and
+/// the SIMD kernels' ragged tails (`crate::simd`) all delegate here — PR 6
+/// left this loop hand-expanded in three near-identical copies.
+///
+/// The partial sum starts from the additive identity and is added to
+/// `acc[j]` once at the end, exactly like the in-register lane blocks, so
+/// tail columns see the same association order as blocked ones (exact for
+/// integers by associativity, exact for the f32 tier by the sub-2^24
+/// bound).
+pub(crate) fn accumulate_col_tail<C: Copy, A: Copy + Default + std::ops::Add<Output = A>>(
+    acc: &mut [A],
+    wrow: &[C],
+    acts: &[C],
+    start: usize,
+    mad: impl Fn(A, C, C) -> A,
+) {
     let ncols = acc.len();
-    let mut j = 0usize;
-    while j + I32_LANES <= ncols {
-        let mut lanes = [0i32; I32_LANES];
-        let mut base = j;
-        for &wv in wrow {
-            let a = &acts[base..base + I32_LANES];
-            for (l, &av) in lanes.iter_mut().zip(a) {
-                *l += wv * av;
-            }
-            base += ncols;
-        }
-        for (o, l) in acc[j..j + I32_LANES].iter_mut().zip(lanes) {
-            *o += l;
-        }
-        j += I32_LANES;
-    }
-    while j < ncols {
-        let mut lane = 0i32;
+    for (j, a) in acc.iter_mut().enumerate().skip(start) {
+        let mut lane = A::default();
         let mut idx = j;
         for &wv in wrow {
-            lane += wv * acts[idx];
+            lane = mad(lane, wv, acts[idx]);
             idx += ncols;
         }
-        acc[j] += lane;
-        j += 1;
+        *a = *a + lane;
     }
 }
 
-/// i64 variant for 12/16-bit layers whose partial sums can overflow i32,
-/// with [`I64_LANES`] register lanes and the same hoisted row strides.
-pub(crate) fn accumulate_i64_scalar(acc: &mut [i64], wrow: &[i32], acts: &[i32]) {
+/// Column-register-blocked reduction shared by the integer scalar kernels:
+/// each block of `LANES` output columns runs the full reduction with its
+/// partial sums held in a local array (the wide tiers' answer to the f32
+/// tier's SIMD lanes), row strides hoisted to a running offset, and the
+/// ragged tail falling through to [`accumulate_col_tail`].
+fn accumulate_blocked_scalar<C, A, const LANES: usize>(
+    acc: &mut [A],
+    wrow: &[C],
+    acts: &[C],
+    mad: impl Fn(A, C, C) -> A + Copy,
+) where
+    C: Copy,
+    A: Copy + Default + std::ops::Add<Output = A>,
+{
     let ncols = acc.len();
     let mut j = 0usize;
-    while j + I64_LANES <= ncols {
-        let mut lanes = [0i64; I64_LANES];
+    while j + LANES <= ncols {
+        let mut lanes = [A::default(); LANES];
         let mut base = j;
         for &wv in wrow {
-            let wv = i64::from(wv);
-            let a = &acts[base..base + I64_LANES];
+            let a = &acts[base..base + LANES];
             for (l, &av) in lanes.iter_mut().zip(a) {
-                *l += wv * i64::from(av);
+                *l = mad(*l, wv, av);
             }
             base += ncols;
         }
-        for (o, l) in acc[j..j + I64_LANES].iter_mut().zip(lanes) {
-            *o += l;
+        for (o, l) in acc[j..j + LANES].iter_mut().zip(lanes) {
+            *o = *o + l;
         }
-        j += I64_LANES;
+        j += LANES;
     }
-    while j < ncols {
-        let mut lane = 0i64;
-        let mut idx = j;
-        for &wv in wrow {
-            lane += i64::from(wv) * i64::from(acts[idx]);
-            idx += ncols;
-        }
-        acc[j] += lane;
-        j += 1;
-    }
+    accumulate_col_tail(acc, wrow, acts, j, mad);
+}
+
+/// `acc[j] += Σ_p wrow[p] · acts[p][j]` in i32 — the native narrow tier.
+pub(crate) fn accumulate_i32_scalar(acc: &mut [i32], wrow: &[i32], acts: &[i32]) {
+    accumulate_blocked_scalar::<_, _, I32_LANES>(acc, wrow, acts, |l, w, a| l + w * a);
+}
+
+/// i64 variant for 12/16-bit layers whose partial sums can overflow i32.
+pub(crate) fn accumulate_i64_scalar(acc: &mut [i64], wrow: &[i32], acts: &[i32]) {
+    accumulate_blocked_scalar::<_, _, I64_LANES>(acc, wrow, acts, |l, w, a| {
+        l + i64::from(w) * i64::from(a)
+    });
 }
 
 /// Exact-f32 variant: codes are small integers, so every product and
@@ -389,23 +397,27 @@ pub(crate) fn accumulate_f32_scalar(acc: &mut [f32], wrow: &[f32], acts: &[f32])
 // Batched integer execution
 // ---------------------------------------------------------------------------
 
-/// Quantizes the batch to codes plus one decode scale per sample
-/// (`PerBatch` replicates the single whole-tensor scale).
-fn sample_codes<T: Tier>(
+/// Quantizes the batch to codes (converted by `conv` into whatever lane
+/// type the caller's kernel consumes) plus one decode scale per sample
+/// (`PerBatch` replicates the single whole-tensor scale). Shared between
+/// the tier path ([`sample_codes`]) and the fused path, which narrows
+/// codes to `i8`/`i16` lanes instead.
+fn sample_codes_as<L: Copy + Send>(
     x: &Tensor,
     n: usize,
     sample_len: usize,
     bits: BitWidth,
     quantizer: Quantizer,
     aq: ActQuant,
-) -> (Vec<T::Code>, Vec<f32>) {
+    conv: impl Fn(i32) -> L + Sync,
+) -> (Vec<L>, Vec<f32>) {
     match aq {
         ActQuant::PerBatch => {
             let ac = quantizer
                 .activation_codes(x.data(), bits)
                 .expect("integer storage implies quantized activations");
             (
-                ac.codes.iter().map(|&v| T::code(v)).collect(),
+                ac.codes.iter().map(|&v| conv(v)).collect(),
                 vec![ac.scale; n],
             )
         }
@@ -420,12 +432,24 @@ fn sample_codes<T: Tier>(
             let mut codes = Vec::with_capacity(n * sample_len);
             let mut scales = Vec::with_capacity(n);
             for ac in per {
-                codes.extend(ac.codes.iter().map(|&v| T::code(v)));
+                codes.extend(ac.codes.iter().map(|&v| conv(v)));
                 scales.push(ac.scale);
             }
             (codes, scales)
         }
     }
+}
+
+/// Quantizes the batch to tier codes plus per-sample decode scales.
+fn sample_codes<T: Tier>(
+    x: &Tensor,
+    n: usize,
+    sample_len: usize,
+    bits: BitWidth,
+    quantizer: Quantizer,
+    aq: ActQuant,
+) -> (Vec<T::Code>, Vec<f32>) {
+    sample_codes_as(x, n, sample_len, bits, quantizer, aq, T::code)
 }
 
 /// Decodes the whole packed weight matrix once per forward; the decoded
@@ -661,6 +685,301 @@ fn linear_int<T: Tier>(
 }
 
 // ---------------------------------------------------------------------------
+// Fused low-bit execution (≤ 8-bit storage: multiply on packed codes)
+// ---------------------------------------------------------------------------
+
+/// One fused-kernel flavour: which lane type activations narrow to, how
+/// many reduction rows pack into one weight word, and how the word is
+/// built. The fused kernels multiply directly on (re-)packed codes —
+/// nibble weights ride as `w + 8 ∈ [0, 15]` unsigned bytes so they can sit
+/// on `maddubs`' unsigned operand, and the shift is undone by an exact
+/// integer `-8·colsum` correction before dequant (DESIGN.md §6g has the
+/// overflow-bound argument; `PackedGemm::fused` gates eligibility at pack
+/// time).
+trait FusedTier {
+    /// Narrowed activation lane: `i8` for nibble weights (|a| ≤ 15 at
+    /// ≤ 4 bits), `i16` for i8 weights (|a| ≤ 255 at ≤ 8 bits).
+    type Lane: Copy + Default + Send + Sync + Into<i32>;
+    /// Reduction rows per packed weight word (4 bytes / 2 i16 halves).
+    const GROUP: usize;
+    /// Shift added to every weight code at word-pack time; the kernel's
+    /// accumulator is off by `WEIGHT_BIAS · colsum` per column, which the
+    /// driver subtracts exactly in i32.
+    const WEIGHT_BIAS: i32;
+    fn lane(code: i32) -> Self::Lane;
+    /// The active backend's fused kernel, or `None` (scalar backend) —
+    /// callers fall back to the decode-then-multiply tier path.
+    fn kernel() -> Option<crate::simd::FusedKernel<Self::Lane>>;
+    /// Packs one decoded weight row (plus `WEIGHT_BIAS`) into
+    /// [`Self::GROUP`]-wide little-endian words; the final partial word
+    /// pads with shifted-zero codes, which meet only zero-padded
+    /// activation lanes.
+    fn pack_wrow(wrow: &[i32], out: &mut Vec<u32>);
+}
+
+/// Nibble storage (≤ 4-bit weights): `maddubs`-class kernels.
+struct FusedNibble;
+/// I8 storage (5–8-bit weights): `madd`-on-i16-pairs kernels.
+struct FusedI8;
+
+impl FusedTier for FusedNibble {
+    type Lane = i8;
+    const GROUP: usize = 4;
+    const WEIGHT_BIAS: i32 = 8;
+    fn lane(code: i32) -> i8 {
+        code as i8
+    }
+    fn kernel() -> Option<crate::simd::FusedKernel<i8>> {
+        crate::simd::kernels().gemm_nibble
+    }
+    fn pack_wrow(wrow: &[i32], out: &mut Vec<u32>) {
+        for quad in wrow.chunks(4) {
+            let mut word = 0u32;
+            for (k, &c) in quad.iter().enumerate() {
+                // Codes sit in [-8, 7], so w + 8 ∈ [0, 15] fits unsigned.
+                word |= (((c + 8) as u8) as u32) << (8 * k);
+            }
+            out.push(word);
+        }
+    }
+}
+
+impl FusedTier for FusedI8 {
+    type Lane = i16;
+    const GROUP: usize = 2;
+    const WEIGHT_BIAS: i32 = 0;
+    fn lane(code: i32) -> i16 {
+        code as i16
+    }
+    fn kernel() -> Option<crate::simd::FusedKernel<i16>> {
+        crate::simd::kernels().gemm_i8
+    }
+    fn pack_wrow(wrow: &[i32], out: &mut Vec<u32>) {
+        for pair in wrow.chunks(2) {
+            let lo = u32::from(pair[0] as i16 as u16);
+            let hi = pair.get(1).map_or(0, |&c| u32::from(c as i16 as u16));
+            out.push(lo | (hi << 16));
+        }
+    }
+}
+
+/// Repacks a `[rows, ncols]` activation block into the fused layout: rows
+/// group `G` at a time and each group's lanes sit adjacent per column
+/// (`out[(q·ncols + j)·G + k] = block[(q·G + k)·ncols + j]`), with the
+/// final partial group zero-padded. One contiguous load then feeds a whole
+/// weight word's worth of multiplies per column block.
+fn interleave_block<L: Copy + Default>(block: &[L], rows: usize, ncols: usize, g: usize) -> Vec<L> {
+    let groups = rows.div_ceil(g);
+    let mut out = vec![L::default(); groups * g * ncols];
+    for p in 0..rows {
+        let (q, k) = (p / g, p % g);
+        let src = &block[p * ncols..(p + 1) * ncols];
+        let dst = &mut out[q * g * ncols..(q + 1) * g * ncols];
+        for (j, &v) in src.iter().enumerate() {
+            dst[j * g + k] = v;
+        }
+    }
+    out
+}
+
+/// Exact i32 per-column sums of an interleaved block (zero padding adds
+/// nothing). Feeds the `-WEIGHT_BIAS·colsum` re-centering correction and
+/// the offset dequant term; `PackedGemm::fused` guarantees the sums fit.
+fn colsums_i32<L: Copy + Into<i32>>(inter: &[L], ncols: usize, g: usize) -> Vec<i32> {
+    let mut cs = vec![0i32; ncols];
+    for gchunk in inter.chunks(g * ncols) {
+        for (j, lanes) in gchunk.chunks(g).enumerate() {
+            for &v in lanes {
+                cs[j] += v.into();
+            }
+        }
+    }
+    cs
+}
+
+/// Decodes and word-packs the whole weight matrix once per forward
+/// (mirrors [`decode_all`]: the words are shared by every sample and every
+/// parallel chunk). Each row spans `cols.div_ceil(GROUP)` words.
+fn pack_weight_words<F: FusedTier>(storage: &Storage, rows: usize, cols: usize) -> Vec<u32> {
+    let mut wrow = vec![0i32; cols];
+    let mut out = Vec::with_capacity(rows * cols.div_ceil(F::GROUP));
+    for row in 0..rows {
+        storage.decode_row(row, cols, &mut wrow);
+        F::pack_wrow(&wrow, &mut out);
+    }
+    out
+}
+
+/// Fused ≤ 8-bit conv: same structure as [`conv_int`], but the GEMM
+/// multiplies on packed codes — activations narrow to the storage-matched
+/// lane type and interleave once per (sample, group), weights word-pack
+/// once per forward. Returns `None` when the active backend has no fused
+/// kernel or the layer shape is depthwise (no patch matrix to fuse over);
+/// the caller falls back to the tier path. Bit-identity with that path:
+/// the kernel accumulates the exact integer sum (`PackedGemm::fused`
+/// bounds it inside i32), the correction is exact integer arithmetic, and
+/// the dequant expressions below match the tier path's term for term with
+/// `i32 → f32` casts that round identically to every tier's `acc_f32`.
+#[allow(clippy::too_many_arguments)]
+fn conv_fused<F: FusedTier>(
+    gemm: &PackedGemm,
+    cg: usize,
+    r: usize,
+    s: usize,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+    x: &Tensor,
+    bits: BitWidth,
+    quantizer: Quantizer,
+    aq: ActQuant,
+) -> Option<Tensor> {
+    let kernel = F::kernel()?;
+    let dims = x.dims();
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    let k = gemm.rows;
+    let kg = k / groups;
+    if groups == c && cg == 1 && kg == 1 {
+        return None;
+    }
+    let oh = (h + 2 * pad - r) / stride + 1;
+    let ow = (w + 2 * pad - s) / stride + 1;
+    let ncols = oh * ow;
+    let chw = c * h * w;
+
+    let (codes, scales) = sample_codes_as(x, n, chw, bits, quantizer, aq, F::lane);
+
+    // The nibble correction needs column sums even for symmetric codes.
+    let need_cs = F::WEIGHT_BIAS != 0 || gemm.has_offset;
+    let blocks: Vec<(Vec<F::Lane>, Vec<i32>)> =
+        gate(n * groups * gemm.cols * ncols >= PAR_FLOP_THRESHOLD, || {
+            parallel_map_indexed(n * groups, |e| {
+                let (i, gi) = (e / groups, e % groups);
+                let base = (i * c + gi * cg) * h * w;
+                let (block, _, _) =
+                    im2col_generic(&codes[base..base + cg * h * w], cg, h, w, r, s, stride, pad);
+                let inter = interleave_block(&block, gemm.cols, ncols, F::GROUP);
+                let cs = if need_cs {
+                    colsums_i32(&inter, ncols, F::GROUP)
+                } else {
+                    Vec::new()
+                };
+                (inter, cs)
+            })
+        });
+    let wwords = pack_weight_words::<F>(&gemm.storage, k, gemm.cols);
+    let wstride = gemm.cols.div_ceil(F::GROUP);
+
+    let mut out = vec![0.0f32; n * k * ncols];
+    let flops = 2 * n * k * gemm.cols * ncols;
+    gate(flops >= PAR_FLOP_THRESHOLD, || {
+        par_chunks_mut(&mut out, ncols, |ci, orow| {
+            let (i, row) = (ci / k, ci % k);
+            let gi = row / kg;
+            let (block, cs) = &blocks[i * groups + gi];
+            let mut acc = vec![0i32; ncols];
+            kernel(
+                &mut acc,
+                &wwords[row * wstride..(row + 1) * wstride],
+                block,
+                ncols,
+            );
+            if F::WEIGHT_BIAS != 0 {
+                for (a, &c) in acc.iter_mut().zip(cs.iter()) {
+                    *a -= F::WEIGHT_BIAS * c;
+                }
+            }
+            let (a, bias, bco, sa) = (
+                gemm.scale[row],
+                gemm.bias[row],
+                gemm.colsum_coef[row],
+                scales[i],
+            );
+            if gemm.has_offset {
+                for (j, o) in orow.iter_mut().enumerate() {
+                    *o = sa * (a * acc[j] as f32 + bco * cs[j] as f32) + bias;
+                }
+            } else {
+                for (o, &v) in orow.iter_mut().zip(&acc) {
+                    *o = sa * a * v as f32 + bias;
+                }
+            }
+        })
+    });
+    Some(Tensor::from_vec(vec![n, k, oh, ow], out))
+}
+
+/// Fused ≤ 8-bit linear: samples travel as GEMM columns exactly as in
+/// [`linear_int`], with the transposed code block built directly in the
+/// interleaved layout. Same fallback and bit-identity contract as
+/// [`conv_fused`].
+fn linear_fused<F: FusedTier>(
+    g: &PackedGemm,
+    x: &Tensor,
+    bits: BitWidth,
+    quantizer: Quantizer,
+    aq: ActQuant,
+) -> Option<Tensor> {
+    let kernel = F::kernel()?;
+    let (n, f) = (x.dims()[0], x.dims()[1]);
+    let (codes, scales) = sample_codes_as(x, n, f, bits, quantizer, aq, F::lane);
+
+    let fgroups = f.div_ceil(F::GROUP);
+    let mut inter = vec![F::Lane::default(); fgroups * F::GROUP * n];
+    for i in 0..n {
+        for (p, &v) in codes[i * f..(i + 1) * f].iter().enumerate() {
+            let (q, kk) = (p / F::GROUP, p % F::GROUP);
+            inter[(q * n + i) * F::GROUP + kk] = v;
+        }
+    }
+    let cs: Vec<i32> = if F::WEIGHT_BIAS != 0 || g.has_offset {
+        (0..n)
+            .map(|i| codes[i * f..(i + 1) * f].iter().map(|&v| v.into()).sum())
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let wwords = pack_weight_words::<F>(&g.storage, g.rows, f);
+    let wstride = f.div_ceil(F::GROUP);
+
+    let mut tmp = vec![0.0f32; g.rows * n];
+    let flops = 2 * g.rows * f * n;
+    gate(flops >= PAR_FLOP_THRESHOLD, || {
+        par_chunks_mut(&mut tmp, n, |row, orow| {
+            let mut acc = vec![0i32; n];
+            kernel(
+                &mut acc,
+                &wwords[row * wstride..(row + 1) * wstride],
+                &inter,
+                n,
+            );
+            if F::WEIGHT_BIAS != 0 {
+                for (a, &c) in acc.iter_mut().zip(&cs) {
+                    *a -= F::WEIGHT_BIAS * c;
+                }
+            }
+            let (a, bias, bco) = (g.scale[row], g.bias[row], g.colsum_coef[row]);
+            if g.has_offset {
+                for (i, o) in orow.iter_mut().enumerate() {
+                    *o = scales[i] * (a * acc[i] as f32 + bco * cs[i] as f32) + bias;
+                }
+            } else {
+                for (i, o) in orow.iter_mut().enumerate() {
+                    *o = scales[i] * a * acc[i] as f32 + bias;
+                }
+            }
+        })
+    });
+    let mut out = vec![0.0f32; n * g.rows];
+    for kk in 0..g.rows {
+        for i in 0..n {
+            out[i * g.rows + kk] = tmp[kk * n + i];
+        }
+    }
+    Some(Tensor::from_vec(vec![n, g.rows], out))
+}
+
+// ---------------------------------------------------------------------------
 // f32 fallback path (full precision, raw-input stems, > 16 bits)
 // ---------------------------------------------------------------------------
 
@@ -719,6 +1038,20 @@ fn exec_conv(
     assert_eq!(c, cg * groups, "conv input channel mismatch");
 
     if gemm.storage.is_integer() {
+        if gemm.fused && crate::simd::fused_gemm_enabled() {
+            let fused = match &gemm.storage {
+                Storage::Nibble(_) => conv_fused::<FusedNibble>(
+                    gemm, cg, r, s, stride, pad, groups, x, bits, quantizer, aq,
+                ),
+                Storage::I8(_) => conv_fused::<FusedI8>(
+                    gemm, cg, r, s, stride, pad, groups, x, bits, quantizer, aq,
+                ),
+                _ => None,
+            };
+            if let Some(y) = fused {
+                return y;
+            }
+        }
         return match gemm.accum {
             Accum::F32 => {
                 conv_int::<TierF32>(gemm, cg, r, s, stride, pad, groups, x, bits, quantizer, aq)
@@ -842,6 +1175,16 @@ fn exec_linear(
     assert_eq!(f, g.cols, "linear in-feature mismatch");
 
     if g.storage.is_integer() {
+        if g.fused && crate::simd::fused_gemm_enabled() {
+            let fused = match &g.storage {
+                Storage::Nibble(_) => linear_fused::<FusedNibble>(g, x, bits, quantizer, aq),
+                Storage::I8(_) => linear_fused::<FusedI8>(g, x, bits, quantizer, aq),
+                _ => None,
+            };
+            if let Some(y) = fused {
+                return y;
+            }
+        }
         return match g.accum {
             Accum::F32 => linear_int::<TierF32>(g, x, bits, quantizer, aq),
             Accum::I32 => linear_int::<TierI32>(g, x, bits, quantizer, aq),

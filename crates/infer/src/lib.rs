@@ -52,7 +52,10 @@ mod exec;
 mod pack;
 pub mod simd;
 
-pub use simd::{active_simd_backend, avx2_available, with_simd_backend, SimdBackend};
+pub use simd::{
+    active_simd_backend, avx2_available, fused_gemm_enabled, neon_available, with_fused_gemm,
+    with_simd_backend, SimdBackend,
+};
 
 /// Typed error for every fallible engine operation: plan compilation
 /// ([`PackedModel::prepack`]), checkpoint restore
@@ -275,6 +278,11 @@ pub struct PackedGemm {
     pub has_offset: bool,
     /// Overflow-safe accumulator tier for this layer.
     pub accum: Accum,
+    /// Whether this layer may route through the fused ≤ 8-bit kernels
+    /// (nibble/i8 storage whose shifted-code accumulation bound fits i32;
+    /// see `pack.rs`). The backend must also provide a fused kernel —
+    /// scalar dispatch always takes the decode-then-multiply tier path.
+    pub fused: bool,
 }
 
 /// One executable operation of a packed network.

@@ -108,6 +108,7 @@ fn pack_gemm(
             bias,
             has_offset: false,
             accum: Accum::F32,
+            fused: false,
         });
     }
 
@@ -163,6 +164,19 @@ fn pack_gemm(
     } else {
         Accum::I64
     };
+    // Fused ≤ 8-bit kernels accumulate in i32 on *shifted* codes: nibble
+    // weights ride as `w + 8 ∈ [0, 15]` unsigned bytes (so |partial sum| ≤
+    // 15 · max|a| · cols regardless of `max_code_abs`), i8 weights ride
+    // as-is, and both need the i32 column-sum correction `Σ a` (≤ max|a| ·
+    // cols) to stay exact. Mirror the main bound's ×2 slack on each — the
+    // same argument that picks the tier above, restated for the shifted
+    // arithmetic (DESIGN.md §6g).
+    let act_bound = act_code_abs_max(bits) * cols as i64;
+    let fused = match &storage {
+        Storage::Nibble(_) => 15 * act_bound <= i64::from(i32::MAX) / 2,
+        Storage::I8(_) => i64::from(max_code_abs).max(1) * act_bound <= i64::from(i32::MAX) / 2,
+        _ => false,
+    };
 
     Ok(PackedGemm {
         rows,
@@ -173,6 +187,7 @@ fn pack_gemm(
         bias,
         has_offset,
         accum,
+        fused,
     })
 }
 

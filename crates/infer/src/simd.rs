@@ -4,23 +4,48 @@
 //! The packed engine's inner loops — the `accumulate_*` column reductions
 //! and the per-row weight decode — are portable scalar Rust in
 //! [`crate::exec`] / [`crate::Storage`]. This module adds AVX2
-//! (`core::arch::x86_64`) implementations of the same kernels and selects
-//! between the two backends **once per process** through a function table:
+//! (`core::arch::x86_64`) and NEON (`core::arch::aarch64`)
+//! implementations of the same kernels, plus **fused** ≤ 8-bit GEMM
+//! kernels that multiply directly on packed codes, and selects a backend
+//! **once per process** through a function table:
 //!
 //! * detection runs once ([`std::sync::OnceLock`]) via
-//!   `is_x86_feature_detected!("avx2")`;
+//!   `is_x86_feature_detected!("avx2")` (ASIMD is baseline on aarch64, so
+//!   NEON needs no runtime probe);
 //! * the `INSTANTNET_SIMD` environment variable overrides detection
-//!   (`scalar` forces the portable kernels anywhere; `avx2` requests AVX2
-//!   and falls back to scalar when the CPU lacks it; anything else —
-//!   including unset and `auto` — means "detect");
+//!   (`scalar` forces the portable kernels anywhere; `avx2`/`neon`
+//!   request that backend and fall back to detection when the CPU lacks
+//!   it; anything else — including unset and `auto` — means "detect");
 //! * tests and benches can force a backend for a scoped region with
-//!   [`with_simd_backend`], which serializes callers on a global lock.
+//!   [`with_simd_backend`], which serializes callers on a global lock,
+//!   and toggle the fused paths with [`with_fused_gemm`] (env default:
+//!   `INSTANTNET_FUSED`, on unless `0`/`off`/`false`).
 //!
 //! Every call site in the engine routes through [`kernels`], so batched,
-//! resilient, and sharded serving plus the f32-fallback path all inherit
-//! the active backend with no API change. The table layout is
-//! backend-agnostic on purpose: a NEON port adds one more `Kernels`
-//! static (and a `SimdBackend::Neon` arm) without touching any call site.
+//! resilient, sharded, and wall-clock serving plus the f32-fallback path
+//! all inherit the active backend with no API change.
+//!
+//! # Fused ≤ 8-bit GEMM
+//!
+//! The PR 6 kernels decode every weight code to the accumulator type
+//! before multiplying, so 4-bit GEMM ran no faster than 8-bit. The
+//! `gemm_nibble`/`gemm_i8` slots multiply on packed codes instead
+//! (activations pre-narrowed to `i8`/`i16` and interleaved by
+//! `crate::exec`):
+//!
+//! * **nibble** (≤ 4-bit weights): codes ship as `w + 8 ∈ [0, 15]`
+//!   unsigned bytes, four to a `u32`; `maddubs`-class instructions form
+//!   `(w₀+8)a₀ + (w₁+8)a₁` i16 pairs — bounded by 2·15·15 = 450, far from
+//!   the i16 saturation point — then widen pair sums to i32. The `+8`
+//!   shift is undone by an exact integer `-8·Σa` column-sum correction.
+//! * **i8** (5–8-bit weights): codes ship as i16 pairs in a `u32`; `madd`
+//!   (x86) / `smull`+pairwise-add (NEON) forms i32 pair sums directly —
+//!   each product is bounded by 128·255, so the i32 pair sum is exact.
+//!
+//! Pack time guarantees the whole shifted reduction and the column sums
+//! fit i32 with ×2 slack (`PackedGemm::fused`, mirroring the 2^24 f32
+//! bound; DESIGN.md §6g) — so the fused accumulator equals the tier
+//! accumulator as a mathematical integer, and results stay bit-identical.
 //!
 //! # Bit-identity contract
 //!
@@ -68,6 +93,8 @@ pub enum SimdBackend {
     Scalar,
     /// 256-bit AVX2 integer/float kernels (x86-64 with runtime support).
     Avx2,
+    /// 128-bit NEON/ASIMD kernels (baseline on aarch64).
+    Neon,
 }
 
 impl SimdBackend {
@@ -76,6 +103,7 @@ impl SimdBackend {
         match self {
             SimdBackend::Scalar => "scalar",
             SimdBackend::Avx2 => "avx2",
+            SimdBackend::Neon => "neon",
         }
     }
 }
@@ -94,7 +122,18 @@ pub(crate) struct Kernels {
     pub(crate) decode_row_i32: fn(&Storage, usize, usize, &mut [i32]),
     /// Decodes one packed weight row into exact f32 lanes.
     pub(crate) decode_row_f32: fn(&Storage, usize, usize, &mut [f32]),
+    /// Fused nibble GEMM: `acc[j] += Σ_q Σ_k byte_k(w[q]) · block[(q·ncols
+    /// + j)·4 + k]` over shifted `w + 8` bytes and an interleaved i8 block
+    /// (`None`: backend multiplies on decoded codes only).
+    pub(crate) gemm_nibble: Option<FusedKernel<i8>>,
+    /// Fused i8 GEMM: same contract over i16 weight pairs and an
+    /// interleaved i16 block, no shift.
+    pub(crate) gemm_i8: Option<FusedKernel<i16>>,
 }
+
+/// A fused GEMM kernel: `(acc, packed weight words, interleaved activation
+/// block, ncols)`.
+pub(crate) type FusedKernel<L> = fn(&mut [i32], &[u32], &[L], usize);
 
 static SCALAR: Kernels = Kernels {
     backend: SimdBackend::Scalar,
@@ -103,6 +142,10 @@ static SCALAR: Kernels = Kernels {
     accumulate_f32: crate::exec::accumulate_f32_scalar,
     decode_row_i32: Storage::decode_row_scalar,
     decode_row_f32: Storage::decode_row_f32_scalar,
+    // The scalar backend stays the pure decode-then-multiply reference the
+    // parity suite measures everything against.
+    gemm_nibble: None,
+    gemm_i8: None,
 };
 
 #[cfg(target_arch = "x86_64")]
@@ -113,6 +156,22 @@ static AVX2: Kernels = Kernels {
     accumulate_f32: avx2::accumulate_f32,
     decode_row_i32: avx2::decode_row_i32,
     decode_row_f32: avx2::decode_row_f32,
+    gemm_nibble: Some(avx2::gemm_nibble),
+    gemm_i8: Some(avx2::gemm_i8),
+};
+
+#[cfg(target_arch = "aarch64")]
+static NEON: Kernels = Kernels {
+    backend: SimdBackend::Neon,
+    accumulate_i32: neon::accumulate_i32,
+    accumulate_i64: neon::accumulate_i64,
+    accumulate_f32: neon::accumulate_f32,
+    // Decode is elementwise and cold next to the reductions (the fused
+    // paths never decode at all), so NEON keeps the scalar decoders.
+    decode_row_i32: Storage::decode_row_scalar,
+    decode_row_f32: Storage::decode_row_f32_scalar,
+    gemm_nibble: Some(neon::gemm_nibble),
+    gemm_i8: Some(neon::gemm_i8),
 };
 
 fn table(backend: SimdBackend) -> &'static Kernels {
@@ -120,10 +179,15 @@ fn table(backend: SimdBackend) -> &'static Kernels {
         SimdBackend::Scalar => &SCALAR,
         #[cfg(target_arch = "x86_64")]
         SimdBackend::Avx2 => &AVX2,
-        // `resolve` never yields Avx2 off x86-64 and `with_simd_backend`
-        // asserts availability, so this arm is unreachable in practice.
+        #[cfg(target_arch = "aarch64")]
+        SimdBackend::Neon => &NEON,
+        // `resolve` never yields an unavailable backend and
+        // `with_simd_backend` asserts availability, so these arms are
+        // unreachable in practice.
         #[cfg(not(target_arch = "x86_64"))]
         SimdBackend::Avx2 => &SCALAR,
+        #[cfg(not(target_arch = "aarch64"))]
+        SimdBackend::Neon => &SCALAR,
     }
 }
 
@@ -139,21 +203,30 @@ pub fn avx2_available() -> bool {
     }
 }
 
-/// Pure resolution of (env override, detected AVX2) → backend, split out
-/// so the knob semantics are unit-testable without process-global state.
-fn resolve(env: Option<&str>, avx2: bool) -> SimdBackend {
-    let fallback = if avx2 {
+/// Whether this CPU can run the NEON backend (ASIMD is baseline on
+/// aarch64, so this is a compile-time fact; always false elsewhere).
+pub fn neon_available() -> bool {
+    cfg!(target_arch = "aarch64")
+}
+
+/// Pure resolution of (env override, detected AVX2/NEON) → backend, split
+/// out so the knob semantics are unit-testable without process-global
+/// state. An explicit backend request still needs the CPU to support it;
+/// degrade to detection instead of faulting on the first kernel.
+fn resolve(env: Option<&str>, avx2: bool, neon: bool) -> SimdBackend {
+    let detected = if avx2 {
         SimdBackend::Avx2
+    } else if neon {
+        SimdBackend::Neon
     } else {
         SimdBackend::Scalar
     };
     match env.map(str::trim) {
         Some(v) if v.eq_ignore_ascii_case("scalar") => SimdBackend::Scalar,
-        // An explicit avx2 request still needs the CPU to support it;
-        // degrade to scalar instead of faulting on the first kernel.
-        Some(v) if v.eq_ignore_ascii_case("avx2") => fallback,
-        // Unset, "auto", or garbage: detect.
-        _ => fallback,
+        Some(v) if v.eq_ignore_ascii_case("avx2") && avx2 => SimdBackend::Avx2,
+        Some(v) if v.eq_ignore_ascii_case("neon") && neon => SimdBackend::Neon,
+        // Unset, "auto", an unavailable request, or garbage: detect.
+        _ => detected,
     }
 }
 
@@ -169,6 +242,7 @@ fn default_kernels() -> &'static Kernels {
         table(resolve(
             std::env::var("INSTANTNET_SIMD").ok().as_deref(),
             avx2_available(),
+            neon_available(),
         ))
     })
 }
@@ -181,6 +255,8 @@ pub(crate) fn kernels() -> &'static Kernels {
         1 => &SCALAR,
         #[cfg(target_arch = "x86_64")]
         2 => &AVX2,
+        #[cfg(target_arch = "aarch64")]
+        3 => &NEON,
         _ => default_kernels(),
     }
 }
@@ -203,12 +279,19 @@ pub fn active_simd_backend() -> SimdBackend {
 ///
 /// # Panics
 ///
-/// Panics if `backend` is [`SimdBackend::Avx2`] on a CPU without AVX2
-/// (callers gate on [`avx2_available`]).
+/// Panics if `backend` is [`SimdBackend::Avx2`] / [`SimdBackend::Neon`]
+/// on a CPU that cannot run it (callers gate on [`avx2_available`] /
+/// [`neon_available`]).
 pub fn with_simd_backend<T>(backend: SimdBackend, f: impl FnOnce() -> T) -> T {
+    let available = match backend {
+        SimdBackend::Scalar => true,
+        SimdBackend::Avx2 => avx2_available(),
+        SimdBackend::Neon => neon_available(),
+    };
     assert!(
-        backend != SimdBackend::Avx2 || avx2_available(),
-        "AVX2 backend forced but this CPU has no AVX2"
+        available,
+        "{} backend forced but this CPU cannot run it",
+        backend.name()
     );
     let _serialize = FORCE_LOCK
         .lock()
@@ -222,13 +305,112 @@ pub fn with_simd_backend<T>(backend: SimdBackend, f: impl FnOnce() -> T) -> T {
     let code = match backend {
         SimdBackend::Scalar => 1,
         SimdBackend::Avx2 => 2,
+        SimdBackend::Neon => 3,
     };
     let _restore = Restore(FORCED.swap(code, Ordering::SeqCst));
     f()
 }
 
+/// Fused-GEMM override (0 = none, 1 = forced off, 2 = forced on) with its
+/// own serialization lock — separate from `FORCE_LOCK` so a fused toggle
+/// can nest inside [`with_simd_backend`] (the parity tests and the
+/// fused-vs-widen benches do exactly that).
+static FUSED_FORCED: AtomicU8 = AtomicU8::new(0);
+static FUSED_LOCK: Mutex<()> = Mutex::new(());
+
+fn fused_default() -> bool {
+    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        !std::env::var("INSTANTNET_FUSED").is_ok_and(|v| {
+            let v = v.trim();
+            v.eq_ignore_ascii_case("0")
+                || v.eq_ignore_ascii_case("off")
+                || v.eq_ignore_ascii_case("false")
+        })
+    })
+}
+
+/// Whether eligible layers (`PackedGemm::fused` + a backend that provides
+/// fused kernels) route through the fused ≤ 8-bit GEMM paths. On by
+/// default; `INSTANTNET_FUSED=0|off|false` disables it process-wide, and
+/// [`with_fused_gemm`] overrides it for a scope. Both routes compute
+/// bit-identical results — only speed differs.
+pub fn fused_gemm_enabled() -> bool {
+    match FUSED_FORCED.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => fused_default(),
+    }
+}
+
+/// Runs `f` with the fused ≤ 8-bit GEMM paths forced on or off, restoring
+/// the previous state afterwards (also on panic). Process-global and
+/// serialized like [`with_simd_backend`], on an independent lock so the
+/// two scopes nest in either order (do not nest `with_fused_gemm` inside
+/// itself; that deadlocks).
+pub fn with_fused_gemm<T>(enabled: bool, f: impl FnOnce() -> T) -> T {
+    let _serialize = FUSED_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    struct Restore(u8);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FUSED_FORCED.store(self.0, Ordering::SeqCst);
+        }
+    }
+    let _restore = Restore(FUSED_FORCED.swap(if enabled { 2 } else { 1 }, Ordering::SeqCst));
+    f()
+}
+
 // ---------------------------------------------------------------------------
-// AVX2 kernels (x86-64 only; every `unsafe` in the crate lives here)
+// Fused-kernel scalar reference (shared ragged-column tail of the AVX2 and
+// NEON fused kernels, and the oracle the kernel-level parity tests check
+// them against — call with `start = 0` for the full reduction)
+// ---------------------------------------------------------------------------
+
+/// `acc[j] += Σ_q Σ_k byte_k(wquads[q]) · block[(q·ncols + j)·4 + k]` for
+/// columns `start..`, over the interleaved fused-nibble layout (weight
+/// bytes are unsigned `w + 8` codes).
+#[cfg_attr(
+    not(any(target_arch = "x86_64", target_arch = "aarch64")),
+    allow(dead_code)
+)]
+fn gemm_nibble_ref(acc: &mut [i32], wquads: &[u32], block: &[i8], ncols: usize, start: usize) {
+    for (j, a) in acc.iter_mut().enumerate().skip(start) {
+        let mut sum = 0i32;
+        for (q, &wq) in wquads.iter().enumerate() {
+            let lanes = &block[(q * ncols + j) * 4..(q * ncols + j) * 4 + 4];
+            for (k, &v) in lanes.iter().enumerate() {
+                sum += (((wq >> (8 * k)) & 0xFF) as i32) * i32::from(v);
+            }
+        }
+        *a += sum;
+    }
+}
+
+/// The fused-i8 counterpart: signed i16 weight pairs against an
+/// interleaved i16 block.
+#[cfg_attr(
+    not(any(target_arch = "x86_64", target_arch = "aarch64")),
+    allow(dead_code)
+)]
+fn gemm_i8_ref(acc: &mut [i32], wpairs: &[u32], block: &[i16], ncols: usize, start: usize) {
+    for (j, a) in acc.iter_mut().enumerate().skip(start) {
+        let mut sum = 0i32;
+        for (q, &wp) in wpairs.iter().enumerate() {
+            let w0 = (wp & 0xFFFF) as u16 as i16;
+            let w1 = (wp >> 16) as u16 as i16;
+            let base = (q * ncols + j) * 2;
+            sum +=
+                i32::from(w0) * i32::from(block[base]) + i32::from(w1) * i32::from(block[base + 1]);
+        }
+        *a += sum;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels (x86-64 only; every `unsafe` in the crate lives here and in
+// the NEON module below)
 // ---------------------------------------------------------------------------
 
 #[cfg(target_arch = "x86_64")]
@@ -242,8 +424,9 @@ mod avx2 {
     use core::arch::x86_64::{
         __m128i, __m256, __m256i, _mm256_add_epi32, _mm256_add_epi64, _mm256_add_ps,
         _mm256_cvtepi16_epi32, _mm256_cvtepi32_ps, _mm256_cvtepi8_epi32, _mm256_cvtepu8_epi32,
-        _mm256_loadu_ps, _mm256_loadu_si256, _mm256_mul_epi32, _mm256_mul_ps, _mm256_mullo_epi32,
-        _mm256_permute2x128_si256, _mm256_set1_epi32, _mm256_set1_ps, _mm256_setzero_ps,
+        _mm256_loadu_ps, _mm256_loadu_si256, _mm256_madd_epi16, _mm256_maddubs_epi16,
+        _mm256_mul_epi32, _mm256_mul_ps, _mm256_mullo_epi32, _mm256_permute2x128_si256,
+        _mm256_set1_epi16, _mm256_set1_epi32, _mm256_set1_ps, _mm256_setzero_ps,
         _mm256_setzero_si256, _mm256_shuffle_epi32, _mm256_slli_epi32, _mm256_srai_epi32,
         _mm256_storeu_ps, _mm256_storeu_si256, _mm256_unpackhi_epi32, _mm256_unpackhi_epi64,
         _mm256_unpacklo_epi32, _mm256_unpacklo_epi64, _mm_loadl_epi64, _mm_loadu_si128,
@@ -285,6 +468,28 @@ mod avx2 {
         );
         // SAFETY: as in `accumulate_i32`.
         unsafe { accumulate_f32_kernel(acc, wrow, acts) }
+    }
+
+    pub(super) fn gemm_nibble(acc: &mut [i32], wquads: &[u32], block: &[i8], ncols: usize) {
+        debug_assert_eq!(acc.len(), ncols);
+        debug_assert_eq!(
+            block.len(),
+            wquads.len() * 4 * ncols,
+            "block must be the interleaved [quads × 4, ncols] layout"
+        );
+        // SAFETY: as in `accumulate_i32`.
+        unsafe { gemm_nibble_kernel(acc, wquads, block, ncols) }
+    }
+
+    pub(super) fn gemm_i8(acc: &mut [i32], wpairs: &[u32], block: &[i16], ncols: usize) {
+        debug_assert_eq!(acc.len(), ncols);
+        debug_assert_eq!(
+            block.len(),
+            wpairs.len() * 2 * ncols,
+            "block must be the interleaved [pairs × 2, ncols] layout"
+        );
+        // SAFETY: as in `accumulate_i32`.
+        unsafe { gemm_i8_kernel(acc, wpairs, block, ncols) }
     }
 
     pub(super) fn decode_row_i32(storage: &Storage, row: usize, cols: usize, out: &mut [i32]) {
@@ -388,6 +593,22 @@ mod avx2 {
         unsafe { _mm_loadl_epi64(lane.as_ptr().cast()) }
     }
 
+    /// Loads 32 i8 lanes (4 interleaved lanes × 8 columns).
+    #[target_feature(enable = "avx2")]
+    fn load_i8_32(s: &[i8], at: usize) -> __m256i {
+        let lane = &s[at..at + 32];
+        // SAFETY: 32 readable bytes per the slice above; unaligned load.
+        unsafe { _mm256_loadu_si256(lane.as_ptr().cast()) }
+    }
+
+    /// Loads 16 i16 lanes (2 interleaved lanes × 8 columns).
+    #[target_feature(enable = "avx2")]
+    fn load_i16_16(s: &[i16], at: usize) -> __m256i {
+        let lane = &s[at..at + 16];
+        // SAFETY: 16 readable i16 lanes per the slice above; unaligned load.
+        unsafe { _mm256_loadu_si256(lane.as_ptr().cast()) }
+    }
+
     // --- accumulate kernels ---
 
     /// i32 column reduction, two registers (16 columns) per block so the
@@ -423,16 +644,7 @@ mod avx2 {
             add_store_i32(acc, j, s);
             j += L;
         }
-        while j < ncols {
-            let mut lane = 0i32;
-            let mut idx = j;
-            for &wv in wrow {
-                lane += wv * acts[idx];
-                idx += ncols;
-            }
-            acc[j] += lane;
-            j += 1;
-        }
+        crate::exec::accumulate_col_tail(acc, wrow, acts, j, |l, w, a| l + w * a);
     }
 
     /// i64 column reduction. AVX2 has no 64×64 multiply, but
@@ -465,16 +677,9 @@ mod avx2 {
             add_store_i64(acc, j + 4, _mm256_permute2x128_si256::<0x31>(lo, hi));
             j += L;
         }
-        while j < ncols {
-            let mut lane = 0i64;
-            let mut idx = j;
-            for &wv in wrow {
-                lane += i64::from(wv) * i64::from(acts[idx]);
-                idx += ncols;
-            }
-            acc[j] += lane;
-            j += 1;
-        }
+        crate::exec::accumulate_col_tail(acc, wrow, acts, j, |l, w, a| {
+            l + i64::from(w) * i64::from(a)
+        });
     }
 
     /// Exact-f32 column reduction (lanes are small integers; every partial
@@ -509,16 +714,86 @@ mod avx2 {
             add_store_f32(acc, j, s);
             j += L;
         }
-        while j < ncols {
-            let mut lane = 0.0f32;
-            let mut idx = j;
-            for &wv in wrow {
-                lane += wv * acts[idx];
-                idx += ncols;
+        crate::exec::accumulate_col_tail(acc, wrow, acts, j, |l, w, a| l + w * a);
+    }
+
+    // --- fused GEMM kernels (multiply on packed codes) ---
+
+    /// Fused nibble GEMM: each `u32` carries four `w + 8 ∈ [0, 15]`
+    /// unsigned weight bytes, broadcast to all 8 dwords of a register;
+    /// `maddubs` multiplies them against 4-lane-interleaved i8 activations
+    /// (one dword per column) into i16 pairs — |pair| ≤ 2·15·15 = 450,
+    /// nowhere near the instruction's i16 saturation — and `madd` against
+    /// ones widens pair sums to one i32 quad-sum per column. The caller
+    /// subtracts `8·colsum` to undo the shift. Two accumulator registers
+    /// (16 columns) per block keep independent dependency chains.
+    #[target_feature(enable = "avx2")]
+    fn gemm_nibble_kernel(acc: &mut [i32], wquads: &[u32], block: &[i8], ncols: usize) {
+        let ones = _mm256_set1_epi16(1);
+        let mut j = 0usize;
+        while j + 2 * L <= ncols {
+            let mut s0 = _mm256_setzero_si256();
+            let mut s1 = _mm256_setzero_si256();
+            for (q, &wq) in wquads.iter().enumerate() {
+                let w = _mm256_set1_epi32(wq as i32);
+                let base = (q * ncols + j) * 4;
+                let a0 = load_i8_32(block, base);
+                let a1 = load_i8_32(block, base + 4 * L);
+                s0 = _mm256_add_epi32(s0, _mm256_madd_epi16(_mm256_maddubs_epi16(w, a0), ones));
+                s1 = _mm256_add_epi32(s1, _mm256_madd_epi16(_mm256_maddubs_epi16(w, a1), ones));
             }
-            acc[j] += lane;
-            j += 1;
+            add_store_i32(acc, j, s0);
+            add_store_i32(acc, j + L, s1);
+            j += 2 * L;
         }
+        while j + L <= ncols {
+            let mut s = _mm256_setzero_si256();
+            for (q, &wq) in wquads.iter().enumerate() {
+                let w = _mm256_set1_epi32(wq as i32);
+                let a = load_i8_32(block, (q * ncols + j) * 4);
+                s = _mm256_add_epi32(s, _mm256_madd_epi16(_mm256_maddubs_epi16(w, a), ones));
+            }
+            add_store_i32(acc, j, s);
+            j += L;
+        }
+        super::gemm_nibble_ref(acc, wquads, block, ncols, j);
+    }
+
+    /// Fused i8 GEMM: each `u32` carries two signed i16 weight codes,
+    /// broadcast to all dwords; `madd` multiplies them against
+    /// pair-interleaved i16 activations into exact i32 pair sums (each
+    /// product ≤ 128·255, so the pair sum cannot overflow — `madd`'s only
+    /// wrap case needs both products at (−2^15)²). No shift, so no
+    /// correction.
+    #[target_feature(enable = "avx2")]
+    fn gemm_i8_kernel(acc: &mut [i32], wpairs: &[u32], block: &[i16], ncols: usize) {
+        let mut j = 0usize;
+        while j + 2 * L <= ncols {
+            let mut s0 = _mm256_setzero_si256();
+            let mut s1 = _mm256_setzero_si256();
+            for (q, &wp) in wpairs.iter().enumerate() {
+                let w = _mm256_set1_epi32(wp as i32);
+                let base = (q * ncols + j) * 2;
+                s0 = _mm256_add_epi32(s0, _mm256_madd_epi16(w, load_i16_16(block, base)));
+                s1 = _mm256_add_epi32(s1, _mm256_madd_epi16(w, load_i16_16(block, base + 2 * L)));
+            }
+            add_store_i32(acc, j, s0);
+            add_store_i32(acc, j + L, s1);
+            j += 2 * L;
+        }
+        while j + L <= ncols {
+            let mut s = _mm256_setzero_si256();
+            for (q, &wp) in wpairs.iter().enumerate() {
+                let w = _mm256_set1_epi32(wp as i32);
+                s = _mm256_add_epi32(
+                    s,
+                    _mm256_madd_epi16(w, load_i16_16(block, (q * ncols + j) * 2)),
+                );
+            }
+            add_store_i32(acc, j, s);
+            j += L;
+        }
+        super::gemm_i8_ref(acc, wpairs, block, ncols, j);
     }
 
     // --- decode kernels ---
@@ -659,6 +934,251 @@ mod avx2 {
     }
 }
 
+// ---------------------------------------------------------------------------
+// NEON kernels (aarch64 only; ASIMD is baseline there, so no runtime probe)
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    //! AArch64 ports of the AVX2 kernels: 128-bit registers, with the
+    //! widening multiplies built on the `smull`/`smlal` instruction family
+    //! (`vmull_*`/`vmlal_*` intrinsics) instead of `maddubs`/`madd`. Same
+    //! bit-identity contract: the integer kernels are exact, the f32
+    //! kernel reassociates exact sub-2^24 sums (`vmulq`+`vaddq`, no FMA —
+    //! mirroring the AVX2 choice), and the fused kernels accumulate the
+    //! same shifted integers the driver corrects with `-8·colsum`.
+    //!
+    //! Every `unsafe` block takes its pointers from bounds-checked
+    //! subslices, exactly as in the AVX2 module; the value-only intrinsics
+    //! are safe to call because NEON is statically enabled on every
+    //! aarch64 target (`unused_unsafe` is allowed for toolchains that
+    //! still mark them unsafe).
+    #![allow(unused_unsafe)]
+
+    use core::arch::aarch64::*;
+
+    /// i32/f32 lanes per 128-bit register.
+    const L: usize = 4;
+
+    fn load_i32(s: &[i32], at: usize) -> int32x4_t {
+        let lane = &s[at..at + L];
+        // SAFETY: 4 readable i32 lanes per the slice above.
+        unsafe { vld1q_s32(lane.as_ptr()) }
+    }
+
+    fn add_store_i32(acc: &mut [i32], at: usize, v: int32x4_t) {
+        let lane = &mut acc[at..at + L];
+        // SAFETY: 4 readable+writable i32 lanes per the slice above.
+        unsafe { vst1q_s32(lane.as_mut_ptr(), vaddq_s32(vld1q_s32(lane.as_ptr()), v)) }
+    }
+
+    fn add_store_i64(acc: &mut [i64], at: usize, v: int64x2_t) {
+        let lane = &mut acc[at..at + 2];
+        // SAFETY: 2 readable+writable i64 lanes per the slice above.
+        unsafe { vst1q_s64(lane.as_mut_ptr(), vaddq_s64(vld1q_s64(lane.as_ptr()), v)) }
+    }
+
+    fn load_f32(s: &[f32], at: usize) -> float32x4_t {
+        let lane = &s[at..at + L];
+        // SAFETY: 4 readable f32 lanes per the slice above.
+        unsafe { vld1q_f32(lane.as_ptr()) }
+    }
+
+    fn add_store_f32(acc: &mut [f32], at: usize, v: float32x4_t) {
+        let lane = &mut acc[at..at + L];
+        // SAFETY: 4 readable+writable f32 lanes per the slice above.
+        unsafe { vst1q_f32(lane.as_mut_ptr(), vaddq_f32(vld1q_f32(lane.as_ptr()), v)) }
+    }
+
+    /// Loads 16 i8 lanes (4 interleaved lanes × 4 columns).
+    fn load_i8_16(s: &[i8], at: usize) -> int8x16_t {
+        let lane = &s[at..at + 16];
+        // SAFETY: 16 readable bytes per the slice above.
+        unsafe { vld1q_s8(lane.as_ptr()) }
+    }
+
+    /// Loads 8 i16 lanes (2 interleaved lanes × 4 columns).
+    fn load_i16_8(s: &[i16], at: usize) -> int16x8_t {
+        let lane = &s[at..at + 8];
+        // SAFETY: 8 readable i16 lanes per the slice above.
+        unsafe { vld1q_s16(lane.as_ptr()) }
+    }
+
+    pub(super) fn accumulate_i32(acc: &mut [i32], wrow: &[i32], acts: &[i32]) {
+        debug_assert_eq!(
+            acts.len(),
+            wrow.len() * acc.len(),
+            "acts must be [rows, ncols]"
+        );
+        let ncols = acc.len();
+        let mut j = 0usize;
+        while j + 2 * L <= ncols {
+            // SAFETY: value-only NEON ops; loads/stores bounds-check above.
+            unsafe {
+                let mut s0 = vdupq_n_s32(0);
+                let mut s1 = vdupq_n_s32(0);
+                let mut base = j;
+                for &wv in wrow {
+                    let w = vdupq_n_s32(wv);
+                    s0 = vmlaq_s32(s0, w, load_i32(acts, base));
+                    s1 = vmlaq_s32(s1, w, load_i32(acts, base + L));
+                    base += ncols;
+                }
+                add_store_i32(acc, j, s0);
+                add_store_i32(acc, j + L, s1);
+            }
+            j += 2 * L;
+        }
+        while j + L <= ncols {
+            // SAFETY: as above.
+            unsafe {
+                let mut s = vdupq_n_s32(0);
+                let mut base = j;
+                for &wv in wrow {
+                    s = vmlaq_s32(s, vdupq_n_s32(wv), load_i32(acts, base));
+                    base += ncols;
+                }
+                add_store_i32(acc, j, s);
+            }
+            j += L;
+        }
+        crate::exec::accumulate_col_tail(acc, wrow, acts, j, |l, w, a| l + w * a);
+    }
+
+    pub(super) fn accumulate_i64(acc: &mut [i64], wrow: &[i32], acts: &[i32]) {
+        debug_assert_eq!(
+            acts.len(),
+            wrow.len() * acc.len(),
+            "acts must be [rows, ncols]"
+        );
+        let ncols = acc.len();
+        let mut j = 0usize;
+        while j + L <= ncols {
+            // SAFETY: as in `accumulate_i32`. `smlal`/`smlal2` widen the
+            // i32×i32 products to i64 exactly.
+            unsafe {
+                let mut s0 = vdupq_n_s64(0); // columns j, j+1
+                let mut s1 = vdupq_n_s64(0); // columns j+2, j+3
+                let mut base = j;
+                for &wv in wrow {
+                    let w = vdupq_n_s32(wv);
+                    let a = load_i32(acts, base);
+                    s0 = vmlal_s32(s0, vget_low_s32(w), vget_low_s32(a));
+                    s1 = vmlal_high_s32(s1, w, a);
+                    base += ncols;
+                }
+                add_store_i64(acc, j, s0);
+                add_store_i64(acc, j + 2, s1);
+            }
+            j += L;
+        }
+        crate::exec::accumulate_col_tail(acc, wrow, acts, j, |l, w, a| {
+            l + i64::from(w) * i64::from(a)
+        });
+    }
+
+    pub(super) fn accumulate_f32(acc: &mut [f32], wrow: &[f32], acts: &[f32]) {
+        debug_assert_eq!(
+            acts.len(),
+            wrow.len() * acc.len(),
+            "acts must be [rows, ncols]"
+        );
+        let ncols = acc.len();
+        let mut j = 0usize;
+        while j + 2 * L <= ncols {
+            // SAFETY: as in `accumulate_i32`.
+            unsafe {
+                let mut s0 = vdupq_n_f32(0.0);
+                let mut s1 = vdupq_n_f32(0.0);
+                let mut base = j;
+                for &wv in wrow {
+                    let w = vdupq_n_f32(wv);
+                    s0 = vaddq_f32(s0, vmulq_f32(w, load_f32(acts, base)));
+                    s1 = vaddq_f32(s1, vmulq_f32(w, load_f32(acts, base + L)));
+                    base += ncols;
+                }
+                add_store_f32(acc, j, s0);
+                add_store_f32(acc, j + L, s1);
+            }
+            j += 2 * L;
+        }
+        while j + L <= ncols {
+            // SAFETY: as above.
+            unsafe {
+                let mut s = vdupq_n_f32(0.0);
+                let mut base = j;
+                for &wv in wrow {
+                    s = vaddq_f32(s, vmulq_f32(vdupq_n_f32(wv), load_f32(acts, base)));
+                    base += ncols;
+                }
+                add_store_f32(acc, j, s);
+            }
+            j += L;
+        }
+        crate::exec::accumulate_col_tail(acc, wrow, acts, j, |l, w, a| l + w * a);
+    }
+
+    /// Fused nibble GEMM: the quad of `w + 8 ∈ [0, 15]` bytes fits i8, so
+    /// the broadcast word reinterprets as signed lanes value-preservingly;
+    /// `smull`/`smull2` widen the i8×i8 products to i16 (each ≤ 15·15),
+    /// pairwise add-long lifts them to i32, and one more pairwise add
+    /// folds each column's four products into its lane.
+    pub(super) fn gemm_nibble(acc: &mut [i32], wquads: &[u32], block: &[i8], ncols: usize) {
+        debug_assert_eq!(acc.len(), ncols);
+        debug_assert_eq!(
+            block.len(),
+            wquads.len() * 4 * ncols,
+            "block must be the interleaved [quads × 4, ncols] layout"
+        );
+        let mut j = 0usize;
+        while j + L <= ncols {
+            // SAFETY: as in `accumulate_i32`.
+            unsafe {
+                let mut s = vdupq_n_s32(0);
+                for (q, &wq) in wquads.iter().enumerate() {
+                    let w = vreinterpretq_s8_u32(vdupq_n_u32(wq));
+                    let a = load_i8_16(block, (q * ncols + j) * 4);
+                    let lo = vpaddlq_s16(vmull_s8(vget_low_s8(a), vget_low_s8(w)));
+                    let hi = vpaddlq_s16(vmull_high_s8(a, w));
+                    s = vaddq_s32(s, vpaddq_s32(lo, hi));
+                }
+                add_store_i32(acc, j, s);
+            }
+            j += L;
+        }
+        super::gemm_nibble_ref(acc, wquads, block, ncols, j);
+    }
+
+    /// Fused i8 GEMM: `smull`/`smull2` widen the i16×i16 products to
+    /// exact i32, and a pairwise add folds each column's pair into its
+    /// lane — the NEON spelling of `madd`.
+    pub(super) fn gemm_i8(acc: &mut [i32], wpairs: &[u32], block: &[i16], ncols: usize) {
+        debug_assert_eq!(acc.len(), ncols);
+        debug_assert_eq!(
+            block.len(),
+            wpairs.len() * 2 * ncols,
+            "block must be the interleaved [pairs × 2, ncols] layout"
+        );
+        let mut j = 0usize;
+        while j + L <= ncols {
+            // SAFETY: as in `accumulate_i32`.
+            unsafe {
+                let mut s = vdupq_n_s32(0);
+                for (q, &wp) in wpairs.iter().enumerate() {
+                    let w = vreinterpretq_s16_u32(vdupq_n_u32(wp));
+                    let a = load_i16_8(block, (q * ncols + j) * 2);
+                    let lo = vmull_s16(vget_low_s16(a), vget_low_s16(w));
+                    let hi = vmull_high_s16(a, w);
+                    s = vaddq_s32(s, vpaddq_s32(lo, hi));
+                }
+                add_store_i32(acc, j, s);
+            }
+            j += L;
+        }
+        super::gemm_i8_ref(acc, wpairs, block, ncols, j);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -667,25 +1187,37 @@ mod tests {
 
     #[test]
     fn resolve_knob_semantics() {
-        use SimdBackend::{Avx2, Scalar};
+        use SimdBackend::{Avx2, Neon, Scalar};
         // scalar always wins, case/space-insensitively.
-        assert_eq!(resolve(Some("scalar"), true), Scalar);
-        assert_eq!(resolve(Some(" SCALAR "), true), Scalar);
-        assert_eq!(resolve(Some("scalar"), false), Scalar);
-        // avx2 requires detection; degrades to scalar without it.
-        assert_eq!(resolve(Some("avx2"), true), Avx2);
-        assert_eq!(resolve(Some("AVX2"), false), Scalar);
-        // unset / auto / garbage: detect.
-        assert_eq!(resolve(None, true), Avx2);
-        assert_eq!(resolve(None, false), Scalar);
-        assert_eq!(resolve(Some("auto"), true), Avx2);
-        assert_eq!(resolve(Some("definitely-not-a-backend"), false), Scalar);
+        assert_eq!(resolve(Some("scalar"), true, false), Scalar);
+        assert_eq!(resolve(Some(" SCALAR "), true, true), Scalar);
+        assert_eq!(resolve(Some("scalar"), false, false), Scalar);
+        // avx2/neon require detection; degrade to detection without it.
+        assert_eq!(resolve(Some("avx2"), true, false), Avx2);
+        assert_eq!(resolve(Some("AVX2"), false, false), Scalar);
+        assert_eq!(resolve(Some("AVX2"), false, true), Neon);
+        assert_eq!(resolve(Some("neon"), false, true), Neon);
+        assert_eq!(resolve(Some(" NEON "), false, true), Neon);
+        assert_eq!(resolve(Some("neon"), true, false), Avx2);
+        assert_eq!(resolve(Some("neon"), false, false), Scalar);
+        // unset / auto / garbage: detect (avx2 and neon never coexist in
+        // practice, but detection prefers avx2 if both flags are set).
+        assert_eq!(resolve(None, true, false), Avx2);
+        assert_eq!(resolve(None, false, true), Neon);
+        assert_eq!(resolve(None, false, false), Scalar);
+        assert_eq!(resolve(Some("auto"), true, false), Avx2);
+        assert_eq!(resolve(Some("auto"), false, true), Neon);
+        assert_eq!(
+            resolve(Some("definitely-not-a-backend"), false, false),
+            Scalar
+        );
     }
 
     #[test]
     fn backend_names_round_trip_through_resolve() {
-        for b in [SimdBackend::Scalar, SimdBackend::Avx2] {
-            assert_eq!(resolve(Some(b.name()), true), b);
+        for b in [SimdBackend::Scalar, SimdBackend::Avx2, SimdBackend::Neon] {
+            let (avx2, neon) = (b == SimdBackend::Avx2, b == SimdBackend::Neon);
+            assert_eq!(resolve(Some(b.name()), avx2, neon), b);
         }
     }
 
@@ -801,5 +1333,157 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Naive fused-nibble model: unsigned-shifted weight bytes times i8
+    /// activation lanes, straight i32 arithmetic.
+    fn naive_nibble(acc: &mut [i32], wquads: &[u32], block: &[i8], ncols: usize) {
+        for j in 0..ncols {
+            for (q, &wq) in wquads.iter().enumerate() {
+                for k in 0..4 {
+                    let w = ((wq >> (8 * k)) & 0xFF) as i32;
+                    acc[j] += w * i32::from(block[(q * ncols + j) * 4 + k]);
+                }
+            }
+        }
+    }
+
+    /// Naive fused-i8 model: signed i16 weight pairs times i16 lanes.
+    fn naive_i8(acc: &mut [i32], wpairs: &[u32], block: &[i16], ncols: usize) {
+        for j in 0..ncols {
+            for (q, &wp) in wpairs.iter().enumerate() {
+                let w = [(wp & 0xFFFF) as u16 as i16, (wp >> 16) as u16 as i16];
+                for k in 0..2 {
+                    acc[j] += i32::from(w[k]) * i32::from(block[(q * ncols + j) * 2 + k]);
+                }
+            }
+        }
+    }
+
+    /// Fused AVX2 GEMM kernels vs the shared scalar reference vs a naive
+    /// model, over every ncols in 1..=67 (all tail shapes around the 8/16
+    /// column blocks) with both random and saturation-edge inputs: all-max
+    /// magnitude nibbles (w + 8 ∈ {0, 15}) against ±max activations probe
+    /// the `maddubs` i16 pair bound, max-magnitude i8/i16 pairs probe the
+    /// `madd` product bound.
+    #[test]
+    fn fused_gemm_kernels_match_reference_bit_for_bit() {
+        if !avx2_available() {
+            eprintln!("skipping: no AVX2 on this CPU");
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(0xF00D);
+        for ncols in 1usize..=67 {
+            for edge in [false, true] {
+                let quads = rng.gen_range(1usize..8);
+                let wquads: Vec<u32> = (0..quads)
+                    .map(|_| {
+                        let mut word = 0u32;
+                        for k in 0..4 {
+                            let b: u32 = if edge {
+                                if rng.gen_range(0..2) == 0 {
+                                    0
+                                } else {
+                                    15
+                                }
+                            } else {
+                                rng.gen_range(0u32..16)
+                            };
+                            word |= b << (8 * k);
+                        }
+                        word
+                    })
+                    .collect();
+                let nib_block: Vec<i8> = (0..quads * 4 * ncols)
+                    .map(|_| {
+                        if edge {
+                            if rng.gen_range(0..2) == 0 {
+                                -15
+                            } else {
+                                15
+                            }
+                        } else {
+                            rng.gen_range(-15i32..=15) as i8
+                        }
+                    })
+                    .collect();
+                let init: Vec<i32> = (0..ncols).map(|_| rng.gen_range(-1000i32..1000)).collect();
+
+                let mut want = init.clone();
+                naive_nibble(&mut want, &wquads, &nib_block, ncols);
+                let mut reference = init.clone();
+                super::gemm_nibble_ref(&mut reference, &wquads, &nib_block, ncols, 0);
+                assert_eq!(want, reference, "nibble ref: ncols {ncols} edge {edge}");
+                let mut fused = init.clone();
+                avx2::gemm_nibble(&mut fused, &wquads, &nib_block, ncols);
+                assert_eq!(want, fused, "nibble avx2: ncols {ncols} edge {edge}");
+
+                let pairs = rng.gen_range(1usize..8);
+                let wpairs: Vec<u32> = (0..pairs)
+                    .map(|_| {
+                        let pick = |rng: &mut StdRng| -> i16 {
+                            if edge {
+                                if rng.gen_range(0..2) == 0 {
+                                    -128
+                                } else {
+                                    127
+                                }
+                            } else {
+                                rng.gen_range(-128i32..128) as i16
+                            }
+                        };
+                        let (lo, hi) = (pick(&mut rng), pick(&mut rng));
+                        u32::from(lo as u16) | (u32::from(hi as u16) << 16)
+                    })
+                    .collect();
+                let i8_block: Vec<i16> = (0..pairs * 2 * ncols)
+                    .map(|_| {
+                        if edge {
+                            if rng.gen_range(0..2) == 0 {
+                                -255
+                            } else {
+                                255
+                            }
+                        } else {
+                            rng.gen_range(-255i32..=255) as i16
+                        }
+                    })
+                    .collect();
+
+                let mut want = init.clone();
+                naive_i8(&mut want, &wpairs, &i8_block, ncols);
+                let mut reference = init.clone();
+                super::gemm_i8_ref(&mut reference, &wpairs, &i8_block, ncols, 0);
+                assert_eq!(want, reference, "i8 ref: ncols {ncols} edge {edge}");
+                let mut fused = init;
+                avx2::gemm_i8(&mut fused, &wpairs, &i8_block, ncols);
+                assert_eq!(want, fused, "i8 avx2: ncols {ncols} edge {edge}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_toggle_is_scoped_and_restored() {
+        let ambient = fused_gemm_enabled();
+        let inside = with_fused_gemm(false, fused_gemm_enabled);
+        assert!(!inside);
+        assert_eq!(fused_gemm_enabled(), ambient);
+        let inside = with_fused_gemm(true, fused_gemm_enabled);
+        assert!(inside);
+        assert_eq!(fused_gemm_enabled(), ambient);
+        // Nests with backend forcing in either order.
+        let inside = with_simd_backend(SimdBackend::Scalar, || {
+            with_fused_gemm(false, || (active_simd_backend(), fused_gemm_enabled()))
+        });
+        assert_eq!(inside, (SimdBackend::Scalar, false));
+        assert_eq!(fused_gemm_enabled(), ambient);
+    }
+
+    #[test]
+    fn fused_toggle_is_restored_on_panic() {
+        let ambient = fused_gemm_enabled();
+        let result = std::panic::catch_unwind(|| with_fused_gemm(!ambient, || panic!("boom")));
+        assert!(result.is_err());
+        assert_eq!(fused_gemm_enabled(), ambient);
     }
 }

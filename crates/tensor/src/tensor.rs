@@ -423,9 +423,25 @@ pub fn im2col_generic<T: Copy + Default + Send + Sync>(
         for ki in 0..kh {
             for kj in 0..kw {
                 let row = ki * kw + kj;
+                // At stride 1 the gather is contiguous: `ix = ox + kj - pad`
+                // walks in lockstep with `ox`, so each output row is one
+                // span copy of the input row, clipped to the valid range.
+                let shift = kj as isize - pad as isize;
+                let ox0 = (-shift).max(0) as usize;
+                let ox1 = (w as isize - shift).clamp(0, ow as isize) as usize;
                 for oy in 0..oh {
                     let iy = (oy * stride + ki) as isize - pad as isize;
                     if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let src_row = (ci * h + iy as usize) * w;
+                    let dst_row = row * cols + oy * ow;
+                    if stride == 1 {
+                        if ox0 < ox1 {
+                            let ix0 = (ox0 as isize + shift) as usize;
+                            chunk[dst_row + ox0..dst_row + ox1]
+                                .copy_from_slice(&input[src_row + ix0..src_row + ix0 + ox1 - ox0]);
+                        }
                         continue;
                     }
                     for ox in 0..ow {
@@ -433,8 +449,7 @@ pub fn im2col_generic<T: Copy + Default + Send + Sync>(
                         if ix < 0 || ix >= w as isize {
                             continue;
                         }
-                        chunk[row * cols + oy * ow + ox] =
-                            input[(ci * h + iy as usize) * w + ix as usize];
+                        chunk[dst_row + ox] = input[src_row + ix as usize];
                     }
                 }
             }

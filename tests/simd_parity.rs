@@ -10,9 +10,14 @@
 //!   quantizers × batch sizes {1, 16} × 1 vs N threads — so every
 //!   existing bit-identity guarantee (fake-quant parity, degenerate
 //!   serving-path equivalence) transfers to the SIMD backend for free.
-//! * **Knob round-trip**: `INSTANTNET_SIMD=scalar|avx2|garbage` resolves
-//!   to the documented backend in a fresh process (subprocess self-exec,
-//!   since the default is latched once per process).
+//! * **Fused parity**: the fused multiply-on-packed-codes kernels
+//!   (`INSTANTNET_FUSED`, AVX2 `maddubs`/`madd`, NEON `smull`/`smlal`)
+//!   equal the widen-then-multiply path and the scalar reference bit for
+//!   bit — including adversarial shapes: every tail width cols ∈ {1..67}
+//!   with saturation-edge codes (max-magnitude nibbles and activations).
+//! * **Knob round-trip**: `INSTANTNET_SIMD=scalar|avx2|neon|garbage`
+//!   resolves to the documented backend in a fresh process (subprocess
+//!   self-exec, since the default is latched once per process).
 //! * **Forced fallback**: `with_simd_backend(Scalar)` pins scalar even on
 //!   AVX2 hosts, scoped and restored.
 //! * **Proptest**: random (rows, cols, batch, bit-width, quantizer)
@@ -20,10 +25,12 @@
 //!   backends at 1 vs 3 threads.
 
 use instantnet_infer::{
-    active_simd_backend, avx2_available, with_simd_backend, PackedModel, SimdBackend,
+    active_simd_backend, avx2_available, neon_available, with_fused_gemm, with_simd_backend,
+    PackedModel, SimdBackend,
 };
 use instantnet_nn::layers::{QuantConv2d, QuantLinear};
 use instantnet_nn::models;
+use instantnet_nn::plan::PlanOp;
 use instantnet_parallel::with_threads;
 use instantnet_quant::{BitWidthSet, Quantizer};
 use instantnet_tensor::{init, Tensor};
@@ -64,6 +71,19 @@ fn forward_batch_bit_identical_scalar_vs_dispatched_everywhere() {
                             bits.widths()[i]
                         ),
                     );
+                    // Fused kernels off: the widen-then-multiply path must
+                    // also match, whatever backend is ambient.
+                    let widen = with_fused_gemm(false, || {
+                        with_threads(threads, || packed.forward_batch_at(i, &x))
+                    });
+                    assert_bits_eq(
+                        &widen,
+                        &scalar,
+                        &format!(
+                            "fused off: {q:?} @ {}b batch {batch} threads {threads}",
+                            bits.widths()[i]
+                        ),
+                    );
                     if avx2_available() {
                         let avx2 = with_simd_backend(SimdBackend::Avx2, || {
                             with_threads(threads, || packed.forward_batch_at(i, &x))
@@ -73,6 +93,19 @@ fn forward_batch_bit_identical_scalar_vs_dispatched_everywhere() {
                             &scalar,
                             &format!(
                                 "forced avx2: {q:?} @ {}b batch {batch} threads {threads}",
+                                bits.widths()[i]
+                            ),
+                        );
+                    }
+                    if neon_available() {
+                        let neon = with_simd_backend(SimdBackend::Neon, || {
+                            with_threads(threads, || packed.forward_batch_at(i, &x))
+                        });
+                        assert_bits_eq(
+                            &neon,
+                            &scalar,
+                            &format!(
+                                "forced neon: {q:?} @ {}b batch {batch} threads {threads}",
                                 bits.widths()[i]
                             ),
                         );
@@ -103,7 +136,10 @@ fn forced_scalar_overrides_dispatch_on_any_host() {
 fn print_active_backend() {
     let b = active_simd_backend();
     println!("active-simd-backend={}", b.name());
-    assert!(matches!(b, SimdBackend::Scalar | SimdBackend::Avx2));
+    assert!(matches!(
+        b,
+        SimdBackend::Scalar | SimdBackend::Avx2 | SimdBackend::Neon
+    ));
 }
 
 /// The `INSTANTNET_SIMD` knob is read once per process, so each value is
@@ -133,10 +169,73 @@ fn env_knob_round_trips_in_fresh_process() {
 
     assert_eq!(backend_under("scalar"), "scalar", "scalar forces scalar");
     assert_eq!(backend_under("SCALAR"), "scalar", "case-insensitive");
-    let detected = if avx2_available() { "avx2" } else { "scalar" };
+    let detected = if avx2_available() {
+        "avx2"
+    } else if neon_available() {
+        "neon"
+    } else {
+        "scalar"
+    };
     assert_eq!(backend_under("avx2"), detected, "avx2 honors detection");
+    let neon_expect = if neon_available() { "neon" } else { detected };
+    assert_eq!(backend_under("neon"), neon_expect, "neon honors detection");
     assert_eq!(backend_under("auto"), detected, "auto means detect");
     assert_eq!(backend_under("bogus"), detected, "garbage means detect");
+}
+
+/// Adversarial kernel shapes through the public model path: single-layer
+/// linear plans at every fused-tail width cols ∈ {1..67}, with weights
+/// pinned to ±1 (quantizing to each grid's extreme codes — max-magnitude
+/// nibbles under both quantizers) and inputs saturated to ±1 (extreme
+/// activation codes). Fused, widen-then-multiply, and scalar paths must
+/// agree bit for bit at batch {1, 16} × 1 vs 4 threads.
+#[test]
+fn adversarial_shapes_fused_widen_scalar_parity() {
+    let bits = BitWidthSet::large_range();
+    let outf = 5usize;
+    for q in [Quantizer::Sbm, Quantizer::Dorefa] {
+        for cols in 1usize..=67 {
+            let weight = Tensor::from_vec(
+                vec![outf, cols],
+                (0..outf * cols)
+                    .map(|e| if (e + e / cols) % 2 == 0 { 1.0 } else { -1.0 })
+                    .collect(),
+            );
+            let plan = vec![PlanOp::Linear {
+                name: "adv".into(),
+                weight,
+                bias: Tensor::zeros(&[outf]),
+            }];
+            let packed = PackedModel::from_plan(&plan, &bits, q).unwrap();
+            for batch in [1usize, 16] {
+                let x = Tensor::from_vec(
+                    vec![batch, cols],
+                    (0..batch * cols)
+                        .map(|e| if e % 2 == 0 { 1.0 } else { -1.0 })
+                        .collect(),
+                );
+                for i in 0..bits.len() {
+                    for threads in [1usize, 4] {
+                        let ctx = format!(
+                            "adversarial {q:?} cols {cols} batch {batch} threads {threads} @ {}b",
+                            bits.widths()[i]
+                        );
+                        let scalar = with_simd_backend(SimdBackend::Scalar, || {
+                            with_threads(threads, || packed.forward_batch_at(i, &x))
+                        });
+                        let fused = with_fused_gemm(true, || {
+                            with_threads(threads, || packed.forward_batch_at(i, &x))
+                        });
+                        assert_bits_eq(&fused, &scalar, &format!("fused: {ctx}"));
+                        let widen = with_fused_gemm(false, || {
+                            with_threads(threads, || packed.forward_batch_at(i, &x))
+                        });
+                        assert_bits_eq(&widen, &scalar, &format!("widen: {ctx}"));
+                    }
+                }
+            }
+        }
+    }
 }
 
 proptest! {
