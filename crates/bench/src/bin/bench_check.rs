@@ -10,7 +10,7 @@
 //! run are reported and skipped (renames should update the baseline in the
 //! same change), as are sub-100 ns medians, which are pure timer noise.
 //!
-//! Four groups carry extra within-run ratio checks (per-median ratios
+//! Several groups carry extra within-run ratio checks (per-median ratios
 //! absorb machine drift; these cannot):
 //!
 //! * infer: on hosts where the checker itself detects AVX2, the SIMD
@@ -31,7 +31,10 @@
 //!   *simulated* steps one replica needs (the `sharded_drain_replicas*`
 //!   entries are deterministic makespans, not wall clock, so this floor
 //!   holds on any host) — if it decays, dispatch has stopped spreading
-//!   load across the fleet.
+//!   load across the fleet;
+//! * reload: a wall-clock run that hot-swaps its model mid-drain must
+//!   sustain within 1.1× of the never-reloading run — a publish is a
+//!   pointer swap plus one O(1) re-pin per worker, never a stall.
 //!
 //! Floors that are host-gated (AVX2 detection, core count) skip with a
 //! notice where the gate fails; a single end-of-run summary block replays
@@ -511,6 +514,47 @@ fn main() -> ExitCode {
                         "RAN FAIL (entries missing)".into(),
                     ));
                 }
+            }
+        }
+    }
+
+    // Within-run reload-overhead ceiling: a mid-drain publish re-pins
+    // each worker once (an O(1) Arc clone at its next batch boundary),
+    // so a run that hot-swaps its model must sustain within 10% of the
+    // never-reloading run — the same bookkeeping ceiling the resilient
+    // path lives under. Both entries are real measured service times
+    // from the same host in the same run, so the ratio holds anywhere.
+    const RELOAD_MAX_OVERHEAD: f64 = 1.1;
+    let reload_path = current_dir.join("BENCH_reload.json");
+    if reload_path.exists() {
+        let reload = parse_medians(&reload_path).unwrap();
+        match (reload.get("reload_off"), reload.get("reload_on")) {
+            (Some(&off), Some(&on)) => {
+                let overhead = on / off;
+                let verdict = if overhead > RELOAD_MAX_OVERHEAD {
+                    failures.push(format!(
+                        "BENCH_reload.json: mid-drain hot reload costs {overhead:.2}x \
+                         the never-reloading run (ceiling {RELOAD_MAX_OVERHEAD}x)"
+                    ));
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "BENCH_reload.json: hot-reload vs frozen sustained overhead \
+                     {overhead:>5.2}x (ceiling {RELOAD_MAX_OVERHEAD}x) {verdict}"
+                );
+            }
+            _ => {
+                failures.push(
+                    "BENCH_reload.json: reload_off/reload_on missing, \
+                     cannot check reload overhead"
+                        .to_string(),
+                );
+                println!(
+                    "BENCH_reload.json: reload_off/reload_on missing, \
+                     cannot check reload overhead: REGRESSED"
+                );
             }
         }
     }

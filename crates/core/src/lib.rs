@@ -30,6 +30,7 @@
 
 mod engine;
 pub mod faults;
+pub mod registry;
 pub mod resilience;
 pub mod runtime;
 pub mod sharding;

@@ -278,6 +278,29 @@ pub struct RuntimeStats {
     /// `served_requests / elapsed`. Populated only by
     /// [`crate::wallclock::serve_wallclock`].
     pub requests_per_sec: f64,
+    /// Stable-version swaps (direct publishes plus canary promotions)
+    /// the [`crate::registry::ModelRegistry`] applied during the run.
+    /// Zero for non-registry paths.
+    pub reloads: usize,
+    /// Canary candidates auto-rolled back during the run (divergence,
+    /// latency band, or candidate fault).
+    pub rollbacks: usize,
+    /// Candidate publishes the registry refused before they reached
+    /// traffic (CRC-corrupt checkpoints, incompatible packs).
+    pub rejected_publishes: usize,
+    /// Requests shadow-routed through a canary candidate. Shadow traffic
+    /// is always *also* served by the stable version, so this never
+    /// changes a client-visible output.
+    pub canary_served: usize,
+    /// Shadow-compared samples whose candidate output differed bit-wise
+    /// from the stable version's at the same bit-width.
+    pub divergences: usize,
+    /// Work done on each model generation, ascending by generation id:
+    /// batches per generation in [`crate::wallclock::serve_wallclock_registry`],
+    /// timesteps per generation in
+    /// [`crate::sharding::simulate_serving_sharded_versioned`]. Empty for
+    /// non-registry paths.
+    pub time_per_generation: Vec<(u64, usize)>,
 }
 
 /// The per-timestep bit-width selection shared by every simulation path:

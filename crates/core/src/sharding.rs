@@ -30,6 +30,16 @@
 //! `catch_unwind`, and the other replicas keep serving — the sharded
 //! answer to the resilient path's single-worker fault story.
 //!
+//! Hot reload composes at step boundaries:
+//! [`simulate_serving_sharded_versioned`] serves the whole fleet out of a
+//! [`crate::registry::ModelRegistry`], observing it exactly once per
+//! timestep (before any batch is drained) so all replicas adopt a publish
+//! together and no in-flight batch straddles a swap; a per-step hook
+//! gives tests a deterministic place to publish mid-traffic, and canary
+//! batches shadow-compare through the candidate exactly as in the
+//! wall-clock path. [`simulate_serving_sharded`] is the degenerate
+//! wrapper over a single-version registry.
+//!
 //! With 1 replica, round-robin dispatch, the cache off, and no faults,
 //! this path reproduces `simulate_serving_batched` bit-for-bit — same
 //! outputs, schedule, switches, energy, and queue stats — at every
@@ -39,6 +49,7 @@ use crate::engine::batch::{gather_batch, scatter_outputs, validate_inputs};
 use crate::engine::cache::{cache_key, LruCache};
 use crate::engine::stats::{finish_wait_stats, wait_summary};
 use crate::faults::{FaultKind, FaultPlan};
+use crate::registry::ModelRegistry;
 use crate::resilience::{config_err, RequestStatus, ServingError};
 use crate::runtime::{
     EnergyTrace, Policy, PolicySelector, RequestTrace, RuntimeStats, ServingConfig,
@@ -166,6 +177,10 @@ pub struct ReplicaStats {
     /// Steps this replica spent configured at each serving bit-width,
     /// ascending by bits (stalled and budget-excluded steps don't count).
     pub time_in_bits: Vec<(u8, usize)>,
+    /// Model generation this replica was pinned to when the run ended.
+    /// The registry-free entry points run over a degenerate single-version
+    /// registry, so they always report generation 1.
+    pub generation: u64,
 }
 
 /// Per-request record of a sharded run, index-aligned with arrival order.
@@ -393,7 +408,7 @@ fn drain_eligible(
 /// [`ServingError::Config`] for inconsistent traces, shapes, or shard
 /// knobs; [`ServingError::Infer`] if any report point's bit-width is
 /// missing from the packed set (checked up front).
-#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+#[allow(clippy::too_many_arguments)]
 pub fn simulate_serving_sharded(
     report: &DeploymentReport,
     trace: &EnergyTrace,
@@ -406,13 +421,87 @@ pub fn simulate_serving_sharded(
     model: &PackedModel,
     inputs: &[Tensor],
 ) -> Result<(RuntimeStats, Vec<ShardedOutcome>), ServingError> {
-    validate(report, trace, requests, serving, shard, model, inputs)?;
+    // The degenerate registry: one pinned version, canary off, no
+    // publishes. Bit-identical to the historical frozen-model loop —
+    // enforced in `tests/hot_reload.rs`.
+    let registry = ModelRegistry::new(model.clone(), "pinned");
+    simulate_serving_sharded_versioned(
+        report,
+        trace,
+        requests,
+        policy,
+        cfg,
+        serving,
+        shard,
+        faults,
+        &registry,
+        &mut |_, _| {},
+        inputs,
+    )
+}
+
+/// [`simulate_serving_sharded`] over a live [`ModelRegistry`]: every
+/// replica serves out of the registry's stable version, and the fleet
+/// observes the registry once per timestep — at the step boundary,
+/// before any batch is drained — so all batches of a step are served by
+/// one consistent (stable, canary) pair and no in-flight batch ever
+/// straddles a publish. `on_step(t, registry)` runs first at each step,
+/// which is where deterministic tests (and simulated publisher threads)
+/// inject mid-traffic publishes: a publish made inside the hook at step
+/// `t` is adopted by every replica for step `t`'s batches.
+///
+/// When a canary is in flight, its configured fraction of successful
+/// batches is shadow-forwarded through the candidate at the same
+/// bit-width and compared bit-exactly (requests are always answered from
+/// stable); divergences and candidate faults feed the registry's
+/// auto-rollback state machine exactly as in the wall-clock path. The
+/// simulated clock has no wall time, so both forwards report equal
+/// latency and the latency band never trips here.
+///
+/// Registry activity lands in [`RuntimeStats::reloads`], `rollbacks`,
+/// `rejected_publishes`, `canary_served`, `divergences`, and
+/// `time_per_generation` (timesteps per generation);
+/// `stats.replicas[r].generation` records the generation in force when
+/// the run ended.
+///
+/// # Errors
+///
+/// As [`simulate_serving_sharded`], validated against the registry's
+/// stable model (published candidates are guaranteed compatible by the
+/// registry).
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+pub fn simulate_serving_sharded_versioned(
+    report: &DeploymentReport,
+    trace: &EnergyTrace,
+    requests: &RequestTrace,
+    policy: Policy,
+    cfg: &SimulationConfig,
+    serving: &ServingConfig,
+    shard: &ShardConfig,
+    faults: &FaultPlan,
+    registry: &ModelRegistry,
+    on_step: &mut dyn FnMut(usize, &ModelRegistry),
+    inputs: &[Tensor],
+) -> Result<(RuntimeStats, Vec<ShardedOutcome>), ServingError> {
+    let mut pin = registry.snapshot();
+    validate(
+        report,
+        trace,
+        requests,
+        serving,
+        shard,
+        pin.stable.model(),
+        inputs,
+    )?;
+    let metrics0 = registry.metrics();
     let n = shard.replicas;
     let points = report.points();
     let sample_dims = inputs[0].dims().to_vec();
     let sample_len = inputs[0].len();
 
-    let mut models: Vec<PackedModel> = (0..n).map(|_| model.clone()).collect();
+    let mut models: Vec<PackedModel> = (0..n).map(|_| pin.stable.model().clone()).collect();
+    let mut shadow: Option<PackedModel> = pin.canary.as_ref().map(|v| v.model().clone());
+    let mut gen_steps: BTreeMap<u64, usize> = BTreeMap::new();
     let mut queues: Vec<VecDeque<QEntry>> = (0..n).map(|_| VecDeque::new()).collect();
     let mut acc: Vec<ReplicaAcc> = (0..n).map(|_| ReplicaAcc::default()).collect();
     let mut outcomes: Vec<ShardedOutcome> = Vec::with_capacity(requests.total());
@@ -451,6 +540,20 @@ pub fn simulate_serving_sharded(
     });
 
     for (t, &budget) in trace.budgets().iter().enumerate() {
+        // 0. Version pinning: the hook may publish, then the fleet
+        // observes the registry — once, at the step boundary, before any
+        // batch is drained. Every batch of this step is served by one
+        // consistent (stable, canary) pair; re-pinning is O(1) Arc-shared
+        // clones per replica.
+        on_step(t, registry);
+        if registry.epoch() != pin.epoch {
+            pin = registry.snapshot();
+            for m in &mut models {
+                *m = pin.stable.model().clone();
+            }
+            shadow = pin.canary.as_ref().map(|v| v.model().clone());
+        }
+        *gen_steps.entry(pin.stable.generation()).or_insert(0) += 1;
         let fault = faults.at(t);
 
         // 1. Arrivals: admission against the total backlog, then dispatch.
@@ -714,10 +817,42 @@ pub fn simulate_serving_sharded(
                 continue;
             };
             acc[r].batches += 1;
-            match slot.result.expect("non-empty batch always executes") {
+            let StepSlot { batch, result, .. } = slot;
+            match result.expect("non-empty batch always executes") {
                 Ok(y) => {
                     let take = taken.len();
                     let outs = scatter_outputs(&y, take);
+
+                    // 6a. Canary shadow: a ticketed fraction of successful
+                    // batches additionally runs through the candidate at
+                    // the same bit-width and is compared bit-exactly; the
+                    // requests below are still answered from the stable
+                    // outputs, so a divergent canary never reaches a
+                    // client. Both forwards report equal latency — the
+                    // simulated clock has no wall time.
+                    if let Some(cand) = shadow.as_mut() {
+                        if registry.canary_ticket(pin.epoch) {
+                            let b = batch.as_ref().expect("non-empty batch has inputs");
+                            let shadowed = catch_unwind(AssertUnwindSafe(|| {
+                                cand.try_switch_to_bits(bits)
+                                    .and_then(|()| cand.try_forward_batch(b))
+                            }));
+                            match shadowed {
+                                Ok(Ok(cy)) => {
+                                    let cand_outs = scatter_outputs(&cy, take);
+                                    let diverged = outs
+                                        .iter()
+                                        .zip(&cand_outs)
+                                        .filter(|(a, b)| a.data() != b.data())
+                                        .count();
+                                    registry.report_shadow(pin.epoch, take, diverged, 1, 1);
+                                }
+                                _ => {
+                                    registry.report_candidate_fault(pin.epoch);
+                                }
+                            }
+                        }
+                    }
                     for (e, out) in taken.iter().zip(outs) {
                         let rec = &mut outcomes[e.id];
                         rec.served_at = Some(t);
@@ -815,9 +950,19 @@ pub fn simulate_serving_sharded(
                 mean_wait_steps: w.mean,
                 p99_wait_steps: w.p99,
                 time_in_bits: a.time_in_bits.into_iter().collect(),
+                generation: pin.stable.generation(),
             }
         })
         .collect();
+    stats.time_per_generation = gen_steps.into_iter().collect();
+    // Registry activity attributable to this run: the counters are
+    // monotone, so the delta over the run's span is exact.
+    let metrics1 = registry.metrics();
+    stats.reloads = metrics1.reloads - metrics0.reloads;
+    stats.rollbacks = metrics1.rollbacks - metrics0.rollbacks;
+    stats.rejected_publishes = metrics1.rejected_publishes - metrics0.rejected_publishes;
+    stats.canary_served = metrics1.canary_served - metrics0.canary_served;
+    stats.divergences = metrics1.divergences - metrics0.divergences;
     finish_wait_stats(&mut stats, wait_steps);
     Ok((stats, outcomes))
 }

@@ -43,6 +43,21 @@
 //! in tests, not pinned). `tests/wallclock_serving.rs` enforces this at
 //! every `large_range()` bit-width.
 //!
+//! **Hot reload and faults.** [`serve_wallclock_registry`] is the full
+//! entry point: workers serve out of a [`ModelRegistry`] instead of one
+//! frozen model, observing it at batch-dequeue boundaries only (one
+//! atomic epoch load per batch; a changed epoch re-pins the worker's
+//! Arc-shared version clones), so an in-flight batch never straddles a
+//! publish — and a [`FaultPlan`] injects stalls, transient errors, and
+//! panics (isolated per batch with `catch_unwind`) into the worker loop,
+//! with faulted batches retried at the head per the existing policy.
+//! Canary-routed batches are additionally shadow-forwarded through the
+//! candidate version and compared bit-exactly; the registry's state
+//! machine promotes or auto-rolls back (see [`crate::registry`]).
+//! [`serve_wallclock`] is the degenerate wrapper — a single-version
+//! registry, canary off, no faults — and stays bit-identical to the
+//! registry path in that configuration.
+//!
 //! **Threads:** worker count composes with the `INSTANTNET_THREADS`
 //! kernel knob: each worker runs its forwards at
 //! `max(1, ambient_threads / workers)` kernel threads (ambient = the
@@ -55,6 +70,8 @@ use crate::engine::clock::RunClock;
 use crate::engine::degrade::HysteresisController;
 use crate::engine::queue::{Popped, SharedQueue};
 use crate::engine::stats::{finish_wait_stats, wait_summary};
+use crate::faults::{FaultKind, FaultPlan};
+use crate::registry::ModelRegistry;
 use crate::resilience::{config_err, RequestStatus, ServingError};
 use crate::runtime::{
     EnergyTrace, Policy, PolicySelector, RequestTrace, RuntimeStats, SimulationConfig,
@@ -65,7 +82,8 @@ use instantnet_infer::{InferError, PackedModel};
 use instantnet_parallel::{max_threads, set_threads};
 use instantnet_quant::BitWidth;
 use instantnet_tensor::Tensor;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 use std::thread;
 use std::time::Duration;
@@ -197,11 +215,17 @@ struct WorkerAcc {
     dropped: usize,
     batches: usize,
     faulted_batches: usize,
+    stalled: usize,
+    injected: usize,
     switches: usize,
     energy_pj: f64,
     acc_sum: f32,
     histogram: Vec<usize>,
     time_in_bits: BTreeMap<u8, usize>,
+    /// Batches this worker ran per model generation it was pinned to.
+    generations: BTreeMap<u64, usize>,
+    /// Generation the worker was pinned to when it exited.
+    generation: u64,
 }
 
 impl WorkerAcc {
@@ -217,11 +241,15 @@ impl WorkerAcc {
             dropped: 0,
             batches: 0,
             faulted_batches: 0,
+            stalled: 0,
+            injected: 0,
             switches: 0,
             energy_pj: 0.0,
             acc_sum: 0.0,
             histogram: vec![0; max_batch + 1],
             time_in_bits: BTreeMap::new(),
+            generations: BTreeMap::new(),
+            generation: 0,
         }
     }
 }
@@ -305,7 +333,7 @@ fn validate(
 /// [`ServingError::Config`] for inconsistent traces, shapes, or knobs;
 /// [`ServingError::Infer`] if any report point's bit-width is missing
 /// from the packed set (checked up front).
-#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+#[allow(clippy::too_many_arguments)]
 pub fn serve_wallclock(
     report: &DeploymentReport,
     trace: &EnergyTrace,
@@ -316,7 +344,72 @@ pub fn serve_wallclock(
     model: &PackedModel,
     inputs: &[Tensor],
 ) -> Result<(RuntimeStats, Vec<WallclockOutcome>), ServingError> {
-    validate(report, trace, requests, wall, model, inputs)?;
+    // The degenerate registry: one pinned version, canary off, no
+    // faults. The registry path in this configuration is bit-identical
+    // to the historical frozen-model loop — enforced in
+    // `tests/hot_reload.rs` at every `large_range()` bit-width.
+    let registry = ModelRegistry::new(model.clone(), "pinned");
+    serve_wallclock_registry(
+        report,
+        trace,
+        requests,
+        policy,
+        cfg,
+        wall,
+        &registry,
+        &FaultPlan::none(),
+        inputs,
+    )
+}
+
+/// [`serve_wallclock`] with live model versioning and fault injection:
+/// workers serve out of `registry`'s stable version, re-pinning their
+/// O(1) version clones only at batch-dequeue boundaries (per-request
+/// version pinning — an in-flight batch never straddles a publish), and
+/// `faults` injects at most one fault per trace step into whichever
+/// worker first dequeues a batch inside it: a stall idles the batch to
+/// the step boundary, transient errors and panics (isolated per batch
+/// with `catch_unwind`) fail the batch, whose requests retry at the head
+/// per `max_retries`.
+///
+/// When the registry has a canary in flight, its configured fraction of
+/// batches is shadow-routed: the batch is answered from the stable
+/// version as always, additionally forwarded through the candidate at
+/// the same bit-width, and the two outputs compared bit-exactly. The
+/// registry's state machine rolls the candidate back after
+/// `max_divergences` divergent samples, a latency regression beyond the
+/// band, or any candidate fault, and promotes it to stable after a clean
+/// window (see [`crate::registry`]); either transition is a pointer swap
+/// workers adopt at their next dequeue.
+///
+/// On top of [`serve_wallclock`]'s stats, the run's registry activity
+/// lands in [`RuntimeStats::reloads`], `rollbacks`, `rejected_publishes`,
+/// `canary_served`, `divergences`, and `time_per_generation` (batches
+/// per generation); `stats.replicas[w].generation` records the
+/// generation each worker ended the run pinned to, and injected faults
+/// land in `faults_injected` / `stalled_steps` / `faulted_batches`.
+///
+/// # Errors
+///
+/// [`ServingError::Config`] for inconsistent traces, shapes, or knobs;
+/// [`ServingError::Infer`] if any report point's bit-width is missing
+/// from the registry's stable packed set (checked up front; published
+/// candidates are guaranteed compatible by the registry).
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+pub fn serve_wallclock_registry(
+    report: &DeploymentReport,
+    trace: &EnergyTrace,
+    requests: &RequestTrace,
+    policy: Policy,
+    cfg: &SimulationConfig,
+    wall: &WallclockConfig,
+    registry: &ModelRegistry,
+    faults: &FaultPlan,
+    inputs: &[Tensor],
+) -> Result<(RuntimeStats, Vec<WallclockOutcome>), ServingError> {
+    let stable0 = registry.current();
+    validate(report, trace, requests, wall, stable0.model(), inputs)?;
+    let metrics0 = registry.metrics();
     let (sample_dims, sample_len) = validate_inputs(inputs).expect("validated above");
     let points = report.points();
     let budgets = trace.budgets();
@@ -353,11 +446,16 @@ pub fn serve_wallclock(
     // Split the caller's kernel-thread allowance across the workers.
     let inner_threads = (max_threads() / wall.workers).max(1);
     let clock = RunClock::start();
+    // At most one injected fault per trace step across all workers — the
+    // wall-clock analog of the simulated paths' one-fault-per-timestep
+    // plan. `insert` returning true claims the step's fault.
+    let consumed_faults: Mutex<BTreeSet<usize>> = Mutex::new(BTreeSet::new());
 
     let queue_ref = &queue;
     let selector_ref = &selector;
     let degrade_ref = &degrade;
     let sample_dims_ref = &sample_dims;
+    let consumed_ref = &consumed_faults;
 
     let (arrivals_log, worker_accs): (Vec<Arrival>, Vec<WorkerAcc>) = thread::scope(|s| {
         let ingress = s.spawn(move || {
@@ -407,7 +505,10 @@ pub fn serve_wallclock(
 
         let workers: Vec<_> = (0..wall.workers)
             .map(|_| {
-                let mut model = model.clone();
+                let mut pin = registry.snapshot();
+                let mut model = pin.stable.model().clone();
+                let mut shadow: Option<PackedModel> =
+                    pin.canary.as_ref().map(|v| v.model().clone());
                 s.spawn(move || {
                     set_threads(inner_threads);
                     let mut acc = WorkerAcc::new(wall.max_batch);
@@ -418,6 +519,19 @@ pub fn serve_wallclock(
                             Popped::Batch(items) => items,
                         };
                         let now = clock.now_us();
+
+                        // 0. Version pinning: the registry is observed only
+                        // here, at the batch-dequeue boundary. One relaxed
+                        // epoch load when nothing changed; on a new epoch,
+                        // re-pin the snapshot (O(1) Arc-shared clones) so
+                        // the whole batch is served by one consistent
+                        // (stable, canary) pair and never straddles a swap.
+                        if registry.epoch() != pin.epoch {
+                            pin = registry.snapshot();
+                            model = pin.stable.model().clone();
+                            shadow = pin.canary.as_ref().map(|v| v.model().clone());
+                            prev_bits = None;
+                        }
 
                         // 1. Late requests expire before they can be served.
                         let mut live: Vec<Request> = Vec::with_capacity(popped.len());
@@ -443,6 +557,25 @@ pub fn serve_wallclock(
                         // 2. The shared policy selects under the budget in
                         // force at this wall-clock instant.
                         let step = RunClock::step_of(now, step_us, steps);
+
+                        // 2a. An injected stall idles this batch out to the
+                        // step boundary: hand it back, sleep, let whoever
+                        // dequeues it next serve it. Nothing is selected,
+                        // forwarded, or lost.
+                        if faults.at(step) == Some(FaultKind::Stall)
+                            && consumed_ref
+                                .lock()
+                                .expect("fault mutex poisoned")
+                                .insert(step)
+                        {
+                            acc.stalled += 1;
+                            acc.injected += 1;
+                            queue_ref.push_front(live);
+                            let boundary = (step as u64 + 1) * step_us;
+                            let wait = boundary.saturating_sub(clock.now_us()).max(50);
+                            thread::sleep(Duration::from_micros(wait));
+                            continue;
+                        }
                         let selected = selector_ref
                             .lock()
                             .expect("selector mutex poisoned")
@@ -498,7 +631,9 @@ pub fn serve_wallclock(
                         let point = &points[serve_idx];
                         let degraded = serve_idx < idx;
 
-                        // 4. One packed forward for the whole batch.
+                        // 4. One packed forward for the whole batch —
+                        // wrapped in `catch_unwind` so a panicking forward
+                        // (injected or genuine) fails only this batch.
                         if prev_bits != Some(point.bits) {
                             acc.switches += 1;
                             prev_bits = Some(point.bits);
@@ -508,14 +643,66 @@ pub fn serve_wallclock(
                             .expect("validated: every report point is packed");
                         let ids: Vec<usize> = live.iter().map(|r| r.id).collect();
                         let batch = gather_batch(inputs, sample_dims_ref, sample_len, &ids);
+                        // Counted at freeze time, faulted or not — the
+                        // same semantics as the sharded path's histogram.
                         acc.batches += 1;
-                        match model.try_forward_batch(&batch) {
+                        acc.histogram[live.len()] += 1;
+                        *acc.generations.entry(pin.stable.generation()).or_insert(0) += 1;
+                        let injected = match faults.at(step) {
+                            Some(k @ (FaultKind::TransientError | FaultKind::ForwardPanic))
+                                if consumed_ref
+                                    .lock()
+                                    .expect("fault mutex poisoned")
+                                    .insert(step) =>
+                            {
+                                acc.injected += 1;
+                                Some(k)
+                            }
+                            _ => None,
+                        };
+                        let forward_start = clock.now_us();
+                        let forwarded = catch_unwind(AssertUnwindSafe(|| match injected {
+                            Some(FaultKind::TransientError) => Err(InferError::Input(format!(
+                                "injected transient fault at step {step}"
+                            ))),
+                            Some(FaultKind::ForwardPanic) => {
+                                panic!("injected forward panic at step {step}")
+                            }
+                            _ => model.try_forward_batch(&batch),
+                        }))
+                        .unwrap_or_else(|_| {
+                            Err(InferError::Input(format!(
+                                "isolated forward panic at step {step}"
+                            )))
+                        });
+                        match forwarded {
                             Ok(y) => {
                                 let take = live.len();
-                                acc.histogram[take] += 1;
                                 *acc.time_in_bits.entry(point.bits.get()).or_insert(0) += 1;
                                 let served_us = clock.now_us();
                                 let outs = scatter_outputs(&y, take);
+
+                                // 4a. Canary shadow: a ticketed fraction of
+                                // batches additionally runs through the
+                                // candidate at the same bit-width and is
+                                // compared bit-exactly. The request is
+                                // always answered from the stable output,
+                                // so a divergent canary never reaches a
+                                // client.
+                                if let Some(cand) = shadow.as_mut() {
+                                    if registry.canary_ticket(pin.epoch) {
+                                        shadow_compare(
+                                            registry,
+                                            pin.epoch,
+                                            cand,
+                                            point.bits,
+                                            &batch,
+                                            &outs,
+                                            served_us.saturating_sub(forward_start),
+                                            clock,
+                                        );
+                                    }
+                                }
                                 for (req, out) in live.iter().zip(outs) {
                                     let status = if degraded {
                                         acc.completed_degraded += 1;
@@ -564,6 +751,7 @@ pub fn serve_wallclock(
                             }
                         }
                     }
+                    acc.generation = pin.stable.generation();
                     acc
                 })
             })
@@ -605,6 +793,7 @@ pub fn serve_wallclock(
     let mut wait_us: Vec<usize> = Vec::new();
     let mut histogram = vec![0usize; wall.max_batch + 1];
     let mut time_in_bits: BTreeMap<u8, usize> = BTreeMap::new();
+    let mut generations: BTreeMap<u64, usize> = BTreeMap::new();
     let mut replicas: Vec<ReplicaStats> = Vec::with_capacity(wall.workers);
     let mut acc_sum = 0.0f32;
     for (w, acc) in worker_accs.into_iter().enumerate() {
@@ -630,12 +819,17 @@ pub fn serve_wallclock(
         stats.dropped += acc.dropped;
         stats.switches += acc.switches;
         stats.energy_pj += acc.energy_pj;
+        stats.stalled_steps += acc.stalled;
+        stats.faults_injected += acc.injected;
         acc_sum += acc.acc_sum;
         for (i, h) in acc.histogram.iter().enumerate() {
             histogram[i] += h;
         }
         for (&b, &n) in &acc.time_in_bits {
             *time_in_bits.entry(b).or_insert(0) += n;
+        }
+        for (&g, &n) in &acc.generations {
+            *generations.entry(g).or_insert(0) += n;
         }
         let w_summary = wait_summary(&acc.waits_us);
         replicas.push(ReplicaStats {
@@ -648,6 +842,7 @@ pub fn serve_wallclock(
             mean_wait_steps: w_summary.mean,
             p99_wait_steps: w_summary.p99,
             time_in_bits: acc.time_in_bits.into_iter().collect(),
+            generation: acc.generation,
         });
         wait_us.extend(acc.waits_us);
     }
@@ -671,6 +866,61 @@ pub fn serve_wallclock(
     stats.elapsed_us = elapsed_us;
     stats.requests_per_sec = stats.served_requests as f64 / (elapsed_us as f64 * 1e-6);
     stats.replicas = replicas;
+    stats.time_per_generation = generations.into_iter().collect();
+    // Registry activity attributable to this run: the counters are
+    // monotone, so the delta over the run's span is exact even when the
+    // caller reuses one registry across runs.
+    let metrics1 = registry.metrics();
+    stats.reloads = metrics1.reloads - metrics0.reloads;
+    stats.rollbacks = metrics1.rollbacks - metrics0.rollbacks;
+    stats.rejected_publishes = metrics1.rejected_publishes - metrics0.rejected_publishes;
+    stats.canary_served = metrics1.canary_served - metrics0.canary_served;
+    stats.divergences = metrics1.divergences - metrics0.divergences;
     finish_wait_stats(&mut stats, wait_us);
     Ok((stats, outcomes))
+}
+
+/// Runs the canary candidate over the same batch at the same bit-width,
+/// compares per-sample outputs bit-exactly against the stable outputs,
+/// and reports the result (or a candidate fault) to the registry. The
+/// candidate's forward is isolated with `catch_unwind`: a crashing
+/// candidate rolls itself back without touching the batch, which was
+/// already answered by the stable version.
+#[allow(clippy::too_many_arguments)]
+fn shadow_compare(
+    registry: &ModelRegistry,
+    pinned_epoch: u64,
+    cand: &mut PackedModel,
+    bits: BitWidth,
+    batch: &Tensor,
+    stable_outs: &[Tensor],
+    stable_us: u64,
+    clock: RunClock,
+) {
+    let start = clock.now_us();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        cand.try_switch_to_bits(bits)
+            .and_then(|()| cand.try_forward_batch(batch))
+    }));
+    let candidate_us = clock.now_us().saturating_sub(start);
+    match result {
+        Ok(Ok(y)) => {
+            let cand_outs = scatter_outputs(&y, stable_outs.len());
+            let diverged = stable_outs
+                .iter()
+                .zip(&cand_outs)
+                .filter(|(a, b)| a.data() != b.data())
+                .count();
+            registry.report_shadow(
+                pinned_epoch,
+                stable_outs.len(),
+                diverged,
+                stable_us,
+                candidate_us,
+            );
+        }
+        _ => {
+            registry.report_candidate_fault(pinned_epoch);
+        }
+    }
 }

@@ -32,6 +32,14 @@ const VERSION: u32 = 3;
 /// not the checksum.
 const CRC32_INIT: u32 = 0xFFFF_FFFF;
 
+/// One-shot CRC32 (the checkpoint-v3 polynomial) over `bytes` — the
+/// fingerprint the model registry stores per published version, so a
+/// served model is always traceable to the exact checkpoint file bytes
+/// it came from.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    !crc32_update(CRC32_INIT, bytes)
+}
+
 fn crc32_update(mut state: u32, bytes: &[u8]) -> u32 {
     for &b in bytes {
         state ^= u32::from(b);

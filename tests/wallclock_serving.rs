@@ -21,13 +21,16 @@
 //! The CI matrix re-runs this suite with `INSTANTNET_WALLCLOCK_WORKERS`
 //! set to pin the worker count; unset, the tests sweep {1, 2, 4}.
 
+use instantnet::faults::{FaultKind, FaultPlan};
+use instantnet::registry::ModelRegistry;
 use instantnet::resilience::{RequestStatus, ServingError};
 use instantnet::runtime::{
     simulate_serving_batched, EnergyTrace, Policy, RequestTrace, RuntimeStats, ServingConfig,
     SimulationConfig,
 };
 use instantnet::wallclock::{
-    serve_wallclock, WallclockConfig, WallclockDegradation, WallclockOutcome,
+    serve_wallclock, serve_wallclock_registry, WallclockConfig, WallclockDegradation,
+    WallclockOutcome,
 };
 use instantnet::{DeploymentReport, OperatingPoint};
 use instantnet_infer::PackedModel;
@@ -505,6 +508,183 @@ proptest! {
                 let reference = model.forward_at(idx, &inputs[i % inputs.len()]);
                 prop_assert_eq!(out.data(), reference.data(), "request {}", i);
             }
+        }
+    }
+}
+
+/// Shared fixture for the fault-injection tests: a one-point 8-bit
+/// report, uniform arrivals, and a fault-free baseline to compare
+/// outputs against.
+fn fault_fixture() -> (
+    DeploymentReport,
+    EnergyTrace,
+    RequestTrace,
+    PackedModel,
+    Vec<Tensor>,
+) {
+    let bits = BitWidthSet::new(vec![4, 8]).unwrap();
+    let net = models::small_cnn(2, 4, (6, 6), bits.len(), 83);
+    let model = PackedModel::prepack(&net, &bits, Quantizer::Sbm).unwrap();
+    let report = DeploymentReport::new("faults", 1, vec![point_for(bits.widths()[1], 0)]);
+    let steps = 10;
+    let trace = EnergyTrace::new(vec![100.0; steps]);
+    let requests = RequestTrace::uniform(2, steps);
+    let mut rng = StdRng::seed_from_u64(89);
+    let inputs = distinct_inputs(&mut rng, 5, &[1, 3, 6, 6]);
+    (report, trace, requests, model, inputs)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_with_faults(
+    report: &DeploymentReport,
+    trace: &EnergyTrace,
+    requests: &RequestTrace,
+    model: &PackedModel,
+    inputs: &[Tensor],
+    workers: usize,
+    max_retries: usize,
+    faults: &FaultPlan,
+) -> (RuntimeStats, Vec<WallclockOutcome>) {
+    let registry = ModelRegistry::new(model.clone(), "v1");
+    serve_wallclock_registry(
+        report,
+        trace,
+        requests,
+        Policy::Greedy,
+        &SimulationConfig::default(),
+        &WallclockConfig {
+            workers,
+            max_batch: 2,
+            step_time: Duration::from_micros(500),
+            max_retries,
+            ..WallclockConfig::default()
+        },
+        &registry,
+        faults,
+        inputs,
+    )
+    .unwrap()
+}
+
+/// Injected transient errors and panics fail only the batch they hit:
+/// with retries in budget every request still completes, the faulted
+/// batches and retries are counted, and outputs are bit-identical to a
+/// fault-free run — a retried forward is the same forward.
+#[test]
+fn wallclock_injected_faults_retry_and_stay_bit_identical() {
+    let (report, trace, requests, model, inputs) = fault_fixture();
+    let total = requests.total();
+    let plan = FaultPlan::from_schedule([
+        (0, FaultKind::TransientError),
+        (1, FaultKind::ForwardPanic),
+        (2, FaultKind::TransientError),
+        (3, FaultKind::ForwardPanic),
+    ]);
+    for workers in worker_counts() {
+        let (base_stats, base) = run_with_faults(
+            &report,
+            &trace,
+            &requests,
+            &model,
+            &inputs,
+            workers,
+            5,
+            &FaultPlan::none(),
+        );
+        assert_eq!(base_stats.faults_injected, 0);
+        let (stats, outcomes) = run_with_faults(
+            &report, &trace, &requests, &model, &inputs, workers, 5, &plan,
+        );
+        let ctx = format!("{workers} workers");
+        assert_eq!(stats.completed, total, "{ctx}: retries absorb every fault");
+        assert_wallclock_accounting(&stats, &outcomes, total);
+        assert!(
+            stats.faults_injected >= 1,
+            "{ctx}: traffic flowed through the faulted steps"
+        );
+        assert!(stats.faults_injected <= plan.len(), "{ctx}: one per step");
+        let faulted: usize = stats.replicas.iter().map(|r| r.faulted_batches).sum();
+        assert_eq!(
+            faulted, stats.faults_injected,
+            "{ctx}: every injected error/panic faulted exactly one batch"
+        );
+        assert!(
+            stats.retried >= faulted,
+            "{ctx}: each faulted batch retried at least one request"
+        );
+        for (id, (w, b)) in outcomes.iter().zip(&base).enumerate() {
+            assert_eq!(
+                w.output.as_ref().map(Tensor::data),
+                b.output.as_ref().map(Tensor::data),
+                "{ctx}: request {id} bit-identical after retry"
+            );
+        }
+    }
+}
+
+/// An injected stall consumes no requests: the batch is handed back,
+/// the step is waited out, and everything completes — the stall is
+/// visible only in `stalled_steps`.
+#[test]
+fn wallclock_injected_stall_delays_but_loses_nothing() {
+    let (report, trace, requests, model, inputs) = fault_fixture();
+    let total = requests.total();
+    let plan = FaultPlan::from_schedule((0..4).map(|t| (t, FaultKind::Stall)));
+    for workers in worker_counts() {
+        let (stats, outcomes) = run_with_faults(
+            &report, &trace, &requests, &model, &inputs, workers, 0, &plan,
+        );
+        let ctx = format!("{workers} workers");
+        assert_eq!(stats.completed, total, "{ctx}: stalls only delay");
+        assert_wallclock_accounting(&stats, &outcomes, total);
+        assert!(stats.stalled_steps >= 1, "{ctx}: a stall fired");
+        assert!(stats.stalled_steps <= plan.len(), "{ctx}: one per step");
+        assert_eq!(
+            stats.stalled_steps, stats.faults_injected,
+            "{ctx}: stalls were the only faults"
+        );
+        let faulted: usize = stats.replicas.iter().map(|r| r.faulted_batches).sum();
+        assert_eq!(faulted, 0, "{ctx}: no forward ever failed");
+    }
+}
+
+/// With no retry budget, a fault-hit batch's requests fail terminally —
+/// and the fault plan covers every step, so the first served batch is
+/// guaranteed to hit one. Conservation still holds, and no worker dies:
+/// panics are isolated per batch by `catch_unwind`.
+#[test]
+fn wallclock_exhausted_retries_fail_requests_without_killing_workers() {
+    let (report, trace, requests, model, inputs) = fault_fixture();
+    let total = requests.total();
+    let plan = FaultPlan::from_schedule((0..trace.len()).map(|t| {
+        if t % 2 == 0 {
+            (t, FaultKind::ForwardPanic)
+        } else {
+            (t, FaultKind::TransientError)
+        }
+    }));
+    for workers in worker_counts() {
+        let (stats, outcomes) = run_with_faults(
+            &report, &trace, &requests, &model, &inputs, workers, 0, &plan,
+        );
+        let ctx = format!("{workers} workers");
+        assert_wallclock_accounting(&stats, &outcomes, total);
+        assert!(
+            stats.failed >= 1,
+            "{ctx}: the first served batch consumed a fault and failed"
+        );
+        assert_eq!(stats.completed + stats.failed, total, "{ctx}");
+        assert_eq!(stats.retried, 0, "{ctx}: no retry budget");
+        assert_eq!(
+            stats.replicas.len(),
+            workers,
+            "{ctx}: every worker survived its panics"
+        );
+        for o in outcomes
+            .iter()
+            .filter(|o| o.status == RequestStatus::Failed)
+        {
+            assert_eq!(o.attempts, 1, "failed on the first and only attempt");
         }
     }
 }
