@@ -1,6 +1,6 @@
 //! Wall-clock serving throughput on a packed 4-bit CNN.
 //!
-//! Two kinds of entries share the `BENCH_wallclock.json` snapshot:
+//! Three kinds of entries share the `BENCH_wallclock.json` snapshot:
 //!
 //! * `wallclock_wall_workers{1,2,4}` — wall-clock time for
 //!   `serve_wallclock` to play and fully drain the same 192-request
@@ -13,6 +13,16 @@
 //!   with ≥4 cores `bench_check` enforces the ≥2.5× 1-vs-4-worker floor
 //!   on these entries; on fewer cores the workers serialize and the
 //!   floor is skipped (the snapshot still records the honest numbers).
+//! * `wallclock_sustained_skew_{shared,sharded}4` — the queue-mode
+//!   face-off: sustained service time per request for a 4-worker fleet
+//!   draining a heavy skewed burst through many tiny max-batch-1 batches
+//!   (the contention regime sharding exists for), once over the single
+//!   shared queue and once over per-worker shards with stealing. Medians
+//!   over several runs; on a ≥4-core runner `bench_check` enforces the
+//!   sharded path at ≥1.3× the shared twin's throughput.
+//!
+//! Every entry carries the recording runner's core count; `bench_check`
+//! refuses to compare entries recorded on differently-sized machines.
 //!
 //! Worker forwards split the ambient kernel-thread allowance, so the
 //! scaling measured here is replica parallelism, not kernel parallelism
@@ -20,7 +30,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use instantnet::runtime::{EnergyTrace, Policy, RequestTrace, SimulationConfig};
-use instantnet::wallclock::{serve_wallclock, WallclockConfig};
+use instantnet::wallclock::{serve_wallclock, QueueMode, WallclockConfig};
 use instantnet::{DeploymentReport, OperatingPoint};
 use instantnet_infer::PackedModel;
 use instantnet_nn::blocks::ConvBnAct;
@@ -133,9 +143,76 @@ fn bench_wallclock(c: &mut Criterion) {
     }
 }
 
+/// The queue-contention regime: a tiny quantized MLP whose forward is
+/// cheap enough that queue push/pop cost is a real fraction of service
+/// time, drained at `max_batch: 1` so every request is its own pop.
+fn tiny_mlp(rng: &mut StdRng) -> Sequential {
+    let mut body = Sequential::new();
+    body.push(Box::new(QuantLinear::new(rng, "fc1", 16, 32)));
+    body.push(Box::new(QuantLinear::new(rng, "fc2", 32, 10)));
+    body
+}
+
+/// Shared-vs-sharded on a skewed burst: 4 workers, one deep burst at
+/// step 0, one pop per request. Shared mode serializes every pop on one
+/// mutex; sharded mode pops its own shard and steals when dry. The
+/// snapshot records the median sustained ns/request of each mode.
+fn bench_wallclock_skew(c: &mut Criterion) {
+    let bits = BitWidthSet::new(vec![4]).unwrap();
+    let mut rng = StdRng::seed_from_u64(17);
+    let net = tiny_mlp(&mut rng);
+    let model = PackedModel::prepack(&net, &bits, Quantizer::Sbm).unwrap();
+    let report = report_4bit();
+    let inputs: Vec<Tensor> = (0..4)
+        .map(|_| init::uniform(&mut rng, &[1, 16], -1.0, 1.0))
+        .collect();
+
+    let steps = 2;
+    let total = 4096usize;
+    let trace = EnergyTrace::new(vec![15.0; steps]);
+    let mut arrivals = vec![0usize; steps];
+    arrivals[0] = total;
+    let requests = RequestTrace::new(arrivals);
+
+    for (tag, queue) in [
+        ("shared", QueueMode::Shared),
+        ("sharded", QueueMode::Sharded { stealing: true }),
+    ] {
+        let wall = WallclockConfig {
+            workers: 4,
+            max_batch: 1,
+            step_time: Duration::from_micros(200),
+            queue,
+            ..WallclockConfig::default()
+        };
+        let mut sustained: Vec<f64> = (0..5)
+            .map(|_| {
+                let (stats, _) = serve_wallclock(
+                    &report,
+                    &trace,
+                    &requests,
+                    Policy::Greedy,
+                    &SimulationConfig::default(),
+                    &wall,
+                    &model,
+                    &inputs,
+                )
+                .expect("bench config is valid");
+                assert_eq!(stats.served_requests, total, "burst must fully drain");
+                stats.elapsed_us as f64 * 1e3 / stats.served_requests as f64
+            })
+            .collect();
+        sustained.sort_by(|a, b| a.total_cmp(b));
+        c.record_metric(
+            &format!("wallclock_sustained_skew_{tag}4"),
+            sustained[sustained.len() / 2],
+        );
+    }
+}
+
 criterion_group! {
     name = wallclock;
     config = Criterion::default().sample_size(10);
-    targets = bench_wallclock
+    targets = bench_wallclock, bench_wallclock_skew
 }
 criterion_main!(wallclock);

@@ -9,6 +9,10 @@
 //! Groups or benchmarks present in the baseline but absent from the current
 //! run are reported and skipped (renames should update the baseline in the
 //! same change), as are sub-100 ns medians, which are pure timer noise.
+//! When both sides of a comparison carry the recording runner's `"cores"`
+//! stamp and the counts differ, the entry is skipped with a notice — a
+//! median from an 8-core box is not a regression baseline for a 1-core
+//! runner. Entries predating the stamp compare unconditionally.
 //!
 //! Several groups carry extra within-run ratio checks (per-median ratios
 //! absorb machine drift; these cannot):
@@ -70,6 +74,26 @@ fn parse_medians(path: &Path) -> Result<HashMap<String, f64>, String> {
     Ok(out)
 }
 
+/// Per-entry `"cores"` metadata (runner core count at record time), for
+/// snapshots new enough to carry it. Entries without the field — every
+/// baseline recorded before the stamp existed — are simply absent, and
+/// the caller compares them unconditionally as before.
+fn parse_cores(path: &Path) -> HashMap<String, u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return HashMap::new();
+    };
+    let mut out = HashMap::new();
+    for line in text.lines() {
+        if let (Some(name), Some(cores)) = (
+            field_str(line, "\"name\": \""),
+            field_num(line, "\"cores\": "),
+        ) {
+            out.insert(name, cores as u64);
+        }
+    }
+    out
+}
+
 fn field_str(line: &str, key: &str) -> Option<String> {
     let rest = &line[line.find(key)? + key.len()..];
     Some(rest[..rest.find('"')?].to_string())
@@ -129,6 +153,8 @@ fn main() -> ExitCode {
         }
         let baseline = parse_medians(&baseline_dir.join(file)).unwrap();
         let current = parse_medians(&current_path).unwrap();
+        let baseline_cores = parse_cores(&baseline_dir.join(file));
+        let current_cores = parse_cores(&current_path);
         let mut names: Vec<&String> = baseline.keys().collect();
         names.sort();
         for name in names {
@@ -137,6 +163,18 @@ fn main() -> ExitCode {
                 println!("{file}: {name} missing from current run, skipping");
                 continue;
             };
+            // Like-for-like only: a median recorded on an 8-core box says
+            // nothing about a 1-core runner's number. Entries predating the
+            // cores stamp compare unconditionally, as before.
+            if let (Some(&bc), Some(&cc)) = (baseline_cores.get(name), current_cores.get(name)) {
+                if bc != cc {
+                    println!(
+                        "{file}: {name} recorded on {bc} core(s), current runner has {cc}, \
+                         skipping (not like-for-like)"
+                    );
+                    continue;
+                }
+            }
             if base.max(cur) < NOISE_FLOOR_NS {
                 println!("{file}: {name} below noise floor ({base:.0} -> {cur:.0} ns), skipping");
                 continue;
@@ -457,18 +495,25 @@ fn main() -> ExitCode {
     // once. On narrower runners the workers serialize and the floor is
     // skipped — the snapshot still records the honest numbers.
     const WALLCLOCK_MIN_SPEEDUP: f64 = 2.5;
+    // The sharded queue with stealing must beat the single shared queue by
+    // this much on the skewed max-batch-1 burst — the pop-contention win
+    // the sharded fast path exists to deliver. Like the worker-scaling
+    // floor it only shows up where 4 workers genuinely run concurrently.
+    const SHARDED_QUEUE_MIN_SPEEDUP: f64 = 1.3;
     let wallclock_path = current_dir.join("BENCH_wallclock.json");
     if wallclock_path.exists() {
         let cores = std::thread::available_parallelism().map_or(1, usize::from);
         if cores < 4 {
             println!(
                 "BENCH_wallclock.json: only {cores} core(s) on this runner, skipping \
-                 wall-clock worker-scaling floor (needs 4)"
+                 wall-clock worker-scaling and sharded-queue floors (need 4)"
             );
+            let reason = format!("SKIPPED (only {cores} core(s), needs 4)");
             gates.push((
                 "wallclock: 4-worker vs 1-worker scaling".into(),
-                format!("SKIPPED (only {cores} core(s), needs 4)"),
+                reason.clone(),
             ));
+            gates.push(("wallclock: sharded vs shared skew queue".into(), reason));
         } else {
             let wallclock = parse_medians(&wallclock_path).unwrap();
             match (
@@ -511,6 +556,50 @@ fn main() -> ExitCode {
                     );
                     gates.push((
                         "wallclock: 4-worker vs 1-worker scaling".into(),
+                        "RAN FAIL (entries missing)".into(),
+                    ));
+                }
+            }
+            match (
+                wallclock.get("wallclock_sustained_skew_shared4"),
+                wallclock.get("wallclock_sustained_skew_sharded4"),
+            ) {
+                (Some(&shared), Some(&sharded)) => {
+                    let speedup = shared / sharded;
+                    let verdict = if speedup < SHARDED_QUEUE_MIN_SPEEDUP {
+                        failures.push(format!(
+                            "BENCH_wallclock.json: sharded queue only {speedup:.2}x the shared \
+                             queue on the skewed burst (floor {SHARDED_QUEUE_MIN_SPEEDUP}x)"
+                        ));
+                        "REGRESSED"
+                    } else {
+                        "ok"
+                    };
+                    println!(
+                        "BENCH_wallclock.json: sharded vs shared skew-burst throughput \
+                         {speedup:>5.2}x (floor {SHARDED_QUEUE_MIN_SPEEDUP}x) {verdict}"
+                    );
+                    gates.push((
+                        "wallclock: sharded vs shared skew queue".into(),
+                        if verdict == "ok" {
+                            format!("RAN pass ({speedup:.2}x >= {SHARDED_QUEUE_MIN_SPEEDUP}x)")
+                        } else {
+                            format!("RAN FAIL ({speedup:.2}x < {SHARDED_QUEUE_MIN_SPEEDUP}x)")
+                        },
+                    ));
+                }
+                _ => {
+                    failures.push(
+                        "BENCH_wallclock.json: wallclock_sustained_skew_shared4/sharded4 \
+                         missing, cannot check sharded-queue speedup"
+                            .to_string(),
+                    );
+                    println!(
+                        "BENCH_wallclock.json: wallclock_sustained_skew_shared4/sharded4 \
+                         missing, cannot check sharded-queue speedup: REGRESSED"
+                    );
+                    gates.push((
+                        "wallclock: sharded vs shared skew queue".into(),
                         "RAN FAIL (entries missing)".into(),
                     ));
                 }

@@ -1,5 +1,5 @@
-//! Batch tensor assembly and per-request output scatter, shared by every
-//! serving path.
+//! Batch tensor assembly, per-request output scatter, and the dynamic
+//! batch controller, shared by every serving path.
 //!
 //! The contract all paths inherit: request `id` reuses
 //! `inputs[id % inputs.len()]`, batches are built by concatenating the
@@ -8,8 +8,12 @@
 //! quantizes activations per sample, each scattered output is
 //! bit-identical to a batch-of-one forward of the same input at the same
 //! bit-width — which is what lets every higher serving layer claim
-//! bit-identity with the layer below.
+//! bit-identity with the layer below. [`BatchController`] sizes batches
+//! from observed latency instead of the static `max_batch` knob; because
+//! of the same per-sample quantization, a changing batch cap never
+//! changes any request's output — only the timing statistics.
 
+use crate::engine::stats::wait_summary;
 use instantnet_tensor::Tensor;
 
 /// Validates a request-input set: non-empty, every tensor `[1, …]`, all
@@ -62,9 +66,148 @@ pub(crate) fn scatter_outputs(y: &Tensor, n: usize) -> Vec<Tensor> {
         .collect()
 }
 
+/// SLO-driven batch sizing: grow the batch cap while the measured p99
+/// batch latency leaves slack against the deadline target, shrink it on a
+/// breach.
+///
+/// The state machine is AIMD-shaped with a hysteresis dead band. Each
+/// completed batch feeds its dequeue→completion latency; every `window`
+/// observations the controller takes the nearest-rank p99 (the same
+/// percentile definition as [`crate::engine::stats::wait_summary`]) and
+/// decides once:
+///
+/// * p99 **above** `target_us` — breach: halve the cap (floor 1);
+/// * p99 **at or below** `grow_below_us` (= headroom × target) — slack:
+///   double the cap (hard ceiling `max`);
+/// * in between — the dead band: hold. This is the hysteresis that keeps
+///   the cap from oscillating when p99 hovers near the target.
+///
+/// Priority against the precision-downshift controller is decided by the
+/// driver, not here: the wall-clock loop suppresses bit downshifts while
+/// `current() > 1` — batch shrinks before bits drop — so the cheap,
+/// output-invariant lever (smaller batches) is exhausted before the
+/// accuracy-visible one (lower precision) engages.
+pub(crate) struct BatchController {
+    target_us: u64,
+    grow_below_us: u64,
+    window: usize,
+    max: usize,
+    cur: usize,
+    sample: Vec<usize>,
+    events: Vec<(usize, usize)>,
+}
+
+impl BatchController {
+    /// `headroom_pct` ∈ (0, 100): grow only while the window p99 is at or
+    /// below that percentage of the target. Bounds are validated by the
+    /// driver's config check; `initial` is the starting cap.
+    pub(crate) fn new(
+        target_us: u64,
+        headroom_pct: u32,
+        window: usize,
+        initial: usize,
+        max: usize,
+    ) -> Self {
+        BatchController {
+            target_us,
+            grow_below_us: target_us * u64::from(headroom_pct) / 100,
+            window,
+            max,
+            cur: initial.clamp(1, max),
+            sample: Vec::with_capacity(window),
+            events: Vec::new(),
+        }
+    }
+
+    /// The batch cap currently in force.
+    pub(crate) fn current(&self) -> usize {
+        self.cur
+    }
+
+    /// Feeds one completed batch's dequeue→completion latency (µs);
+    /// returns the new cap when this observation closed a window with a
+    /// transition. `step` labels the transition in the event log.
+    pub(crate) fn observe(&mut self, step: usize, latency_us: u64) -> Option<usize> {
+        self.sample
+            .push(usize::try_from(latency_us).unwrap_or(usize::MAX));
+        if self.sample.len() < self.window {
+            return None;
+        }
+        let p99 = wait_summary(&self.sample).p99;
+        self.sample.clear();
+        let next = if p99 > self.target_us as f64 {
+            (self.cur / 2).max(1)
+        } else if p99 <= self.grow_below_us as f64 {
+            (self.cur * 2).min(self.max)
+        } else {
+            self.cur
+        };
+        if next == self.cur {
+            return None;
+        }
+        self.cur = next;
+        self.events.push((step, next));
+        Some(next)
+    }
+
+    /// The transition log as `(step, new_cap)`, consuming the controller.
+    pub(crate) fn into_events(self) -> Vec<(usize, usize)> {
+        self.events
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn controller_grows_under_slack_shrinks_on_breach() {
+        // Target 1000µs, grow below 500µs, window 2, start at 1, cap 8.
+        let mut c = BatchController::new(1000, 50, 2, 1, 8);
+        assert_eq!(c.current(), 1);
+        assert_eq!(c.observe(0, 100), None, "window not closed yet");
+        assert_eq!(c.observe(0, 100), Some(2), "slack doubles the cap");
+        c.observe(1, 100);
+        assert_eq!(c.observe(1, 100), Some(4));
+        c.observe(2, 100);
+        assert_eq!(c.observe(2, 100), Some(8));
+        c.observe(3, 100);
+        assert_eq!(c.observe(3, 100), None, "hard max_batch ceiling");
+        c.observe(4, 2000);
+        assert_eq!(c.observe(4, 2000), Some(4), "breach halves the cap");
+        c.observe(5, 2000);
+        c.observe(5, 2000);
+        c.observe(6, 2000);
+        assert_eq!(c.observe(6, 2000), Some(1));
+        c.observe(7, 2000);
+        assert_eq!(c.observe(7, 2000), None, "floor at 1");
+        assert_eq!(
+            c.into_events(),
+            vec![(0, 2), (1, 4), (2, 8), (4, 4), (5, 2), (6, 1)]
+        );
+    }
+
+    #[test]
+    fn controller_dead_band_holds_the_cap() {
+        // Between grow_below (500) and target (1000): hold.
+        let mut c = BatchController::new(1000, 50, 3, 4, 8);
+        for _ in 0..12 {
+            assert_eq!(c.observe(0, 700), None);
+        }
+        assert_eq!(c.current(), 4);
+        assert!(c.into_events().is_empty());
+    }
+
+    #[test]
+    fn controller_decides_on_window_p99_not_mean() {
+        // 9 fast + 1 catastrophically slow: the p99 (nearest-rank = the
+        // slow one) breaches even though the mean is comfortably inside.
+        let mut c = BatchController::new(1000, 50, 10, 8, 8);
+        for _ in 0..9 {
+            assert_eq!(c.observe(0, 10), None);
+        }
+        assert_eq!(c.observe(0, 50_000), Some(4));
+    }
 
     #[test]
     fn gather_wraps_ids_modulo_inputs() {

@@ -5,12 +5,22 @@ use instantnet_quant::BitWidth;
 use instantnet_tensor::Tensor;
 use std::collections::HashMap;
 
-/// Exact content key of one request at one bit-width: the sample's f32
-/// bit patterns. Keying on the full pattern (not a digest) means a cache
-/// hit is *provably* the same input, so the cached output is bit-identical
-/// to recomputing — no collision can serve the wrong tensor.
-pub(crate) fn cache_key(bits: BitWidth, sample: &Tensor) -> (u8, Vec<u32>) {
+/// Content-cache key: the pinned model generation, the serving
+/// bit-width, and the sample's exact f32 bit patterns.
+pub(crate) type CacheKey = (u64, u8, Vec<u32>);
+
+/// Exact content key of one request served by one model generation at one
+/// bit-width: the sample's f32 bit patterns. Keying on the full pattern
+/// (not a digest) means a cache hit is *provably* the same input, so the
+/// cached output is bit-identical to recomputing — no collision can serve
+/// the wrong tensor. The generation component makes the key
+/// version-aware: a hot reload changes the pinned
+/// [`crate::registry::ModelVersion`]'s generation, so entries computed by
+/// superseded weights can never answer post-reload traffic — they simply
+/// stop being probed and age out of the LRU.
+pub(crate) fn cache_key(generation: u64, bits: BitWidth, sample: &Tensor) -> CacheKey {
     (
+        generation,
         bits.get(),
         sample.data().iter().map(|v| v.to_bits()).collect(),
     )
@@ -27,7 +37,7 @@ pub(crate) fn cache_key(bits: BitWidth, sample: &Tensor) -> (u8, Vec<u32>) {
 pub(crate) struct LruCache {
     capacity: usize,
     tick: u64,
-    map: HashMap<(u8, Vec<u32>), (Tensor, u64)>,
+    map: HashMap<CacheKey, (Tensor, u64)>,
     evictions: usize,
 }
 
@@ -42,7 +52,7 @@ impl LruCache {
     }
 
     /// Looks up `key`, refreshing its recency on a hit.
-    pub(crate) fn get(&mut self, key: &(u8, Vec<u32>)) -> Option<&Tensor> {
+    pub(crate) fn get(&mut self, key: &CacheKey) -> Option<&Tensor> {
         self.tick += 1;
         let tick = self.tick;
         self.map.get_mut(key).map(|(y, at)| {
@@ -54,7 +64,7 @@ impl LruCache {
     /// Inserts `key → out` if absent, evicting the least-recently-used
     /// entry when at capacity; refreshes recency (and keeps the existing
     /// tensor) if present. Clones `out` only when actually inserting.
-    pub(crate) fn insert(&mut self, key: (u8, Vec<u32>), out: &Tensor) {
+    pub(crate) fn insert(&mut self, key: CacheKey, out: &Tensor) {
         self.tick += 1;
         if let Some((_, at)) = self.map.get_mut(&key) {
             *at = self.tick;

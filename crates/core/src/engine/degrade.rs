@@ -37,6 +37,17 @@ impl HysteresisController {
         self.levels
     }
 
+    /// Whether an [`HysteresisController::observe`] call at this depth
+    /// would *downshift* (as opposed to hold or recover). Drivers that
+    /// layer a dynamic batch controller on top use this to enforce the
+    /// batch-before-bits priority: while the batch cap can still shrink,
+    /// a would-be downshift observation is withheld entirely — depth
+    /// pressure must first exhaust the output-invariant lever. Recovery
+    /// observations are never withheld.
+    pub(crate) fn would_downshift(&self, depth: usize, policy_idx: usize) -> bool {
+        depth >= self.backlog_high && self.levels < policy_idx
+    }
+
     /// Observes queue depth `depth` at tick `now` with the policy's pick at
     /// report index `policy_idx`. Downshifts one level when the depth
     /// reaches the high mark (never past index 0), recovers one level when
@@ -83,5 +94,20 @@ mod tests {
         let mut c = HysteresisController::new(8, 2, 1);
         assert_eq!(c.observe(0, 5, 3), None);
         assert_eq!(c.levels(), 0);
+    }
+
+    #[test]
+    fn would_downshift_tracks_high_mark_and_floor() {
+        let mut c = HysteresisController::new(4, 1, 1);
+        assert!(c.would_downshift(4, 2), "at the high mark with room");
+        assert!(!c.would_downshift(3, 2), "below the high mark");
+        assert!(!c.would_downshift(10, 0), "already at index 0");
+        c.observe(0, 10, 2);
+        c.observe(1, 10, 2);
+        assert_eq!(c.levels(), 2);
+        assert!(
+            !c.would_downshift(10, 2),
+            "fully degraded: further pressure is a hold, not a downshift"
+        );
     }
 }

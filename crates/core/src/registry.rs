@@ -255,6 +255,15 @@ pub struct RegistrySnapshot {
     pub canary: Option<Arc<ModelVersion>>,
 }
 
+impl RegistrySnapshot {
+    /// Generation of the pinned stable version — the version component
+    /// of content-cache keys, so a hot reload can never answer from
+    /// outputs a superseded generation computed.
+    pub fn generation(&self) -> u64 {
+        self.stable.generation()
+    }
+}
+
 struct CanaryState {
     version: Arc<ModelVersion>,
     cfg: CanaryConfig,

@@ -254,6 +254,15 @@ pub struct RuntimeStats {
     /// `levels` is how many operating points below the policy's pick the
     /// controller holds the model after the transition (0 = recovered).
     pub degradation_events: Vec<(usize, usize)>,
+    /// Work-steal operations between per-worker queues (each moves half
+    /// a victim's backlog to an idle worker). Zero unless the wall-clock
+    /// loop runs `QueueMode::Sharded` with stealing on.
+    pub steals: usize,
+    /// Dynamic-batch-controller transitions as `(step, new_cap)` — the
+    /// batch cap in force after each grow/shrink decision. Empty unless
+    /// the wall-clock loop runs with
+    /// [`crate::wallclock::WallclockConfig::batch_control`] set.
+    pub batch_limit_events: Vec<(usize, usize)>,
     /// Requests answered straight from the content-keyed output cache
     /// (no forward ran). Zero unless the sharded path runs with its
     /// cache enabled.

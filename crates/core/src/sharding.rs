@@ -321,6 +321,9 @@ fn validate(
 /// cache is on. Shared by a replica's own drain and the work-stealing
 /// pass, so stolen requests get the identical cache/accounting treatment;
 /// `acc_r` is the *serving* replica's accumulator either way.
+/// `generation` is the pinned stable version's — cache probes are
+/// version-aware, so entries computed by superseded weights never answer
+/// post-reload traffic.
 #[allow(clippy::too_many_arguments)]
 fn drain_eligible(
     queue: &mut VecDeque<QEntry>,
@@ -328,6 +331,7 @@ fn drain_eligible(
     max_take: usize,
     point: &OperatingPoint,
     use_cache: bool,
+    generation: u64,
     cache: &mut LruCache,
     inputs: &[Tensor],
     outcomes: &mut [ShardedOutcome],
@@ -347,7 +351,7 @@ fn drain_eligible(
             continue;
         }
         if use_cache {
-            let key = cache_key(point.bits, &inputs[e.id % inputs.len()]);
+            let key = cache_key(generation, point.bits, &inputs[e.id % inputs.len()]);
             if let Some(y) = cache.get(&key) {
                 let rec = &mut outcomes[e.id];
                 rec.served_at = Some(t);
@@ -679,6 +683,7 @@ pub fn simulate_serving_sharded_versioned(
                     serving.max_batch,
                     point,
                     shard.cache,
+                    pin.generation(),
                     &mut cache,
                     inputs,
                     &mut outcomes,
@@ -721,6 +726,7 @@ pub fn simulate_serving_sharded_versioned(
                     serving.max_batch,
                     point,
                     shard.cache,
+                    pin.generation(),
                     &mut cache,
                     inputs,
                     &mut outcomes,
@@ -859,7 +865,10 @@ pub fn simulate_serving_sharded_versioned(
                         rec.bits = Some(bits.get());
                         rec.attempts += 1;
                         if shard.cache {
-                            cache.insert(cache_key(bits, &inputs[e.id % inputs.len()]), &out);
+                            cache.insert(
+                                cache_key(pin.generation(), bits, &inputs[e.id % inputs.len()]),
+                                &out,
+                            );
                         }
                         rec.output = Some(out);
                         rec.status = RequestStatus::Completed;

@@ -18,10 +18,14 @@
 //!   "sample_size": 20,
 //!   "benchmarks": [
 //!     {"name": "matmul_64x64", "mean_ns": 1234.5, "median_ns": 1200.0,
-//!      "min_ns": 1100.0, "max_ns": 1500.0, "samples": 20}
+//!      "min_ns": 1100.0, "max_ns": 1500.0, "samples": 20, "cores": 8}
 //!   ]
 //! }
 //! ```
+//!
+//! Every entry carries the runner's available core count (`"cores"`), so
+//! downstream comparisons (`bench_check`) can refuse to compare numbers
+//! recorded on differently-sized machines like-for-like.
 
 use std::time::{Duration, Instant};
 
@@ -140,6 +144,9 @@ impl Criterion {
     }
 
     fn to_json(&self) -> String {
+        // Stamped per entry (not per file) so snapshot consumers that
+        // merge or filter entries keep the provenance with the number.
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         let mut out = String::new();
         out.push_str(&format!(
             "{{\n  \"group\": \"{}\",\n  \"sample_size\": {},\n  \"benchmarks\": [\n",
@@ -148,13 +155,14 @@ impl Criterion {
         for (i, r) in self.results.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \
-                 \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}}}{}\n",
+                 \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}, \"cores\": {}}}{}\n",
                 r.name,
                 r.mean_ns,
                 r.median_ns,
                 r.min_ns,
                 r.max_ns,
                 r.samples,
+                cores,
                 if i + 1 < self.results.len() { "," } else { "" }
             ));
         }
@@ -302,8 +310,13 @@ mod tests {
         assert!(json.contains("\"group\": \"testgroup\""));
         assert!(json.contains("\"name\": \"a\""));
         assert!(json.contains("\"name\": \"b\""));
+        assert!(
+            json.contains("\"cores\": "),
+            "every entry records the runner's core count"
+        );
         // Last entry must not have a trailing comma.
-        assert!(json.contains("\"samples\": 2}\n  ]"));
+        assert!(json.contains("}\n  ]"));
+        assert!(!json.contains("},\n  ]"));
     }
 
     criterion_group! {

@@ -687,6 +687,89 @@ fn wallclock_two_publishes_clean_then_divergent_rollback() {
     );
 }
 
+/// Version-aware cache keys: with the content cache on and every request
+/// carrying the *same* input, a mid-run publish of genuinely different
+/// weights must never answer post-reload traffic from entries the old
+/// generation computed. Post-reload outputs — including cache hits —
+/// are bit-identical to the new version's forward, not the old one's.
+#[test]
+fn content_cache_never_serves_stale_outputs_across_reload() {
+    let bits = BitWidthSet::new(vec![4, 8]).unwrap();
+    let v1 = packed(&bits, 171);
+    let v2 = packed(&bits, 172); // different seed: different weights
+    let report = DeploymentReport::new("stale", 1, vec![point_for(bits.widths()[1], 0)]);
+    let steps = 8;
+    let publish_at = 4usize;
+    let trace = EnergyTrace::new(vec![100.0; steps]);
+    let requests = RequestTrace::uniform(2, steps);
+    let total = requests.total();
+    let mut rng = StdRng::seed_from_u64(173);
+    // One input for the whole run: maximal cache-hit pressure.
+    let inputs = distinct_inputs(&mut rng, 1, &[1, 3, 6, 6]);
+    let idx = v1.bit_widths().index_of(bits.widths()[1]).unwrap();
+    let expect_v1 = v1.forward_at(idx, &inputs[0]);
+    let expect_v2 = v2.forward_at(idx, &inputs[0]);
+    assert_ne!(
+        expect_v1.data(),
+        expect_v2.data(),
+        "the reload must actually change the answer"
+    );
+
+    let registry = ModelRegistry::new(v1, "v1");
+    let mut candidate = Some(v2);
+    let (stats, outcomes) = simulate_serving_sharded_versioned(
+        &report,
+        &trace,
+        &requests,
+        Policy::Greedy,
+        &SimulationConfig::default(),
+        &ServingConfig { max_batch: 2 },
+        &ShardConfig {
+            replicas: 2,
+            cache: true,
+            ..ShardConfig::default()
+        },
+        &FaultPlan::none(),
+        &registry,
+        &mut |t, reg| {
+            if t == publish_at {
+                reg.publish(candidate.take().expect("published once"), "v2", None)
+                    .unwrap();
+            }
+        },
+        &inputs,
+    )
+    .unwrap();
+
+    assert_eq!(stats.completed, total);
+    assert_eq!(stats.reloads, 1);
+    assert!(
+        stats.cache_hits > 0,
+        "identical inputs must exercise the cache"
+    );
+    assert!(
+        outcomes
+            .iter()
+            .any(|o| o.cached && o.served_at.is_some_and(|t| t >= publish_at)),
+        "the post-reload phase must include cache hits for the test to bite"
+    );
+    for (i, o) in outcomes.iter().enumerate() {
+        let served_at = o.served_at.expect("permissive run completes all");
+        let expected = if served_at < publish_at {
+            &expect_v1
+        } else {
+            &expect_v2
+        };
+        assert_eq!(
+            o.output.as_ref().unwrap().data(),
+            expected.data(),
+            "request {i} (served at step {served_at}, cached={}) must come \
+             from the generation in force, never a stale cache entry",
+            o.cached
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 

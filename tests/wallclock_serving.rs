@@ -19,7 +19,10 @@
 //!   panics or hung threads.
 //!
 //! The CI matrix re-runs this suite with `INSTANTNET_WALLCLOCK_WORKERS`
-//! set to pin the worker count; unset, the tests sweep {1, 2, 4}.
+//! set to pin the worker count (unset, the tests sweep {1, 2, 4}),
+//! `INSTANTNET_WALLCLOCK_QUEUE=shared|sharded` to pin the queue mode
+//! (unset, both run), and `INSTANTNET_WALLCLOCK_CONTROLLER=on` to re-run
+//! the sweep with the dynamic batch controller enabled.
 
 use instantnet::faults::{FaultKind, FaultPlan};
 use instantnet::registry::ModelRegistry;
@@ -29,7 +32,8 @@ use instantnet::runtime::{
     SimulationConfig,
 };
 use instantnet::wallclock::{
-    serve_wallclock, serve_wallclock_registry, WallclockConfig, WallclockDegradation,
+    serve_wallclock, serve_wallclock_registry, serve_wallclock_streaming, stream_channel,
+    BatchControl, QueueMode, StreamRequest, WallclockConfig, WallclockDegradation,
     WallclockOutcome,
 };
 use instantnet::{DeploymentReport, OperatingPoint};
@@ -50,6 +54,27 @@ fn worker_counts() -> Vec<usize> {
         .ok()
         .and_then(|s| s.parse::<usize>().ok())
         .map_or_else(|| vec![1, 2, 4], |w| vec![w])
+}
+
+/// Queue modes under test: the CI matrix pins one via
+/// `INSTANTNET_WALLCLOCK_QUEUE=shared|sharded`; unset, both run.
+fn queue_modes() -> Vec<QueueMode> {
+    match std::env::var("INSTANTNET_WALLCLOCK_QUEUE").ok().as_deref() {
+        Some("shared") => vec![QueueMode::Shared],
+        Some("sharded") => vec![QueueMode::Sharded { stealing: true }],
+        _ => vec![QueueMode::Shared, QueueMode::Sharded { stealing: true }],
+    }
+}
+
+/// `INSTANTNET_WALLCLOCK_CONTROLLER=on` re-runs the sweep with the
+/// dynamic batch controller enabled — the twin guarantee must hold
+/// whether or not the cap is being resized mid-run.
+fn batch_control_env() -> Option<BatchControl> {
+    (std::env::var("INSTANTNET_WALLCLOCK_CONTROLLER")
+        .ok()
+        .as_deref()
+        == Some("on"))
+    .then(BatchControl::default)
 }
 
 fn point_for(bits: BitWidth, i: usize) -> OperatingPoint {
@@ -119,6 +144,12 @@ fn assert_wallclock_accounting(stats: &RuntimeStats, outcomes: &[WallclockOutcom
         stats.batch_histogram.iter().skip(1).sum::<usize>(),
         "per-worker batches sum to the histogram"
     );
+    for r in &stats.replicas {
+        assert!(
+            r.max_queue_depth <= stats.max_queue_depth,
+            "a shard's high-water mark cannot exceed the global one"
+        );
+    }
     for o in outcomes {
         match o.status {
             RequestStatus::Completed | RequestStatus::CompletedDegraded => {
@@ -171,51 +202,55 @@ fn wallclock_twin_bit_identical_to_batched_all_bitwidths_and_worker_counts() {
         );
 
         for workers in worker_counts() {
-            let (stats, outcomes) = serve_wallclock(
-                &report,
-                &trace,
-                &requests,
-                Policy::Greedy,
-                &cfg,
-                &WallclockConfig {
-                    workers,
-                    max_batch: 4,
-                    step_time: Duration::from_micros(step_us),
-                    ..WallclockConfig::default()
-                },
-                &model,
-                &inputs,
-            )
-            .unwrap();
-            let ctx = format!("{b}-bit @ {workers} workers");
+            for queue in queue_modes() {
+                let (stats, outcomes) = serve_wallclock(
+                    &report,
+                    &trace,
+                    &requests,
+                    Policy::Greedy,
+                    &cfg,
+                    &WallclockConfig {
+                        workers,
+                        max_batch: 4,
+                        step_time: Duration::from_micros(step_us),
+                        queue,
+                        batch_control: batch_control_env(),
+                        ..WallclockConfig::default()
+                    },
+                    &model,
+                    &inputs,
+                )
+                .unwrap();
+                let ctx = format!("{b}-bit @ {workers} workers, {queue:?}");
 
-            // Identical completion set...
-            assert_eq!(stats.completed, total, "{ctx}");
-            assert_wallclock_accounting(&stats, &outcomes, total);
-            // ...with request-by-request bit-identical outputs.
-            for (id, (w, s)) in outcomes.iter().zip(&base).enumerate() {
-                assert_eq!(w.bits, s.bits, "{ctx}: request {id}");
-                assert_eq!(
-                    w.output.as_ref().map(Tensor::data),
-                    s.output.as_ref().map(Tensor::data),
-                    "{ctx}: request {id} output must be bit-identical"
+                // Identical completion set...
+                assert_eq!(stats.completed, total, "{ctx}");
+                assert_wallclock_accounting(&stats, &outcomes, total);
+                // ...with request-by-request bit-identical outputs.
+                for (id, (w, s)) in outcomes.iter().zip(&base).enumerate() {
+                    assert_eq!(w.bits, s.bits, "{ctx}: request {id}");
+                    assert_eq!(
+                        w.output.as_ref().map(Tensor::data),
+                        s.output.as_ref().map(Tensor::data),
+                        "{ctx}: request {id} output must be bit-identical"
+                    );
+                }
+                // Noise-tolerant timing: the ingress thread must have paced
+                // the full schedule in real time (lower bound only — upper
+                // bounds flake on loaded machines).
+                assert!(
+                    stats.elapsed_us >= (steps as u64 - 1) * step_us,
+                    "{ctx}: elapsed {}us is shorter than the schedule",
+                    stats.elapsed_us
+                );
+                assert!(stats.requests_per_sec > 0.0, "{ctx}");
+                assert_eq!(stats.replicas.len(), workers, "{ctx}");
+                assert_eq!(stats.shed + stats.expired + stats.failed, 0, "{ctx}");
+                assert!(
+                    stats.energy_pj > 0.0 && stats.switch_energy_pj > 0.0,
+                    "{ctx}: energy accounting"
                 );
             }
-            // Noise-tolerant timing: the ingress thread must have paced
-            // the full schedule in real time (lower bound only — upper
-            // bounds flake on loaded machines).
-            assert!(
-                stats.elapsed_us >= (steps as u64 - 1) * step_us,
-                "{ctx}: elapsed {}us is shorter than the schedule",
-                stats.elapsed_us
-            );
-            assert!(stats.requests_per_sec > 0.0, "{ctx}");
-            assert_eq!(stats.replicas.len(), workers, "{ctx}");
-            assert_eq!(stats.shed + stats.expired + stats.failed, 0, "{ctx}");
-            assert!(
-                stats.energy_pj > 0.0 && stats.switch_energy_pj > 0.0,
-                "{ctx}: energy accounting"
-            );
         }
     }
 }
@@ -448,8 +483,9 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     /// No matter how the wall-clock timing falls — worker count, queue
-    /// cap, deadlines, degradation — every arrival is accounted exactly
-    /// once and the per-worker sums agree with the global stats.
+    /// topology, stealing, dynamic batching, queue cap, deadlines,
+    /// degradation — every arrival is accounted exactly once and the
+    /// per-worker sums agree with the global stats.
     #[test]
     fn conservation_holds_across_worker_counts_and_knobs(
         workers in 1usize..5,
@@ -458,6 +494,8 @@ proptest! {
         deadline_steps in prop::sample::select(vec![-1i64, 1, 2, 4]),
         cap in prop::sample::select(vec![-1isize, 1, 3, 6]),
         degrade_flag in 0usize..2,
+        queue_flag in 0usize..3,
+        dyn_batch in 0usize..2,
         seed in 0u64..1_000,
     ) {
         use rand::Rng;
@@ -491,6 +529,17 @@ proptest! {
                     backlog_high: 4,
                     backlog_low: 1,
                     recovery_window: Duration::from_micros(step_us),
+                }),
+                queue: match queue_flag {
+                    0 => QueueMode::Shared,
+                    1 => QueueMode::Sharded { stealing: false },
+                    _ => QueueMode::Sharded { stealing: true },
+                },
+                batch_control: (dyn_batch == 1).then(|| BatchControl {
+                    target: Duration::from_micros(500),
+                    headroom_pct: 50,
+                    window: 2,
+                    initial: 1,
                 }),
                 ..WallclockConfig::default()
             },
@@ -686,5 +735,415 @@ fn wallclock_exhausted_retries_fail_requests_without_killing_workers() {
         {
             assert_eq!(o.attempts, 1, "failed on the first and only attempt");
         }
+    }
+}
+
+/// Queue topology is invisible in the numerics: `Sharded` with stealing
+/// off completes the identical request set with request-by-request
+/// bit-identical outputs to `Shared`, and records zero steals.
+#[test]
+fn wallclock_sharded_without_stealing_bit_identical_to_shared() {
+    let bits = BitWidthSet::new(vec![4, 8]).unwrap();
+    let net = models::small_cnn(2, 4, (6, 6), bits.len(), 101);
+    let model = PackedModel::prepack(&net, &bits, Quantizer::Sbm).unwrap();
+    let report = DeploymentReport::new("twin", 1, vec![point_for(bits.widths()[1], 0)]);
+    let steps = 8;
+    let trace = EnergyTrace::new(vec![100.0; steps]);
+    let requests = RequestTrace::uniform(3, steps);
+    let total = requests.total();
+    let mut rng = StdRng::seed_from_u64(103);
+    let inputs = distinct_inputs(&mut rng, 6, &[1, 3, 6, 6]);
+    let run = |queue: QueueMode| {
+        serve_wallclock(
+            &report,
+            &trace,
+            &requests,
+            Policy::Greedy,
+            &SimulationConfig::default(),
+            &WallclockConfig {
+                workers: 3,
+                max_batch: 4,
+                step_time: Duration::from_micros(200),
+                queue,
+                ..WallclockConfig::default()
+            },
+            &model,
+            &inputs,
+        )
+        .unwrap()
+    };
+    let (shared_stats, shared) = run(QueueMode::Shared);
+    assert_eq!(shared_stats.steals, 0, "shared mode never steals");
+    for queue in [
+        QueueMode::Sharded { stealing: false },
+        QueueMode::Sharded { stealing: true },
+    ] {
+        let (stats, outcomes) = run(queue);
+        assert_eq!(stats.completed, total, "{queue:?}");
+        assert_wallclock_accounting(&stats, &outcomes, total);
+        if queue == (QueueMode::Sharded { stealing: false }) {
+            assert_eq!(stats.steals, 0, "stealing off records zero steals");
+        }
+        for (id, (a, b)) in outcomes.iter().zip(&shared).enumerate() {
+            assert_eq!(a.bits, b.bits, "{queue:?}: request {id}");
+            assert_eq!(
+                a.output.as_ref().map(Tensor::data),
+                b.output.as_ref().map(Tensor::data),
+                "{queue:?}: request {id} must be bit-identical across queue modes"
+            );
+        }
+    }
+}
+
+/// A heavy single-step burst over sharded queues: every request is
+/// conserved and numerically exact whether stealing is on or off, the
+/// per-shard high-water marks are recorded, and any steals that occurred
+/// land in the counter. (The deterministic "stealing halves the deepest
+/// backlog and drains in fewer rounds" claim is pinned at the queue unit
+/// level, where timing is controlled.)
+#[test]
+fn wallclock_sharded_skewed_burst_conserves_and_records_shard_depths() {
+    let bits = BitWidthSet::new(vec![4, 8]).unwrap();
+    let net = models::small_cnn(2, 4, (6, 6), bits.len(), 107);
+    let model = PackedModel::prepack(&net, &bits, Quantizer::Sbm).unwrap();
+    let report = DeploymentReport::new("burst", 1, vec![point_for(bits.widths()[1], 0)]);
+    let steps = 16;
+    let trace = EnergyTrace::new(vec![100.0; steps]);
+    let mut arrivals = vec![0usize; steps];
+    arrivals[0] = 48;
+    let requests = RequestTrace::new(arrivals);
+    let mut rng = StdRng::seed_from_u64(109);
+    let inputs = distinct_inputs(&mut rng, 8, &[1, 3, 6, 6]);
+    for stealing in [false, true] {
+        let (stats, outcomes) = serve_wallclock(
+            &report,
+            &trace,
+            &requests,
+            Policy::Greedy,
+            &SimulationConfig::default(),
+            &WallclockConfig {
+                workers: 4,
+                max_batch: 2,
+                step_time: Duration::from_micros(300),
+                queue: QueueMode::Sharded { stealing },
+                ..WallclockConfig::default()
+            },
+            &model,
+            &inputs,
+        )
+        .unwrap();
+        let ctx = format!("stealing={stealing}");
+        assert_eq!(stats.completed, 48, "{ctx}: the whole burst completes");
+        assert_wallclock_accounting(&stats, &outcomes, 48);
+        if !stealing {
+            assert_eq!(stats.steals, 0, "{ctx}");
+        }
+        // Least-loaded dispatch spread a 48-deep burst over 4 shards:
+        // some shard must have seen a non-trivial high-water mark, and
+        // the recorded marks must be consistent with the global one.
+        assert!(
+            stats.replicas.iter().any(|r| r.max_queue_depth >= 1),
+            "{ctx}: per-shard high-water marks are recorded"
+        );
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.input, i % inputs.len(), "{ctx}: trace input convention");
+            let idx = model.bit_widths().index_of(o.bits.unwrap().into()).unwrap();
+            let reference = model.forward_at(idx, &inputs[o.input]);
+            assert_eq!(
+                o.output.as_ref().unwrap().data(),
+                reference.data(),
+                "{ctx}: request {i} numerically exact"
+            );
+        }
+    }
+}
+
+/// An unreachable latency target shrinks the cap step by step to 1 and
+/// the decisions land in `batch_limit_events`; outputs stay exact.
+#[test]
+fn wallclock_batch_controller_shrinks_to_floor_under_breach() {
+    let bits = BitWidthSet::new(vec![4, 8]).unwrap();
+    let net = models::small_cnn(2, 4, (6, 6), bits.len(), 113);
+    let model = PackedModel::prepack(&net, &bits, Quantizer::Sbm).unwrap();
+    let report = DeploymentReport::new("ctl", 1, vec![point_for(bits.widths()[1], 0)]);
+    let steps = 16;
+    let trace = EnergyTrace::new(vec![100.0; steps]);
+    let mut arrivals = vec![0usize; steps];
+    arrivals[0] = 32;
+    let requests = RequestTrace::new(arrivals);
+    let mut rng = StdRng::seed_from_u64(127);
+    let inputs = distinct_inputs(&mut rng, 4, &[1, 3, 6, 6]);
+    let (stats, outcomes) = serve_wallclock(
+        &report,
+        &trace,
+        &requests,
+        Policy::Greedy,
+        &SimulationConfig::default(),
+        &WallclockConfig {
+            workers: 1,
+            max_batch: 4,
+            step_time: Duration::from_micros(400),
+            queue: QueueMode::Sharded { stealing: true },
+            batch_control: Some(BatchControl {
+                // 1µs is below any conv forward: every window breaches.
+                target: Duration::from_micros(1),
+                headroom_pct: 50,
+                window: 1,
+                initial: 4,
+            }),
+            ..WallclockConfig::default()
+        },
+        &model,
+        &inputs,
+    )
+    .unwrap();
+    assert_eq!(stats.completed, 32);
+    assert_wallclock_accounting(&stats, &outcomes, 32);
+    let caps: Vec<usize> = stats.batch_limit_events.iter().map(|&(_, c)| c).collect();
+    assert_eq!(
+        caps,
+        vec![2, 1],
+        "always-breaching target halves 4 → 2 → 1 and then holds the floor"
+    );
+}
+
+/// An unreachably generous target grows the cap to `max_batch` and
+/// holds it there — the ceiling produces no further events.
+#[test]
+fn wallclock_batch_controller_grows_to_max_under_slack() {
+    let bits = BitWidthSet::new(vec![4, 8]).unwrap();
+    let net = models::small_cnn(2, 4, (6, 6), bits.len(), 131);
+    let model = PackedModel::prepack(&net, &bits, Quantizer::Sbm).unwrap();
+    let report = DeploymentReport::new("ctl", 1, vec![point_for(bits.widths()[1], 0)]);
+    let steps = 16;
+    let trace = EnergyTrace::new(vec![100.0; steps]);
+    let mut arrivals = vec![0usize; steps];
+    arrivals[0] = 48;
+    let requests = RequestTrace::new(arrivals);
+    let mut rng = StdRng::seed_from_u64(137);
+    let inputs = distinct_inputs(&mut rng, 4, &[1, 3, 6, 6]);
+    let (stats, outcomes) = serve_wallclock(
+        &report,
+        &trace,
+        &requests,
+        Policy::Greedy,
+        &SimulationConfig::default(),
+        &WallclockConfig {
+            workers: 1,
+            max_batch: 8,
+            step_time: Duration::from_micros(400),
+            batch_control: Some(BatchControl {
+                // 10s of slack: every window measures well under the
+                // 50% headroom line and doubles the cap.
+                target: Duration::from_secs(10),
+                headroom_pct: 50,
+                window: 1,
+                initial: 1,
+            }),
+            ..WallclockConfig::default()
+        },
+        &model,
+        &inputs,
+    )
+    .unwrap();
+    assert_eq!(stats.completed, 48);
+    assert_wallclock_accounting(&stats, &outcomes, 48);
+    let caps: Vec<usize> = stats.batch_limit_events.iter().map(|&(_, c)| c).collect();
+    assert_eq!(
+        caps,
+        vec![2, 4, 8],
+        "slack doubles 1 → 2 → 4 → 8, then holds"
+    );
+}
+
+/// Batch-before-bits: with both controllers on and latency pressure from
+/// the first batch, the batch cap shrinks to its floor *before* the
+/// precision controller is allowed its first downshift.
+#[test]
+fn wallclock_batch_cap_shrinks_before_precision_drops() {
+    let bits = BitWidthSet::new(vec![4, 8, 32]).unwrap();
+    let net = models::small_cnn(2, 4, (6, 6), bits.len(), 139);
+    let model = PackedModel::prepack(&net, &bits, Quantizer::Sbm).unwrap();
+    let report = report_for(&bits);
+    let steps = 24;
+    let trace = EnergyTrace::new(vec![100.0; steps]);
+    let mut arrivals = vec![0usize; steps];
+    arrivals[0] = 32;
+    let requests = RequestTrace::new(arrivals);
+    let mut rng = StdRng::seed_from_u64(149);
+    let inputs = distinct_inputs(&mut rng, 8, &[1, 3, 6, 6]);
+    let (stats, outcomes) = serve_wallclock(
+        &report,
+        &trace,
+        &requests,
+        Policy::Greedy,
+        &SimulationConfig::default(),
+        &WallclockConfig {
+            workers: 1,
+            max_batch: 4,
+            step_time: Duration::from_micros(500),
+            degradation: Some(WallclockDegradation {
+                backlog_high: 4,
+                backlog_low: 1,
+                recovery_window: Duration::from_micros(1),
+            }),
+            batch_control: Some(BatchControl {
+                target: Duration::from_micros(1),
+                headroom_pct: 50,
+                window: 1,
+                initial: 4,
+            }),
+            ..WallclockConfig::default()
+        },
+        &model,
+        &inputs,
+    )
+    .unwrap();
+    assert_wallclock_accounting(&stats, &outcomes, 32);
+    assert_eq!(stats.served_requests, 32);
+    let floor_step = stats
+        .batch_limit_events
+        .iter()
+        .find(|&&(_, cap)| cap == 1)
+        .map(|&(step, _)| step)
+        .expect("an always-breaching target must floor the cap");
+    assert!(
+        !stats.degradation_events.is_empty(),
+        "a 32-deep burst against backlog_high 4 still trips the controller"
+    );
+    let first_downshift = stats.degradation_events[0].0;
+    assert!(
+        first_downshift >= floor_step,
+        "precision must not drop (step {first_downshift}) before the batch \
+         cap floors (step {floor_step})"
+    );
+}
+
+/// Live ingress: requests pushed from another thread through a
+/// [`stream_channel`] are served with the same numerics as a direct
+/// forward, outcomes indexed by the ids `submit` handed back.
+#[test]
+fn wallclock_streaming_channel_serves_live_pushes_bit_identically() {
+    let bits = BitWidthSet::new(vec![4, 8]).unwrap();
+    let net = models::small_cnn(2, 4, (6, 6), bits.len(), 151);
+    let model = PackedModel::prepack(&net, &bits, Quantizer::Sbm).unwrap();
+    let report = DeploymentReport::new("stream", 1, vec![point_for(bits.widths()[1], 0)]);
+    let trace = EnergyTrace::new(vec![100.0; 4]);
+    let mut rng = StdRng::seed_from_u64(157);
+    let inputs = distinct_inputs(&mut rng, 6, &[1, 3, 6, 6]);
+    let registry = ModelRegistry::new(model.clone(), "v1");
+    let (sender, ingress) = stream_channel();
+    let pusher = std::thread::spawn(move || {
+        for i in 0..10usize {
+            // Explicit input selection — reversed so the test can tell
+            // "the request's chosen input" from "the id convention".
+            assert!(sender.push(StreamRequest {
+                input: Some(9 - i),
+                deadline: None,
+            }));
+        }
+        // Dropping the last sender ends the stream.
+    });
+    let (stats, outcomes) = serve_wallclock_streaming(
+        &report,
+        &trace,
+        Policy::Greedy,
+        &SimulationConfig::default(),
+        &WallclockConfig {
+            workers: 2,
+            max_batch: 3,
+            step_time: Duration::from_micros(300),
+            queue: QueueMode::Sharded { stealing: true },
+            ..WallclockConfig::default()
+        },
+        &registry,
+        &FaultPlan::none(),
+        vec![Box::new(ingress)],
+        &inputs,
+    )
+    .unwrap();
+    pusher.join().unwrap();
+    assert_eq!(outcomes.len(), 10, "one outcome per push");
+    assert_eq!(stats.completed, 10);
+    assert_wallclock_accounting(&stats, &outcomes, 10);
+    for (i, o) in outcomes.iter().enumerate() {
+        assert_eq!(
+            o.input,
+            (9 - i) % inputs.len(),
+            "request {i} kept its input"
+        );
+        let idx = model.bit_widths().index_of(o.bits.unwrap().into()).unwrap();
+        let reference = model.forward_at(idx, &inputs[o.input]);
+        assert_eq!(
+            o.output.as_ref().unwrap().data(),
+            reference.data(),
+            "request {i} bit-identical to a direct forward of its input"
+        );
+    }
+}
+
+/// Two producers — a frozen trace replay and a live channel — drain
+/// exactly once through one run: the arrival count is the sum of both,
+/// conservation holds, and every outcome is numerically exact against
+/// the input recorded for it.
+#[test]
+fn wallclock_streaming_dual_sources_drain_exactly_once() {
+    let bits = BitWidthSet::new(vec![4, 8]).unwrap();
+    let net = models::small_cnn(2, 4, (6, 6), bits.len(), 163);
+    let model = PackedModel::prepack(&net, &bits, Quantizer::Sbm).unwrap();
+    let report = DeploymentReport::new("dual", 1, vec![point_for(bits.widths()[1], 0)]);
+    let steps = 4;
+    let trace = EnergyTrace::new(vec![100.0; steps]);
+    let requests = RequestTrace::uniform(1, steps);
+    let mut rng = StdRng::seed_from_u64(167);
+    let inputs = distinct_inputs(&mut rng, 5, &[1, 3, 6, 6]);
+    let registry = ModelRegistry::new(model.clone(), "v1");
+    let wall = WallclockConfig {
+        workers: 2,
+        max_batch: 2,
+        step_time: Duration::from_micros(300),
+        queue: QueueMode::Sharded { stealing: true },
+        ..WallclockConfig::default()
+    };
+    let (sender, ingress) = stream_channel();
+    let pusher = std::thread::spawn(move || {
+        for i in 0..6usize {
+            assert!(sender.push(StreamRequest {
+                input: Some(i),
+                deadline: None,
+            }));
+        }
+    });
+    let (stats, outcomes) = serve_wallclock_streaming(
+        &report,
+        &trace,
+        Policy::Greedy,
+        &SimulationConfig::default(),
+        &wall,
+        &registry,
+        &FaultPlan::none(),
+        vec![
+            Box::new(instantnet::wallclock::TraceIngress::new(
+                &requests,
+                wall.step_time,
+            )),
+            Box::new(ingress),
+        ],
+        &inputs,
+    )
+    .unwrap();
+    pusher.join().unwrap();
+    let total = requests.total() + 6;
+    assert_eq!(outcomes.len(), total, "both producers drained exactly once");
+    assert_eq!(stats.completed, total);
+    assert_wallclock_accounting(&stats, &outcomes, total);
+    for (i, o) in outcomes.iter().enumerate() {
+        let idx = model.bit_widths().index_of(o.bits.unwrap().into()).unwrap();
+        let reference = model.forward_at(idx, &inputs[o.input]);
+        assert_eq!(
+            o.output.as_ref().unwrap().data(),
+            reference.data(),
+            "request {i} exact for its recorded input"
+        );
     }
 }
